@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the scheduling algorithm (§V-F).
+//!
+//! The paper claims ~1.2 s per decision at 80 jobs / 100 machines and
+//! < 5 s at 8K jobs / 10K machines; these benches track the same
+//! decision latency plus the core model primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use harmony_core::job::JobId;
+use harmony_core::model::{cluster_utilization, group_iteration_time};
+use harmony_core::oracle::OracleScheduler;
+use harmony_core::profile::JobProfile;
+use harmony_core::schedule::{Scheduler, SchedulerConfig};
+use harmony_trace::{workload_with, WorkloadParams};
+
+fn profiles(n: usize) -> Vec<JobProfile> {
+    let per_pair = n.div_ceil(8).max(1) as u32;
+    workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(n)
+    .enumerate()
+    .map(|(i, s)| {
+        let mut p = JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+        p.set_memory_footprint(s.input_bytes, s.model_bytes);
+        p
+    })
+    .collect()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut group = c.benchmark_group("algorithm1");
+    group.sample_size(10);
+    for (jobs, machines) in [(80usize, 100u32), (500, 1_000), (2_000, 4_000)] {
+        let ps = profiles(jobs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}j_{machines}m")),
+            &(ps, machines),
+            |b, (ps, machines)| b.iter(|| scheduler.schedule(ps, *machines)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let oracle = OracleScheduler::default();
+    let mut group = c.benchmark_group("oracle_exhaustive");
+    group.sample_size(10);
+    for jobs in [4usize, 6, 8] {
+        let ps = profiles(jobs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}j_16m")),
+            &ps,
+            |b, ps| b.iter(|| oracle.schedule(ps, 16)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let ps = profiles(16);
+    let refs: Vec<&JobProfile> = ps.iter().collect();
+    c.bench_function("eq1_group_iteration_time_16_jobs", |b| {
+        b.iter(|| group_iteration_time(&refs, 16))
+    });
+    let groups: Vec<(Vec<&JobProfile>, u32)> = refs.chunks(4).map(|c| (c.to_vec(), 8)).collect();
+    c.bench_function("eq4_cluster_utilization_4_groups", |b| {
+        b.iter(|| cluster_utilization(&groups))
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_oracle, bench_model);
+criterion_main!(benches);

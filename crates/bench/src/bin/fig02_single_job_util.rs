@@ -1,0 +1,57 @@
+//! Figure 2: single PS jobs fail to achieve high resource utilization.
+//!
+//! Runs MLR with two hyper-parameter settings ("16K"/"8K" classes) and
+//! LDA on the PubMed- and NYTimes-shaped datasets, each alone on 16
+//! machines, 10 noise seeds per configuration, and reports mean CPU and
+//! network utilization (± standard error) — reproducing both findings:
+//! overall utilization stays low, and the CPU/network ratio varies
+//! greatly across workloads.
+
+use harmony_bench::{isolated_config, run};
+use harmony_core::job::AppKind;
+use harmony_metrics::{OnlineStats, TextTable};
+use harmony_sim::RunReport;
+use harmony_trace::base_workload;
+
+fn main() {
+    let jobs = base_workload();
+    // (label, app, dataset, hyper-parameter index). The paper's "16K"
+    // and "8K" class counts map to a heavier and a lighter MLR variant.
+    let cases = [
+        ("mlr-16k", AppKind::Mlr, "synthetic", 9),
+        ("mlr-8k", AppKind::Mlr, "synthetic", 4),
+        ("lda-pubmed", AppKind::Lda, "pubmed", 5),
+        ("lda-nytimes", AppKind::Lda, "nytimes", 5),
+    ];
+    let mut table = TextTable::new(["workload", "cpu util", "net util", "runs"]);
+    for (label, app, dataset, h) in cases {
+        let spec = jobs
+            .iter()
+            .find(|j| j.app == app && j.dataset == dataset && j.name.ends_with(&format!("h{h}")))
+            .expect("case exists in the base workload")
+            .clone();
+        let mut cpu = OnlineStats::new();
+        let mut net = OnlineStats::new();
+        for seed in 0..10u64 {
+            let mut cfg = isolated_config(16);
+            cfg.fixed_dop = Some(16);
+            cfg.seed = seed;
+            let report: RunReport = run(cfg, vec![spec.clone()]);
+            cpu.observe(report.avg_cpu_util(16));
+            net.observe(report.avg_net_util(16));
+        }
+        table.row([
+            label.to_string(),
+            format!("{:.1}% ± {:.1}", cpu.mean() * 100.0, cpu.std_err() * 100.0),
+            format!("{:.1}% ± {:.1}", net.mean() * 100.0, net.std_err() * 100.0),
+            "10".to_string(),
+        ]);
+    }
+    println!("Figure 2: single-job resource utilization on 16 machines (DoP 16)\n");
+    println!("{table}");
+    println!(
+        "Paper finding reproduced when: every row leaves substantial idle \
+         resources (neither column near 100%), and the CPU:network ratio \
+         varies across workloads."
+    );
+}

@@ -1,0 +1,104 @@
+//! Figure 5: naive co-location (contention) vs Harmony's multiplexing
+//! (speedup) for two jobs sharing machines.
+//!
+//! Two complementary jobs share 8 machines under (a) the naive
+//! discipline — every subtask dispatches immediately and contends — and
+//! (b) Harmony's subtask discipline — one COMP at a time, COMM
+//! pipelined. Reports per-job iteration periods and the total time for
+//! both jobs, the quantity Figure 5 illustrates.
+
+use harmony_bench::run;
+use harmony_metrics::TextTable;
+use harmony_sim::{ascii_gantt, to_chrome_trace, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony_trace::base_workload;
+
+fn main() {
+    let jobs = base_workload();
+    // A CPU-heavy and a network-heavy job of similar iteration time.
+    let a = jobs
+        .iter()
+        .find(|j| j.name == "nmf-netflix64x-h4")
+        .expect("exists")
+        .clone();
+    let b = jobs
+        .iter()
+        .find(|j| j.name == "lda-pubmed-h2")
+        .expect("exists")
+        .clone();
+    println!(
+        "jobs: A={} (Tcpu@8={:.0}s, Tnet={:.0}s), B={} (Tcpu@8={:.0}s, Tnet={:.0}s)\n",
+        a.name,
+        a.comp_time_at(8),
+        a.net_cost,
+        b.name,
+        b.comp_time_at(8),
+        b.net_cost
+    );
+
+    let mut table = TextTable::new(["discipline", "iter A (s)", "iter B (s)", "both done (min)"]);
+    for (label, kind, discipline) in [
+        (
+            "naive co-location",
+            SchedulerKind::Naive {
+                jobs_per_group: 2,
+                seed: 0,
+            },
+            None,
+        ),
+        (
+            "harmony multiplexing",
+            SchedulerKind::Naive {
+                jobs_per_group: 2,
+                seed: 0,
+            },
+            Some((1usize, 2usize)),
+        ),
+    ] {
+        let cfg = SimConfig {
+            machines: 8,
+            scheduler: kind,
+            reload: ReloadPolicy::StaticFit,
+            fixed_dop: Some(8),
+            discipline_override: discipline,
+            straggler_cv: 0.0,
+            record_spans: true,
+            ..SimConfig::default()
+        };
+        let report = run(cfg, vec![a.clone(), b.clone()]);
+        // Show the first few iterations as a Gantt chart (Figure 5's
+        // illustration, from real execution) and save a Chrome trace.
+        let horizon = report.makespan * 0.12;
+        let early: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.end <= horizon)
+            .cloned()
+            .collect();
+        println!("--- {label}: first iterations (C = COMP, n = PULL/PUSH) ---");
+        print!("{}", ascii_gantt(&early, 72));
+        let trace_path = std::env::temp_dir().join(format!(
+            "harmony-fig05-{}.trace.json",
+            label.replace(' ', "-")
+        ));
+        if std::fs::write(&trace_path, to_chrome_trace(&report.spans)).is_ok() {
+            println!("(full chrome trace: {})\n", trace_path.display());
+        }
+        let per_iter: Vec<f64> = report
+            .jobs
+            .iter()
+            .map(|j| j.jct.unwrap_or(f64::NAN) / j.iterations.max(1) as f64)
+            .collect();
+        table.row([
+            label.to_string(),
+            format!("{:.1}", per_iter[0]),
+            format!("{:.1}", per_iter[1]),
+            format!("{:.1}", report.makespan / 60.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper finding reproduced when: the multiplexed schedule finishes \
+         both jobs sooner than the contended one (Figure 5's 'speedup' \
+         arrow)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 9: key characteristics of the 80-job evaluation workload at
+//! DoP 16 — the CDFs of (a) iteration time and (b) the
+//! computation-to-iteration-time ratio.
+
+use harmony_metrics::{Cdf, TextTable};
+use harmony_trace::base_workload;
+
+fn main() {
+    let jobs = base_workload();
+    let iter_minutes: Cdf = jobs.iter().map(|j| j.iter_time_at(16) / 60.0).collect();
+    let ratios: Cdf = jobs.iter().map(|j| j.comp_ratio_at(16)).collect();
+
+    println!("Figure 9a: CDF of iteration time at DoP 16 (minutes)\n");
+    let mut t = TextTable::new(["iteration time (min)", "cumulative jobs"]);
+    for (cut, frac) in iter_minutes.binned(10) {
+        t.row([
+            format!("{cut:.1}"),
+            format!("{:.0}", frac * jobs.len() as f64),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Figure 9b: CDF of computation-time ratio at DoP 16\n");
+    let mut t = TextTable::new(["comp / iteration ratio", "cumulative jobs"]);
+    for (cut, frac) in ratios.binned(10) {
+        t.row([
+            format!("{cut:.2}"),
+            format!("{:.0}", frac * jobs.len() as f64),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "summary: iteration time median {:.1} min (max {:.1}); comp ratio \
+         median {:.2}, spread [{:.2}, {:.2}]",
+        iter_minutes.median().unwrap_or(0.0),
+        iter_minutes.max().unwrap_or(0.0),
+        ratios.median().unwrap_or(0.0),
+        ratios.min().unwrap_or(0.0),
+        ratios.max().unwrap_or(0.0),
+    );
+    println!(
+        "\nPaper finding reproduced when: iteration times concentrate below \
+         ~20 minutes and the computation ratio spreads broadly across (0, 1)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 11: cluster CPU and network utilization over time for Harmony
+//! and the isolated baseline running the 80-job workload.
+//!
+//! Prints both timelines re-bucketed into 5% of-makespan windows, plus
+//! the run-average utilizations and their ratio (the paper's "1.65×
+//! higher than the isolated approach").
+
+use harmony_bench::{base_specs, harmony_config, isolated_config, run, MACHINES};
+use harmony_metrics::TextTable;
+
+fn main() {
+    let specs = base_specs();
+    let iso = run(isolated_config(MACHINES), specs.clone());
+    let har = run(harmony_config(MACHINES), specs);
+
+    let mut table = TextTable::new([
+        "time (min)",
+        "isolated cpu",
+        "isolated net",
+        "harmony cpu",
+        "harmony net",
+    ]);
+    let horizon = iso.makespan.max(har.makespan);
+    let bucket = horizon / 20.0;
+    let mut t = 0.0;
+    while t < horizon {
+        let fmt = |v: Option<f64>| {
+            v.map(|x| format!("{:.0}%", x * 100.0))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        table.row([
+            format!("{:.0}", t / 60.0),
+            fmt(iso.cpu_timeline.mean_in(t, t + bucket)),
+            fmt(iso.net_timeline.mean_in(t, t + bucket)),
+            fmt(har.cpu_timeline.mean_in(t, t + bucket)),
+            fmt(har.net_timeline.mean_in(t, t + bucket)),
+        ]);
+        t += bucket;
+    }
+    println!("Figure 11: utilization timelines (makespans marked by '-' once finished)\n");
+    println!("{table}");
+
+    let iso_cpu = iso.avg_cpu_util(MACHINES);
+    let iso_net = iso.avg_net_util(MACHINES);
+    let har_cpu = har.avg_cpu_util(MACHINES);
+    let har_net = har.avg_net_util(MACHINES);
+    println!(
+        "averages: isolated cpu {:.1}% net {:.1}% (makespan {:.0} min); \
+         harmony cpu {:.1}% net {:.1}% (makespan {:.0} min)",
+        iso_cpu * 100.0,
+        iso_net * 100.0,
+        iso.makespan / 60.0,
+        har_cpu * 100.0,
+        har_net * 100.0,
+        har.makespan / 60.0
+    );
+    println!(
+        "utilization improvement: cpu {:.2}x, net {:.2}x, combined {:.2}x \
+         (paper: up to 1.65x; averages 93.2% cpu / 83.1% net)",
+        har_cpu / iso_cpu,
+        har_net / iso_net,
+        (har_cpu + har_net) / (iso_cpu + iso_net)
+    );
+    println!(
+        "\nPaper finding reproduced when: Harmony's curves sit well above the \
+         isolated ones with less fluctuation, both decline near the end as \
+         the job pool drains, and Harmony finishes far earlier."
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 13: accuracy of the performance model.
+//!
+//! (a) Error sensitivity: inject relative error into every profile the
+//!     scheduler sees and watch the speedups degrade (the paper: >90%
+//!     of the benefit is retained below ~7.5% error, then performance
+//!     falls quickly).
+//! (b) Prediction error: compare predicted group iteration time and
+//!     utilization against realized values for every grouping decision
+//!     of the run (the paper: below 5% at all times).
+
+use harmony_bench::{base_specs, harmony_config, run, MACHINES};
+use harmony_metrics::{OnlineStats, TextTable};
+
+fn main() {
+    let specs = base_specs();
+
+    // (a) Error-sensitivity sweep, normalized to the zero-error run.
+    let mut table = TextTable::new([
+        "injected error",
+        "mean JCT (min)",
+        "makespan (min)",
+        "normalized JCT speedup",
+        "normalized makespan speedup",
+    ]);
+    let mut base = (0.0f64, 0.0f64);
+    for err_pct in [0u32, 3, 5, 8, 10, 15, 20] {
+        // Average over seeds: the injected error is resampled at every
+        // decision, so single runs are noisy.
+        let mut jct = OnlineStats::new();
+        let mut ms = OnlineStats::new();
+        for seed in 0..3u64 {
+            let mut cfg = harmony_config(MACHINES);
+            cfg.error_injection = f64::from(err_pct) / 100.0;
+            cfg.seed = seed;
+            let r = run(cfg, specs.clone());
+            jct.observe(r.mean_jct());
+            ms.observe(r.makespan);
+        }
+        if err_pct == 0 {
+            base = (jct.mean(), ms.mean());
+        }
+        table.row([
+            format!("{err_pct}%"),
+            format!("{:.0}", jct.mean() / 60.0),
+            format!("{:.0}", ms.mean() / 60.0),
+            format!("{:.2}", base.0 / jct.mean()),
+            format!("{:.2}", base.1 / ms.mean()),
+        ]);
+    }
+    println!("Figure 13a: performance vs injected profile error\n");
+    println!("{table}");
+
+    // (b) Prediction accuracy of the unperturbed run.
+    let r = run(harmony_config(MACHINES), specs);
+    let mut it_err = OnlineStats::new();
+    let mut u_err = OnlineStats::new();
+    for p in &r.predictions {
+        it_err.observe(p.iteration_error() * 100.0);
+        u_err.observe(p.util_error() * 100.0);
+    }
+    let mut table = TextTable::new(["quantity", "mean err", "min", "max", "samples"]);
+    table.row([
+        "group iteration time (Tg_itr)".to_string(),
+        format!("{:.1}%", it_err.mean()),
+        format!("{:.1}%", it_err.min().unwrap_or(0.0)),
+        format!("{:.1}%", it_err.max().unwrap_or(0.0)),
+        format!("{}", it_err.count()),
+    ]);
+    table.row([
+        "cluster utilization (U)".to_string(),
+        format!("{:.1}%", u_err.mean()),
+        format!("{:.1}%", u_err.min().unwrap_or(0.0)),
+        format!("{:.1}%", u_err.max().unwrap_or(0.0)),
+        format!("{}", u_err.count()),
+    ]);
+    println!("Figure 13b: prediction error over all scheduling decisions\n");
+    println!("{table}");
+    println!(
+        "Paper finding reproduced when: speedups stay near 1.0 for small \
+         injected errors and fall noticeably past ~7.5-10%, and the mean \
+         prediction errors are small (paper <5%; this reproduction lands \
+         slightly higher — see EXPERIMENTS.md)."
+    );
+}

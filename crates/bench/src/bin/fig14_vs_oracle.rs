@@ -1,0 +1,80 @@
+//! Figure 14 + §V-F: Harmony vs the exhaustive-search Oracle.
+//!
+//! The oracle enumerates every set partition of the jobs (and every
+//! machine split within a search budget), so — exactly as in the paper —
+//! it is only tractable on a reduced instance. We compare resource
+//! utilization, mean JCT and makespan on a 10-job / 24-machine slice of
+//! the workload, and report scheduling-decision latency for both.
+
+use harmony_bench::{base_specs, harmony_config, run};
+use harmony_core::job::JobSpec;
+use harmony_metrics::TextTable;
+use harmony_sim::SchedulerKind;
+
+fn main() {
+    // A representative 10-job slice: one variant of every Table I row,
+    // plus two extras for imbalance.
+    let base = base_specs();
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (i, j) in base.iter().enumerate() {
+        if i % 10 == 4 {
+            specs.push(j.clone()); // h4 of each of the 8 (app, dataset) rows
+        }
+    }
+    assert_eq!(specs.len(), 8);
+    // Memory-light variants (quarter-size inputs): Figure 14 compares
+    // grouping quality, so spill/GC side effects are kept out of the
+    // picture.
+    for s in &mut specs {
+        s.input_bytes /= 4;
+    }
+    let machines = 16;
+
+    let mut table = TextTable::new([
+        "scheduler",
+        "cpu util",
+        "net util",
+        "mean JCT (min)",
+        "makespan (min)",
+        "sched wall (total)",
+        "decisions",
+    ]);
+    let mut rows = Vec::new();
+    for kind in [SchedulerKind::Oracle, SchedulerKind::Harmony] {
+        let mut cfg = harmony_config(machines);
+        cfg.scheduler = kind.clone();
+        // The oracle always schedules the full job set, so Harmony's
+        // fewer-jobs preference is disabled here: Figure 14 compares
+        // grouping quality, not working-set policies.
+        cfg.scheduler_config.min_loop_improvement = 0.0;
+        let r = run(cfg, specs.clone());
+        table.row([
+            r.scheduler.clone(),
+            format!("{:.1}%", r.avg_cpu_util(machines) * 100.0),
+            format!("{:.1}%", r.avg_net_util(machines) * 100.0),
+            format!("{:.0}", r.mean_jct() / 60.0),
+            format!("{:.0}", r.makespan / 60.0),
+            format!("{:.2?}", r.sched_wall),
+            format!("{}", r.sched_invocations),
+        ]);
+        rows.push(r);
+    }
+    println!(
+        "Figure 14: Harmony vs exhaustive search (Oracle), {} jobs on {} machines\n",
+        specs.len(),
+        machines
+    );
+    println!("{table}");
+    let gap_jct = (rows[1].mean_jct() / rows[0].mean_jct() - 1.0) * 100.0;
+    let gap_ms = (rows[1].makespan / rows[0].makespan - 1.0) * 100.0;
+    println!(
+        "harmony vs oracle gap: JCT {gap_jct:+.1}%, makespan {gap_ms:+.1}% \
+         (paper: within ~2%, from the greedy preference for fewer co-located \
+         jobs)"
+    );
+    println!(
+        "\nPaper finding reproduced when: the gaps are small while Harmony's \
+         scheduling time is orders of magnitude below the oracle's \
+         (scheduling latency at scale: see sched_scalability)."
+    );
+}

@@ -1,0 +1,100 @@
+//! §V-G: dynamic data reloading micro-benchmark.
+//!
+//! 8 jobs (one per Table I row) pinned as a single co-located group on
+//! 32 machines under Harmony's subtask discipline, so the *only*
+//! variable is the reload policy — exactly the paper's setup. The
+//! fixed-α baseline is swept over α; too little spill explodes GC (and
+//! below the feasibility floor the group cannot even hold its data),
+//! too much spill pays deserialization and disk-blocked time. Harmony's
+//! per-job hill climbers settle each job on its own ratio.
+
+use harmony_bench::{base_specs, run};
+use harmony_metrics::TextTable;
+use harmony_sim::{ReloadPolicy, SchedulerKind, SimConfig};
+
+fn pinned_group_cfg(reload: ReloadPolicy) -> SimConfig {
+    SimConfig {
+        machines: 32,
+        // One shared pool of all 8 jobs with Harmony's executor
+        // discipline: grouping is pinned, only reloading varies.
+        scheduler: SchedulerKind::Naive {
+            jobs_per_group: 8,
+            seed: 0,
+        },
+        discipline_override: Some((1, 2)),
+        fixed_dop: Some(32),
+        reload,
+        straggler_cv: 0.0,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let specs: Vec<_> = base_specs()
+        .into_iter()
+        .filter(|j| j.name.ends_with("h5"))
+        .collect();
+    assert_eq!(specs.len(), 8);
+
+    let mut table = TextTable::new([
+        "reload policy",
+        "mean iteration (s)",
+        "makespan (min)",
+        "gc hours",
+        "outcome",
+    ]);
+    let mut best_fixed: Option<(f64, f64)> = None; // (alpha, iteration)
+    for alpha20 in 0..=20u32 {
+        let alpha = f64::from(alpha20) / 20.0;
+        let r = run(pinned_group_cfg(ReloadPolicy::Fixed(alpha)), specs.clone());
+        let ok = r.oom_events.is_empty() && r.completed() == 8;
+        let iter = r.mean_group_iteration;
+        if ok && best_fixed.is_none_or(|(_, it)| iter < it) {
+            best_fixed = Some((alpha, iter));
+        }
+        table.row([
+            format!("fixed alpha = {alpha:.2}"),
+            format!("{iter:.1}"),
+            format!("{:.0}", r.makespan / 60.0),
+            format!("{:.1}", r.gc_seconds / 3600.0),
+            if ok {
+                "completed".to_string()
+            } else {
+                format!("OOM ({} killed)", r.oom_events.len())
+            },
+        ]);
+    }
+    let r = run(pinned_group_cfg(ReloadPolicy::Adaptive), specs.clone());
+    let adaptive_iter = r.mean_group_iteration;
+    table.row([
+        "harmony (adaptive)".to_string(),
+        format!("{adaptive_iter:.1}"),
+        format!("{:.0}", r.makespan / 60.0),
+        format!("{:.1}", r.gc_seconds / 3600.0),
+        if r.oom_events.is_empty() {
+            "completed".to_string()
+        } else {
+            format!("OOM ({} killed)", r.oom_events.len())
+        },
+    ]);
+
+    println!("§V-G: dynamic data reloading — 8 jobs pinned on 32 machines\n");
+    println!("{table}");
+    let (best_alpha, best_iter) = best_fixed.expect("some fixed alpha completes");
+    println!(
+        "best fixed alpha = {best_alpha:.2} at {best_iter:.1} s; adaptive = \
+         {adaptive_iter:.1} s ({:+.1}% vs best fixed); adaptive alpha mean \
+         {:.2} (min {:.2}, max {:.2})",
+        (adaptive_iter / best_iter - 1.0) * 100.0,
+        r.alpha_stats.mean(),
+        r.alpha_stats.min().unwrap_or(0.0),
+        r.alpha_stats.max().unwrap_or(0.0),
+    );
+    println!(
+        "\nPaper finding reproduced when: completing fixed-alpha rows form a \
+         U (the paper's minimum: 52.9 s at alpha = 0.3; infeasibly low alpha \
+         explodes GC / OOMs), and the adaptive controller at least matches \
+         the best fixed value (paper: 44.3 s, 16.3% better) by giving each \
+         job its own ratio."
+    );
+}

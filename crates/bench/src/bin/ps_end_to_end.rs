@@ -1,0 +1,96 @@
+//! §V-B sanity check: the PS implementation trains all four ML
+//! applications end-to-end (real gradients, real models, real threads),
+//! co-located on one in-process cluster with Harmony's subtask
+//! discipline — the role Bösen parity plays in the paper.
+
+use harmony_metrics::TextTable;
+use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
+use harmony_ps::{JobBuilder, PsCluster, PsConfig};
+
+fn main() {
+    let nodes = 4;
+    let cluster = PsCluster::new(PsConfig {
+        nodes,
+        network_bytes_per_sec: None,
+    });
+
+    let mlr_data = synth::classification(400, 64, 5, 0.25, 1);
+    let mlr = JobBuilder::new("mlr")
+        .workers(synth::partition(&mlr_data, nodes).into_iter().map(|p| {
+            Box::new(Mlr::new(p, 64, 5, 0.5)) as Box<dyn PsAlgorithm>
+        }))
+        .max_iterations(40)
+        .check_every(10)
+        .build();
+
+    let lasso_data = synth::regression(400, 64, 0.3, 2);
+    let lasso = JobBuilder::new("lasso")
+        .workers(synth::partition(&lasso_data, nodes).into_iter().map(|p| {
+            Box::new(Lasso::new(p, 64, 0.05, 0.01)) as Box<dyn PsAlgorithm>
+        }))
+        .max_iterations(40)
+        .check_every(10)
+        .build();
+
+    let ratings = synth::ratings(60, 80, 12, 4, 3);
+    let nmf = JobBuilder::new("nmf")
+        .workers(synth::partition(&ratings, nodes).into_iter().map(|p| {
+            Box::new(Nmf::new(p, 80, 4, 0.05)) as Box<dyn PsAlgorithm>
+        }))
+        .max_iterations(40)
+        .check_every(10)
+        .build();
+
+    let docs = synth::bag_of_words(80, 400, 60, 5, 4);
+    let lda = JobBuilder::new("lda")
+        .workers(
+            synth::partition(&docs, nodes)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    Box::new(Lda::new(p, 400, 5, i as u64)) as Box<dyn PsAlgorithm>
+                }),
+        )
+        .max_iterations(25)
+        .check_every(5)
+        .build();
+
+    let reports = cluster.run_jobs(vec![mlr, lasso, nmf, lda]);
+
+    let mut table = TextTable::new([
+        "job",
+        "iterations",
+        "initial loss",
+        "final loss",
+        "improvement",
+        "Tcpu/iter (ms)",
+        "Tnet/iter (ms)",
+    ]);
+    for r in &reports {
+        table.row([
+            r.name.clone(),
+            r.iterations.to_string(),
+            format!("{:.4}", r.initial_loss),
+            format!("{:.4}", r.final_loss),
+            format!("{:.0}%", (1.0 - r.final_loss / r.initial_loss) * 100.0),
+            format!("{:.2}", r.mean_tcpu * 1000.0),
+            format!("{:.2}", r.mean_tnet * 1000.0),
+        ]);
+    }
+    println!("§V-B: four PS applications co-trained on one in-process cluster\n");
+    println!("{table}");
+
+    let stats = cluster.executor_stats();
+    let peak_cpu = stats.iter().map(|(c, _)| c.peak_concurrency).max().unwrap_or(0);
+    let peak_comm = stats.iter().map(|(_, n)| n.peak_concurrency).max().unwrap_or(0);
+    println!(
+        "executor discipline held: peak CPU concurrency {peak_cpu} (cap 1), \
+         peak COMM concurrency {peak_comm} (cap 2) on every node"
+    );
+    println!(
+        "\nPaper finding reproduced when: every application's loss improves \
+         under synchronous PS training while the subtask discipline holds."
+    );
+    assert!(reports.iter().all(|r| r.final_loss < r.initial_loss));
+    assert!(peak_cpu <= 1 && peak_comm <= 2);
+}

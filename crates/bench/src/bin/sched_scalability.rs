@@ -1,0 +1,84 @@
+//! §V-F: performance and scalability of the scheduling algorithm.
+//!
+//! Times one full Algorithm 1 decision on growing instances — the paper
+//! reports ~1.2 s for 80 jobs / 100 machines and < 5 s for 8K jobs on
+//! 10K machines, while the exhaustive search takes minutes to hours
+//! already at small scale.
+
+use std::time::Instant;
+
+use harmony_core::job::JobId;
+use harmony_core::oracle::OracleScheduler;
+use harmony_core::profile::JobProfile;
+use harmony_core::schedule::{Scheduler, SchedulerConfig};
+use harmony_metrics::TextTable;
+use harmony_trace::{workload_with, WorkloadParams};
+
+/// Synthetic profile population shaped like the base workload.
+fn profiles(n: usize) -> Vec<JobProfile> {
+    let per_pair = n.div_ceil(8).max(1) as u32;
+    let specs = workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    });
+    specs
+        .into_iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, s)| {
+            let mut p =
+                JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+            p.set_memory_footprint(s.input_bytes, s.model_bytes);
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut table = TextTable::new(["jobs", "machines", "scheduler", "decision time"]);
+
+    for (jobs, machines) in [
+        (80usize, 100u32),
+        (500, 1_000),
+        (2_000, 4_000),
+        (8_000, 10_000),
+    ] {
+        let ps = profiles(jobs);
+        let t0 = Instant::now();
+        let out = scheduler.schedule(&ps, machines);
+        let dt = t0.elapsed();
+        assert!(out.grouping.validate().is_ok());
+        table.row([
+            jobs.to_string(),
+            machines.to_string(),
+            "harmony".to_string(),
+            format!("{dt:.2?}"),
+        ]);
+    }
+
+    // Oracle on small instances only (Bell-number growth).
+    let oracle = OracleScheduler::default();
+    for (jobs, machines) in [(6usize, 16u32), (8, 16), (10, 16)] {
+        let ps = profiles(jobs);
+        let t0 = Instant::now();
+        let out = oracle.schedule(&ps, machines);
+        let dt = t0.elapsed();
+        assert!(out.grouping.validate().is_ok());
+        table.row([
+            jobs.to_string(),
+            machines.to_string(),
+            "oracle (exhaustive)".to_string(),
+            format!("{dt:.2?}"),
+        ]);
+    }
+
+    println!("§V-F: scheduling-algorithm latency\n");
+    println!("{table}");
+    println!(
+        "Paper finding reproduced when: Harmony's decision time stays within \
+         seconds up to 8K jobs / 10K machines while the exhaustive search \
+         grows combinatorially (the paper's oracle: 13.8 min per decision at \
+         80 jobs, ~10 h at 4K jobs)."
+    );
+}

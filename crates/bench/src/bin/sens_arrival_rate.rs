@@ -1,0 +1,68 @@
+//! §V-D (arrival rates): the base workload submitted under Poisson
+//! arrivals with mean inter-arrival time 0–8 minutes, plus the bursty
+//! trace-like process standing in for the Google cluster traces.
+//!
+//! Speedups are computed against the isolated baseline running the same
+//! arrival sequence.
+
+use harmony_bench::{base_specs, harmony_config, isolated_config, MACHINES};
+use harmony_metrics::TextTable;
+use harmony_sim::Driver;
+use harmony_trace::ArrivalProcess;
+
+fn main() {
+    let specs = base_specs();
+    let mut table = TextTable::new([
+        "arrival process",
+        "JCT speedup",
+        "makespan speedup",
+        "harmony cpu util",
+    ]);
+
+    let mut cases: Vec<(String, ArrivalProcess)> = vec![(
+        "batch (all at t=0)".to_string(),
+        ArrivalProcess::Batch,
+    )];
+    for mean_min in [2u32, 4, 8] {
+        cases.push((
+            format!("poisson mean {mean_min} min"),
+            ArrivalProcess::Poisson {
+                mean_secs: f64::from(mean_min) * 60.0,
+                seed: 11,
+            },
+        ));
+    }
+    // Several bursty traces (the paper extracts 10 windows; we average 3
+    // seeds to bound runtime).
+    for seed in [1u64, 2, 3] {
+        cases.push((
+            format!("bursty trace #{seed}"),
+            ArrivalProcess::Bursty {
+                burst_mean: 5.0,
+                gap_scale_secs: 240.0,
+                seed,
+            },
+        ));
+    }
+
+    for (label, process) in cases {
+        let arrivals = process.generate(specs.len());
+        let iso = Driver::run(isolated_config(MACHINES), specs.clone(), arrivals.clone());
+        let har = Driver::run(harmony_config(MACHINES), specs.clone(), arrivals);
+        table.row([
+            label,
+            format!("{:.2}", iso.mean_jct() / har.mean_jct()),
+            format!("{:.2}", iso.makespan / har.makespan),
+            format!("{:.1}%", har.avg_cpu_util(MACHINES) * 100.0),
+        ]);
+    }
+    println!("§V-D: workload sensitivity to job arrival rates\n");
+    println!("{table}");
+    println!(
+        "Paper finding reproduced when: speedups degrade only slightly as \
+         the mean inter-arrival grows (fewer concurrent jobs to multiplex; \
+         the paper: 2.11x/1.60x at batch falling to 2.01x/1.56x at 8 min), \
+         and the bursty traces stay near the batch numbers (paper: \
+         2.02x/1.57x on Google-trace arrivals)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Error type for scheduler-facing APIs.
+
+use std::fmt;
+
+use crate::job::JobId;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors returned by the Harmony scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A scheduling request referenced a job with no stored profile.
+    UnknownJob(JobId),
+    /// A scheduling request was made against a cluster with no machines.
+    NoMachines,
+    /// Fewer machines are available than job groups require (each group
+    /// needs at least one machine).
+    InsufficientMachines {
+        /// Number of groups that must each receive a machine.
+        groups: usize,
+        /// Machines actually available.
+        machines: usize,
+    },
+    /// A job was found in a state that does not permit the requested
+    /// transition (e.g., pausing a job that is not running).
+    InvalidStateTransition {
+        /// Job whose transition was rejected.
+        job: JobId,
+        /// Human-readable description of the rejected transition.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownJob(id) => write!(f, "no profile stored for job {id}"),
+            Error::NoMachines => write!(f, "cluster has no machines"),
+            Error::InsufficientMachines { groups, machines } => write!(
+                f,
+                "cannot allocate {groups} job groups across {machines} machines"
+            ),
+            Error::InvalidStateTransition { job, detail } => {
+                write!(f, "invalid state transition for job {job}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownJob(JobId::new(7));
+        assert_eq!(e.to_string(), "no profile stored for job J7");
+        let e = Error::InsufficientMachines {
+            groups: 4,
+            machines: 2,
+        };
+        assert!(e.to_string().contains("4 job groups"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,313 @@
+//! Exhaustive-search "Oracle" scheduler (§V-F).
+//!
+//! The evaluation compares Harmony's greedy heuristic to the ground
+//! truth found by measuring *all possible* groupings. We enumerate every
+//! set partition of the job list (Bell-number growth) and, for each
+//! partition, every machine allocation when the composition space is
+//! small (falling back to the same greedy machine allocation the
+//! scheduler uses once the space exceeds a search budget — the paper's
+//! oracle, too, is only tractable on small instances: 4K jobs × 10K
+//! machines already took ~10 hours).
+
+use crate::cluster::MachineId;
+use crate::group::{GroupId, Grouping, JobGroup};
+use crate::job::JobId;
+use crate::model::{cluster_utilization, Utilization};
+use crate::profile::JobProfile;
+use crate::schedule::{ScheduleOutcome, SchedulerConfig};
+
+/// Exhaustive-search scheduler used as evaluation ground truth.
+#[derive(Debug, Clone)]
+pub struct OracleScheduler {
+    cfg: SchedulerConfig,
+    /// Maximum machine-composition states explored per partition before
+    /// falling back to greedy machine allocation.
+    composition_budget: usize,
+}
+
+impl Default for OracleScheduler {
+    fn default() -> Self {
+        Self {
+            cfg: SchedulerConfig::default(),
+            composition_budget: 200_000,
+        }
+    }
+}
+
+impl OracleScheduler {
+    /// Creates an oracle using `cfg`'s scoring weights.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            cfg,
+            composition_budget: 200_000,
+        }
+    }
+
+    /// Maximum job count accepted (Bell(12) ≈ 4.2M partitions).
+    pub const MAX_JOBS: usize = 12;
+
+    /// Finds the utilization-maximizing grouping by exhaustive search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`Self::MAX_JOBS`] jobs are given — the
+    /// partition space would be intractable, which is precisely the
+    /// paper's point in §V-F.
+    pub fn schedule(&self, jobs: &[JobProfile], machines: u32) -> ScheduleOutcome {
+        assert!(
+            jobs.len() <= Self::MAX_JOBS,
+            "oracle search is limited to {} jobs (got {}); use Scheduler instead",
+            Self::MAX_JOBS,
+            jobs.len()
+        );
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
+            };
+        }
+
+        let mut best: Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)> = None;
+        let mut partition = vec![0usize; jobs.len()];
+        self.visit_at(jobs, machines, &mut partition, 0, 1, &mut best);
+        let (groups, alloc, utilization, _) = best.expect("non-empty job set has partitions");
+
+        let mut grouping = Grouping::new();
+        let mut next = 0u32;
+        let mut predicted = Vec::new();
+        for (gi, (members, m)) in groups.iter().zip(&alloc).enumerate() {
+            let ids: Vec<MachineId> = (next..next + m).map(MachineId::new).collect();
+            next += m;
+            let job_ids: Vec<JobId> = members.iter().map(|&i| jobs[i].job()).collect();
+            let profs: Vec<&JobProfile> = members.iter().map(|&i| &jobs[i]).collect();
+            predicted.push(crate::model::group_iteration_time(&profs, *m));
+            grouping.push(JobGroup::new(GroupId::new(gi as u32), job_ids, ids));
+        }
+        ScheduleOutcome {
+            grouping,
+            utilization,
+            unscheduled: Vec::new(),
+            predicted_iteration: predicted,
+        }
+    }
+
+    /// Recursively enumerates set partitions in restricted-growth-string
+    /// form: job `idx` may join any existing block or open a new one.
+    fn visit_at(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        assign: &mut Vec<usize>,
+        idx: usize,
+        blocks: usize,
+        best: &mut Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)>,
+    ) {
+        if idx == jobs.len() {
+            if blocks as u32 > machines {
+                return; // each group needs a machine
+            }
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); blocks];
+            for (j, &b) in assign.iter().enumerate() {
+                groups[b].push(j);
+            }
+            self.evaluate_partition(jobs, machines, &groups, best);
+            return;
+        }
+        let max_block = if idx == 0 { 0 } else { blocks };
+        for b in 0..=max_block.min(blocks) {
+            let new_blocks = blocks.max(b + 1);
+            assign[idx] = b;
+            self.visit_at(jobs, machines, assign, idx + 1, new_blocks, best);
+        }
+    }
+
+    fn evaluate_partition(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        groups: &[Vec<usize>],
+        best: &mut Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)>,
+    ) {
+        let ng = groups.len();
+        let states = composition_count(machines, ng as u32);
+        let allocations: Vec<Vec<u32>> = if states <= self.composition_budget as u128 {
+            enumerate_compositions(machines, ng as u32)
+        } else {
+            vec![greedy_alloc(jobs, groups, machines)]
+        };
+        for alloc in allocations {
+            let refs: Vec<(Vec<&JobProfile>, u32)> = groups
+                .iter()
+                .zip(&alloc)
+                .map(|(members, m)| (members.iter().map(|&i| &jobs[i]).collect(), *m))
+                .collect();
+            let u = cluster_utilization(&refs);
+            let score = u.score(self.cfg.cpu_weight);
+            let better = match best {
+                None => true,
+                Some((bg, _, _, bs)) => {
+                    score > *bs + 1e-12 || (score > *bs - 1e-12 && ng < bg.len())
+                }
+            };
+            if better {
+                *best = Some((groups.to_vec(), alloc, u, score));
+            }
+        }
+    }
+}
+
+/// Number of compositions of `m` into `k` positive parts:
+/// `C(m-1, k-1)`, saturating.
+fn composition_count(m: u32, k: u32) -> u128 {
+    if k == 0 || k > m {
+        return 0;
+    }
+    let mut result: u128 = 1;
+    let n = u128::from(m - 1);
+    let r = u128::from(k - 1).min(n - u128::from(k - 1));
+    for i in 0..r {
+        result = result.saturating_mul(n - i) / (i + 1);
+        if result > u128::from(u64::MAX) {
+            return u128::MAX;
+        }
+    }
+    result
+}
+
+/// Enumerates all compositions of `m` into `k` positive parts.
+fn enumerate_compositions(m: u32, k: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k as usize);
+    fn rec(m: u32, k: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if k == 1 {
+            current.push(m);
+            out.push(current.clone());
+            current.pop();
+            return;
+        }
+        for part in 1..=(m - (k - 1)) {
+            current.push(part);
+            rec(m - part, k - 1, current, out);
+            current.pop();
+        }
+    }
+    if k >= 1 && k <= m {
+        rec(m, k, &mut current, &mut out);
+    }
+    out
+}
+
+/// Greedy machine allocation mirroring the main scheduler's (used when
+/// the composition space exceeds the budget).
+fn greedy_alloc(jobs: &[JobProfile], groups: &[Vec<usize>], machines: u32) -> Vec<u32> {
+    let ng = groups.len();
+    let mut alloc = vec![1u32; ng];
+    let mut remaining = machines - ng as u32;
+    let sums: Vec<(f64, f64)> = groups
+        .iter()
+        .map(|members| {
+            let cpu: f64 = members.iter().map(|&i| jobs[i].tcpu_at(1)).sum();
+            let net: f64 = members.iter().map(|&i| jobs[i].tnet()).sum();
+            (cpu, net)
+        })
+        .collect();
+    while remaining > 0 {
+        let gi = (0..ng)
+            .max_by(|&a, &b| {
+                let need = |g: usize| sums[g].0 / f64::from(alloc[g]) - sums[g].1;
+                need(a).partial_cmp(&need(b)).expect("finite")
+            })
+            .expect("ng >= 1");
+        alloc[gi] += 1;
+        remaining -= 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Scheduler;
+
+    fn prof(i: u64, tcpu1: f64, tnet: f64) -> JobProfile {
+        JobProfile::from_reference(JobId::new(i), tcpu1, tnet)
+    }
+
+    #[test]
+    fn composition_counts() {
+        assert_eq!(composition_count(4, 2), 3); // (1,3),(2,2),(3,1)
+        assert_eq!(composition_count(5, 1), 1);
+        assert_eq!(composition_count(3, 4), 0);
+        assert_eq!(composition_count(10, 3), 36);
+    }
+
+    #[test]
+    fn compositions_enumerate_exactly() {
+        let cs = enumerate_compositions(4, 2);
+        assert_eq!(cs.len(), 3);
+        for c in &cs {
+            assert_eq!(c.iter().sum::<u32>(), 4);
+            assert!(c.iter().all(|&x| x >= 1));
+        }
+    }
+
+    #[test]
+    fn oracle_finds_obviously_best_pairing() {
+        // Two complementary pairs: oracle must co-locate (cpu, net) pairs.
+        let jobs = vec![
+            prof(0, 12.0, 2.0),
+            prof(1, 2.0, 8.0),
+            prof(2, 12.0, 2.0),
+            prof(3, 2.0, 8.0),
+        ];
+        let out = OracleScheduler::default().schedule(&jobs, 4);
+        // Mixed pairs at DoP 2 reach U = (0.7 cpu, 1.0 net): score 0.79.
+        assert!(out.utilization.score(0.7) > 0.75, "{:?}", out.utilization);
+        // Every group should mix a CPU-heavy with a net-heavy job.
+        for g in out.grouping.groups() {
+            if g.jobs().len() == 2 {
+                let heavy = g.jobs().iter().filter(|j| j.index() % 2 == 0).count();
+                assert_eq!(heavy, 1, "{}", out.grouping);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_at_least_as_good_as_heuristic() {
+        let jobs: Vec<JobProfile> = (0..6)
+            .map(|i| prof(i, 4.0 + (i * 11 % 17) as f64, 1.0 + (i * 5 % 7) as f64))
+            .collect();
+        let machines = 8;
+        let heuristic = Scheduler::default().schedule_exact(&jobs, machines);
+        let oracle = OracleScheduler::default().schedule(&jobs, machines);
+        assert!(
+            oracle.utilization.score(0.7) >= heuristic.utilization.score(0.7) - 1e-9,
+            "oracle {:?} vs heuristic {:?}",
+            oracle.utilization,
+            heuristic.utilization
+        );
+    }
+
+    #[test]
+    fn oracle_allocates_every_machine_at_most_once() {
+        let jobs: Vec<JobProfile> = (0..4).map(|i| prof(i, 6.0, 3.0)).collect();
+        let out = OracleScheduler::default().schedule(&jobs, 6);
+        assert!(out.grouping.validate().is_ok());
+        assert!(out.grouping.total_machines() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn oracle_rejects_large_job_sets() {
+        let jobs: Vec<JobProfile> = (0..13).map(|i| prof(i, 1.0, 1.0)).collect();
+        let _ = OracleScheduler::default().schedule(&jobs, 13);
+    }
+
+    #[test]
+    fn oracle_empty_inputs() {
+        let out = OracleScheduler::default().schedule(&[], 4);
+        assert!(out.grouping.is_empty());
+    }
+}

@@ -1,0 +1,580 @@
+//! Dynamic job regrouping (§IV-B4).
+//!
+//! Scheduling is re-triggered when (1) a new job finishes profiling or
+//! (2) a running job completes. To bound migration overhead, the
+//! regrouper always looks for the decision that moves the fewest jobs:
+//!
+//! - **Arrival**: the new job is considered only when no other
+//!   profiled/paused jobs are queued (their existence means the current
+//!   grouping already satisfies Harmony). It joins the existing group
+//!   that maximizes cluster utilization `U`, or keeps waiting when no
+//!   placement improves `U` by at least the benefit threshold.
+//! - **Completion**: the finished job's group must be re-balanced. The
+//!   regrouper first looks for one *similar* profiled/paused job (both
+//!   iteration time and comp/comm ratio within 5%), then for a *bunch*
+//!   of jobs whose summed iteration time and summed-ratio match within
+//!   5%, and only then escalates to partial rescheduling over a growing
+//!   set of involved groups, preferring decisions that involve fewer
+//!   jobs unless a larger decision is ≥ 5% better.
+
+use crate::group::{GroupId, Grouping};
+use crate::job::JobId;
+use crate::model::{cluster_utilization, Utilization};
+use crate::profile::ProfileStore;
+use crate::schedule::{ScheduleOutcome, Scheduler};
+
+/// The master's view of cluster state handed to the regrouper.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// Total machines in the cluster.
+    pub machines: u32,
+    /// Grouping currently running.
+    pub grouping: Grouping,
+    /// Jobs whose profiling just finished, not yet placed.
+    pub profiled: Vec<JobId>,
+    /// Jobs paused during earlier migrations.
+    pub paused: Vec<JobId>,
+}
+
+/// A regrouping decision, ordered from cheapest to most disruptive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegroupDecision {
+    /// Keep everything as is (benefit below threshold, or the job waits).
+    NoChange,
+    /// Add one waiting job to an existing group; nothing migrates.
+    AddToGroup {
+        /// The job to start in the group.
+        job: JobId,
+        /// The receiving group.
+        group: GroupId,
+    },
+    /// Back-fill the group that lost a finished job with waiting jobs of
+    /// equivalent resource shape; nothing else migrates.
+    ReplaceFinished {
+        /// Group that the finished job left.
+        group: GroupId,
+        /// Waiting jobs that take its place.
+        add: Vec<JobId>,
+    },
+    /// Re-run Algorithm 1 over the jobs of `involved_groups` plus all
+    /// waiting jobs; other groups are untouched. The new grouping spans
+    /// exactly the machines owned by the involved groups.
+    PartialReschedule {
+        /// Groups dissolved by this decision.
+        involved_groups: Vec<GroupId>,
+        /// The replacement grouping for those machines.
+        outcome: ScheduleOutcome,
+    },
+}
+
+/// Stateless regrouping policy around a [`Scheduler`].
+#[derive(Debug, Clone, Default)]
+pub struct Regrouper {
+    scheduler: Scheduler,
+}
+
+impl Regrouper {
+    /// Creates a regrouper using the given scheduler (and its
+    /// improvement threshold).
+    pub fn new(scheduler: Scheduler) -> Self {
+        Self { scheduler }
+    }
+
+    /// Relative difference `|a - b| / max(|b|, ε)`.
+    fn rel_diff(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-12)
+    }
+
+    /// Cluster utilization of a grouping under `profiles`. Jobs without
+    /// a (warm) profile — e.g. still-profiling piggybackers — are
+    /// skipped: the model cannot see them yet.
+    fn utilization_of(&self, grouping: &Grouping, profiles: &ProfileStore) -> Utilization {
+        let groups: Vec<_> = grouping
+            .groups()
+            .iter()
+            .filter(|g| !g.jobs().is_empty())
+            .map(|g| {
+                let profs: Vec<_> = g
+                    .jobs()
+                    .iter()
+                    .filter_map(|&j| profiles.get(j))
+                    .collect();
+                (profs, g.dop())
+            })
+            .collect();
+        cluster_utilization(&groups)
+    }
+
+    /// Handles a job that just finished profiling (case 1 of §IV-B4).
+    pub fn on_job_profiled(
+        &self,
+        view: &ClusterView,
+        profiles: &ProfileStore,
+        job: JobId,
+    ) -> RegroupDecision {
+        // If the cluster runs nothing yet, schedule everything waiting.
+        if view.grouping.is_empty() {
+            let mut ids: Vec<JobId> = view.profiled.clone();
+            ids.extend(view.paused.iter().copied());
+            if !ids.contains(&job) {
+                ids.push(job);
+            }
+            let jobs: Vec<_> = ids
+                .iter()
+                .filter_map(|&j| profiles.get(j).cloned())
+                .collect();
+            let outcome = self.scheduler.schedule(&jobs, view.machines);
+            if outcome.grouping.is_empty() {
+                return RegroupDecision::NoChange;
+            }
+            return RegroupDecision::PartialReschedule {
+                involved_groups: Vec::new(),
+                outcome,
+            };
+        }
+
+        // "The scheduler handles the job only when there is no other
+        // profiled/paused job" — those jobs' existence means Harmony is
+        // already satisfied with the running set.
+        let others_waiting = view
+            .profiled
+            .iter()
+            .chain(view.paused.iter())
+            .any(|&j| j != job);
+        if others_waiting {
+            return RegroupDecision::NoChange;
+        }
+
+        let threshold = self.scheduler.config().improvement_threshold;
+        let base = self
+            .utilization_of(&view.grouping, profiles)
+            .score(self.scheduler.config().cpu_weight);
+
+        let mut best: Option<(GroupId, f64)> = None;
+        for g in view.grouping.groups() {
+            let mut candidate = view.grouping.clone();
+            candidate
+                .group_mut(g.id())
+                .expect("group exists")
+                .push_job(job);
+            let score = self
+                .utilization_of(&candidate, profiles)
+                .score(self.scheduler.config().cpu_weight);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((g.id(), score));
+            }
+        }
+        match best {
+            Some((group, score)) if score > base * (1.0 + threshold) || base == 0.0 => {
+                RegroupDecision::AddToGroup { job, group }
+            }
+            _ => RegroupDecision::NoChange,
+        }
+    }
+
+    /// Handles a job completion (case 2 of §IV-B4). `group` is the group
+    /// the finished job belonged to; `view.grouping` must already have
+    /// the job removed.
+    pub fn on_job_finished(
+        &self,
+        view: &ClusterView,
+        profiles: &ProfileStore,
+        finished_iter_time: f64,
+        finished_ratio: f64,
+        group: GroupId,
+    ) -> RegroupDecision {
+        let Some(g) = view.grouping.group(group) else {
+            return RegroupDecision::NoChange;
+        };
+        let dop = g.dop().max(1);
+        let waiting: Vec<JobId> = view
+            .profiled
+            .iter()
+            .chain(view.paused.iter())
+            .copied()
+            .collect();
+
+        // Step 1: a single similar job (iteration time and comp/comm
+        // ratio both within 5%).
+        for &cand in &waiting {
+            let Some(p) = profiles.get(cand) else { continue };
+            if !p.is_warm() {
+                continue;
+            }
+            let it = p.iter_time_at(dop);
+            let ratio = p.comp_comm_ratio_at(dop);
+            if Self::rel_diff(it, finished_iter_time) <= 0.05
+                && Self::rel_diff(ratio, finished_ratio) <= 0.05
+            {
+                return RegroupDecision::ReplaceFinished {
+                    group,
+                    add: vec![cand],
+                };
+            }
+        }
+
+        // Step 2: a bunch of smaller jobs whose summed iteration time
+        // and ratio-of-sums approximate the finished job.
+        if let Some(bunch) = self.find_bunch(&waiting, profiles, dop, finished_iter_time, finished_ratio)
+        {
+            return RegroupDecision::ReplaceFinished { group, add: bunch };
+        }
+
+        // Step 3: escalate to partial rescheduling with a growing set of
+        // involved groups, smallest-involvement first.
+        self.escalate(view, profiles, group, &waiting)
+    }
+
+    /// Greedy subset construction for the "bunch of jobs with equivalent
+    /// characteristics" replacement.
+    fn find_bunch(
+        &self,
+        waiting: &[JobId],
+        profiles: &ProfileStore,
+        dop: u32,
+        target_iter: f64,
+        target_ratio: f64,
+    ) -> Option<Vec<JobId>> {
+        let mut cands: Vec<(JobId, f64, f64, f64)> = waiting
+            .iter()
+            .filter_map(|&j| {
+                let p = profiles.get(j)?;
+                if !p.is_warm() {
+                    return None;
+                }
+                Some((j, p.iter_time_at(dop), p.tcpu_at(dop), p.tnet()))
+            })
+            .collect();
+        if cands.len() < 2 {
+            return None;
+        }
+        // Largest-first greedy fill toward the target iteration time.
+        cands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let mut sum_iter = 0.0;
+        let mut sum_cpu = 0.0;
+        let mut sum_net = 0.0;
+        let mut chosen = Vec::new();
+        for (j, it, cpu, net) in cands {
+            if sum_iter + it <= target_iter * 1.05 {
+                sum_iter += it;
+                sum_cpu += cpu;
+                sum_net += net;
+                chosen.push(j);
+            }
+        }
+        if chosen.len() < 2 {
+            return None;
+        }
+        let ratio = if sum_net > 0.0 { sum_cpu / sum_net } else { f64::INFINITY };
+        (Self::rel_diff(sum_iter, target_iter) <= 0.05
+            && Self::rel_diff(ratio, target_ratio) <= 0.05)
+            .then_some(chosen)
+    }
+
+    fn escalate(
+        &self,
+        view: &ClusterView,
+        profiles: &ProfileStore,
+        group: GroupId,
+        waiting: &[JobId],
+    ) -> RegroupDecision {
+        let cpu_weight = self.scheduler.config().cpu_weight;
+        let threshold = self.scheduler.config().improvement_threshold;
+        let base_score = self
+            .utilization_of(&view.grouping, profiles)
+            .score(cpu_weight);
+
+        // Candidate group sets: start with {repaired group + smallest
+        // group}, then grow by the next-smallest groups.
+        let mut others: Vec<&crate::group::JobGroup> = view
+            .grouping
+            .groups()
+            .iter()
+            .filter(|g| g.id() != group)
+            .collect();
+        others.sort_by_key(|g| (g.jobs().len(), g.id().index()));
+
+        let mut best: Option<(Vec<GroupId>, ScheduleOutcome, f64, usize)> = None;
+        for extra in 0..=others.len() {
+            let mut involved: Vec<GroupId> = vec![group];
+            involved.extend(others.iter().take(extra).map(|g| g.id()));
+            let mut job_ids: Vec<JobId> = waiting.to_vec();
+            let mut machine_budget = 0u32;
+            for &gid in &involved {
+                if let Some(g) = view.grouping.group(gid) {
+                    job_ids.extend(g.jobs().iter().copied());
+                    machine_budget += g.dop();
+                }
+            }
+            if machine_budget == 0 || job_ids.is_empty() {
+                continue;
+            }
+            let jobs: Vec<_> = job_ids
+                .iter()
+                .filter_map(|&j| profiles.get(j).cloned())
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let outcome = self.scheduler.schedule(&jobs, machine_budget);
+            if outcome.grouping.is_empty() {
+                continue;
+            }
+            // Score the whole cluster: untouched groups + the proposal.
+            let mut whole: Vec<(Vec<&crate::profile::JobProfile>, u32)> = Vec::new();
+            for g in view.grouping.groups() {
+                if involved.contains(&g.id()) || g.jobs().is_empty() {
+                    continue;
+                }
+                whole.push((
+                    g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
+                    g.dop(),
+                ));
+            }
+            for g in outcome.grouping.groups() {
+                whole.push((
+                    g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
+                    g.dop(),
+                ));
+            }
+            let score = cluster_utilization(&whole).score(cpu_weight);
+            let moved = outcome.grouping.total_jobs();
+            // Prefer fewer moved jobs unless a bigger decision is ≥5%
+            // better than the current best.
+            let better = match &best {
+                None => true,
+                Some((_, _, s, m)) => {
+                    if moved <= *m {
+                        score > *s
+                    } else {
+                        score > *s * (1.0 + threshold)
+                    }
+                }
+            };
+            if better {
+                best = Some((involved, outcome, score, moved));
+            }
+        }
+        match best {
+            Some((involved, outcome, score, _))
+                if score > base_score * (1.0 + threshold) || base_score == 0.0 =>
+            {
+                RegroupDecision::PartialReschedule {
+                    involved_groups: involved,
+                    outcome,
+                }
+            }
+            _ => RegroupDecision::NoChange,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MachineId;
+    use crate::group::JobGroup;
+    use crate::profile::JobProfile;
+
+    fn prof(i: u64, tcpu1: f64, tnet: f64) -> JobProfile {
+        JobProfile::from_reference(JobId::new(i), tcpu1, tnet)
+    }
+
+    fn store(ps: &[JobProfile]) -> ProfileStore {
+        ps.iter().cloned().collect()
+    }
+
+    fn group(id: u32, jobs: &[u64], machines: std::ops::Range<u32>) -> JobGroup {
+        JobGroup::new(
+            GroupId::new(id),
+            jobs.iter().map(|&j| JobId::new(j)).collect(),
+            machines.map(MachineId::new).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_cluster_schedules_everything() {
+        let ps = vec![prof(0, 8.0, 2.0), prof(1, 2.0, 6.0)];
+        let view = ClusterView {
+            machines: 4,
+            grouping: Grouping::new(),
+            profiled: vec![JobId::new(0), JobId::new(1)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_profiled(&view, &store(&ps), JobId::new(1));
+        match d {
+            RegroupDecision::PartialReschedule { outcome, .. } => {
+                assert!(!outcome.grouping.is_empty());
+            }
+            other => panic!("expected reschedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrival_waits_when_others_are_queued() {
+        let ps = vec![prof(0, 8.0, 2.0), prof(1, 2.0, 6.0), prof(2, 4.0, 4.0)];
+        let view = ClusterView {
+            machines: 4,
+            grouping: Grouping::from_groups(vec![group(0, &[0], 0..4)]),
+            profiled: vec![JobId::new(1), JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_profiled(&view, &store(&ps), JobId::new(2));
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn arrival_joins_complementary_group() {
+        // Running job is CPU-bound at DoP 4; the arrival is net-heavy and
+        // fills the idle network, so utilization jumps.
+        let ps = vec![prof(0, 40.0, 2.0), prof(1, 2.0, 8.0)];
+        let view = ClusterView {
+            machines: 4,
+            grouping: Grouping::from_groups(vec![group(0, &[0], 0..4)]),
+            profiled: vec![JobId::new(1)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_profiled(&view, &store(&ps), JobId::new(1));
+        assert_eq!(
+            d,
+            RegroupDecision::AddToGroup {
+                job: JobId::new(1),
+                group: GroupId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn arrival_waits_when_benefit_is_small() {
+        // The running group is already balanced; adding a tiny job barely
+        // moves utilization, so the arrival keeps waiting.
+        let ps = vec![prof(0, 8.0, 2.0), prof(1, 2.0, 8.0), prof(2, 0.05, 0.05)];
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[0, 1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_profiled(&view, &store(&ps), JobId::new(2));
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn finished_job_replaced_by_similar_single() {
+        // J0 finished; J2 is waiting with nearly identical shape.
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 10.1, 2.02)];
+        let finished = prof(0, 10.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert_eq!(
+            d,
+            RegroupDecision::ReplaceFinished {
+                group: GroupId::new(0),
+                add: vec![JobId::new(2)]
+            }
+        );
+    }
+
+    #[test]
+    fn finished_job_replaced_by_bunch() {
+        // Two waiting halves sum to the finished job's shape.
+        let ps = vec![
+            prof(1, 6.0, 6.0),
+            prof(2, 5.0, 1.0),
+            prof(3, 5.0, 1.0),
+        ];
+        let finished = prof(0, 10.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2), JobId::new(3)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert_eq!(
+            d,
+            RegroupDecision::ReplaceFinished {
+                group: GroupId::new(0),
+                add: vec![JobId::new(2), JobId::new(3)]
+            }
+        );
+    }
+
+    #[test]
+    fn finished_without_candidates_may_keep_grouping() {
+        // Nothing waits, and the remaining single group is already the
+        // only choice: regrouping cannot improve, so NoChange.
+        let ps = vec![prof(1, 6.0, 6.0)];
+        let view = ClusterView {
+            machines: 2,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..2)]),
+            profiled: vec![],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            12.0,
+            1.0,
+            GroupId::new(0),
+        );
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn escalation_repairs_badly_unbalanced_groups() {
+        // Group 0 lost its net-heavy job and is now purely CPU-bound;
+        // group 1 is purely net-bound. Merging them (escalation) yields a
+        // balanced group, a clear >5% improvement.
+        let ps = vec![prof(1, 20.0, 1.0), prof(2, 1.0, 20.0)];
+        let view = ClusterView {
+            machines: 2,
+            grouping: Grouping::from_groups(vec![
+                group(0, &[1], 0..1),
+                group(1, &[2], 1..2),
+            ]),
+            profiled: vec![],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            21.0,
+            0.05,
+            GroupId::new(0),
+        );
+        match d {
+            RegroupDecision::PartialReschedule {
+                involved_groups,
+                outcome,
+            } => {
+                assert!(involved_groups.contains(&GroupId::new(0)));
+                // Algorithm 1 may legitimately schedule only the job mix
+                // that maximizes utilization and pause the rest, but every
+                // involved job must be accounted for.
+                let placed = outcome.grouping.total_jobs();
+                let waiting = outcome.unscheduled.len();
+                assert_eq!(placed + waiting, 2);
+                assert!(placed >= 1);
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Input-data blocks.
+//!
+//! Harmony "manages data as fine-grained blocks in memory and on disks"
+//! (§IV-C). A block is the unit of spill/reload; the per-job disk ratio
+//! is `α_j = B_disk_j / B_total_j`.
+
+use std::fmt;
+
+/// Unique identifier of a data block within one job's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Wraps a raw block number.
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw block number.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Where a block currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Residency {
+    /// Resident in worker memory, immediately usable by COMP subtasks.
+    Memory,
+    /// Spilled to disk; must be reloaded (and deserialized) before use.
+    Disk,
+}
+
+/// Metadata of one input-data block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    id: BlockId,
+    bytes: u64,
+    residency: Residency,
+}
+
+impl Block {
+    /// Creates a memory-resident block of `bytes` bytes.
+    pub fn new(id: BlockId, bytes: u64) -> Self {
+        Self {
+            id,
+            bytes,
+            residency: Residency::Memory,
+        }
+    }
+
+    /// The block's identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Current residency.
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    /// Whether the block is memory-resident.
+    pub fn in_memory(&self) -> bool {
+        self.residency == Residency::Memory
+    }
+
+    pub(crate) fn set_residency(&mut self, residency: Residency) {
+        self.residency = residency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_starts_in_memory() {
+        let b = Block::new(BlockId::new(0), 1024);
+        assert!(b.in_memory());
+        assert_eq!(b.bytes(), 1024);
+        assert_eq!(b.id().index(), 0);
+    }
+
+    #[test]
+    fn residency_flips() {
+        let mut b = Block::new(BlockId::new(1), 10);
+        b.set_residency(Residency::Disk);
+        assert!(!b.in_memory());
+        assert_eq!(b.residency(), Residency::Disk);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId::new(7).to_string(), "B7");
+    }
+}

@@ -1,0 +1,152 @@
+//! Analytic garbage-collection pressure model.
+//!
+//! The paper evaluates memory pressure through "GC time during
+//! execution" (§V-B) on a JVM runtime: as the resident set approaches
+//! the heap capacity, collections become frequent and expensive, slowing
+//! every computation down; exceeding capacity kills the job with OOM.
+//!
+//! We replace the JVM with a calibrated analytic model: computation is
+//! stretched by a factor that grows quadratically once memory usage
+//! crosses a pressure threshold. This reproduces the behaviour the α
+//! controller must react to — the U-shaped iteration-time-vs-α curve of
+//! §V-G — without a managed runtime.
+
+/// GC slowdown model.
+///
+/// Below `threshold` memory-usage ratio there is no penalty; between
+/// `threshold` and 1.0 the compute slowdown factor rises quadratically
+/// up to `1 + max_overhead`; above 1.0 the machine OOMs.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_mem::GcModel;
+///
+/// let gc = GcModel::default();
+/// assert_eq!(gc.slowdown(0.5), 1.0);          // no pressure
+/// assert!(gc.slowdown(0.95) > 1.5);           // heavy pressure
+/// assert!(gc.is_oom(1.01));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcModel {
+    threshold: f64,
+    max_overhead: f64,
+}
+
+impl GcModel {
+    /// Creates a model that starts charging GC overhead at the
+    /// `threshold` usage ratio and reaches `1 + max_overhead` slowdown
+    /// at 100% usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1)` or `max_overhead` is
+    /// negative.
+    pub fn new(threshold: f64, max_overhead: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "GC threshold must be in (0, 1), got {threshold}"
+        );
+        assert!(
+            max_overhead >= 0.0,
+            "max GC overhead must be non-negative, got {max_overhead}"
+        );
+        Self {
+            threshold,
+            max_overhead,
+        }
+    }
+
+    /// Usage ratio at which GC overhead starts.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Compute-slowdown multiplier (≥ 1) for a memory-usage ratio.
+    ///
+    /// `usage_ratio` is resident bytes divided by capacity. Ratios above
+    /// 1.0 are clamped for the slowdown curve — callers should check
+    /// [`GcModel::is_oom`] first.
+    pub fn slowdown(&self, usage_ratio: f64) -> f64 {
+        let r = usage_ratio.clamp(0.0, 1.0);
+        if r <= self.threshold {
+            return 1.0;
+        }
+        let x = (r - self.threshold) / (1.0 - self.threshold);
+        1.0 + self.max_overhead * x * x
+    }
+
+    /// Extra (GC) seconds charged on top of `compute_seconds` at the
+    /// given usage ratio.
+    pub fn gc_seconds(&self, compute_seconds: f64, usage_ratio: f64) -> f64 {
+        compute_seconds * (self.slowdown(usage_ratio) - 1.0)
+    }
+
+    /// Whether this usage ratio means out-of-memory.
+    pub fn is_oom(&self, usage_ratio: f64) -> bool {
+        usage_ratio > 1.0
+    }
+}
+
+impl Default for GcModel {
+    /// Threshold 0.7, max overhead 3× — calibrated so that a machine at
+    /// ~95% memory spends roughly as much time in GC as in compute,
+    /// matching the "GC explodes" regime of §V-G.
+    fn default() -> Self {
+        Self::new(0.7, 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_penalty_below_threshold() {
+        let gc = GcModel::new(0.6, 2.0);
+        for r in [0.0, 0.3, 0.6] {
+            assert_eq!(gc.slowdown(r), 1.0);
+        }
+    }
+
+    #[test]
+    fn slowdown_is_monotone_above_threshold() {
+        let gc = GcModel::default();
+        let mut prev = 1.0;
+        for i in 0..=20 {
+            let r = 0.7 + 0.3 * i as f64 / 20.0;
+            let s = gc.slowdown(r);
+            assert!(s >= prev);
+            prev = s;
+        }
+        assert!((gc.slowdown(1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_shape() {
+        let gc = GcModel::new(0.5, 4.0);
+        // Halfway through the pressure band: 1 + 4 * 0.25 = 2.
+        assert!((gc.slowdown(0.75) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gc_seconds_scale_with_compute() {
+        let gc = GcModel::new(0.5, 1.0);
+        let extra = gc.gc_seconds(10.0, 1.0);
+        assert!((extra - 10.0).abs() < 1e-12);
+        assert_eq!(gc.gc_seconds(10.0, 0.2), 0.0);
+    }
+
+    #[test]
+    fn oom_only_above_capacity() {
+        let gc = GcModel::default();
+        assert!(!gc.is_oom(1.0));
+        assert!(gc.is_oom(1.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "GC threshold")]
+    fn rejects_bad_threshold() {
+        let _ = GcModel::new(1.5, 1.0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Per-job block store with spill/reload plumbing.
+//!
+//! The store owns a job's input blocks, tracks which side (memory/disk)
+//! each lives on, and moves blocks to honor a target disk ratio α. Data
+//! movement goes through a [`SpillBackend`]:
+//!
+//! - [`NullBackend`] does pure accounting — the right choice inside the
+//!   discrete-event simulator, where time is charged analytically;
+//! - [`FileBackend`] writes real bytes to a spill directory — used by
+//!   the in-process PS runtime to exercise the true code path.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use crate::block::{Block, BlockId, Residency};
+
+/// Destination for spilled block payloads.
+///
+/// Implementations must be able to return exactly the bytes that were
+/// spilled. This trait is object-safe so stores can be backend-agnostic.
+pub trait SpillBackend: Send {
+    /// Persists `payload` for `block`, replacing any previous spill.
+    fn spill(&mut self, block: BlockId, payload: &[u8]) -> std::io::Result<()>;
+    /// Reads back a previously spilled payload.
+    fn reload(&mut self, block: BlockId) -> std::io::Result<Vec<u8>>;
+    /// Drops a spilled payload (job finished or block promoted).
+    fn discard(&mut self, block: BlockId);
+}
+
+/// Accounting-only backend: remembers payloads in a map.
+///
+/// Despite the name it does retain the bytes (so `reload` round-trips);
+/// "null" refers to it not touching any real device.
+#[derive(Debug, Default)]
+pub struct NullBackend {
+    spilled: BTreeMap<BlockId, Vec<u8>>,
+}
+
+impl NullBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of payloads currently spilled.
+    pub fn len(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Whether nothing is spilled.
+    pub fn is_empty(&self) -> bool {
+        self.spilled.is_empty()
+    }
+}
+
+impl SpillBackend for NullBackend {
+    fn spill(&mut self, block: BlockId, payload: &[u8]) -> std::io::Result<()> {
+        self.spilled.insert(block, payload.to_vec());
+        Ok(())
+    }
+
+    fn reload(&mut self, block: BlockId) -> std::io::Result<Vec<u8>> {
+        self.spilled.get(&block).cloned().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("block {block} was never spilled"),
+            )
+        })
+    }
+
+    fn discard(&mut self, block: BlockId) {
+        self.spilled.remove(&block);
+    }
+}
+
+/// Backend that spills blocks as files under a directory.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Creates the backend, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn path_of(&self, block: BlockId) -> PathBuf {
+        self.dir.join(format!("block-{}.spill", block.index()))
+    }
+}
+
+impl SpillBackend for FileBackend {
+    fn spill(&mut self, block: BlockId, payload: &[u8]) -> std::io::Result<()> {
+        let mut f = fs::File::create(self.path_of(block))?;
+        f.write_all(payload)
+    }
+
+    fn reload(&mut self, block: BlockId) -> std::io::Result<Vec<u8>> {
+        let mut f = fs::File::open(self.path_of(block))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn discard(&mut self, block: BlockId) {
+        let _ = fs::remove_file(self.path_of(block));
+    }
+}
+
+/// A job's input-data block store.
+///
+/// Payload storage is optional: the simulator builds stores with
+/// metadata only ([`BlockStore::with_metadata`]), while the PS runtime
+/// registers real payloads.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_mem::{BlockStore, NullBackend};
+///
+/// // 10 blocks of 1 MiB.
+/// let mut store = BlockStore::with_metadata(10, 1 << 20, NullBackend::new());
+/// store.set_target_alpha(0.3);
+/// let moved = store.rebalance().unwrap();
+/// assert_eq!(moved, 3);
+/// assert_eq!(store.alpha(), 0.3);
+/// ```
+pub struct BlockStore<B> {
+    blocks: Vec<Block>,
+    payloads: BTreeMap<BlockId, Vec<u8>>,
+    backend: B,
+    target_alpha: f64,
+}
+
+impl<B: SpillBackend> BlockStore<B> {
+    /// Creates a store of `count` equally sized metadata-only blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_metadata(count: usize, block_bytes: u64, backend: B) -> Self {
+        assert!(count > 0, "a block store needs at least one block");
+        let blocks = (0..count)
+            .map(|i| Block::new(BlockId::new(i as u64), block_bytes))
+            .collect();
+        Self {
+            blocks,
+            payloads: BTreeMap::new(),
+            backend,
+            target_alpha: 0.0,
+        }
+    }
+
+    /// Creates a store from real payloads (one block per payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is empty.
+    pub fn with_payloads(payloads: Vec<Vec<u8>>, backend: B) -> Self {
+        assert!(!payloads.is_empty(), "a block store needs at least one block");
+        let blocks = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Block::new(BlockId::new(i as u64), p.len() as u64))
+            .collect();
+        let payloads = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (BlockId::new(i as u64), p))
+            .collect();
+        Self {
+            blocks,
+            payloads,
+            backend,
+            target_alpha: 0.0,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store has no blocks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total bytes across all blocks.
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.iter().map(Block::bytes).sum()
+    }
+
+    /// Bytes currently resident in memory.
+    pub fn memory_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.in_memory())
+            .map(Block::bytes)
+            .sum()
+    }
+
+    /// Bytes currently on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.total_bytes() - self.memory_bytes()
+    }
+
+    /// The realized disk ratio `α = B_disk / B_total` (by block count,
+    /// matching the paper's definition).
+    pub fn alpha(&self) -> f64 {
+        let disk = self.blocks.iter().filter(|b| !b.in_memory()).count();
+        disk as f64 / self.blocks.len() as f64
+    }
+
+    /// Sets the target disk ratio; takes effect on the next
+    /// [`BlockStore::rebalance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn set_target_alpha(&mut self, alpha: f64) {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        self.target_alpha = alpha;
+    }
+
+    /// The target disk ratio.
+    pub fn target_alpha(&self) -> f64 {
+        self.target_alpha
+    }
+
+    /// Moves blocks between memory and disk until the realized block
+    /// ratio matches the target (rounded down to whole blocks). Returns
+    /// the number of blocks moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors; the store stays consistent (blocks
+    /// that failed to move keep their previous residency).
+    pub fn rebalance(&mut self) -> std::io::Result<usize> {
+        let want_disk = (self.target_alpha * self.blocks.len() as f64).floor() as usize;
+        let have_disk = self.blocks.iter().filter(|b| !b.in_memory()).count();
+        let mut moved = 0;
+        if have_disk < want_disk {
+            // Spill memory-side blocks from the back (arbitrary but
+            // deterministic order).
+            let ids: Vec<BlockId> = self
+                .blocks
+                .iter()
+                .rev()
+                .filter(|b| b.in_memory())
+                .take(want_disk - have_disk)
+                .map(Block::id)
+                .collect();
+            for id in ids {
+                self.spill_block(id)?;
+                moved += 1;
+            }
+        } else if have_disk > want_disk {
+            let ids: Vec<BlockId> = self
+                .blocks
+                .iter()
+                .filter(|b| !b.in_memory())
+                .take(have_disk - want_disk)
+                .map(Block::id)
+                .collect();
+            for id in ids {
+                self.reload_block(id)?;
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Spills one block to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns backend I/O errors. Spilling an already-disk block is a
+    /// no-op.
+    pub fn spill_block(&mut self, id: BlockId) -> std::io::Result<()> {
+        let idx = self.index_of(id)?;
+        if !self.blocks[idx].in_memory() {
+            return Ok(());
+        }
+        let payload = self.payloads.remove(&id).unwrap_or_default();
+        self.backend.spill(id, &payload)?;
+        self.blocks[idx].set_residency(Residency::Disk);
+        Ok(())
+    }
+
+    /// Reloads one block into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns backend I/O errors. Reloading a memory block is a no-op.
+    pub fn reload_block(&mut self, id: BlockId) -> std::io::Result<()> {
+        let idx = self.index_of(id)?;
+        if self.blocks[idx].in_memory() {
+            return Ok(());
+        }
+        let payload = self.backend.reload(id)?;
+        if !payload.is_empty() {
+            self.payloads.insert(id, payload);
+        }
+        self.backend.discard(id);
+        self.blocks[idx].set_residency(Residency::Memory);
+        Ok(())
+    }
+
+    /// Reads a block's payload, reloading it from disk first if needed.
+    /// Returns `None` for metadata-only blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns backend I/O errors from an implied reload.
+    pub fn read_block(&mut self, id: BlockId) -> std::io::Result<Option<&[u8]>> {
+        self.reload_block(id)?;
+        Ok(self.payloads.get(&id).map(Vec::as_slice))
+    }
+
+    /// Iterates block metadata.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// IDs of all disk-side blocks (the background preloading worklist).
+    pub fn disk_block_ids(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| !b.in_memory())
+            .map(Block::id)
+            .collect()
+    }
+
+    fn index_of(&self, id: BlockId) -> std::io::Result<usize> {
+        self.blocks
+            .iter()
+            .position(|b| b.id() == id)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("unknown block {id}"),
+                )
+            })
+    }
+}
+
+impl<B: std::fmt::Debug> std::fmt::Debug for BlockStore<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStore")
+            .field("blocks", &self.blocks.len())
+            .field("alpha", &self.target_alpha)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebalance_hits_target_alpha() {
+        let mut s = BlockStore::with_metadata(10, 100, NullBackend::new());
+        s.set_target_alpha(0.5);
+        assert_eq!(s.rebalance().unwrap(), 5);
+        assert_eq!(s.alpha(), 0.5);
+        assert_eq!(s.memory_bytes(), 500);
+        assert_eq!(s.disk_bytes(), 500);
+        // Lowering alpha reloads.
+        s.set_target_alpha(0.2);
+        assert_eq!(s.rebalance().unwrap(), 3);
+        assert_eq!(s.alpha(), 0.2);
+    }
+
+    #[test]
+    fn rebalance_is_idempotent() {
+        let mut s = BlockStore::with_metadata(8, 1, NullBackend::new());
+        s.set_target_alpha(0.25);
+        s.rebalance().unwrap();
+        assert_eq!(s.rebalance().unwrap(), 0);
+    }
+
+    #[test]
+    fn payload_roundtrip_through_spill() {
+        let payloads = vec![vec![1u8, 2, 3], vec![4u8, 5], vec![6u8]];
+        let mut s = BlockStore::with_payloads(payloads, NullBackend::new());
+        s.set_target_alpha(1.0);
+        s.rebalance().unwrap();
+        assert_eq!(s.memory_bytes(), 0);
+        let got = s.read_block(BlockId::new(0)).unwrap().unwrap().to_vec();
+        assert_eq!(got, vec![1, 2, 3]);
+        // Reading promoted the block back to memory.
+        assert!(s.iter().next().unwrap().in_memory());
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "harmony-mem-test-{}",
+            std::process::id()
+        ));
+        let backend = FileBackend::new(&dir).unwrap();
+        let mut s = BlockStore::with_payloads(vec![vec![9u8; 128]], backend);
+        s.spill_block(BlockId::new(0)).unwrap();
+        assert_eq!(s.memory_bytes(), 0);
+        let bytes = s.read_block(BlockId::new(0)).unwrap().unwrap();
+        assert_eq!(bytes, &[9u8; 128][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alpha_definition_is_block_count_based() {
+        let mut s = BlockStore::with_metadata(4, 100, NullBackend::new());
+        s.spill_block(BlockId::new(0)).unwrap();
+        assert_eq!(s.alpha(), 0.25);
+    }
+
+    #[test]
+    fn unknown_block_is_not_found() {
+        let mut s = BlockStore::with_metadata(1, 1, NullBackend::new());
+        let err = s.spill_block(BlockId::new(99)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn disk_block_ids_reflect_residency() {
+        let mut s = BlockStore::with_metadata(3, 1, NullBackend::new());
+        s.spill_block(BlockId::new(1)).unwrap();
+        assert_eq!(s.disk_block_ids(), vec![BlockId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_store_rejected() {
+        let _ = BlockStore::with_metadata(0, 1, NullBackend::new());
+    }
+}

@@ -1,0 +1,191 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The evaluation reports several CDFs: workload iteration times and
+//! computation ratios (Figure 9), and the distributions of group DoP and
+//! jobs-per-group produced by the scheduler (Figure 12).
+
+/// An empirical CDF built from a finite sample set.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any collection of samples.
+    ///
+    /// Non-finite samples (NaN, ±inf) are discarded so the ordering is
+    /// total.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite samples were filtered"));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `v` such that at least a fraction `q` of the
+    /// samples are `<= v` (the empirical `q`-quantile).
+    ///
+    /// Returns `None` when empty or when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if q == 0.0 {
+            return self.sorted.first().copied();
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted.get(rank.saturating_sub(1)).copied()
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Mean of the samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Iterates `(value, cumulative_fraction)` pairs in ascending order,
+    /// suitable for plotting the CDF curve or printing a figure series.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+
+    /// Renders the CDF sampled at `bins` evenly spaced cut points between
+    /// min and max, as `(cut, fraction)` rows. Useful for compact figure
+    /// output.
+    pub fn binned(&self, bins: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..=bins)
+            .map(|i| {
+                let cut = lo + span * i as f64 / bins as f64;
+                (cut, self.fraction_at_or_below(cut))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_monotone_and_bounded() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 3.0, 3.0, 9.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        let mut prev = 0.0;
+        for x in 0..12 {
+            let f = cdf.fraction_at_or_below(x as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantiles_hit_exact_samples() {
+        let cdf = Cdf::from_samples([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+    }
+
+    #[test]
+    fn ties_count_fully() {
+        let cdf = Cdf::from_samples([2.0, 2.0, 2.0, 8.0]);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let cdf = Cdf::from_samples([1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.max(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::from_samples([]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert!(cdf.binned(4).is_empty());
+    }
+
+    #[test]
+    fn points_cover_unit_interval() {
+        let cdf: Cdf = [4.0, 2.0, 6.0].into_iter().collect();
+        let pts: Vec<_> = cdf.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (2.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (6.0, 1.0));
+    }
+
+    #[test]
+    fn binned_ends_at_one() {
+        let cdf = Cdf::from_samples([0.0, 1.0, 2.0, 3.0]);
+        let rows = cdf.binned(6);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.last().unwrap().1, 1.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Moving averages used to keep profiled metrics fresh.
+//!
+//! The paper (§IV-B1) keeps per-job subtask durations "updated using
+//! moving averages". We provide an exponentially weighted moving average
+//! ([`Ewma`]) for streaming updates, and a fixed-window arithmetic moving
+//! average ([`MovingAverage`]) used by the profiler when a bounded sample
+//! history is preferable (e.g., during the initial profiling iterations).
+
+/// Exponentially weighted moving average over a stream of samples.
+///
+/// A new sample `x` moves the value by `alpha * (x - value)`; higher
+/// `alpha` forgets history faster.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::Ewma;
+///
+/// let mut e = Ewma::new(0.25);
+/// assert_eq!(e.value(), None);
+/// e.observe(8.0);
+/// e.observe(16.0); // 8 + 0.25 * (16 - 8)
+/// assert_eq!(e.value(), Some(10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not within `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Feeds one sample into the average.
+    pub fn observe(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current smoothed value, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Smoothing factor the average was created with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether at least one sample has been observed.
+    pub fn is_warm(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Resets the average to its empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+impl Default for Ewma {
+    /// An EWMA with `alpha = 0.3`, the profiler default used throughout
+    /// the reproduction.
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+/// Fixed-window arithmetic moving average.
+///
+/// Stores up to `window` recent samples in a ring and reports their mean.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::MovingAverage;
+///
+/// let mut m = MovingAverage::new(2);
+/// m.observe(1.0);
+/// m.observe(3.0);
+/// m.observe(5.0); // the first sample falls out of the window
+/// assert_eq!(m.value(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingAverage {
+    window: usize,
+    samples: Vec<f64>,
+    next: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "moving-average window must be non-zero");
+        Self {
+            window,
+            samples: Vec::with_capacity(window),
+            next: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Feeds one sample, evicting the oldest if the window is full.
+    pub fn observe(&mut self, sample: f64) {
+        if self.samples.len() < self.window {
+            self.samples.push(sample);
+            self.sum += sample;
+        } else {
+            self.sum += sample - self.samples[self.next];
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % self.window;
+        }
+    }
+
+    /// Mean of the samples currently in the window, or `None` if empty.
+    pub fn value(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Number of samples currently held (at most the window size).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window is fully populated.
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_is_exact() {
+        let mut e = Ewma::new(0.1);
+        e.observe(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_stream() {
+        let mut e = Ewma::new(0.5);
+        e.observe(100.0);
+        for _ in 0..64 {
+            e.observe(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_last_sample() {
+        let mut e = Ewma::new(1.0);
+        e.observe(5.0);
+        e.observe(9.0);
+        assert_eq!(e.value(), Some(9.0));
+    }
+
+    #[test]
+    fn ewma_reset_clears_state() {
+        let mut e = Ewma::default();
+        e.observe(1.0);
+        e.reset();
+        assert!(!e.is_warm());
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn moving_average_partial_window() {
+        let mut m = MovingAverage::new(4);
+        m.observe(2.0);
+        m.observe(4.0);
+        assert_eq!(m.value(), Some(3.0));
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn moving_average_evicts_oldest() {
+        let mut m = MovingAverage::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.observe(x);
+        }
+        assert_eq!(m.value(), Some(3.0));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn moving_average_eviction_order_is_fifo() {
+        let mut m = MovingAverage::new(2);
+        for x in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            m.observe(x);
+        }
+        assert_eq!(m.value(), Some(45.0));
+    }
+
+    #[test]
+    fn moving_average_empty_reports_none() {
+        let m = MovingAverage::new(3);
+        assert_eq!(m.value(), None);
+        assert!(m.is_empty());
+    }
+}

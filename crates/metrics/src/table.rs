@@ -1,0 +1,145 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary in `harmony-bench` prints the rows of the
+//! table/figure it regenerates; [`TextTable`] aligns them for humans while
+//! staying trivially machine-parsable (single header + space-padded
+//! columns).
+
+use std::fmt;
+
+/// A simple fixed-schema text table.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::TextTable;
+///
+/// let mut t = TextTable::new(["scheduler", "jct", "makespan"]);
+/// t.row(["isolated", "1.00", "1.00"]);
+/// t.row(["harmony", "2.11", "1.60"]);
+/// let text = t.to_string();
+/// assert!(text.contains("harmony"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant decimals, trimming noise in
+/// experiment output (`1.6049999` -> `"1.605"`).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["a", "bbbb"]);
+        t.row(["xxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "a      bbbb");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "xxxxx  1   ");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn tracks_row_count() {
+        let mut t = TextTable::new(["c"]);
+        assert!(t.is_empty());
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(1.60499), "1.605");
+        assert_eq!(fmt3(2.0), "2.000");
+    }
+}

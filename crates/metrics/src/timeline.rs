@@ -1,0 +1,178 @@
+//! Time-series of utilization samples.
+//!
+//! Figure 11 of the paper plots cluster CPU and network utilization over
+//! wall-clock time for an entire 80-job run, sampled at a 1-minute
+//! interval. [`Timeline`] accumulates such samples and can re-bucket them
+//! for display.
+
+/// One `(time, value)` sample of a time-series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample timestamp in seconds since the start of the run.
+    pub time: f64,
+    /// Sampled value (for utilization series, a fraction in `[0, 1]`).
+    pub value: f64,
+}
+
+/// An append-only time-series.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::Timeline;
+///
+/// let mut t = Timeline::new("cpu-util");
+/// t.record(0.0, 0.5);
+/// t.record(60.0, 0.9);
+/// assert_eq!(t.mean(), Some(0.7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    name: String,
+    points: Vec<TimelinePoint>,
+}
+
+impl Timeline {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Series name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` moves backwards relative to the previous sample,
+    /// which would indicate a broken clock in the caller.
+    pub fn record(&mut self, time: f64, value: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                time >= last.time,
+                "timeline '{}' time went backwards: {} -> {}",
+                self.name,
+                last.time,
+                time
+            );
+        }
+        self.points.push(TimelinePoint { time, value });
+    }
+
+    /// All samples in insertion (= time) order.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Unweighted mean of the sampled values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Time of the last sample, or `None` when empty.
+    pub fn end_time(&self) -> Option<f64> {
+        self.points.last().map(|p| p.time)
+    }
+
+    /// Mean value over samples whose time lies in `[from, to)`.
+    pub fn mean_in(&self, from: f64, to: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in &self.points {
+            if p.time >= from && p.time < to {
+                sum += p.value;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Re-buckets the series into windows of `width` seconds, averaging
+    /// the samples in each window. Returns `(window_start, mean)` rows;
+    /// empty windows are skipped.
+    pub fn rebucket(&self, width: f64) -> Vec<(f64, f64)> {
+        assert!(width > 0.0, "bucket width must be positive");
+        let mut out = Vec::new();
+        let Some(end) = self.end_time() else {
+            return out;
+        };
+        let mut start = 0.0;
+        while start <= end {
+            if let Some(mean) = self.mean_in(start, start + width) {
+                out.push((start, mean));
+            }
+            start += width;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Timeline::new("x");
+        t.record(0.0, 1.0);
+        t.record(1.0, 2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.end_time(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_backwards_time() {
+        let mut t = Timeline::new("x");
+        t.record(5.0, 1.0);
+        t.record(4.0, 1.0);
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut t = Timeline::new("u");
+        for i in 0..10 {
+            t.record(i as f64, i as f64);
+        }
+        assert_eq!(t.mean_in(0.0, 5.0), Some(2.0));
+        assert_eq!(t.mean_in(100.0, 200.0), None);
+    }
+
+    #[test]
+    fn rebucket_averages_windows() {
+        let mut t = Timeline::new("u");
+        for i in 0..6 {
+            t.record(i as f64, if i < 3 { 0.0 } else { 1.0 });
+        }
+        let rows = t.rebucket(3.0);
+        assert_eq!(rows, vec![(0.0, 0.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new("e");
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), None);
+        assert!(t.rebucket(1.0).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Lasso regression (L1-regularized least squares).
+//!
+//! The global model is the weight vector `w`; the COMP subtask computes
+//! the least-squares gradient over the local partition plus the L1
+//! subgradient, returning `-lr * (∇_w MSE + λ sign(w))`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::SparseVector;
+use crate::PsAlgorithm;
+
+/// One worker's Lasso state.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    partition: Vec<(SparseVector, f64)>,
+    features: usize,
+    learning_rate: f64,
+    l1: f64,
+}
+
+impl Lasso {
+    /// Creates a Lasso worker over `partition` with regularization
+    /// strength `l1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero, rates are negative, or an example
+    /// disagrees with `features`.
+    pub fn new(
+        partition: Vec<(SparseVector, f64)>,
+        features: usize,
+        learning_rate: f64,
+        l1: f64,
+    ) -> Self {
+        assert!(features > 0, "need at least one feature");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(l1 >= 0.0, "L1 strength must be non-negative");
+        for (x, _) in &partition {
+            assert_eq!(x.dim(), features, "feature dimension mismatch");
+        }
+        Self {
+            partition,
+            features,
+            learning_rate,
+            l1,
+        }
+    }
+
+    /// Mean squared error over the local partition (without the L1
+    /// term), for reporting.
+    pub fn mse(&self, model: &[f64]) -> f64 {
+        if self.partition.is_empty() {
+            return 0.0;
+        }
+        self.partition
+            .iter()
+            .map(|(x, y)| {
+                let e = x.dot_dense(model) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / self.partition.len() as f64
+    }
+}
+
+impl PsAlgorithm for Lasso {
+    fn model_len(&self) -> usize {
+        self.features
+    }
+
+    fn init_model(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.features).map(|_| rng.gen_range(-0.01..0.01)).collect()
+    }
+
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+        assert_eq!(model.len(), self.features, "model length mismatch");
+        let mut update = vec![0.0; self.features];
+        if self.partition.is_empty() {
+            return update;
+        }
+        let scale = -self.learning_rate / self.partition.len() as f64;
+        for (x, y) in &self.partition {
+            let err = x.dot_dense(model) - y;
+            for (i, v) in x.iter() {
+                update[i as usize] += scale * 2.0 * err * v;
+            }
+        }
+        // L1 subgradient on the whole weight vector.
+        for (u, &w) in update.iter_mut().zip(model) {
+            *u += -self.learning_rate * self.l1 * w.signum() * f64::from(u8::from(w != 0.0));
+        }
+        update
+    }
+
+    fn loss(&self, model: &[f64]) -> f64 {
+        // L2 loss (the paper monitors "L2-loss for NMF/MLR/Lasso") plus
+        // the L1 penalty.
+        let sq: f64 = self
+            .partition
+            .iter()
+            .map(|(x, y)| {
+                let e = x.dot_dense(model) - y;
+                e * e
+            })
+            .sum();
+        let l1: f64 = model.iter().map(|w| w.abs()).sum::<f64>() * self.l1;
+        sq + l1 * self.partition.len() as f64 / self.partition.len().max(1) as f64
+    }
+
+    fn num_examples(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn mse_decreases_on_linear_data() {
+        let data = synth::regression(300, 32, 0.4, 21);
+        let mut worker = Lasso::new(data, 32, 0.05, 0.001);
+        let mut model = worker.init_model(0);
+        let before = worker.mse(&model);
+        for _ in 0..100 {
+            let u = worker.compute_update(&model);
+            for (w, d) in model.iter_mut().zip(&u) {
+                *w += d;
+            }
+        }
+        let after = worker.mse(&model);
+        assert!(after < before * 0.3, "MSE did not drop: {before} -> {after}");
+    }
+
+    #[test]
+    fn l1_shrinks_weights() {
+        let data = synth::regression(200, 16, 0.5, 22);
+        let train = |l1: f64| {
+            let mut worker = Lasso::new(data.clone(), 16, 0.05, l1);
+            let mut model = worker.init_model(0);
+            for _ in 0..150 {
+                let u = worker.compute_update(&model);
+                for (w, d) in model.iter_mut().zip(&u) {
+                    *w += d;
+                }
+            }
+            model.iter().map(|w| w.abs()).sum::<f64>()
+        };
+        let free = train(0.0);
+        let constrained = train(0.5);
+        assert!(
+            constrained < free,
+            "L1 norm should shrink: {free} -> {constrained}"
+        );
+    }
+
+    #[test]
+    fn empty_partition_is_inert() {
+        let mut worker = Lasso::new(vec![], 8, 0.1, 0.1);
+        let model = worker.init_model(0);
+        assert!(worker.compute_update(&model).iter().all(|&u| u == 0.0));
+        assert_eq!(worker.mse(&model), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dim() {
+        let x = SparseVector::new(4, vec![(0, 1.0)]);
+        let _ = Lasso::new(vec![(x, 1.0)], 8, 0.1, 0.0);
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let data = synth::regression(50, 8, 0.5, 23);
+        let worker = Lasso::new(data, 8, 0.1, 0.01);
+        let model = worker.init_model(0);
+        let l = worker.loss(&model);
+        assert!(l.is_finite() && l > 0.0);
+    }
+}

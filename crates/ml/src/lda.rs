@@ -1,0 +1,260 @@
+//! Latent Dirichlet allocation (LDA) via parameter-server collapsed
+//! Gibbs sampling.
+//!
+//! The shared model is the topic–word count matrix `N_tw` (`topics ×
+//! vocab`) followed by the per-topic totals `N_t` (`topics`), flattened
+//! into one vector of length `topics * vocab + topics`. Each worker
+//! keeps its documents' token→topic assignments and per-document topic
+//! counts locally; a COMP subtask performs one Gibbs sweep over the
+//! local tokens against the pulled global counts and pushes the *count
+//! deltas* — the standard PS-LDA formulation (e.g. Bösen, LightLDA).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::Document;
+use crate::PsAlgorithm;
+
+/// One worker's LDA state.
+#[derive(Debug, Clone)]
+pub struct Lda {
+    /// Tokens per document: `(word, assigned_topic)`, expanded from the
+    /// bag-of-words counts.
+    docs: Vec<Vec<(u32, usize)>>,
+    /// Per-document topic counts `n_dt`.
+    doc_topic: Vec<Vec<f64>>,
+    topics: usize,
+    vocab: usize,
+    alpha: f64,
+    beta: f64,
+    rng: StdRng,
+    total_tokens: usize,
+}
+
+impl Lda {
+    /// Creates an LDA worker over a document partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions or priors are non-positive, or a word id is
+    /// out of vocabulary.
+    pub fn new(partition: Vec<Document>, vocab: usize, topics: usize, seed: u64) -> Self {
+        assert!(topics > 1 && vocab > 0, "need vocab and >=2 topics");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut docs = Vec::with_capacity(partition.len());
+        let mut doc_topic = Vec::with_capacity(partition.len());
+        let mut total_tokens = 0usize;
+        for doc in &partition {
+            let mut tokens = Vec::new();
+            let mut counts = vec![0.0; topics];
+            for &(word, count) in doc {
+                assert!((word as usize) < vocab, "word {word} out of vocabulary");
+                for _ in 0..count {
+                    let t = rng.gen_range(0..topics);
+                    tokens.push((word, t));
+                    counts[t] += 1.0;
+                    total_tokens += 1;
+                }
+            }
+            docs.push(tokens);
+            doc_topic.push(counts);
+        }
+        Self {
+            docs,
+            doc_topic,
+            topics,
+            vocab,
+            alpha: 0.1,
+            beta: 0.01,
+            rng,
+            total_tokens,
+        }
+    }
+
+    /// The initial global count contribution of this worker's random
+    /// assignments. Every worker must push this once before the first
+    /// sweep so the servers hold consistent totals.
+    pub fn initial_counts(&self) -> Vec<f64> {
+        let mut counts = vec![0.0; self.model_len()];
+        for tokens in &self.docs {
+            for &(word, t) in tokens {
+                counts[t * self.vocab + word as usize] += 1.0;
+                counts[self.topics * self.vocab + t] += 1.0;
+            }
+        }
+        counts
+    }
+
+    fn n_tw(model: &[f64], vocab: usize, t: usize, w: u32) -> f64 {
+        model[t * vocab + w as usize].max(0.0)
+    }
+
+    fn n_t(model: &[f64], vocab: usize, topics: usize, t: usize) -> f64 {
+        model[topics * vocab + t].max(0.0)
+    }
+}
+
+impl PsAlgorithm for Lda {
+    fn model_len(&self) -> usize {
+        self.topics * self.vocab + self.topics
+    }
+
+    fn init_model(&self, _seed: u64) -> Vec<f64> {
+        // Counts start at zero; workers push their `initial_counts`.
+        vec![0.0; self.model_len()]
+    }
+
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+        assert_eq!(model.len(), self.model_len(), "model length mismatch");
+        let mut delta = vec![0.0; model.len()];
+        let vocab = self.vocab;
+        let topics = self.topics;
+        let vbeta = vocab as f64 * self.beta;
+        let mut probs = vec![0.0; topics];
+        for (d, tokens) in self.docs.iter_mut().enumerate() {
+            for tok in tokens.iter_mut() {
+                let (word, old_t) = *tok;
+                // Remove the token from local and (virtually) global counts.
+                self.doc_topic[d][old_t] -= 1.0;
+                delta[old_t * vocab + word as usize] -= 1.0;
+                delta[topics * vocab + old_t] -= 1.0;
+                // Sample a new topic from the collapsed conditional.
+                let mut sum = 0.0;
+                for (t, p) in probs.iter_mut().enumerate() {
+                    let ntw = (Self::n_tw(model, vocab, t, word)
+                        + delta[t * vocab + word as usize])
+                        .max(0.0);
+                    let nt = (Self::n_t(model, vocab, topics, t)
+                        + delta[topics * vocab + t])
+                        .max(0.0);
+                    *p = (self.doc_topic[d][t] + self.alpha) * (ntw + self.beta)
+                        / (nt + vbeta);
+                    sum += *p;
+                }
+                let mut u = self.rng.gen_range(0.0..sum);
+                let mut new_t = topics - 1;
+                for (t, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        new_t = t;
+                        break;
+                    }
+                    u -= p;
+                }
+                // Re-add with the new topic.
+                self.doc_topic[d][new_t] += 1.0;
+                delta[new_t * vocab + word as usize] += 1.0;
+                delta[topics * vocab + new_t] += 1.0;
+                *tok = (word, new_t);
+            }
+        }
+        delta
+    }
+
+    fn loss(&self, model: &[f64]) -> f64 {
+        // Negative log-likelihood of the local tokens under the current
+        // mixture estimate (lower is better, matching the paper's
+        // "log-likelihood for LDA" objective monitoring).
+        let vocab = self.vocab;
+        let topics = self.topics;
+        let vbeta = vocab as f64 * self.beta;
+        let kalpha = topics as f64 * self.alpha;
+        let mut nll = 0.0;
+        for (d, tokens) in self.docs.iter().enumerate() {
+            let len_d: f64 = self.doc_topic[d].iter().sum();
+            for &(word, _) in tokens {
+                let mut p = 0.0;
+                for t in 0..topics {
+                    let theta = (self.doc_topic[d][t] + self.alpha) / (len_d + kalpha);
+                    let phi = (Self::n_tw(model, vocab, t, word) + self.beta)
+                        / (Self::n_t(model, vocab, topics, t) + vbeta);
+                    p += theta * phi;
+                }
+                nll -= p.max(1e-300).ln();
+            }
+        }
+        nll
+    }
+
+    fn num_examples(&self) -> usize {
+        self.total_tokens
+    }
+
+    fn initial_update(&self) -> Option<Vec<f64>> {
+        Some(self.initial_counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    fn run_sweeps(mut worker: Lda, sweeps: usize) -> (f64, f64) {
+        let mut model = worker.init_model(0);
+        let init = worker.initial_counts();
+        for (m, d) in model.iter_mut().zip(&init) {
+            *m += d;
+        }
+        let before = worker.loss(&model) / worker.num_examples() as f64;
+        for _ in 0..sweeps {
+            let delta = worker.compute_update(&model);
+            for (m, d) in model.iter_mut().zip(&delta) {
+                *m += d;
+            }
+        }
+        let after = worker.loss(&model) / worker.num_examples() as f64;
+        (before, after)
+    }
+
+    #[test]
+    fn gibbs_sweeps_improve_likelihood() {
+        let docs = synth::bag_of_words(40, 200, 50, 4, 41);
+        let worker = Lda::new(docs, 200, 4, 1);
+        let (before, after) = run_sweeps(worker, 15);
+        assert!(
+            after < before - 0.05,
+            "per-token NLL did not improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deltas_conserve_token_count() {
+        let docs = synth::bag_of_words(10, 100, 30, 3, 42);
+        let mut worker = Lda::new(docs, 100, 3, 2);
+        let mut model = worker.init_model(0);
+        let init = worker.initial_counts();
+        for (m, d) in model.iter_mut().zip(&init) {
+            *m += d;
+        }
+        let delta = worker.compute_update(&model);
+        // A sweep moves tokens between topics; the total count change
+        // must be zero in both the word table and the totals.
+        let word_sum: f64 = delta[..300].iter().sum();
+        let total_sum: f64 = delta[300..].iter().sum();
+        assert!(word_sum.abs() < 1e-9);
+        assert!(total_sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_counts_match_tokens() {
+        let docs = synth::bag_of_words(5, 50, 20, 3, 43);
+        let worker = Lda::new(docs, 50, 3, 3);
+        let init = worker.initial_counts();
+        let tokens: f64 = init[..150].iter().sum();
+        assert_eq!(tokens as usize, worker.num_examples());
+        assert_eq!(worker.num_examples(), 5 * 20);
+    }
+
+    #[test]
+    fn model_len_includes_totals_row() {
+        let docs = synth::bag_of_words(2, 10, 5, 4, 44);
+        let worker = Lda::new(docs, 10, 4, 4);
+        assert_eq!(worker.model_len(), 4 * 10 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_word() {
+        let _ = Lda::new(vec![vec![(100, 1)]], 10, 2, 0);
+    }
+}

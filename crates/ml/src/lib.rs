@@ -1,0 +1,88 @@
+//! Classical ML training workloads for the Harmony reproduction.
+//!
+//! The paper evaluates Harmony on four applications (Table I):
+//! non-negative matrix factorization (NMF), latent Dirichlet allocation
+//! (LDA), multinomial logistic regression (MLR) and Lasso regression —
+//! all trained synchronously in a Parameter-Server architecture on CPU
+//! clusters.
+//!
+//! This crate implements the four algorithms *from scratch* behind one
+//! trait, [`PsAlgorithm`], shaped exactly like a PS worker: given the
+//! current global model (pulled from servers), compute an additive model
+//! update from a local data partition (pushed back to servers). The
+//! `harmony-ps` runtime drives these through real PULL → COMP → PUSH
+//! subtasks.
+//!
+//! The original datasets (Netflix, PubMed, NYTimes, Bösen's synthetic
+//! scripts) are not redistributable here, so [`synth`] generates
+//! synthetic datasets with matching statistical shape: low-rank ratings
+//! matrices, Zipf-distributed bags of words, and separable
+//! classification / sparse-linear regression sets (see DESIGN.md §2 for
+//! the substitution argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use harmony_ml::{synth, Lasso, PsAlgorithm};
+//!
+//! let data = synth::regression(200, 32, 0.5, 7);
+//! let mut worker = Lasso::new(data, 32, 0.01, 0.1);
+//! let mut model = worker.init_model(1);
+//! let before = worker.loss(&model);
+//! for _ in 0..20 {
+//!     let update = worker.compute_update(&model);
+//!     for (w, u) in model.iter_mut().zip(&update) {
+//!         *w += u;
+//!     }
+//! }
+//! assert!(worker.loss(&model) < before);
+//! ```
+
+pub mod data;
+pub mod lasso;
+pub mod lda;
+pub mod mlr;
+pub mod nmf;
+pub mod synth;
+
+pub use data::{DenseMatrix, SparseVector};
+pub use lasso::Lasso;
+pub use lda::Lda;
+pub use mlr::Mlr;
+pub use nmf::Nmf;
+
+/// A Parameter-Server trainable algorithm, as seen from one worker.
+///
+/// One instance lives on each worker and owns that worker's data
+/// partition (and any worker-local state, e.g. NMF's user factors).
+/// The shared model is a flat `f64` vector held by the servers: the
+/// runtime PULLs it, calls [`PsAlgorithm::compute_update`] (the COMP
+/// subtask), and PUSHes the returned additive update.
+pub trait PsAlgorithm: Send {
+    /// Length of the flattened global model vector.
+    fn model_len(&self) -> usize;
+
+    /// Produces an initial model (identical on every worker given the
+    /// same `seed`, so servers can be seeded by any one worker).
+    fn init_model(&self, seed: u64) -> Vec<f64>;
+
+    /// One mini-batch of computation: consumes the current global model
+    /// and returns an additive update (already scaled by the learning
+    /// rate and partition size). This is the COMP subtask body.
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64>;
+
+    /// This worker's contribution to the global objective (e.g. the sum
+    /// of losses over the local partition). The master sums
+    /// contributions and divides by [`PsAlgorithm::num_examples`].
+    fn loss(&self, model: &[f64]) -> f64;
+
+    /// Number of local training examples.
+    fn num_examples(&self) -> usize;
+
+    /// An additive update every worker must push once *before* the first
+    /// training iteration, or `None` when not needed. LDA uses this to
+    /// seed the global topic counts with its random token assignments.
+    fn initial_update(&self) -> Option<Vec<f64>> {
+        None
+    }
+}

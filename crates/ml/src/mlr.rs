@@ -1,0 +1,228 @@
+//! Multinomial logistic regression (MLR).
+//!
+//! Table I trains MLR on Bösen-style synthetic classification data with
+//! 8K/16K classes. The global model is the weight matrix `W` of shape
+//! `classes × features`, flattened row-major into the PS model vector.
+//! Each COMP subtask computes the softmax cross-entropy gradient over
+//! the worker's partition and returns `-lr/n * ∇W`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::SparseVector;
+use crate::PsAlgorithm;
+
+/// One worker's MLR state: its data partition and hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Mlr {
+    partition: Vec<(SparseVector, usize)>,
+    features: usize,
+    classes: usize,
+    learning_rate: f64,
+}
+
+impl Mlr {
+    /// Creates an MLR worker over `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, the learning rate is not positive,
+    /// or an example's label/dimension disagrees with
+    /// `classes`/`features`.
+    pub fn new(
+        partition: Vec<(SparseVector, usize)>,
+        features: usize,
+        classes: usize,
+        learning_rate: f64,
+    ) -> Self {
+        assert!(features > 0 && classes > 1, "need features and >=2 classes");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        for (x, y) in &partition {
+            assert_eq!(x.dim(), features, "feature dimension mismatch");
+            assert!(*y < classes, "label {y} out of range");
+        }
+        Self {
+            partition,
+            features,
+            classes,
+            learning_rate,
+        }
+    }
+
+    /// Class scores (softmax probabilities) for one example.
+    fn probabilities(&self, model: &[f64], x: &SparseVector) -> Vec<f64> {
+        let mut logits = vec![0.0; self.classes];
+        for (c, logit) in logits.iter_mut().enumerate() {
+            let row = &model[c * self.features..(c + 1) * self.features];
+            *logit = x.dot_dense(row);
+        }
+        softmax(&mut logits);
+        logits
+    }
+
+    /// Fraction of the local partition classified correctly.
+    pub fn accuracy(&self, model: &[f64]) -> f64 {
+        if self.partition.is_empty() {
+            return 1.0;
+        }
+        let correct = self
+            .partition
+            .iter()
+            .filter(|(x, y)| {
+                let p = self.probabilities(model, x);
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(c, _)| c)
+                    == Some(*y)
+            })
+            .count();
+        correct as f64 / self.partition.len() as f64
+    }
+}
+
+impl PsAlgorithm for Mlr {
+    fn model_len(&self) -> usize {
+        self.classes * self.features
+    }
+
+    fn init_model(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.model_len())
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect()
+    }
+
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+        assert_eq!(model.len(), self.model_len(), "model length mismatch");
+        let mut update = vec![0.0; model.len()];
+        if self.partition.is_empty() {
+            return update;
+        }
+        let scale = -self.learning_rate / self.partition.len() as f64;
+        for (x, y) in &self.partition {
+            let probs = self.probabilities(model, x);
+            for (c, &p) in probs.iter().enumerate() {
+                // d L / d logits_c = p_c - 1{c == y}
+                let g = p - f64::from(u8::from(c == *y));
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &mut update[c * self.features..(c + 1) * self.features];
+                for (i, v) in x.iter() {
+                    row[i as usize] += scale * g * v;
+                }
+            }
+        }
+        update
+    }
+
+    fn loss(&self, model: &[f64]) -> f64 {
+        self.partition
+            .iter()
+            .map(|(x, y)| {
+                let p = self.probabilities(model, x);
+                -(p[*y].max(1e-12)).ln()
+            })
+            .sum()
+    }
+
+    fn num_examples(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+/// In-place numerically stable softmax.
+fn softmax(logits: &mut [f64]) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for l in logits.iter_mut() {
+        *l = (*l - max).exp();
+        sum += *l;
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    fn train(mut worker: Mlr, iters: usize) -> (f64, f64, Vec<f64>) {
+        let mut model = worker.init_model(0);
+        let before = worker.loss(&model) / worker.num_examples() as f64;
+        for _ in 0..iters {
+            let u = worker.compute_update(&model);
+            for (w, d) in model.iter_mut().zip(&u) {
+                *w += d;
+            }
+        }
+        let after = worker.loss(&model) / worker.num_examples() as f64;
+        (before, after, model)
+    }
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        let data = synth::classification(200, 32, 4, 0.3, 9);
+        let worker = Mlr::new(data, 32, 4, 0.5);
+        let (before, after, _) = train(worker, 50);
+        assert!(
+            after < before * 0.5,
+            "loss did not halve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn accuracy_improves() {
+        let data = synth::classification(200, 32, 4, 0.3, 10);
+        let mut worker = Mlr::new(data, 32, 4, 0.5);
+        let mut model = worker.init_model(0);
+        for _ in 0..80 {
+            let u = worker.compute_update(&model);
+            for (w, d) in model.iter_mut().zip(&u) {
+                *w += d;
+            }
+        }
+        assert!(worker.accuracy(&model) > 0.8);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut l = vec![1.0, 2.0, 3.0];
+        softmax(&mut l);
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(l[2] > l[1] && l[1] > l[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut l = vec![1000.0, 1001.0];
+        softmax(&mut l);
+        assert!(l.iter().all(|p| p.is_finite()));
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_is_zero_for_empty_partition() {
+        let mut worker = Mlr::new(vec![], 4, 2, 0.1);
+        let model = worker.init_model(0);
+        assert!(worker.compute_update(&model).iter().all(|&u| u == 0.0));
+        assert_eq!(worker.loss(&model), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_out_of_range_label() {
+        let x = SparseVector::new(4, vec![(0, 1.0)]);
+        let _ = Mlr::new(vec![(x, 5)], 4, 2, 0.1);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let worker = Mlr::new(vec![], 4, 2, 0.1);
+        assert_eq!(worker.init_model(7), worker.init_model(7));
+        assert_ne!(worker.init_model(7), worker.init_model(8));
+    }
+}

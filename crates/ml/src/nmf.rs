@@ -1,0 +1,194 @@
+//! Non-negative matrix factorization (NMF) for recommendation.
+//!
+//! Factorizes a ratings matrix `R ≈ W·H` with rank `k`. Following the
+//! usual PS formulation, the *item* factor matrix `H` (`k × items`,
+//! flattened) is the shared model on the servers, while each worker owns
+//! the rows of the *user* factor matrix `W` for the users in its
+//! partition (worker-local state).
+//!
+//! Each COMP subtask alternates: refresh the local `W` rows against the
+//! pulled `H` (a few SGD steps), then compute the additive update for
+//! `H` from the local ratings. Non-negativity is enforced on the local
+//! `W` by projection; `H` is kept non-negative by projecting the *read*
+//! (servers apply raw additive updates, as real PS systems do, so
+//! transient small negatives can occur and are clamped at use sites).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::Rating;
+use crate::PsAlgorithm;
+
+/// One worker's NMF state: its ratings and user-factor rows.
+#[derive(Debug, Clone)]
+pub struct Nmf {
+    ratings: Vec<Rating>,
+    rank: usize,
+    items: usize,
+    learning_rate: f64,
+    /// Worker-local user factors, keyed by user id.
+    user_factors: BTreeMap<u32, Vec<f64>>,
+}
+
+impl Nmf {
+    /// Creates an NMF worker over a ratings partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank`/`items` are zero, the learning rate is not
+    /// positive, or a rating references an item `>= items`.
+    pub fn new(ratings: Vec<Rating>, items: usize, rank: usize, learning_rate: f64) -> Self {
+        assert!(rank > 0 && items > 0, "rank and items must be non-zero");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        for &(_, i, v) in &ratings {
+            assert!((i as usize) < items, "item {i} out of range");
+            assert!(v >= 0.0, "NMF ratings must be non-negative");
+        }
+        let mut rng = StdRng::seed_from_u64(LOCAL_FACTOR_SEED);
+        let mut user_factors = BTreeMap::new();
+        for &(u, _, _) in &ratings {
+            user_factors
+                .entry(u)
+                .or_insert_with(|| (0..rank).map(|_| rng.gen_range(0.1..0.9)).collect());
+        }
+        Self {
+            ratings,
+            rank,
+            items,
+            learning_rate,
+            user_factors,
+        }
+    }
+
+    fn h_col<'m>(&self, model: &'m [f64], item: u32) -> impl Iterator<Item = f64> + 'm {
+        let rank = self.rank;
+        let items = self.items;
+        (0..rank).map(move |k| model[k * items + item as usize].max(0.0))
+    }
+
+    fn predict(&self, model: &[f64], user: u32, item: u32) -> f64 {
+        let w = &self.user_factors[&user];
+        self.h_col(model, item)
+            .zip(w)
+            .map(|(h, &wk)| h * wk)
+            .sum()
+    }
+}
+
+/// Seed for worker-local user-factor initialization ("NMF" in ASCII).
+const LOCAL_FACTOR_SEED: u64 = 0x4E4D_46;
+
+impl PsAlgorithm for Nmf {
+    fn model_len(&self) -> usize {
+        self.rank * self.items
+    }
+
+    fn init_model(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.model_len())
+            .map(|_| rng.gen_range(0.1..0.9))
+            .collect()
+    }
+
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+        assert_eq!(model.len(), self.model_len(), "model length mismatch");
+        let mut update = vec![0.0; model.len()];
+        if self.ratings.is_empty() {
+            return update;
+        }
+        let lr = self.learning_rate;
+        // Pass 1: refresh local user rows against the pulled H.
+        let ratings = std::mem::take(&mut self.ratings);
+        for &(u, i, r) in &ratings {
+            let err = self.predict(model, u, i) - r;
+            let h: Vec<f64> = self.h_col(model, i).collect();
+            let w = self.user_factors.get_mut(&u).expect("user row exists");
+            for (wk, hk) in w.iter_mut().zip(&h) {
+                *wk = (*wk - lr * err * hk).max(0.0);
+            }
+        }
+        // Pass 2: gradient for H from the refreshed local rows.
+        for &(u, i, r) in &ratings {
+            let err = self.predict(model, u, i) - r;
+            let w = &self.user_factors[&u];
+            for (k, &wk) in w.iter().enumerate() {
+                update[k * self.items + i as usize] += -lr * err * wk;
+            }
+        }
+        self.ratings = ratings;
+        update
+    }
+
+    fn loss(&self, model: &[f64]) -> f64 {
+        self.ratings
+            .iter()
+            .map(|&(u, i, r)| {
+                let e = self.predict(model, u, i) - r;
+                e * e
+            })
+            .sum()
+    }
+
+    fn num_examples(&self) -> usize {
+        self.ratings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn factorization_reduces_reconstruction_error() {
+        let ratings = synth::ratings(30, 40, 10, 4, 31);
+        let mut worker = Nmf::new(ratings, 40, 4, 0.05);
+        let mut model = worker.init_model(0);
+        let before = worker.loss(&model) / worker.num_examples() as f64;
+        for _ in 0..60 {
+            let u = worker.compute_update(&model);
+            for (w, d) in model.iter_mut().zip(&u) {
+                *w += d;
+            }
+        }
+        let after = worker.loss(&model) / worker.num_examples() as f64;
+        assert!(
+            after < before * 0.5,
+            "reconstruction error did not halve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn user_factors_stay_non_negative() {
+        let ratings = synth::ratings(10, 20, 5, 3, 32);
+        let mut worker = Nmf::new(ratings, 20, 3, 0.1);
+        let model = worker.init_model(0);
+        for _ in 0..10 {
+            let _ = worker.compute_update(&model);
+        }
+        for w in worker.user_factors.values() {
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_partition_is_inert() {
+        let mut worker = Nmf::new(vec![], 10, 2, 0.1);
+        let model = worker.init_model(0);
+        assert!(worker.compute_update(&model).iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_item() {
+        let _ = Nmf::new(vec![(0, 99, 1.0)], 10, 2, 0.1);
+    }
+
+    #[test]
+    fn model_len_is_rank_times_items() {
+        let worker = Nmf::new(vec![], 10, 3, 0.1);
+        assert_eq!(worker.model_len(), 30);
+    }
+}

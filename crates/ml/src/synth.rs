@@ -1,0 +1,345 @@
+//! Synthetic dataset generators.
+//!
+//! The paper's datasets (Table I) are either licensed corpora (Netflix,
+//! PubMed, NYTimes) or produced by Bösen's synthetic scripts. We
+//! generate equivalents with the same statistical shape so every
+//! workload exercises the same code paths:
+//!
+//! - [`ratings`]: a low-rank ratings matrix with user/item popularity
+//!   skew, the shape NMF expects;
+//! - [`bag_of_words`]: documents drawn from latent topic mixtures with a
+//!   Zipf-like word marginal, the shape LDA expects;
+//! - [`classification`]: linearly separable-ish sparse examples around
+//!   class centroids for MLR;
+//! - [`regression`]: sparse linear ground truth with noise for Lasso
+//!   (mirroring Bösen's generator).
+//!
+//! All generators are deterministic in their `seed`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::SparseVector;
+
+/// One observed rating `(user, item, value)`.
+pub type Rating = (u32, u32, f64);
+
+/// One document: a list of `(word, count)` pairs.
+pub type Document = Vec<(u32, u32)>;
+
+/// Generates `users * ratings_per_user` ratings from a rank-`rank`
+/// ground truth with multiplicative noise, non-negative (suitable for
+/// NMF).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn ratings(
+    users: u32,
+    items: u32,
+    ratings_per_user: u32,
+    rank: usize,
+    seed: u64,
+) -> Vec<Rating> {
+    assert!(users > 0 && items > 0 && ratings_per_user > 0 && rank > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Non-negative latent factors.
+    let user_f: Vec<Vec<f64>> = (0..users)
+        .map(|_| (0..rank).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let item_f: Vec<Vec<f64>> = (0..items)
+        .map(|_| (0..rank).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let item_sampler = ZipfSampler::new(items as usize, 1.1);
+    let mut out = Vec::with_capacity((users * ratings_per_user) as usize);
+    for u in 0..users {
+        for _ in 0..ratings_per_user {
+            // Zipf-skewed item popularity.
+            let i = item_sampler.sample(&mut rng) as u32;
+            let truth: f64 = user_f[u as usize]
+                .iter()
+                .zip(&item_f[i as usize])
+                .map(|(a, b)| a * b)
+                .sum();
+            let noisy = (truth * rng.gen_range(0.9..1.1)).max(0.01);
+            out.push((u, i, noisy));
+        }
+    }
+    out
+}
+
+/// Generates `docs` documents over a `vocab`-word vocabulary from
+/// `topics` latent topics, each document `words_per_doc` tokens long.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn bag_of_words(
+    docs: u32,
+    vocab: u32,
+    words_per_doc: u32,
+    topics: usize,
+    seed: u64,
+) -> Vec<Document> {
+    assert!(docs > 0 && vocab > 0 && words_per_doc > 0 && topics > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each topic concentrates on a contiguous band of the vocabulary
+    // (cheap stand-in for a Dirichlet draw) with a Zipf marginal.
+    let band = (vocab as usize / topics).max(1);
+    let word_sampler = ZipfSampler::new(band, 1.2);
+    let mut out = Vec::with_capacity(docs as usize);
+    for _ in 0..docs {
+        // Document topic mixture: one dominant topic plus smoothing.
+        let main_topic = rng.gen_range(0..topics);
+        let mut counts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for _ in 0..words_per_doc {
+            let topic = if rng.gen_bool(0.8) {
+                main_topic
+            } else {
+                rng.gen_range(0..topics)
+            };
+            let offset = word_sampler.sample(&mut rng);
+            let word = ((topic * band + offset) % vocab as usize) as u32;
+            *counts.entry(word).or_insert(0) += 1;
+        }
+        out.push(counts.into_iter().collect());
+    }
+    out
+}
+
+/// Generates sparse labelled examples around `classes` random centroids.
+/// Returns `(features, label)` pairs with roughly `density * features`
+/// non-zeros each.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `density` is outside `(0, 1]`.
+pub fn classification(
+    examples: u32,
+    features: usize,
+    classes: usize,
+    density: f64,
+    seed: u64,
+) -> Vec<(SparseVector, usize)> {
+    assert!(examples > 0 && features > 0 && classes > 0);
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz = ((features as f64 * density) as usize).max(1);
+    // Per-class centroid over a random support.
+    let centroids: Vec<Vec<(u32, f64)>> = (0..classes)
+        .map(|_| {
+            sample_support(&mut rng, features, nnz)
+                .into_iter()
+                .map(|i| (i, rng.gen_range(-1.0..1.0)))
+                .collect()
+        })
+        .collect();
+    (0..examples)
+        .map(|_| {
+            let label = rng.gen_range(0..classes);
+            let entries: Vec<(u32, f64)> = centroids[label]
+                .iter()
+                .map(|&(i, c)| (i, c + rng.gen_range(-0.3..0.3)))
+                .collect();
+            (SparseVector::new(features, entries), label)
+        })
+        .collect()
+}
+
+/// Generates sparse linear-regression examples: `y = w·x + ε` with a
+/// sparse true `w`. Returns `(features, target)` pairs.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `density` is outside `(0, 1]`.
+pub fn regression(
+    examples: u32,
+    features: usize,
+    density: f64,
+    seed: u64,
+) -> Vec<(SparseVector, f64)> {
+    assert!(examples > 0 && features > 0);
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sparse ground-truth weights: ~25% of features matter.
+    let true_w: Vec<f64> = (0..features)
+        .map(|_| {
+            if rng.gen_bool(0.25) {
+                rng.gen_range(-2.0..2.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let nnz = ((features as f64 * density) as usize).max(1);
+    (0..examples)
+        .map(|_| {
+            let entries: Vec<(u32, f64)> = sample_support(&mut rng, features, nnz)
+                .into_iter()
+                .map(|i| (i, rng.gen_range(-1.0..1.0)))
+                .collect();
+            let x = SparseVector::new(features, entries);
+            let y: f64 = x.iter().map(|(i, v)| v * true_w[i as usize]).sum::<f64>()
+                + rng.gen_range(-0.05..0.05);
+            (x, y)
+        })
+        .collect()
+}
+
+/// Splits a dataset into `parts` contiguous, nearly equal partitions —
+/// how the PS runtime shards input across workers.
+pub fn partition<T: Clone>(data: &[T], parts: usize) -> Vec<Vec<T>> {
+    assert!(parts > 0, "parts must be non-zero");
+    let base = data.len() / parts;
+    let extra = data.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(data[cursor..cursor + size].to_vec());
+        cursor += size;
+    }
+    out
+}
+
+/// Exact Zipf(`s`) sampler over ranks `0..n` using a precomputed CDF.
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        debug_assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Samples `k` distinct feature indices out of `0..n`.
+fn sample_support(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+    let k = k.min(n);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < k {
+        chosen.insert(rng.gen_range(0..n) as u32);
+    }
+    chosen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_shape_and_determinism() {
+        let a = ratings(10, 50, 5, 4, 42);
+        let b = ratings(10, 50, 5, 4, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for &(u, i, v) in &a {
+            assert!(u < 10 && i < 50);
+            assert!(v > 0.0, "NMF ratings must be non-negative");
+        }
+    }
+
+    #[test]
+    fn ratings_items_are_skewed() {
+        let rs = ratings(100, 1000, 20, 4, 1);
+        // Zipf skew: the most popular item id should be small.
+        let mut counts = std::collections::HashMap::new();
+        for &(_, i, _) in &rs {
+            *counts.entry(i).or_insert(0u32) += 1;
+        }
+        let top = counts.iter().max_by_key(|(_, &c)| c).map(|(&i, _)| i).unwrap();
+        assert!(top < 100, "most popular item was {top}");
+    }
+
+    #[test]
+    fn bag_of_words_shape() {
+        let docs = bag_of_words(20, 500, 60, 5, 7);
+        assert_eq!(docs.len(), 20);
+        for d in &docs {
+            let total: u32 = d.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, 60);
+            for &(w, _) in d {
+                assert!(w < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_labels_in_range() {
+        let ex = classification(100, 64, 8, 0.2, 3);
+        assert_eq!(ex.len(), 100);
+        for (x, y) in &ex {
+            assert!(*y < 8);
+            assert!(x.nnz() >= 1);
+            assert_eq!(x.dim(), 64);
+        }
+    }
+
+    #[test]
+    fn regression_targets_follow_ground_truth() {
+        // With zero noise amplitude relative to signal, identical x
+        // should give near-identical y. We just check determinism and
+        // bounded targets.
+        let a = regression(50, 32, 0.5, 11);
+        let b = regression(50, 32, 0.5, 11);
+        assert_eq!(a.len(), b.len());
+        for ((xa, ya), (xb, yb)) in a.iter().zip(&b) {
+            assert_eq!(xa, xb);
+            assert_eq!(ya, yb);
+            assert!(ya.is_finite());
+        }
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn partition_is_even_and_complete() {
+        let data: Vec<u32> = (0..10).collect();
+        let parts = partition(&data, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 3);
+        let rejoined: Vec<u32> = parts.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn partition_more_parts_than_items() {
+        let data = vec![1, 2];
+        let parts = partition(&data, 4);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn zipf_is_bounded_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut lows = 0;
+        for _ in 0..1000 {
+            let x = sampler.sample(&mut rng);
+            assert!(x < 100);
+            if x < 10 {
+                lows += 1;
+            }
+        }
+        assert!(lows > 500, "Zipf should concentrate mass at low ranks, got {lows}");
+    }
+}

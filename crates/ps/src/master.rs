@@ -1,0 +1,712 @@
+//! The PS master: job lifecycle, subtask synchronization, training loop.
+//!
+//! The master owns the event loop of Figure 7: it enqueues each job's
+//! subtasks onto the per-node executors, and its *subtask synchronizer*
+//! advances a job from PULL to COMP to PUSH only when all of the job's
+//! distributed subtasks of the previous kind have completed. Multiple
+//! jobs run through the same executors simultaneously, which is exactly
+//! how Harmony multiplexes complementary subtasks.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use harmony_ml::PsAlgorithm;
+
+use crate::executor::{Executor, ExecutorStats};
+use crate::shard::ShardedModel;
+use crate::subtask::{SubtaskKind, SubtaskTiming};
+
+/// Configuration of an in-process PS cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsConfig {
+    /// Number of nodes; each node co-locates a server shard and a worker
+    /// (as on the paper's EC2 instances).
+    pub nodes: usize,
+    /// Simulated NIC bandwidth in bytes/second. When set, every COMM
+    /// subtask sleeps `transferred_bytes / bandwidth` to emulate the
+    /// paper's 1.1 Gbps network; `None` disables the delay (fast tests).
+    pub network_bytes_per_sec: Option<f64>,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 2,
+            network_bytes_per_sec: None,
+        }
+    }
+}
+
+/// A submitted training job: one [`PsAlgorithm`] worker per node it
+/// runs on.
+pub struct TrainingJob {
+    name: String,
+    workers: Vec<Box<dyn PsAlgorithm>>,
+    max_iterations: u64,
+    loss_threshold: Option<f64>,
+    check_every: u64,
+    initial_model: Option<Vec<f64>>,
+    seed: u64,
+    all_reduce: bool,
+}
+
+impl TrainingJob {
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Degree of parallelism (number of workers).
+    pub fn dop(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl std::fmt::Debug for TrainingJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainingJob")
+            .field("name", &self.name)
+            .field("dop", &self.workers.len())
+            .field("max_iterations", &self.max_iterations)
+            .finish()
+    }
+}
+
+/// Builder for [`TrainingJob`].
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub struct JobBuilder {
+    name: String,
+    workers: Vec<Box<dyn PsAlgorithm>>,
+    max_iterations: u64,
+    loss_threshold: Option<f64>,
+    check_every: u64,
+    initial_model: Option<Vec<f64>>,
+    seed: u64,
+    all_reduce: bool,
+}
+
+impl JobBuilder {
+    /// Starts building a job.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            workers: Vec::new(),
+            max_iterations: 100,
+            loss_threshold: None,
+            check_every: 5,
+            initial_model: None,
+            seed: 0,
+            all_reduce: false,
+        }
+    }
+
+    /// Synchronizes updates with ring all-reduce instead of server
+    /// push/pull (§VI: Harmony's scheduling is architecture-agnostic —
+    /// there are still distinct COMP and COMM steps). Synchronous SGD
+    /// sums the same updates either way, so results are identical; the
+    /// communication pattern (and its cost at scale) differs.
+    pub fn all_reduce(mut self) -> Self {
+        self.all_reduce = true;
+        self
+    }
+
+    /// Supplies the per-node workers (the job's DoP is their count).
+    pub fn workers(mut self, workers: impl IntoIterator<Item = Box<dyn PsAlgorithm>>) -> Self {
+        self.workers.extend(workers);
+        self
+    }
+
+    /// Caps the number of training iterations (default 100).
+    pub fn max_iterations(mut self, iters: u64) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Stops early once mean per-example loss falls to `threshold`
+    /// (checked every `check_every` iterations).
+    pub fn loss_threshold(mut self, threshold: f64) -> Self {
+        self.loss_threshold = Some(threshold);
+        self
+    }
+
+    /// How often (in iterations) the master evaluates the loss
+    /// (default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn check_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "check interval must be non-zero");
+        self.check_every = every;
+        self
+    }
+
+    /// Restores from a checkpointed model instead of a fresh
+    /// initialization — the migration/resume primitive of §IV-B4.
+    pub fn initial_model(mut self, model: Vec<f64>) -> Self {
+        self.initial_model = Some(model);
+        self
+    }
+
+    /// Seed for model initialization (ignored with
+    /// [`JobBuilder::initial_model`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workers were supplied.
+    pub fn build(self) -> TrainingJob {
+        assert!(!self.workers.is_empty(), "a job needs at least one worker");
+        TrainingJob {
+            name: self.name,
+            workers: self.workers,
+            max_iterations: self.max_iterations,
+            loss_threshold: self.loss_threshold,
+            check_every: self.check_every,
+            initial_model: self.initial_model,
+            seed: self.seed,
+            all_reduce: self.all_reduce,
+        }
+    }
+}
+
+/// Outcome of one trained job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Mean per-example loss before training.
+    pub initial_loss: f64,
+    /// Mean per-example loss at the end.
+    pub final_loss: f64,
+    /// `(iteration, loss)` samples collected every `check_every`.
+    pub loss_history: Vec<(u64, f64)>,
+    /// Wall-clock timings of every executed subtask.
+    pub timings: Vec<SubtaskTiming>,
+    /// Mean per-iteration COMP seconds (per node) — the profiled `Tcpu`.
+    pub mean_tcpu: f64,
+    /// Mean per-iteration COMM (PULL+PUSH) seconds — the profiled `Tnet`.
+    pub mean_tnet: f64,
+    /// Final model snapshot (checkpoint for migration/resume).
+    pub final_model: Vec<f64>,
+    /// Whether the loss threshold was reached before the iteration cap.
+    pub converged: bool,
+}
+
+struct NodeExecutors {
+    cpu: Executor,
+    comm: Executor,
+}
+
+/// An in-process PS cluster: `nodes` pairs of (CPU, COMM) executors.
+pub struct PsCluster {
+    nodes: Vec<NodeExecutors>,
+    config: PsConfig,
+}
+
+impl PsCluster {
+    /// Spins up the cluster's executor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero.
+    pub fn new(config: PsConfig) -> Self {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        let nodes = (0..config.nodes)
+            .map(|i| NodeExecutors {
+                cpu: Executor::new(&format!("cpu-{i}"), 1),
+                comm: Executor::new(&format!("comm-{i}"), 2),
+            })
+            .collect();
+        Self { nodes, config }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node `(cpu, comm)` executor statistics.
+    pub fn executor_stats(&self) -> Vec<(ExecutorStats, ExecutorStats)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.cpu.stats(), n.comm.stats()))
+            .collect()
+    }
+
+    /// Trains all `jobs` to completion, co-scheduling their subtasks on
+    /// this cluster's executors, and returns one report per job (same
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job has more workers than the cluster has nodes.
+    pub fn run_jobs(&self, jobs: Vec<TrainingJob>) -> Vec<JobReport> {
+        for job in &jobs {
+            assert!(
+                job.workers.len() <= self.nodes.len(),
+                "job '{}' wants {} workers but the cluster has {} nodes",
+                job.name,
+                job.workers.len(),
+                self.nodes.len()
+            );
+        }
+
+        struct JobRun {
+            name: String,
+            model: ShardedModel,
+            workers: Vec<Arc<Mutex<Box<dyn PsAlgorithm>>>>,
+            pulled: Vec<Arc<Mutex<Option<Vec<f64>>>>>,
+            updates: Vec<Arc<Mutex<Option<Vec<f64>>>>>,
+            iteration: u64,
+            pending: usize,
+            kind: SubtaskKind,
+            max_iterations: u64,
+            loss_threshold: Option<f64>,
+            check_every: u64,
+            total_examples: usize,
+            all_reduce: bool,
+            timings: Vec<SubtaskTiming>,
+            loss_history: Vec<(u64, f64)>,
+            initial_loss: f64,
+            done: bool,
+            converged: bool,
+        }
+
+        let (event_tx, event_rx) =
+            unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
+
+        let mut runs: Vec<JobRun> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let dop = job.workers.len();
+            let model_len = job.workers[0].model_len();
+            let model = ShardedModel::new(model_len, dop);
+            match &job.initial_model {
+                Some(m) => model.restore(m),
+                None => model.restore(&job.workers[0].init_model(job.seed)),
+            }
+            // Pre-training pushes (e.g. LDA's random-assignment counts).
+            for w in &job.workers {
+                if let Some(init) = w.initial_update() {
+                    model.push(&init);
+                }
+            }
+            let total_examples: usize =
+                job.workers.iter().map(|w| w.num_examples()).sum();
+            let workers: Vec<_> = job
+                .workers
+                .into_iter()
+                .map(|w| Arc::new(Mutex::new(w)))
+                .collect();
+            let initial_loss = {
+                let snapshot = model.pull();
+                let sum: f64 = workers.iter().map(|w| w.lock().loss(&snapshot)).sum();
+                sum / total_examples.max(1) as f64
+            };
+            runs.push(JobRun {
+                name: job.name,
+                model,
+                pulled: (0..dop).map(|_| Arc::new(Mutex::new(None))).collect(),
+                updates: (0..dop).map(|_| Arc::new(Mutex::new(None))).collect(),
+                workers,
+                iteration: 0,
+                pending: 0,
+                kind: SubtaskKind::Push, // advances to Pull on kickoff
+                max_iterations: job.max_iterations,
+                loss_threshold: job.loss_threshold,
+                check_every: job.check_every,
+                total_examples,
+                all_reduce: job.all_reduce,
+                timings: Vec::new(),
+                loss_history: vec![(0, initial_loss)],
+                initial_loss,
+                done: false,
+                converged: false,
+            });
+        }
+
+        let net_delay = |bytes: u64| -> Option<Duration> {
+            self.config
+                .network_bytes_per_sec
+                .map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
+        };
+
+        // Enqueues kind `kind` subtasks of job `j` on all its nodes.
+        let enqueue = |run: &mut JobRun, j: usize, kind: SubtaskKind| {
+            run.kind = kind;
+            run.pending = run.workers.len();
+            for node in 0..run.workers.len() {
+                let tx = event_tx.clone();
+                let iter = run.iteration;
+                match kind {
+                    SubtaskKind::Pull => {
+                        let model = run.model.clone();
+                        let slot = Arc::clone(&run.pulled[node]);
+                        let delay = net_delay(run.model.pull_bytes());
+                        self.nodes[node].comm.submit(move || {
+                            let t0 = Instant::now();
+                            let snapshot = model.pull();
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            *slot.lock() = Some(snapshot);
+                            let _ = tx.send((j, node, SubtaskKind::Pull, iter, t0.elapsed()));
+                        });
+                    }
+                    SubtaskKind::Comp => {
+                        let worker = Arc::clone(&run.workers[node]);
+                        let input = Arc::clone(&run.pulled[node]);
+                        let output = Arc::clone(&run.updates[node]);
+                        self.nodes[node].cpu.submit(move || {
+                            let t0 = Instant::now();
+                            let model = input.lock().take().expect("PULL preceded COMP");
+                            let update = worker.lock().compute_update(&model);
+                            *output.lock() = Some(update);
+                            let _ = tx.send((j, node, SubtaskKind::Comp, iter, t0.elapsed()));
+                        });
+                    }
+                    SubtaskKind::Push => {
+                        let model = run.model.clone();
+                        let slot = Arc::clone(&run.updates[node]);
+                        let all_reduce = run.all_reduce;
+                        // All-reduce moves 2(k-1)/k of the model per rank.
+                        let bytes = if all_reduce {
+                            let k = run.workers.len().max(1) as f64;
+                            (run.model.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
+                        } else {
+                            run.model.pull_bytes()
+                        };
+                        let delay = net_delay(bytes);
+                        self.nodes[node].comm.submit(move || {
+                            let t0 = Instant::now();
+                            if all_reduce {
+                                // The update stays in the slot; the ring
+                                // reduction runs at the barrier once all
+                                // ranks have contributed.
+                            } else {
+                                let update =
+                                    slot.lock().take().expect("COMP preceded PUSH");
+                                model.push(&update);
+                            }
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            let _ = tx.send((j, node, SubtaskKind::Push, iter, t0.elapsed()));
+                        });
+                    }
+                }
+            }
+        };
+
+        // Kick off iteration 1 of every job.
+        let mut active = 0usize;
+        for j in 0..runs.len() {
+            let run = &mut runs[j];
+            if run.max_iterations == 0 {
+                run.done = true;
+                continue;
+            }
+            run.iteration = 1;
+            enqueue(run, j, SubtaskKind::Pull);
+            active += 1;
+        }
+
+        // The subtask synchronizer: advance each job's state machine as
+        // its distributed subtasks report completion.
+        while active > 0 {
+            let (j, node, kind, iter, elapsed) =
+                event_rx.recv().expect("executors alive while jobs active");
+            let run = &mut runs[j];
+            debug_assert_eq!(kind, run.kind);
+            run.timings.push(SubtaskTiming {
+                kind,
+                node,
+                iteration: iter,
+                elapsed,
+            });
+            run.pending -= 1;
+            if run.pending > 0 {
+                continue; // barrier not reached yet
+            }
+            match kind {
+                SubtaskKind::Pull => enqueue(run, j, SubtaskKind::Comp),
+                SubtaskKind::Comp => enqueue(run, j, SubtaskKind::Push),
+                SubtaskKind::Push => {
+                    if run.all_reduce {
+                        // All ranks contributed: reduce around the ring
+                        // and apply the summed update once.
+                        let mut buffers: Vec<Vec<f64>> = run
+                            .updates
+                            .iter()
+                            .map(|slot| {
+                                slot.lock().take().expect("COMP preceded PUSH")
+                            })
+                            .collect();
+                        crate::allreduce::ring_all_reduce(&mut buffers);
+                        run.model.push(&buffers[0]);
+                    }
+                    // Iteration boundary: evaluate, then stop or go on.
+                    let at_check = run.iteration % run.check_every == 0
+                        || run.iteration == run.max_iterations;
+                    if at_check {
+                        let snapshot = run.model.pull();
+                        let sum: f64 = run
+                            .workers
+                            .iter()
+                            .map(|w| w.lock().loss(&snapshot))
+                            .sum();
+                        let loss = sum / run.total_examples.max(1) as f64;
+                        run.loss_history.push((run.iteration, loss));
+                        if run.loss_threshold.is_some_and(|t| loss <= t) {
+                            run.converged = true;
+                        }
+                    }
+                    if run.converged || run.iteration >= run.max_iterations {
+                        run.done = true;
+                        active -= 1;
+                    } else {
+                        run.iteration += 1;
+                        enqueue(run, j, SubtaskKind::Pull);
+                    }
+                }
+            }
+        }
+
+        runs.into_iter()
+            .map(|run| {
+                let iters = run.iteration.max(1) as f64;
+                let dop = run.workers.len().max(1) as f64;
+                let sum_by = |k: SubtaskKind| -> f64 {
+                    run.timings
+                        .iter()
+                        .filter(|t| t.kind == k)
+                        .map(|t| t.elapsed.as_secs_f64())
+                        .sum()
+                };
+                let mean_tcpu = sum_by(SubtaskKind::Comp) / iters / dop;
+                let mean_tnet =
+                    (sum_by(SubtaskKind::Pull) + sum_by(SubtaskKind::Push)) / iters / dop;
+                let final_model = run.model.pull();
+                let final_loss = run
+                    .loss_history
+                    .last()
+                    .map(|&(_, l)| l)
+                    .unwrap_or(run.initial_loss);
+                JobReport {
+                    name: run.name,
+                    iterations: run.iteration,
+                    initial_loss: run.initial_loss,
+                    final_loss,
+                    loss_history: run.loss_history,
+                    timings: run.timings,
+                    mean_tcpu,
+                    mean_tnet,
+                    final_model,
+                    converged: run.converged,
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PsCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PsCluster")
+            .field("nodes", &self.nodes.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf};
+
+    fn mlr_job(name: &str, nodes: usize, iters: u64) -> TrainingJob {
+        let data = synth::classification(120, 16, 3, 0.3, 5);
+        let parts = synth::partition(&data, nodes);
+        JobBuilder::new(name)
+            .workers(
+                parts
+                    .into_iter()
+                    .map(|p| Box::new(Mlr::new(p, 16, 3, 0.5)) as Box<dyn PsAlgorithm>),
+            )
+            .max_iterations(iters)
+            .build()
+    }
+
+    #[test]
+    fn single_job_trains_and_reports() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let report = cluster.run_jobs(vec![mlr_job("mlr", 2, 20)]).remove(0);
+        assert_eq!(report.iterations, 20);
+        assert!(report.final_loss < report.initial_loss);
+        assert!(!report.timings.is_empty());
+        assert!(report.mean_tcpu >= 0.0 && report.mean_tnet >= 0.0);
+    }
+
+    #[test]
+    fn colocated_jobs_both_train() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let reports = cluster.run_jobs(vec![
+            mlr_job("a", 2, 15),
+            mlr_job("b", 2, 15),
+        ]);
+        for r in &reports {
+            assert!(r.final_loss < r.initial_loss, "{} did not improve", r.name);
+            assert_eq!(r.iterations, 15);
+        }
+        // The CPU executor never ran two COMP subtasks at once.
+        for (cpu, comm) in cluster.executor_stats() {
+            assert!(cpu.peak_concurrency <= 1);
+            assert!(comm.peak_concurrency <= 2);
+        }
+    }
+
+    #[test]
+    fn loss_threshold_stops_early() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let data = synth::classification(100, 8, 2, 0.4, 6);
+        let parts = synth::partition(&data, 2);
+        let job = JobBuilder::new("early")
+            .workers(
+                parts
+                    .into_iter()
+                    .map(|p| Box::new(Mlr::new(p, 8, 2, 0.8)) as Box<dyn PsAlgorithm>),
+            )
+            .max_iterations(500)
+            .check_every(2)
+            .loss_threshold(0.2)
+            .build();
+        let report = cluster.run_jobs(vec![job]).remove(0);
+        assert!(report.converged);
+        assert!(report.iterations < 500);
+        assert!(report.final_loss <= 0.2);
+    }
+
+    #[test]
+    fn all_four_apps_train_together() {
+        let cluster = PsCluster::new(PsConfig { nodes: 2, ..Default::default() });
+
+        let mlr = mlr_job("mlr", 2, 8);
+
+        let reg = synth::regression(120, 16, 0.4, 7);
+        let lasso = JobBuilder::new("lasso")
+            .workers(synth::partition(&reg, 2).into_iter().map(|p| {
+                Box::new(Lasso::new(p, 16, 0.05, 0.01)) as Box<dyn PsAlgorithm>
+            }))
+            .max_iterations(8)
+            .build();
+
+        let ratings = synth::ratings(20, 30, 8, 3, 8);
+        let nmf = JobBuilder::new("nmf")
+            .workers(synth::partition(&ratings, 2).into_iter().map(|p| {
+                Box::new(Nmf::new(p, 30, 3, 0.05)) as Box<dyn PsAlgorithm>
+            }))
+            .max_iterations(8)
+            .build();
+
+        let docs = synth::bag_of_words(24, 150, 40, 3, 9);
+        let lda = JobBuilder::new("lda")
+            .workers(
+                synth::partition(&docs, 2)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        Box::new(Lda::new(p, 150, 3, i as u64)) as Box<dyn PsAlgorithm>
+                    }),
+            )
+            .max_iterations(8)
+            .build();
+
+        let reports = cluster.run_jobs(vec![mlr, lasso, nmf, lda]);
+        for r in &reports {
+            assert!(
+                r.final_loss < r.initial_loss,
+                "{}: {} -> {}",
+                r.name,
+                r.initial_loss,
+                r.final_loss
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_progress() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let first = cluster.run_jobs(vec![mlr_job("phase1", 2, 10)]).remove(0);
+
+        // "Migrate": rebuild the job from the checkpointed model (fresh
+        // workers over the same data) and keep training.
+        let data = synth::classification(120, 16, 3, 0.3, 5);
+        let parts = synth::partition(&data, 2);
+        let resumed = JobBuilder::new("phase2")
+            .workers(
+                parts
+                    .into_iter()
+                    .map(|p| Box::new(Mlr::new(p, 16, 3, 0.5)) as Box<dyn PsAlgorithm>),
+            )
+            .initial_model(first.final_model.clone())
+            .max_iterations(10)
+            .build();
+        let second = cluster.run_jobs(vec![resumed]).remove(0);
+        // Resume starts where phase 1 ended (same data, same model).
+        assert!((second.initial_loss - first.final_loss).abs() < 1e-9);
+        assert!(second.final_loss <= second.initial_loss + 1e-9);
+    }
+
+    #[test]
+    fn simulated_network_slows_comm_subtasks() {
+        let slow = PsCluster::new(PsConfig {
+            nodes: 2,
+            network_bytes_per_sec: Some(4.0e6),
+        });
+        let report = slow.run_jobs(vec![mlr_job("slow", 2, 3)]).remove(0);
+        // Model is 3*16 f64 = 384 bytes; delay ~0.1 ms per transfer — just
+        // assert COMM took measurable time relative to a no-delay run.
+        assert!(report.mean_tnet > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn job_requires_workers() {
+        let _ = JobBuilder::new("empty").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "wants 3 workers")]
+    fn job_cannot_exceed_cluster() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let job = mlr_job("big", 3, 1);
+        let _ = cluster.run_jobs(vec![job]);
+    }
+
+    #[test]
+    fn zero_iteration_job_reports_immediately() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let data = synth::classification(10, 4, 2, 0.5, 1);
+        let job = JobBuilder::new("noop")
+            .workers(vec![
+                Box::new(Mlr::new(data, 4, 2, 0.1)) as Box<dyn PsAlgorithm>
+            ])
+            .max_iterations(0)
+            .build();
+        let report = cluster.run_jobs(vec![job]).remove(0);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(report.initial_loss, report.final_loss);
+    }
+}

@@ -1,0 +1,208 @@
+//! The sharded global model.
+//!
+//! The model vector is split into contiguous ranges, one per node, each
+//! guarded by its own lock — workers PULL by snapshotting every shard
+//! and PUSH by adding deltas into every shard, exactly the PS push/pull
+//! API shape. Per-shard locking means pushes from different jobs (or to
+//! different shards) proceed in parallel, like independent server
+//! processes.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A model vector sharded across nodes.
+///
+/// Cloning is cheap (shared `Arc`s): clones refer to the same model.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_ps::ShardedModel;
+///
+/// let model = ShardedModel::new(10, 3);
+/// model.push(&vec![1.0; 10]);
+/// let snapshot = model.pull();
+/// assert_eq!(snapshot, vec![1.0; 10]);
+/// ```
+#[derive(Clone)]
+pub struct ShardedModel {
+    shards: Arc<Vec<RwLock<Vec<f64>>>>,
+    ranges: Arc<Vec<std::ops::Range<usize>>>,
+    len: usize,
+}
+
+impl ShardedModel {
+    /// Creates a zero model of `len` parameters across `nodes` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` or `nodes` is zero.
+    pub fn new(len: usize, nodes: usize) -> Self {
+        assert!(len > 0, "model length must be non-zero");
+        assert!(nodes > 0, "shard count must be non-zero");
+        let nodes = nodes.min(len);
+        let base = len / nodes;
+        let extra = len % nodes;
+        let mut ranges = Vec::with_capacity(nodes);
+        let mut cursor = 0;
+        for i in 0..nodes {
+            let size = base + usize::from(i < extra);
+            ranges.push(cursor..cursor + size);
+            cursor += size;
+        }
+        let shards = ranges
+            .iter()
+            .map(|r| RwLock::new(vec![0.0; r.len()]))
+            .collect();
+        Self {
+            shards: Arc::new(shards),
+            ranges: Arc::new(ranges),
+            len,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the model has no parameters (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes a full PULL transfers (all shards).
+    pub fn pull_bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Snapshots the full model (a PULL of every shard).
+    pub fn pull(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len];
+        for (shard, range) in self.shards.iter().zip(self.ranges.iter()) {
+            out[range.clone()].copy_from_slice(&shard.read());
+        }
+        out
+    }
+
+    /// Snapshots one shard (a partial PULL). Returns the shard's range
+    /// and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn pull_shard(&self, shard: usize) -> (std::ops::Range<usize>, Vec<f64>) {
+        let range = self.ranges[shard].clone();
+        (range, self.shards[shard].read().clone())
+    }
+
+    /// Adds `delta` into the model (a PUSH to every shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len()` differs from the model length.
+    pub fn push(&self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.len, "delta length mismatch");
+        for (shard, range) in self.shards.iter().zip(self.ranges.iter()) {
+            let mut guard = shard.write();
+            for (w, d) in guard.iter_mut().zip(&delta[range.clone()]) {
+                *w += d;
+            }
+        }
+    }
+
+    /// Replaces the model contents (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the model length.
+    pub fn restore(&self, values: &[f64]) {
+        assert_eq!(values.len(), self.len, "restore length mismatch");
+        for (shard, range) in self.shards.iter().zip(self.ranges.iter()) {
+            shard.write().copy_from_slice(&values[range.clone()]);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedModel")
+            .field("len", &self.len)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_model() {
+        let m = ShardedModel::new(10, 3);
+        assert_eq!(m.shard_count(), 3);
+        let mut covered = vec![false; 10];
+        for s in 0..3 {
+            let (range, vals) = m.pull_shard(s);
+            assert_eq!(vals.len(), range.len());
+            for i in range {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn push_then_pull_roundtrips() {
+        let m = ShardedModel::new(7, 2);
+        let delta: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        m.push(&delta);
+        m.push(&delta);
+        let got = m.pull();
+        let want: Vec<f64> = delta.iter().map(|d| d * 2.0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pushes_are_additive_across_threads() {
+        let m = ShardedModel::new(64, 4);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.push(&vec![1.0; 64]))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(m.pull().iter().all(|&v| (v - 8.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn restore_overwrites() {
+        let m = ShardedModel::new(4, 2);
+        m.push(&[1.0, 2.0, 3.0, 4.0]);
+        m.restore(&[9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(m.pull(), vec![9.0; 4]);
+    }
+
+    #[test]
+    fn more_nodes_than_params_is_clamped() {
+        let m = ShardedModel::new(2, 8);
+        assert_eq!(m.shard_count(), 2);
+        assert_eq!(m.pull().len(), 2);
+    }
+
+    #[test]
+    fn pull_bytes_accounts_f64() {
+        let m = ShardedModel::new(100, 2);
+        assert_eq!(m.pull_bytes(), 800);
+    }
+}

@@ -1,0 +1,85 @@
+//! Subtask kinds and timing records.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The three subtask kinds of a PS iteration (Figure 1 / §IV-A).
+///
+/// `Pull` and `Push` are the network-dominant COMM subtasks; `Comp` is
+/// the CPU-dominant computation subtask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubtaskKind {
+    /// Fetch the current model from the servers (COMM).
+    Pull,
+    /// Compute gradients / model updates locally (CPU).
+    Comp,
+    /// Send the update back to the servers (COMM).
+    Push,
+}
+
+impl SubtaskKind {
+    /// Whether this subtask runs on the CPU executor (vs the COMM one).
+    pub fn is_cpu(self) -> bool {
+        matches!(self, SubtaskKind::Comp)
+    }
+
+    /// The subtask that follows this one within an iteration, wrapping
+    /// from `Push` back to `Pull` of the next iteration.
+    pub fn next(self) -> SubtaskKind {
+        match self {
+            SubtaskKind::Pull => SubtaskKind::Comp,
+            SubtaskKind::Comp => SubtaskKind::Push,
+            SubtaskKind::Push => SubtaskKind::Pull,
+        }
+    }
+}
+
+impl fmt::Display for SubtaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubtaskKind::Pull => "PULL",
+            SubtaskKind::Comp => "COMP",
+            SubtaskKind::Push => "PUSH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Wall-clock timing of one executed subtask, fed to the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubtaskTiming {
+    /// Which kind of subtask ran.
+    pub kind: SubtaskKind,
+    /// Node it ran on.
+    pub node: usize,
+    /// Iteration it belonged to.
+    pub iteration: u64,
+    /// How long it ran.
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_cycle() {
+        assert_eq!(SubtaskKind::Pull.next(), SubtaskKind::Comp);
+        assert_eq!(SubtaskKind::Comp.next(), SubtaskKind::Push);
+        assert_eq!(SubtaskKind::Push.next(), SubtaskKind::Pull);
+    }
+
+    #[test]
+    fn cpu_classification() {
+        assert!(SubtaskKind::Comp.is_cpu());
+        assert!(!SubtaskKind::Pull.is_cpu());
+        assert!(!SubtaskKind::Push.is_cpu());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SubtaskKind::Pull.to_string(), "PULL");
+        assert_eq!(SubtaskKind::Comp.to_string(), "COMP");
+        assert_eq!(SubtaskKind::Push.to_string(), "PUSH");
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulation configuration.
+
+use harmony_core::cluster::MachineSpec;
+use harmony_core::schedule::SchedulerConfig;
+use harmony_mem::GcModel;
+
+/// Which scheduling policy drives the run (§V-A baselines + Harmony).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// The full Harmony scheduler: profiling, Algorithm 1, dynamic
+    /// regrouping.
+    Harmony,
+    /// Harmony's machinery but with the exhaustive-search oracle making
+    /// the grouping decision (only tractable for small job counts;
+    /// §V-F).
+    Oracle,
+    /// Dedicated resources per job at its CPU-utilization-maximizing
+    /// "knee" DoP (Optimus/SLAQ-like).
+    Isolated,
+    /// Uncoordinated sharing: jobs packed `jobs_per_group` to a pool,
+    /// subtasks dispatched with no discipline (Gandiva-like). The seed
+    /// picks one of the many possible placements.
+    Naive {
+        /// Jobs packed per shared machine pool.
+        jobs_per_group: usize,
+        /// Placement shuffle seed (the evaluation samples several and
+        /// reports best/worst).
+        seed: u64,
+    },
+}
+
+/// How input-data spill/reload is managed (§IV-C, §V-G).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReloadPolicy {
+    /// Keep everything in memory (α = 0); OOM if it does not fit.
+    None,
+    /// One fixed α for every job (the §V-G baseline).
+    Fixed(f64),
+    /// Static per-job α chosen at group formation so the group fits
+    /// under the target fill (what a production default would do).
+    StaticFit,
+    /// Harmony: per-job hill-climbing α controllers (dynamic reloading).
+    Adaptive,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of machines in the cluster.
+    pub machines: u32,
+    /// Per-machine hardware (defaults to m4.2xlarge).
+    pub machine: MachineSpec,
+    /// Scheduling policy under test.
+    pub scheduler: SchedulerKind,
+    /// Harmony scheduler tunables (ignored by baselines).
+    pub scheduler_config: SchedulerConfig,
+    /// Spill/reload policy.
+    pub reload: ReloadPolicy,
+    /// Iterations a new job runs in a profiling group before its profile
+    /// is declared ready (§IV-B1).
+    pub profile_iterations: u32,
+    /// Machines granted to a freshly created profiling group.
+    pub profiling_group_machines: u32,
+    /// Max jobs co-profiled in one profiling group.
+    pub profiling_group_jobs: usize,
+    /// Coefficient of variation of per-subtask straggler noise.
+    pub straggler_cv: f64,
+    /// RNG seed for all stochastic elements.
+    pub seed: u64,
+    /// NIC demand of a single COMM subtask. At the default 1.0 a COMM
+    /// subtask saturates the wire for its nominal duration, so two
+    /// concurrent subtasks (primary + secondary, §IV-A) pipeline without
+    /// changing aggregate timing — exactly the serialized `Σ Tnet` bound
+    /// of Eq. 1. Values < 1 model request/response idle gaps that the
+    /// secondary subtask can harvest (an ablation knob).
+    pub net_demand: f64,
+    /// Per-extra-task interference slowdown for uncoordinated sharing.
+    pub interference_beta: f64,
+    /// GC pressure model.
+    pub gc: GcModel,
+    /// JVM-style expansion factor on resident input bytes (object
+    /// headers, boxing, intermediate copies).
+    pub memory_expansion: f64,
+    /// Working-set fraction of a job's per-machine input charged while
+    /// its COMP subtask runs.
+    pub workspace_fraction: f64,
+    /// Memory-fill target for `ReloadPolicy::StaticFit`.
+    pub static_fill_target: f64,
+    /// Fraction of the pipeline gap usable as background-preload overlap
+    /// credit (1.0 under Harmony's coordinated reload; lower for
+    /// uncoordinated baselines).
+    pub reload_overlap: f64,
+    /// Deserialization throughput for reloaded blocks (bytes/s of CPU
+    /// work).
+    pub deser_bytes_per_sec: f64,
+    /// Relative error injected into profiles before every scheduling
+    /// decision (Figure 13a); 0 disables.
+    pub error_injection: f64,
+    /// Utilization sampling interval in seconds (the paper uses 1 min).
+    pub utilization_sample_secs: f64,
+    /// Trigger a full reschedule when at least this many profiled/paused
+    /// jobs are waiting (engineering guardrail around §IV-B4's
+    /// minimal-movement rules).
+    pub waiting_reschedule_threshold: usize,
+    /// Force this DoP for isolated jobs and naive pools instead of the
+    /// knee heuristic — used by the motivation experiments (Figures 2-4
+    /// fix the DoP at 16).
+    pub fixed_dop: Option<u32>,
+    /// Override the per-group executor discipline `(cpu_slots,
+    /// net_slots)` regardless of scheduler kind — the ablation study
+    /// uses this to run "subtasks only" (Harmony's discipline under
+    /// naive grouping).
+    pub discipline_override: Option<(usize, usize)>,
+    /// CPU-boundedness factor of the isolated baseline's knee DoP
+    /// (`Tcpu(m) >= factor * Tnet`); larger means lower DoP and higher
+    /// CPU utilization per job (§V-A).
+    pub isolated_knee_factor: f64,
+    /// Record one [`crate::spans::SubtaskSpan`] per executed subtask
+    /// (for Gantt / Chrome-trace export). Off by default: long runs
+    /// produce hundreds of thousands of spans.
+    pub record_spans: bool,
+    /// Mean time between machine failures across the whole cluster
+    /// (§VI "fault tolerance"): each failure hits one random group,
+    /// whose jobs roll back to their last per-epoch checkpoint and pay
+    /// a restart (input reload) delay. `None` disables failures.
+    pub failure_mtbf_secs: Option<f64>,
+    /// Hard cap on simulated seconds (guards against runaway configs).
+    pub max_sim_seconds: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            machines: 100,
+            machine: MachineSpec::m4_2xlarge(),
+            scheduler: SchedulerKind::Harmony,
+            scheduler_config: SchedulerConfig::default(),
+            reload: ReloadPolicy::Adaptive,
+            profile_iterations: 3,
+            profiling_group_machines: 8,
+            profiling_group_jobs: 8,
+            straggler_cv: 0.03,
+            seed: 0,
+            net_demand: 1.0,
+            interference_beta: 0.08,
+            gc: GcModel::default(),
+            memory_expansion: 2.5,
+            workspace_fraction: 0.08,
+            static_fill_target: 0.8,
+            reload_overlap: 1.0,
+            deser_bytes_per_sec: 400.0e6,
+            error_injection: 0.0,
+            utilization_sample_secs: 60.0,
+            waiting_reschedule_threshold: 8,
+            fixed_dop: None,
+            discipline_override: None,
+            isolated_knee_factor: 1.0,
+            record_spans: false,
+            failure_mtbf_secs: None,
+            max_sim_seconds: 60.0 * 86_400.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: a config running `scheduler` with everything else
+    /// default.
+    pub fn with_scheduler(scheduler: SchedulerKind) -> Self {
+        Self {
+            scheduler,
+            ..Self::default()
+        }
+    }
+
+    /// Validates cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("cluster needs at least one machine".into());
+        }
+        if !(0.0..=1.0).contains(&self.net_demand) || self.net_demand == 0.0 {
+            return Err(format!("net_demand must be in (0, 1], got {}", self.net_demand));
+        }
+        if self.profile_iterations == 0 {
+            return Err("profiling needs at least one iteration".into());
+        }
+        if let ReloadPolicy::Fixed(a) = self.reload {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(format!("fixed alpha must be in [0, 1], got {a}"));
+            }
+        }
+        if let SchedulerKind::Naive { jobs_per_group, .. } = self.scheduler {
+            if jobs_per_group == 0 {
+                return Err("naive packing needs at least one job per group".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = SimConfig::default();
+        c.machines = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.net_demand = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.reload = ReloadPolicy::Fixed(1.5);
+        assert!(c.validate().is_err());
+
+        let c = SimConfig::with_scheduler(SchedulerKind::Naive {
+            jobs_per_group: 0,
+            seed: 0,
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_scheduler_sets_kind() {
+        let c = SimConfig::with_scheduler(SchedulerKind::Isolated);
+        assert_eq!(c.scheduler, SchedulerKind::Isolated);
+        assert_eq!(c.machines, 100);
+    }
+}

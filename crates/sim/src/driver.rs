@@ -1,0 +1,2025 @@
+//! The simulation driver: events, scheduling policies, and the full run
+//! loop.
+//!
+//! One [`Driver::run`] call executes a complete workload — arrivals,
+//! profiling, scheduling, subtask execution, memory management,
+//! regrouping, completion — under one [`SchedulerKind`] and returns a
+//! [`RunReport`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::{Duration, Instant};
+
+use harmony_core::baseline::IsolatedScheduler;
+use harmony_core::group::GroupId;
+use harmony_core::job::JobId;
+use harmony_core::oracle::OracleScheduler;
+use harmony_core::profile::{JobProfile, ProfileStore};
+use harmony_core::regroup::{ClusterView, RegroupDecision, Regrouper};
+use harmony_core::schedule::{ScheduleOutcome, Scheduler};
+use harmony_metrics::{OnlineStats, Timeline};
+use harmony_mem::AlphaController;
+
+use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
+use crate::fluid::TaskKey;
+use crate::groupmem::{self, FitOutcome, JobFootprint, MemoryParams};
+use crate::noise::Straggler;
+use crate::report::{GroupingSnapshot, JobOutcome, PredictionSample, RunReport};
+use crate::runtime::{ExecPhase, GroupSim, JobSim, Phase, SimJobState};
+use crate::spans::SubtaskSpan;
+
+/// Deterministic exponential-ish inter-failure gap (inverse CDF on a
+/// splitmix64 stream).
+fn next_failure_gap(seed: u64, n: u64, mtbf: f64) -> f64 {
+    let mut z = (seed ^ 0xD6E8_FEB8_6659_FD93)
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add((n + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z as f64 / u64::MAX as f64).clamp(1e-9, 1.0 - 1e-9);
+    -u.ln() * mtbf
+}
+
+/// Deterministic per-(seed, job, component) relative error in
+/// `[-amplitude, +amplitude]`, fixed for a whole run (splitmix64 hash).
+fn persistent_error(seed: u64, job: u64, component: u64, amplitude: f64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(job.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(component.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = z as f64 / u64::MAX as f64; // [0, 1]
+    (unit * 2.0 - 1.0) * amplitude
+}
+
+/// Heap-ordered simulation time (finite `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("simulation time is finite")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Arrival(usize),
+    Wake { group: usize, gen: u64 },
+    Sample,
+    NaiveForm,
+    /// A machine fails somewhere in the cluster (§VI).
+    Failure(u64),
+}
+
+#[derive(Debug)]
+enum Notify {
+    Profiled(usize),
+    Finished { job: usize, group: usize },
+}
+
+/// The discrete-event simulation driver.
+pub struct Driver {
+    cfg: SimConfig,
+    mem: MemoryParams,
+    jobs: Vec<JobSim>,
+    groups: Vec<Option<GroupSim>>,
+    free_machines: u32,
+    now: f64,
+    events: BinaryHeap<Reverse<(Time, u64, EventKind)>>,
+    event_seq: u64,
+    noise: Straggler,
+    scheduler: Scheduler,
+    regrouper: Regrouper,
+    oracle: OracleScheduler,
+    bootstrapped: bool,
+    naive_form_scheduled: bool,
+    isolated_queue: VecDeque<usize>,
+    /// Notifications discovered while mutating group state; drained at
+    /// the top event loop only, so scheduling never re-enters itself.
+    deferred: Vec<Notify>,
+    // Report accumulators.
+    cpu_busy_total: f64,
+    net_busy_total: f64,
+    cpu_tl: Timeline,
+    net_tl: Timeline,
+    oom_events: Vec<(f64, String)>,
+    snapshots: Vec<GroupingSnapshot>,
+    predictions: Vec<PredictionSample>,
+    sched_invocations: usize,
+    sched_wall: Duration,
+    migrations: usize,
+    failures_injected: usize,
+    gc_seconds: f64,
+    alpha_stats: OnlineStats,
+    iter_wall_stats: OnlineStats,
+    spans: Vec<SubtaskSpan>,
+    /// Per-group, per-member iteration-period statistics; Eq. 1 is
+    /// validated against the slowest member's mean period.
+    group_iter_stats: Vec<std::collections::HashMap<usize, OnlineStats>>,
+    concurrent_stats: OnlineStats,
+}
+
+impl Driver {
+    /// Creates a driver for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        let mem = MemoryParams {
+            capacity: cfg.machine.memory_bytes,
+            expansion: cfg.memory_expansion,
+            workspace_fraction: cfg.workspace_fraction,
+        };
+        Self {
+            noise: Straggler::new(cfg.straggler_cv, cfg.seed ^ 0x5u64),
+            scheduler: Scheduler::new(cfg.scheduler_config),
+            regrouper: Regrouper::new(Scheduler::new(cfg.scheduler_config)),
+            oracle: OracleScheduler::new(cfg.scheduler_config),
+            free_machines: cfg.machines,
+            mem,
+            cfg,
+            jobs: Vec::new(),
+            groups: Vec::new(),
+            now: 0.0,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            bootstrapped: false,
+            naive_form_scheduled: false,
+            isolated_queue: VecDeque::new(),
+            deferred: Vec::new(),
+            cpu_busy_total: 0.0,
+            net_busy_total: 0.0,
+            cpu_tl: Timeline::new("cpu-util"),
+            net_tl: Timeline::new("net-util"),
+            oom_events: Vec::new(),
+            snapshots: Vec::new(),
+            predictions: Vec::new(),
+            sched_invocations: 0,
+            sched_wall: Duration::ZERO,
+            migrations: 0,
+            failures_injected: 0,
+            gc_seconds: 0.0,
+            alpha_stats: OnlineStats::new(),
+            iter_wall_stats: OnlineStats::new(),
+            spans: Vec::new(),
+            group_iter_stats: Vec::new(),
+            concurrent_stats: OnlineStats::new(),
+        }
+    }
+
+    /// Runs the whole workload to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` and `arrivals` lengths differ.
+    pub fn run(
+        cfg: SimConfig,
+        specs: Vec<harmony_core::job::JobSpec>,
+        arrivals: Vec<f64>,
+    ) -> RunReport {
+        assert_eq!(specs.len(), arrivals.len(), "one arrival time per job");
+        let mut d = Driver::new(cfg);
+        for (i, (spec, at)) in specs.into_iter().zip(arrivals).enumerate() {
+            assert!(spec.validate().is_ok(), "job {i} spec invalid");
+            d.jobs.push(JobSim::new(i, spec, at));
+            d.push_event(at, EventKind::Arrival(i));
+        }
+        d.push_event(0.0, EventKind::Sample);
+        if let Some(mtbf) = d.cfg.failure_mtbf_secs {
+            d.push_event(next_failure_gap(d.cfg.seed, 0, mtbf), EventKind::Failure(1));
+        }
+        d.event_loop();
+        d.finalize()
+    }
+
+    fn push_event(&mut self, at: f64, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse((Time(at), self.event_seq, kind)));
+    }
+
+    fn live_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_live()).count()
+    }
+
+    fn event_loop(&mut self) {
+        let mut stall_breaker = 0;
+        while let Some(Reverse((Time(t), _, kind))) = self.events.pop() {
+            if self.live_jobs() == 0 {
+                break;
+            }
+            if t > self.cfg.max_sim_seconds {
+                if std::env::var_os("HARMONY_SIM_DEBUG").is_some() {
+                    for (i, job) in self.jobs.iter().enumerate() {
+                        if job.is_live() {
+                            eprintln!(
+                                "stuck job {i} {}: state={:?} exec={:?} group={:?} iters={} pl={}",
+                                job.spec.name, job.state, job.exec, job.group,
+                                job.iterations_done, job.profiling_left
+                            );
+                        }
+                    }
+                    for g in self.alive_group_ids() {
+                        let grp = self.groups[g].as_ref().unwrap();
+                        eprintln!(
+                            "alive group {g}: m={} jobs={:?} cpuq={:?} netq={:?} cpu_tasks={} net_tasks={} prof_host={}",
+                            grp.machines, grp.jobs, grp.cpu_queue, grp.net_queue,
+                            grp.cpu.len(), grp.net.len(), grp.profiling_host
+                        );
+                    }
+                    eprintln!("free_machines={} bootstrapped={}", self.free_machines, self.bootstrapped);
+                }
+                // Runaway config: abandon remaining work as failed.
+                for j in 0..self.jobs.len() {
+                    if self.jobs[j].is_live() {
+                        self.jobs[j].state = SimJobState::Failed;
+                        self.jobs[j].finish = Some(t);
+                    }
+                }
+                break;
+            }
+            self.now = self.now.max(t);
+            match kind {
+                EventKind::Arrival(j) => self.on_arrival(j),
+                EventKind::Wake { group, gen } => {
+                    let valid = self.groups.get(group).is_some_and(|g| {
+                        g.as_ref().is_some_and(|g| g.gen == gen)
+                    });
+                    if valid {
+                        let notes = self.advance_group(group);
+                        self.handle_notifications(notes);
+                    }
+                }
+                EventKind::Sample => {
+                    self.sample_utilization();
+                    if self.live_jobs() > 0 {
+                        self.push_event(
+                            self.now + self.cfg.utilization_sample_secs,
+                            EventKind::Sample,
+                        );
+                    }
+                }
+                EventKind::NaiveForm => {
+                    self.naive_form_scheduled = false;
+                    self.naive_form_groups();
+                }
+                EventKind::Failure(n) => {
+                    self.inject_failure(n);
+                    if let Some(mtbf) = self.cfg.failure_mtbf_secs {
+                        if self.live_jobs() > 0 {
+                            self.push_event(
+                                self.now + next_failure_gap(self.cfg.seed, n, mtbf),
+                                EventKind::Failure(n + 1),
+                            );
+                        }
+                    }
+                }
+            }
+            // Drain notifications deferred during state mutation.
+            let mut guard = 0;
+            while !self.deferred.is_empty() {
+                let notes = std::mem::take(&mut self.deferred);
+                self.handle_notifications(notes);
+                guard += 1;
+                assert!(guard < 1000, "deferred-notification livelock");
+            }
+            // Deadlock guardrail: live jobs but no pending events.
+            if self.events.is_empty() && self.live_jobs() > 0 {
+                stall_breaker += 1;
+                assert!(
+                    stall_breaker < 64,
+                    "simulation stalled at t={} with {} live jobs",
+                    self.now,
+                    self.live_jobs()
+                );
+                self.unstall();
+            }
+        }
+    }
+
+    /// Last-resort progress: re-run the placement machinery.
+    fn unstall(&mut self) {
+        match self.cfg.scheduler {
+            SchedulerKind::Harmony | SchedulerKind::Oracle => {
+                self.full_reschedule();
+                // Anything still waiting (e.g. never profiled because no
+                // group existed) re-enters profiling.
+                let waiting: Vec<usize> = (0..self.jobs.len())
+                    .filter(|&j| self.jobs[j].state == SimJobState::Waiting)
+                    .collect();
+                for j in waiting {
+                    self.place_for_profiling(j);
+                }
+            }
+            SchedulerKind::Isolated => self.isolated_admit(),
+            SchedulerKind::Naive { .. } => self.naive_form_groups(),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Arrival handling.
+    // ----------------------------------------------------------------
+
+    fn on_arrival(&mut self, j: usize) {
+        match self.cfg.scheduler {
+            SchedulerKind::Harmony | SchedulerKind::Oracle => self.place_for_profiling(j),
+            SchedulerKind::Isolated => {
+                self.isolated_queue.push_back(j);
+                self.isolated_admit();
+            }
+            SchedulerKind::Naive { .. } => {
+                if !self.naive_form_scheduled {
+                    self.naive_form_scheduled = true;
+                    self.push_event(self.now + 1.0, EventKind::NaiveForm);
+                }
+            }
+        }
+    }
+
+    /// Places a new job for profiling (§IV-B1: "a job group with the
+    /// smallest number of machines or a job group that is already
+    /// profiling another new job").
+    fn place_for_profiling(&mut self, j: usize) {
+        self.jobs[j].state = SimJobState::Profiling;
+        self.jobs[j].profiling_left = self.cfg.profile_iterations;
+
+        // Prefer an existing profiling host with room.
+        let host = self
+            .alive_group_ids()
+            .into_iter()
+            .filter(|&g| {
+                let grp = self.groups[g].as_ref().expect("alive");
+                grp.profiling_host && grp.jobs.len() < self.cfg.profiling_group_jobs
+            })
+            .min_by_key(|&g| self.groups[g].as_ref().expect("alive").jobs.len());
+        if let Some(g) = host {
+            self.attach_job(g, j, true);
+            return;
+        }
+        // Otherwise spin up a new profiling group from free machines.
+        if self.free_machines > 0 {
+            let m = self.cfg.profiling_group_machines.min(self.free_machines);
+            let g = self.create_group(m, true, None, None);
+            self.attach_job(g, j, true);
+            return;
+        }
+        // No free machines: piggyback on the smallest group.
+        if let Some(g) = self
+            .alive_group_ids()
+            .into_iter()
+            .min_by_key(|&g| self.groups[g].as_ref().expect("alive").machines)
+        {
+            self.attach_job(g, j, true);
+        }
+        // Else: stay Waiting; the unstall guardrail will retry.
+    }
+
+    // ----------------------------------------------------------------
+    // Group construction / teardown.
+    // ----------------------------------------------------------------
+
+    fn discipline(&self) -> (usize, usize) {
+        if let Some(slots) = self.cfg.discipline_override {
+            return slots;
+        }
+        match self.cfg.scheduler {
+            SchedulerKind::Naive { .. } => (usize::MAX / 2, usize::MAX / 2),
+            _ => (1, 2),
+        }
+    }
+
+    fn create_group(
+        &mut self,
+        machines: u32,
+        profiling_host: bool,
+        predicted_iteration: Option<f64>,
+        predicted_util: Option<(f64, f64)>,
+    ) -> usize {
+        assert!(machines <= self.free_machines, "machine over-allocation");
+        self.free_machines -= machines;
+        let id = self.groups.len();
+        let (cpu_slots, net_slots) = self.discipline();
+        let beta = match self.cfg.scheduler {
+            SchedulerKind::Naive { .. } => self.cfg.interference_beta,
+            _ => 0.0,
+        };
+        let mut g = GroupSim::new(id, machines, cpu_slots, net_slots, beta, self.now);
+        g.profiling_host = profiling_host;
+        g.predicted_iteration = predicted_iteration;
+        g.predicted_util = predicted_util;
+        self.groups.push(Some(g));
+        self.group_iter_stats.push(std::collections::HashMap::new());
+        id
+    }
+
+    /// Adds a job to a group, charging an input-(re)load delay, and
+    /// recomputes the group's memory plan. Returns `false` (reverting
+    /// the job to a placeable state) when the group no longer exists —
+    /// e.g. it was dissolved by an OOM kill while a batch of jobs was
+    /// being attached.
+    fn attach_job(&mut self, g: usize, j: usize, keep_state: bool) -> bool {
+        let Some(machines) = self
+            .groups
+            .get(g)
+            .and_then(|x| x.as_ref())
+            .map(|grp| grp.machines)
+        else {
+            if self.jobs[j].is_live() {
+                self.jobs[j].state = if self.jobs[j].profile.is_warm() {
+                    SimJobState::Paused
+                } else {
+                    SimJobState::Waiting
+                };
+            }
+            return false;
+        };
+        let load_bytes =
+            (1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64;
+        let delay = load_bytes / (f64::from(machines) * self.cfg.machine.disk_bytes_per_sec);
+        let job = &mut self.jobs[j];
+        job.group = Some(g);
+        job.exec = ExecPhase::Idle {
+            ready_at: self.now + delay,
+        };
+        job.pause_requested = false;
+        job.last_comp_end = self.now + delay;
+        if !keep_state {
+            job.state = SimJobState::Running;
+        }
+        let mut grp = self.groups[g].take().expect("alive group");
+        self.finalize_prediction_of(&mut grp);
+        grp.jobs.push(j);
+        grp.iters_at_creation.push((j, self.jobs[j].iterations_done));
+        grp.steady_at = grp.steady_at.max(self.now + delay);
+        grp.steady_mark = None;
+        self.groups[g] = Some(grp);
+        self.recompute_group_memory(g);
+        self.bump_and_wake(g);
+        // The OOM path inside recompute may have dissolved the group or
+        // killed this very job. (The load-completion wake is armed by
+        // `arm_wake`, which accounts for members' ready times.)
+        if self.groups.get(g).and_then(|x| x.as_ref()).is_none() {
+            return self.jobs[j].is_live();
+        }
+        let _ = delay;
+        true
+    }
+
+    /// Removes a job from its group; dissolves the group when empty.
+    fn detach_job(&mut self, j: usize) {
+        let Some(g) = self.jobs[j].group.take() else {
+            return;
+        };
+        let mut owned = self.groups[g].take().expect("job group alive");
+        self.finalize_prediction_of(&mut owned);
+        self.groups[g] = Some(owned);
+        let grp = self.groups[g].as_mut().expect("job group alive");
+        grp.unqueue(j);
+        if let ExecPhase::Running(phase) = self.jobs[j].exec {
+            let res = if phase.is_cpu() { &mut grp.cpu } else { &mut grp.net };
+            for key in res.tasks_of(j) {
+                res.cancel(key);
+            }
+        }
+        grp.jobs.retain(|&x| x != j);
+        self.jobs[j].exec = ExecPhase::Idle { ready_at: self.now };
+        if self.groups[g].as_ref().expect("alive").jobs.is_empty() {
+            self.dissolve_group(g);
+        } else {
+            self.recompute_group_memory(g);
+            self.bump_and_wake(g);
+        }
+    }
+
+    /// Emits the group's prediction-accuracy sample (once) — called on
+    /// the first composition change and on dissolution, so the realized
+    /// window matches the grouping the prediction was made for.
+    fn finalize_prediction_of(&mut self, grp: &mut GroupSim) {
+        let Some(pred_it) = grp.predicted_iteration.take() else {
+            return;
+        };
+        let Some((pu_c, pu_n)) = grp.predicted_util.take() else {
+            return;
+        };
+        // Measure from steady state (all founding members loaded) so
+        // warm-up idleness is not charged against the prediction.
+        let (cpu0, net0, t0) = grp
+            .steady_mark
+            .unwrap_or((grp.cpu_busy, grp.net_busy, self.now));
+        let lifetime = self.now - t0;
+        // Eq. 1 predicts the period at which *every* member completes an
+        // iteration; faster members free-run ahead in the pipeline, so
+        // the realized counterpart is the slowest member's mean period.
+        let realized_iter = self.group_iter_stats[grp.id]
+            .values()
+            .filter(|s| s.count() >= 2)
+            .map(OnlineStats::mean)
+            .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))));
+        if let Some(realized_iter) = realized_iter {
+            if lifetime > 2.0 * pred_it {
+                let w = self.cfg.scheduler_config.cpu_weight;
+                let realized_u = w * ((grp.cpu_busy - cpu0) / lifetime)
+                    + (1.0 - w) * ((grp.net_busy - net0) / lifetime);
+                let predicted_u = w * pu_c + (1.0 - w) * pu_n;
+                self.predictions.push(PredictionSample {
+                    predicted_iteration: pred_it,
+                    realized_iteration: realized_iter,
+                    predicted_util: predicted_u,
+                    realized_util: realized_u.max(1e-9),
+                });
+            }
+        }
+    }
+
+    fn dissolve_group(&mut self, g: usize) {
+        // Advance to now so busy integrals are complete.
+        let grp = self.groups[g].as_mut().expect("alive group");
+        let dt = self.now - grp.last_advance;
+        if dt > 0.0 {
+            let (_, used_c) = grp.cpu.advance(dt);
+            let (_, used_n) = grp.net.advance(dt);
+            grp.cpu_busy += used_c;
+            grp.net_busy += used_n;
+            grp.last_advance = self.now;
+        }
+        let mut grp = self.groups[g].take().expect("alive group");
+        self.finalize_prediction_of(&mut grp);
+        self.free_machines += grp.machines;
+        let mf = f64::from(grp.machines);
+        self.cpu_busy_total += grp.cpu_busy * mf;
+        self.net_busy_total += grp.net_busy * mf;
+    }
+
+    fn alive_group_ids(&self) -> Vec<usize> {
+        (0..self.groups.len())
+            .filter(|&g| self.groups[g].is_some())
+            .collect()
+    }
+
+    // ----------------------------------------------------------------
+    // Memory management (§IV-C).
+    // ----------------------------------------------------------------
+
+    fn footprints(&self, g: &GroupSim) -> Vec<JobFootprint> {
+        g.jobs
+            .iter()
+            .map(|&j| {
+                let job = &self.jobs[j];
+                JobFootprint {
+                    input_bytes: job.spec.input_bytes,
+                    model_bytes: job.spec.model_bytes,
+                    alpha: job.alpha,
+                    model_spilled: job.model_spilled,
+                    computing: matches!(job.exec, ExecPhase::Running(Phase::Comp)),
+                }
+            })
+            .collect()
+    }
+
+    /// Re-derives every member's α (and model-spill flag) for the
+    /// group's current composition, killing jobs on unavoidable OOM.
+    fn recompute_group_memory(&mut self, g: usize) {
+        loop {
+            let grp = self.groups[g].as_ref().expect("alive group");
+            if grp.jobs.is_empty() {
+                return;
+            }
+            let m = grp.machines;
+            let members = grp.jobs.clone();
+            // Baselines run on the same runtime as Harmony (§V-A: "we
+            // implement their scheduling schemes on Harmony"), so model
+            // spill is a property of the reload policy, not the
+            // scheduler.
+            let allow_model_spill = !matches!(self.cfg.reload, ReloadPolicy::None);
+            // Probe with fresh (policy-independent) footprints.
+            let probe: Vec<JobFootprint> = members
+                .iter()
+                .map(|&j| JobFootprint {
+                    input_bytes: self.jobs[j].spec.input_bytes,
+                    model_bytes: self.jobs[j].spec.model_bytes,
+                    alpha: 0.0,
+                    model_spilled: false,
+                    computing: false,
+                })
+                .collect();
+            let (cpu_slots, _) = self.discipline();
+            let concurrent = cpu_slots.min(members.len()).max(1);
+            let fit = groupmem::classify_fit(&probe, m, &self.mem, concurrent);
+            let oom = match (fit, self.cfg.reload) {
+                (FitOutcome::OutOfMemory, _) => true,
+                (FitOutcome::NeedsModelSpill, _) if !allow_model_spill => true,
+                (FitOutcome::NeedsSpill | FitOutcome::NeedsModelSpill, ReloadPolicy::None) => {
+                    true
+                }
+                (outcome, policy) => {
+                    // Apply the policy.
+                    let floor =
+                        groupmem::static_fit_alpha(&probe, m, &self.mem, 0.95, concurrent);
+                    let target = groupmem::static_fit_alpha(
+                        &probe,
+                        m,
+                        &self.mem,
+                        self.cfg.static_fill_target,
+                        concurrent,
+                    );
+                    for &j in &members {
+                        let job = &mut self.jobs[j];
+                        job.model_spilled =
+                            allow_model_spill && outcome == FitOutcome::NeedsModelSpill;
+                        match policy {
+                            ReloadPolicy::None => job.alpha = 0.0,
+                            ReloadPolicy::Fixed(a) => job.alpha = a.max(0.0),
+                            ReloadPolicy::StaticFit => {
+                                job.alpha = target;
+                                job.alpha_floor = floor;
+                            }
+                            ReloadPolicy::Adaptive => {
+                                let _ = floor;
+                                if job.alpha_ctl.is_none() {
+                                    let start = AlphaController::initial_alpha(
+                                        (job.spec.input_bytes as f64 * self.mem.expansion)
+                                            as u64,
+                                        job.spec.model_bytes,
+                                        self.mem.capacity
+                                            * u64::from(m)
+                                            / members.len().max(1) as u64,
+                                    )
+                                    .max(floor);
+                                    job.alpha_ctl =
+                                        Some(AlphaController::new(start.clamp(0.0, 1.0), 0.05));
+                                }
+                                let a = job
+                                    .alpha_ctl
+                                    .as_ref()
+                                    .expect("just initialized")
+                                    .alpha();
+                                job.alpha = a.clamp(0.0, 1.0);
+                            }
+                        }
+                    }
+                    // Adaptive: per-job floors, each assuming the other
+                    // members keep their current ratios — small jobs get a
+                    // zero floor while the heavyweights carry the spill.
+                    if matches!(policy, ReloadPolicy::Adaptive) {
+                        // Floors target the GC-free fill level: below it a
+                        // job's cheap local win (fewer reloads) is paid by
+                        // every co-located job through shared GC pressure,
+                        // so the master does not let controllers go there.
+                        // One COMP subtask's working set is live at any
+                        // time under the subtask discipline — reserve the
+                        // worst case up front.
+                        let max_workspace: f64 = members
+                            .iter()
+                            .map(|&k| {
+                                self.jobs[k].spec.input_bytes as f64
+                                    * self.mem.expansion
+                                    * self.mem.workspace_fraction
+                            })
+                            .fold(0.0, f64::max);
+                        let budget = self.mem.capacity as f64
+                            * f64::from(m)
+                            * self.cfg.gc.threshold()
+                            - max_workspace;
+                        let models: f64 = members
+                            .iter()
+                            .map(|&k| {
+                                if self.jobs[k].model_spilled {
+                                    0.0
+                                } else {
+                                    self.jobs[k].spec.model_bytes as f64
+                                }
+                            })
+                            .sum();
+                        for &j in &members {
+                            let others: f64 = members
+                                .iter()
+                                .filter(|&&k| k != j)
+                                .map(|&k| {
+                                    (1.0 - self.jobs[k].alpha)
+                                        * self.jobs[k].spec.input_bytes as f64
+                                        * self.mem.expansion
+                                })
+                                .sum();
+                            let mine = self.jobs[j].spec.input_bytes as f64 * self.mem.expansion;
+                            let room = budget - models - others;
+                            let floor_j = if mine > 0.0 {
+                                (1.0 - room / mine).clamp(0.0, 1.0)
+                            } else {
+                                0.0
+                            };
+                            self.jobs[j].alpha_floor = floor_j;
+                            self.jobs[j].alpha = self.jobs[j].alpha.max(floor_j);
+                        }
+                    }
+                    // Fixed / None may still blow past capacity.
+                    let grp = self.groups[g].as_ref().expect("alive");
+                    groupmem::usage_ratio(&self.footprints(grp), m, &self.mem) > 1.0
+                }
+            };
+            if !oom {
+                return;
+            }
+            // OOM: kill the largest-footprint member and retry.
+            let victim = members
+                .iter()
+                .copied()
+                .max_by_key(|&j| {
+                    self.jobs[j].spec.input_bytes + self.jobs[j].spec.model_bytes
+                })
+                .expect("non-empty group");
+            self.oom_events
+                .push((self.now, self.jobs[victim].spec.name.clone()));
+            self.jobs[victim].state = SimJobState::Failed;
+            self.jobs[victim].finish = Some(self.now);
+            let grp = self.groups[g].as_mut().expect("alive");
+            grp.unqueue(victim);
+            grp.jobs.retain(|&x| x != victim);
+            self.jobs[victim].group = None;
+            if self.groups[g].as_ref().expect("alive").jobs.is_empty() {
+                self.dissolve_group(g);
+                return;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Subtask execution.
+    // ----------------------------------------------------------------
+
+    /// Advances group `g` to `self.now`, processes completions and
+    /// dispatches, then re-arms the group's wake event.
+    fn advance_group(&mut self, g: usize) -> Vec<Notify> {
+        let mut notes = Vec::new();
+        let mut grp = self.groups[g].take().expect("alive group");
+        let dt = self.now - grp.last_advance;
+        if dt > 0.0 {
+            let (done_cpu, used_c) = grp.cpu.advance(dt);
+            let (done_net, used_n) = grp.net.advance(dt);
+            grp.cpu_busy += used_c;
+            grp.net_busy += used_n;
+            grp.last_advance = self.now;
+            for key in done_cpu.into_iter().chain(done_net) {
+                self.on_subtask_done(&mut grp, key, &mut notes);
+            }
+        } else {
+            grp.last_advance = self.now;
+        }
+        if grp.steady_mark.is_none() && self.now >= grp.steady_at {
+            grp.steady_mark = Some((grp.cpu_busy, grp.net_busy, self.now));
+        }
+        self.dispatch(&mut grp);
+        let id = grp.id;
+        let empty = grp.jobs.is_empty();
+        self.groups[id] = Some(grp);
+        if empty {
+            self.dissolve_group(id);
+        } else {
+            self.arm_wake(id);
+        }
+        notes
+    }
+
+    /// Bumps the generation (invalidating stale wakes) and re-arms.
+    fn bump_and_wake(&mut self, g: usize) {
+        if let Some(grp) = self.groups[g].as_mut() {
+            // Catch up the fluid clock before composition-driven rate
+            // changes take effect.
+            let dt = self.now - grp.last_advance;
+            if dt > 0.0 {
+                let (done_cpu, used_c) = grp.cpu.advance(dt);
+                let (done_net, used_n) = grp.net.advance(dt);
+                grp.cpu_busy += used_c;
+                grp.net_busy += used_n;
+                grp.last_advance = self.now;
+                // Completions discovered here are rare (composition
+                // changes usually happen at completion boundaries). The
+                // resulting notifications are deferred to the event loop
+                // so the scheduler never re-enters itself mid-mutation.
+                if !done_cpu.is_empty() || !done_net.is_empty() {
+                    let mut grp_owned = self.groups[g].take().expect("alive");
+                    let mut notes = Vec::new();
+                    for key in done_cpu.into_iter().chain(done_net) {
+                        self.on_subtask_done(&mut grp_owned, key, &mut notes);
+                    }
+                    let id = grp_owned.id;
+                    self.groups[id] = Some(grp_owned);
+                    self.deferred.extend(notes);
+                }
+            }
+        }
+        if let Some(grp) = self.groups[g].as_mut() {
+            grp.gen += 1;
+            let mut grp = self.groups[g].take().expect("alive");
+            self.dispatch(&mut grp);
+            let id = grp.id;
+            let empty = grp.jobs.is_empty();
+            self.groups[id] = Some(grp);
+            if empty {
+                self.dissolve_group(id);
+            } else {
+                self.arm_wake(id);
+            }
+        }
+    }
+
+    fn arm_wake(&mut self, g: usize) {
+        let Some(grp) = self.groups[g].as_ref() else {
+            return;
+        };
+        let gen = grp.gen;
+        // Next fluid-task completion...
+        let mut next: Option<f64> = grp.time_to_next_event().map(|dt| self.now + dt.max(0.0));
+        // ...or the earliest pending input-load completion: a member
+        // still loading needs a wake at its ready time, and generation
+        // bumps may have invalidated the wake pushed when it attached.
+        for &j in &grp.jobs {
+            if let ExecPhase::Idle { ready_at } = self.jobs[j].exec {
+                if ready_at > self.now
+                    && matches!(
+                        self.jobs[j].state,
+                        SimJobState::Running
+                            | SimJobState::Profiling
+                            | SimJobState::Profiled
+                    )
+                {
+                    next = Some(next.map_or(ready_at, |t| t.min(ready_at)));
+                }
+            }
+        }
+        if let Some(t) = next {
+            self.push_event(t, EventKind::Wake { group: g, gen });
+        }
+    }
+
+    fn on_subtask_done(&mut self, grp: &mut GroupSim, key: TaskKey, notes: &mut Vec<Notify>) {
+        let j = key.job;
+        let ExecPhase::Running(phase) = self.jobs[j].exec else {
+            return; // stale completion after a pause/cancel
+        };
+        if self.cfg.record_spans {
+            self.spans.push(SubtaskSpan {
+                job: j,
+                job_name: self.jobs[j].spec.name.clone(),
+                phase,
+                group: grp.id,
+                start: self.jobs[j].phase_start,
+                end: self.now,
+            });
+        }
+        // Profiles record the solo-equivalent duration (the subtask's
+        // work at full rate): co-location stretching is a property of
+        // the schedule, not of the job, and Eqs. 1-4 are stated in solo
+        // subtask times.
+        let solo = self.jobs[j].phase_solo;
+        match phase {
+            Phase::Pull => {
+                self.jobs[j].iter_tnet += solo;
+                self.jobs[j].exec = ExecPhase::Queued(Phase::Comp);
+                grp.cpu_queue.push_back(j);
+            }
+            Phase::Comp => {
+                self.jobs[j].iter_tcpu += solo;
+                self.jobs[j].last_comp_end = self.now;
+                self.jobs[j].exec = ExecPhase::Queued(Phase::Push);
+                grp.net_queue.push_back(j);
+            }
+            Phase::Push => {
+                self.jobs[j].iter_tnet += solo;
+                self.complete_iteration(grp, j, notes);
+            }
+        }
+    }
+
+    fn complete_iteration(&mut self, grp: &mut GroupSim, j: usize, notes: &mut Vec<Notify>) {
+        let m = grp.machines;
+        let (tcpu, tnet) = (self.jobs[j].iter_tcpu, self.jobs[j].iter_tnet);
+        self.jobs[j].iterations_done += 1;
+        self.jobs[j].profile.observe_iteration(tcpu, tnet, m);
+        let iter_wall = self.now - self.jobs[j].iter_start;
+        self.jobs[j].last_iter_wall = iter_wall;
+        self.iter_wall_stats.observe(iter_wall);
+        // Skip each member's first in-group iteration (load warmup).
+        let first_in_group = grp
+            .iters_at_creation
+            .iter()
+            .find(|&&(job, _)| job == j)
+            .map(|&(_, at)| self.jobs[j].iterations_done <= at + 1)
+            .unwrap_or(false);
+        if !first_in_group {
+            self.group_iter_stats[grp.id]
+                .entry(j)
+                .or_default()
+                .observe(iter_wall);
+        }
+        // Hill-climbing α update. The cost signal is the job's own COMP
+        // cost (base work + GC share + deserialization + disk-blocked
+        // time) — the components α actually controls — smoothed over a
+        // few iterations so one noisy sample cannot flip the climb
+        // direction.
+        if let ReloadPolicy::Adaptive = self.cfg.reload {
+            self.jobs[j].alpha_cost_acc += tcpu;
+            self.jobs[j].alpha_cost_n += 1;
+            if self.jobs[j].alpha_cost_n >= 3 {
+                let cost = self.jobs[j].alpha_cost_acc / f64::from(self.jobs[j].alpha_cost_n);
+                self.jobs[j].alpha_cost_acc = 0.0;
+                self.jobs[j].alpha_cost_n = 0;
+                let floor = self.jobs[j].alpha_floor;
+                if let Some(ctl) = self.jobs[j].alpha_ctl.as_mut() {
+                    let a = ctl.observe(cost);
+                    self.jobs[j].alpha = a.max(floor).min(1.0);
+                }
+            }
+        }
+        if self.jobs[j].profiling_left > 0 {
+            self.jobs[j].profiling_left -= 1;
+            if self.jobs[j].profiling_left == 0 {
+                notes.push(Notify::Profiled(j));
+            }
+        }
+        if self.jobs[j].iterations_done >= self.jobs[j].total_iterations {
+            self.jobs[j].state = SimJobState::Finished;
+            self.jobs[j].finish = Some(self.now);
+            notes.push(Notify::Finished { job: j, group: grp.id });
+            self.detach_from(grp, j);
+        } else if self.jobs[j].pause_requested {
+            self.jobs[j].pause_requested = false;
+            self.jobs[j].state = SimJobState::Paused;
+            self.detach_from(grp, j);
+        } else {
+            self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
+            grp.net_queue.push_back(j);
+        }
+    }
+
+    /// Detaches `j` from an owned group (used inside `advance_group`
+    /// where the group is taken out of `self.groups`).
+    fn detach_from(&mut self, grp: &mut GroupSim, j: usize) {
+        self.finalize_prediction_of(grp);
+        grp.unqueue(j);
+        grp.jobs.retain(|&x| x != j);
+        self.jobs[j].group = None;
+        self.jobs[j].exec = ExecPhase::Idle { ready_at: self.now };
+    }
+
+    fn dispatch(&mut self, grp: &mut GroupSim) {
+        // Promote ready Idle members into the PULL queue.
+        let members = grp.jobs.clone();
+        for j in members {
+            if let ExecPhase::Idle { ready_at } = self.jobs[j].exec {
+                if ready_at <= self.now + 1e-9
+                    && matches!(
+                        self.jobs[j].state,
+                        SimJobState::Running
+                            | SimJobState::Profiling
+                            | SimJobState::Profiled
+                    )
+                {
+                    self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
+                    grp.net_queue.push_back(j);
+                }
+            }
+        }
+        while grp.cpu.len() < grp.cpu_slots {
+            let Some(j) = grp.cpu_queue.pop_front() else {
+                break;
+            };
+            self.start_subtask(grp, j, Phase::Comp);
+        }
+        while grp.net.len() < grp.net_slots {
+            let Some(j) = grp.net_queue.pop_front() else {
+                break;
+            };
+            let ExecPhase::Queued(phase) = self.jobs[j].exec else {
+                continue;
+            };
+            self.start_subtask(grp, j, phase);
+        }
+    }
+
+    fn start_subtask(&mut self, grp: &mut GroupSim, j: usize, phase: Phase) {
+        let m = grp.machines;
+        let mf = f64::from(m);
+        let disk_bw = self.cfg.machine.disk_bytes_per_sec;
+        let spec_input = self.jobs[j].spec.input_bytes as f64;
+        let spec_model = self.jobs[j].spec.model_bytes as f64;
+        let alpha = self.jobs[j].alpha;
+        let barrier = self.noise.barrier_factor(m);
+        let (demand, work) = match phase {
+            Phase::Comp => {
+                self.jobs[j].exec = ExecPhase::Running(Phase::Comp);
+                let base = self.jobs[j].spec.comp_cost / mf;
+                let deser = alpha * spec_input / (mf * self.cfg.deser_bytes_per_sec);
+                let gc = groupmem::gc_slowdown(
+                    &self.footprints(grp),
+                    m,
+                    &self.mem,
+                    &self.cfg.gc,
+                );
+                let gap = (self.now - self.jobs[j].last_comp_end).max(0.0);
+                // Disk bandwidth is shared by the background preloads of
+                // every co-located job. Reads spread over the whole group
+                // round, so contention only bites when the group's
+                // aggregate read demand exceeds what the disk can deliver
+                // in one round: stretch this job's read by that
+                // oversubscription ratio.
+                let total_reads: f64 = grp
+                    .jobs
+                    .iter()
+                    .map(|&k| {
+                        self.jobs[k].alpha * self.jobs[k].spec.input_bytes as f64
+                            / (mf * disk_bw)
+                    })
+                    .sum();
+                let round_est = if self.jobs[j].last_iter_wall > 0.0 {
+                    self.jobs[j].last_iter_wall
+                } else {
+                    gap + self.jobs[j].spec.comp_cost / mf
+                };
+                let stretch = (total_reads / round_est.max(1e-9)).max(1.0);
+                let read = alpha * spec_input * stretch / (mf * disk_bw);
+                let blocked = (read - self.cfg.reload_overlap * gap).max(0.0);
+                self.gc_seconds += (gc - 1.0) * (base + deser);
+                self.alpha_stats.observe(alpha);
+                (1.0, ((base + deser) * gc + blocked) * barrier)
+            }
+            Phase::Pull | Phase::Push => {
+                self.jobs[j].exec = ExecPhase::Running(phase);
+                if phase == Phase::Pull {
+                    self.jobs[j].iter_start = self.now;
+                    self.jobs[j].iter_tcpu = 0.0;
+                    self.jobs[j].iter_tnet = 0.0;
+                }
+                let frac = if phase == Phase::Pull {
+                    self.jobs[j].spec.pull_fraction
+                } else {
+                    1.0 - self.jobs[j].spec.pull_fraction
+                };
+                // DoP-dependent for all-reduce jobs, constant for PS.
+                let mut base = self.jobs[j].spec.net_time_at(m) * frac;
+                if self.jobs[j].model_spilled {
+                    base += spec_model / (mf * disk_bw);
+                }
+                (self.cfg.net_demand, base * self.cfg.net_demand * barrier)
+            }
+        };
+        self.jobs[j].phase_start = self.now;
+        self.jobs[j].phase_solo = work / demand;
+        let key = TaskKey {
+            job: j,
+            seq: self.jobs[j].next_seq(),
+        };
+        if phase.is_cpu() {
+            grp.cpu.add(key, demand, work);
+        } else {
+            grp.net.add(key, demand, work);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Failure injection (§VI).
+    // ----------------------------------------------------------------
+
+    /// A machine of one (deterministically chosen) group fails: its
+    /// jobs roll back to their last per-epoch checkpoint and restart
+    /// after an input-reload delay. "A machine/process failure may have
+    /// an impact on all co-located jobs" (§VI).
+    fn inject_failure(&mut self, n: u64) {
+        let alive = self.alive_group_ids();
+        if alive.is_empty() {
+            return;
+        }
+        let g = alive[(n as usize * 7919) % alive.len()];
+        self.failures_injected += 1;
+        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
+        let machines = self.groups[g].as_ref().expect("alive").machines;
+        for j in members {
+            // Roll back to the epoch checkpoint.
+            let per_epoch = u64::from(self.jobs[j].spec.iters_per_epoch.max(1));
+            self.jobs[j].iterations_done =
+                (self.jobs[j].iterations_done / per_epoch) * per_epoch;
+            // Cancel in-flight work and restart in place after reloading
+            // the checkpoint + input.
+            let grp = self.groups[g].as_mut().expect("alive");
+            grp.unqueue(j);
+            if let ExecPhase::Running(phase) = self.jobs[j].exec {
+                let res = if phase.is_cpu() { &mut grp.cpu } else { &mut grp.net };
+                for key in res.tasks_of(j) {
+                    res.cancel(key);
+                }
+            }
+            let reload = ((1.0 - self.jobs[j].alpha)
+                * self.jobs[j].spec.input_bytes as f64
+                + self.jobs[j].spec.model_bytes as f64)
+                / (f64::from(machines) * self.cfg.machine.disk_bytes_per_sec);
+            self.jobs[j].exec = ExecPhase::Idle {
+                ready_at: self.now + reload,
+            };
+        }
+        self.bump_and_wake(g);
+    }
+
+    // ----------------------------------------------------------------
+    // Utilization sampling.
+    // ----------------------------------------------------------------
+
+    fn sample_utilization(&mut self) {
+        let total = f64::from(self.cfg.machines);
+        let mut cpu = 0.0;
+        let mut net = 0.0;
+        for g in self.alive_group_ids() {
+            let grp = self.groups[g].as_ref().expect("alive");
+            let mf = f64::from(grp.machines);
+            cpu += grp.cpu.usage() * mf;
+            net += grp.net.usage() * mf;
+        }
+        self.cpu_tl.record(self.now, (cpu / total).min(1.0));
+        self.net_tl.record(self.now, (net / total).min(1.0));
+        let active = self
+            .jobs
+            .iter()
+            .filter(|j| j.group.is_some() && j.is_live())
+            .count();
+        if active > 0 {
+            self.concurrent_stats.observe(active as f64);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Harmony scheduling integration.
+    // ----------------------------------------------------------------
+
+    fn handle_notifications(&mut self, notes: Vec<Notify>) {
+        for note in notes {
+            match self.cfg.scheduler {
+                SchedulerKind::Harmony | SchedulerKind::Oracle => match note {
+                    Notify::Profiled(j) => self.on_profiled_harmony(j),
+                    Notify::Finished { job, group } => self.on_finished_harmony(job, group),
+                },
+                SchedulerKind::Isolated => {
+                    if let Notify::Finished { .. } = note {
+                        self.isolated_admit();
+                    }
+                }
+                SchedulerKind::Naive { .. } => {
+                    if let Notify::Finished { .. } = note {
+                        if !self.naive_form_scheduled {
+                            self.naive_form_scheduled = true;
+                            self.push_event(self.now + 1.0, EventKind::NaiveForm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn profile_store(&mut self) -> ProfileStore {
+        let inject = self.cfg.error_injection;
+        let mut store = ProfileStore::new();
+        for (idx, job) in self.jobs.iter().enumerate() {
+            if job.is_live() && job.profile.is_warm() {
+                let mut p = job.profile.clone();
+                if inject > 0.0 {
+                    // Persistent per-job error (Figure 13a simulates a
+                    // *model* with a given error level, so a job's bias
+                    // must not average out across decisions).
+                    let e1 = persistent_error(self.cfg.seed, idx as u64, 0, inject);
+                    let e2 = persistent_error(self.cfg.seed, idx as u64, 1, inject);
+                    let mut q = JobProfile::from_reference(
+                        p.job(),
+                        (p.tcpu_at(1) * (1.0 + e1)).max(1e-6),
+                        (p.tnet() * (1.0 + e2)).max(1e-6),
+                    );
+                    q.set_memory_footprint(p.input_bytes(), p.model_bytes());
+                    p = q;
+                }
+                store.insert(p);
+            }
+        }
+        store
+    }
+
+    /// A group still hosting at least one actively-profiling member.
+    fn group_is_actively_profiling(&self, g: usize) -> bool {
+        self.groups[g]
+            .as_ref()
+            .is_some_and(|grp| {
+                grp.profiling_host
+                    && grp
+                        .jobs
+                        .iter()
+                        .any(|&j| self.jobs[j].state == SimJobState::Profiling)
+            })
+    }
+
+    fn cluster_view(&self) -> ClusterView {
+        let mut grouping = harmony_core::group::Grouping::new();
+        let mut profiling_held = 0u32;
+        for g in self.alive_group_ids() {
+            let grp = self.groups[g].as_ref().expect("alive");
+            if grp.profiling_host {
+                profiling_held += grp.machines;
+                continue;
+            }
+            let _ = &grp;
+            let jobs: Vec<JobId> = grp
+                .jobs
+                .iter()
+                .map(|&j| JobId::new(j as u64))
+                .collect();
+            let machines: Vec<harmony_core::cluster::MachineId> = (0..grp.machines)
+                .map(|i| harmony_core::cluster::MachineId::new(g as u32 * 10_000 + i))
+                .collect();
+            grouping.push(harmony_core::group::JobGroup::new(
+                GroupId::new(g as u32),
+                jobs,
+                machines,
+            ));
+        }
+        ClusterView {
+            machines: self.cfg.machines - profiling_held,
+            grouping,
+            profiled: self.jobs_in_state(SimJobState::Profiled),
+            paused: self.jobs_in_state(SimJobState::Paused),
+        }
+    }
+
+    fn jobs_in_state(&self, s: SimJobState) -> Vec<JobId> {
+        (0..self.jobs.len())
+            .filter(|&j| self.jobs[j].state == s)
+            .map(|j| JobId::new(j as u64))
+            .collect()
+    }
+
+    fn waiting_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.state, SimJobState::Profiled | SimJobState::Paused))
+            .count()
+    }
+
+    fn on_profiled_harmony(&mut self, j: usize) {
+        // A job that was re-placed into a proper (non-profiling) group
+        // before its profiling countdown elapsed is already where the
+        // scheduler wants it: it just keeps running.
+        if let Some(g) = self.jobs[j].group {
+            let host = self.groups[g]
+                .as_ref()
+                .is_some_and(|grp| grp.profiling_host);
+            if !host {
+                self.jobs[j].state = SimJobState::Running;
+                return;
+            }
+        }
+        // The job keeps iterating in its profiling group ("in
+        // background", §IV-B1) — it only moves when a decision places
+        // it. Its state flips to Profiled so the scheduler sees it as
+        // placeable.
+        self.jobs[j].state = SimJobState::Profiled;
+
+        let still_profiling = self
+            .jobs
+            .iter()
+            .any(|job| job.state == SimJobState::Profiling);
+        if !self.bootstrapped {
+            if !still_profiling {
+                self.bootstrapped = true;
+                self.full_reschedule();
+            }
+            return;
+        }
+        let view = self.cluster_view();
+        let store = self.profile_store();
+        let t0 = Instant::now();
+        let decision = self
+            .regrouper
+            .on_job_profiled(&view, &store, JobId::new(j as u64));
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        self.apply_decision(decision);
+        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
+            self.full_reschedule();
+        }
+    }
+
+    fn on_finished_harmony(&mut self, j: usize, g: usize) {
+        // The job was already detached inside complete_iteration; the
+        // group may have dissolved if it was the last member.
+        if self.groups.get(g).map_or(true, |x| x.is_none()) {
+            if self.waiting_count() > 0 {
+                self.full_reschedule();
+            }
+            return;
+        }
+        let dop = self.groups[g].as_ref().expect("alive").machines.max(1);
+        let profile = &self.jobs[j].profile;
+        let (it, ratio) = if profile.is_warm() {
+            (profile.iter_time_at(dop), profile.comp_comm_ratio_at(dop))
+        } else {
+            (1.0, 1.0)
+        };
+        let view = self.cluster_view();
+        let store = self.profile_store();
+        let t0 = Instant::now();
+        let decision = self.regrouper.on_job_finished(
+            &view,
+            &store,
+            it,
+            ratio,
+            GroupId::new(g as u32),
+        );
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        self.apply_decision(decision);
+        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
+            self.full_reschedule();
+        }
+    }
+
+    fn apply_decision(&mut self, decision: RegroupDecision) {
+        match decision {
+            RegroupDecision::NoChange => {}
+            RegroupDecision::AddToGroup { job, group } => {
+                let j = job.index() as usize;
+                let g = group.index() as usize;
+                if self.groups.get(g).is_some_and(Option::is_some) {
+                    self.detach_job(j);
+                    self.jobs[j].state = SimJobState::Running;
+                    self.attach_job(g, j, false);
+                    self.record_snapshot();
+                }
+            }
+            RegroupDecision::ReplaceFinished { group, add } => {
+                let g = group.index() as usize;
+                if self.groups.get(g).is_some_and(Option::is_some) {
+                    for job in add {
+                        let j = job.index() as usize;
+                        self.detach_job(j);
+                        self.jobs[j].state = SimJobState::Running;
+                        self.attach_job(g, j, false);
+                    }
+                    self.record_snapshot();
+                }
+            }
+            RegroupDecision::PartialReschedule {
+                involved_groups,
+                outcome,
+            } => {
+                let sim_ids: Vec<usize> = involved_groups
+                    .iter()
+                    .map(|gid| gid.index() as usize)
+                    .filter(|&g| self.groups.get(g).is_some_and(Option::is_some))
+                    .collect();
+                self.apply_outcome(&outcome, &sim_ids);
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 (or the oracle) over all schedulable jobs and
+    /// rebuilds every non-profiling group.
+    fn full_reschedule(&mut self) {
+        // Ordered J_profiled ∪ J_paused ∪ J_running, as in Algorithm 1;
+        // within each class, shortest predicted iteration first, so the
+        // incremental prefix favors quick jobs (the paper's preference
+        // for shorter JCTs).
+        let store = self.profile_store();
+        let mut ordered: Vec<usize> = Vec::new();
+        for state in [
+            SimJobState::Profiled,
+            SimJobState::Paused,
+            SimJobState::Running,
+        ] {
+            let mut class: Vec<usize> = (0..self.jobs.len())
+                .filter(|&j| self.jobs[j].state == state)
+                .collect();
+            class.sort_by(|&a, &b| {
+                let key = |j: usize| {
+                    let p = &self.jobs[j].profile;
+                    if p.is_warm() {
+                        p.iter_time_at(16) * self.jobs[j].iterations_left() as f64
+                    } else {
+                        f64::MAX
+                    }
+                };
+                key(a).partial_cmp(&key(b)).expect("finite").then(a.cmp(&b))
+            });
+            ordered.extend(class);
+        }
+        let profiles: Vec<JobProfile> = ordered
+            .iter()
+            .filter_map(|&j| store.get(JobId::new(j as u64)).cloned())
+            .collect();
+        if profiles.is_empty() {
+            return;
+        }
+        let profiling_held: u32 = self
+            .alive_group_ids()
+            .iter()
+            .filter(|&&g| self.group_is_actively_profiling(g))
+            .map(|&g| self.groups[g].as_ref().expect("alive").machines)
+            .sum();
+        let machines = self.cfg.machines - profiling_held;
+        if machines == 0 {
+            return;
+        }
+        let t0 = Instant::now();
+        let outcome = match self.cfg.scheduler {
+            SchedulerKind::Oracle => {
+                assert!(
+                    profiles.len() <= OracleScheduler::MAX_JOBS,
+                    "oracle runs are limited to {} jobs",
+                    OracleScheduler::MAX_JOBS
+                );
+                self.oracle.schedule(&profiles, machines)
+            }
+            _ => self.scheduler.schedule(&profiles, machines),
+        };
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        let involved: Vec<usize> = self
+            .alive_group_ids()
+            .into_iter()
+            .filter(|&g| !self.group_is_actively_profiling(g))
+            .collect();
+        self.apply_outcome(&outcome, &involved);
+    }
+
+    /// Replaces `involved` groups with the groups of `outcome`.
+    fn apply_outcome(&mut self, outcome: &ScheduleOutcome, involved: &[usize]) {
+        // Remember old placement for migration-cost decisions.
+        let involved: Vec<usize> = involved
+            .iter()
+            .copied()
+            .filter(|&g| self.groups.get(g).is_some_and(Option::is_some))
+            .collect();
+        let old_signature: std::collections::HashMap<usize, (Vec<usize>, u32)> = involved
+            .iter()
+            .flat_map(|&g| {
+                let grp = self.groups[g].as_ref().expect("alive");
+                let mut sig = grp.jobs.clone();
+                sig.sort_unstable();
+                let m = grp.machines;
+                grp.jobs
+                    .iter()
+                    .map(move |&j| (j, (sig.clone(), m)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Pause and dissolve the involved groups.
+        for &g in &involved {
+            let Some(members) = self.groups.get(g).and_then(|x| x.as_ref()).map(|x| x.jobs.clone())
+            else {
+                continue;
+            };
+            for j in members {
+                if self.jobs[j].is_live() {
+                    self.jobs[j].state = SimJobState::Paused;
+                }
+                self.detach_job(j);
+            }
+            if self.groups.get(g).is_some_and(Option::is_some) {
+                self.dissolve_group(g);
+            }
+        }
+
+        // Build the new groups.
+        for (gi, core_group) in outcome.grouping.groups().iter().enumerate() {
+            let m = core_group.dop();
+            if m == 0 || m > self.free_machines {
+                continue;
+            }
+            let predicted_it = outcome.predicted_iteration.get(gi).copied();
+            let util = outcome.utilization;
+            // Predictions are armed only after the founding members are
+            // attached, so population itself does not finalize them.
+            let g = self.create_group(m, false, None, None);
+            let mut new_sig: Vec<usize> = core_group
+                .jobs()
+                .iter()
+                .map(|id| id.index() as usize)
+                .collect();
+            new_sig.sort_unstable();
+            for job_id in core_group.jobs() {
+                let j = job_id.index() as usize;
+                if !self.jobs[j].is_live() {
+                    continue;
+                }
+                let unchanged = old_signature
+                    .get(&j)
+                    .is_some_and(|(sig, om)| *sig == new_sig && *om == m);
+                if !unchanged && old_signature.contains_key(&j) {
+                    self.migrations += 1;
+                }
+                // The job may still sit in a profiling group.
+                self.detach_job(j);
+                self.jobs[j].state = SimJobState::Running;
+                self.attach_job(g, j, false);
+            }
+            if let Some(grp) = self.groups.get_mut(g).and_then(Option::as_mut) {
+                grp.predicted_iteration = predicted_it;
+                grp.predicted_util = Some((util.cpu, util.net));
+            }
+        }
+        // Cold jobs that were piggybacking on a dissolved group never
+        // finished profiling; the scheduler cannot see them (no warm
+        // profile), so they must re-enter profiling placement or they
+        // would wait forever.
+        let cold_paused: Vec<usize> = (0..self.jobs.len())
+            .filter(|&j| {
+                self.jobs[j].state == SimJobState::Paused
+                    && !self.jobs[j].profile.is_warm()
+                    && self.jobs[j].is_live()
+            })
+            .collect();
+        for j in cold_paused {
+            self.place_for_profiling(j);
+        }
+        self.record_snapshot();
+    }
+
+    fn record_snapshot(&mut self) {
+        let groups: Vec<(u32, usize)> = self
+            .alive_group_ids()
+            .into_iter()
+            .filter(|&g| !self.groups[g].as_ref().expect("alive").profiling_host)
+            .map(|g| {
+                let grp = self.groups[g].as_ref().expect("alive");
+                (grp.machines, grp.jobs.len())
+            })
+            .collect();
+        if !groups.is_empty() {
+            self.snapshots.push(GroupingSnapshot {
+                time: self.now,
+                groups,
+            });
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Isolated baseline.
+    // ----------------------------------------------------------------
+
+    fn isolated_admit(&mut self) {
+        while self.free_machines > 0 {
+            let Some(&j) = self.isolated_queue.front() else {
+                break;
+            };
+            let profile = JobProfile::from_reference(
+                JobId::new(j as u64),
+                self.jobs[j].spec.comp_cost,
+                self.jobs[j].spec.net_cost,
+            );
+            // Target DoP: the CPU-utilization knee, capped by the whole
+            // cluster; admit only once at least half of it is free so
+            // jobs are not starved into degenerate 1-machine runs
+            // (head-of-line FIFO, as dedicated-allocation systems do).
+            let knee = self.cfg.fixed_dop.unwrap_or_else(|| {
+                IsolatedScheduler::knee_dop_with_factor(
+                    &profile,
+                    self.cfg.machines,
+                    self.cfg.isolated_knee_factor,
+                )
+            });
+            let m = knee.min(self.free_machines).max(1);
+            if m * 2 < knee {
+                break;
+            }
+            self.isolated_queue.pop_front();
+            let g = self.create_group(m, false, None, None);
+            self.jobs[j].state = SimJobState::Running;
+            self.attach_job(g, j, false);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Naive co-location baseline.
+    // ----------------------------------------------------------------
+
+    fn naive_form_groups(&mut self) {
+        let SchedulerKind::Naive {
+            jobs_per_group,
+            seed,
+        } = self.cfg.scheduler
+        else {
+            return;
+        };
+        let mut pending: Vec<usize> = (0..self.jobs.len())
+            .filter(|&j| {
+                self.jobs[j].state == SimJobState::Waiting && self.jobs[j].arrival <= self.now
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        // The seed picks one of the many possible packings (§V-A: the
+        // evaluation samples placements and reports best/worst).
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next_rand = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..pending.len()).rev() {
+            let k = (next_rand() % (i as u64 + 1)) as usize;
+            pending.swap(i, k);
+        }
+        let mut changed = false;
+        for j in pending {
+            // Pack into an existing pool with room (fewest jobs first) —
+            // the Gandiva-style packing with no model of fit quality.
+            let pool = self
+                .alive_group_ids()
+                .into_iter()
+                .filter(|&g| {
+                    self.groups[g]
+                        .as_ref()
+                        .is_some_and(|grp| grp.jobs.len() < jobs_per_group)
+                })
+                .min_by_key(|&g| self.groups[g].as_ref().expect("alive").jobs.len());
+            if let Some(g) = pool {
+                self.jobs[j].state = SimJobState::Running;
+                self.attach_job(g, j, false);
+                changed = true;
+                continue;
+            }
+            if self.free_machines == 0 {
+                break;
+            }
+            // Open a new pool sized like a dedicated allocation for the
+            // first job; the jobs packed on top of it contend.
+            let profile = JobProfile::from_reference(
+                JobId::new(j as u64),
+                self.jobs[j].spec.comp_cost,
+                self.jobs[j].spec.net_cost,
+            );
+            let knee = self.cfg.fixed_dop.unwrap_or_else(|| {
+                IsolatedScheduler::knee_dop_with_factor(
+                    &profile,
+                    self.cfg.machines,
+                    self.cfg.isolated_knee_factor,
+                )
+            });
+            let m = knee.min(self.free_machines);
+            let g = self.create_group(m, false, None, None);
+            self.jobs[j].state = SimJobState::Running;
+            self.attach_job(g, j, false);
+            changed = true;
+        }
+        if changed {
+            self.record_snapshot();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Finalization.
+    // ----------------------------------------------------------------
+
+    fn finalize(mut self) -> RunReport {
+        // Fold surviving groups into the busy totals.
+        for g in self.alive_group_ids() {
+            self.dissolve_group(g);
+        }
+        let makespan = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.finish)
+            .fold(0.0f64, f64::max);
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                name: j.spec.name.clone(),
+                arrival: j.arrival,
+                finish: j.finish.filter(|_| j.state == SimJobState::Finished),
+                jct: j
+                    .finish
+                    .filter(|_| j.state == SimJobState::Finished)
+                    .map(|f| f - j.arrival),
+                iterations: j.iterations_done,
+                failed: j.state == SimJobState::Failed,
+                final_alpha: j.alpha,
+            })
+            .collect();
+        let scheduler = match self.cfg.scheduler {
+            SchedulerKind::Harmony => "harmony".to_string(),
+            SchedulerKind::Oracle => "oracle".to_string(),
+            SchedulerKind::Isolated => "isolated".to_string(),
+            SchedulerKind::Naive { seed, .. } => format!("naive-{seed}"),
+        };
+        RunReport {
+            scheduler,
+            makespan,
+            jobs,
+            cpu_timeline: self.cpu_tl,
+            net_timeline: self.net_tl,
+            cpu_busy_machine_secs: self.cpu_busy_total,
+            net_busy_machine_secs: self.net_busy_total,
+            oom_events: self.oom_events,
+            grouping_snapshots: self.snapshots,
+            predictions: self.predictions,
+            sched_invocations: self.sched_invocations,
+            sched_wall: self.sched_wall,
+            migrations: self.migrations,
+            failures: self.failures_injected,
+            gc_seconds: self.gc_seconds,
+            alpha_stats: self.alpha_stats,
+            mean_group_iteration: self.iter_wall_stats.mean(),
+            concurrent_jobs: self.concurrent_stats,
+            spans: self.spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::job::{AppKind, JobSpec};
+
+    fn spec(name: &str, comp: f64, net: f64, input_gb: u64, model_gb: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            app: AppKind::Mlr,
+            dataset: "synthetic".into(),
+            input_bytes: input_gb << 30,
+            model_bytes: model_gb << 30,
+            comp_cost: comp,
+            net_cost: net,
+            sync: Default::default(),
+            pull_fraction: 0.5,
+            iters_per_epoch: 5,
+            target_epochs: 4,
+        }
+    }
+
+    fn small_cfg(kind: SchedulerKind) -> SimConfig {
+        SimConfig {
+            machines: 8,
+            scheduler: kind,
+            reload: ReloadPolicy::Adaptive,
+            straggler_cv: 0.0,
+            utilization_sample_secs: 30.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn two_complementary() -> Vec<JobSpec> {
+        vec![
+            spec("cpu-heavy", 400.0, 10.0, 4, 1),
+            spec("net-heavy", 40.0, 50.0, 2, 1),
+        ]
+    }
+
+    #[test]
+    fn harmony_completes_all_jobs() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        assert_eq!(r.completed(), 2, "{:?}", r.oom_events);
+        assert!(r.makespan > 0.0);
+        for j in &r.jobs {
+            assert_eq!(j.iterations, 20);
+            assert!(j.jct.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn isolated_completes_all_jobs() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Isolated),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn naive_completes_all_jobs() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Naive {
+                jobs_per_group: 2,
+                seed: 1,
+            }),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn harmony_beats_isolated_on_complementary_mix() {
+        // Several complementary jobs: multiplexing should cut makespan.
+        let mut specs = Vec::new();
+        for i in 0..4 {
+            specs.push(spec(&format!("cpu{i}"), 320.0, 8.0, 2, 1));
+            specs.push(spec(&format!("net{i}"), 24.0, 40.0, 1, 1));
+        }
+        let arrivals = vec![0.0; specs.len()];
+        let h = Driver::run(small_cfg(SchedulerKind::Harmony), specs.clone(), arrivals.clone());
+        let i = Driver::run(small_cfg(SchedulerKind::Isolated), specs, arrivals);
+        assert_eq!(h.completed(), 8);
+        assert_eq!(i.completed(), 8);
+        assert!(
+            h.makespan < i.makespan,
+            "harmony {} vs isolated {}",
+            h.makespan,
+            i.makespan
+        );
+    }
+
+    #[test]
+    fn oom_fires_without_spill() {
+        // Input far beyond memory (x2.5 expansion) and no reload.
+        let cfg = SimConfig {
+            machines: 2,
+            scheduler: SchedulerKind::Naive {
+                jobs_per_group: 3,
+                seed: 0,
+            },
+            reload: ReloadPolicy::None,
+            ..SimConfig::default()
+        };
+        let specs = vec![
+            spec("a", 50.0, 5.0, 40, 2),
+            spec("b", 50.0, 5.0, 40, 2),
+            spec("c", 50.0, 5.0, 40, 2),
+        ];
+        let r = Driver::run(cfg, specs, vec![0.0; 3]);
+        assert!(!r.oom_events.is_empty(), "expected an OOM kill");
+        assert!(r.completed() < 3);
+    }
+
+    #[test]
+    fn spill_prevents_the_same_oom() {
+        let cfg = SimConfig {
+            machines: 2,
+            scheduler: SchedulerKind::Naive {
+                jobs_per_group: 3,
+                seed: 0,
+            },
+            reload: ReloadPolicy::StaticFit,
+            ..SimConfig::default()
+        };
+        let specs = vec![
+            spec("a", 50.0, 5.0, 40, 2),
+            spec("b", 50.0, 5.0, 40, 2),
+            spec("c", 50.0, 5.0, 40, 2),
+        ];
+        let r = Driver::run(cfg, specs, vec![0.0; 3]);
+        assert!(r.oom_events.is_empty(), "{:?}", r.oom_events);
+        assert_eq!(r.completed(), 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let specs = two_complementary();
+        let a = Driver::run(small_cfg(SchedulerKind::Harmony), specs.clone(), vec![0.0, 0.0]);
+        let b = Driver::run(small_cfg(SchedulerKind::Harmony), specs, vec![0.0, 0.0]);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.mean_jct(), b.mean_jct());
+    }
+
+    #[test]
+    fn arrivals_are_respected() {
+        let specs = two_complementary();
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Isolated),
+            specs,
+            vec![0.0, 500.0],
+        );
+        let late = &r.jobs[1];
+        assert!(late.finish.unwrap() > 500.0);
+        assert_eq!(late.arrival, 500.0);
+    }
+
+    #[test]
+    fn utilization_samples_are_bounded() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        for p in r.cpu_timeline.points().iter().chain(r.net_timeline.points()) {
+            assert!((0.0..=1.0).contains(&p.value), "{p:?}");
+        }
+        assert!(r.avg_cpu_util(8) <= 1.0);
+        assert!(r.avg_net_util(8) <= 1.0);
+    }
+
+    #[test]
+    fn harmony_collects_predictions_with_small_error() {
+        let mut specs = Vec::new();
+        for i in 0..6 {
+            specs.push(spec(&format!("c{i}"), 200.0 + 30.0 * i as f64, 10.0, 2, 1));
+            specs.push(spec(&format!("n{i}"), 30.0, 25.0 + 5.0 * i as f64, 1, 1));
+        }
+        let arrivals = vec![0.0; specs.len()];
+        let r = Driver::run(small_cfg(SchedulerKind::Harmony), specs, arrivals);
+        assert!(
+            !r.predictions.is_empty(),
+            "no prediction samples collected"
+        );
+        // This is a deliberately harsh small-scale setting (8 machines,
+        // 20-iteration jobs, so measurement windows are only a few
+        // iterations long); paper-scale accuracy (<10% on the 80-job
+        // workload, Figure 13b) is asserted by the fig13 experiment.
+        let err = r.mean_iteration_prediction_error();
+        assert!(err < 0.35, "iteration prediction error {err}");
+    }
+
+    #[test]
+    fn jobs_make_iteration_progress_monotonically() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        for j in &r.jobs {
+            assert_eq!(j.iterations, 20, "{}", j.name);
+        }
+    }
+
+    #[test]
+    fn completions_trigger_regrouping_decisions() {
+        // Jobs of mixed lengths: short ones finish first, forcing the
+        // §IV-B4 completion path (replace or escalate) to run; the
+        // grouping must keep evolving after the first completion.
+        let mut specs = Vec::new();
+        for i in 0..3 {
+            specs.push(spec(&format!("short{i}"), 60.0, 6.0, 1, 1));
+        }
+        for i in 0..3 {
+            specs.push(spec(&format!("long{i}"), 600.0, 20.0, 2, 1));
+        }
+        let arrivals = vec![0.0; specs.len()];
+        let r = Driver::run(small_cfg(SchedulerKind::Harmony), specs, arrivals);
+        assert_eq!(r.completed(), 6);
+        // Decisions happened after the bootstrap one.
+        assert!(
+            r.grouping_snapshots.len() >= 2,
+            "only {} snapshots",
+            r.grouping_snapshots.len()
+        );
+        let first = r.grouping_snapshots.first().expect("non-empty").time;
+        let last = r.grouping_snapshots.last().expect("non-empty").time;
+        assert!(last > first, "no regrouping after bootstrap");
+    }
+
+    #[test]
+    fn migrations_are_counted_when_groups_reshape() {
+        let mut specs = Vec::new();
+        for i in 0..4 {
+            specs.push(spec(&format!("a{i}"), 150.0 + 40.0 * i as f64, 8.0, 1, 1));
+            specs.push(spec(&format!("b{i}"), 30.0, 20.0 + 4.0 * i as f64, 1, 1));
+        }
+        let arrivals = vec![0.0; specs.len()];
+        let r = Driver::run(small_cfg(SchedulerKind::Harmony), specs, arrivals);
+        assert_eq!(r.completed(), 8);
+        // With eight heterogeneous jobs on eight machines at least one
+        // reshape moves a running job.
+        assert!(r.migrations > 0);
+    }
+
+    #[test]
+    fn sched_wall_clock_is_tracked() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        assert!(r.sched_invocations > 0);
+        assert!(r.sched_wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn grouping_snapshots_recorded_for_harmony() {
+        let r = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        assert!(!r.grouping_snapshots.is_empty());
+        for s in &r.grouping_snapshots {
+            for &(m, jobs) in &s.groups {
+                assert!(m >= 1);
+                assert!(jobs >= 1);
+            }
+        }
+    }
+}

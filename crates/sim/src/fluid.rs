@@ -1,0 +1,387 @@
+//! Fluid (generalized-processor-sharing) resource model.
+//!
+//! A resource has capacity 1.0 (one machine's CPU or NIC — all machines
+//! of a group behave identically, see the crate docs). Each active task
+//! has a *demand* `d ∈ (0, 1]` (a COMP subtask wants the whole CPU,
+//! `d = 1`; a COMM subtask wants `d ≈ 0.7` of the NIC because of
+//! request/response gaps) and *remaining work* measured in
+//! demand-seconds: a task with work `w` running alone finishes in
+//! `w / d` seconds.
+//!
+//! When the sum of demands exceeds capacity, tasks share proportionally;
+//! an additional interference factor `1 / (1 + β (n − 1))` models the
+//! super-linear slowdown of uncoordinated co-location (cache and
+//! scheduler thrash) that Figure 4 exhibits.
+
+/// Identity of a task inside a fluid resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    /// Driver-level job index.
+    pub job: usize,
+    /// Monotone per-job sequence number (iteration × kind).
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    key: TaskKey,
+    demand: f64,
+    remaining: f64,
+}
+
+/// One machine-equivalent shared resource.
+#[derive(Debug, Clone)]
+pub struct Fluid {
+    capacity: f64,
+    beta: f64,
+    tasks: Vec<Task>,
+}
+
+impl Fluid {
+    /// Creates a resource of the given capacity and interference
+    /// coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `beta` is negative.
+    pub fn new(capacity: f64, beta: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(beta >= 0.0, "interference beta must be non-negative");
+        Self {
+            capacity,
+            beta,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Number of active tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task is active.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task with `demand` and `work` demand-seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is outside `(0, capacity]` or `work` is
+    /// negative.
+    pub fn add(&mut self, key: TaskKey, demand: f64, work: f64) {
+        assert!(
+            demand > 0.0 && demand <= self.capacity,
+            "demand {demand} outside (0, {}]",
+            self.capacity
+        );
+        assert!(work >= 0.0, "work must be non-negative");
+        self.tasks.push(Task {
+            key,
+            demand,
+            remaining: work,
+        });
+    }
+
+    /// Per-task progress rates under proportional sharing with
+    /// interference.
+    fn rates(&self) -> Vec<f64> {
+        let n = self.tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let total: f64 = self.tasks.iter().map(|t| t.demand).sum();
+        let share = if total > self.capacity {
+            self.capacity / total
+        } else {
+            1.0
+        };
+        let interference = 1.0 / (1.0 + self.beta * (n as f64 - 1.0));
+        self.tasks
+            .iter()
+            .map(|t| t.demand * share * interference)
+            .collect()
+    }
+
+    /// Instantaneous total consumption (for utilization accounting),
+    /// in `[0, capacity]`.
+    pub fn usage(&self) -> f64 {
+        self.rates().iter().sum::<f64>().min(self.capacity)
+    }
+
+    /// Seconds until the next task completes at current rates, or
+    /// `None` when idle.
+    pub fn time_to_next_completion(&self) -> Option<f64> {
+        let rates = self.rates();
+        self.tasks
+            .iter()
+            .zip(&rates)
+            .map(|(t, &r)| {
+                if r <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    t.remaining / r
+                }
+            })
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
+    }
+
+    /// Advances all tasks by `dt` seconds, returning `(finished_keys,
+    /// consumed_resource_seconds)`.
+    ///
+    /// Tasks whose remaining work reaches (near) zero are removed and
+    /// reported in completion order (ties broken by insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn advance(&mut self, dt: f64) -> (Vec<TaskKey>, f64) {
+        assert!(dt >= 0.0, "time cannot run backwards");
+        if self.tasks.is_empty() || dt == 0.0 {
+            return (Vec::new(), 0.0);
+        }
+        let rates = self.rates();
+        let consumed = self.usage() * dt;
+        let mut finished = Vec::new();
+        for (task, &rate) in self.tasks.iter_mut().zip(&rates) {
+            task.remaining -= rate * dt;
+            if task.remaining <= 1e-9 {
+                finished.push(task.key);
+            }
+        }
+        self.tasks.retain(|t| t.remaining > 1e-9);
+        (finished, consumed)
+    }
+
+    /// Removes a task regardless of progress (job pause/migration).
+    /// Returns the remaining work if the task was present.
+    pub fn cancel(&mut self, key: TaskKey) -> Option<f64> {
+        let idx = self.tasks.iter().position(|t| t.key == key)?;
+        Some(self.tasks.remove(idx).remaining)
+    }
+
+    /// Keys of active tasks belonging to `job`.
+    pub fn tasks_of(&self, job: usize) -> Vec<TaskKey> {
+        self.tasks
+            .iter()
+            .filter(|t| t.key.job == job)
+            .map(|t| t.key)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(job: usize, seq: u64) -> TaskKey {
+        TaskKey { job, seq }
+    }
+
+    #[test]
+    fn single_task_runs_at_demand() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 0.5, 1.0); // 1 demand-second at demand 0.5 -> 2s
+        assert_eq!(f.time_to_next_completion(), Some(2.0));
+        let (done, used) = f.advance(2.0);
+        assert_eq!(done, vec![key(0, 0)]);
+        assert!((used - 1.0).abs() < 1e-9);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn two_full_demand_tasks_share_evenly() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 1.0, 1.0);
+        f.add(key(1, 0), 1.0, 1.0);
+        // Each runs at rate 0.5 -> both finish at t = 2.
+        assert_eq!(f.time_to_next_completion(), Some(2.0));
+        let (done, _) = f.advance(2.0);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn undersubscribed_tasks_run_concurrently_at_full_rate() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 0.4, 0.4); // alone: 1s
+        f.add(key(1, 0), 0.4, 0.8); // alone: 2s
+        // Total demand 0.8 <= 1: both at full rate.
+        let (done, used) = f.advance(1.0);
+        assert_eq!(done, vec![key(0, 0)]);
+        assert!((used - 0.8).abs() < 1e-9);
+        let (done, _) = f.advance(1.0);
+        assert_eq!(done, vec![key(1, 0)]);
+    }
+
+    #[test]
+    fn interference_slows_coscheduled_tasks() {
+        let mut fair = Fluid::new(1.0, 0.0);
+        let mut thrash = Fluid::new(1.0, 0.25);
+        for f in [&mut fair, &mut thrash] {
+            f.add(key(0, 0), 1.0, 1.0);
+            f.add(key(1, 0), 1.0, 1.0);
+        }
+        let t_fair = fair.time_to_next_completion().unwrap();
+        let t_thrash = thrash.time_to_next_completion().unwrap();
+        assert_eq!(t_fair, 2.0);
+        assert!((t_thrash - 2.5).abs() < 1e-9); // 2 * (1 + 0.25)
+    }
+
+    #[test]
+    fn partial_advance_preserves_work_conservation() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 1.0, 3.0);
+        let (done, _) = f.advance(1.0);
+        assert!(done.is_empty());
+        f.add(key(1, 0), 1.0, 1.0); // now sharing
+        // Remaining: task0 = 2.0, task1 = 1.0, each at rate 0.5.
+        assert_eq!(f.time_to_next_completion(), Some(2.0));
+        let (done, _) = f.advance(2.0);
+        assert_eq!(done, vec![key(1, 0)]);
+        // Task0 has 1.0 left, alone again.
+        assert_eq!(f.time_to_next_completion(), Some(1.0));
+    }
+
+    #[test]
+    fn cancel_returns_remaining_work() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(3, 1), 1.0, 5.0);
+        f.advance(2.0);
+        assert_eq!(f.cancel(key(3, 1)), Some(3.0));
+        assert_eq!(f.cancel(key(3, 1)), None);
+    }
+
+    #[test]
+    fn usage_caps_at_capacity() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 0.7, 1.0);
+        assert!((f.usage() - 0.7).abs() < 1e-9);
+        f.add(key(1, 0), 0.7, 1.0);
+        assert!((f.usage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_resource_reports_none() {
+        let f = Fluid::new(1.0, 0.1);
+        assert_eq!(f.time_to_next_completion(), None);
+        assert_eq!(f.usage(), 0.0);
+    }
+
+    #[test]
+    fn zero_work_task_finishes_immediately() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 1.0, 0.0);
+        assert_eq!(f.time_to_next_completion(), Some(0.0));
+        let (done, _) = f.advance(0.0);
+        // dt = 0 short-circuits; a minimal advance flushes it.
+        assert!(done.is_empty());
+        let (done, _) = f.advance(1e-12);
+        assert_eq!(done, vec![key(0, 0)]);
+    }
+
+    #[test]
+    fn tasks_of_filters_by_job() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 0.3, 1.0);
+        f.add(key(1, 0), 0.3, 1.0);
+        f.add(key(0, 1), 0.3, 1.0);
+        assert_eq!(f.tasks_of(0).len(), 2);
+        assert_eq!(f.tasks_of(1).len(), 1);
+        assert_eq!(f.tasks_of(9).len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Work is conserved: however a task's service is sliced across
+        /// advances and whatever shares the resource, the total consumed
+        /// resource-seconds equal the total work added.
+        #[test]
+        fn work_conservation(
+            tasks in prop::collection::vec((0.05f64..1.0, 0.01f64..50.0), 1..12),
+            beta in 0.0f64..0.3,
+        ) {
+            let mut f = Fluid::new(1.0, beta);
+            let mut total_work = 0.0;
+            for (i, &(demand, work)) in tasks.iter().enumerate() {
+                f.add(TaskKey { job: i, seq: 0 }, demand, work);
+                total_work += work;
+            }
+            let mut consumed = 0.0;
+            let mut guard = 0;
+            while !f.is_empty() {
+                let dt = f
+                    .time_to_next_completion()
+                    .expect("non-empty resource progresses");
+                let (_, used) = f.advance(dt.max(1e-12));
+                consumed += used;
+                guard += 1;
+                prop_assert!(guard < 10_000, "resource did not drain");
+            }
+            prop_assert!(
+                (consumed - total_work).abs() < 1e-6 * total_work.max(1.0),
+                "consumed {consumed} vs work {total_work}"
+            );
+        }
+
+        /// Usage never exceeds capacity, and completion order respects
+        /// work/demand ratios for equal-demand tasks.
+        #[test]
+        fn usage_bounded_and_sjf_order_for_equal_demands(
+            works in prop::collection::vec(0.1f64..20.0, 2..8),
+        ) {
+            let mut f = Fluid::new(1.0, 0.0);
+            for (i, &w) in works.iter().enumerate() {
+                f.add(TaskKey { job: i, seq: 0 }, 1.0, w);
+            }
+            prop_assert!(f.usage() <= 1.0 + 1e-9);
+            let mut finished: Vec<usize> = Vec::new();
+            let mut guard = 0;
+            while !f.is_empty() {
+                let dt = f.time_to_next_completion().expect("non-empty");
+                let (done, _) = f.advance(dt.max(1e-12));
+                finished.extend(done.into_iter().map(|k| k.job));
+                guard += 1;
+                prop_assert!(guard < 10_000);
+            }
+            // Equal demands share equally, so completion follows work
+            // order (ties may complete together in either order).
+            for pair in finished.windows(2) {
+                prop_assert!(
+                    works[pair[0]] <= works[pair[1]] + 1e-9,
+                    "task {} (w={}) finished before {} (w={})",
+                    pair[0], works[pair[0]], pair[1], works[pair[1]]
+                );
+            }
+        }
+
+        /// Cancelling mid-flight returns exactly the work not yet done.
+        #[test]
+        fn cancel_accounts_remaining_work(
+            demand in 0.1f64..1.0,
+            work in 1.0f64..50.0,
+            fraction in 0.0f64..0.95,
+        ) {
+            let mut f = Fluid::new(1.0, 0.0);
+            f.add(TaskKey { job: 0, seq: 0 }, demand, work);
+            // Alone, the task progresses at `demand`: run a fraction.
+            let dt = work / demand * fraction;
+            f.advance(dt);
+            let left = f.cancel(TaskKey { job: 0, seq: 0 }).expect("present");
+            prop_assert!(
+                (left - work * (1.0 - fraction)).abs() < 1e-6,
+                "left {left}, expected {}",
+                work * (1.0 - fraction)
+            );
+        }
+    }
+}

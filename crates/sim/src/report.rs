@@ -1,0 +1,247 @@
+//! Results of one simulated run.
+
+use harmony_metrics::{OnlineStats, Timeline};
+
+use crate::spans::SubtaskSpan;
+
+/// Per-job outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job name (from the spec).
+    pub name: String,
+    /// Submission time (seconds).
+    pub arrival: f64,
+    /// Completion time, `None` if the job failed.
+    pub finish: Option<f64>,
+    /// Job completion time (finish − arrival), `None` if failed.
+    pub jct: Option<f64>,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Whether the job was killed by OOM.
+    pub failed: bool,
+    /// Final disk ratio α.
+    pub final_alpha: f64,
+}
+
+/// One prediction-accuracy sample (Figure 13b): the performance model's
+/// prediction at group formation vs what the group actually did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionSample {
+    /// Predicted group iteration time (Eq. 1).
+    pub predicted_iteration: f64,
+    /// Realized mean iteration time over the group's lifetime.
+    pub realized_iteration: f64,
+    /// Predicted weighted utilization score.
+    pub predicted_util: f64,
+    /// Realized utilization score.
+    pub realized_util: f64,
+}
+
+impl PredictionSample {
+    /// Relative error of the iteration-time prediction.
+    pub fn iteration_error(&self) -> f64 {
+        (self.predicted_iteration - self.realized_iteration).abs()
+            / self.realized_iteration.max(1e-9)
+    }
+
+    /// Relative error of the utilization prediction.
+    pub fn util_error(&self) -> f64 {
+        (self.predicted_util - self.realized_util).abs() / self.realized_util.max(1e-9)
+    }
+}
+
+/// A snapshot of the grouping state after a scheduling decision
+/// (Figure 12's raw data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingSnapshot {
+    /// Simulation time of the decision.
+    pub time: f64,
+    /// `(machines, jobs)` per active group.
+    pub groups: Vec<(u32, usize)>,
+}
+
+/// Full results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheduler label ("harmony", "isolated", ...).
+    pub scheduler: String,
+    /// Time at which all jobs were done (seconds).
+    pub makespan: f64,
+    /// Per-job outcomes, submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Cluster CPU-utilization samples over time.
+    pub cpu_timeline: Timeline,
+    /// Cluster network-utilization samples over time.
+    pub net_timeline: Timeline,
+    /// Busy CPU machine-seconds over the whole run.
+    pub cpu_busy_machine_secs: f64,
+    /// Busy network machine-seconds.
+    pub net_busy_machine_secs: f64,
+    /// OOM kill events as `(time, job_name)`.
+    pub oom_events: Vec<(f64, String)>,
+    /// Grouping snapshots at each scheduling decision.
+    pub grouping_snapshots: Vec<GroupingSnapshot>,
+    /// Performance-model accuracy samples.
+    pub predictions: Vec<PredictionSample>,
+    /// Number of scheduling-algorithm invocations.
+    pub sched_invocations: usize,
+    /// Total wall-clock spent inside the scheduling algorithm.
+    pub sched_wall: std::time::Duration,
+    /// Jobs that went through at least one migration.
+    pub migrations: usize,
+    /// Machine failures injected (§VI fault-tolerance experiments).
+    pub failures: usize,
+    /// Total GC-overhead seconds charged to computations.
+    pub gc_seconds: f64,
+    /// Distribution of α values sampled at COMP dispatches.
+    pub alpha_stats: OnlineStats,
+    /// Mean realized group iteration time (s) across group lifetimes,
+    /// weighted by iterations (§V-G reports this for the reload
+    /// micro-benchmark).
+    pub mean_group_iteration: f64,
+    /// Distribution of concurrently running job counts, sampled with
+    /// the utilization timeline (the paper reports 27.2 on average).
+    pub concurrent_jobs: OnlineStats,
+    /// Per-subtask spans (only when `SimConfig::record_spans` is on).
+    pub spans: Vec<SubtaskSpan>,
+}
+
+impl RunReport {
+    /// Mean JCT over completed jobs (seconds).
+    pub fn mean_jct(&self) -> f64 {
+        let done: Vec<f64> = self.jobs.iter().filter_map(|j| j.jct).collect();
+        if done.is_empty() {
+            return 0.0;
+        }
+        done.iter().sum::<f64>() / done.len() as f64
+    }
+
+    /// Number of completed (non-failed) jobs.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.failed).count()
+    }
+
+    /// Mean cluster CPU utilization over the run (busy machine-seconds
+    /// over total machine-seconds until makespan).
+    pub fn avg_cpu_util(&self, machines: u32) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_busy_machine_secs / (self.makespan * f64::from(machines))
+    }
+
+    /// Mean cluster network utilization.
+    pub fn avg_net_util(&self, machines: u32) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.net_busy_machine_secs / (self.makespan * f64::from(machines))
+    }
+
+    /// Mean prediction error of the group-iteration-time model.
+    pub fn mean_iteration_prediction_error(&self) -> f64 {
+        if self.predictions.is_empty() {
+            return 0.0;
+        }
+        self.predictions
+            .iter()
+            .map(PredictionSample::iteration_error)
+            .sum::<f64>()
+            / self.predictions.len() as f64
+    }
+
+    /// Mean prediction error of the utilization model.
+    pub fn mean_util_prediction_error(&self) -> f64 {
+        if self.predictions.is_empty() {
+            return 0.0;
+        }
+        self.predictions
+            .iter()
+            .map(PredictionSample::util_error)
+            .sum::<f64>()
+            / self.predictions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(jct: Option<f64>) -> JobOutcome {
+        JobOutcome {
+            name: "j".into(),
+            arrival: 0.0,
+            finish: jct,
+            jct,
+            iterations: 1,
+            failed: jct.is_none(),
+            final_alpha: 0.0,
+        }
+    }
+
+    fn report(jobs: Vec<JobOutcome>) -> RunReport {
+        RunReport {
+            scheduler: "test".into(),
+            makespan: 100.0,
+            jobs,
+            cpu_timeline: Timeline::new("cpu"),
+            net_timeline: Timeline::new("net"),
+            cpu_busy_machine_secs: 500.0,
+            net_busy_machine_secs: 250.0,
+            oom_events: Vec::new(),
+            grouping_snapshots: Vec::new(),
+            predictions: Vec::new(),
+            sched_invocations: 0,
+            sched_wall: std::time::Duration::ZERO,
+            migrations: 0,
+            failures: 0,
+            gc_seconds: 0.0,
+            alpha_stats: OnlineStats::new(),
+            mean_group_iteration: 0.0,
+            concurrent_jobs: OnlineStats::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mean_jct_skips_failures() {
+        let r = report(vec![outcome(Some(10.0)), outcome(None), outcome(Some(30.0))]);
+        assert_eq!(r.mean_jct(), 20.0);
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn utilization_normalizes_by_machine_time() {
+        let r = report(vec![outcome(Some(1.0))]);
+        assert!((r.avg_cpu_util(10) - 0.5).abs() < 1e-12);
+        assert!((r.avg_net_util(10) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_errors_average() {
+        let mut r = report(vec![]);
+        r.predictions = vec![
+            PredictionSample {
+                predicted_iteration: 11.0,
+                realized_iteration: 10.0,
+                predicted_util: 0.9,
+                realized_util: 1.0,
+            },
+            PredictionSample {
+                predicted_iteration: 10.0,
+                realized_iteration: 10.0,
+                predicted_util: 1.0,
+                realized_util: 1.0,
+            },
+        ];
+        assert!((r.mean_iteration_prediction_error() - 0.05).abs() < 1e-12);
+        assert!((r.mean_util_prediction_error() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = report(vec![]);
+        assert_eq!(r.mean_jct(), 0.0);
+        assert_eq!(r.mean_iteration_prediction_error(), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Job arrival processes (§V-D).
+//!
+//! Three processes drive the sensitivity experiments:
+//!
+//! - [`ArrivalProcess::Batch`] — all jobs submitted at time zero (the
+//!   main experiment of §V-C);
+//! - [`ArrivalProcess::Poisson`] — independent arrivals with a given
+//!   mean inter-arrival time (swept 0–8 minutes in §V-D);
+//! - [`ArrivalProcess::Bursty`] — a heavy-tailed process with arrival
+//!   spikes, standing in for the Google cluster-trace extracts (the
+//!   traces themselves only contribute "diverse pattern of arrivals and
+//!   job arrival spikes").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A job arrival process; generates submission times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Everything arrives at `t = 0`.
+    Batch,
+    /// Exponential inter-arrival times with the given mean (seconds).
+    Poisson {
+        /// Mean inter-arrival time in seconds.
+        mean_secs: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Spiky arrivals: bursts of several jobs separated by Pareto
+    /// (heavy-tailed) gaps, Google-trace-like.
+    Bursty {
+        /// Mean burst size (jobs per spike).
+        burst_mean: f64,
+        /// Scale of the inter-burst gap (seconds).
+        gap_scale_secs: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` non-decreasing arrival times (seconds).
+    pub fn generate(&self, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Batch => vec![0.0; n],
+            ArrivalProcess::Poisson { mean_secs, seed } => {
+                assert!(mean_secs >= 0.0, "mean inter-arrival must be non-negative");
+                if mean_secs == 0.0 {
+                    return vec![0.0; n];
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        t += -u.ln() * mean_secs;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                burst_mean,
+                gap_scale_secs,
+                seed,
+            } => {
+                assert!(burst_mean >= 1.0, "bursts must average at least one job");
+                assert!(gap_scale_secs >= 0.0, "gap scale must be non-negative");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut out = Vec::with_capacity(n);
+                let mut t = 0.0;
+                while out.len() < n {
+                    // Burst size: geometric-ish around burst_mean.
+                    let size = 1 + rng.gen_range(0.0..2.0 * burst_mean - 1.0).round() as usize;
+                    for _ in 0..size.min(n - out.len()) {
+                        out.push(t);
+                    }
+                    // Pareto(α=1.5) gap: heavy tail produces lulls and
+                    // pile-ups like the Google traces.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += gap_scale_secs * (u.powf(-1.0 / 1.5) - 1.0).min(50.0);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_all_zero() {
+        assert_eq!(ArrivalProcess::Batch.generate(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn poisson_zero_mean_degenerates_to_batch() {
+        let p = ArrivalProcess::Poisson {
+            mean_secs: 0.0,
+            seed: 1,
+        };
+        assert_eq!(p.generate(3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn poisson_times_are_increasing_with_right_mean() {
+        let p = ArrivalProcess::Poisson {
+            mean_secs: 60.0,
+            seed: 7,
+        };
+        let times = p.generate(2000);
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        let mean_gap = times.last().unwrap() / 2000.0;
+        assert!(
+            (mean_gap - 60.0).abs() < 6.0,
+            "empirical mean gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let p = |seed| ArrivalProcess::Poisson {
+            mean_secs: 10.0,
+            seed,
+        };
+        assert_eq!(p(3).generate(10), p(3).generate(10));
+        assert_ne!(p(3).generate(10), p(4).generate(10));
+    }
+
+    #[test]
+    fn bursty_produces_spikes() {
+        let b = ArrivalProcess::Bursty {
+            burst_mean: 4.0,
+            gap_scale_secs: 120.0,
+            seed: 11,
+        };
+        let times = b.generate(100);
+        assert_eq!(times.len(), 100);
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+        // Spikes: many identical consecutive timestamps.
+        let ties = times.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(ties > 30, "only {ties} tied arrivals");
+        // Lulls: at least one long gap.
+        let max_gap = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 120.0, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn generate_zero_jobs_is_empty() {
+        assert!(ArrivalProcess::Batch.generate(0).is_empty());
+        let p = ArrivalProcess::Poisson {
+            mean_secs: 1.0,
+            seed: 0,
+        };
+        assert!(p.generate(0).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arrival times are always non-decreasing and non-negative,
+        /// whatever the process and parameters.
+        #[test]
+        fn arrivals_are_sorted_and_nonnegative(
+            n in 0usize..200,
+            mean in 0.0f64..600.0,
+            seed in 0u64..256,
+        ) {
+            for process in [
+                ArrivalProcess::Batch,
+                ArrivalProcess::Poisson { mean_secs: mean, seed },
+                ArrivalProcess::Bursty {
+                    burst_mean: 1.0 + mean / 100.0,
+                    gap_scale_secs: mean,
+                    seed,
+                },
+            ] {
+                let times = process.generate(n);
+                prop_assert_eq!(times.len(), n);
+                prop_assert!(times.iter().all(|&t| t >= 0.0 && t.is_finite()));
+                prop_assert!(times.windows(2).all(|w| w[1] >= w[0]));
+            }
+        }
+
+        /// Same seed, same sequence; different seeds diverge for any
+        /// non-degenerate Poisson process.
+        #[test]
+        fn poisson_reproducibility(seed in 0u64..1000) {
+            let p = |s| ArrivalProcess::Poisson { mean_secs: 60.0, seed: s };
+            prop_assert_eq!(p(seed).generate(32), p(seed).generate(32));
+            prop_assert_ne!(p(seed).generate(32), p(seed + 1).generate(32));
+        }
+    }
+}

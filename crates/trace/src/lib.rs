@@ -1,0 +1,23 @@
+//! Workload construction and job arrival processes for the Harmony
+//! evaluation.
+//!
+//! The paper's base workload (§V-B) is "4 applications each with 2
+//! datasets and 10 different hyper-parameters, resulting \[in\] the 80
+//! different (app, dataset, hyper-params) tuples" of Table I, submitted
+//! according to several arrival processes (§V-D): all at once, Poisson
+//! with mean inter-arrival 0–8 minutes, and arrival spikes extracted
+//! from the Google cluster traces.
+//!
+//! [`workload`] builds the 80 jobs with physically derived costs
+//! (computation time from input size and per-app scan rates,
+//! communication time from model size and the m4.2xlarge NIC), matching
+//! the characteristic distributions of Figure 9. [`arrival`] provides
+//! the arrival processes, with a bursty heavy-tailed process standing in
+//! for the Google traces (which are not redistributable — see
+//! DESIGN.md §2).
+
+pub mod arrival;
+pub mod workload;
+
+pub use arrival::ArrivalProcess;
+pub use workload::{base_workload, workload_with, WorkloadParams};

@@ -1,0 +1,276 @@
+//! The 80-job base workload of Table I.
+//!
+//! Per-job costs are derived physically rather than sampled:
+//!
+//! - **COMP** — each iteration scans the job's input partition at an
+//!   application-specific rate (bytes of input processed per CPU-second;
+//!   LDA's Gibbs sweeps are far slower per byte than Lasso's dot
+//!   products), multiplied by a hyper-parameter factor (e.g. the class
+//!   count of MLR in Figure 2 scales per-example cost).
+//! - **COMM** — each iteration pulls and pushes (a fraction of) the
+//!   model through the m4.2xlarge NIC (1.1 Gbps), so `Tnet ≈ 2 ×
+//!   sync_fraction × model_bytes / bandwidth`.
+//!
+//! The resulting distributions of iteration time and computation ratio
+//! at DoP 16 reproduce the shape of Figure 9.
+
+use harmony_core::cluster::MachineSpec;
+use harmony_core::job::{AppKind, JobSpec};
+
+/// Tunables of the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of hyper-parameter variants per (app, dataset) pair.
+    pub hyper_params: u32,
+    /// NIC bandwidth used to derive communication costs (bytes/s).
+    pub network_bytes_per_sec: f64,
+    /// Global multiplier on job lengths (epochs), for quick test runs.
+    pub epoch_scale: f64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self {
+            hyper_params: 10,
+            network_bytes_per_sec: MachineSpec::m4_2xlarge().network_bytes_per_sec,
+            epoch_scale: 1.0,
+        }
+    }
+}
+
+/// One (app, dataset) row of Table I plus its cost recipe.
+struct Recipe {
+    app: AppKind,
+    dataset: &'static str,
+    input_gb: f64,
+    model_gb: f64,
+    /// Input bytes processed per CPU-second (per machine).
+    scan_rate: f64,
+    /// Fraction of the model transferred per PULL (and per PUSH).
+    sync_fraction: f64,
+    /// Baseline epochs to convergence.
+    epochs: u32,
+}
+
+const GB: f64 = 1_073_741_824.0;
+
+/// Table I with per-app computation rates and sync fractions.
+fn recipes() -> [Recipe; 8] {
+    [
+        Recipe {
+            app: AppKind::Nmf,
+            dataset: "netflix64x",
+            input_gb: 45.6,
+            model_gb: 1.0,
+            scan_rate: 100.0e6,
+            sync_fraction: 1.0,
+            epochs: 6,
+        },
+        Recipe {
+            app: AppKind::Nmf,
+            dataset: "netflix128x",
+            input_gb: 91.2,
+            model_gb: 5.0,
+            scan_rate: 100.0e6,
+            sync_fraction: 1.0,
+            epochs: 5,
+        },
+        Recipe {
+            app: AppKind::Lda,
+            dataset: "pubmed",
+            input_gb: 4.3,
+            model_gb: 2.1,
+            scan_rate: 15.0e6,
+            sync_fraction: 1.0,
+            epochs: 8,
+        },
+        Recipe {
+            app: AppKind::Lda,
+            dataset: "nytimes",
+            input_gb: 0.6,
+            model_gb: 1.1,
+            scan_rate: 15.0e6,
+            sync_fraction: 1.0,
+            epochs: 10,
+        },
+        Recipe {
+            app: AppKind::Mlr,
+            dataset: "synthetic",
+            input_gb: 78.4,
+            model_gb: 12.0,
+            scan_rate: 120.0e6,
+            sync_fraction: 0.5,
+            epochs: 6,
+        },
+        Recipe {
+            app: AppKind::Mlr,
+            dataset: "synthetic-2x",
+            input_gb: 155.0,
+            model_gb: 24.0,
+            scan_rate: 120.0e6,
+            sync_fraction: 0.5,
+            epochs: 5,
+        },
+        Recipe {
+            app: AppKind::Lasso,
+            dataset: "synthetic",
+            input_gb: 78.4,
+            model_gb: 12.0,
+            scan_rate: 250.0e6,
+            sync_fraction: 0.25,
+            epochs: 8,
+        },
+        Recipe {
+            app: AppKind::Lasso,
+            dataset: "synthetic-2x",
+            input_gb: 155.0,
+            model_gb: 24.0,
+            scan_rate: 250.0e6,
+            sync_fraction: 0.25,
+            epochs: 6,
+        },
+    ]
+}
+
+/// Builds the full base workload: `8 × hyper_params` jobs (80 with the
+/// default 10 hyper-parameters), in Table I order.
+pub fn base_workload() -> Vec<JobSpec> {
+    workload_with(WorkloadParams::default())
+}
+
+/// Builds the workload with custom parameters.
+///
+/// # Panics
+///
+/// Panics if `hyper_params` is zero or rates are non-positive.
+pub fn workload_with(params: WorkloadParams) -> Vec<JobSpec> {
+    assert!(params.hyper_params > 0, "need at least one hyper-parameter");
+    assert!(
+        params.network_bytes_per_sec > 0.0 && params.epoch_scale > 0.0,
+        "rates must be positive"
+    );
+    let mut jobs = Vec::with_capacity(8 * params.hyper_params as usize);
+    for recipe in recipes() {
+        for h in 0..params.hyper_params {
+            // Hyper-parameter factor: e.g. MLR's class count multiplies
+            // per-example cost; spread 0.5×..4.55× in 10 steps.
+            let factor = 0.5 + 0.45 * h as f64;
+            let input_bytes = (recipe.input_gb * GB) as u64;
+            let model_bytes = (recipe.model_gb * GB) as u64;
+            let comp_cost = recipe.input_gb * GB / recipe.scan_rate * factor;
+            let net_cost = 2.0 * recipe.sync_fraction * recipe.model_gb * GB
+                / params.network_bytes_per_sec;
+            let epochs =
+                ((recipe.epochs as f64 * params.epoch_scale).round() as u32).max(1);
+            jobs.push(JobSpec {
+                name: format!("{}-{}-h{}", recipe.app, recipe.dataset, h),
+                app: recipe.app,
+                dataset: recipe.dataset.to_string(),
+                input_bytes,
+                model_bytes,
+                comp_cost,
+                net_cost,
+                sync: harmony_core::job::SyncKind::ParameterServer,
+                pull_fraction: 0.5,
+                iters_per_epoch: 5,
+                target_epochs: epochs,
+            });
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_workload_has_80_jobs() {
+        let jobs = base_workload();
+        assert_eq!(jobs.len(), 80);
+        for j in &jobs {
+            assert!(j.validate().is_ok(), "{}: {:?}", j.name, j.validate());
+        }
+    }
+
+    #[test]
+    fn all_table1_rows_present() {
+        let jobs = base_workload();
+        for (app, dataset) in [
+            (AppKind::Nmf, "netflix64x"),
+            (AppKind::Nmf, "netflix128x"),
+            (AppKind::Lda, "pubmed"),
+            (AppKind::Lda, "nytimes"),
+            (AppKind::Mlr, "synthetic"),
+            (AppKind::Mlr, "synthetic-2x"),
+            (AppKind::Lasso, "synthetic"),
+            (AppKind::Lasso, "synthetic-2x"),
+        ] {
+            assert_eq!(
+                jobs.iter()
+                    .filter(|j| j.app == app && j.dataset == dataset)
+                    .count(),
+                10,
+                "{app}/{dataset}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_times_match_figure_9a_shape() {
+        // At DoP 16 almost all jobs iterate within 20 minutes, with the
+        // median in low single-digit minutes.
+        let jobs = base_workload();
+        let mut minutes: Vec<f64> =
+            jobs.iter().map(|j| j.iter_time_at(16) / 60.0).collect();
+        minutes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = minutes[minutes.len() / 2];
+        let p95 = minutes[(minutes.len() as f64 * 0.95) as usize];
+        assert!(median > 0.3 && median < 8.0, "median {median} min");
+        assert!(p95 < 25.0, "p95 {p95} min");
+    }
+
+    #[test]
+    fn comp_ratios_match_figure_9b_shape() {
+        // Ratios should spread across (0, 1), not cluster at an extreme.
+        let jobs = base_workload();
+        let mut ratios: Vec<f64> =
+            jobs.iter().map(|j| j.comp_ratio_at(16)).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p10 = ratios[8];
+        let p90 = ratios[72];
+        assert!(p10 < 0.55, "p10 {p10}");
+        assert!(p90 > 0.7, "p90 {p90}");
+        assert!(ratios.iter().all(|r| (0.0..1.0).contains(r)));
+    }
+
+    #[test]
+    fn job_names_are_unique() {
+        let jobs = base_workload();
+        let names: std::collections::HashSet<_> =
+            jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names.len(), jobs.len());
+    }
+
+    #[test]
+    fn epoch_scale_shortens_jobs() {
+        let short = workload_with(WorkloadParams {
+            epoch_scale: 0.2,
+            ..Default::default()
+        });
+        let full = base_workload();
+        let short_iters: u64 = short.iter().map(JobSpec::total_iterations).sum();
+        let full_iters: u64 = full.iter().map(JobSpec::total_iterations).sum();
+        assert!(short_iters < full_iters / 2);
+        assert!(short.iter().all(|j| j.target_epochs >= 1));
+    }
+
+    #[test]
+    fn hyper_params_scale_computation_not_communication() {
+        let jobs = base_workload();
+        let h0 = &jobs[0];
+        let h9 = &jobs[9];
+        assert!(h9.comp_cost > h0.comp_cost * 5.0);
+        assert_eq!(h9.net_cost, h0.net_cost);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cluster scheduling: a small end-to-end simulated comparison.
+//!
+//! Runs a 16-job mix on a 24-machine simulated cluster under all three
+//! schedulers (isolated, naive co-location, Harmony) and prints the
+//! scoreboard — a miniature of the paper's Figure 10.
+//!
+//! ```sh
+//! cargo run --release --example cluster_scheduling
+//! ```
+
+use harmony::metrics::TextTable;
+use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony::trace::{workload_with, WorkloadParams};
+
+fn main() {
+    // Two hyper-parameter variants of each Table I row: 16 jobs.
+    let specs = workload_with(WorkloadParams {
+        hyper_params: 2,
+        ..WorkloadParams::default()
+    });
+    let machines = 24;
+    let arrivals = vec![0.0; specs.len()];
+
+    let mut table = TextTable::new([
+        "scheduler",
+        "makespan (min)",
+        "mean JCT (min)",
+        "cpu util",
+        "net util",
+        "completed",
+    ]);
+    for (kind, reload) in [
+        (SchedulerKind::Isolated, ReloadPolicy::StaticFit),
+        (
+            SchedulerKind::Naive {
+                jobs_per_group: 3,
+                seed: 7,
+            },
+            ReloadPolicy::StaticFit,
+        ),
+        (SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+    ] {
+        let cfg = SimConfig {
+            machines,
+            scheduler: kind,
+            reload,
+            ..SimConfig::default()
+        };
+        let report = Driver::run(cfg, specs.clone(), arrivals.clone());
+        table.row([
+            report.scheduler.clone(),
+            format!("{:.0}", report.makespan / 60.0),
+            format!("{:.0}", report.mean_jct() / 60.0),
+            format!("{:.0}%", report.avg_cpu_util(machines) * 100.0),
+            format!("{:.0}%", report.avg_net_util(machines) * 100.0),
+            format!("{}/{}", report.completed(), specs.len()),
+        ]);
+    }
+    println!("16 jobs on {machines} simulated machines\n");
+    println!("{table}");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: make one Harmony scheduling decision.
+//!
+//! Builds profiles for a handful of jobs (as the master's profiler
+//! would), runs Algorithm 1, and prints the resulting job groups with
+//! the model's predictions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use harmony::core::model::group_utilization;
+use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+
+fn main() {
+    // Profiled metrics: (COMP seconds per iteration at DoP 1, COMM
+    // seconds per iteration). Two CPU-heavy, two network-heavy, one
+    // balanced job.
+    let profiles = vec![
+        JobProfile::from_reference(JobId::new(0), 240.0, 12.0),
+        JobProfile::from_reference(JobId::new(1), 210.0, 15.0),
+        JobProfile::from_reference(JobId::new(2), 30.0, 45.0),
+        JobProfile::from_reference(JobId::new(3), 25.0, 50.0),
+        JobProfile::from_reference(JobId::new(4), 90.0, 30.0),
+    ];
+
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let machines = 16;
+    let outcome = scheduler.schedule(&profiles, machines);
+
+    println!("scheduling {} jobs on {machines} machines\n", profiles.len());
+    println!("{}", outcome.grouping);
+    println!(
+        "predicted cluster utilization: cpu {:.0}%, network {:.0}%",
+        outcome.utilization.cpu * 100.0,
+        outcome.utilization.net * 100.0
+    );
+    for (group, predicted) in outcome
+        .grouping
+        .groups()
+        .iter()
+        .zip(&outcome.predicted_iteration)
+    {
+        let members: Vec<&JobProfile> = group
+            .jobs()
+            .iter()
+            .map(|id| {
+                profiles
+                    .iter()
+                    .find(|p| p.job() == *id)
+                    .expect("scheduled job has a profile")
+            })
+            .collect();
+        let u = group_utilization(&members, group.dop());
+        println!(
+            "{}: predicted iteration {predicted:.0}s, cpu {:.0}% / net {:.0}% busy",
+            group.id(),
+            u.cpu * 100.0,
+            u.net * 100.0
+        );
+    }
+    if !outcome.unscheduled.is_empty() {
+        println!("left waiting: {:?}", outcome.unscheduled);
+    }
+}

@@ -1,0 +1,68 @@
+//! Spill/reload in action: a block store with a real file backend and a
+//! hill-climbing α controller.
+//!
+//! Simulates a job whose iteration cost is the sum of a GC penalty
+//! (grows when too much data is memory-resident) and a reload penalty
+//! (grows with spilled data), and lets the controller find the sweet
+//! spot while the block store physically moves blocks to disk and back.
+//!
+//! ```sh
+//! cargo run --example spill_reload
+//! ```
+
+use harmony::mem::{AlphaController, BlockStore, FileBackend, GcModel};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("harmony-spill-example");
+    let backend = FileBackend::new(&dir)?;
+
+    // 64 blocks of 512 KiB of real bytes.
+    let payloads: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 512 * 1024]).collect();
+    let mut store = BlockStore::with_payloads(payloads, backend);
+    let total = store.total_bytes() as f64;
+
+    // Pretend machine: memory capacity twice the dataset would be easy,
+    // so give it only 60% of the dataset plus the GC curve.
+    let capacity = total * 0.6;
+    let gc = GcModel::default();
+    let reload_cost_per_byte = 2.0e-8;
+
+    let mut ctl = AlphaController::new(0.0, 0.1);
+    println!("iter  alpha  mem(MiB)  gc-slowdown  cost");
+    for iter in 0..24 {
+        store.set_target_alpha(ctl.alpha());
+        store.rebalance()?;
+        let resident = store.memory_bytes() as f64;
+        let usage_ratio = resident / capacity;
+        let slowdown = gc.slowdown(usage_ratio);
+        let compute = 10.0;
+        let cost = if gc.is_oom(usage_ratio) {
+            f64::INFINITY
+        } else {
+            compute * slowdown + store.disk_bytes() as f64 * reload_cost_per_byte
+        };
+        println!(
+            "{iter:>4}  {:.2}   {:>7.1}   {slowdown:>10.2}  {cost:.2}",
+            store.alpha(),
+            resident / (1024.0 * 1024.0),
+        );
+        ctl.observe(cost);
+    }
+    println!(
+        "\nsettled at alpha = {:.2} ({} of {} blocks on disk under {})",
+        store.alpha(),
+        store.disk_block_ids().len(),
+        store.len(),
+        dir.display()
+    );
+
+    // Prove the data survives the round trip.
+    let bytes = store
+        .read_block(harmony::mem::BlockId::new(63))?
+        .expect("payload present");
+    assert!(bytes.iter().all(|&b| b == 63));
+    println!("block 63 reloaded intact ({} bytes)", bytes.len());
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! `harmony-cli` — run Harmony scheduling experiments from the command
+//! line.
+//!
+//! ```text
+//! harmony-cli compare  [--machines N] [--jobs N] [--seed S] [--arrival-mean MIN]
+//! harmony-cli schedule [--machines N] [--jobs N]
+//! harmony-cli workload [--jobs N]
+//! harmony-cli reload   [--machines N]
+//! ```
+//!
+//! - `compare`: isolated vs naive vs Harmony on a simulated cluster
+//! - `schedule`: print one Algorithm 1 decision for the workload
+//! - `workload`: print the generated job catalog
+//! - `reload`: sweep fixed α against the adaptive controller
+
+use std::collections::HashMap;
+
+use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+use harmony::metrics::TextTable;
+use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony::trace::{workload_with, ArrivalProcess, WorkloadParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    let flags = parse_flags(args);
+    let machines = flag_u32(&flags, "machines", 24);
+    let jobs = flag_u32(&flags, "jobs", 16);
+    let seed = flag_u64(&flags, "seed", 0);
+
+    match command.as_str() {
+        "compare" => compare(machines, jobs, seed, flag_f64(&flags, "arrival-mean", 0.0)),
+        "schedule" => schedule(machines, jobs),
+        "workload" => workload(jobs),
+        "reload" => reload(machines),
+        _ => {
+            eprintln!(
+                "usage: harmony-cli <compare|schedule|workload|reload> \
+                 [--machines N] [--jobs N] [--seed S] [--arrival-mean MIN]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(name) = a.strip_prefix("--") {
+            key = Some(name.to_string());
+            out.insert(name.to_string(), String::new());
+        } else if let Some(k) = key.take() {
+            out.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            std::process::exit(2);
+        }
+    }
+    out
+}
+
+fn flag_u32(flags: &HashMap<String, String>, name: &str, default: u32) -> u32 {
+    flags
+        .get(name)
+        .map(|v| v.parse().unwrap_or_else(|_| bad_flag(name, v)))
+        .unwrap_or(default)
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
+    flags
+        .get(name)
+        .map(|v| v.parse().unwrap_or_else(|_| bad_flag(name, v)))
+        .unwrap_or(default)
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
+    flags
+        .get(name)
+        .map(|v| v.parse().unwrap_or_else(|_| bad_flag(name, v)))
+        .unwrap_or(default)
+}
+
+fn bad_flag<T>(name: &str, value: &str) -> T {
+    eprintln!("invalid value for --{name}: {value}");
+    std::process::exit(2);
+}
+
+fn specs_for(jobs: u32) -> Vec<harmony::core::JobSpec> {
+    let per_pair = jobs.div_ceil(8).max(1);
+    workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(jobs as usize)
+    .collect()
+}
+
+fn compare(machines: u32, jobs: u32, seed: u64, arrival_mean_min: f64) {
+    let specs = specs_for(jobs);
+    let arrivals = if arrival_mean_min > 0.0 {
+        ArrivalProcess::Poisson {
+            mean_secs: arrival_mean_min * 60.0,
+            seed,
+        }
+        .generate(specs.len())
+    } else {
+        ArrivalProcess::Batch.generate(specs.len())
+    };
+    let mut table = TextTable::new([
+        "scheduler",
+        "makespan (min)",
+        "mean JCT (min)",
+        "cpu util",
+        "net util",
+        "done",
+    ]);
+    for (kind, reload) in [
+        (SchedulerKind::Isolated, ReloadPolicy::StaticFit),
+        (
+            SchedulerKind::Naive {
+                jobs_per_group: 3,
+                seed,
+            },
+            ReloadPolicy::StaticFit,
+        ),
+        (SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+    ] {
+        let cfg = SimConfig {
+            machines,
+            scheduler: kind,
+            reload,
+            seed,
+            ..SimConfig::default()
+        };
+        let r = Driver::run(cfg, specs.clone(), arrivals.clone());
+        table.row([
+            r.scheduler.clone(),
+            format!("{:.0}", r.makespan / 60.0),
+            format!("{:.0}", r.mean_jct() / 60.0),
+            format!("{:.0}%", r.avg_cpu_util(machines) * 100.0),
+            format!("{:.0}%", r.avg_net_util(machines) * 100.0),
+            format!("{}/{}", r.completed(), specs.len()),
+        ]);
+    }
+    println!("{jobs} jobs on {machines} simulated machines (seed {seed})\n");
+    println!("{table}");
+}
+
+fn schedule(machines: u32, jobs: u32) {
+    let profiles: Vec<JobProfile> = specs_for(jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut p =
+                JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+            p.set_memory_footprint(s.input_bytes, s.model_bytes);
+            p
+        })
+        .collect();
+    let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&profiles, machines);
+    println!(
+        "scheduling {jobs} profiled jobs on {machines} machines: {} groups, \
+         predicted utilization cpu {:.0}% / net {:.0}%\n",
+        outcome.grouping.len(),
+        outcome.utilization.cpu * 100.0,
+        outcome.utilization.net * 100.0
+    );
+    print!("{}", outcome.grouping);
+    if !outcome.unscheduled.is_empty() {
+        println!("left waiting: {} jobs", outcome.unscheduled.len());
+    }
+}
+
+fn workload(jobs: u32) {
+    let specs = specs_for(jobs);
+    let mut table = TextTable::new([
+        "job",
+        "input (GB)",
+        "model (GB)",
+        "Tcpu@16 (s)",
+        "Tnet (s)",
+        "iterations",
+    ]);
+    for s in &specs {
+        table.row([
+            s.name.clone(),
+            format!("{:.1}", s.input_bytes as f64 / (1u64 << 30) as f64),
+            format!("{:.1}", s.model_bytes as f64 / (1u64 << 30) as f64),
+            format!("{:.0}", s.comp_time_at(16)),
+            format!("{:.0}", s.net_cost),
+            format!("{}", s.total_iterations()),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn reload(machines: u32) {
+    let specs: Vec<_> = specs_for(16)
+        .into_iter()
+        .skip(8)
+        .take(8)
+        .collect();
+    let arrivals = vec![0.0; specs.len()];
+    let mut table = TextTable::new(["policy", "mean iteration (s)", "makespan (min)", "ooms"]);
+    for alpha10 in (0..=10u32).step_by(2) {
+        let alpha = f64::from(alpha10) / 10.0;
+        let cfg = SimConfig {
+            machines,
+            scheduler: SchedulerKind::Harmony,
+            reload: ReloadPolicy::Fixed(alpha),
+            ..SimConfig::default()
+        };
+        let r = Driver::run(cfg, specs.clone(), arrivals.clone());
+        table.row([
+            format!("fixed {alpha:.1}"),
+            format!("{:.1}", r.mean_group_iteration),
+            format!("{:.0}", r.makespan / 60.0),
+            format!("{}", r.oom_events.len()),
+        ]);
+    }
+    let cfg = SimConfig {
+        machines,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        ..SimConfig::default()
+    };
+    let r = Driver::run(cfg, specs.clone(), arrivals);
+    table.row([
+        "adaptive".to_string(),
+        format!("{:.1}", r.mean_group_iteration),
+        format!("{:.0}", r.makespan / 60.0),
+        format!("{}", r.oom_events.len()),
+    ]);
+    println!("{table}");
+}

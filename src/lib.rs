@@ -1,0 +1,42 @@
+//! Harmony — a scheduling framework optimized for multiple distributed
+//! machine learning jobs.
+//!
+//! This is the facade crate of the reproduction of Lee et al.,
+//! *"Harmony: A Scheduling Framework Optimized for Multiple Distributed
+//! Machine Learning Jobs"* (ICDCS 2021). It re-exports the workspace
+//! crates so applications can depend on a single `harmony` crate:
+//!
+//! - [`core`] — the Harmony scheduler: performance model (Eqs. 1–4),
+//!   Algorithm 1, dynamic regrouping, oracle and baselines.
+//! - [`sim`] — discrete-event cluster simulator used to reproduce the
+//!   paper's 100-machine evaluation.
+//! - [`ps`] — an in-process, thread-based Parameter-Server runtime with
+//!   subtask-decomposed workers.
+//! - [`ml`] — MLR, LDA, NMF and Lasso workloads with synthetic dataset
+//!   generators (Table I shapes).
+//! - [`mem`] — block store with dynamic spill/reload and the
+//!   hill-climbing α controller (§IV-C).
+//! - [`trace`] — arrival processes and the 80-job base workload.
+//! - [`metrics`] — moving averages, utilization timelines and CDFs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+//!
+//! let jobs = vec![
+//!     JobProfile::from_reference(JobId::new(0), 24.0, 4.0),
+//!     JobProfile::from_reference(JobId::new(1), 6.0, 12.0),
+//! ];
+//! let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&jobs, 4);
+//! println!("{}", outcome.grouping);
+//! assert_eq!(outcome.grouping.total_machines(), 4);
+//! ```
+
+pub use harmony_core as core;
+pub use harmony_mem as mem;
+pub use harmony_metrics as metrics;
+pub use harmony_ml as ml;
+pub use harmony_ps as ps;
+pub use harmony_sim as sim;
+pub use harmony_trace as trace;

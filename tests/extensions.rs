@@ -1,0 +1,131 @@
+//! Tests for the §VI extension features: all-reduce synchronization and
+//! fault tolerance.
+
+use harmony::core::job::{AppKind, JobSpec, SyncKind};
+use harmony::ml::{synth, Mlr, PsAlgorithm};
+use harmony::ps::{JobBuilder, PsCluster, PsConfig};
+use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+
+fn mlr_job(name: &str, nodes: usize, all_reduce: bool) -> harmony::ps::TrainingJob {
+    let data = synth::classification(160, 24, 4, 0.3, 99);
+    let mut b = JobBuilder::new(name)
+        .workers(
+            synth::partition(&data, nodes)
+                .into_iter()
+                .map(|p| Box::new(Mlr::new(p, 24, 4, 0.5)) as Box<dyn PsAlgorithm>),
+        )
+        .max_iterations(20);
+    if all_reduce {
+        b = b.all_reduce();
+    }
+    b.build()
+}
+
+#[test]
+fn all_reduce_training_matches_parameter_server_exactly() {
+    // Synchronous SGD sums the same updates either way, so the final
+    // model must be bit-comparable between the two architectures.
+    let ps = PsCluster::new(PsConfig::default())
+        .run_jobs(vec![mlr_job("ps", 2, false)])
+        .remove(0);
+    let ar = PsCluster::new(PsConfig::default())
+        .run_jobs(vec![mlr_job("ar", 2, true)])
+        .remove(0);
+    assert!(
+        (ps.final_loss - ar.final_loss).abs() < 1e-9,
+        "architectures diverged: PS {} vs all-reduce {}",
+        ps.final_loss,
+        ar.final_loss
+    );
+    assert!(ar.final_loss < ar.initial_loss);
+}
+
+fn sim_spec(sync: SyncKind) -> JobSpec {
+    JobSpec {
+        name: format!("{sync:?}"),
+        app: AppKind::Mlr,
+        dataset: "synthetic".into(),
+        input_bytes: 4 << 30,
+        model_bytes: 1 << 30,
+        comp_cost: 400.0,
+        net_cost: 16.0,
+        sync,
+        pull_fraction: 0.5,
+        iters_per_epoch: 5,
+        target_epochs: 4,
+    }
+}
+
+#[test]
+fn simulated_all_reduce_cost_grows_with_dop() {
+    let s = sim_spec(SyncKind::AllReduce);
+    assert_eq!(s.net_time_at(1), 0.0);
+    assert!(s.net_time_at(4) < s.net_time_at(32));
+    assert!(s.net_time_at(32) < 2.0 * s.net_cost);
+    // PS is flat.
+    let p = sim_spec(SyncKind::ParameterServer);
+    assert_eq!(p.net_time_at(4), p.net_time_at(32));
+}
+
+#[test]
+fn simulator_runs_all_reduce_jobs_to_completion() {
+    let cfg = SimConfig {
+        machines: 8,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        ..SimConfig::default()
+    };
+    let specs = vec![
+        sim_spec(SyncKind::AllReduce),
+        sim_spec(SyncKind::ParameterServer),
+    ];
+    let r = Driver::run(cfg, specs, vec![0.0, 0.0]);
+    assert_eq!(r.completed(), 2, "{:?}", r.oom_events);
+}
+
+#[test]
+fn failure_injection_costs_time_but_not_correctness() {
+    let specs = vec![
+        sim_spec(SyncKind::ParameterServer),
+        sim_spec(SyncKind::ParameterServer),
+        sim_spec(SyncKind::ParameterServer),
+    ];
+    let base_cfg = SimConfig {
+        machines: 8,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        straggler_cv: 0.0,
+        ..SimConfig::default()
+    };
+    let calm = Driver::run(base_cfg.clone(), specs.clone(), vec![0.0; 3]);
+    let stormy_cfg = SimConfig {
+        failure_mtbf_secs: Some(300.0),
+        ..base_cfg
+    };
+    let stormy = Driver::run(stormy_cfg, specs, vec![0.0; 3]);
+    assert_eq!(calm.completed(), 3);
+    assert_eq!(stormy.completed(), 3, "failures must not lose jobs");
+    assert!(stormy.failures > 0, "no failures were injected");
+    // Rollbacks and restarts cost wall-clock time.
+    assert!(
+        stormy.makespan > calm.makespan,
+        "storm {} vs calm {}",
+        stormy.makespan,
+        calm.makespan
+    );
+    // Every job still executed at least its nominal iteration count.
+    for j in &stormy.jobs {
+        assert!(j.iterations >= 20, "{} only ran {}", j.name, j.iterations);
+    }
+}
+
+#[test]
+fn failure_free_default_reports_zero_failures() {
+    let cfg = SimConfig {
+        machines: 4,
+        straggler_cv: 0.0,
+        ..SimConfig::default()
+    };
+    let r = Driver::run(cfg, vec![sim_spec(SyncKind::ParameterServer)], vec![0.0]);
+    assert_eq!(r.failures, 0);
+}

@@ -1,0 +1,140 @@
+//! Integration and property tests for the memory-management stack:
+//! block stores, the α controller, the GC model, and their use by the
+//! simulator.
+
+use proptest::prelude::*;
+
+use harmony::mem::{AlphaController, BlockStore, GcModel, NullBackend};
+
+#[test]
+fn alpha_controller_tracks_a_moving_optimum() {
+    // The optimum drifts mid-run (a job's memory budget changed after a
+    // regrouping); the controller must follow.
+    let mut ctl = AlphaController::new(0.5, 0.1);
+    let mut optimum = 0.2;
+    for step in 0..200 {
+        if step == 100 {
+            optimum = 0.8;
+        }
+        let a = ctl.alpha();
+        ctl.observe((a - optimum).powi(2));
+    }
+    assert!(
+        (ctl.alpha() - 0.8).abs() < 0.15,
+        "controller stuck at {}",
+        ctl.alpha()
+    );
+}
+
+#[test]
+fn spill_reload_conserves_every_byte() {
+    let payloads: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 64]).collect();
+    let mut store = BlockStore::with_payloads(payloads.clone(), NullBackend::new());
+    // Thrash the store through several α settings.
+    for &alpha in &[1.0, 0.25, 0.75, 0.0, 1.0, 0.5] {
+        store.set_target_alpha(alpha);
+        store.rebalance().expect("in-memory backend cannot fail");
+        let total = store.memory_bytes() + store.disk_bytes();
+        assert_eq!(total, 16 * 64);
+    }
+    // Every payload survives intact.
+    for (i, expected) in payloads.iter().enumerate() {
+        let got = store
+            .read_block(harmony::mem::BlockId::new(i as u64))
+            .expect("reload ok")
+            .expect("payload present");
+        assert_eq!(got, expected.as_slice(), "block {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rebalance_always_hits_the_achievable_ratio(
+        blocks in 1usize..64,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let mut store = BlockStore::with_metadata(blocks, 100, NullBackend::new());
+        store.set_target_alpha(alpha);
+        store.rebalance().expect("accounting backend");
+        let want_disk = (alpha * blocks as f64).floor() as usize;
+        prop_assert_eq!(store.disk_block_ids().len(), want_disk);
+        // Idempotent.
+        prop_assert_eq!(store.rebalance().expect("accounting backend"), 0);
+    }
+
+    #[test]
+    fn gc_model_is_monotone_and_bounded(
+        threshold in 0.1f64..0.9,
+        overhead in 0.0f64..8.0,
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+    ) {
+        let gc = GcModel::new(threshold, overhead);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(gc.slowdown(lo) <= gc.slowdown(hi) + 1e-12);
+        prop_assert!(gc.slowdown(a) >= 1.0);
+        prop_assert!(gc.slowdown(a) <= 1.0 + overhead + 1e-12);
+    }
+
+    #[test]
+    fn controller_output_is_always_a_valid_ratio(
+        start in 0.0f64..=1.0,
+        costs in prop::collection::vec(0.0f64..1e6, 1..100),
+    ) {
+        let mut ctl = AlphaController::new(start, 0.07);
+        for c in costs {
+            let a = ctl.observe(c);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}
+
+#[test]
+fn simulator_honors_gc_pressure_in_iteration_times() {
+    // Identical single job, two machines sizes: the memory-starved run
+    // must iterate slower per unit of work than the roomy one.
+    use harmony::core::job::{AppKind, JobSpec};
+    use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+
+    let spec = JobSpec {
+        name: "gc-probe".into(),
+        app: AppKind::Mlr,
+        dataset: "synthetic".into(),
+        input_bytes: 20 << 30,
+        model_bytes: 1 << 30,
+        comp_cost: 64.0,
+        net_cost: 4.0,
+        sync: Default::default(),
+        pull_fraction: 0.5,
+        iters_per_epoch: 5,
+        target_epochs: 2,
+    };
+    let run = |machines: u32| {
+        let cfg = SimConfig {
+            machines,
+            scheduler: SchedulerKind::Isolated,
+            reload: ReloadPolicy::None,
+            fixed_dop: Some(machines),
+            straggler_cv: 0.0,
+            ..SimConfig::default()
+        };
+        Driver::run(cfg, vec![spec.clone()], vec![0.0])
+    };
+    // 4 machines: 5 GiB × 2.5 expansion per machine — well under the GC
+    // threshold. 2 machines: 10 GiB × 2.5 = 25 GiB of 32 — above it.
+    let roomy = run(4);
+    let tight = run(2);
+    assert_eq!(roomy.completed(), 1);
+    assert_eq!(tight.completed(), 1);
+    // Normalize per unit of compute (comp scales 1/m, so compare the
+    // iteration time beyond the ideal).
+    let ideal = |m: f64| 64.0 / m + 4.0;
+    let roomy_overhead = roomy.mean_group_iteration / ideal(4.0);
+    let tight_overhead = tight.mean_group_iteration / ideal(2.0);
+    assert!(
+        tight_overhead > roomy_overhead + 0.05,
+        "GC pressure had no effect: {tight_overhead} vs {roomy_overhead}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the performance model and the scheduler
+//! (Eqs. 1–4, Algorithm 1, the baselines) over arbitrary job
+//! populations.
+
+use proptest::prelude::*;
+
+use harmony::core::baseline::{IsolatedScheduler, NaiveColocationScheduler};
+use harmony::core::model::{
+    cluster_utilization, group_iteration_time, group_utilization,
+};
+use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+
+/// Strategy: a job population of 1–24 jobs with positive, bounded
+/// subtask times.
+fn jobs_strategy() -> impl Strategy<Value = Vec<JobProfile>> {
+    prop::collection::vec((0.1f64..500.0, 0.1f64..100.0), 1..24).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (tcpu, tnet))| {
+                JobProfile::from_reference(JobId::new(i as u64), tcpu, tnet)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eq1_bounds_hold(jobs in jobs_strategy(), m in 1u32..64) {
+        let refs: Vec<&JobProfile> = jobs.iter().collect();
+        let t = group_iteration_time(&refs, m);
+        let sum_cpu: f64 = refs.iter().map(|p| p.tcpu_at(m)).sum();
+        let sum_net: f64 = refs.iter().map(|p| p.tnet()).sum();
+        let max_itr = refs.iter().map(|p| p.iter_time_at(m)).fold(0.0f64, f64::max);
+        // Tg is exactly the max of its three lower bounds...
+        prop_assert!(t >= sum_cpu - 1e-9);
+        prop_assert!(t >= sum_net - 1e-9);
+        prop_assert!(t >= max_itr - 1e-9);
+        // ...and never worse than fully serial execution.
+        prop_assert!(t <= sum_cpu + sum_net + 1e-9);
+    }
+
+    #[test]
+    fn eq3_utilization_is_a_fraction(jobs in jobs_strategy(), m in 1u32..64) {
+        let refs: Vec<&JobProfile> = jobs.iter().collect();
+        let u = group_utilization(&refs, m);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u.cpu));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u.net));
+        // At least one resource is fully utilized unless job-bound.
+        let t = group_iteration_time(&refs, m);
+        let max_itr = refs.iter().map(|p| p.iter_time_at(m)).fold(0.0f64, f64::max);
+        if (t - max_itr).abs() > 1e-9 {
+            prop_assert!(u.cpu > 1.0 - 1e-9 || u.net > 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn eq4_weighted_average_stays_bounded(
+        jobs in jobs_strategy(),
+        splits in prop::collection::vec(1u32..16, 1..4),
+    ) {
+        // Partition jobs round-robin into groups with arbitrary DoPs.
+        let ng = splits.len();
+        let mut groups: Vec<(Vec<&JobProfile>, u32)> =
+            splits.iter().map(|&m| (Vec::new(), m)).collect();
+        for (i, p) in jobs.iter().enumerate() {
+            groups[i % ng].0.push(p);
+        }
+        groups.retain(|(g, _)| !g.is_empty());
+        let u = cluster_utilization(&groups);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u.cpu));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u.net));
+        // The cluster average cannot exceed the best group.
+        let best_cpu = groups
+            .iter()
+            .map(|(g, m)| group_utilization(g, *m).cpu)
+            .fold(0.0f64, f64::max);
+        prop_assert!(u.cpu <= best_cpu + 1e-9);
+    }
+
+    #[test]
+    fn algorithm1_output_is_always_a_valid_partition(
+        jobs in jobs_strategy(),
+        machines in 1u32..200,
+    ) {
+        let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&jobs, machines);
+        prop_assert!(outcome.grouping.validate().is_ok());
+        prop_assert!(outcome.grouping.total_machines() <= machines as usize);
+        // Scheduled ∪ unscheduled == input, no duplicates.
+        let mut seen: Vec<u64> = outcome.grouping.jobs().map(|j| j.index()).collect();
+        seen.extend(outcome.unscheduled.iter().map(|j| j.index()));
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = jobs.iter().map(|p| p.job().index()).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+        // Every non-empty group owns at least one machine (validate
+        // checks this, but assert the stronger claim: all machines used
+        // when anything was scheduled).
+        if !outcome.grouping.is_empty() {
+            prop_assert_eq!(outcome.grouping.total_machines(), machines as usize);
+        }
+    }
+
+    #[test]
+    fn schedule_exact_never_loses_jobs(
+        jobs in jobs_strategy(),
+        machines in 1u32..100,
+    ) {
+        let outcome =
+            Scheduler::new(SchedulerConfig::default()).schedule_exact(&jobs, machines);
+        // schedule_exact places *every* job (no incremental selection).
+        prop_assert_eq!(outcome.grouping.total_jobs(), jobs.len());
+        prop_assert!(outcome.unscheduled.is_empty());
+        prop_assert!(outcome.grouping.validate().is_ok());
+    }
+
+    #[test]
+    fn isolated_baseline_respects_machine_budget(
+        jobs in jobs_strategy(),
+        machines in 1u32..100,
+    ) {
+        let g = IsolatedScheduler::new().allocate(&jobs, machines);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.total_machines() <= machines as usize);
+        for grp in g.groups() {
+            prop_assert_eq!(grp.jobs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn naive_baseline_packs_everyone_or_respects_budget(
+        jobs in jobs_strategy(),
+        machines in 1u32..100,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = NaiveColocationScheduler::new(k).allocate(&jobs, machines, Some(seed));
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.total_machines() <= machines as usize);
+        prop_assert!(g.total_jobs() <= jobs.len());
+        for grp in g.groups() {
+            prop_assert!(grp.jobs().len() <= k.max(jobs.len().div_ceil(machines as usize)));
+        }
+    }
+
+    #[test]
+    fn eq2_scaling_is_exact(tcpu in 0.1f64..1000.0, tnet in 0.1f64..100.0, m in 1u32..128) {
+        let p = JobProfile::from_reference(JobId::new(0), tcpu, tnet);
+        prop_assert!((p.tcpu_at(m) - tcpu / f64::from(m)).abs() < 1e-9);
+        prop_assert!((p.tnet() - tnet).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Real-training integration tests: the in-process PS runtime driving
+//! the four ML applications from `harmony-ml`, alone and co-located.
+
+use harmony::ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
+use harmony::ps::{JobBuilder, PsCluster, PsConfig, TrainingJob};
+
+fn cluster(nodes: usize) -> PsCluster {
+    PsCluster::new(PsConfig {
+        nodes,
+        network_bytes_per_sec: None,
+    })
+}
+
+fn mlr_job(name: &str, nodes: usize, iters: u64, seed: u64) -> TrainingJob {
+    let data = synth::classification(160, 24, 4, 0.3, seed);
+    JobBuilder::new(name)
+        .workers(
+            synth::partition(&data, nodes)
+                .into_iter()
+                .map(|p| Box::new(Mlr::new(p, 24, 4, 0.5)) as Box<dyn PsAlgorithm>),
+        )
+        .max_iterations(iters)
+        .build()
+}
+
+#[test]
+fn every_application_converges_under_distributed_training() {
+    let nodes = 2;
+    let c = cluster(nodes);
+
+    let reg = synth::regression(160, 24, 0.3, 11);
+    let lasso = JobBuilder::new("lasso")
+        .workers(synth::partition(&reg, nodes).into_iter().map(|p| {
+            Box::new(Lasso::new(p, 24, 0.05, 0.01)) as Box<dyn PsAlgorithm>
+        }))
+        .max_iterations(30)
+        .build();
+
+    let ratings = synth::ratings(30, 40, 10, 3, 12);
+    let nmf = JobBuilder::new("nmf")
+        .workers(synth::partition(&ratings, nodes).into_iter().map(|p| {
+            Box::new(Nmf::new(p, 40, 3, 0.05)) as Box<dyn PsAlgorithm>
+        }))
+        .max_iterations(30)
+        .build();
+
+    let docs = synth::bag_of_words(40, 200, 40, 4, 13);
+    let lda = JobBuilder::new("lda")
+        .workers(
+            synth::partition(&docs, nodes)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Box::new(Lda::new(p, 200, 4, i as u64)) as Box<dyn PsAlgorithm>),
+        )
+        .max_iterations(15)
+        .build();
+
+    let reports = c.run_jobs(vec![mlr_job("mlr", nodes, 30, 10), lasso, nmf, lda]);
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert!(
+            r.final_loss < r.initial_loss,
+            "{} failed to improve: {} -> {}",
+            r.name,
+            r.initial_loss,
+            r.final_loss
+        );
+    }
+}
+
+#[test]
+fn colocation_preserves_convergence_and_discipline() {
+    let c = cluster(2);
+    let solo = cluster(2)
+        .run_jobs(vec![mlr_job("solo", 2, 25, 21)])
+        .remove(0);
+    let reports = c.run_jobs(vec![
+        mlr_job("co-a", 2, 25, 21),
+        mlr_job("co-b", 2, 25, 22),
+    ]);
+    // Synchronous training result must not depend on co-location: the
+    // same data, seeds and iteration count give the same final loss.
+    assert!(
+        (reports[0].final_loss - solo.final_loss).abs() < 1e-9,
+        "co-located {} vs solo {}",
+        reports[0].final_loss,
+        solo.final_loss
+    );
+    for (cpu, comm) in c.executor_stats() {
+        assert!(cpu.peak_concurrency <= 1, "COMP subtasks overlapped");
+        assert!(comm.peak_concurrency <= 2, "more than two COMM subtasks");
+    }
+}
+
+#[test]
+fn checkpoint_migration_resumes_exactly() {
+    // Phase 1 on one "machine set".
+    let phase1 = cluster(2)
+        .run_jobs(vec![mlr_job("phase1", 2, 12, 31)])
+        .remove(0);
+
+    // Migrate: rebuild workers (input is reloaded from the immutable
+    // dataset), restore the checkpointed model, continue on a different
+    // cluster shape.
+    let data = synth::classification(160, 24, 4, 0.3, 31);
+    let resumed = JobBuilder::new("phase2")
+        .workers(
+            synth::partition(&data, 4)
+                .into_iter()
+                .map(|p| Box::new(Mlr::new(p, 24, 4, 0.5)) as Box<dyn PsAlgorithm>),
+        )
+        .initial_model(phase1.final_model.clone())
+        .max_iterations(12)
+        .build();
+    let phase2 = cluster(4).run_jobs(vec![resumed]).remove(0);
+
+    assert!(
+        (phase2.initial_loss - phase1.final_loss).abs() < 1e-9,
+        "resume lost model state: {} vs {}",
+        phase2.initial_loss,
+        phase1.final_loss
+    );
+    assert!(phase2.final_loss <= phase2.initial_loss + 1e-9);
+}
+
+#[test]
+fn profiled_subtask_times_feed_the_scheduler() {
+    use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+
+    let c = cluster(2);
+    let reports = c.run_jobs(vec![
+        mlr_job("p0", 2, 10, 41),
+        mlr_job("p1", 2, 10, 42),
+    ]);
+    // Turn the measured subtask means into scheduler profiles: the
+    // full loop the Harmony master runs.
+    let profiles: Vec<JobProfile> = reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut p = JobProfile::new(JobId::new(i as u64));
+            p.observe_iteration(r.mean_tcpu.max(1e-6), r.mean_tnet.max(1e-6), 2);
+            p
+        })
+        .collect();
+    let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&profiles, 4);
+    assert!(outcome.grouping.validate().is_ok());
+    assert!(outcome.grouping.total_jobs() >= 1);
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests for the scheduler: Algorithm 1 and the
+//! regrouper driven by the real workload generator.
+
+use harmony::core::baseline::{IsolatedScheduler, NaiveColocationScheduler};
+use harmony::core::oracle::OracleScheduler;
+use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
+use harmony::trace::{base_workload, workload_with, WorkloadParams};
+
+fn profiles_from_workload(n: usize) -> Vec<JobProfile> {
+    base_workload()
+        .into_iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, s)| {
+            let mut p =
+                JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+            p.set_memory_footprint(s.input_bytes, s.model_bytes);
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn full_workload_schedule_is_valid_and_balanced() {
+    let profiles = profiles_from_workload(80);
+    let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&profiles, 100);
+    assert!(outcome.grouping.validate().is_ok());
+    assert_eq!(outcome.grouping.total_machines(), 100);
+    // Every scheduled or unscheduled job is accounted for exactly once.
+    let placed = outcome.grouping.total_jobs() + outcome.unscheduled.len();
+    assert_eq!(placed, 80);
+    // The decision must predict high utilization on this workload.
+    assert!(
+        outcome.utilization.score(0.7) > 0.85,
+        "{:?}",
+        outcome.utilization
+    );
+}
+
+#[test]
+fn schedule_scales_to_thousands_of_jobs_quickly() {
+    let specs = workload_with(WorkloadParams {
+        hyper_params: 250,
+        ..WorkloadParams::default()
+    });
+    let profiles: Vec<JobProfile> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost))
+        .collect();
+    assert_eq!(profiles.len(), 2000);
+    let t0 = std::time::Instant::now();
+    let outcome = Scheduler::new(SchedulerConfig::default()).schedule(&profiles, 4000);
+    // The paper's bound at 8K jobs is 5 s; 2K jobs must decide fast.
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "took {:?}",
+        t0.elapsed()
+    );
+    assert!(outcome.grouping.validate().is_ok());
+}
+
+#[test]
+fn oracle_never_loses_to_the_heuristic() {
+    let cfg = SchedulerConfig::default();
+    for n in [4usize, 6, 8] {
+        let profiles = profiles_from_workload(n);
+        let heuristic = Scheduler::new(cfg).schedule_exact(&profiles, 12);
+        let oracle = OracleScheduler::new(cfg).schedule(&profiles, 12);
+        assert!(
+            oracle.utilization.score(cfg.cpu_weight)
+                >= heuristic.utilization.score(cfg.cpu_weight) - 1e-9,
+            "n={n}: oracle {:?} < heuristic {:?}",
+            oracle.utilization,
+            heuristic.utilization
+        );
+    }
+}
+
+#[test]
+fn harmony_predicts_higher_utilization_than_baseline_groupings() {
+    use harmony::core::model::cluster_utilization;
+    let profiles = profiles_from_workload(16);
+    let machines = 32;
+
+    let score_of = |grouping: &harmony::core::Grouping| {
+        let groups: Vec<_> = grouping
+            .groups()
+            .iter()
+            .map(|g| {
+                let profs: Vec<&JobProfile> = g
+                    .jobs()
+                    .iter()
+                    .map(|id| {
+                        profiles
+                            .iter()
+                            .find(|p| p.job() == *id)
+                            .expect("job profile")
+                    })
+                    .collect();
+                (profs, g.dop())
+            })
+            .collect();
+        cluster_utilization(&groups).score(0.7)
+    };
+
+    let harmony = Scheduler::new(SchedulerConfig::default()).schedule_exact(&profiles, machines);
+    let isolated = IsolatedScheduler::new().allocate(&profiles, machines);
+    let naive = NaiveColocationScheduler::new(3).allocate(&profiles, machines, Some(1));
+
+    let h = score_of(&harmony.grouping);
+    assert!(
+        h >= score_of(&isolated) - 1e-9,
+        "harmony {h} < isolated {}",
+        score_of(&isolated)
+    );
+    assert!(
+        h >= score_of(&naive) - 1e-9,
+        "harmony {h} < naive {}",
+        score_of(&naive)
+    );
+}
+
+#[test]
+fn workload_deciles_cover_both_resource_shapes() {
+    // The scheduler's job is only meaningful if the workload really has
+    // complementary shapes: verify both CPU-heavy and network-heavy jobs
+    // exist at the DoP the evaluation uses.
+    let jobs = base_workload();
+    let cpu_heavy = jobs.iter().filter(|j| j.comp_ratio_at(16) > 0.7).count();
+    let net_heavy = jobs.iter().filter(|j| j.comp_ratio_at(16) < 0.3).count();
+    assert!(cpu_heavy >= 8, "only {cpu_heavy} CPU-heavy jobs");
+    assert!(net_heavy >= 8, "only {net_heavy} network-heavy jobs");
+}

@@ -1,0 +1,203 @@
+//! End-to-end simulated cluster runs across the three schedulers.
+//!
+//! These use a reduced workload (2 hyper-parameters per Table I row,
+//! shortened epochs) so the whole file runs in seconds while still
+//! exercising profiling, Algorithm 1, regrouping, migration, spill and
+//! completion.
+
+use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony::trace::{workload_with, ArrivalProcess, WorkloadParams};
+
+fn small_workload() -> Vec<harmony::core::JobSpec> {
+    workload_with(WorkloadParams {
+        hyper_params: 2,
+        epoch_scale: 0.5,
+        ..WorkloadParams::default()
+    })
+}
+
+fn cfg(kind: SchedulerKind, reload: ReloadPolicy) -> SimConfig {
+    SimConfig {
+        machines: 24,
+        scheduler: kind,
+        reload,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn all_three_schedulers_complete_the_workload() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    for (kind, reload) in [
+        (SchedulerKind::Isolated, ReloadPolicy::StaticFit),
+        (
+            SchedulerKind::Naive {
+                jobs_per_group: 3,
+                seed: 2,
+            },
+            ReloadPolicy::StaticFit,
+        ),
+        (SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+    ] {
+        let label = format!("{kind:?}");
+        let r = Driver::run(cfg(kind, reload), specs.clone(), arrivals.clone());
+        assert_eq!(r.completed(), specs.len(), "{label}: {:?}", r.oom_events);
+        assert!(r.makespan > 0.0);
+        for j in &r.jobs {
+            assert!(j.jct.expect("completed") > 0.0, "{label}/{}", j.name);
+        }
+    }
+}
+
+#[test]
+fn harmony_beats_isolated_on_makespan_and_utilization() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let iso = Driver::run(
+        cfg(SchedulerKind::Isolated, ReloadPolicy::StaticFit),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    let har = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs,
+        arrivals,
+    );
+    assert!(
+        har.makespan < iso.makespan,
+        "harmony {} vs isolated {}",
+        har.makespan,
+        iso.makespan
+    );
+    assert!(
+        har.avg_cpu_util(24) > iso.avg_cpu_util(24),
+        "harmony cpu {} vs isolated {}",
+        har.avg_cpu_util(24),
+        iso.avg_cpu_util(24)
+    );
+}
+
+#[test]
+fn staggered_arrivals_complete_under_harmony() {
+    let specs = small_workload();
+    let arrivals = ArrivalProcess::Poisson {
+        mean_secs: 300.0,
+        seed: 5,
+    }
+    .generate(specs.len());
+    let r = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    assert_eq!(r.completed(), specs.len(), "{:?}", r.oom_events);
+    // No job may finish before it arrived plus some execution time.
+    for (j, &at) in r.jobs.iter().zip(&arrivals) {
+        assert!(j.finish.expect("completed") > at, "{}", j.name);
+    }
+}
+
+#[test]
+fn bursty_arrivals_complete_under_harmony() {
+    let specs = small_workload();
+    let arrivals = ArrivalProcess::Bursty {
+        burst_mean: 4.0,
+        gap_scale_secs: 600.0,
+        seed: 3,
+    }
+    .generate(specs.len());
+    let r = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs,
+        arrivals,
+    );
+    assert_eq!(r.completed(), 16, "{:?}", r.oom_events);
+}
+
+#[test]
+fn reload_policy_none_ooms_where_spill_survives() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let no_spill = Driver::run(
+        cfg(
+            SchedulerKind::Naive {
+                jobs_per_group: 4,
+                seed: 0,
+            },
+            ReloadPolicy::None,
+        ),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    let with_spill = Driver::run(
+        cfg(
+            SchedulerKind::Naive {
+                jobs_per_group: 4,
+                seed: 0,
+            },
+            ReloadPolicy::StaticFit,
+        ),
+        specs,
+        arrivals,
+    );
+    assert!(
+        !no_spill.oom_events.is_empty(),
+        "expected OOM without spill"
+    );
+    assert!(with_spill.oom_events.is_empty());
+    assert_eq!(with_spill.completed(), 16);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let a = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    let b = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs,
+        arrivals,
+    );
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.mean_jct(), b.mean_jct());
+    assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
+fn utilization_timelines_are_sane() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let r = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs,
+        arrivals,
+    );
+    for p in r.cpu_timeline.points().iter().chain(r.net_timeline.points()) {
+        assert!((0.0..=1.0).contains(&p.value));
+        assert!(p.time <= r.makespan + 1.0);
+    }
+    assert!(r.avg_cpu_util(24) > 0.0 && r.avg_cpu_util(24) <= 1.0);
+    assert!(r.avg_net_util(24) > 0.0 && r.avg_net_util(24) <= 1.0);
+}
+
+#[test]
+fn prediction_samples_are_collected_and_finite() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let r = Driver::run(
+        cfg(SchedulerKind::Harmony, ReloadPolicy::Adaptive),
+        specs,
+        arrivals,
+    );
+    assert!(!r.predictions.is_empty());
+    for p in &r.predictions {
+        assert!(p.predicted_iteration.is_finite() && p.predicted_iteration > 0.0);
+        assert!(p.realized_iteration.is_finite() && p.realized_iteration > 0.0);
+        assert!(p.iteration_error().is_finite());
+    }
+}
