@@ -17,7 +17,13 @@ fn main() {
         .expect("MLR h5 exists");
 
     let mut util = TextTable::new(["machines", "cpu util", "net util"]);
-    let mut time = TextTable::new(["machines", "iteration (s)", "PULL (s)", "COMP (s)", "PUSH (s)"]);
+    let mut time = TextTable::new([
+        "machines",
+        "iteration (s)",
+        "PULL (s)",
+        "COMP (s)",
+        "PUSH (s)",
+    ]);
     for m in [4u32, 8, 16, 32] {
         let mut cfg = isolated_config(m);
         cfg.fixed_dop = Some(m);

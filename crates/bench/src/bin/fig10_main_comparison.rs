@@ -6,8 +6,8 @@
 //! the average with min/max whiskers, exactly as the paper reports it.
 
 use harmony_bench::{
-    base_specs, harmony_config, isolated_config, naive_config, run, summary_row,
-    RunSummary, MACHINES,
+    base_specs, harmony_config, isolated_config, naive_config, run, summary_row, RunSummary,
+    MACHINES,
 };
 use harmony_metrics::{Cdf, TextTable};
 
@@ -55,8 +55,24 @@ fn main() {
     let (mlo, mhi) = minmax(&ms_speedups);
     table.row([
         "naive (avg of 9 placements)".to_string(),
-        format!("{:.0}", mean(&naive_runs.iter().map(|r| r.mean_jct_min).collect::<Vec<_>>())),
-        format!("{:.0}", mean(&naive_runs.iter().map(|r| r.makespan_min).collect::<Vec<_>>())),
+        format!(
+            "{:.0}",
+            mean(
+                &naive_runs
+                    .iter()
+                    .map(|r| r.mean_jct_min)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.0}",
+            mean(
+                &naive_runs
+                    .iter()
+                    .map(|r| r.makespan_min)
+                    .collect::<Vec<_>>()
+            )
+        ),
         format!("{:.2} [{jlo:.2}-{jhi:.2}]", mean(&jct_speedups)),
         format!("{:.2} [{mlo:.2}-{mhi:.2}]", mean(&ms_speedups)),
         format!(
@@ -82,7 +98,10 @@ fn main() {
 
     // JCT distribution tails: the mean hides where each scheduler wins.
     let jct_cdf = |r: &harmony_sim::RunReport| -> Cdf {
-        r.jobs.iter().filter_map(|j| j.jct.map(|v| v / 60.0)).collect()
+        r.jobs
+            .iter()
+            .filter_map(|j| j.jct.map(|v| v / 60.0))
+            .collect()
     };
     let h_cdf = jct_cdf(&harmony_report);
     println!(

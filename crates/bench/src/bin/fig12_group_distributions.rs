@@ -9,8 +9,8 @@
 //! jobs-per-group everywhere).
 
 use harmony_bench::{
-    base_specs, comm_intensive_specs, comp_intensive_specs, harmony_config,
-    isolated_config, run, MACHINES,
+    base_specs, comm_intensive_specs, comp_intensive_specs, harmony_config, isolated_config, run,
+    MACHINES,
 };
 use harmony_core::job::JobSpec;
 use harmony_metrics::{Cdf, TextTable};
@@ -48,7 +48,12 @@ fn main() {
         let q = |c: &Cdf, p: f64| c.quantile(p).unwrap_or(0.0);
         shape.row([
             label.to_string(),
-            format!("{:.0}/{:.0}/{:.0}", q(&dops, 0.25), q(&dops, 0.5), q(&dops, 0.75)),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                q(&dops, 0.25),
+                q(&dops, 0.5),
+                q(&dops, 0.75)
+            ),
             format!(
                 "{:.0}/{:.0}/{:.0}",
                 q(&sizes, 0.25),

@@ -16,27 +16,33 @@ fn main() {
 
     let mlr_data = synth::classification(400, 64, 5, 0.25, 1);
     let mlr = JobBuilder::new("mlr")
-        .workers(synth::partition(&mlr_data, nodes).into_iter().map(|p| {
-            Box::new(Mlr::new(p, 64, 5, 0.5)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&mlr_data, nodes)
+                .into_iter()
+                .map(|p| Box::new(Mlr::new(p, 64, 5, 0.5)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(40)
         .check_every(10)
         .build();
 
     let lasso_data = synth::regression(400, 64, 0.3, 2);
     let lasso = JobBuilder::new("lasso")
-        .workers(synth::partition(&lasso_data, nodes).into_iter().map(|p| {
-            Box::new(Lasso::new(p, 64, 0.05, 0.01)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&lasso_data, nodes)
+                .into_iter()
+                .map(|p| Box::new(Lasso::new(p, 64, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(40)
         .check_every(10)
         .build();
 
     let ratings = synth::ratings(60, 80, 12, 4, 3);
     let nmf = JobBuilder::new("nmf")
-        .workers(synth::partition(&ratings, nodes).into_iter().map(|p| {
-            Box::new(Nmf::new(p, 80, 4, 0.05)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&ratings, nodes)
+                .into_iter()
+                .map(|p| Box::new(Nmf::new(p, 80, 4, 0.05)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(40)
         .check_every(10)
         .build();
@@ -47,9 +53,7 @@ fn main() {
             synth::partition(&docs, nodes)
                 .into_iter()
                 .enumerate()
-                .map(|(i, p)| {
-                    Box::new(Lda::new(p, 400, 5, i as u64)) as Box<dyn PsAlgorithm>
-                }),
+                .map(|(i, p)| Box::new(Lda::new(p, 400, 5, i as u64)) as Box<dyn PsAlgorithm>),
         )
         .max_iterations(25)
         .check_every(5)
@@ -81,8 +85,16 @@ fn main() {
     println!("{table}");
 
     let stats = cluster.executor_stats();
-    let peak_cpu = stats.iter().map(|(c, _)| c.peak_concurrency).max().unwrap_or(0);
-    let peak_comm = stats.iter().map(|(_, n)| n.peak_concurrency).max().unwrap_or(0);
+    let peak_cpu = stats
+        .iter()
+        .map(|(c, _)| c.peak_concurrency)
+        .max()
+        .unwrap_or(0);
+    let peak_comm = stats
+        .iter()
+        .map(|(_, n)| n.peak_concurrency)
+        .max()
+        .unwrap_or(0);
     println!(
         "executor discipline held: peak CPU concurrency {peak_cpu} (cap 1), \
          peak COMM concurrency {peak_comm} (cap 2) on every node"

@@ -26,8 +26,7 @@ fn profiles(n: usize) -> Vec<JobProfile> {
         .take(n)
         .enumerate()
         .map(|(i, s)| {
-            let mut p =
-                JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+            let mut p = JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
             p.set_memory_footprint(s.input_bytes, s.model_bytes);
             p
         })

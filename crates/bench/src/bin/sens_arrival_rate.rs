@@ -19,10 +19,8 @@ fn main() {
         "harmony cpu util",
     ]);
 
-    let mut cases: Vec<(String, ArrivalProcess)> = vec![(
-        "batch (all at t=0)".to_string(),
-        ArrivalProcess::Batch,
-    )];
+    let mut cases: Vec<(String, ArrivalProcess)> =
+        vec![("batch (all at t=0)".to_string(), ArrivalProcess::Batch)];
     for mean_min in [2u32, 4, 8] {
         cases.push((
             format!("poisson mean {mean_min} min"),

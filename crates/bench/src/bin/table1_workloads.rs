@@ -47,7 +47,10 @@ fn main() {
         ]);
         seen.push(key);
     }
-    println!("Table I: workloads used for evaluation ({} jobs total)\n", jobs.len());
+    println!(
+        "Table I: workloads used for evaluation ({} jobs total)\n",
+        jobs.len()
+    );
     println!("{table}");
     println!(
         "(The original datasets are licensed corpora; synthetic generators in \

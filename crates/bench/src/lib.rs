@@ -9,6 +9,6 @@
 pub mod harness;
 
 pub use harness::{
-    base_specs, comm_intensive_specs, comp_intensive_specs, harmony_config,
-    isolated_config, naive_config, run, summary_row, RunSummary, MACHINES,
+    base_specs, comm_intensive_specs, comp_intensive_specs, harmony_config, isolated_config,
+    naive_config, run, summary_row, RunSummary, MACHINES,
 };

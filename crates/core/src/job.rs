@@ -182,10 +182,13 @@ impl JobSpec {
     /// Validates internal consistency; returns a human-readable reason
     /// when the spec is unusable.
     pub fn validate(&self) -> std::result::Result<(), String> {
-        if !(self.comp_cost > 0.0) {
-            return Err(format!("comp_cost must be positive, got {}", self.comp_cost));
+        if !self.comp_cost.is_finite() || self.comp_cost <= 0.0 {
+            return Err(format!(
+                "comp_cost must be positive, got {}",
+                self.comp_cost
+            ));
         }
-        if !(self.net_cost > 0.0) {
+        if !self.net_cost.is_finite() || self.net_cost <= 0.0 {
             return Err(format!("net_cost must be positive, got {}", self.net_cost));
         }
         if !(0.0..=1.0).contains(&self.pull_fraction) {
@@ -377,8 +380,7 @@ mod tests {
 
     #[test]
     fn app_kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            AppKind::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = AppKind::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

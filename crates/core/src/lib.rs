@@ -65,8 +65,6 @@ pub use cluster::{ClusterSpec, MachineId, MachineSpec};
 pub use error::{Error, Result};
 pub use group::{GroupId, Grouping, JobGroup};
 pub use job::{AppKind, JobId, JobSpec, JobState, SyncKind};
-pub use model::{
-    cluster_utilization, group_iteration_time, group_utilization, Utilization,
-};
+pub use model::{cluster_utilization, group_iteration_time, group_utilization, Utilization};
 pub use profile::{JobProfile, ProfileStore};
 pub use schedule::{ScheduleOutcome, Scheduler, SchedulerConfig};

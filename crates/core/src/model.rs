@@ -238,10 +238,7 @@ mod tests {
             let t = group_iteration_time(&ps, m);
             let sum_cpu: f64 = ps.iter().map(|p| p.tcpu_at(m)).sum();
             let sum_net: f64 = ps.iter().map(|p| p.tnet()).sum();
-            let max_itr = ps
-                .iter()
-                .map(|p| p.iter_time_at(m))
-                .fold(0.0f64, f64::max);
+            let max_itr = ps.iter().map(|p| p.iter_time_at(m)).fold(0.0f64, f64::max);
             assert!(t >= sum_cpu && t >= sum_net && t >= max_itr);
             assert!(t <= sum_cpu + sum_net); // never worse than serial
         }

@@ -16,6 +16,10 @@ use crate::model::{cluster_utilization, Utilization};
 use crate::profile::JobProfile;
 use crate::schedule::{ScheduleOutcome, SchedulerConfig};
 
+/// Best partition found so far: `(groups as job indices, machines per
+/// group, utilization, score)`.
+type BestPartition = (Vec<Vec<usize>>, Vec<u32>, Utilization, f64);
+
 /// Exhaustive-search scheduler used as evaluation ground truth.
 #[derive(Debug, Clone)]
 pub struct OracleScheduler {
@@ -69,7 +73,7 @@ impl OracleScheduler {
             };
         }
 
-        let mut best: Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)> = None;
+        let mut best: Option<BestPartition> = None;
         let mut partition = vec![0usize; jobs.len()];
         self.visit_at(jobs, machines, &mut partition, 0, 1, &mut best);
         let (groups, alloc, utilization, _) = best.expect("non-empty job set has partitions");
@@ -102,7 +106,7 @@ impl OracleScheduler {
         assign: &mut Vec<usize>,
         idx: usize,
         blocks: usize,
-        best: &mut Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)>,
+        best: &mut Option<BestPartition>,
     ) {
         if idx == jobs.len() {
             if blocks as u32 > machines {
@@ -128,7 +132,7 @@ impl OracleScheduler {
         jobs: &[JobProfile],
         machines: u32,
         groups: &[Vec<usize>],
-        best: &mut Option<(Vec<Vec<usize>>, Vec<u32>, Utilization, f64)>,
+        best: &mut Option<BestPartition>,
     ) {
         let ng = groups.len();
         let states = composition_count(machines, ng as u32);

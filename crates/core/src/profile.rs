@@ -193,7 +193,9 @@ impl ProfileStore {
 
     /// Mutable lookup, creating a cold profile on first touch.
     pub fn entry(&mut self, job: JobId) -> &mut JobProfile {
-        self.profiles.entry(job).or_insert_with(|| JobProfile::new(job))
+        self.profiles
+            .entry(job)
+            .or_insert_with(|| JobProfile::new(job))
     }
 
     /// Removes a profile (e.g., when the job finishes).

@@ -94,11 +94,7 @@ impl Regrouper {
             .iter()
             .filter(|g| !g.jobs().is_empty())
             .map(|g| {
-                let profs: Vec<_> = g
-                    .jobs()
-                    .iter()
-                    .filter_map(|&j| profiles.get(j))
-                    .collect();
+                let profs: Vec<_> = g.jobs().iter().filter_map(|&j| profiles.get(j)).collect();
                 (profs, g.dop())
             })
             .collect();
@@ -197,7 +193,9 @@ impl Regrouper {
         // Step 1: a single similar job (iteration time and comp/comm
         // ratio both within 5%).
         for &cand in &waiting {
-            let Some(p) = profiles.get(cand) else { continue };
+            let Some(p) = profiles.get(cand) else {
+                continue;
+            };
             if !p.is_warm() {
                 continue;
             }
@@ -215,7 +213,8 @@ impl Regrouper {
 
         // Step 2: a bunch of smaller jobs whose summed iteration time
         // and ratio-of-sums approximate the finished job.
-        if let Some(bunch) = self.find_bunch(&waiting, profiles, dop, finished_iter_time, finished_ratio)
+        if let Some(bunch) =
+            self.find_bunch(&waiting, profiles, dop, finished_iter_time, finished_ratio)
         {
             return RegroupDecision::ReplaceFinished { group, add: bunch };
         }
@@ -223,6 +222,59 @@ impl Regrouper {
         // Step 3: escalate to partial rescheduling with a growing set of
         // involved groups, smallest-involvement first.
         self.escalate(view, profiles, group, &waiting)
+    }
+
+    /// Handles the loss of one machine from `group` (§VI fault
+    /// tolerance). `view.grouping` must already reflect the shrunken
+    /// group — the master re-runs machine allocation over the survivors
+    /// before asking for a decision.
+    ///
+    /// The cheapest repair is *local*: keep the shrunken group running
+    /// on its surviving machines ([`RegroupDecision::NoChange`]). The
+    /// regrouper escalates to partial rescheduling over a growing set
+    /// of involved groups only when the repaired cluster's predicted
+    /// utilization can be improved past the scheduler's improvement
+    /// threshold — i.e. when the crash degraded the grouping enough
+    /// that movement pays for itself.
+    pub fn on_machine_lost(
+        &self,
+        view: &ClusterView,
+        profiles: &ProfileStore,
+        group: GroupId,
+    ) -> RegroupDecision {
+        if view.grouping.group(group).is_none() {
+            // The crash wiped the whole group out; the master handles
+            // re-placement of its orphaned jobs directly.
+            return RegroupDecision::NoChange;
+        }
+        let waiting: Vec<JobId> = view
+            .profiled
+            .iter()
+            .chain(view.paused.iter())
+            .copied()
+            .collect();
+        self.escalate(view, profiles, group, &waiting)
+    }
+
+    /// Handles a job abort (user kill or unrecoverable task failure,
+    /// §VI). `view.grouping` must already have the aborted job removed.
+    ///
+    /// An abort leaves the group in the same shape as a completion —
+    /// one member gone, its resource share idle — so the same minimal-
+    /// movement repair ladder applies: a single similar waiting job,
+    /// then a bunch, then escalation. The difference is semantic: the
+    /// aborted job's characteristics come from its last observed
+    /// profile rather than a converged run, and the caller must not
+    /// count it as completed.
+    pub fn on_job_aborted(
+        &self,
+        view: &ClusterView,
+        profiles: &ProfileStore,
+        aborted_iter_time: f64,
+        aborted_ratio: f64,
+        group: GroupId,
+    ) -> RegroupDecision {
+        self.on_job_finished(view, profiles, aborted_iter_time, aborted_ratio, group)
     }
 
     /// Greedy subset construction for the "bunch of jobs with equivalent
@@ -265,7 +317,11 @@ impl Regrouper {
         if chosen.len() < 2 {
             return None;
         }
-        let ratio = if sum_net > 0.0 { sum_cpu / sum_net } else { f64::INFINITY };
+        let ratio = if sum_net > 0.0 {
+            sum_cpu / sum_net
+        } else {
+            f64::INFINITY
+        };
         (Self::rel_diff(sum_iter, target_iter) <= 0.05
             && Self::rel_diff(ratio, target_ratio) <= 0.05)
             .then_some(chosen)
@@ -489,11 +545,7 @@ mod tests {
     #[test]
     fn finished_job_replaced_by_bunch() {
         // Two waiting halves sum to the finished job's shape.
-        let ps = vec![
-            prof(1, 6.0, 6.0),
-            prof(2, 5.0, 1.0),
-            prof(3, 5.0, 1.0),
-        ];
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 5.0, 1.0), prof(3, 5.0, 1.0)];
         let finished = prof(0, 10.0, 2.0);
         let view = ClusterView {
             machines: 1,
@@ -528,14 +580,88 @@ mod tests {
             profiled: vec![],
             paused: vec![],
         };
-        let d = Regrouper::default().on_job_finished(
+        let d =
+            Regrouper::default().on_job_finished(&view, &store(&ps), 12.0, 1.0, GroupId::new(0));
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn machine_loss_with_healthy_group_repairs_locally() {
+        // The shrunken group still pairs a CPU-bound with a net-bound
+        // job; no reshuffle can beat it by 5%, so local repair wins.
+        let ps = vec![prof(0, 20.0, 2.0), prof(1, 2.0, 16.0)];
+        let view = ClusterView {
+            machines: 3,
+            grouping: Grouping::from_groups(vec![group(0, &[0, 1], 0..3)]),
+            profiled: vec![],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_machine_lost(&view, &store(&ps), GroupId::new(0));
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn machine_loss_escalates_when_grouping_degrades() {
+        // After the loss, group 0 is purely CPU-bound and group 1
+        // purely net-bound: merging them is a clear >5% win, so the
+        // machine-loss path must escalate to partial rescheduling.
+        let ps = vec![prof(1, 20.0, 1.0), prof(2, 1.0, 20.0)];
+        let view = ClusterView {
+            machines: 2,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1), group(1, &[2], 1..2)]),
+            profiled: vec![],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_machine_lost(&view, &store(&ps), GroupId::new(0));
+        match d {
+            RegroupDecision::PartialReschedule {
+                involved_groups, ..
+            } => {
+                assert!(involved_groups.contains(&GroupId::new(0)));
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn machine_loss_of_vanished_group_is_no_change() {
+        let ps = vec![prof(0, 5.0, 5.0)];
+        let view = ClusterView {
+            machines: 2,
+            grouping: Grouping::from_groups(vec![group(0, &[0], 0..2)]),
+            profiled: vec![],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_machine_lost(&view, &store(&ps), GroupId::new(9));
+        assert_eq!(d, RegroupDecision::NoChange);
+    }
+
+    #[test]
+    fn aborted_job_is_backfilled_like_a_completion() {
+        // J0 aborted; J2 waits with nearly identical shape and must
+        // take its slot without disturbing anything else.
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 10.1, 2.02)];
+        let aborted = prof(0, 10.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_aborted(
             &view,
             &store(&ps),
-            12.0,
-            1.0,
+            aborted.iter_time_at(1),
+            aborted.comp_comm_ratio_at(1),
             GroupId::new(0),
         );
-        assert_eq!(d, RegroupDecision::NoChange);
+        assert_eq!(
+            d,
+            RegroupDecision::ReplaceFinished {
+                group: GroupId::new(0),
+                add: vec![JobId::new(2)]
+            }
+        );
     }
 
     #[test]
@@ -546,20 +672,12 @@ mod tests {
         let ps = vec![prof(1, 20.0, 1.0), prof(2, 1.0, 20.0)];
         let view = ClusterView {
             machines: 2,
-            grouping: Grouping::from_groups(vec![
-                group(0, &[1], 0..1),
-                group(1, &[2], 1..2),
-            ]),
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1), group(1, &[2], 1..2)]),
             profiled: vec![],
             paused: vec![],
         };
-        let d = Regrouper::default().on_job_finished(
-            &view,
-            &store(&ps),
-            21.0,
-            0.05,
-            GroupId::new(0),
-        );
+        let d =
+            Regrouper::default().on_job_finished(&view, &store(&ps), 21.0, 0.05, GroupId::new(0));
         match d {
             RegroupDecision::PartialReschedule {
                 involved_groups,

@@ -21,8 +21,8 @@
 //!    computation-bound one, since extra machines shrink `Tcpu` (Eq. 2)
 //!    but not `Tnet`.
 
-use crate::group::{GroupId, Grouping, JobGroup};
 use crate::cluster::MachineId;
+use crate::group::{GroupId, Grouping, JobGroup};
 use crate::job::JobId;
 use crate::model::{cluster_utilization, group_iteration_time, Utilization};
 use crate::profile::JobProfile;
@@ -239,7 +239,10 @@ impl Scheduler {
             v
         };
 
-        let mut best: Option<(Vec<(Vec<usize>, u32)>, Utilization, f64)> = None;
+        // Best candidate so far: `(groups with their DoPs, utilization,
+        // score)`.
+        type BestCandidate = (Vec<(Vec<usize>, u32)>, Utilization, f64);
+        let mut best: Option<BestCandidate> = None;
         for &ng in &ng_candidates {
             let uniform_dop = f64::from(machines) / ng as f64;
             let mut groups = self.assign_jobs(jobs, ng, uniform_dop);
@@ -292,8 +295,7 @@ impl Scheduler {
         // Fine-tune: swap jobs between the most imbalanced group and the
         // most complementary group while it helps.
         let delta = |i: usize| jobs[i].tcpu_at(1) / dop - jobs[i].tnet();
-        let imbalance =
-            |members: &[usize]| members.iter().map(|&i| delta(i)).sum::<f64>();
+        let imbalance = |members: &[usize]| members.iter().map(|&i| delta(i)).sum::<f64>();
         let passes = if jobs.len() > 1024 {
             self.cfg.max_swap_passes.min(8)
         } else {
@@ -383,10 +385,7 @@ impl Scheduler {
             .iter()
             .map(|&w| w / total_ideal * f64::from(machines))
             .collect();
-        let mut alloc: Vec<u32> = shares
-            .iter()
-            .map(|&s| (s.floor() as u32).max(1))
-            .collect();
+        let mut alloc: Vec<u32> = shares.iter().map(|&s| (s.floor() as u32).max(1)).collect();
         let need = |g: usize, a: &[u32]| sums[g].0 / f64::from(a[g]) - sums[g].1;
         let assigned: u32 = alloc.iter().sum();
         if assigned < machines {
@@ -409,7 +408,9 @@ impl Scheduler {
             while left > 0 {
                 let gi = (0..ng)
                     .max_by(|&a, &b| {
-                        need(a, &alloc).partial_cmp(&need(b, &alloc)).expect("finite")
+                        need(a, &alloc)
+                            .partial_cmp(&need(b, &alloc))
+                            .expect("finite")
                     })
                     .expect("ng >= 1");
                 let grant = (left / ng as u32).max(1);
@@ -424,7 +425,9 @@ impl Scheduler {
                 let gi = (0..ng)
                     .filter(|&g| alloc[g] > 1)
                     .min_by(|&a, &b| {
-                        need(a, &alloc).partial_cmp(&need(b, &alloc)).expect("finite")
+                        need(a, &alloc)
+                            .partial_cmp(&need(b, &alloc))
+                            .expect("finite")
                     })
                     .expect("some group has spare machines");
                 alloc[gi] -= 1;
@@ -526,9 +529,7 @@ mod tests {
             .collect();
         let first = s.schedule_exact(&jobs[..1], 16);
         let full = s.schedule(&jobs, 16);
-        assert!(
-            full.utilization.score(0.7) >= first.utilization.score(0.7) - 1e-9
-        );
+        assert!(full.utilization.score(0.7) >= first.utilization.score(0.7) - 1e-9);
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl AlphaController {
                     self.advance();
                 } else {
                     // Worse: step back, turn around, refine.
-                    self.alpha =
-                        (self.alpha - self.direction * self.step).clamp(0.0, 1.0);
+                    self.alpha = (self.alpha - self.direction * self.step).clamp(0.0, 1.0);
                     self.direction = -self.direction;
                     self.step = (self.step / 2.0).max(self.min_step);
                     self.advance();

@@ -166,7 +166,10 @@ impl<B: SpillBackend> BlockStore<B> {
     ///
     /// Panics if `payloads` is empty.
     pub fn with_payloads(payloads: Vec<Vec<u8>>, backend: B) -> Self {
-        assert!(!payloads.is_empty(), "a block store needs at least one block");
+        assert!(
+            !payloads.is_empty(),
+            "a block store needs at least one block"
+        );
         let blocks = payloads
             .iter()
             .enumerate()
@@ -349,10 +352,7 @@ impl<B: SpillBackend> BlockStore<B> {
             .iter()
             .position(|b| b.id() == id)
             .ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::NotFound,
-                    format!("unknown block {id}"),
-                )
+                std::io::Error::new(std::io::ErrorKind::NotFound, format!("unknown block {id}"))
             })
     }
 }
@@ -408,10 +408,7 @@ mod tests {
 
     #[test]
     fn file_backend_roundtrip() {
-        let dir = std::env::temp_dir().join(format!(
-            "harmony-mem-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("harmony-mem-test-{}", std::process::id()));
         let backend = FileBackend::new(&dir).unwrap();
         let mut s = BlockStore::with_payloads(vec![vec![9u8; 128]], backend);
         s.spill_block(BlockId::new(0)).unwrap();

@@ -182,6 +182,24 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_cdf_is_a_step() {
+        let cdf = Cdf::from_samples([7.0]);
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.fraction_at_or_below(6.9), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(7.0), 1.0);
+        assert_eq!(cdf.median(), Some(7.0));
+        assert_eq!(cdf.mean(), Some(7.0));
+        assert_eq!(cdf.min(), cdf.max());
+    }
+
+    #[test]
+    fn all_non_finite_yields_empty_cdf() {
+        let cdf = Cdf::from_samples([f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
     fn binned_ends_at_one() {
         let cdf = Cdf::from_samples([0.0, 1.0, 2.0, 3.0]);
         let rows = cdf.binned(6);

@@ -1,0 +1,145 @@
+//! Discrete event logs for fault and recovery timelines.
+//!
+//! The fault-injection subsystem (§VI of the paper) surfaces every
+//! injected fault and every recovery action the master takes as a
+//! [`TimelineEvent`]. Unlike [`crate::Timeline`], which carries numeric
+//! samples, an [`EventLog`] carries labeled point events suitable for
+//! rendering a run's fault history or asserting recovery behavior in
+//! tests.
+
+/// One labeled point event on the simulation clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Event timestamp in seconds since the start of the run.
+    pub time: f64,
+    /// Short machine-readable kind, e.g. `"machine-crash"` or
+    /// `"recovery"`.
+    pub kind: String,
+    /// Free-form human-readable detail (target group, chosen repair, …).
+    pub detail: String,
+}
+
+/// An append-only log of labeled events.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::EventLog;
+///
+/// let mut log = EventLog::new();
+/// log.record(120.0, "machine-crash", "group 3 lost one machine");
+/// log.record(121.5, "recovery", "group 3 repaired locally");
+/// assert_eq!(log.of_kind("recovery").count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventLog {
+    events: Vec<TimelineEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event. Non-finite timestamps are rejected (dropped)
+    /// so downstream ordering stays total.
+    pub fn record(&mut self, time: f64, kind: impl Into<String>, detail: impl Into<String>) {
+        if !time.is_finite() {
+            return;
+        }
+        self.events.push(TimelineEvent {
+            time,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events whose kind equals `kind`, in insertion order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TimelineEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The first event at or after `time`, if any.
+    pub fn first_at_or_after(&self, time: f64) -> Option<&TimelineEvent> {
+        self.events.iter().find(|e| e.time >= time)
+    }
+
+    /// Merges another log into this one, keeping global time order
+    /// (stable for equal timestamps: `self` events first).
+    pub fn merge(&mut self, other: &EventLog) {
+        self.events.extend(other.events.iter().cloned());
+        self.events
+            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite event times"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_filters_by_kind() {
+        let mut log = EventLog::new();
+        log.record(1.0, "a", "x");
+        log.record(2.0, "b", "y");
+        log.record(3.0, "a", "z");
+        assert_eq!(log.len(), 3);
+        let kinds: Vec<&str> = log.of_kind("a").map(|e| e.detail.as_str()).collect();
+        assert_eq!(kinds, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn non_finite_times_are_dropped() {
+        let mut log = EventLog::new();
+        log.record(f64::NAN, "a", "bad");
+        log.record(f64::INFINITY, "a", "bad");
+        log.record(0.0, "a", "good");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn first_at_or_after_finds_boundary() {
+        let mut log = EventLog::new();
+        log.record(10.0, "a", "");
+        log.record(20.0, "b", "");
+        assert_eq!(log.first_at_or_after(10.0).unwrap().kind, "a");
+        assert_eq!(log.first_at_or_after(10.1).unwrap().kind, "b");
+        assert!(log.first_at_or_after(20.1).is_none());
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let mut a = EventLog::new();
+        a.record(1.0, "a", "");
+        a.record(3.0, "a", "");
+        let mut b = EventLog::new();
+        b.record(2.0, "b", "");
+        a.merge(&b);
+        let kinds: Vec<&str> = a.events().iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn empty_log_behaves() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.of_kind("x").count(), 0);
+        assert!(log.first_at_or_after(0.0).is_none());
+    }
+}

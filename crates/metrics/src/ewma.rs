@@ -43,7 +43,14 @@ impl Ewma {
     }
 
     /// Feeds one sample into the average.
+    ///
+    /// Non-finite samples (NaN, ±inf) are rejected: a single poisoned
+    /// measurement must not destroy a profile that scheduling decisions
+    /// depend on.
     pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
         self.value = Some(match self.value {
             None => sample,
             Some(v) => v + self.alpha * (sample - v),
@@ -119,7 +126,13 @@ impl MovingAverage {
     }
 
     /// Feeds one sample, evicting the oldest if the window is full.
+    ///
+    /// Non-finite samples (NaN, ±inf) are rejected — see
+    /// [`Ewma::observe`].
     pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
         if self.samples.len() < self.window {
             self.samples.push(sample);
             self.sum += sample;
@@ -232,5 +245,46 @@ mod tests {
         let m = MovingAverage::new(3);
         assert_eq!(m.value(), None);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ewma_rejects_non_finite_samples() {
+        let mut e = Ewma::new(0.5);
+        e.observe(f64::NAN);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        e.observe(f64::INFINITY);
+        e.observe(f64::NEG_INFINITY);
+        e.observe(f64::NAN);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn ewma_single_sample_is_the_value() {
+        let mut e = Ewma::new(0.3);
+        e.observe(7.5);
+        assert_eq!(e.value(), Some(7.5));
+        assert!(e.is_warm());
+    }
+
+    #[test]
+    fn moving_average_rejects_non_finite_samples() {
+        let mut m = MovingAverage::new(3);
+        m.observe(f64::NAN);
+        assert!(m.is_empty());
+        m.observe(4.0);
+        m.observe(f64::INFINITY);
+        m.observe(f64::NEG_INFINITY);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.value(), Some(4.0));
+    }
+
+    #[test]
+    fn moving_average_single_sample_window() {
+        let mut m = MovingAverage::new(1);
+        m.observe(2.0);
+        m.observe(9.0);
+        assert_eq!(m.value(), Some(9.0));
+        assert!(m.is_full());
     }
 }

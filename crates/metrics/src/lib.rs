@@ -21,12 +21,14 @@
 //! ```
 
 mod cdf;
+mod events;
 mod ewma;
 mod online;
 mod table;
 mod timeline;
 
 pub use cdf::Cdf;
+pub use events::{EventLog, TimelineEvent};
 pub use ewma::{Ewma, MovingAverage};
 pub use online::OnlineStats;
 pub use table::{fmt3, TextTable};

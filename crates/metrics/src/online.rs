@@ -35,7 +35,13 @@ impl OnlineStats {
     }
 
     /// Feeds one sample.
+    ///
+    /// Non-finite samples (NaN, ±inf) are rejected: one poisoned sample
+    /// would otherwise contaminate the mean and variance forever.
     pub fn observe(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
         if self.count == 0 {
             self.min = sample;
             self.max = sample;
@@ -108,8 +114,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -185,5 +191,29 @@ mod tests {
             s.observe(x);
         }
         assert!((s.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let mut s = OnlineStats::new();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        s.observe(5.0);
+        s.observe(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let mut s = OnlineStats::new();
+        s.observe(3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.min(), s.max());
     }
 }

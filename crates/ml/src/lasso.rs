@@ -71,7 +71,9 @@ impl PsAlgorithm for Lasso {
 
     fn init_model(&self, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..self.features).map(|_| rng.gen_range(-0.01..0.01)).collect()
+        (0..self.features)
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect()
     }
 
     fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
@@ -132,7 +134,10 @@ mod tests {
             }
         }
         let after = worker.mse(&model);
-        assert!(after < before * 0.3, "MSE did not drop: {before} -> {after}");
+        assert!(
+            after < before * 0.3,
+            "MSE did not drop: {before} -> {after}"
+        );
     }
 
     #[test]

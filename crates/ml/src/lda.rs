@@ -124,11 +124,9 @@ impl PsAlgorithm for Lda {
                     let ntw = (Self::n_tw(model, vocab, t, word)
                         + delta[t * vocab + word as usize])
                         .max(0.0);
-                    let nt = (Self::n_t(model, vocab, topics, t)
-                        + delta[topics * vocab + t])
-                        .max(0.0);
-                    *p = (self.doc_topic[d][t] + self.alpha) * (ntw + self.beta)
-                        / (nt + vbeta);
+                    let nt =
+                        (Self::n_t(model, vocab, topics, t) + delta[topics * vocab + t]).max(0.0);
+                    *p = (self.doc_topic[d][t] + self.alpha) * (ntw + self.beta) / (nt + vbeta);
                     sum += *p;
                 }
                 let mut u = self.rng.gen_range(0.0..sum);

@@ -70,15 +70,12 @@ impl Nmf {
 
     fn predict(&self, model: &[f64], user: u32, item: u32) -> f64 {
         let w = &self.user_factors[&user];
-        self.h_col(model, item)
-            .zip(w)
-            .map(|(h, &wk)| h * wk)
-            .sum()
+        self.h_col(model, item).zip(w).map(|(h, &wk)| h * wk).sum()
     }
 }
 
 /// Seed for worker-local user-factor initialization ("NMF" in ASCII).
-const LOCAL_FACTOR_SEED: u64 = 0x4E4D_46;
+const LOCAL_FACTOR_SEED: u64 = 0x004E_4D46;
 
 impl PsAlgorithm for Nmf {
     fn model_len(&self) -> usize {

@@ -264,7 +264,11 @@ mod tests {
         for &(_, i, _) in &rs {
             *counts.entry(i).or_insert(0u32) += 1;
         }
-        let top = counts.iter().max_by_key(|(_, &c)| c).map(|(&i, _)| i).unwrap();
+        let top = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&i, _)| i)
+            .unwrap();
         assert!(top < 100, "most popular item was {top}");
     }
 
@@ -340,6 +344,9 @@ mod tests {
                 lows += 1;
             }
         }
-        assert!(lows > 500, "Zipf should concentrate mass at low ranks, got {lows}");
+        assert!(
+            lows > 500,
+            "Zipf should concentrate mass at low ranks, got {lows}"
+        );
     }
 }

@@ -6,13 +6,17 @@
 //! pulled FIFO from a crossbeam channel; the executor records peak
 //! observed concurrency so tests can assert the discipline held.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+struct Task {
+    /// Set by an [`AbortHandle`]; checked once, at dequeue time.
+    abort: Option<Arc<AtomicBool>>,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
 
 /// Runtime statistics of one executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,12 +25,41 @@ pub struct ExecutorStats {
     pub completed: usize,
     /// Highest number of tasks that ever ran concurrently.
     pub peak_concurrency: usize,
+    /// Tasks dropped before starting because their handle was aborted
+    /// (a fault cancelled the subtask while it sat in the queue).
+    pub aborted: usize,
+    /// Failed attempts that were retried by [`Executor::submit_with_retry`].
+    pub retries: usize,
+}
+
+/// Cancels a not-yet-started task submitted with
+/// [`Executor::submit_abortable`]. Abort is checked when the task is
+/// dequeued: a task already running is not interrupted (subtasks are
+/// the atom of work — §IV-A), but a queued one is dropped and counted
+/// in [`ExecutorStats::aborted`].
+#[derive(Debug, Clone)]
+pub struct AbortHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl AbortHandle {
+    /// Requests cancellation of the associated task.
+    pub fn abort(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`AbortHandle::abort`] has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
 }
 
 struct Shared {
     running: AtomicUsize,
     peak: AtomicUsize,
     completed: AtomicUsize,
+    aborted: AtomicUsize,
+    retries: AtomicUsize,
 }
 
 /// A fixed-concurrency FIFO task executor.
@@ -62,6 +95,8 @@ impl Executor {
             running: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
+            aborted: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
         });
         let mut threads = Vec::with_capacity(concurrency);
         for i in 0..concurrency {
@@ -73,9 +108,17 @@ impl Executor {
                     .name(thread_name)
                     .spawn(move || {
                         while let Ok(task) = rx.recv() {
+                            if task
+                                .abort
+                                .as_ref()
+                                .is_some_and(|f| f.load(Ordering::SeqCst))
+                            {
+                                shared.aborted.fetch_add(1, Ordering::SeqCst);
+                                continue;
+                            }
                             let now = shared.running.fetch_add(1, Ordering::SeqCst) + 1;
                             shared.peak.fetch_max(now, Ordering::SeqCst);
-                            task();
+                            (task.run)();
                             shared.running.fetch_sub(1, Ordering::SeqCst);
                             shared.completed.fetch_add(1, Ordering::SeqCst);
                         }
@@ -102,10 +145,62 @@ impl Executor {
     ///
     /// Panics if called after [`Executor::shutdown`].
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.send(Task {
+            abort: None,
+            run: Box::new(task),
+        });
+    }
+
+    /// Enqueues a task that can still be cancelled while it waits for a
+    /// worker. Returns the handle; see [`AbortHandle`] for semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Executor::shutdown`].
+    pub fn submit_abortable(&self, task: impl FnOnce() + Send + 'static) -> AbortHandle {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.send(Task {
+            abort: Some(Arc::clone(&flag)),
+            run: Box::new(task),
+        });
+        AbortHandle { flag }
+    }
+
+    /// Enqueues a fallible task that is re-attempted (in place, on the
+    /// same worker) until it returns `true` or `max_attempts` is
+    /// exhausted. Each failed-then-repeated attempt counts once in
+    /// [`ExecutorStats::retries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero or the executor was shut down.
+    pub fn submit_with_retry(
+        &self,
+        max_attempts: usize,
+        mut task: impl FnMut() -> bool + Send + 'static,
+    ) {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let shared = Arc::clone(&self.shared);
+        self.send(Task {
+            abort: None,
+            run: Box::new(move || {
+                for attempt in 1..=max_attempts {
+                    if task() {
+                        return;
+                    }
+                    if attempt < max_attempts {
+                        shared.retries.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }),
+        });
+    }
+
+    fn send(&self, task: Task) {
         self.sender
             .as_ref()
             .expect("executor was shut down")
-            .send(Box::new(task))
+            .send(task)
             .expect("executor threads alive");
     }
 
@@ -114,6 +209,8 @@ impl Executor {
         ExecutorStats {
             completed: self.shared.completed.load(Ordering::SeqCst),
             peak_concurrency: self.shared.peak.load(Ordering::SeqCst),
+            aborted: self.shared.aborted.load(Ordering::SeqCst),
+            retries: self.shared.retries.load(Ordering::SeqCst),
         }
     }
 
@@ -223,5 +320,66 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_concurrency_rejected() {
         let _ = Executor::new("bad", 0);
+    }
+
+    #[test]
+    fn aborted_queued_task_never_runs() {
+        let exec = Executor::new("abort", 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Occupy the only worker so the next submission stays queued.
+        exec.submit(move || {
+            let _ = gate_rx.recv();
+        });
+        let (tx, rx) = mpsc::channel();
+        let handle = exec.submit_abortable(move || tx.send(()).unwrap());
+        handle.abort();
+        assert!(handle.is_aborted());
+        gate_tx.send(()).unwrap();
+        let stats = exec.shutdown();
+        assert_eq!(rx.try_recv().ok(), None, "aborted task still ran");
+        assert_eq!(stats.aborted, 1);
+        assert_eq!(stats.completed, 1); // only the gate task
+    }
+
+    #[test]
+    fn unaborted_abortable_task_runs_normally() {
+        let exec = Executor::new("abort", 1);
+        let (tx, rx) = mpsc::channel();
+        let handle = exec.submit_abortable(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(!handle.is_aborted());
+        let stats = exec.shutdown();
+        assert_eq!(stats.aborted, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn retry_repeats_until_success() {
+        let exec = Executor::new("retry", 1);
+        let (tx, rx) = mpsc::channel();
+        let mut failures_left = 2;
+        exec.submit_with_retry(5, move || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                return false;
+            }
+            tx.send(()).unwrap();
+            true
+        });
+        rx.recv().unwrap();
+        let stats = exec.shutdown();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let exec = Executor::new("retry", 1);
+        exec.submit_with_retry(3, || false);
+        let stats = exec.shutdown();
+        // 3 attempts, 2 of which were retries; the wrapper itself
+        // completes.
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.completed, 1);
     }
 }

@@ -49,7 +49,7 @@ pub mod shard;
 pub mod subtask;
 
 pub use allreduce::{ring_all_reduce, AllReduceStats};
-pub use executor::{Executor, ExecutorStats};
+pub use executor::{AbortHandle, Executor, ExecutorStats};
 pub use master::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
 pub use shard::ShardedModel;
 pub use subtask::{SubtaskKind, SubtaskTiming};

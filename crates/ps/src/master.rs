@@ -286,8 +286,7 @@ impl PsCluster {
             converged: bool,
         }
 
-        let (event_tx, event_rx) =
-            unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
+        let (event_tx, event_rx) = unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
 
         let mut runs: Vec<JobRun> = Vec::with_capacity(jobs.len());
         for job in jobs {
@@ -304,8 +303,7 @@ impl PsCluster {
                     model.push(&init);
                 }
             }
-            let total_examples: usize =
-                job.workers.iter().map(|w| w.num_examples()).sum();
+            let total_examples: usize = job.workers.iter().map(|w| w.num_examples()).sum();
             let workers: Vec<_> = job
                 .workers
                 .into_iter()
@@ -397,8 +395,7 @@ impl PsCluster {
                                 // reduction runs at the barrier once all
                                 // ranks have contributed.
                             } else {
-                                let update =
-                                    slot.lock().take().expect("COMP preceded PUSH");
+                                let update = slot.lock().take().expect("COMP preceded PUSH");
                                 model.push(&update);
                             }
                             if let Some(d) = delay {
@@ -413,8 +410,7 @@ impl PsCluster {
 
         // Kick off iteration 1 of every job.
         let mut active = 0usize;
-        for j in 0..runs.len() {
-            let run = &mut runs[j];
+        for (j, run) in runs.iter_mut().enumerate() {
             if run.max_iterations == 0 {
                 run.done = true;
                 continue;
@@ -451,23 +447,17 @@ impl PsCluster {
                         let mut buffers: Vec<Vec<f64>> = run
                             .updates
                             .iter()
-                            .map(|slot| {
-                                slot.lock().take().expect("COMP preceded PUSH")
-                            })
+                            .map(|slot| slot.lock().take().expect("COMP preceded PUSH"))
                             .collect();
                         crate::allreduce::ring_all_reduce(&mut buffers);
                         run.model.push(&buffers[0]);
                     }
                     // Iteration boundary: evaluate, then stop or go on.
-                    let at_check = run.iteration % run.check_every == 0
+                    let at_check = run.iteration.is_multiple_of(run.check_every)
                         || run.iteration == run.max_iterations;
                     if at_check {
                         let snapshot = run.model.pull();
-                        let sum: f64 = run
-                            .workers
-                            .iter()
-                            .map(|w| w.lock().loss(&snapshot))
-                            .sum();
+                        let sum: f64 = run.workers.iter().map(|w| w.lock().loss(&snapshot)).sum();
                         let loss = sum / run.total_examples.max(1) as f64;
                         run.loss_history.push((run.iteration, loss));
                         if run.loss_threshold.is_some_and(|t| loss <= t) {
@@ -562,10 +552,7 @@ mod tests {
     #[test]
     fn colocated_jobs_both_train() {
         let cluster = PsCluster::new(PsConfig::default());
-        let reports = cluster.run_jobs(vec![
-            mlr_job("a", 2, 15),
-            mlr_job("b", 2, 15),
-        ]);
+        let reports = cluster.run_jobs(vec![mlr_job("a", 2, 15), mlr_job("b", 2, 15)]);
         for r in &reports {
             assert!(r.final_loss < r.initial_loss, "{} did not improve", r.name);
             assert_eq!(r.iterations, 15);
@@ -600,23 +587,30 @@ mod tests {
 
     #[test]
     fn all_four_apps_train_together() {
-        let cluster = PsCluster::new(PsConfig { nodes: 2, ..Default::default() });
+        let cluster = PsCluster::new(PsConfig {
+            nodes: 2,
+            ..Default::default()
+        });
 
         let mlr = mlr_job("mlr", 2, 8);
 
         let reg = synth::regression(120, 16, 0.4, 7);
         let lasso = JobBuilder::new("lasso")
-            .workers(synth::partition(&reg, 2).into_iter().map(|p| {
-                Box::new(Lasso::new(p, 16, 0.05, 0.01)) as Box<dyn PsAlgorithm>
-            }))
+            .workers(
+                synth::partition(&reg, 2)
+                    .into_iter()
+                    .map(|p| Box::new(Lasso::new(p, 16, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+            )
             .max_iterations(8)
             .build();
 
         let ratings = synth::ratings(20, 30, 8, 3, 8);
         let nmf = JobBuilder::new("nmf")
-            .workers(synth::partition(&ratings, 2).into_iter().map(|p| {
-                Box::new(Nmf::new(p, 30, 3, 0.05)) as Box<dyn PsAlgorithm>
-            }))
+            .workers(
+                synth::partition(&ratings, 2)
+                    .into_iter()
+                    .map(|p| Box::new(Nmf::new(p, 30, 3, 0.05)) as Box<dyn PsAlgorithm>),
+            )
             .max_iterations(8)
             .build();
 
@@ -626,9 +620,7 @@ mod tests {
                 synth::partition(&docs, 2)
                     .into_iter()
                     .enumerate()
-                    .map(|(i, p)| {
-                        Box::new(Lda::new(p, 150, 3, i as u64)) as Box<dyn PsAlgorithm>
-                    }),
+                    .map(|(i, p)| Box::new(Lda::new(p, 150, 3, i as u64)) as Box<dyn PsAlgorithm>),
             )
             .max_iterations(8)
             .build();

@@ -147,7 +147,7 @@ mod tests {
     fn shard_ranges_cover_model() {
         let m = ShardedModel::new(10, 3);
         assert_eq!(m.shard_count(), 3);
-        let mut covered = vec![false; 10];
+        let mut covered = [false; 10];
         for s in 0..3 {
             let (range, vals) = m.pull_shard(s);
             assert_eq!(vals.len(), range.len());

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — an
+//! unbounded multi-producer *multi-consumer* FIFO channel (std's mpsc
+//! receiver is single-consumer, which the PS executors cannot use: every
+//! worker thread clones the receiver). Built on `Mutex<VecDeque>` +
+//! `Condvar`; throughput is far below real crossbeam but the semantics
+//! match what the workspace needs.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by [`Receiver::recv`] on a closed, drained channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// (Not tracked by this stand-in: sends always succeed while any
+    /// `Receiver` may still exist; matching the workspace's usage, which
+    /// never drops all receivers before the senders.)
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// The sending half; cloneable across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable across threads (each item is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive of any already-queued item.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock")
+                .items
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_single_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_errors_when_all_senders_dropped() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_partition_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let h1 = std::thread::spawn(move || (0..).map_while(|_| rx.recv().ok()).count());
+            let h2 = std::thread::spawn(move || (0..).map_while(|_| rx2.recv().ok()).count());
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total = h1.join().unwrap() + h2.join().unwrap();
+            assert_eq!(total, 1000);
+        }
+
+        #[test]
+        fn cloned_senders_keep_channel_open() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+            drop(tx2);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -4,6 +4,8 @@ use harmony_core::cluster::MachineSpec;
 use harmony_core::schedule::SchedulerConfig;
 use harmony_mem::GcModel;
 
+use crate::fault::FaultPlan;
+
 /// Which scheduling policy drives the run (§V-A baselines + Harmony).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedulerKind {
@@ -124,6 +126,13 @@ pub struct SimConfig {
     /// whose jobs roll back to their last per-epoch checkpoint and pay
     /// a restart (input reload) delay. `None` disables failures.
     pub failure_mtbf_secs: Option<f64>,
+    /// Scheduled fault injection (§VI): machine crashes, transient
+    /// slowdowns and job aborts at fixed simulated times, with
+    /// deterministic victim selection. `None` disables the subsystem.
+    /// Unlike `failure_mtbf_secs` (which restarts a whole group in
+    /// place), plan-driven crashes permanently remove machines and
+    /// exercise the regrouper's recovery paths.
+    pub fault_plan: Option<FaultPlan>,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
 }
@@ -157,6 +166,7 @@ impl Default for SimConfig {
             isolated_knee_factor: 1.0,
             record_spans: false,
             failure_mtbf_secs: None,
+            fault_plan: None,
             max_sim_seconds: 60.0 * 86_400.0,
         }
     }
@@ -178,7 +188,10 @@ impl SimConfig {
             return Err("cluster needs at least one machine".into());
         }
         if !(0.0..=1.0).contains(&self.net_demand) || self.net_demand == 0.0 {
-            return Err(format!("net_demand must be in (0, 1], got {}", self.net_demand));
+            return Err(format!(
+                "net_demand must be in (0, 1], got {}",
+                self.net_demand
+            ));
         }
         if self.profile_iterations == 0 {
             return Err("profiling needs at least one iteration".into());
@@ -192,6 +205,9 @@ impl SimConfig {
             if jobs_per_group == 0 {
                 return Err("naive packing needs at least one job per group".into());
             }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -208,22 +224,40 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let mut c = SimConfig::default();
-        c.machines = 0;
+        let c = SimConfig {
+            machines: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.net_demand = 0.0;
+        let c = SimConfig {
+            net_demand: 0.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.reload = ReloadPolicy::Fixed(1.5);
+        let c = SimConfig {
+            reload: ReloadPolicy::Fixed(1.5),
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let c = SimConfig::with_scheduler(SchedulerKind::Naive {
             jobs_per_group: 0,
             seed: 0,
         });
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            fault_plan: Some(crate::fault::FaultPlan::new(
+                0,
+                vec![crate::fault::FaultEvent {
+                    at: -5.0,
+                    kind: crate::fault::FaultKind::MachineCrash,
+                }],
+            )),
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

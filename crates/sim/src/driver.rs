@@ -17,10 +17,11 @@ use harmony_core::oracle::OracleScheduler;
 use harmony_core::profile::{JobProfile, ProfileStore};
 use harmony_core::regroup::{ClusterView, RegroupDecision, Regrouper};
 use harmony_core::schedule::{ScheduleOutcome, Scheduler};
-use harmony_metrics::{OnlineStats, Timeline};
 use harmony_mem::AlphaController;
+use harmony_metrics::{EventLog, OnlineStats, Timeline};
 
 use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
+use crate::fault::FaultKind;
 use crate::fluid::TaskKey;
 use crate::groupmem::{self, FitOutcome, JobFootprint, MemoryParams};
 use crate::noise::Straggler;
@@ -67,18 +68,27 @@ impl PartialOrd for Time {
 }
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("simulation time is finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("simulation time is finite")
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     Arrival(usize),
-    Wake { group: usize, gen: u64 },
+    Wake {
+        group: usize,
+        gen: u64,
+    },
     Sample,
     NaiveForm,
     /// A machine fails somewhere in the cluster (§VI).
     Failure(u64),
+    /// Scheduled fault from the configured
+    /// [`FaultPlan`](crate::fault::FaultPlan); the payload indexes the
+    /// plan's event list.
+    Fault(usize),
 }
 
 #[derive(Debug)]
@@ -119,6 +129,14 @@ pub struct Driver {
     sched_wall: Duration,
     migrations: usize,
     failures_injected: usize,
+    /// Machines permanently removed by plan-driven crashes.
+    machines_lost: u32,
+    /// Jobs killed by plan-driven aborts.
+    jobs_aborted: usize,
+    /// Fault and recovery timeline (§VI).
+    fault_log: EventLog,
+    /// Seconds from each fault to the affected jobs' resumption.
+    recovery_stats: OnlineStats,
     gc_seconds: f64,
     alpha_stats: OnlineStats,
     iter_wall_stats: OnlineStats,
@@ -172,6 +190,10 @@ impl Driver {
             sched_wall: Duration::ZERO,
             migrations: 0,
             failures_injected: 0,
+            machines_lost: 0,
+            jobs_aborted: 0,
+            fault_log: EventLog::new(),
+            recovery_stats: OnlineStats::new(),
             gc_seconds: 0.0,
             alpha_stats: OnlineStats::new(),
             iter_wall_stats: OnlineStats::new(),
@@ -202,6 +224,11 @@ impl Driver {
         if let Some(mtbf) = d.cfg.failure_mtbf_secs {
             d.push_event(next_failure_gap(d.cfg.seed, 0, mtbf), EventKind::Failure(1));
         }
+        if let Some(plan) = d.cfg.fault_plan.clone() {
+            for (i, ev) in plan.events().iter().enumerate() {
+                d.push_event(ev.at, EventKind::Fault(i));
+            }
+        }
         d.event_loop();
         d.finalize()
     }
@@ -227,8 +254,12 @@ impl Driver {
                         if job.is_live() {
                             eprintln!(
                                 "stuck job {i} {}: state={:?} exec={:?} group={:?} iters={} pl={}",
-                                job.spec.name, job.state, job.exec, job.group,
-                                job.iterations_done, job.profiling_left
+                                job.spec.name,
+                                job.state,
+                                job.exec,
+                                job.group,
+                                job.iterations_done,
+                                job.profiling_left
                             );
                         }
                     }
@@ -240,7 +271,10 @@ impl Driver {
                             grp.cpu.len(), grp.net.len(), grp.profiling_host
                         );
                     }
-                    eprintln!("free_machines={} bootstrapped={}", self.free_machines, self.bootstrapped);
+                    eprintln!(
+                        "free_machines={} bootstrapped={}",
+                        self.free_machines, self.bootstrapped
+                    );
                 }
                 // Runaway config: abandon remaining work as failed.
                 for j in 0..self.jobs.len() {
@@ -255,9 +289,10 @@ impl Driver {
             match kind {
                 EventKind::Arrival(j) => self.on_arrival(j),
                 EventKind::Wake { group, gen } => {
-                    let valid = self.groups.get(group).is_some_and(|g| {
-                        g.as_ref().is_some_and(|g| g.gen == gen)
-                    });
+                    let valid = self
+                        .groups
+                        .get(group)
+                        .is_some_and(|g| g.as_ref().is_some_and(|g| g.gen == gen));
                     if valid {
                         let notes = self.advance_group(group);
                         self.handle_notifications(notes);
@@ -287,6 +322,7 @@ impl Driver {
                         }
                     }
                 }
+                EventKind::Fault(i) => self.on_fault(i),
             }
             // Drain notifications deferred during state mutation.
             let mut guard = 0;
@@ -446,9 +482,22 @@ impl Driver {
             }
             return false;
         };
-        let load_bytes =
-            (1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64;
+        let load_bytes = (1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64;
         let delay = load_bytes / (f64::from(machines) * self.cfg.machine.disk_bytes_per_sec);
+        // A job orphaned by a fault completes its recovery the moment it
+        // is re-placed and reloaded somewhere.
+        if let Some(mark) = self.jobs[j].recover_mark.take() {
+            let latency = (self.now + delay - mark).max(0.0);
+            self.recovery_stats.observe(latency);
+            self.fault_log.record(
+                self.now,
+                "recovery",
+                format!(
+                    "job {} re-placed {latency:.0}s after fault",
+                    self.jobs[j].spec.name
+                ),
+            );
+        }
         let job = &mut self.jobs[j];
         job.group = Some(g);
         job.exec = ExecPhase::Idle {
@@ -462,7 +511,8 @@ impl Driver {
         let mut grp = self.groups[g].take().expect("alive group");
         self.finalize_prediction_of(&mut grp);
         grp.jobs.push(j);
-        grp.iters_at_creation.push((j, self.jobs[j].iterations_done));
+        grp.iters_at_creation
+            .push((j, self.jobs[j].iterations_done));
         grp.steady_at = grp.steady_at.max(self.now + delay);
         grp.steady_mark = None;
         self.groups[g] = Some(grp);
@@ -489,7 +539,11 @@ impl Driver {
         let grp = self.groups[g].as_mut().expect("job group alive");
         grp.unqueue(j);
         if let ExecPhase::Running(phase) = self.jobs[j].exec {
-            let res = if phase.is_cpu() { &mut grp.cpu } else { &mut grp.net };
+            let res = if phase.is_cpu() {
+                &mut grp.cpu
+            } else {
+                &mut grp.net
+            };
             for key in res.tasks_of(j) {
                 res.cancel(key);
             }
@@ -621,13 +675,10 @@ impl Driver {
             let oom = match (fit, self.cfg.reload) {
                 (FitOutcome::OutOfMemory, _) => true,
                 (FitOutcome::NeedsModelSpill, _) if !allow_model_spill => true,
-                (FitOutcome::NeedsSpill | FitOutcome::NeedsModelSpill, ReloadPolicy::None) => {
-                    true
-                }
+                (FitOutcome::NeedsSpill | FitOutcome::NeedsModelSpill, ReloadPolicy::None) => true,
                 (outcome, policy) => {
                     // Apply the policy.
-                    let floor =
-                        groupmem::static_fit_alpha(&probe, m, &self.mem, 0.95, concurrent);
+                    let floor = groupmem::static_fit_alpha(&probe, m, &self.mem, 0.95, concurrent);
                     let target = groupmem::static_fit_alpha(
                         &probe,
                         m,
@@ -650,22 +701,16 @@ impl Driver {
                                 let _ = floor;
                                 if job.alpha_ctl.is_none() {
                                     let start = AlphaController::initial_alpha(
-                                        (job.spec.input_bytes as f64 * self.mem.expansion)
-                                            as u64,
+                                        (job.spec.input_bytes as f64 * self.mem.expansion) as u64,
                                         job.spec.model_bytes,
-                                        self.mem.capacity
-                                            * u64::from(m)
+                                        self.mem.capacity * u64::from(m)
                                             / members.len().max(1) as u64,
                                     )
                                     .max(floor);
                                     job.alpha_ctl =
                                         Some(AlphaController::new(start.clamp(0.0, 1.0), 0.05));
                                 }
-                                let a = job
-                                    .alpha_ctl
-                                    .as_ref()
-                                    .expect("just initialized")
-                                    .alpha();
+                                let a = job.alpha_ctl.as_ref().expect("just initialized").alpha();
                                 job.alpha = a.clamp(0.0, 1.0);
                             }
                         }
@@ -689,10 +734,9 @@ impl Driver {
                                     * self.mem.workspace_fraction
                             })
                             .fold(0.0, f64::max);
-                        let budget = self.mem.capacity as f64
-                            * f64::from(m)
-                            * self.cfg.gc.threshold()
-                            - max_workspace;
+                        let budget =
+                            self.mem.capacity as f64 * f64::from(m) * self.cfg.gc.threshold()
+                                - max_workspace;
                         let models: f64 = members
                             .iter()
                             .map(|&k| {
@@ -736,9 +780,7 @@ impl Driver {
             let victim = members
                 .iter()
                 .copied()
-                .max_by_key(|&j| {
-                    self.jobs[j].spec.input_bytes + self.jobs[j].spec.model_bytes
-                })
+                .max_by_key(|&j| self.jobs[j].spec.input_bytes + self.jobs[j].spec.model_bytes)
                 .expect("non-empty group");
             self.oom_events
                 .push((self.now, self.jobs[victim].spec.name.clone()));
@@ -850,9 +892,7 @@ impl Driver {
                 if ready_at > self.now
                     && matches!(
                         self.jobs[j].state,
-                        SimJobState::Running
-                            | SimJobState::Profiling
-                            | SimJobState::Profiled
+                        SimJobState::Running | SimJobState::Profiling | SimJobState::Profiled
                     )
                 {
                     next = Some(next.map_or(ready_at, |t| t.min(ready_at)));
@@ -952,7 +992,10 @@ impl Driver {
         if self.jobs[j].iterations_done >= self.jobs[j].total_iterations {
             self.jobs[j].state = SimJobState::Finished;
             self.jobs[j].finish = Some(self.now);
-            notes.push(Notify::Finished { job: j, group: grp.id });
+            notes.push(Notify::Finished {
+                job: j,
+                group: grp.id,
+            });
             self.detach_from(grp, j);
         } else if self.jobs[j].pause_requested {
             self.jobs[j].pause_requested = false;
@@ -982,9 +1025,7 @@ impl Driver {
                 if ready_at <= self.now + 1e-9
                     && matches!(
                         self.jobs[j].state,
-                        SimJobState::Running
-                            | SimJobState::Profiling
-                            | SimJobState::Profiled
+                        SimJobState::Running | SimJobState::Profiling | SimJobState::Profiled
                     )
                 {
                     self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
@@ -1022,12 +1063,7 @@ impl Driver {
                 self.jobs[j].exec = ExecPhase::Running(Phase::Comp);
                 let base = self.jobs[j].spec.comp_cost / mf;
                 let deser = alpha * spec_input / (mf * self.cfg.deser_bytes_per_sec);
-                let gc = groupmem::gc_slowdown(
-                    &self.footprints(grp),
-                    m,
-                    &self.mem,
-                    &self.cfg.gc,
-                );
+                let gc = groupmem::gc_slowdown(&self.footprints(grp), m, &self.mem, &self.cfg.gc);
                 let gap = (self.now - self.jobs[j].last_comp_end).max(0.0);
                 // Disk bandwidth is shared by the background preloads of
                 // every co-located job. Reads spread over the whole group
@@ -1039,8 +1075,7 @@ impl Driver {
                     .jobs
                     .iter()
                     .map(|&k| {
-                        self.jobs[k].alpha * self.jobs[k].spec.input_bytes as f64
-                            / (mf * disk_bw)
+                        self.jobs[k].alpha * self.jobs[k].spec.input_bytes as f64 / (mf * disk_bw)
                     })
                     .sum();
                 let round_est = if self.jobs[j].last_iter_wall > 0.0 {
@@ -1075,6 +1110,9 @@ impl Driver {
                 (self.cfg.net_demand, base * self.cfg.net_demand * barrier)
             }
         };
+        // An injected straggler window stretches every subtask the group
+        // dispatches while it is open (§VI).
+        let work = work * grp.straggle_factor(self.now);
         self.jobs[j].phase_start = self.now;
         self.jobs[j].phase_solo = work / demand;
         let key = TaskKey {
@@ -1108,20 +1146,22 @@ impl Driver {
         for j in members {
             // Roll back to the epoch checkpoint.
             let per_epoch = u64::from(self.jobs[j].spec.iters_per_epoch.max(1));
-            self.jobs[j].iterations_done =
-                (self.jobs[j].iterations_done / per_epoch) * per_epoch;
+            self.jobs[j].iterations_done = (self.jobs[j].iterations_done / per_epoch) * per_epoch;
             // Cancel in-flight work and restart in place after reloading
             // the checkpoint + input.
             let grp = self.groups[g].as_mut().expect("alive");
             grp.unqueue(j);
             if let ExecPhase::Running(phase) = self.jobs[j].exec {
-                let res = if phase.is_cpu() { &mut grp.cpu } else { &mut grp.net };
+                let res = if phase.is_cpu() {
+                    &mut grp.cpu
+                } else {
+                    &mut grp.net
+                };
                 for key in res.tasks_of(j) {
                     res.cancel(key);
                 }
             }
-            let reload = ((1.0 - self.jobs[j].alpha)
-                * self.jobs[j].spec.input_bytes as f64
+            let reload = ((1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64
                 + self.jobs[j].spec.model_bytes as f64)
                 / (f64::from(machines) * self.cfg.machine.disk_bytes_per_sec);
             self.jobs[j].exec = ExecPhase::Idle {
@@ -1132,11 +1172,340 @@ impl Driver {
     }
 
     // ----------------------------------------------------------------
+    // Plan-driven fault injection (§VI).
+    // ----------------------------------------------------------------
+
+    /// Machines still usable (configured minus crashed).
+    fn available_machines(&self) -> u32 {
+        self.cfg.machines.saturating_sub(self.machines_lost)
+    }
+
+    /// Dispatches one scheduled fault from the configured plan.
+    fn on_fault(&mut self, i: usize) {
+        let Some(plan) = self.cfg.fault_plan.as_ref() else {
+            return;
+        };
+        let Some(ev) = plan.events().get(i).copied() else {
+            return;
+        };
+        let victim_seed = plan.victim_seed(i);
+        match ev.kind {
+            FaultKind::MachineCrash => self.inject_machine_crash(victim_seed),
+            FaultKind::Slowdown {
+                factor,
+                duration_secs,
+            } => self.inject_slowdown(victim_seed, factor, duration_secs),
+            FaultKind::JobAbort => self.inject_job_abort(victim_seed),
+        }
+        debug_assert!(
+            self.cluster_view().grouping.validate().is_ok(),
+            "fault handling produced an invalid grouping: {:?}",
+            self.cluster_view().grouping.validate()
+        );
+    }
+
+    /// Rolls a job back to its last per-epoch checkpoint (§VI).
+    fn rollback_to_checkpoint(&mut self, j: usize) {
+        let per_epoch = u64::from(self.jobs[j].spec.iters_per_epoch.max(1));
+        self.jobs[j].iterations_done = (self.jobs[j].iterations_done / per_epoch) * per_epoch;
+    }
+
+    /// One machine of one group dies permanently. The group shrinks to
+    /// its survivors and restarts from checkpoints (local repair); when
+    /// the machine was the group's last — or the regrouper judges the
+    /// degraded grouping worth reshuffling — recovery escalates to
+    /// rescheduling.
+    fn inject_machine_crash(&mut self, victim_seed: u64) {
+        // Prefer worker groups; fall back to profiling hosts; then to
+        // the free pool.
+        let mut candidates: Vec<usize> = self
+            .alive_group_ids()
+            .into_iter()
+            .filter(|&g| !self.groups[g].as_ref().expect("alive").profiling_host)
+            .collect();
+        if candidates.is_empty() {
+            candidates = self.alive_group_ids();
+        }
+        if candidates.is_empty() {
+            if self.free_machines > 0 {
+                self.free_machines -= 1;
+                self.machines_lost += 1;
+                self.failures_injected += 1;
+                self.fault_log.record(
+                    self.now,
+                    "machine-crash",
+                    "idle machine removed from the free pool",
+                );
+            }
+            return;
+        }
+        let g = candidates[(victim_seed % candidates.len() as u64) as usize];
+        self.machines_lost += 1;
+        self.failures_injected += 1;
+        let machines_before = self.groups[g].as_ref().expect("alive").machines;
+        self.fault_log.record(
+            self.now,
+            "machine-crash",
+            format!("group {g} lost 1 of {machines_before} machines"),
+        );
+        if machines_before == 1 {
+            self.crash_dissolves_group(g);
+        } else {
+            self.crash_shrinks_group(g, machines_before - 1);
+        }
+    }
+
+    /// Crash recovery when the victim group keeps at least one machine:
+    /// members roll back and restart in place on the survivors, then
+    /// the regrouper decides whether the shrunken grouping is worth
+    /// escalating.
+    fn crash_shrinks_group(&mut self, g: usize, survivors: u32) {
+        self.groups[g].as_mut().expect("alive").machines = survivors;
+        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
+        for j in members {
+            self.rollback_to_checkpoint(j);
+            let grp = self.groups[g].as_mut().expect("alive");
+            grp.unqueue(j);
+            if let ExecPhase::Running(phase) = self.jobs[j].exec {
+                let res = if phase.is_cpu() {
+                    &mut grp.cpu
+                } else {
+                    &mut grp.net
+                };
+                for key in res.tasks_of(j) {
+                    res.cancel(key);
+                }
+            }
+            let reload = ((1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64
+                + self.jobs[j].spec.model_bytes as f64)
+                / (f64::from(survivors) * self.cfg.machine.disk_bytes_per_sec);
+            self.jobs[j].exec = ExecPhase::Idle {
+                ready_at: self.now + reload,
+            };
+            self.recovery_stats.observe(reload);
+        }
+        // The survivors hold less memory; the plan must be re-derived
+        // (this may OOM-kill a member or even dissolve the group).
+        self.recompute_group_memory(g);
+        if self.groups.get(g).and_then(|x| x.as_ref()).is_none() {
+            self.fault_log.record(
+                self.now,
+                "recovery",
+                format!("group {g} dissolved by memory pressure"),
+            );
+            return;
+        }
+        self.bump_and_wake(g);
+        let harmony = matches!(
+            self.cfg.scheduler,
+            SchedulerKind::Harmony | SchedulerKind::Oracle
+        );
+        if harmony && self.groups.get(g).is_some_and(Option::is_some) {
+            let view = self.cluster_view();
+            let store = self.profile_store();
+            let t0 = Instant::now();
+            let decision = self
+                .regrouper
+                .on_machine_lost(&view, &store, GroupId::new(g as u32));
+            self.sched_wall += t0.elapsed();
+            self.sched_invocations += 1;
+            let escalated = !matches!(decision, RegroupDecision::NoChange);
+            self.apply_decision(decision);
+            self.fault_log.record(
+                self.now,
+                "recovery",
+                if escalated {
+                    format!("group {g} repair escalated to partial reschedule")
+                } else {
+                    format!("group {g} repaired locally on {survivors} machines")
+                },
+            );
+        } else {
+            self.fault_log.record(
+                self.now,
+                "recovery",
+                format!("group {g} restarted on {survivors} machines"),
+            );
+        }
+    }
+
+    /// Crash recovery when the victim group loses its only machine:
+    /// members are orphaned (rolled back to checkpoints) and handed
+    /// back to the placement machinery of the active scheduler.
+    fn crash_dissolves_group(&mut self, g: usize) {
+        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
+        for &j in &members {
+            self.rollback_to_checkpoint(j);
+            self.jobs[j].recover_mark = Some(self.now);
+            self.jobs[j].state = if self.jobs[j].profile.is_warm() {
+                SimJobState::Paused
+            } else {
+                SimJobState::Waiting
+            };
+            self.detach_job(j);
+        }
+        // detach_job of the last member dissolved the group, returning
+        // its machines to the free pool — minus the one that died.
+        if self.groups.get(g).is_some_and(Option::is_some) {
+            self.dissolve_group(g);
+        }
+        self.free_machines = self.free_machines.saturating_sub(1);
+        match self.cfg.scheduler {
+            SchedulerKind::Harmony | SchedulerKind::Oracle => {
+                let cold: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&j| self.jobs[j].state == SimJobState::Waiting)
+                    .collect();
+                for j in cold {
+                    self.place_for_profiling(j);
+                }
+                if self.waiting_count() > 0 {
+                    self.full_reschedule();
+                }
+            }
+            SchedulerKind::Isolated => {
+                for &j in &members {
+                    if self.jobs[j].is_live() {
+                        self.jobs[j].state = SimJobState::Waiting;
+                        self.isolated_queue.push_back(j);
+                    }
+                }
+                self.isolated_admit();
+            }
+            SchedulerKind::Naive { .. } => {
+                for &j in &members {
+                    if self.jobs[j].is_live() {
+                        self.jobs[j].state = SimJobState::Waiting;
+                    }
+                }
+                if !self.naive_form_scheduled {
+                    self.naive_form_scheduled = true;
+                    self.push_event(self.now + 1.0, EventKind::NaiveForm);
+                }
+            }
+        }
+        self.fault_log.record(
+            self.now,
+            "recovery",
+            format!("group {g} dissolved; {} jobs re-queued", members.len()),
+        );
+    }
+
+    /// A transient straggler: one group's subtasks dispatched inside
+    /// the window run `factor`× slower. Recovery is automatic at the
+    /// window's end.
+    fn inject_slowdown(&mut self, victim_seed: u64, factor: f64, duration: f64) {
+        let candidates = self.alive_group_ids();
+        if candidates.is_empty() {
+            self.fault_log
+                .record(self.now, "slowdown", "no running group to slow down");
+            return;
+        }
+        let g = candidates[(victim_seed % candidates.len() as u64) as usize];
+        let grp = self.groups[g].as_mut().expect("alive");
+        grp.slow_factor = factor.max(1.0);
+        grp.slow_until = self.now + duration;
+        self.fault_log.record(
+            self.now,
+            "slowdown",
+            format!("group {g} runs {factor:.2}x slower for {duration:.0}s"),
+        );
+        self.recovery_stats.observe(duration);
+        self.fault_log.record(
+            self.now + duration,
+            "recovery",
+            format!("group {g} straggler cleared"),
+        );
+    }
+
+    /// One live job is aborted; its group is repaired through the same
+    /// minimal-movement ladder a completion uses.
+    fn inject_job_abort(&mut self, victim_seed: u64) {
+        // Prefer jobs actively placed in a group; fall back to any
+        // live job.
+        let mut candidates: Vec<usize> = (0..self.jobs.len())
+            .filter(|&j| self.jobs[j].is_live() && self.jobs[j].group.is_some())
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.jobs.len())
+                .filter(|&j| self.jobs[j].is_live())
+                .collect();
+        }
+        if candidates.is_empty() {
+            self.fault_log
+                .record(self.now, "job-abort", "no live job to abort");
+            return;
+        }
+        let j = candidates[(victim_seed % candidates.len() as u64) as usize];
+        let g = self.jobs[j].group;
+        self.jobs_aborted += 1;
+        self.fault_log.record(
+            self.now,
+            "job-abort",
+            format!(
+                "job {} aborted after {} iterations",
+                self.jobs[j].spec.name, self.jobs[j].iterations_done
+            ),
+        );
+        let profile = self.jobs[j].profile.clone();
+        self.jobs[j].state = SimJobState::Failed;
+        self.jobs[j].aborted = true;
+        self.jobs[j].finish = Some(self.now);
+        self.detach_job(j);
+        match self.cfg.scheduler {
+            SchedulerKind::Harmony | SchedulerKind::Oracle => {
+                let Some(g) = g else {
+                    return;
+                };
+                if self.groups.get(g).is_some_and(Option::is_some) {
+                    let dop = self.groups[g].as_ref().expect("alive").machines.max(1);
+                    let (it, ratio) = if profile.is_warm() {
+                        (profile.iter_time_at(dop), profile.comp_comm_ratio_at(dop))
+                    } else {
+                        (1.0, 1.0)
+                    };
+                    let view = self.cluster_view();
+                    let store = self.profile_store();
+                    let t0 = Instant::now();
+                    let decision = self.regrouper.on_job_aborted(
+                        &view,
+                        &store,
+                        it,
+                        ratio,
+                        GroupId::new(g as u32),
+                    );
+                    self.sched_wall += t0.elapsed();
+                    self.sched_invocations += 1;
+                    let repaired = !matches!(decision, RegroupDecision::NoChange);
+                    self.apply_decision(decision);
+                    if repaired {
+                        self.fault_log.record(
+                            self.now,
+                            "recovery",
+                            format!("group {g} back-filled after abort"),
+                        );
+                    }
+                } else if self.waiting_count() > 0 {
+                    self.full_reschedule();
+                }
+            }
+            SchedulerKind::Isolated => self.isolated_admit(),
+            SchedulerKind::Naive { .. } => {
+                if !self.naive_form_scheduled {
+                    self.naive_form_scheduled = true;
+                    self.push_event(self.now + 1.0, EventKind::NaiveForm);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
     // Utilization sampling.
     // ----------------------------------------------------------------
 
     fn sample_utilization(&mut self) {
-        let total = f64::from(self.cfg.machines);
+        let total = f64::from(self.available_machines().max(1));
         let mut cpu = 0.0;
         let mut net = 0.0;
         for g in self.alive_group_ids() {
@@ -1213,15 +1582,13 @@ impl Driver {
 
     /// A group still hosting at least one actively-profiling member.
     fn group_is_actively_profiling(&self, g: usize) -> bool {
-        self.groups[g]
-            .as_ref()
-            .is_some_and(|grp| {
-                grp.profiling_host
-                    && grp
-                        .jobs
-                        .iter()
-                        .any(|&j| self.jobs[j].state == SimJobState::Profiling)
-            })
+        self.groups[g].as_ref().is_some_and(|grp| {
+            grp.profiling_host
+                && grp
+                    .jobs
+                    .iter()
+                    .any(|&j| self.jobs[j].state == SimJobState::Profiling)
+        })
     }
 
     fn cluster_view(&self) -> ClusterView {
@@ -1234,11 +1601,7 @@ impl Driver {
                 continue;
             }
             let _ = &grp;
-            let jobs: Vec<JobId> = grp
-                .jobs
-                .iter()
-                .map(|&j| JobId::new(j as u64))
-                .collect();
+            let jobs: Vec<JobId> = grp.jobs.iter().map(|&j| JobId::new(j as u64)).collect();
             let machines: Vec<harmony_core::cluster::MachineId> = (0..grp.machines)
                 .map(|i| harmony_core::cluster::MachineId::new(g as u32 * 10_000 + i))
                 .collect();
@@ -1249,7 +1612,7 @@ impl Driver {
             ));
         }
         ClusterView {
-            machines: self.cfg.machines - profiling_held,
+            machines: self.available_machines().saturating_sub(profiling_held),
             grouping,
             profiled: self.jobs_in_state(SimJobState::Profiled),
             paused: self.jobs_in_state(SimJobState::Paused),
@@ -1317,7 +1680,7 @@ impl Driver {
     fn on_finished_harmony(&mut self, j: usize, g: usize) {
         // The job was already detached inside complete_iteration; the
         // group may have dissolved if it was the last member.
-        if self.groups.get(g).map_or(true, |x| x.is_none()) {
+        if self.groups.get(g).is_none_or(|x| x.is_none()) {
             if self.waiting_count() > 0 {
                 self.full_reschedule();
             }
@@ -1333,13 +1696,9 @@ impl Driver {
         let view = self.cluster_view();
         let store = self.profile_store();
         let t0 = Instant::now();
-        let decision = self.regrouper.on_job_finished(
-            &view,
-            &store,
-            it,
-            ratio,
-            GroupId::new(g as u32),
-        );
+        let decision =
+            self.regrouper
+                .on_job_finished(&view, &store, it, ratio, GroupId::new(g as u32));
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
         self.apply_decision(decision);
@@ -1430,7 +1789,7 @@ impl Driver {
             .filter(|&&g| self.group_is_actively_profiling(g))
             .map(|&g| self.groups[g].as_ref().expect("alive").machines)
             .sum();
-        let machines = self.cfg.machines - profiling_held;
+        let machines = self.available_machines().saturating_sub(profiling_held);
         if machines == 0 {
             return;
         }
@@ -1480,7 +1839,11 @@ impl Driver {
 
         // Pause and dissolve the involved groups.
         for &g in &involved {
-            let Some(members) = self.groups.get(g).and_then(|x| x.as_ref()).map(|x| x.jobs.clone())
+            let Some(members) = self
+                .groups
+                .get(g)
+                .and_then(|x| x.as_ref())
+                .map(|x| x.jobs.clone())
             else {
                 continue;
             };
@@ -1712,6 +2075,7 @@ impl Driver {
                     .map(|f| f - j.arrival),
                 iterations: j.iterations_done,
                 failed: j.state == SimJobState::Failed,
+                aborted: j.aborted,
                 final_alpha: j.alpha,
             })
             .collect();
@@ -1736,6 +2100,10 @@ impl Driver {
             sched_wall: self.sched_wall,
             migrations: self.migrations,
             failures: self.failures_injected,
+            machines_lost: self.machines_lost,
+            jobs_aborted: self.jobs_aborted,
+            fault_log: self.fault_log,
+            recovery_latency: self.recovery_stats,
             gc_seconds: self.gc_seconds,
             alpha_stats: self.alpha_stats,
             mean_group_iteration: self.iter_wall_stats.mean(),
@@ -1831,7 +2199,11 @@ mod tests {
             specs.push(spec(&format!("net{i}"), 24.0, 40.0, 1, 1));
         }
         let arrivals = vec![0.0; specs.len()];
-        let h = Driver::run(small_cfg(SchedulerKind::Harmony), specs.clone(), arrivals.clone());
+        let h = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            specs.clone(),
+            arrivals.clone(),
+        );
         let i = Driver::run(small_cfg(SchedulerKind::Isolated), specs, arrivals);
         assert_eq!(h.completed(), 8);
         assert_eq!(i.completed(), 8);
@@ -1889,7 +2261,11 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let specs = two_complementary();
-        let a = Driver::run(small_cfg(SchedulerKind::Harmony), specs.clone(), vec![0.0, 0.0]);
+        let a = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            specs.clone(),
+            vec![0.0, 0.0],
+        );
         let b = Driver::run(small_cfg(SchedulerKind::Harmony), specs, vec![0.0, 0.0]);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.mean_jct(), b.mean_jct());
@@ -1898,11 +2274,7 @@ mod tests {
     #[test]
     fn arrivals_are_respected() {
         let specs = two_complementary();
-        let r = Driver::run(
-            small_cfg(SchedulerKind::Isolated),
-            specs,
-            vec![0.0, 500.0],
-        );
+        let r = Driver::run(small_cfg(SchedulerKind::Isolated), specs, vec![0.0, 500.0]);
         let late = &r.jobs[1];
         assert!(late.finish.unwrap() > 500.0);
         assert_eq!(late.arrival, 500.0);
@@ -1915,7 +2287,12 @@ mod tests {
             two_complementary(),
             vec![0.0, 0.0],
         );
-        for p in r.cpu_timeline.points().iter().chain(r.net_timeline.points()) {
+        for p in r
+            .cpu_timeline
+            .points()
+            .iter()
+            .chain(r.net_timeline.points())
+        {
             assert!((0.0..=1.0).contains(&p.value), "{p:?}");
         }
         assert!(r.avg_cpu_util(8) <= 1.0);
@@ -1931,10 +2308,7 @@ mod tests {
         }
         let arrivals = vec![0.0; specs.len()];
         let r = Driver::run(small_cfg(SchedulerKind::Harmony), specs, arrivals);
-        assert!(
-            !r.predictions.is_empty(),
-            "no prediction samples collected"
-        );
+        assert!(!r.predictions.is_empty(), "no prediction samples collected");
         // This is a deliberately harsh small-scale setting (8 machines,
         // 20-iteration jobs, so measurement windows are only a few
         // iterations long); paper-scale accuracy (<10% on the 80-job

@@ -208,7 +208,7 @@ mod tests {
         let mut f = Fluid::new(1.0, 0.0);
         f.add(key(0, 0), 0.4, 0.4); // alone: 1s
         f.add(key(1, 0), 0.4, 0.8); // alone: 2s
-        // Total demand 0.8 <= 1: both at full rate.
+                                    // Total demand 0.8 <= 1: both at full rate.
         let (done, used) = f.advance(1.0);
         assert_eq!(done, vec![key(0, 0)]);
         assert!((used - 0.8).abs() < 1e-9);
@@ -237,7 +237,7 @@ mod tests {
         let (done, _) = f.advance(1.0);
         assert!(done.is_empty());
         f.add(key(1, 0), 1.0, 1.0); // now sharing
-        // Remaining: task0 = 2.0, task1 = 1.0, each at rate 0.5.
+                                    // Remaining: task0 = 2.0, task1 = 1.0, each at rate 0.5.
         assert_eq!(f.time_to_next_completion(), Some(2.0));
         let (done, _) = f.advance(2.0);
         assert_eq!(done, vec![key(1, 0)]);

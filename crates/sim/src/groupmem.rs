@@ -66,11 +66,15 @@ pub fn usage_ratio(jobs: &[JobFootprint], m: u32, p: &MemoryParams) -> f64 {
 /// working sets are live at once); the executor discipline bounds that
 /// number — 1 under Harmony's one-COMP-at-a-time rule, all jobs under
 /// naive dispatch.
-fn probe(jobs: &[JobFootprint], alpha: f64, model_spilled: bool, concurrent: usize) -> Vec<JobFootprint> {
+fn probe(
+    jobs: &[JobFootprint],
+    alpha: f64,
+    model_spilled: bool,
+    concurrent: usize,
+) -> Vec<JobFootprint> {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].input_bytes));
-    let computing: std::collections::BTreeSet<usize> =
-        order.into_iter().take(concurrent).collect();
+    let computing: std::collections::BTreeSet<usize> = order.into_iter().take(concurrent).collect();
     jobs.iter()
         .enumerate()
         .map(|(i, j)| JobFootprint {
@@ -249,7 +253,10 @@ mod tests {
         // A model too big for the machine is still rescuable by model
         // spill.
         let big_model = [job(10, 40, 0.0)];
-        assert_eq!(classify_fit(&big_model, 1, &p, 1), FitOutcome::NeedsModelSpill);
+        assert_eq!(
+            classify_fit(&big_model, 1, &p, 1),
+            FitOutcome::NeedsModelSpill
+        );
         // But a working set bigger than memory cannot be spilled away:
         // 200 GB * 0.08 workspace * 2.5 expansion = 40 GB > 32 GB.
         let impossible = [job(200, 1, 0.0)];

@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod fault;
 pub mod fluid;
 pub mod groupmem;
 pub mod noise;
@@ -49,5 +50,6 @@ pub mod spans;
 
 pub use config::{ReloadPolicy, SchedulerKind, SimConfig};
 pub use driver::Driver;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use report::{JobOutcome, PredictionSample, RunReport};
 pub use spans::{ascii_gantt, to_chrome_trace, SubtaskSpan};

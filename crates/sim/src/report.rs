@@ -1,6 +1,6 @@
 //! Results of one simulated run.
 
-use harmony_metrics::{OnlineStats, Timeline};
+use harmony_metrics::{EventLog, OnlineStats, Timeline};
 
 use crate::spans::SubtaskSpan;
 
@@ -19,6 +19,9 @@ pub struct JobOutcome {
     pub iterations: u64,
     /// Whether the job was killed by OOM.
     pub failed: bool,
+    /// Whether the job was killed by an injected abort fault (a subset
+    /// of `failed`).
+    pub aborted: bool,
     /// Final disk ratio α.
     pub final_alpha: f64,
 }
@@ -91,6 +94,16 @@ pub struct RunReport {
     pub migrations: usize,
     /// Machine failures injected (§VI fault-tolerance experiments).
     pub failures: usize,
+    /// Machines permanently removed by plan-driven crashes.
+    pub machines_lost: u32,
+    /// Jobs killed by plan-driven aborts.
+    pub jobs_aborted: usize,
+    /// Timeline of every injected fault and recovery action.
+    pub fault_log: EventLog,
+    /// Distribution of recovery latencies (reload delays for in-place
+    /// repairs, fault-to-replacement time for orphaned jobs, straggler
+    /// window lengths).
+    pub recovery_latency: OnlineStats,
     /// Total GC-overhead seconds charged to computations.
     pub gc_seconds: f64,
     /// Distribution of α values sampled at COMP dispatches.
@@ -161,6 +174,95 @@ impl RunReport {
             .sum::<f64>()
             / self.predictions.len() as f64
     }
+
+    /// A canonical byte serialization of everything *deterministic* in
+    /// the report: two runs of the same config and seeds must produce
+    /// identical bytes. Wall-clock fields (`sched_wall`) are excluded;
+    /// floats are encoded bit-exactly via [`f64::to_bits`].
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn put_f64(out: &mut Vec<u8>, v: f64) {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            put_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_timeline(out: &mut Vec<u8>, tl: &Timeline) {
+            put_u64(out, tl.points().len() as u64);
+            for p in tl.points() {
+                put_f64(out, p.time);
+                put_f64(out, p.value);
+            }
+        }
+        fn put_stats(out: &mut Vec<u8>, s: &OnlineStats) {
+            put_u64(out, s.count());
+            if s.count() > 0 {
+                put_f64(out, s.mean());
+                put_f64(out, s.min().unwrap_or(f64::NAN));
+                put_f64(out, s.max().unwrap_or(f64::NAN));
+                put_f64(out, s.sum());
+            }
+        }
+        let mut out = Vec::new();
+        put_str(&mut out, &self.scheduler);
+        put_f64(&mut out, self.makespan);
+        put_u64(&mut out, self.jobs.len() as u64);
+        for j in &self.jobs {
+            put_str(&mut out, &j.name);
+            put_f64(&mut out, j.arrival);
+            put_f64(&mut out, j.finish.unwrap_or(f64::NEG_INFINITY));
+            put_f64(&mut out, j.jct.unwrap_or(f64::NEG_INFINITY));
+            put_u64(&mut out, j.iterations);
+            out.push(u8::from(j.failed));
+            out.push(u8::from(j.aborted));
+            put_f64(&mut out, j.final_alpha);
+        }
+        put_timeline(&mut out, &self.cpu_timeline);
+        put_timeline(&mut out, &self.net_timeline);
+        put_f64(&mut out, self.cpu_busy_machine_secs);
+        put_f64(&mut out, self.net_busy_machine_secs);
+        put_u64(&mut out, self.oom_events.len() as u64);
+        for (t, name) in &self.oom_events {
+            put_f64(&mut out, *t);
+            put_str(&mut out, name);
+        }
+        put_u64(&mut out, self.grouping_snapshots.len() as u64);
+        for s in &self.grouping_snapshots {
+            put_f64(&mut out, s.time);
+            put_u64(&mut out, s.groups.len() as u64);
+            for (m, j) in &s.groups {
+                put_u64(&mut out, u64::from(*m));
+                put_u64(&mut out, *j as u64);
+            }
+        }
+        put_u64(&mut out, self.predictions.len() as u64);
+        for p in &self.predictions {
+            put_f64(&mut out, p.predicted_iteration);
+            put_f64(&mut out, p.realized_iteration);
+            put_f64(&mut out, p.predicted_util);
+            put_f64(&mut out, p.realized_util);
+        }
+        put_u64(&mut out, self.sched_invocations as u64);
+        put_u64(&mut out, self.migrations as u64);
+        put_u64(&mut out, self.failures as u64);
+        put_u64(&mut out, u64::from(self.machines_lost));
+        put_u64(&mut out, self.jobs_aborted as u64);
+        put_f64(&mut out, self.gc_seconds);
+        put_stats(&mut out, &self.alpha_stats);
+        put_f64(&mut out, self.mean_group_iteration);
+        put_stats(&mut out, &self.concurrent_jobs);
+        put_u64(&mut out, self.fault_log.len() as u64);
+        for ev in self.fault_log.events() {
+            put_f64(&mut out, ev.time);
+            put_str(&mut out, &ev.kind);
+            put_str(&mut out, &ev.detail);
+        }
+        put_stats(&mut out, &self.recovery_latency);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +277,7 @@ mod tests {
             jct,
             iterations: 1,
             failed: jct.is_none(),
+            aborted: false,
             final_alpha: 0.0,
         }
     }
@@ -195,6 +298,10 @@ mod tests {
             sched_wall: std::time::Duration::ZERO,
             migrations: 0,
             failures: 0,
+            machines_lost: 0,
+            jobs_aborted: 0,
+            fault_log: EventLog::new(),
+            recovery_latency: OnlineStats::new(),
             gc_seconds: 0.0,
             alpha_stats: OnlineStats::new(),
             mean_group_iteration: 0.0,
@@ -205,7 +312,11 @@ mod tests {
 
     #[test]
     fn mean_jct_skips_failures() {
-        let r = report(vec![outcome(Some(10.0)), outcome(None), outcome(Some(30.0))]);
+        let r = report(vec![
+            outcome(Some(10.0)),
+            outcome(None),
+            outcome(Some(30.0)),
+        ]);
         assert_eq!(r.mean_jct(), 20.0);
         assert_eq!(r.completed(), 2);
     }
@@ -243,5 +354,22 @@ mod tests {
         let r = report(vec![]);
         assert_eq!(r.mean_jct(), 0.0);
         assert_eq!(r.mean_iteration_prediction_error(), 0.0);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_wall_clock_but_see_everything_else() {
+        let mut a = report(vec![outcome(Some(10.0)), outcome(None)]);
+        let mut b = a.clone();
+        b.sched_wall = std::time::Duration::from_secs(42);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+
+        b.jobs[0].iterations += 1;
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+
+        a.fault_log.record(5.0, "machine-crash", "group 0");
+        let mut c = a.clone();
+        assert_eq!(a.canonical_bytes(), c.canonical_bytes());
+        c.fault_log.record(9.0, "job-abort", "job x");
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
     }
 }

@@ -126,6 +126,13 @@ pub struct JobSim {
     pub alpha_cost_acc: f64,
     /// Iterations accumulated in `alpha_cost_acc`.
     pub alpha_cost_n: u32,
+    /// Whether the job was killed by an injected abort fault (as
+    /// opposed to an OOM failure).
+    pub aborted: bool,
+    /// Set to the fault time when a crash orphaned this job; cleared
+    /// (and turned into a recovery-latency sample) when the job is
+    /// next placed.
+    pub recover_mark: Option<f64>,
 }
 
 impl JobSim {
@@ -160,6 +167,8 @@ impl JobSim {
             last_iter_wall: 0.0,
             alpha_cost_acc: 0.0,
             alpha_cost_n: 0,
+            aborted: false,
+            recover_mark: None,
         }
     }
 
@@ -229,6 +238,11 @@ pub struct GroupSim {
     /// Busy integrals snapshot taken at `steady_at` (cpu, net, time);
     /// `None` until the snapshot is taken.
     pub steady_mark: Option<(f64, f64, f64)>,
+    /// Straggler-fault work multiplier applied to subtasks dispatched
+    /// while `now < slow_until` (fault injection, §VI).
+    pub slow_factor: f64,
+    /// End of the transient slowdown window.
+    pub slow_until: f64,
 }
 
 impl GroupSim {
@@ -265,6 +279,18 @@ impl GroupSim {
             iters_at_creation: Vec::new(),
             steady_at: now,
             steady_mark: None,
+            slow_factor: 1.0,
+            slow_until: 0.0,
+        }
+    }
+
+    /// Work multiplier for a subtask dispatched at `now` (> 1 only
+    /// inside an active slowdown-fault window).
+    pub fn straggle_factor(&self, now: f64) -> f64 {
+        if now < self.slow_until {
+            self.slow_factor.max(1.0)
+        } else {
+            1.0
         }
     }
 
@@ -350,8 +376,10 @@ mod tests {
     fn group_next_event_combines_resources() {
         let mut g = GroupSim::new(0, 4, 1, 2, 0.0, 0.0);
         assert_eq!(g.time_to_next_event(), None);
-        g.cpu.add(crate::fluid::TaskKey { job: 0, seq: 1 }, 1.0, 5.0);
-        g.net.add(crate::fluid::TaskKey { job: 1, seq: 1 }, 0.5, 1.0);
+        g.cpu
+            .add(crate::fluid::TaskKey { job: 0, seq: 1 }, 1.0, 5.0);
+        g.net
+            .add(crate::fluid::TaskKey { job: 1, seq: 1 }, 0.5, 1.0);
         assert_eq!(g.time_to_next_event(), Some(2.0));
     }
 
@@ -370,5 +398,15 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn group_rejects_zero_machines() {
         let _ = GroupSim::new(0, 0, 1, 2, 0.0, 0.0);
+    }
+
+    #[test]
+    fn straggle_factor_applies_only_inside_window() {
+        let mut g = GroupSim::new(0, 2, 1, 2, 0.0, 0.0);
+        assert_eq!(g.straggle_factor(10.0), 1.0);
+        g.slow_factor = 3.0;
+        g.slow_until = 50.0;
+        assert_eq!(g.straggle_factor(49.9), 3.0);
+        assert_eq!(g.straggle_factor(50.0), 1.0);
     }
 }

@@ -90,10 +90,7 @@ pub fn ascii_gantt(spans: &[SubtaskSpan], width: usize) -> String {
     let span = (t1 - t0).max(f64::MIN_POSITIVE);
     let col = |t: f64| (((t - t0) / span) * (width as f64 - 1.0)).round() as usize;
 
-    let mut jobs: Vec<(usize, &str)> = spans
-        .iter()
-        .map(|s| (s.job, s.job_name.as_str()))
-        .collect();
+    let mut jobs: Vec<(usize, &str)> = spans.iter().map(|s| (s.job, s.job_name.as_str())).collect();
     jobs.sort_unstable();
     jobs.dedup();
     let label_w = jobs.iter().map(|(_, n)| n.len()).max().unwrap_or(0);
@@ -103,7 +100,11 @@ pub fn ascii_gantt(spans: &[SubtaskSpan], width: usize) -> String {
         let mut row = vec!['.'; width];
         for s in spans.iter().filter(|s| s.job == job) {
             let mark = if s.phase.is_cpu() { 'C' } else { 'n' };
-            for cell in row.iter_mut().take(col(s.end).min(width - 1) + 1).skip(col(s.start)) {
+            for cell in row
+                .iter_mut()
+                .take(col(s.end).min(width - 1) + 1)
+                .skip(col(s.start))
+            {
                 *cell = mark;
             }
         }

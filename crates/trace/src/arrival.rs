@@ -142,10 +142,7 @@ mod tests {
         let ties = times.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(ties > 30, "only {ties} tied arrivals");
         // Lulls: at least one long gap.
-        let max_gap = times
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .fold(0.0f64, f64::max);
+        let max_gap = times.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
         assert!(max_gap > 120.0, "max gap {max_gap}");
     }
 

@@ -1,0 +1,108 @@
+//! Canned fault scenarios for the evaluation harness.
+//!
+//! The fault-tolerance experiments (§VI) need reproducible failure
+//! schedules that pair with the workloads built here: a single crash in
+//! the middle of the base workload, a "bad day" with recurring crashes
+//! and stragglers, and a churn scenario where jobs are aborted as well.
+//! Each helper returns a [`FaultPlan`] ready to drop into
+//! [`harmony_sim::SimConfig::fault_plan`].
+
+use harmony_sim::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+
+/// One machine crash at `at` seconds — the paper's single-failure
+/// rollback experiment.
+pub fn single_crash(seed: u64, at: f64) -> FaultPlan {
+    FaultPlan::single_crash(seed, at)
+}
+
+/// Recurring crashes plus transient stragglers over `horizon_secs`:
+/// crashes with the given MTBF and 2x slowdowns (2-minute windows) at
+/// twice that rate.
+pub fn bad_day(seed: u64, horizon_secs: f64, crash_mtbf_secs: f64) -> FaultPlan {
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(crash_mtbf_secs),
+        slowdown_mtbf_secs: Some(crash_mtbf_secs / 2.0),
+        abort_mtbf_secs: None,
+        ..FaultRates::default()
+    };
+    FaultPlan::generate(seed, horizon_secs, &rates)
+}
+
+/// Crashes, stragglers *and* user-driven job aborts — the churn
+/// scenario exercising every recovery path at once.
+pub fn churn(seed: u64, horizon_secs: f64, mtbf_secs: f64) -> FaultPlan {
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(mtbf_secs),
+        slowdown_mtbf_secs: Some(mtbf_secs),
+        abort_mtbf_secs: Some(mtbf_secs),
+        ..FaultRates::default()
+    };
+    FaultPlan::generate(seed, horizon_secs, &rates)
+}
+
+/// An explicit schedule from `(time, kind)` pairs — for tests that need
+/// exact fault placement.
+pub fn scripted(seed: u64, events: impl IntoIterator<Item = (f64, FaultKind)>) -> FaultPlan {
+    FaultPlan::new(
+        seed,
+        events
+            .into_iter()
+            .map(|(at, kind)| FaultEvent { at, kind })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_crash_has_one_event() {
+        let plan = single_crash(7, 500.0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.events()[0].at, 500.0);
+        assert_eq!(plan.events()[0].kind, FaultKind::MachineCrash);
+    }
+
+    #[test]
+    fn bad_day_mixes_crashes_and_slowdowns() {
+        let plan = bad_day(11, 100_000.0, 5_000.0);
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::MachineCrash)
+            .count();
+        let slowdowns = plan.len() - crashes;
+        assert!(crashes > 0, "no crashes generated");
+        assert!(slowdowns > 0, "no slowdowns generated");
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn churn_covers_all_three_classes() {
+        let plan = churn(3, 200_000.0, 8_000.0);
+        let has = |want: &str| plan.events().iter().any(|e| e.kind.label() == want);
+        assert!(has("machine-crash"));
+        assert!(has("slowdown"));
+        assert!(has("job-abort"));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        assert_eq!(bad_day(9, 50_000.0, 4_000.0), bad_day(9, 50_000.0, 4_000.0));
+        assert_ne!(churn(1, 50_000.0, 4_000.0), churn(2, 50_000.0, 4_000.0));
+    }
+
+    #[test]
+    fn scripted_sorts_by_time() {
+        let plan = scripted(
+            0,
+            [
+                (300.0, FaultKind::JobAbort),
+                (100.0, FaultKind::MachineCrash),
+            ],
+        );
+        assert_eq!(plan.events()[0].at, 100.0);
+        assert_eq!(plan.events()[1].at, 300.0);
+    }
+}

@@ -17,6 +17,7 @@
 //! DESIGN.md §2).
 
 pub mod arrival;
+pub mod faults;
 pub mod workload;
 
 pub use arrival::ArrivalProcess;

@@ -158,10 +158,9 @@ pub fn workload_with(params: WorkloadParams) -> Vec<JobSpec> {
             let input_bytes = (recipe.input_gb * GB) as u64;
             let model_bytes = (recipe.model_gb * GB) as u64;
             let comp_cost = recipe.input_gb * GB / recipe.scan_rate * factor;
-            let net_cost = 2.0 * recipe.sync_fraction * recipe.model_gb * GB
-                / params.network_bytes_per_sec;
-            let epochs =
-                ((recipe.epochs as f64 * params.epoch_scale).round() as u32).max(1);
+            let net_cost =
+                2.0 * recipe.sync_fraction * recipe.model_gb * GB / params.network_bytes_per_sec;
+            let epochs = ((recipe.epochs as f64 * params.epoch_scale).round() as u32).max(1);
             jobs.push(JobSpec {
                 name: format!("{}-{}-h{}", recipe.app, recipe.dataset, h),
                 app: recipe.app,
@@ -221,8 +220,7 @@ mod tests {
         // At DoP 16 almost all jobs iterate within 20 minutes, with the
         // median in low single-digit minutes.
         let jobs = base_workload();
-        let mut minutes: Vec<f64> =
-            jobs.iter().map(|j| j.iter_time_at(16) / 60.0).collect();
+        let mut minutes: Vec<f64> = jobs.iter().map(|j| j.iter_time_at(16) / 60.0).collect();
         minutes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = minutes[minutes.len() / 2];
         let p95 = minutes[(minutes.len() as f64 * 0.95) as usize];
@@ -234,8 +232,7 @@ mod tests {
     fn comp_ratios_match_figure_9b_shape() {
         // Ratios should spread across (0, 1), not cluster at an extreme.
         let jobs = base_workload();
-        let mut ratios: Vec<f64> =
-            jobs.iter().map(|j| j.comp_ratio_at(16)).collect();
+        let mut ratios: Vec<f64> = jobs.iter().map(|j| j.comp_ratio_at(16)).collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let p10 = ratios[8];
         let p90 = ratios[72];
@@ -247,8 +244,7 @@ mod tests {
     #[test]
     fn job_names_are_unique() {
         let jobs = base_workload();
-        let names: std::collections::HashSet<_> =
-            jobs.iter().map(|j| j.name.as_str()).collect();
+        let names: std::collections::HashSet<_> = jobs.iter().map(|j| j.name.as_str()).collect();
         assert_eq!(names.len(), jobs.len());
     }
 

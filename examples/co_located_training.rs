@@ -24,9 +24,11 @@ fn main() {
     // Job A: 6-class MLR over 300 sparse examples.
     let mlr_data = synth::classification(300, 48, 6, 0.25, 7);
     let mlr = JobBuilder::new("mlr")
-        .workers(synth::partition(&mlr_data, nodes).into_iter().map(|part| {
-            Box::new(Mlr::new(part, 48, 6, 0.5)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&mlr_data, nodes)
+                .into_iter()
+                .map(|part| Box::new(Mlr::new(part, 48, 6, 0.5)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(60)
         .check_every(10)
         .loss_threshold(0.05)
@@ -35,9 +37,11 @@ fn main() {
     // Job B: Lasso over a sparse linear ground truth.
     let reg_data = synth::regression(300, 48, 0.3, 8);
     let lasso = JobBuilder::new("lasso")
-        .workers(synth::partition(&reg_data, nodes).into_iter().map(|part| {
-            Box::new(Lasso::new(part, 48, 0.05, 0.01)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&reg_data, nodes)
+                .into_iter()
+                .map(|part| Box::new(Lasso::new(part, 48, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(60)
         .check_every(10)
         .build();

@@ -27,7 +27,10 @@ fn main() {
     let machines = 16;
     let outcome = scheduler.schedule(&profiles, machines);
 
-    println!("scheduling {} jobs on {machines} machines\n", profiles.len());
+    println!(
+        "scheduling {} jobs on {machines} machines\n",
+        profiles.len()
+    );
     println!("{}", outcome.grouping);
     println!(
         "predicted cluster utilization: cpu {:.0}%, network {:.0}%",

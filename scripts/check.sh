@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, lints, build, tests.
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "All checks passed."

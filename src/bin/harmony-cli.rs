@@ -6,18 +6,23 @@
 //! harmony-cli schedule [--machines N] [--jobs N]
 //! harmony-cli workload [--jobs N]
 //! harmony-cli reload   [--machines N]
+//! harmony-cli faults   [--machines N] [--jobs N] [--fault-seed S]
+//!                      [--crash-mtbf MIN] [--slowdown-mtbf MIN] [--abort-mtbf MIN]
 //! ```
 //!
 //! - `compare`: isolated vs naive vs Harmony on a simulated cluster
 //! - `schedule`: print one Algorithm 1 decision for the workload
 //! - `workload`: print the generated job catalog
 //! - `reload`: sweep fixed α against the adaptive controller
+//! - `faults`: inject machine crashes / stragglers / job aborts into a
+//!   Harmony run and print the fault & recovery timeline (§VI). With no
+//!   MTBF flags, one machine crashes mid-run.
 
 use std::collections::HashMap;
 
 use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
 use harmony::metrics::TextTable;
-use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony::sim::{Driver, FaultPlan, FaultRates, ReloadPolicy, SchedulerKind, SimConfig};
 use harmony::trace::{workload_with, ArrivalProcess, WorkloadParams};
 
 fn main() {
@@ -33,10 +38,21 @@ fn main() {
         "schedule" => schedule(machines, jobs),
         "workload" => workload(jobs),
         "reload" => reload(machines),
+        "faults" => faults(
+            machines,
+            jobs,
+            seed,
+            flag_u64(&flags, "fault-seed", 42),
+            flag_f64(&flags, "crash-mtbf", 0.0),
+            flag_f64(&flags, "slowdown-mtbf", 0.0),
+            flag_f64(&flags, "abort-mtbf", 0.0),
+        ),
         _ => {
             eprintln!(
-                "usage: harmony-cli <compare|schedule|workload|reload> \
-                 [--machines N] [--jobs N] [--seed S] [--arrival-mean MIN]"
+                "usage: harmony-cli <compare|schedule|workload|reload|faults> \
+                 [--machines N] [--jobs N] [--seed S] [--arrival-mean MIN] \
+                 [--fault-seed S] [--crash-mtbf MIN] [--slowdown-mtbf MIN] \
+                 [--abort-mtbf MIN]"
             );
             std::process::exit(2);
         }
@@ -153,8 +169,7 @@ fn schedule(machines: u32, jobs: u32) {
         .into_iter()
         .enumerate()
         .map(|(i, s)| {
-            let mut p =
-                JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
+            let mut p = JobProfile::from_reference(JobId::new(i as u64), s.comp_cost, s.net_cost);
             p.set_memory_footprint(s.input_bytes, s.model_bytes);
             p
         })
@@ -196,12 +211,92 @@ fn workload(jobs: u32) {
     println!("{table}");
 }
 
+#[allow(clippy::too_many_arguments)]
+fn faults(
+    machines: u32,
+    jobs: u32,
+    seed: u64,
+    fault_seed: u64,
+    crash_mtbf_min: f64,
+    slowdown_mtbf_min: f64,
+    abort_mtbf_min: f64,
+) {
+    for (name, v) in [
+        ("crash-mtbf", crash_mtbf_min),
+        ("slowdown-mtbf", slowdown_mtbf_min),
+        ("abort-mtbf", abort_mtbf_min),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            bad_flag::<()>(name, &format!("{v}"));
+        }
+    }
+    let specs = specs_for(jobs);
+    let arrivals = vec![0.0; specs.len()];
+    let cfg = |plan| SimConfig {
+        machines,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        seed,
+        fault_plan: plan,
+        ..SimConfig::default()
+    };
+    // A fault-free run calibrates both the fault schedule's horizon and
+    // the recovery comparison below.
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+
+    let mtbf = |min: f64| (min > 0.0).then_some(min * 60.0);
+    let plan = if crash_mtbf_min <= 0.0 && slowdown_mtbf_min <= 0.0 && abort_mtbf_min <= 0.0 {
+        FaultPlan::single_crash(fault_seed, clean.makespan * 0.5)
+    } else {
+        FaultPlan::generate(
+            fault_seed,
+            clean.makespan * 1.2,
+            &FaultRates {
+                crash_mtbf_secs: mtbf(crash_mtbf_min),
+                slowdown_mtbf_secs: mtbf(slowdown_mtbf_min),
+                abort_mtbf_secs: mtbf(abort_mtbf_min),
+                ..FaultRates::default()
+            },
+        )
+    };
+    let scheduled = plan.len();
+    let r = Driver::run(cfg(Some(plan)), specs.clone(), arrivals);
+
+    println!(
+        "{jobs} jobs on {machines} simulated machines, fault seed {fault_seed} \
+         ({scheduled} faults scheduled)\n"
+    );
+    let mut table = TextTable::new(["time (min)", "event", "detail"]);
+    for ev in r.fault_log.events() {
+        table.row([
+            format!("{:.1}", ev.time / 60.0),
+            ev.kind.clone(),
+            ev.detail.clone(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "machines lost {} | jobs aborted {} | completed {}/{} | \
+         makespan {:.0} min (fault-free {:.0})",
+        r.machines_lost,
+        r.jobs_aborted,
+        r.completed(),
+        specs.len(),
+        r.makespan / 60.0,
+        clean.makespan / 60.0,
+    );
+    if r.recovery_latency.count() > 0 {
+        println!(
+            "recovery latency: {} observations, mean {:.1} s, max {:.1} s",
+            r.recovery_latency.count(),
+            r.recovery_latency.mean(),
+            r.recovery_latency.max().unwrap_or(0.0),
+        );
+    }
+}
+
 fn reload(machines: u32) {
-    let specs: Vec<_> = specs_for(16)
-        .into_iter()
-        .skip(8)
-        .take(8)
-        .collect();
+    let specs: Vec<_> = specs_for(16).into_iter().skip(8).take(8).collect();
     let arrivals = vec![0.0; specs.len()];
     let mut table = TextTable::new(["policy", "mean iteration (s)", "makespan (min)", "ooms"]);
     for alpha10 in (0..=10u32).step_by(2) {

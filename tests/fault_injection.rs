@@ -1,0 +1,278 @@
+//! Deterministic fault-injection harness (§VI fault tolerance).
+//!
+//! Runs the simulator with scheduled machine crashes, transient
+//! stragglers and job aborts, and asserts the recovery invariants the
+//! paper's fault-tolerance design implies: surviving jobs always
+//! finish, the grouping stays valid (checked by `debug_assert`s inside
+//! the driver on every fault), utilization recovers close to the
+//! fault-free level, and the whole run — fault schedule included — is
+//! reproducible bit-for-bit from its seeds.
+
+use harmony::core::JobSpec;
+use harmony::sim::{
+    Driver, FaultKind, FaultPlan, FaultRates, ReloadPolicy, SchedulerKind, SimConfig,
+};
+use harmony::trace::{workload_with, WorkloadParams};
+
+fn small_workload() -> Vec<JobSpec> {
+    workload_with(WorkloadParams {
+        hyper_params: 1,
+        epoch_scale: 0.5,
+        ..WorkloadParams::default()
+    })
+}
+
+fn cfg(plan: Option<FaultPlan>) -> SimConfig {
+    SimConfig {
+        machines: 16,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        straggler_cv: 0.0,
+        fault_plan: plan,
+        ..SimConfig::default()
+    }
+}
+
+/// Crash one machine roughly mid-run. Every job must still complete,
+/// one machine must be recorded lost, the fault and its recovery must
+/// appear in the log, and mean utilization (measured against the
+/// surviving capacity) must stay within 10% of the fault-free run.
+#[test]
+fn crash_mid_run_recovers_without_losing_jobs() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+    assert_eq!(clean.completed(), specs.len());
+
+    let plan = FaultPlan::single_crash(42, clean.makespan * 0.4);
+    let faulted = Driver::run(cfg(Some(plan)), specs.clone(), arrivals);
+
+    assert_eq!(
+        faulted.completed(),
+        specs.len(),
+        "a surviving job was lost: {:?}",
+        faulted
+            .jobs
+            .iter()
+            .filter(|j| j.failed)
+            .map(|j| &j.name)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(faulted.machines_lost, 1);
+    assert_eq!(faulted.jobs_aborted, 0);
+    assert!(faulted.fault_log.of_kind("machine-crash").count() == 1);
+    assert!(
+        faulted.fault_log.of_kind("recovery").count() >= 1,
+        "no recovery action logged"
+    );
+    assert!(
+        faulted.recovery_latency.count() >= 1,
+        "no recovery latency observed"
+    );
+
+    // Losing 1/16 machines costs capacity, but per-surviving-machine
+    // utilization must recover to within 10% of the fault-free level.
+    let clean_util = clean.avg_cpu_util(16);
+    let faulted_util =
+        faulted.cpu_busy_machine_secs / (faulted.makespan * f64::from(16 - faulted.machines_lost));
+    assert!(
+        (faulted_util - clean_util).abs() <= 0.10 * clean_util,
+        "utilization did not recover: clean {clean_util:.3} vs faulted {faulted_util:.3}"
+    );
+}
+
+/// The same seeds — workload, simulator and fault plan — must
+/// reproduce the entire report byte-for-byte.
+#[test]
+fn same_fault_seed_is_byte_identical() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(clean.makespan * 0.5),
+        slowdown_mtbf_secs: Some(clean.makespan * 0.4),
+        abort_mtbf_secs: None,
+        ..FaultRates::default()
+    };
+    let make = || {
+        let plan = FaultPlan::generate(7, clean.makespan, &rates);
+        Driver::run(cfg(Some(plan)), specs.clone(), arrivals.clone())
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(
+        a.canonical_bytes(),
+        b.canonical_bytes(),
+        "two runs of the same seeds diverged"
+    );
+    assert!(!a.fault_log.is_empty(), "plan injected nothing");
+}
+
+/// Different fault seeds must produce different fault schedules — and
+/// therefore observably different runs.
+#[test]
+fn different_fault_seeds_differ() {
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(10_000.0),
+        slowdown_mtbf_secs: Some(10_000.0),
+        abort_mtbf_secs: Some(10_000.0),
+        ..FaultRates::default()
+    };
+    let p1 = FaultPlan::generate(1, 200_000.0, &rates);
+    let p2 = FaultPlan::generate(2, 200_000.0, &rates);
+    assert_ne!(p1, p2, "seeds 1 and 2 produced identical schedules");
+
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let a = Driver::run(cfg(Some(p1)), specs.clone(), arrivals.clone());
+    let b = Driver::run(cfg(Some(p2)), specs, arrivals);
+    assert_ne!(
+        a.canonical_bytes(),
+        b.canonical_bytes(),
+        "different fault schedules produced identical reports"
+    );
+}
+
+/// A transient straggler window slows the run down but nobody fails,
+/// and the window closes on schedule.
+#[test]
+fn slowdown_stretches_without_killing_anyone() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+
+    let plan = FaultPlan::new(
+        3,
+        vec![harmony::sim::FaultEvent {
+            at: clean.makespan * 0.3,
+            kind: FaultKind::Slowdown {
+                factor: 3.0,
+                duration_secs: clean.makespan * 0.2,
+            },
+        }],
+    );
+    let slowed = Driver::run(cfg(Some(plan)), specs.clone(), arrivals);
+    assert_eq!(slowed.completed(), specs.len());
+    assert_eq!(slowed.machines_lost, 0);
+    assert_eq!(slowed.fault_log.of_kind("slowdown").count(), 1);
+    assert!(
+        slowed.makespan >= clean.makespan,
+        "a 3x straggler made the run faster ({} < {})",
+        slowed.makespan,
+        clean.makespan
+    );
+}
+
+/// A job abort kills exactly one job; everyone else completes, and the
+/// victim is flagged as aborted (not OOM-failed) in the outcomes.
+#[test]
+fn abort_kills_exactly_one_job_and_backfills() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+
+    let plan = FaultPlan::new(
+        5,
+        vec![harmony::sim::FaultEvent {
+            at: clean.makespan * 0.4,
+            kind: FaultKind::JobAbort,
+        }],
+    );
+    let r = Driver::run(cfg(Some(plan)), specs.clone(), arrivals);
+    assert_eq!(r.jobs_aborted, 1);
+    let aborted: Vec<_> = r.jobs.iter().filter(|j| j.aborted).collect();
+    assert_eq!(aborted.len(), 1);
+    assert!(aborted[0].failed, "aborted job must count as not completed");
+    assert_eq!(
+        r.completed(),
+        specs.len() - 1,
+        "a survivor failed: {:?}",
+        r.jobs
+            .iter()
+            .filter(|j| j.failed && !j.aborted)
+            .map(|j| &j.name)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(r.fault_log.of_kind("job-abort").count(), 1);
+}
+
+/// Crashes must be survivable under every scheduler, not just Harmony:
+/// the baselines share the driver's recovery machinery.
+#[test]
+fn crash_is_survivable_under_every_scheduler() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    for kind in [
+        SchedulerKind::Harmony,
+        SchedulerKind::Isolated,
+        SchedulerKind::Naive {
+            jobs_per_group: 3,
+            seed: 1,
+        },
+    ] {
+        let label = format!("{kind:?}");
+        let clean = Driver::run(
+            SimConfig {
+                scheduler: kind.clone(),
+                reload: ReloadPolicy::StaticFit,
+                ..cfg(None)
+            },
+            specs.clone(),
+            arrivals.clone(),
+        );
+        let plan = FaultPlan::single_crash(11, clean.makespan * 0.5);
+        let r = Driver::run(
+            SimConfig {
+                scheduler: kind,
+                reload: ReloadPolicy::StaticFit,
+                ..cfg(Some(plan))
+            },
+            specs.clone(),
+            arrivals.clone(),
+        );
+        assert_eq!(r.machines_lost, 1, "{label}");
+        assert_eq!(
+            r.completed(),
+            specs.len(),
+            "{label}: jobs lost to the crash"
+        );
+    }
+}
+
+/// A sustained barrage — every fault class recurring — must still end
+/// with all survivors finished and matched fault/recovery bookkeeping.
+#[test]
+fn churn_scenario_keeps_the_books_straight() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(cfg(None), specs.clone(), arrivals.clone());
+    let mtbf = clean.makespan * 0.8;
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(mtbf),
+        slowdown_mtbf_secs: Some(mtbf),
+        abort_mtbf_secs: Some(mtbf),
+        ..FaultRates::default()
+    };
+    let plan = FaultPlan::generate(13, clean.makespan * 2.0, &rates);
+    let r = Driver::run(cfg(Some(plan)), specs.clone(), arrivals);
+
+    let crashes = r.fault_log.of_kind("machine-crash").count() as u32;
+    assert_eq!(r.machines_lost, crashes, "crash bookkeeping diverged");
+    assert_eq!(
+        r.jobs_aborted,
+        r.jobs.iter().filter(|j| j.aborted).count(),
+        "abort bookkeeping diverged"
+    );
+    // Everyone who wasn't aborted (or OOM-killed by shrunken capacity)
+    // must finish; with generous memory nobody OOMs here.
+    assert_eq!(
+        r.completed(),
+        specs.len() - r.jobs_aborted,
+        "survivors went missing: {:?}",
+        r.jobs
+            .iter()
+            .filter(|j| j.failed && !j.aborted)
+            .map(|j| &j.name)
+            .collect::<Vec<_>>()
+    );
+}

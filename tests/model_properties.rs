@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use harmony::core::baseline::{IsolatedScheduler, NaiveColocationScheduler};
-use harmony::core::model::{
-    cluster_utilization, group_iteration_time, group_utilization,
-};
+use harmony::core::model::{cluster_utilization, group_iteration_time, group_utilization};
 use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
 
 /// Strategy: a job population of 1–24 jobs with positive, bounded
@@ -16,9 +14,7 @@ fn jobs_strategy() -> impl Strategy<Value = Vec<JobProfile>> {
     prop::collection::vec((0.1f64..500.0, 0.1f64..100.0), 1..24).prop_map(|raw| {
         raw.into_iter()
             .enumerate()
-            .map(|(i, (tcpu, tnet))| {
-                JobProfile::from_reference(JobId::new(i as u64), tcpu, tnet)
-            })
+            .map(|(i, (tcpu, tnet))| JobProfile::from_reference(JobId::new(i as u64), tcpu, tnet))
             .collect()
     })
 }
@@ -149,5 +145,151 @@ proptest! {
         let p = JobProfile::from_reference(JobId::new(0), tcpu, tnet);
         prop_assert!((p.tcpu_at(m) - tcpu / f64::from(m)).abs() < 1e-9);
         prop_assert!((p.tnet() - tnet).abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regrouper fault-recovery invariants (§IV-B4 + §VI).
+// ---------------------------------------------------------------------
+
+use harmony::core::group::JobGroup;
+use harmony::core::profile::ProfileStore;
+use harmony::core::regroup::{ClusterView, RegroupDecision, Regrouper};
+use harmony::core::{GroupId, Grouping, MachineId};
+
+/// Strategy: a cluster of 2–4 running groups (1–4 jobs, 1–6 machines
+/// each, disjoint machine ranges) plus 0–4 warm waiting jobs.
+fn faulted_cluster_strategy() -> impl Strategy<Value = (ClusterView, ProfileStore)> {
+    let group_shape = (1usize..=4, 1u32..=6, 0.5f64..200.0, 0.5f64..40.0);
+    (
+        prop::collection::vec(group_shape, 2..5),
+        prop::collection::vec((0.5f64..200.0, 0.5f64..40.0), 0..5),
+    )
+        .prop_map(|(shapes, waiting)| {
+            let mut profiles: Vec<harmony::core::JobProfile> = Vec::new();
+            let mut groups = Vec::new();
+            let mut next_job = 0u64;
+            let mut next_machine = 0u32;
+            for (gi, (njobs, machines, tcpu, tnet)) in shapes.into_iter().enumerate() {
+                let jobs: Vec<JobId> = (0..njobs)
+                    .map(|k| {
+                        let id = JobId::new(next_job);
+                        next_job += 1;
+                        // Vary members so groups are not all identical.
+                        profiles.push(harmony::core::JobProfile::from_reference(
+                            id,
+                            tcpu * (1.0 + 0.3 * k as f64),
+                            tnet * (1.0 + 0.2 * k as f64),
+                        ));
+                        id
+                    })
+                    .collect();
+                let ms: Vec<MachineId> = (next_machine..next_machine + machines)
+                    .map(MachineId::new)
+                    .collect();
+                next_machine += machines;
+                groups.push(JobGroup::new(GroupId::new(gi as u32), jobs, ms));
+            }
+            let profiled: Vec<JobId> = waiting
+                .into_iter()
+                .map(|(tcpu, tnet)| {
+                    let id = JobId::new(next_job);
+                    next_job += 1;
+                    profiles.push(harmony::core::JobProfile::from_reference(id, tcpu, tnet));
+                    id
+                })
+                .collect();
+            let view = ClusterView {
+                machines: next_machine,
+                grouping: Grouping::from_groups(groups),
+                profiled,
+                paused: vec![],
+            };
+            (view, profiles.into_iter().collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Machine-loss repair never invents machines, never drops a job of
+    /// an involved group, and always yields a valid grouping.
+    #[test]
+    fn machine_loss_repair_conserves_machines_and_jobs(
+        cluster in faulted_cluster_strategy(),
+    ) {
+        let (view, store) = cluster;
+        let hit = GroupId::new(0);
+        match Regrouper::default().on_machine_lost(&view, &store, hit) {
+            RegroupDecision::NoChange => {} // local repair: shrunken group kept
+            RegroupDecision::PartialReschedule { involved_groups, outcome } => {
+                prop_assert!(involved_groups.contains(&hit));
+                prop_assert!(outcome.grouping.validate().is_ok());
+                // Exactly the machines of the dissolved groups are
+                // reassigned: none lost, none invented.
+                let budget: usize = involved_groups
+                    .iter()
+                    .filter_map(|&g| view.grouping.group(g))
+                    .map(|g| g.dop() as usize)
+                    .sum();
+                prop_assert_eq!(outcome.grouping.total_machines(), budget);
+                // Every job of an involved group is accounted for: it
+                // is either re-placed or explicitly handed back as
+                // unscheduled (to wait) — never silently dropped.
+                for &g in &involved_groups {
+                    for &j in view.grouping.group(g).expect("involved").jobs() {
+                        prop_assert!(
+                            outcome.grouping.group_of(j).is_some()
+                                || outcome.unscheduled.contains(&j),
+                            "job {j:?} lost by repair"
+                        );
+                    }
+                }
+            }
+            other => prop_assert!(false, "unexpected decision {other:?}"),
+        }
+    }
+
+    /// Abort back-fill obeys the ≤5% similarity rule of §IV-B4: a
+    /// single replacement matches the aborted job's iteration time and
+    /// comp/comm ratio within 5%; a bunch matches in aggregate.
+    #[test]
+    fn abort_backfill_respects_similarity_rule(
+        cluster in faulted_cluster_strategy(),
+        it in 0.5f64..400.0,
+        ratio in 0.1f64..20.0,
+    ) {
+        let (view, store) = cluster;
+        let g = GroupId::new(0);
+        let dop = view.grouping.group(g).expect("exists").dop().max(1);
+        let d = Regrouper::default().on_job_aborted(&view, &store, it, ratio, g);
+        if let RegroupDecision::ReplaceFinished { group, add } = d {
+            prop_assert_eq!(group, g);
+            prop_assert!(!add.is_empty());
+            for &j in &add {
+                prop_assert!(view.profiled.contains(&j), "backfill from thin air");
+            }
+            let (mut sit, mut scpu, mut snet) = (0.0, 0.0, 0.0);
+            for &j in &add {
+                let p = store.get(j).expect("profiled job has a profile");
+                sit += p.iter_time_at(dop);
+                scpu += p.tcpu_at(dop);
+                snet += p.tnet();
+            }
+            let sratio = if snet > 0.0 { scpu / snet } else { f64::INFINITY };
+            prop_assert!((sit - it).abs() / it.abs().max(1e-12) <= 0.05 + 1e-9);
+            prop_assert!((sratio - ratio).abs() / ratio.abs().max(1e-12) <= 0.05 + 1e-9);
+        }
+    }
+
+    /// A crash that wipes a whole group out is the master's problem;
+    /// the regrouper must not touch the survivors.
+    #[test]
+    fn vanished_group_is_left_to_the_master(
+        cluster in faulted_cluster_strategy(),
+    ) {
+        let (view, store) = cluster;
+        let d = Regrouper::default().on_machine_lost(&view, &store, GroupId::new(99));
+        prop_assert_eq!(d, RegroupDecision::NoChange);
     }
 }

@@ -30,17 +30,21 @@ fn every_application_converges_under_distributed_training() {
 
     let reg = synth::regression(160, 24, 0.3, 11);
     let lasso = JobBuilder::new("lasso")
-        .workers(synth::partition(&reg, nodes).into_iter().map(|p| {
-            Box::new(Lasso::new(p, 24, 0.05, 0.01)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&reg, nodes)
+                .into_iter()
+                .map(|p| Box::new(Lasso::new(p, 24, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(30)
         .build();
 
     let ratings = synth::ratings(30, 40, 10, 3, 12);
     let nmf = JobBuilder::new("nmf")
-        .workers(synth::partition(&ratings, nodes).into_iter().map(|p| {
-            Box::new(Nmf::new(p, 40, 3, 0.05)) as Box<dyn PsAlgorithm>
-        }))
+        .workers(
+            synth::partition(&ratings, nodes)
+                .into_iter()
+                .map(|p| Box::new(Nmf::new(p, 40, 3, 0.05)) as Box<dyn PsAlgorithm>),
+        )
         .max_iterations(30)
         .build();
 
@@ -74,10 +78,7 @@ fn colocation_preserves_convergence_and_discipline() {
     let solo = cluster(2)
         .run_jobs(vec![mlr_job("solo", 2, 25, 21)])
         .remove(0);
-    let reports = c.run_jobs(vec![
-        mlr_job("co-a", 2, 25, 21),
-        mlr_job("co-b", 2, 25, 22),
-    ]);
+    let reports = c.run_jobs(vec![mlr_job("co-a", 2, 25, 21), mlr_job("co-b", 2, 25, 22)]);
     // Synchronous training result must not depend on co-location: the
     // same data, seeds and iteration count give the same final loss.
     assert!(
@@ -128,10 +129,7 @@ fn profiled_subtask_times_feed_the_scheduler() {
     use harmony::core::{JobId, JobProfile, Scheduler, SchedulerConfig};
 
     let c = cluster(2);
-    let reports = c.run_jobs(vec![
-        mlr_job("p0", 2, 10, 41),
-        mlr_job("p1", 2, 10, 42),
-    ]);
+    let reports = c.run_jobs(vec![mlr_job("p0", 2, 10, 41), mlr_job("p1", 2, 10, 42)]);
     // Turn the measured subtask means into scheduler profiles: the
     // full loop the Harmony master runs.
     let profiles: Vec<JobProfile> = reports
