@@ -1,0 +1,358 @@
+//! Validates `BENCH_*.json` perf baselines against the perfjson schema.
+//!
+//! Usage: `bench_schema_check <file>...` — exits non-zero with a
+//! message naming the first violation. Used by `scripts/check.sh
+//! --bench-smoke` so the bench plumbing and the committed baselines
+//! cannot drift from the schema unnoticed. The workspace carries no
+//! JSON dependency, so this ships its own minimal recursive-descent
+//! parser (objects, arrays, strings, numbers, booleans, null).
+
+use harmony_bench::SCHEMA_VERSION;
+
+/// A parsed JSON value (just enough for the bench schema).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing content after JSON value"));
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+}
+
+/// Extracts a required finite, non-negative numeric field.
+fn req_num(row: &Json, key: &str, i: usize) -> Result<f64, String> {
+    let x = row
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("rows[{i}]: missing numeric field \"{key}\""))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("rows[{i}].{key}: {x} is not a finite non-negative"));
+    }
+    Ok(x)
+}
+
+/// Checks one parsed report against the perfjson schema.
+fn check_schema(doc: &Json) -> Result<usize, String> {
+    doc.get("bench")
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or("missing non-empty string field \"bench\"")?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field \"schema_version\"")?;
+    if version != f64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err("missing array field \"rows\"".to_string());
+    };
+    if rows.is_empty() {
+        return Err("\"rows\" must not be empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        row.get("case")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("rows[{i}]: missing non-empty string field \"case\""))?;
+        for key in ["jobs", "machines", "reps"] {
+            let x = req_num(row, key, i)?;
+            if x.fract() != 0.0 {
+                return Err(format!("rows[{i}].{key}: {x} is not an integer"));
+            }
+        }
+        if req_num(row, "reps", i)? < 1.0 {
+            return Err(format!("rows[{i}].reps must be >= 1"));
+        }
+        let median = req_num(row, "median_ms", i)?;
+        let p95 = req_num(row, "p95_ms", i)?;
+        let min = req_num(row, "min_ms", i)?;
+        if !(min <= median && median <= p95) {
+            return Err(format!(
+                "rows[{i}]: expected min <= median <= p95, got {min} / {median} / {p95}"
+            ));
+        }
+    }
+    Ok(rows.len())
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: bench_schema_check <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let result = std::fs::read_to_string(file)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|text| Parser::new(&text).parse())
+            .and_then(|doc| check_schema(&doc));
+        match result {
+            Ok(rows) => println!("{file}: ok ({rows} rows)"),
+            Err(e) => {
+                eprintln!("{file}: SCHEMA VIOLATION: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_bench::{BenchReport, BenchRow};
+
+    #[test]
+    fn accepts_emitted_reports() {
+        let mut rep = BenchReport::new("demo");
+        rep.push(BenchRow::new("optimized", 80, 100, vec![2.0, 1.0, 3.0]));
+        let doc = Parser::new(&rep.to_json()).parse().expect("parses");
+        assert_eq!(check_schema(&doc), Ok(1));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Parser::new("{\"bench\": }").parse().is_err());
+        let no_rows = Parser::new("{\"bench\": \"x\", \"schema_version\": 1, \"rows\": []}")
+            .parse()
+            .expect("parses");
+        assert!(check_schema(&no_rows).is_err());
+        let bad_stats = Parser::new(
+            "{\"bench\": \"x\", \"schema_version\": 1, \"rows\": [
+              {\"case\": \"c\", \"jobs\": 1, \"machines\": 1, \"reps\": 1,
+               \"median_ms\": 1.0, \"p95_ms\": 0.5, \"min_ms\": 2.0}]}",
+        )
+        .parse()
+        .expect("parses");
+        assert!(check_schema(&bad_stats).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = Parser::new("{\"a\\\"b\": [true, false, null, -1.5e2, {\"k\": \"v\"}]}")
+            .parse()
+            .expect("parses");
+        let Json::Obj(fields) = &doc else { panic!() };
+        assert_eq!(fields[0].0, "a\"b");
+        let Json::Arr(items) = &fields[0].1 else {
+            panic!()
+        };
+        assert_eq!(items[3], Json::Num(-150.0));
+    }
+}

@@ -2,13 +2,27 @@
 //! applications end-to-end (real gradients, real models, real threads),
 //! co-located on one in-process cluster with Harmony's subtask
 //! discipline — the role Bösen parity plays in the paper.
+//!
+//! The binary also emits the repo's machine-readable simulator baseline
+//! (`BENCH_sim.json`, see `harmony_bench::perfjson`): wall-clock of the
+//! end-to-end PS training run (`case: "ps_train"`) and of full
+//! discrete-event simulations at a sweep of workload scales
+//! (`case: "sim_driver"`), so regressions on the sim event path show up
+//! as diffs against the committed file. Flags: `--smoke` (tiny scale,
+//! for `scripts/check.sh --bench-smoke`), `--out <path>`.
 
+use std::time::Instant;
+
+use harmony_bench::{harmony_config, parse_bench_args, BenchReport, BenchRow};
 use harmony_metrics::TextTable;
 use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
-use harmony_ps::{JobBuilder, PsCluster, PsConfig};
+use harmony_ps::{JobBuilder, JobReport, PsCluster, PsConfig};
+use harmony_sim::Driver;
+use harmony_trace::{workload_with, WorkloadParams};
 
-fn main() {
-    let nodes = 4;
+/// Builds the four-application job set and runs it on a fresh cluster.
+/// Jobs hold worker state, so every reparation builds them anew.
+fn run_ps_jobs(nodes: usize, iters: u64) -> Vec<JobReport> {
     let cluster = PsCluster::new(PsConfig {
         nodes,
         network_bytes_per_sec: None,
@@ -21,7 +35,7 @@ fn main() {
                 .into_iter()
                 .map(|p| Box::new(Mlr::new(p, 64, 5, 0.5)) as Box<dyn PsAlgorithm>),
         )
-        .max_iterations(40)
+        .max_iterations(iters)
         .check_every(10)
         .build();
 
@@ -32,7 +46,7 @@ fn main() {
                 .into_iter()
                 .map(|p| Box::new(Lasso::new(p, 64, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
         )
-        .max_iterations(40)
+        .max_iterations(iters)
         .check_every(10)
         .build();
 
@@ -43,7 +57,7 @@ fn main() {
                 .into_iter()
                 .map(|p| Box::new(Nmf::new(p, 80, 4, 0.05)) as Box<dyn PsAlgorithm>),
         )
-        .max_iterations(40)
+        .max_iterations(iters)
         .check_every(10)
         .build();
 
@@ -55,34 +69,11 @@ fn main() {
                 .enumerate()
                 .map(|(i, p)| Box::new(Lda::new(p, 400, 5, i as u64)) as Box<dyn PsAlgorithm>),
         )
-        .max_iterations(25)
+        .max_iterations(iters.min(25))
         .check_every(5)
         .build();
 
     let reports = cluster.run_jobs(vec![mlr, lasso, nmf, lda]);
-
-    let mut table = TextTable::new([
-        "job",
-        "iterations",
-        "initial loss",
-        "final loss",
-        "improvement",
-        "Tcpu/iter (ms)",
-        "Tnet/iter (ms)",
-    ]);
-    for r in &reports {
-        table.row([
-            r.name.clone(),
-            r.iterations.to_string(),
-            format!("{:.4}", r.initial_loss),
-            format!("{:.4}", r.final_loss),
-            format!("{:.0}%", (1.0 - r.final_loss / r.initial_loss) * 100.0),
-            format!("{:.2}", r.mean_tcpu * 1000.0),
-            format!("{:.2}", r.mean_tnet * 1000.0),
-        ]);
-    }
-    println!("§V-B: four PS applications co-trained on one in-process cluster\n");
-    println!("{table}");
 
     let stats = cluster.executor_stats();
     let peak_cpu = stats
@@ -95,14 +86,100 @@ fn main() {
         .map(|(_, n)| n.peak_concurrency)
         .max()
         .unwrap_or(0);
-    println!(
-        "executor discipline held: peak CPU concurrency {peak_cpu} (cap 1), \
-         peak COMM concurrency {peak_comm} (cap 2) on every node"
+    assert!(
+        peak_cpu <= 1 && peak_comm <= 2,
+        "executor discipline violated: CPU {peak_cpu} (cap 1), COMM {peak_comm} (cap 2)"
     );
+    reports
+}
+
+/// Times `Driver::run` on a synthetic workload of `jobs` jobs over
+/// `machines` machines, `reps` times; returns wall-clock ms samples.
+fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> Vec<f64> {
+    let per_pair = jobs.div_ceil(8).max(1) as u32;
+    let specs: Vec<_> = workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(jobs)
+    .collect();
+    (0..reps)
+        .map(|_| {
+            let arrivals = vec![0.0; specs.len()];
+            let t0 = Instant::now();
+            let report = Driver::run(harmony_config(machines), specs.clone(), arrivals);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(report.completed() > 0, "simulated run completed no jobs");
+            dt
+        })
+        .collect()
+}
+
+fn main() {
+    let (smoke, out_path) = parse_bench_args("BENCH_sim.json");
+    let nodes = 4;
+    let ps_iters = if smoke { 10 } else { 40 };
+    let ps_reps = if smoke { 2 } else { 5 };
+    let mut report = BenchReport::new("ps_end_to_end");
+
+    // End-to-end PS training: time the whole four-application run.
+    let mut ps_samples = Vec::with_capacity(ps_reps);
+    let mut last_reports = Vec::new();
+    for _ in 0..ps_reps {
+        let t0 = Instant::now();
+        last_reports = run_ps_jobs(nodes, ps_iters);
+        ps_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    report.push(BenchRow::new(
+        "ps_train",
+        last_reports.len(),
+        nodes as u32,
+        ps_samples,
+    ));
+
+    let mut table = TextTable::new([
+        "job",
+        "iterations",
+        "initial loss",
+        "final loss",
+        "improvement",
+        "Tcpu/iter (ms)",
+        "Tnet/iter (ms)",
+    ]);
+    for r in &last_reports {
+        table.row([
+            r.name.clone(),
+            r.iterations.to_string(),
+            format!("{:.4}", r.initial_loss),
+            format!("{:.4}", r.final_loss),
+            format!("{:.0}%", (1.0 - r.final_loss / r.initial_loss) * 100.0),
+            format!("{:.2}", r.mean_tcpu * 1000.0),
+            format!("{:.2}", r.mean_tnet * 1000.0),
+        ]);
+    }
+    println!("§V-B: four PS applications co-trained on one in-process cluster\n");
+    println!("{table}");
+    println!("executor discipline held on every rep (CPU cap 1, COMM cap 2)");
+
+    // Simulator event-loop sweep: full Harmony runs at growing scale.
+    let sim_scales: &[(usize, u32)] = if smoke {
+        &[(20, 25)]
+    } else {
+        &[(20, 25), (80, 100), (160, 200)]
+    };
+    let sim_reps = if smoke { 2 } else { 5 };
+    for &(jobs, machines) in sim_scales {
+        let samples = time_sim_driver(jobs, machines, sim_reps);
+        report.push(BenchRow::new("sim_driver", jobs, machines, samples));
+    }
+
+    report.write(&out_path).expect("write bench report");
+    println!("wrote {}", out_path.display());
+
     println!(
         "\nPaper finding reproduced when: every application's loss improves \
          under synchronous PS training while the subtask discipline holds."
     );
-    assert!(reports.iter().all(|r| r.final_loss < r.initial_loss));
-    assert!(peak_cpu <= 1 && peak_comm <= 2);
+    assert!(last_reports.iter().all(|r| r.final_loss < r.initial_loss));
 }

@@ -4,12 +4,23 @@
 //! reports ~1.2 s for 80 jobs / 100 machines and < 5 s for 8K jobs on
 //! 10K machines, while the exhaustive search takes minutes to hours
 //! already at small scale.
+//!
+//! Besides the human-readable table, the binary emits the repo's
+//! machine-readable scheduler baseline (`BENCH_sched.json`, see
+//! `harmony_bench::perfjson`): for every scale it times both the
+//! optimized scan (`case: "optimized"`) and the retained pre-overhaul
+//! implementation (`case: "pre_pr_reference"`,
+//! `harmony_core::reference`), so the before/after speedup is pinned
+//! in-repo. Flags: `--smoke` (tiny scale, for `scripts/check.sh
+//! --bench-smoke`), `--out <path>`.
 
 use std::time::Instant;
 
+use harmony_bench::{parse_bench_args, BenchReport, BenchRow};
 use harmony_core::job::JobId;
 use harmony_core::oracle::OracleScheduler;
 use harmony_core::profile::JobProfile;
+use harmony_core::reference::ReferenceScheduler;
 use harmony_core::schedule::{Scheduler, SchedulerConfig};
 use harmony_metrics::TextTable;
 use harmony_trace::{workload_with, WorkloadParams};
@@ -33,47 +44,94 @@ fn profiles(n: usize) -> Vec<JobProfile> {
         .collect()
 }
 
+/// Wall-clock samples (ms) of `f`, `reps` times.
+fn time_reps<R>(reps: usize, mut f: impl FnMut() -> R) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            drop(out);
+            dt
+        })
+        .collect()
+}
+
 fn main() {
+    let (smoke, out_path) = parse_bench_args("BENCH_sched.json");
     let scheduler = Scheduler::new(SchedulerConfig::default());
-    let mut table = TextTable::new(["jobs", "machines", "scheduler", "decision time"]);
+    let reference = ReferenceScheduler::new(SchedulerConfig::default());
+    let mut table = TextTable::new(["jobs", "machines", "scheduler", "decision time (median)"]);
+    let mut report = BenchReport::new("sched_scalability");
 
-    for (jobs, machines) in [
-        (80usize, 100u32),
-        (500, 1_000),
-        (2_000, 4_000),
-        (8_000, 10_000),
-    ] {
+    let scales: &[(usize, u32)] = if smoke {
+        &[(80, 100)]
+    } else {
+        &[(80, 100), (500, 1_000), (2_000, 4_000), (8_000, 10_000)]
+    };
+    let reps = if smoke { 2 } else { 7 };
+
+    for &(jobs, machines) in scales {
         let ps = profiles(jobs);
-        let t0 = Instant::now();
-        let out = scheduler.schedule(&ps, machines);
-        let dt = t0.elapsed();
-        assert!(out.grouping.validate().is_ok());
+        let opt = scheduler.schedule(&ps, machines);
+        let pre = reference.schedule(&ps, machines);
+        assert!(opt.grouping.validate().is_ok());
+        assert!(pre.grouping.validate().is_ok());
+        // The fast path may pick a different grouping in near-tie cases
+        // (see `harmony_core::reference` docs), but both scans score the
+        // same candidate space: their chosen utilizations must agree.
+        let (opt_score, pre_score) = (
+            opt.utilization.score(scheduler.config().cpu_weight),
+            pre.utilization.score(scheduler.config().cpu_weight),
+        );
+        assert!(
+            (opt_score - pre_score).abs() <= 0.05 * pre_score.abs().max(1e-12),
+            "optimized scan score {opt_score} drifted from reference {pre_score}"
+        );
+        let opt_ms = time_reps(reps, || scheduler.schedule(&ps, machines));
+        let pre_ms = time_reps(reps, || reference.schedule(&ps, machines));
+        let opt_row = BenchRow::new("optimized", jobs, machines, opt_ms);
+        let pre_row = BenchRow::new("pre_pr_reference", jobs, machines, pre_ms);
         table.row([
             jobs.to_string(),
             machines.to_string(),
-            "harmony".to_string(),
-            format!("{dt:.2?}"),
+            "harmony (optimized)".to_string(),
+            format!("{:.2} ms", opt_row.stats().0),
         ]);
-    }
-
-    // Oracle on small instances only (Bell-number growth).
-    let oracle = OracleScheduler::default();
-    for (jobs, machines) in [(6usize, 16u32), (8, 16), (10, 16)] {
-        let ps = profiles(jobs);
-        let t0 = Instant::now();
-        let out = oracle.schedule(&ps, machines);
-        let dt = t0.elapsed();
-        assert!(out.grouping.validate().is_ok());
         table.row([
             jobs.to_string(),
             machines.to_string(),
-            "oracle (exhaustive)".to_string(),
-            format!("{dt:.2?}"),
+            "harmony (pre-PR reference)".to_string(),
+            format!("{:.2} ms", pre_row.stats().0),
         ]);
+        report.push(opt_row);
+        report.push(pre_row);
     }
+
+    // Oracle on small instances only (Bell-number growth); skipped in
+    // smoke mode — the 10-job case alone takes ~30 s per decision.
+    if !smoke {
+        let oracle = OracleScheduler::default();
+        for (jobs, machines) in [(6usize, 16u32), (8, 16), (10, 16)] {
+            let ps = profiles(jobs);
+            let t0 = Instant::now();
+            let out = oracle.schedule(&ps, machines);
+            let dt = t0.elapsed();
+            assert!(out.grouping.validate().is_ok());
+            table.row([
+                jobs.to_string(),
+                machines.to_string(),
+                "oracle (exhaustive)".to_string(),
+                format!("{dt:.2?}"),
+            ]);
+        }
+    }
+
+    report.write(&out_path).expect("write bench report");
 
     println!("§V-F: scheduling-algorithm latency\n");
     println!("{table}");
+    println!("wrote {}", out_path.display());
     println!(
         "Paper finding reproduced when: Harmony's decision time stays within \
          seconds up to 8K jobs / 10K machines while the exhaustive search \

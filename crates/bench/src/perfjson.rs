@@ -1,0 +1,217 @@
+//! Machine-readable perf baselines (`BENCH_*.json`).
+//!
+//! The repo commits one JSON file per timed bench (`BENCH_sched.json`,
+//! `BENCH_sim.json`) so every PR leaves a perf trajectory that scripts
+//! can diff without parsing human tables. The format is deliberately
+//! tiny — a flat list of rows, each a `(case, jobs, machines)` cell
+//! with summary statistics over `reps` wall-clock samples — and is
+//! emitted by hand (the workspace carries no JSON dependency).
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "bench": "sched_scalability",
+//!   "schema_version": 1,
+//!   "rows": [
+//!     {"case": "optimized", "jobs": 8000, "machines": 10000,
+//!      "reps": 5, "median_ms": 21.4, "p95_ms": 25.0, "min_ms": 20.6}
+//!   ]
+//! }
+//! ```
+//!
+//! `scripts/check.sh --bench-smoke` regenerates the files at a tiny
+//! scale and validates this schema with the `bench_schema_check`
+//! binary, so the plumbing cannot rot silently.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use harmony_metrics::Cdf;
+
+/// Schema version stamped into every report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One timed cell: a named case at one workload scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// What was timed (e.g. `optimized`, `pre_pr_reference`).
+    pub case_name: String,
+    /// Number of jobs in the instance.
+    pub jobs: usize,
+    /// Number of machines in the instance.
+    pub machines: u32,
+    /// Wall-clock samples, milliseconds.
+    pub samples_ms: Vec<f64>,
+}
+
+impl BenchRow {
+    /// Builds a row from raw samples.
+    pub fn new(case_name: &str, jobs: usize, machines: u32, samples_ms: Vec<f64>) -> Self {
+        assert!(!samples_ms.is_empty(), "a bench row needs samples");
+        Self {
+            case_name: case_name.to_string(),
+            jobs,
+            machines,
+            samples_ms,
+        }
+    }
+
+    /// `(median, p95, min)` of the samples in milliseconds.
+    pub fn stats(&self) -> (f64, f64, f64) {
+        let cdf = Cdf::from_samples(self.samples_ms.iter().copied());
+        (
+            cdf.median().expect("non-empty"),
+            cdf.quantile(0.95).expect("non-empty"),
+            cdf.min().expect("non-empty"),
+        )
+    }
+}
+
+/// A full report: bench name plus rows, serializable to JSON.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Bench binary name.
+    pub bench: String,
+    /// Timed cells in emission order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the report as pretty-printed JSON with a stable key
+    /// order. Statistics are rounded to microsecond precision so the
+    /// committed files diff cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", escape(&self.bench));
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let (median, p95, min) = row.stats();
+            let _ = write!(
+                out,
+                "    {{\"case\": \"{}\", \"jobs\": {}, \"machines\": {}, \"reps\": {}, \
+                 \"median_ms\": {}, \"p95_ms\": {}, \"min_ms\": {}}}",
+                escape(&row.case_name),
+                row.jobs,
+                row.machines,
+                row.samples_ms.len(),
+                fmt_ms(median),
+                fmt_ms(p95),
+                fmt_ms(min),
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON rendering to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Milliseconds with microsecond precision — always a valid JSON
+/// number (three fixed decimals, no exponent, no NaN/inf: wall-clock
+/// samples are finite by construction).
+fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.3}")
+}
+
+/// Parses `--smoke` / `--out <path>` from a binary's argument list.
+/// Returns `(smoke, out_path)`; `default_out` is used when `--out` is
+/// absent.
+pub fn parse_bench_args(default_out: &str) -> (bool, std::path::PathBuf) {
+    let mut smoke = false;
+    let mut out = std::path::PathBuf::from(default_out);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+                out = std::path::PathBuf::from(p);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke / --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (smoke, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_order_statistics() {
+        let row = BenchRow::new("x", 1, 1, vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        let (median, p95, min) = row.stats();
+        assert_eq!(median, 3.0);
+        assert_eq!(p95, 5.0);
+        assert_eq!(min, 1.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut rep = BenchReport::new("demo");
+        rep.push(BenchRow::new("a\"b", 80, 100, vec![1.25]));
+        let json = rep.to_json();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(json.contains("\"case\": \"a\\\"b\""));
+        assert!(json.contains("\"median_ms\": 1.250"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

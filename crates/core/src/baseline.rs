@@ -79,7 +79,7 @@ impl IsolatedScheduler {
                         let p = admitted[i];
                         p.iter_time_at(dops[i]) - p.iter_time_at(dops[i] + 1)
                     };
-                    gain(a).partial_cmp(&gain(b)).expect("finite")
+                    gain(a).total_cmp(&gain(b))
                 })
                 .expect("non-empty");
             dops[gi] += 1;

@@ -58,8 +58,10 @@ pub mod job;
 pub mod model;
 pub mod oracle;
 pub mod profile;
+pub mod reference;
 pub mod regroup;
 pub mod schedule;
+pub mod scratch;
 
 pub use cluster::{ClusterSpec, MachineId, MachineSpec};
 pub use error::{Error, Result};

@@ -221,7 +221,7 @@ fn greedy_alloc(jobs: &[JobProfile], groups: &[Vec<usize>], machines: u32) -> Ve
         let gi = (0..ng)
             .max_by(|&a, &b| {
                 let need = |g: usize| sums[g].0 / f64::from(alloc[g]) - sums[g].1;
-                need(a).partial_cmp(&need(b)).expect("finite")
+                need(a).total_cmp(&need(b))
             })
             .expect("ng >= 1");
         alloc[gi] += 1;

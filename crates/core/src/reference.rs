@@ -1,0 +1,384 @@
+//! The frozen, pre-optimization implementation of Algorithm 1.
+//!
+//! [`ReferenceScheduler`] is the straightforward formulation of the
+//! scheduler that [`crate::schedule::Scheduler`] replaced: every
+//! `(prefix × group-count)` candidate re-sorts the job list, re-sums
+//! the profiles and allocates fresh per-group `Vec`s, exactly as the
+//! code read before the fast-path overhaul. It is kept for two
+//! purposes:
+//!
+//! - **benchmark baseline** — `sched_scalability` times both
+//!   implementations on the same machine, so `BENCH_sched.json` always
+//!   carries honest before/after rows no matter where it is
+//!   regenerated;
+//! - **differential testing** — the two implementations explore the
+//!   same candidate space with the same scoring model, so their chosen
+//!   utilizations should agree closely (the fast path sorts by the
+//!   DoP-independent `Tcpu(1) + Tnet` key once instead of re-sorting
+//!   per candidate, which can pick a different — equivalently scored —
+//!   grouping in near-tie cases).
+//!
+//! The only deliberate deviations from the seed code are the NaN-safe
+//! `f64::total_cmp` comparators (applied workspace-wide) — neither
+//! affects timing. Do not "optimize" this module; its cost profile *is*
+//! its purpose.
+
+use crate::cluster::MachineId;
+use crate::group::{GroupId, Grouping, JobGroup};
+use crate::job::JobId;
+use crate::model::{cluster_utilization, group_iteration_time, Utilization};
+use crate::profile::JobProfile;
+use crate::schedule::{ScheduleOutcome, SchedulerConfig};
+
+/// The pre-optimization Harmony scheduler (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceScheduler {
+    cfg: SchedulerConfig,
+}
+
+impl ReferenceScheduler {
+    /// Creates a reference scheduler with the given configuration.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Pre-optimization `Scheduler::schedule`: builds and fully
+    /// materializes a candidate for every prefix, then keeps the best.
+    pub fn schedule(&self, jobs: &[JobProfile], machines: u32) -> ScheduleOutcome {
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
+            };
+        }
+
+        let mut best: Option<(Candidate, f64, usize)> = None;
+        for nj in candidate_counts(jobs.len()) {
+            let cand = self.build_candidate(&jobs[..nj], machines);
+            let score = cand.utilization.score(self.cfg.cpu_weight);
+            let better = match &best {
+                None => true,
+                Some((_, best_score, _)) => {
+                    score > *best_score * (1.0 + self.cfg.min_loop_improvement)
+                }
+            };
+            if better {
+                best = Some((cand, score, nj));
+            }
+        }
+        let (cand, _, nj) = best.expect("at least one candidate was built");
+        let unscheduled = jobs[nj..].iter().map(|p| p.job()).collect();
+        self.finish(cand, jobs, unscheduled)
+    }
+
+    /// Pre-optimization `Scheduler::schedule_exact`.
+    pub fn schedule_exact(&self, jobs: &[JobProfile], machines: u32) -> ScheduleOutcome {
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
+            };
+        }
+        let cand = self.build_candidate(jobs, machines);
+        self.finish(cand, jobs, Vec::new())
+    }
+
+    fn finish(
+        &self,
+        cand: Candidate,
+        jobs: &[JobProfile],
+        unscheduled: Vec<JobId>,
+    ) -> ScheduleOutcome {
+        let mut grouping = Grouping::new();
+        let mut next_machine = 0u32;
+        let mut predicted = Vec::with_capacity(cand.groups.len());
+        for (gi, (members, m)) in cand.groups.iter().enumerate() {
+            let ids: Vec<MachineId> = (next_machine..next_machine + m)
+                .map(MachineId::new)
+                .collect();
+            next_machine += m;
+            let job_ids: Vec<JobId> = members.iter().map(|&i| jobs[i].job()).collect();
+            let profs: Vec<&JobProfile> = members.iter().map(|&i| &jobs[i]).collect();
+            predicted.push(group_iteration_time(&profs, *m));
+            grouping.push(JobGroup::new(GroupId::new(gi as u32), job_ids, ids));
+        }
+        debug_assert!(grouping.validate().is_ok());
+        ScheduleOutcome {
+            grouping,
+            utilization: cand.utilization,
+            unscheduled,
+            predicted_iteration: predicted,
+        }
+    }
+
+    fn build_candidate(&self, jobs: &[JobProfile], machines: u32) -> Candidate {
+        let nj = jobs.len();
+        let max_groups = nj.min(machines as usize);
+        let min_groups = match self.cfg.max_jobs_per_group {
+            Some(cap) if cap > 0 => nj.div_ceil(cap).min(max_groups),
+            _ => 1,
+        };
+
+        let grid: Vec<usize> = candidate_counts(max_groups)
+            .into_iter()
+            .filter(|&ng| ng >= min_groups)
+            .collect();
+        let mut l6_ng = min_groups;
+        let mut best_obj = f64::INFINITY;
+        for &ng in &grid {
+            let m = f64::from(machines) / ng as f64;
+            let obj: f64 = jobs
+                .iter()
+                .map(|p| (p.tcpu_at(1) / m - p.tnet()).abs())
+                .sum();
+            if obj < best_obj {
+                best_obj = obj;
+                l6_ng = ng;
+            }
+        }
+        let ng_candidates: Vec<usize> = if nj <= 64 {
+            grid
+        } else {
+            let lo = (l6_ng / 2).max(min_groups);
+            let hi = (l6_ng * 2).min(max_groups);
+            let mut v: Vec<usize> = grid
+                .into_iter()
+                .filter(|&ng| ng >= lo && ng <= hi)
+                .collect();
+            if v.is_empty() {
+                v.push(l6_ng);
+            }
+            v
+        };
+
+        type BestCandidate = (Vec<(Vec<usize>, u32)>, Utilization, f64);
+        let mut best: Option<BestCandidate> = None;
+        for &ng in &ng_candidates {
+            let uniform_dop = f64::from(machines) / ng as f64;
+            let mut groups = self.assign_jobs(jobs, ng, uniform_dop);
+            let alloc = self.allocate_machines(jobs, &groups, machines);
+            let groups: Vec<(Vec<usize>, u32)> = groups.drain(..).zip(alloc).collect();
+            let group_refs: Vec<(Vec<&JobProfile>, u32)> = groups
+                .iter()
+                .map(|(members, m)| (members.iter().map(|&i| &jobs[i]).collect(), *m))
+                .collect();
+            let utilization = cluster_utilization(&group_refs);
+            let score = utilization.score(self.cfg.cpu_weight);
+            if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                best = Some((groups, utilization, score));
+            }
+        }
+        let (groups, utilization, _) = best.expect("at least one group count");
+        Candidate {
+            groups,
+            utilization,
+        }
+    }
+
+    fn assign_jobs(&self, jobs: &[JobProfile], ng: usize, dop: f64) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ta = jobs[a].tcpu_at(1) / dop + jobs[a].tnet();
+            let tb = jobs[b].tcpu_at(1) / dop + jobs[b].tnet();
+            tb.total_cmp(&ta).then(jobs[a].job().cmp(&jobs[b].job()))
+        });
+
+        let base = jobs.len() / ng;
+        let extra = jobs.len() % ng;
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(ng);
+        let mut cursor = 0;
+        for gi in 0..ng {
+            let size = base + usize::from(gi < extra);
+            groups.push(order[cursor..cursor + size].to_vec());
+            cursor += size;
+        }
+
+        let delta = |i: usize| jobs[i].tcpu_at(1) / dop - jobs[i].tnet();
+        let imbalance = |members: &[usize]| members.iter().map(|&i| delta(i)).sum::<f64>();
+        let passes = if jobs.len() > 1024 {
+            self.cfg.max_swap_passes.min(8)
+        } else {
+            self.cfg.max_swap_passes
+        };
+        for _ in 0..passes {
+            let imbs: Vec<f64> = groups.iter().map(|g| imbalance(g)).collect();
+            let Some(g1) =
+                (0..groups.len()).max_by(|&a, &b| imbs[a].abs().total_cmp(&imbs[b].abs()))
+            else {
+                break;
+            };
+            let Some(g2) = (0..groups.len()).filter(|&g| g != g1).min_by(|&a, &b| {
+                (imbs[a] * imbs[g1].signum()).total_cmp(&(imbs[b] * imbs[g1].signum()))
+            }) else {
+                break;
+            };
+
+            let current = imbs[g1].abs() + imbs[g2].abs();
+            let stride = |len: usize| len.div_ceil(128).max(1);
+            let (sa, sb) = (stride(groups[g1].len()), stride(groups[g2].len()));
+            let mut best_swap: Option<(usize, usize, f64)> = None;
+            for (ai, &a) in groups[g1].iter().enumerate().step_by(sa) {
+                for (bi, &b) in groups[g2].iter().enumerate().step_by(sb) {
+                    let shift = delta(b) - delta(a);
+                    let after = (imbs[g1] + shift).abs() + (imbs[g2] - shift).abs();
+                    if after + 1e-12 < best_swap.map_or(current, |(_, _, s)| s) {
+                        best_swap = Some((ai, bi, after));
+                    }
+                }
+            }
+            match best_swap {
+                Some((ai, bi, _)) => {
+                    let a = groups[g1][ai];
+                    let b = groups[g2][bi];
+                    groups[g1][ai] = b;
+                    groups[g2][bi] = a;
+                }
+                None => break,
+            }
+        }
+        groups
+    }
+
+    fn allocate_machines(
+        &self,
+        jobs: &[JobProfile],
+        groups: &[Vec<usize>],
+        machines: u32,
+    ) -> Vec<u32> {
+        let ng = groups.len();
+        debug_assert!(ng as u32 <= machines);
+
+        let sums: Vec<(f64, f64)> = groups
+            .iter()
+            .map(|members| {
+                let cpu: f64 = members.iter().map(|&i| jobs[i].tcpu_at(1)).sum();
+                let net: f64 = members.iter().map(|&i| jobs[i].tnet()).sum();
+                (cpu, net)
+            })
+            .collect();
+        let ideal: Vec<f64> = sums
+            .iter()
+            .map(|&(cpu, net)| if net > 0.0 { (cpu / net).max(1.0) } else { 1.0 })
+            .collect();
+        let total_ideal: f64 = ideal.iter().sum();
+        let shares: Vec<f64> = ideal
+            .iter()
+            .map(|&w| w / total_ideal * f64::from(machines))
+            .collect();
+        let mut alloc: Vec<u32> = shares.iter().map(|&s| (s.floor() as u32).max(1)).collect();
+        let need = |g: usize, a: &[u32]| sums[g].0 / f64::from(a[g]) - sums[g].1;
+        let assigned: u32 = alloc.iter().sum();
+        if assigned < machines {
+            let mut order: Vec<usize> = (0..ng).collect();
+            order.sort_by(|&a, &b| {
+                (shares[b] - shares[b].floor()).total_cmp(&(shares[a] - shares[a].floor()))
+            });
+            let mut left = machines - assigned;
+            for &g in order.iter() {
+                if left == 0 {
+                    break;
+                }
+                alloc[g] += 1;
+                left -= 1;
+            }
+            while left > 0 {
+                let gi = (0..ng)
+                    .max_by(|&a, &b| need(a, &alloc).total_cmp(&need(b, &alloc)))
+                    .expect("ng >= 1");
+                let grant = (left / ng as u32).max(1);
+                alloc[gi] += grant;
+                left -= grant;
+            }
+        } else {
+            let mut over = assigned - machines;
+            while over > 0 {
+                let gi = (0..ng)
+                    .filter(|&g| alloc[g] > 1)
+                    .min_by(|&a, &b| need(a, &alloc).total_cmp(&need(b, &alloc)))
+                    .expect("some group has spare machines");
+                alloc[gi] -= 1;
+                over -= 1;
+            }
+        }
+        alloc
+    }
+}
+
+fn candidate_counts(n: usize) -> Vec<usize> {
+    if n <= 64 {
+        return (1..=n).collect();
+    }
+    let mut out: Vec<usize> = (1..=64).collect();
+    let mut x = 64.0f64;
+    loop {
+        x *= 1.15;
+        let v = x.round() as usize;
+        if v >= n {
+            break;
+        }
+        out.push(v);
+    }
+    out.push(n);
+    out
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    groups: Vec<(Vec<usize>, u32)>,
+    utilization: Utilization,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Scheduler;
+
+    fn prof(i: u64, tcpu1: f64, tnet: f64) -> JobProfile {
+        JobProfile::from_reference(JobId::new(i), tcpu1, tnet)
+    }
+
+    #[test]
+    fn reference_allocates_every_machine() {
+        let s = ReferenceScheduler::default();
+        let jobs: Vec<JobProfile> = (0..9)
+            .map(|i| prof(i, 4.0 + (i * 13 % 31) as f64, 1.0 + (i * 7 % 11) as f64))
+            .collect();
+        for m in [9u32, 17, 64] {
+            let out = s.schedule(&jobs, m);
+            assert_eq!(out.grouping.total_machines(), m as usize);
+            assert!(out.grouping.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn fast_path_scores_match_reference_closely() {
+        // Both implementations explore the same candidate space with
+        // the same scoring model; on a spread of random-ish workloads
+        // the fast path must never fall meaningfully below the
+        // reference decision (tiny deviations are possible in near-tie
+        // cases because of the once-sorted key).
+        let fast = Scheduler::default();
+        let slow = ReferenceScheduler::default();
+        for seed in 0u64..6 {
+            let jobs: Vec<JobProfile> = (0..40)
+                .map(|i| {
+                    let h = (i * 2654435761 + seed * 97) % 1013;
+                    prof(i, 1.0 + (h % 89) as f64, 0.5 + (h % 23) as f64)
+                })
+                .collect();
+            let machines = 60 + (seed as u32) * 17;
+            let f = fast.schedule(&jobs, machines);
+            let r = slow.schedule(&jobs, machines);
+            let fs = f.utilization.score(0.7);
+            let rs = r.utilization.score(0.7);
+            assert!(
+                fs >= rs - 0.02,
+                "seed {seed}: fast {fs} fell below reference {rs}"
+            );
+        }
+    }
+}

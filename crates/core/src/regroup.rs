@@ -301,7 +301,7 @@ impl Regrouper {
             return None;
         }
         // Largest-first greedy fill toward the target iteration time.
-        cands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        cands.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut sum_iter = 0.0;
         let mut sum_cpu = 0.0;
         let mut sum_net = 0.0;

@@ -20,12 +20,39 @@
 //!    remaining machine goes to the group that needs it most — the most
 //!    computation-bound one, since extra machines shrink `Tcpu` (Eq. 2)
 //!    but not `Tnet`.
+//!
+//! # Fast path
+//!
+//! Decision latency is a first-class metric (§V-F budgets a full
+//! decision at seconds even for 8K jobs / 10K machines, and arrivals
+//! re-trigger it constantly), so the candidate scan is engineered to be
+//! allocation-free and cache-friendly:
+//!
+//! - all profile durations live in a flat [`ProfileCache`]
+//!   (struct-of-arrays), sorted **once** per decision; candidate groups
+//!   are contiguous runs of that order and group totals come from
+//!   prefix-sum differences, so evaluating one `(prefix × group-count)`
+//!   candidate costs amortized O(groups) plus a single linear pass for
+//!   the job-bound term of Eq. 1 — not the O(n log n) re-sort of the
+//!   naive formulation;
+//! - all candidate-local state lives in a reusable [`ScheduleScratch`];
+//! - independent prefix evaluations fan out over a
+//!   [`std::thread::scope`] worker pool. Every prefix is scored by pure
+//!   deterministic code and the final reduction replays the exact
+//!   sequential preference order (earlier prefix wins unless a later
+//!   one beats it by `min_loop_improvement`), so the parallel scan is
+//!   byte-identical to the sequential one.
+//!
+//! The frozen pre-optimization implementation is kept as
+//! [`reference::ReferenceScheduler`](crate::reference::ReferenceScheduler)
+//! so benchmarks can report before/after rows on the same machine.
 
 use crate::cluster::MachineId;
 use crate::group::{GroupId, Grouping, JobGroup};
 use crate::job::JobId;
-use crate::model::{cluster_utilization, group_iteration_time, Utilization};
+use crate::model::{group_iteration_time, Utilization};
 use crate::profile::JobProfile;
+use crate::scratch::{ProfileCache, ScheduleScratch};
 
 /// Tunables of the scheduling heuristic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +90,38 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Prefixes up to this size are "dense": every group count is tried
+/// and each candidate re-sorts its (small) job list at the candidate's
+/// own DoP, exactly like the legacy formulation. Larger prefixes sort
+/// once per prefix at the L6 seed DoP and share the order + prefix
+/// sums across all of that prefix's group-count candidates.
+const DENSE_PREFIX_MAX: usize = 64;
+
+/// Decisions over more schedulable jobs than this run in *sparse
+/// mode*: every non-dense prefix (beyond [`DENSE_PREFIX_MAX`] jobs)
+/// sweeps its group counts geometrically (×1.15, the same resolution
+/// as the prefix grid itself) through the L6 neighbourhood instead of
+/// visiting every integer, caps swap fine-tuning at
+/// [`SPARSE_SWAP_PASSES`] passes, and samples at most
+/// [`SPARSE_SWAP_SAMPLES`] members per group in the pair scan. At
+/// cluster scale the score surface is smooth enough that the dense
+/// integer grid and deep swap refinement add no information beyond the
+/// seed's own ×1.15 resolution, while costing the bulk of the decision
+/// (the pair scan is its hottest loop). The switch is keyed on the
+/// *population*, not the prefix, so a given workload is scanned either
+/// entirely legacy-exact or entirely sparse — every workload the
+/// repo's tests and figure benches run is far below this bound, so
+/// their decisions are bit-for-bit unchanged.
+const SPARSE_POPULATION_MIN: usize = 1024;
+
+/// Swap fine-tuning pass cap in sparse mode (dense-mode prefixes keep
+/// the configured `max_swap_passes`).
+const SPARSE_SWAP_PASSES: usize = 4;
+
+/// Per-group member-sample budget of the swap pair scan in sparse
+/// mode (dense mode keeps the legacy 128).
+const SPARSE_SWAP_SAMPLES: usize = 48;
+
 /// The result of one run of Algorithm 1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOutcome {
@@ -78,6 +137,16 @@ pub struct ScheduleOutcome {
     /// Predicted group iteration time per group (Eq. 1), aligned with
     /// `grouping.groups()`.
     pub predicted_iteration: Vec<f64>,
+}
+
+/// Outcome of evaluating one job prefix: the best group count found
+/// for it and the score that drives the incremental-selection fold.
+#[derive(Debug, Clone, Copy)]
+struct PrefixEval {
+    nj: usize,
+    ng: usize,
+    utilization: Utilization,
+    score: f64,
 }
 
 /// The Harmony scheduler (Algorithm 1).
@@ -101,9 +170,40 @@ impl Scheduler {
     /// `J_profiled ∪ J_paused ∪ J_running`, the caller's priority order)
     /// on a cluster of `machines` machines.
     ///
+    /// Uses as many scan workers as the host offers (capped) once the
+    /// job set is large enough to amortize thread startup; the result
+    /// is identical for every worker count (see
+    /// [`Self::schedule_with_workers`]).
+    ///
     /// Returns an empty grouping when `jobs` is empty or `machines` is
     /// zero; never panics on valid warm profiles.
     pub fn schedule(&self, jobs: &[JobProfile], machines: u32) -> ScheduleOutcome {
+        let workers = if jobs.len() >= 256 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            1
+        };
+        self.schedule_with_workers(jobs, machines, workers)
+    }
+
+    /// Like [`Self::schedule`], with an explicit candidate-scan worker
+    /// count. `workers <= 1` runs fully sequentially.
+    ///
+    /// The output is **byte-identical for every `workers` value**:
+    /// each `(prefix × group-count)` candidate is scored by pure
+    /// deterministic code with per-worker scratch, and the reduction
+    /// replays the sequential preference order (earlier candidate wins
+    /// unless a later one is better by `min_loop_improvement`), so
+    /// threading changes wall-clock only, never the decision.
+    pub fn schedule_with_workers(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        workers: usize,
+    ) -> ScheduleOutcome {
         if jobs.is_empty() || machines == 0 {
             return ScheduleOutcome {
                 grouping: Grouping::new(),
@@ -120,24 +220,86 @@ impl Scheduler {
         // set is better by at least `min_loop_improvement` — the paper's
         // preference for "fitting a smaller number of jobs". The scan is
         // dense for small job counts and geometric beyond, keeping a
-        // full decision within seconds even at 8K jobs (§V-F).
-        let mut best: Option<(Candidate, f64, usize)> = None;
-        for nj in candidate_counts(jobs.len()) {
-            let cand = self.build_candidate(&jobs[..nj], machines);
-            let score = cand.utilization.score(self.cfg.cpu_weight);
-            let better = match &best {
+        // full decision within milliseconds even at 8K jobs (§V-F).
+        let cache = ProfileCache::build(jobs);
+        let prefixes = candidate_counts(jobs.len());
+        let workers = workers.clamp(1, prefixes.len());
+
+        let mut scratch = ScheduleScratch::new();
+        let evals: Vec<PrefixEval> = if workers <= 1 {
+            prefixes
+                .iter()
+                .map(|&nj| self.eval_prefix(&cache, &mut scratch, nj, machines))
+                .collect()
+        } else {
+            self.scan_parallel(&cache, &prefixes, machines, workers)
+        };
+
+        // Deterministic reduction: replay the sequential preference
+        // order over the independently computed scores.
+        let mut best: Option<usize> = None;
+        let mut best_score = 0.0;
+        for (i, ev) in evals.iter().enumerate() {
+            let better = match best {
                 None => true,
-                Some((_, best_score, _)) => {
-                    score > *best_score * (1.0 + self.cfg.min_loop_improvement)
-                }
+                Some(_) => ev.score > best_score * (1.0 + self.cfg.min_loop_improvement),
             };
             if better {
-                best = Some((cand, score, nj));
+                best = Some(i);
+                best_score = ev.score;
             }
         }
-        let (cand, _, nj) = best.expect("at least one candidate was built");
-        let unscheduled = jobs[nj..].iter().map(|p| p.job()).collect();
+        let ev = evals[best.expect("at least one candidate was built")];
+        let cand = self.materialize(&cache, &mut scratch, ev, machines);
+        let unscheduled = jobs[ev.nj..].iter().map(|p| p.job()).collect();
         self.finish(cand, jobs, unscheduled)
+    }
+
+    /// Fans the prefix evaluations out over a scoped worker pool.
+    /// Worker `w` takes prefixes `w, w + W, w + 2W, …` (round-robin, so
+    /// neighbouring — similarly sized — prefixes spread across
+    /// workers); results are written back by prefix index, so the
+    /// reduction input is independent of interleaving.
+    fn scan_parallel(
+        &self,
+        cache: &ProfileCache,
+        prefixes: &[usize],
+        machines: u32,
+        workers: usize,
+    ) -> Vec<PrefixEval> {
+        let parts: Vec<Vec<(usize, PrefixEval)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut scratch = ScheduleScratch::new();
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < prefixes.len() {
+                            out.push((
+                                i,
+                                self.eval_prefix(cache, &mut scratch, prefixes[i], machines),
+                            ));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate scan worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<PrefixEval>> = vec![None; prefixes.len()];
+        for part in parts {
+            for (i, ev) in part {
+                slots[i] = Some(ev);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every prefix was evaluated"))
+            .collect()
     }
 
     /// Evaluates the grouping Algorithm 1 would produce for *exactly*
@@ -152,7 +314,10 @@ impl Scheduler {
                 predicted_iteration: Vec::new(),
             };
         }
-        let cand = self.build_candidate(jobs, machines);
+        let cache = ProfileCache::build(jobs);
+        let mut scratch = ScheduleScratch::new();
+        let ev = self.eval_prefix(&cache, &mut scratch, jobs.len(), machines);
+        let cand = self.materialize(&cache, &mut scratch, ev, machines);
         self.finish(cand, jobs, Vec::new())
     }
 
@@ -184,267 +349,531 @@ impl Scheduler {
         }
     }
 
-    /// Builds the best grouping for exactly the jobs `jobs[..]`, using
-    /// all `machines` machines.
-    fn build_candidate(&self, jobs: &[JobProfile], machines: u32) -> Candidate {
-        let nj = jobs.len();
+    /// Loads the prefix `jobs[..nj]` into the scratch views and runs
+    /// the candidate-independent part of Algorithm 1 for it: the
+    /// group-count grid and the L6 seed.
+    ///
+    /// L6 picks n_G* assuming a uniform DoP m = M / n_G; the paper
+    /// describes the scheduler as "heuristics that roughly determine
+    /// initial values and do fine-tuning" (§IV-B3), so we use the L6
+    /// argmin as the center of a candidate range and keep whichever
+    /// group count actually maximizes predicted utilization. The group
+    /// count matters beyond per-job balance: each balanced group wants
+    /// `m_g* = ΣTcpu(1)/ΣTnet` machines (a grouping-invariant ratio),
+    /// so the *number* of groups decides whether the whole cluster is
+    /// compute- or network-dominated. L6's argmin is evaluated on a
+    /// geometric grid in O(log n) per point via the ratio-order prefix
+    /// sums; the full grouping is then built and scored only for group
+    /// counts near that initial value.
+    ///
+    /// Beyond [`DENSE_PREFIX_MAX`] jobs the prefix is also re-sorted
+    /// once at the L6 seed DoP, so every group-count candidate shares
+    /// the order and its prefix sums.
+    ///
+    /// Returns `(min_groups, max_groups, l6_ng)`.
+    fn prepare_prefix(
+        &self,
+        cache: &ProfileCache,
+        s: &mut ScheduleScratch,
+        nj: usize,
+        machines: u32,
+    ) -> (usize, usize, usize) {
+        s.load_prefix(cache, nj);
         let max_groups = nj.min(machines as usize);
         let min_groups = match self.cfg.max_jobs_per_group {
             Some(cap) if cap > 0 => nj.div_ceil(cap).min(max_groups),
             _ => 1,
         };
-
-        // Algorithm 1 L6 picks n_G* assuming a uniform DoP m = M / n_G;
-        // the paper describes the scheduler as "heuristics that roughly
-        // determine initial values and do fine-tuning" (§IV-B3), so we
-        // use the L6 argmin as the center of a candidate range and keep
-        // whichever group count actually maximizes predicted
-        // utilization. The group count matters beyond per-job balance:
-        // each balanced group wants `m_g* = ΣTcpu(1)/ΣTnet` machines (a
-        // grouping-invariant ratio), so the *number* of groups decides
-        // whether the whole cluster is compute- or network-dominated.
-        // L6's argmin (evaluated on a geometric grid, O(n) per point)
-        // seeds the search; the full grouping is then built and scored
-        // only for group counts near that initial value — "heuristics
-        // that roughly determine initial values and do fine-tuning".
-        let grid: Vec<usize> = candidate_counts(max_groups)
-            .into_iter()
-            .filter(|&ng| ng >= min_groups)
-            .collect();
+        s.grid.clear();
+        extend_candidate_counts(&mut s.grid, max_groups);
+        s.grid.retain(|&ng| ng >= min_groups);
         let mut l6_ng = min_groups;
         let mut best_obj = f64::INFINITY;
-        for &ng in &grid {
+        for &ng in &s.grid {
             let m = f64::from(machines) / ng as f64;
-            let obj: f64 = jobs
-                .iter()
-                .map(|p| (p.tcpu_at(1) / m - p.tnet()).abs())
-                .sum();
+            let obj = s.l6_objective(m);
             if obj < best_obj {
                 best_obj = obj;
                 l6_ng = ng;
             }
         }
-        let ng_candidates: Vec<usize> = if nj <= 64 {
-            grid
+        if nj > DENSE_PREFIX_MAX {
+            s.sort_prefix_by_dop(cache, f64::from(machines) / l6_ng as f64);
+        }
+        (min_groups, max_groups, l6_ng)
+    }
+
+    /// Finds the best group count for the prefix `jobs[..nj]` and
+    /// returns its score. Costs one prefix load plus amortized
+    /// O(groups) per group-count candidate; the winning candidate is
+    /// *not* materialized here (only the single global winner ever is).
+    fn eval_prefix(
+        &self,
+        cache: &ProfileCache,
+        s: &mut ScheduleScratch,
+        nj: usize,
+        machines: u32,
+    ) -> PrefixEval {
+        let (min_groups, max_groups, l6_ng) = self.prepare_prefix(cache, s, nj, machines);
+        let sparse = cache.len() > SPARSE_POPULATION_MIN && nj > DENSE_PREFIX_MAX;
+        let (lo, hi) = if nj <= DENSE_PREFIX_MAX {
+            (min_groups, max_groups)
         } else {
-            let lo = (l6_ng / 2).max(min_groups);
-            let hi = (l6_ng * 2).min(max_groups);
-            let mut v: Vec<usize> = grid
-                .into_iter()
-                .filter(|&ng| ng >= lo && ng <= hi)
-                .collect();
-            if v.is_empty() {
-                v.push(l6_ng);
-            }
-            v
+            ((l6_ng / 2).max(min_groups), (l6_ng * 2).min(max_groups))
         };
 
-        // Best candidate so far: `(groups with their DoPs, utilization,
-        // score)`.
-        type BestCandidate = (Vec<(Vec<usize>, u32)>, Utilization, f64);
-        let mut best: Option<BestCandidate> = None;
-        for &ng in &ng_candidates {
-            let uniform_dop = f64::from(machines) / ng as f64;
-            let mut groups = self.assign_jobs(jobs, ng, uniform_dop);
-            let alloc = self.allocate_machines(jobs, &groups, machines);
-            let groups: Vec<(Vec<usize>, u32)> = groups.drain(..).zip(alloc).collect();
-            let group_refs: Vec<(Vec<&JobProfile>, u32)> = groups
-                .iter()
-                .map(|(members, m)| (members.iter().map(|&i| &jobs[i]).collect(), *m))
-                .collect();
-            let utilization = cluster_utilization(&group_refs);
+        let mut best: Option<(usize, Utilization, f64)> = None;
+        let mut try_ng = |s: &mut ScheduleScratch, ng: usize| {
+            let utilization = self.eval_candidate(s, ng, machines, sparse);
             let score = utilization.score(self.cfg.cpu_weight);
-            if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
-                best = Some((groups, utilization, score));
+            if best.as_ref().is_none_or(|&(_, _, bs)| score > bs) {
+                best = Some((ng, utilization, score));
+            }
+        };
+        if sparse {
+            // Sparse sweep: geometric steps through [lo, hi], plus the
+            // L6 seed itself. Deterministic and worker-independent.
+            let mut ng = lo.max(1);
+            let mut seed_seen = false;
+            loop {
+                seed_seen |= ng == l6_ng;
+                try_ng(s, ng);
+                if ng >= hi {
+                    break;
+                }
+                ng = (((ng as f64) * 1.15).round() as usize).max(ng + 1).min(hi);
+            }
+            if !seed_seen && l6_ng >= lo && l6_ng <= hi {
+                try_ng(s, l6_ng);
+            }
+        } else {
+            for idx in 0..s.grid.len() {
+                let ng = s.grid[idx];
+                if ng < lo || ng > hi {
+                    continue;
+                }
+                try_ng(s, ng);
             }
         }
-        let (groups, utilization, _) = best.expect("at least one group count");
-        Candidate {
-            groups,
+        let (ng, utilization, score) = best.unwrap_or_else(|| {
+            // The grid had no point inside [lo, hi]; fall back to the
+            // L6 seed itself.
+            let utilization = self.eval_candidate(s, l6_ng, machines, sparse);
+            (l6_ng, utilization, utilization.score(self.cfg.cpu_weight))
+        });
+        PrefixEval {
+            nj,
+            ng,
             utilization,
+            score,
         }
     }
 
-    /// Greedy job→group assignment with swap-based fine-tuning
-    /// (Algorithm 1 L7). `jobs` are referenced by index. `dop` is the
-    /// assumed uniform group DoP used to evaluate `Tcpu`.
-    fn assign_jobs(&self, jobs: &[JobProfile], ng: usize, dop: f64) -> Vec<Vec<usize>> {
-        // Sort by single-job iteration time, longest first, so that the
-        // contiguous chunks below keep similar-sized jobs together.
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ta = jobs[a].tcpu_at(1) / dop + jobs[a].tnet();
-            let tb = jobs[b].tcpu_at(1) / dop + jobs[b].tnet();
-            tb.partial_cmp(&ta)
-                .expect("profiled durations are finite")
-                .then(jobs[a].job().cmp(&jobs[b].job()))
-        });
+    /// Builds and scores one `(prefix, group-count)` candidate inside
+    /// the scratch buffers: contiguous chunking of the size order, swap
+    /// fine-tuning, machine allocation, and Eq. 4 utilization. On
+    /// return `s.members`/`s.bounds`/`s.alloc` describe the candidate.
+    fn eval_candidate(
+        &self,
+        s: &mut ScheduleScratch,
+        ng: usize,
+        machines: u32,
+        sparse: bool,
+    ) -> Utilization {
+        let nj = s.loaded_nj;
+        debug_assert!(ng >= 1 && ng <= nj && ng as u32 <= machines);
+        let dop = f64::from(machines) / ng as f64;
+        let dense = nj <= DENSE_PREFIX_MAX;
 
-        // Fill groups one by one with contiguous runs of the sorted list
-        // (sizes as even as possible).
-        let base = jobs.len() / ng;
-        let extra = jobs.len() % ng;
-        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(ng);
+        // Greedy assignment (Algorithm 1 L7): groups are contiguous
+        // runs of the descending iteration-time order, as even as
+        // possible, so similar-sized jobs stay together (job-bound
+        // avoidance, Figure 8b). Dense prefixes re-sort their (small)
+        // job list at this candidate's own DoP, exactly like the
+        // legacy formulation; geometric prefixes reuse the per-prefix
+        // order sorted at the L6 seed DoP.
+        s.members.clear();
+        s.members.extend(0..nj as u32);
+        if dense {
+            let pcpu = &s.pcpu;
+            let pnet = &s.pnet;
+            let pid = &s.pid;
+            s.members.sort_unstable_by(|&a, &b| {
+                let ta = pcpu[a as usize] / dop + pnet[a as usize];
+                let tb = pcpu[b as usize] / dop + pnet[b as usize];
+                tb.total_cmp(&ta)
+                    .then_with(|| pid[a as usize].cmp(&pid[b as usize]))
+            });
+        }
+        s.bounds.clear();
+        s.bounds.push(0);
+        let base = nj / ng;
+        let extra = nj % ng;
         let mut cursor = 0;
         for gi in 0..ng {
-            let size = base + usize::from(gi < extra);
-            groups.push(order[cursor..cursor + size].to_vec());
-            cursor += size;
+            cursor += base + usize::from(gi < extra);
+            s.bounds.push(cursor);
         }
 
-        // Fine-tune: swap jobs between the most imbalanced group and the
-        // most complementary group while it helps.
-        let delta = |i: usize| jobs[i].tcpu_at(1) / dop - jobs[i].tnet();
-        let imbalance = |members: &[usize]| members.iter().map(|&i| delta(i)).sum::<f64>();
-        let passes = if jobs.len() > 1024 {
-            self.cfg.max_swap_passes.min(8)
+        // Group totals: prefix-sum differences (O(groups)) when the
+        // members follow the shared prefix order, direct sums for the
+        // (small) per-candidate orders. Maintained incrementally
+        // across swaps afterwards.
+        s.gcpu.clear();
+        s.gnet.clear();
+        for gi in 0..ng {
+            let (lo, hi) = (s.bounds[gi], s.bounds[gi + 1]);
+            if dense {
+                let (mut c, mut t) = (0.0f64, 0.0f64);
+                for &p in &s.members[lo..hi] {
+                    c += s.pcpu[p as usize];
+                    t += s.pnet[p as usize];
+                }
+                s.gcpu.push(c);
+                s.gnet.push(t);
+            } else {
+                s.gcpu.push(s.ps_cpu[hi] - s.ps_cpu[lo]);
+                s.gnet.push(s.ps_net[hi] - s.ps_net[lo]);
+            }
+        }
+
+        // Per-job swap deltas at this candidate's uniform DoP, on the
+        // flat arrays (the pair scan below is the hottest loop of the
+        // whole decision).
+
+        s.delta.clear();
+        s.delta
+            .extend(s.pcpu.iter().zip(&s.pnet).map(|(&c, &t)| c / dop - t));
+
+        // Fine-tune: swap jobs between the most imbalanced group and
+        // the most complementary group while it helps.
+        let passes = if sparse {
+            self.cfg.max_swap_passes.min(SPARSE_SWAP_PASSES)
         } else {
             self.cfg.max_swap_passes
         };
         for _ in 0..passes {
-            let imbs: Vec<f64> = groups.iter().map(|g| imbalance(g)).collect();
-            let Some(g1) = (0..groups.len())
-                .max_by(|&a, &b| imbs[a].abs().partial_cmp(&imbs[b].abs()).expect("finite"))
+            if ng < 2 {
+                break;
+            }
+            s.imbs.clear();
+            for gi in 0..ng {
+                if dense {
+                    // Legacy-exact: sum the per-job deltas in
+                    // membership order.
+                    let mut im = 0.0f64;
+                    for &p in &s.members[s.bounds[gi]..s.bounds[gi + 1]] {
+                        im += s.delta[p as usize];
+                    }
+                    s.imbs.push(im);
+                } else {
+                    s.imbs.push(s.gcpu[gi] / dop - s.gnet[gi]);
+                }
+            }
+            let Some(g1) = (0..ng).max_by(|&a, &b| s.imbs[a].abs().total_cmp(&s.imbs[b].abs()))
             else {
                 break;
             };
             // Most complementary: the group whose imbalance is most
             // opposite in sign/magnitude to g1's.
-            let Some(g2) = (0..groups.len()).filter(|&g| g != g1).min_by(|&a, &b| {
-                (imbs[a] * imbs[g1].signum())
-                    .partial_cmp(&(imbs[b] * imbs[g1].signum()))
-                    .expect("finite")
+            let Some(g2) = (0..ng).filter(|&g| g != g1).min_by(|&a, &b| {
+                (s.imbs[a] * s.imbs[g1].signum()).total_cmp(&(s.imbs[b] * s.imbs[g1].signum()))
             }) else {
                 break;
             };
 
-            let current = imbs[g1].abs() + imbs[g2].abs();
+            let current = s.imbs[g1].abs() + s.imbs[g2].abs();
             // Full pair enumeration for small groups; deterministic
-            // stride sampling caps the work for very large ones.
-            let stride = |len: usize| len.div_ceil(128).max(1);
-            let (sa, sb) = (stride(groups[g1].len()), stride(groups[g2].len()));
+            // stride sampling caps the work for very large ones
+            // (tighter budget in sparse mode — the pair scan is the
+            // hottest loop of a cluster-scale decision).
+            let budget = if sparse { SPARSE_SWAP_SAMPLES } else { 128 };
+            let stride = |len: usize| len.div_ceil(budget).max(1);
+            let (lo1, hi1) = (s.bounds[g1], s.bounds[g1 + 1]);
+            let (lo2, hi2) = (s.bounds[g2], s.bounds[g2 + 1]);
+            let (sa, sb) = (stride(hi1 - lo1), stride(hi2 - lo2));
             let mut best_swap: Option<(usize, usize, f64)> = None;
-            for (ai, &a) in groups[g1].iter().enumerate().step_by(sa) {
-                for (bi, &b) in groups[g2].iter().enumerate().step_by(sb) {
-                    let shift = delta(b) - delta(a);
-                    let after = (imbs[g1] + shift).abs() + (imbs[g2] - shift).abs();
-                    if after + 1e-12 < best_swap.map_or(current, |(_, _, s)| s) {
+            let mut ai = lo1;
+            while ai < hi1 {
+                let da = s.delta[s.members[ai] as usize];
+                let mut bi = lo2;
+                while bi < hi2 {
+                    let shift = s.delta[s.members[bi] as usize] - da;
+                    let after = (s.imbs[g1] + shift).abs() + (s.imbs[g2] - shift).abs();
+                    if after + 1e-12 < best_swap.map_or(current, |(_, _, sc)| sc) {
                         best_swap = Some((ai, bi, after));
                     }
+                    bi += sb;
                 }
+                ai += sa;
             }
             match best_swap {
                 Some((ai, bi, _)) => {
-                    let a = groups[g1][ai];
-                    let b = groups[g2][bi];
-                    groups[g1][ai] = b;
-                    groups[g2][bi] = a;
+                    let (a, b) = (s.members[ai], s.members[bi]);
+                    s.members[ai] = b;
+                    s.members[bi] = a;
+                    let (pa, pb) = (a as usize, b as usize);
+                    s.gcpu[g1] += s.pcpu[pb] - s.pcpu[pa];
+                    s.gnet[g1] += s.pnet[pb] - s.pnet[pa];
+                    s.gcpu[g2] += s.pcpu[pa] - s.pcpu[pb];
+                    s.gnet[g2] += s.pnet[pa] - s.pnet[pb];
                 }
                 None => break, // no improving swap remains
             }
         }
-        groups
+
+        allocate_machines_into(
+            &s.gcpu,
+            &s.gnet,
+            machines,
+            &mut s.alloc,
+            &mut s.shares,
+            &mut s.rema,
+        );
+
+        // Eq. 4: machine-weighted average of per-group Eq. 3
+        // utilizations, straight off the flat arrays.
+        let mut total_m = 0.0;
+        let mut cpu = 0.0;
+        let mut net = 0.0;
+        for gi in 0..ng {
+            let mf = f64::from(s.alloc[gi]);
+            let sum_cpu = s.gcpu[gi] / mf;
+            let sum_net = s.gnet[gi];
+            let mut max_itr = 0.0f64;
+            for &p in &s.members[s.bounds[gi]..s.bounds[gi + 1]] {
+                let t = s.pcpu[p as usize] / mf + s.pnet[p as usize];
+                if t > max_itr {
+                    max_itr = t;
+                }
+            }
+            // Eq. 1 with the same tie preference as `model::group_bounds`.
+            let t = if sum_cpu >= sum_net && sum_cpu >= max_itr {
+                sum_cpu
+            } else if sum_net >= max_itr {
+                sum_net
+            } else {
+                max_itr
+            };
+            if t > 0.0 {
+                cpu += mf * (sum_cpu / t);
+                net += mf * (sum_net / t);
+            }
+            total_m += mf;
+        }
+        if total_m == 0.0 {
+            Utilization::default()
+        } else {
+            Utilization::new(cpu / total_m, net / total_m)
+        }
     }
 
-    /// Machine allocation (Algorithm 1 L8): "distribute the machines to
-    /// the job groups to balance the computation and communication in
-    /// each job group".
-    ///
-    /// A group is internally balanced when `Σ Tcpu(m_g) = Σ Tnet`, i.e.
-    /// at `m_g* = Σ Tcpu(1) / Σ Tnet` (Eq. 2). We allocate one machine
-    /// per group, then distribute the rest proportionally to each
-    /// group's `m_g*`, and finally hand out rounding leftovers to the
-    /// most computation-bound groups — "having more machines reduces the
-    /// computation cost in an iteration, reducing the CPU-bound cases".
-    fn allocate_machines(
+    /// Re-evaluates the winning candidate (deterministic, so it
+    /// reproduces the scanned grouping exactly) and extracts it into
+    /// owned per-group vectors — the only per-group allocations of the
+    /// whole decision.
+    fn materialize(
         &self,
-        jobs: &[JobProfile],
-        groups: &[Vec<usize>],
+        cache: &ProfileCache,
+        s: &mut ScheduleScratch,
+        ev: PrefixEval,
         machines: u32,
-    ) -> Vec<u32> {
-        let ng = groups.len();
-        debug_assert!(ng as u32 <= machines);
-
-        let sums: Vec<(f64, f64)> = groups
-            .iter()
-            .map(|members| {
-                let cpu: f64 = members.iter().map(|&i| jobs[i].tcpu_at(1)).sum();
-                let net: f64 = members.iter().map(|&i| jobs[i].tnet()).sum();
-                (cpu, net)
+    ) -> Candidate {
+        self.prepare_prefix(cache, s, ev.nj, machines);
+        let sparse = cache.len() > SPARSE_POPULATION_MIN && ev.nj > DENSE_PREFIX_MAX;
+        let utilization = self.eval_candidate(s, ev.ng, machines, sparse);
+        debug_assert_eq!(utilization, ev.utilization);
+        let groups = (0..ev.ng)
+            .map(|gi| {
+                let members: Vec<usize> = s.members[s.bounds[gi]..s.bounds[gi + 1]]
+                    .iter()
+                    .map(|&p| s.sub_size[p as usize] as usize)
+                    .collect();
+                (members, s.alloc[gi])
             })
             .collect();
-        let ideal: Vec<f64> = sums
-            .iter()
-            .map(|&(cpu, net)| if net > 0.0 { (cpu / net).max(1.0) } else { 1.0 })
-            .collect();
-        let total_ideal: f64 = ideal.iter().sum();
-        // Proportional share of the cluster, at least one machine each,
-        // settled by largest remainder so the allocation is O(n log n)
-        // even for ten-thousand-machine clusters.
-        let shares: Vec<f64> = ideal
-            .iter()
-            .map(|&w| w / total_ideal * f64::from(machines))
-            .collect();
-        let mut alloc: Vec<u32> = shares.iter().map(|&s| (s.floor() as u32).max(1)).collect();
-        let need = |g: usize, a: &[u32]| sums[g].0 / f64::from(a[g]) - sums[g].1;
-        let assigned: u32 = alloc.iter().sum();
-        if assigned < machines {
-            // Distribute the remainder by largest fractional share, then
-            // any residue to the most computation-bound groups.
-            let mut order: Vec<usize> = (0..ng).collect();
-            order.sort_by(|&a, &b| {
-                (shares[b] - shares[b].floor())
-                    .partial_cmp(&(shares[a] - shares[a].floor()))
-                    .expect("finite")
-            });
-            let mut left = machines - assigned;
-            for &g in order.iter().cycle().take(ng * 2) {
-                if left == 0 {
-                    break;
-                }
-                alloc[g] += 1;
-                left -= 1;
-            }
-            while left > 0 {
-                let gi = (0..ng)
-                    .max_by(|&a, &b| {
-                        need(a, &alloc)
-                            .partial_cmp(&need(b, &alloc))
-                            .expect("finite")
-                    })
-                    .expect("ng >= 1");
-                let grant = (left / ng as u32).max(1);
-                alloc[gi] += grant;
-                left -= grant;
-            }
+        Candidate {
+            groups,
+            utilization,
+        }
+    }
+}
+
+/// Machine allocation (Algorithm 1 L8): "distribute the machines to
+/// the job groups to balance the computation and communication in
+/// each job group".
+///
+/// A group is internally balanced when `Σ Tcpu(m_g) = Σ Tnet`, i.e.
+/// at `m_g* = Σ Tcpu(1) / Σ Tnet` (Eq. 2). We allocate one machine
+/// per group, then distribute the rest proportionally to each
+/// group's `m_g*`, and finally hand out rounding leftovers to the
+/// most computation-bound groups — "having more machines reduces the
+/// computation cost in an iteration, reducing the CPU-bound cases".
+///
+/// `gcpu`/`gnet` are the per-group `Σ Tcpu(1)` / `Σ Tnet` totals;
+/// `alloc`, `shares` and `rema` are caller-owned scratch. On return
+/// `alloc` sums to exactly `machines` with every group ≥ 1.
+fn allocate_machines_into(
+    gcpu: &[f64],
+    gnet: &[f64],
+    machines: u32,
+    alloc: &mut Vec<u32>,
+    shares: &mut Vec<f64>,
+    rema: &mut Vec<usize>,
+) {
+    let ng = gcpu.len();
+    debug_assert!(ng as u32 <= machines);
+
+    shares.clear();
+    let mut total_ideal = 0.0;
+    for gi in 0..ng {
+        let ideal = if gnet[gi] > 0.0 {
+            (gcpu[gi] / gnet[gi]).max(1.0)
         } else {
-            // Trim over-allocation (from the max(1) clamps), taking
-            // machines back from the least CPU-bound groups first.
-            let mut over = assigned - machines;
-            while over > 0 {
-                let gi = (0..ng)
-                    .filter(|&g| alloc[g] > 1)
-                    .min_by(|&a, &b| {
-                        need(a, &alloc)
-                            .partial_cmp(&need(b, &alloc))
-                            .expect("finite")
-                    })
-                    .expect("some group has spare machines");
-                alloc[gi] -= 1;
-                over -= 1;
+            1.0
+        };
+        shares.push(ideal);
+        total_ideal += ideal;
+    }
+    // Proportional share of the cluster, at least one machine each,
+    // settled by largest remainder so the allocation is O(n log n)
+    // even for ten-thousand-machine clusters.
+    for sh in shares.iter_mut() {
+        *sh = *sh / total_ideal * f64::from(machines);
+    }
+    alloc.clear();
+    for &sh in shares.iter() {
+        alloc.push((sh.floor() as u32).max(1));
+    }
+    let need = |g: usize, alloc: &[u32]| gcpu[g] / f64::from(alloc[g]) - gnet[g];
+    let assigned: u32 = alloc.iter().sum();
+    if assigned < machines {
+        // Distribute the remainder by largest fractional share — one
+        // machine per group at most, so no group can collect a second
+        // leftover before every group has been considered — then any
+        // residue to the most computation-bound groups. Only the
+        // *membership* of the top-`left` set matters (every group in it
+        // gets exactly one machine), so an O(n) selection under the
+        // total (fraction, index) order replaces a full sort.
+        let mut left = machines - assigned;
+        rema.clear();
+        rema.extend(0..ng);
+        let frac_desc = |&a: &usize, &b: &usize| {
+            (shares[b] - shares[b].floor())
+                .total_cmp(&(shares[a] - shares[a].floor()))
+                .then(a.cmp(&b))
+        };
+        if (left as usize) < ng {
+            rema.select_nth_unstable_by(left as usize, frac_desc);
+            rema.truncate(left as usize);
+        }
+        for &g in rema.iter() {
+            if left == 0 {
+                break;
+            }
+            alloc[g] += 1;
+            left -= 1;
+        }
+        while left > 0 {
+            let gi = (0..ng)
+                .max_by(|&a, &b| need(a, alloc).total_cmp(&need(b, alloc)))
+                .expect("ng >= 1");
+            let grant = (left / ng as u32).max(1);
+            alloc[gi] += grant;
+            left -= grant;
+        }
+    } else {
+        // Trim over-allocation (from the max(1) clamps), taking
+        // machines back one at a time from the least CPU-bound group
+        // with spare machines. A decrement only raises the need of the
+        // trimmed group itself, so a min-heap with re-insertion visits
+        // groups in exactly the order the naive argmin rescan would —
+        // in O((n + over) log n) instead of O(n · over).
+        let mut over = assigned - machines;
+        shares.clear(); // reuse as heap key storage
+        rema.clear(); //  reuse as heap group storage
+        for g in 0..ng {
+            if alloc[g] > 1 {
+                shares.push(need(g, alloc));
+                rema.push(g);
             }
         }
-        alloc
+        let len = rema.len();
+        for i in (0..len / 2).rev() {
+            trim_heap_sift_down(shares, rema, i, len);
+        }
+        while over > 0 {
+            let gi = rema[0];
+            alloc[gi] -= 1;
+            over -= 1;
+            let len = rema.len();
+            if alloc[gi] > 1 {
+                shares[0] = need(gi, alloc);
+            } else {
+                shares[0] = shares[len - 1];
+                rema[0] = rema[len - 1];
+                shares.pop();
+                rema.pop();
+            }
+            let len = rema.len();
+            if len > 0 {
+                trim_heap_sift_down(shares, rema, 0, len);
+            } else {
+                debug_assert_eq!(over, 0, "some group must have spare machines");
+            }
+        }
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>(), machines);
+}
+
+/// Sifts entry `i` of the `(need, group)` min-heap down into place.
+/// Ordering is `(need, group index)` ascending — a total order, so the
+/// pop sequence is deterministic and matches a naive argmin rescan.
+fn trim_heap_sift_down(needs: &mut [f64], groups: &mut [usize], mut i: usize, len: usize) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < len
+            && needs[l]
+                .total_cmp(&needs[m])
+                .then(groups[l].cmp(&groups[m]))
+                .is_lt()
+        {
+            m = l;
+        }
+        if r < len
+            && needs[r]
+                .total_cmp(&needs[m])
+                .then(groups[r].cmp(&groups[m]))
+                .is_lt()
+        {
+            m = r;
+        }
+        if m == i {
+            return;
+        }
+        needs.swap(i, m);
+        groups.swap(i, m);
+        i = m;
     }
 }
 
 /// Candidate counts for prefix / group-count scans: every value up to
 /// 64, then geometric (×1.15) growth, always including `n` itself.
 fn candidate_counts(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    extend_candidate_counts(&mut out, n);
+    out
+}
+
+/// Appends the candidate counts for `n` to `out` (allocation-free when
+/// `out` has warm capacity).
+fn extend_candidate_counts(out: &mut Vec<usize>, n: usize) {
     if n <= 64 {
-        return (1..=n).collect();
+        out.extend(1..=n);
+        return;
     }
-    let mut out: Vec<usize> = (1..=64).collect();
+    out.extend(1..=64);
     let mut x = 64.0f64;
     loop {
         x *= 1.15;
@@ -455,7 +884,6 @@ fn candidate_counts(n: usize) -> Vec<usize> {
         out.push(v);
     }
     out.push(n);
-    out
 }
 
 #[derive(Debug, Clone)]
@@ -624,5 +1052,69 @@ mod tests {
         let a = s.schedule(&jobs, 24);
         let b = s.schedule(&jobs, 24);
         assert_eq!(a.grouping, b.grouping);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        // The worker pool must never change the decision: same
+        // grouping, same utilization, same predictions, for any worker
+        // count (including more workers than prefixes).
+        let s = Scheduler::default();
+        let jobs: Vec<JobProfile> = (0..90)
+            .map(|i| prof(i, 1.0 + (i * 37 % 113) as f64, 0.5 + (i * 11 % 23) as f64))
+            .collect();
+        let seq = s.schedule_with_workers(&jobs, 300, 1);
+        for workers in [2usize, 3, 8, 64, 1024] {
+            let par = s.schedule_with_workers(&jobs, 300, workers);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn allocation_trims_overallocation_from_least_cpu_bound() {
+        // Ideal shares [10, 1, 1, 1, 1] on 6 machines: the max(1)
+        // clamps over-allocate (floors give [4,1,1,1,1] = 8 > 6), and
+        // trimming must only take from groups with spare machines —
+        // here only group 0 — leaving every group >= 1.
+        let gcpu = [100.0, 1.0, 1.0, 1.0, 1.0];
+        let gnet = [10.0, 1.0, 1.0, 1.0, 1.0];
+        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(&gcpu, &gnet, 6, &mut alloc, &mut shares, &mut rema);
+        assert_eq!(alloc.iter().sum::<u32>(), 6);
+        assert!(alloc.iter().all(|&a| a >= 1), "{alloc:?}");
+        assert_eq!(alloc, vec![2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn allocation_remainder_gives_each_group_at_most_one_extra() {
+        // Four identical groups with ideal 1.5 machines each on 7
+        // machines: shares are 1.75 each, floors assign 4, and the 3
+        // leftovers must go to 3 *different* groups (largest remainder,
+        // ties by group index) — never two to one group.
+        let gcpu = [3.0, 3.0, 3.0, 3.0];
+        let gnet = [2.0, 2.0, 2.0, 2.0];
+        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(&gcpu, &gnet, 7, &mut alloc, &mut shares, &mut rema);
+        assert_eq!(alloc, vec![2, 2, 2, 1]);
+        for (gi, &a) in alloc.iter().enumerate() {
+            assert!(
+                a <= shares[gi].floor() as u32 + 1,
+                "group {gi} got {a} with share {}",
+                shares[gi]
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_zero_network_groups_get_minimum_share() {
+        // A group with no network demand has ideal share 1; all the
+        // slack flows to the CPU-bound groups and the sum is exact.
+        let gcpu = [50.0, 8.0];
+        let gnet = [5.0, 0.0];
+        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(&gcpu, &gnet, 11, &mut alloc, &mut shares, &mut rema);
+        assert_eq!(alloc.iter().sum::<u32>(), 11);
+        assert!(alloc[0] > alloc[1], "{alloc:?}");
+        assert!(alloc[1] >= 1);
     }
 }

@@ -1,0 +1,362 @@
+//! Flat, reusable buffers for the Algorithm 1 fast path.
+//!
+//! [`Scheduler::schedule`](crate::schedule::Scheduler::schedule) scans
+//! hundreds of `(job-prefix × group-count)` candidates per decision.
+//! The naive formulation re-sorts the job list and re-sums profiles for
+//! every candidate and allocates a fresh `Vec` per group — at 8K jobs /
+//! 10K machines that is the dominant cost of a decision. This module
+//! hoists everything candidate-independent into a [`ProfileCache`]
+//! built once per decision, and keeps all candidate-dependent working
+//! state in a [`ScheduleScratch`] that is reused (never reallocated)
+//! across the whole scan:
+//!
+//! - `tcpu1[]` / `tnet[]`: struct-of-arrays copies of the profile
+//!   durations, so the hot loops read flat `f64` slices instead of
+//!   chasing `JobProfile → Ewma → Option<f64>` per access;
+//! - `size_order[]`: job positions sorted once by single-machine
+//!   iteration time (descending). Candidate groups are contiguous runs
+//!   of this order, so per-candidate grouping needs no sort at all;
+//! - `ratio_order[]` + prefix sums: job positions sorted once by the
+//!   balance break-point `tcpu1/tnet`. The Algorithm 1 L6 objective
+//!   `Σ_j |Tcpu_j(m) − Tnet_j|` becomes two prefix-sum differences
+//!   around a binary-searched split, i.e. O(log n) per grid point
+//!   instead of O(n);
+//! - per-prefix prefix sums over both orders, so group `ΣTcpu(1)` /
+//!   `ΣTnet` totals are O(1) differences and a whole candidate is
+//!   evaluated in amortized O(groups) plus one linear pass for the
+//!   job-bound term of Eq. 1.
+//!
+//! Each scan worker owns one `ScheduleScratch`; the buffers grow to the
+//! high-water mark of the largest prefix and stay allocated for the
+//! rest of the decision.
+
+use crate::job::JobId;
+use crate::profile::JobProfile;
+
+/// Candidate-independent, struct-of-arrays view of the job profiles,
+/// built once per scheduling decision.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    /// `Tcpu(1)` per job, indexed by position in the caller's job slice.
+    pub(crate) tcpu1: Vec<f64>,
+    /// `Tnet` per job, indexed by position.
+    pub(crate) tnet: Vec<f64>,
+    /// `JobId` per position (sort tie-breaker).
+    pub(crate) id: Vec<JobId>,
+    /// Job positions sorted by `Tcpu(1) + Tnet` descending (single-
+    /// machine iteration time), ties broken by `JobId`. Per-prefix
+    /// orders re-sort this at the prefix's seed DoP, starting from an
+    /// already nearly sorted list.
+    pub(crate) size_order: Vec<u32>,
+    /// Job positions sorted by balance break-point `tcpu1/tnet`
+    /// descending. A job is computation-bound at DoP `m` iff its
+    /// break-point exceeds `m`, so the L6 objective splits this order
+    /// at a binary-searched point.
+    pub(crate) ratio_order: Vec<u32>,
+    /// Sanitized break-point key per position (`+inf` for `tnet == 0`
+    /// with CPU work, `0` for fully idle profiles — never NaN, so the
+    /// split search is total).
+    pub(crate) ratio_key: Vec<f64>,
+}
+
+impl ProfileCache {
+    /// Builds the cache: two O(n log n) sorts and three linear passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn build(jobs: &[JobProfile]) -> Self {
+        let n = jobs.len();
+        let mut tcpu1 = Vec::with_capacity(n);
+        let mut tnet = Vec::with_capacity(n);
+        let mut id = Vec::with_capacity(n);
+        for p in jobs {
+            tcpu1.push(p.tcpu_at(1));
+            tnet.push(p.tnet());
+            id.push(p.job());
+        }
+
+        let mut size_order: Vec<u32> = (0..n as u32).collect();
+        size_order.sort_unstable_by(|&a, &b| {
+            let ta = tcpu1[a as usize] + tnet[a as usize];
+            let tb = tcpu1[b as usize] + tnet[b as usize];
+            tb.total_cmp(&ta)
+                .then_with(|| jobs[a as usize].job().cmp(&jobs[b as usize].job()))
+        });
+
+        let ratio_key: Vec<f64> = (0..n)
+            .map(|i| {
+                if tnet[i] > 0.0 {
+                    tcpu1[i] / tnet[i]
+                } else if tcpu1[i] > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut ratio_order: Vec<u32> = (0..n as u32).collect();
+        ratio_order.sort_unstable_by(|&a, &b| {
+            ratio_key[b as usize]
+                .total_cmp(&ratio_key[a as usize])
+                .then_with(|| jobs[a as usize].job().cmp(&jobs[b as usize].job()))
+        });
+
+        Self {
+            tcpu1,
+            tnet,
+            id,
+            size_order,
+            ratio_order,
+            ratio_key,
+        }
+    }
+
+    /// Number of cached jobs.
+    pub fn len(&self) -> usize {
+        self.tcpu1.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tcpu1.is_empty()
+    }
+}
+
+/// Reusable working buffers for one candidate-scan worker.
+///
+/// All vectors keep their capacity between candidates; a full decision
+/// performs a bounded number of allocations regardless of how many
+/// candidates it scans.
+#[derive(Debug, Default)]
+pub struct ScheduleScratch {
+    /// `size_order` restricted to positions `< nj` (the current
+    /// prefix), still in descending size order.
+    pub(crate) sub_size: Vec<u32>,
+    /// `tcpu1` gathered in `sub_size` order. The candidate loops index
+    /// by *prefix position*, so their accesses are sequential over this
+    /// small contiguous array instead of scattered over the whole
+    /// cluster's profile cache.
+    pub(crate) pcpu: Vec<f64>,
+    /// `tnet` gathered in `sub_size` order.
+    pub(crate) pnet: Vec<f64>,
+    /// `JobId` gathered in `sub_size` order (sort tie-breaker).
+    pub(crate) pid: Vec<JobId>,
+    /// Prefix sums of `tcpu1` over `sub_size` (length `nj + 1`).
+    pub(crate) ps_cpu: Vec<f64>,
+    /// Prefix sums of `tnet` over `sub_size`.
+    pub(crate) ps_net: Vec<f64>,
+    /// Sort-key scratch for [`Self::sort_prefix_by_dop`], indexed by
+    /// cache position (prefix positions are always `< nj`).
+    pub(crate) sort_key: Vec<f64>,
+    /// Break-point keys of the prefix, descending (for the L6 split
+    /// search).
+    pub(crate) sub_ratio_key: Vec<f64>,
+    /// Prefix sums of `tcpu1` over the prefix's ratio order.
+    pub(crate) rs_cpu: Vec<f64>,
+    /// Prefix sums of `tnet` over the prefix's ratio order.
+    pub(crate) rs_net: Vec<f64>,
+    /// Working membership as *prefix positions* (indices into
+    /// `pcpu`/`pnet`/`pid`/`sub_size`); swap fine-tuning mutates it in
+    /// place. Group `g` owns `members[bounds[g]..bounds[g+1]]`. It
+    /// starts as the identity permutation and deviates only at swapped
+    /// positions, so the per-group loops stream nearly sequentially.
+    pub(crate) members: Vec<u32>,
+    /// Group boundaries into `members` (length `ng + 1`).
+    pub(crate) bounds: Vec<usize>,
+    /// `Σ Tcpu(1)` per group, maintained incrementally across swaps.
+    pub(crate) gcpu: Vec<f64>,
+    /// `Σ Tnet` per group, maintained incrementally across swaps.
+    pub(crate) gnet: Vec<f64>,
+    /// Per-position swap deltas `tcpu1/dop − tnet` for the current
+    /// candidate's uniform DoP.
+    pub(crate) delta: Vec<f64>,
+    /// Per-group imbalance for the current swap pass.
+    pub(crate) imbs: Vec<f64>,
+    /// Machines allocated per group.
+    pub(crate) alloc: Vec<u32>,
+    /// Proportional machine shares (largest-remainder input).
+    pub(crate) shares: Vec<f64>,
+    /// Largest-remainder distribution order (group indices).
+    pub(crate) rema: Vec<usize>,
+    /// Group-count grid for the current prefix.
+    pub(crate) grid: Vec<usize>,
+    /// Loaded prefix length (guards against stale reuse).
+    pub(crate) loaded_nj: usize,
+}
+
+impl ScheduleScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads the first `nj` jobs (the caller's priority prefix) into
+    /// the per-prefix views: filtered sort orders and their prefix
+    /// sums. O(n) time, allocation-free after warm-up.
+    pub(crate) fn load_prefix(&mut self, cache: &ProfileCache, nj: usize) {
+        debug_assert!(nj <= cache.len());
+
+        self.sub_size.clear();
+        for &p in &cache.size_order {
+            if (p as usize) < nj {
+                self.sub_size.push(p);
+                if self.sub_size.len() == nj {
+                    break;
+                }
+            }
+        }
+
+        self.rebuild_prefix_views(cache);
+
+        self.sub_ratio_key.clear();
+        self.rs_cpu.clear();
+        self.rs_net.clear();
+        self.rs_cpu.push(0.0);
+        self.rs_net.push(0.0);
+        let (mut c, mut t) = (0.0f64, 0.0f64);
+        let mut taken = 0usize;
+        for &p in &cache.ratio_order {
+            if (p as usize) < nj {
+                self.sub_ratio_key.push(cache.ratio_key[p as usize]);
+                c += cache.tcpu1[p as usize];
+                t += cache.tnet[p as usize];
+                self.rs_cpu.push(c);
+                self.rs_net.push(t);
+                taken += 1;
+                if taken == nj {
+                    break;
+                }
+            }
+        }
+
+        self.loaded_nj = nj;
+    }
+
+    /// Re-sorts the loaded prefix by iteration time at uniform DoP
+    /// `dop` (`tcpu1/dop + tnet`, descending, ties by `JobId`) and
+    /// rebuilds the gathered views to match. Called once per prefix
+    /// with the L6 seed DoP, so every group-count candidate of the
+    /// prefix shares the order — the per-candidate sort of the naive
+    /// formulation is gone. The input is the canonical size order
+    /// (iteration time at DoP 1), which is already nearly sorted for
+    /// this key, so the sort runs well below its O(n log n) bound.
+    pub(crate) fn sort_prefix_by_dop(&mut self, cache: &ProfileCache, dop: f64) {
+        // Jobs in the prefix sit at cache positions < nj, so the key
+        // table is prefix-sized and filled sequentially.
+        self.sort_key.clear();
+        self.sort_key.resize(self.sub_size.len(), 0.0);
+        for &p in &self.sub_size {
+            self.sort_key[p as usize] = cache.tcpu1[p as usize] / dop + cache.tnet[p as usize];
+        }
+        let key = &self.sort_key;
+        let id = &cache.id;
+        self.sub_size.sort_unstable_by(|&a, &b| {
+            key[b as usize]
+                .total_cmp(&key[a as usize])
+                .then_with(|| id[a as usize].cmp(&id[b as usize]))
+        });
+        self.rebuild_prefix_views(cache);
+    }
+
+    /// Rebuilds the gathered duration views and their prefix sums over
+    /// the current `sub_size` order.
+    fn rebuild_prefix_views(&mut self, cache: &ProfileCache) {
+        self.pcpu.clear();
+        self.pnet.clear();
+        self.pid.clear();
+        self.ps_cpu.clear();
+        self.ps_net.clear();
+        self.ps_cpu.push(0.0);
+        self.ps_net.push(0.0);
+        let (mut c, mut t) = (0.0f64, 0.0f64);
+        for &p in &self.sub_size {
+            let (c0, t0) = (cache.tcpu1[p as usize], cache.tnet[p as usize]);
+            self.pcpu.push(c0);
+            self.pnet.push(t0);
+            self.pid.push(cache.id[p as usize]);
+            c += c0;
+            t += t0;
+            self.ps_cpu.push(c);
+            self.ps_net.push(t);
+        }
+    }
+
+    /// Algorithm 1 L6 objective `Σ_j |Tcpu_j(m) − Tnet_j|` for the
+    /// loaded prefix at uniform DoP `m`, in O(log n) via the ratio-order
+    /// prefix sums: jobs whose break-point exceeds `m` contribute
+    /// `Tcpu(m) − Tnet`, the rest contribute `Tnet − Tcpu(m)`.
+    pub(crate) fn l6_objective(&self, m: f64) -> f64 {
+        let nj = self.loaded_nj;
+        let k = self.sub_ratio_key.partition_point(|&r| r > m);
+        let above = self.rs_cpu[k] / m - self.rs_net[k];
+        let below = (self.rs_net[nj] - self.rs_net[k]) - (self.rs_cpu[nj] - self.rs_cpu[k]) / m;
+        above + below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn prof(i: u64, tcpu1: f64, tnet: f64) -> JobProfile {
+        JobProfile::from_reference(JobId::new(i), tcpu1, tnet)
+    }
+
+    #[test]
+    fn size_order_is_descending_iteration_time() {
+        let jobs = vec![prof(0, 1.0, 1.0), prof(1, 9.0, 3.0), prof(2, 4.0, 4.0)];
+        let cache = ProfileCache::build(&jobs);
+        assert_eq!(cache.size_order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ratio_order_handles_zero_network() {
+        // tnet == 0 jobs are infinitely computation-bound; fully idle
+        // profiles sort last. No NaN keys survive sanitization.
+        let jobs = vec![prof(0, 4.0, 2.0), prof(1, 3.0, 0.0), prof(2, 0.0, 0.0)];
+        let cache = ProfileCache::build(&jobs);
+        assert_eq!(cache.ratio_order, vec![1, 0, 2]);
+        assert!(cache.ratio_key.iter().all(|k| !k.is_nan()));
+    }
+
+    #[test]
+    fn prefix_load_restricts_to_first_jobs() {
+        let jobs = vec![prof(0, 1.0, 1.0), prof(1, 9.0, 3.0), prof(2, 4.0, 4.0)];
+        let cache = ProfileCache::build(&jobs);
+        let mut s = ScheduleScratch::new();
+        s.load_prefix(&cache, 2);
+        // Only positions 0 and 1 participate, still size-ordered.
+        assert_eq!(s.sub_size, vec![1, 0]);
+        assert_eq!(s.ps_cpu, vec![0.0, 9.0, 10.0]);
+        assert_eq!(s.ps_net, vec![0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn l6_objective_matches_naive_sum() {
+        let jobs = vec![
+            prof(0, 12.0, 2.0),
+            prof(1, 2.0, 8.0),
+            prof(2, 5.0, 5.0),
+            prof(3, 30.0, 1.0),
+        ];
+        let cache = ProfileCache::build(&jobs);
+        let mut s = ScheduleScratch::new();
+        for nj in 1..=jobs.len() {
+            s.load_prefix(&cache, nj);
+            for m in [0.5f64, 1.0, 2.0, 3.0, 7.5, 40.0] {
+                let naive: f64 = jobs[..nj]
+                    .iter()
+                    .map(|p| (p.tcpu_at(1) / m - p.tnet()).abs())
+                    .sum();
+                let fast = s.l6_objective(m);
+                assert!(
+                    (naive - fast).abs() < 1e-9 * naive.max(1.0),
+                    "nj={nj} m={m}: naive={naive} fast={fast}"
+                );
+            }
+        }
+    }
+}

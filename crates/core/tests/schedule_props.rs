@@ -1,0 +1,97 @@
+//! Property tests for the Algorithm 1 fast path: the parallel
+//! candidate scan must be *byte-identical* to the sequential one for
+//! any worker count, and machine allocation must hand out exactly the
+//! whole cluster, across random profile populations and cluster sizes
+//! up to the paper's 10K-machine scale (§V-F).
+
+use harmony_core::job::JobId;
+use harmony_core::profile::JobProfile;
+use harmony_core::schedule::{ScheduleOutcome, Scheduler, SchedulerConfig};
+use proptest::prelude::*;
+
+/// Builds a population of `costs.len()` profiles from raw
+/// (Tcpu(1), Tnet) pairs.
+fn population(costs: &[(f64, f64)]) -> Vec<JobProfile> {
+    costs
+        .iter()
+        .enumerate()
+        .map(|(i, &(comp, net))| JobProfile::from_reference(JobId::new(i as u64), comp, net))
+        .collect()
+}
+
+/// Every machine is allocated: group machine lists partition
+/// `M0..M{M-1}` exactly (validate() checks for duplicates).
+fn assert_all_machines_allocated(out: &ScheduleOutcome, machines: u32) {
+    out.grouping.validate().expect("valid grouping");
+    let assigned: usize = out
+        .grouping
+        .groups()
+        .iter()
+        .map(|g| g.machines().len())
+        .sum();
+    assert_eq!(
+        assigned, machines as usize,
+        "grouping assigned {assigned} of {machines} machines"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel scan returns the *same `ScheduleOutcome` value*
+    /// as the sequential scan for every worker count, on arbitrary
+    /// cost populations.
+    #[test]
+    fn parallel_scan_matches_sequential(
+        costs in prop::collection::vec((0.001f64..10.0, 0.001f64..10.0), 1..160),
+        machines in 1u32..10_000,
+        workers in 2usize..8,
+    ) {
+        let jobs = population(&costs);
+        let scheduler = Scheduler::new(SchedulerConfig::default());
+        let seq = scheduler.schedule_with_workers(&jobs, machines, 1);
+        let par = scheduler.schedule_with_workers(&jobs, machines, workers);
+        prop_assert_eq!(&seq.grouping, &par.grouping);
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Whatever grouping wins, the allocator distributes the whole
+    /// cluster: every machine lands in exactly one group.
+    #[test]
+    fn all_machines_are_allocated(
+        costs in prop::collection::vec((0.001f64..10.0, 0.001f64..10.0), 1..160),
+        machines in 1u32..10_000,
+    ) {
+        let jobs = population(&costs);
+        let scheduler = Scheduler::new(SchedulerConfig::default());
+        let out = scheduler.schedule(&jobs, machines);
+        assert_all_machines_allocated(&out, machines);
+    }
+}
+
+/// The same invariants at cluster scale, where the scan runs in
+/// sparse mode (population > 1024): one deterministic case keeps the
+/// runtime bounded while still exercising the 10K-machine path.
+#[test]
+fn sparse_mode_scan_is_worker_independent_at_cluster_scale() {
+    let costs: Vec<(f64, f64)> = (0..2_000)
+        .map(|i| {
+            // Deterministic LCG spread over a few orders of magnitude.
+            let x = (i as u64)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let a = ((x >> 33) % 1_000) as f64 / 100.0 + 0.01;
+            let b = ((x >> 13) % 1_000) as f64 / 200.0 + 0.01;
+            (a, b)
+        })
+        .collect();
+    let jobs = population(&costs);
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let machines = 10_000;
+    let seq = scheduler.schedule_with_workers(&jobs, machines, 1);
+    for workers in [2, 4, 8] {
+        let par = scheduler.schedule_with_workers(&jobs, machines, workers);
+        assert_eq!(seq, par, "workers={workers} diverged from sequential");
+    }
+    assert_all_machines_allocated(&seq, machines);
+}

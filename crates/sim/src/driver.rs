@@ -68,9 +68,9 @@ impl PartialOrd for Time {
 }
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("simulation time is finite")
+        // Times are finite by construction; total_cmp agrees with the
+        // numeric order there and cannot panic.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -114,6 +114,18 @@ pub struct Driver {
     bootstrapped: bool,
     naive_form_scheduled: bool,
     isolated_queue: VecDeque<usize>,
+    /// Jobs that reached a terminal state (finished or failed); the
+    /// live count is `jobs.len() - dead_jobs`, so the event loop never
+    /// scans the job table to know whether work remains.
+    dead_jobs: usize,
+    /// Scratch arena: member snapshots taken while a group is mutated.
+    scratch_members: Vec<usize>,
+    /// Scratch arena: footprint buffer for the memory model.
+    scratch_fp: Vec<JobFootprint>,
+    /// Scratch arena: second footprint buffer (probe internals).
+    scratch_fp2: Vec<JobFootprint>,
+    /// Scratch arena: alive-group id snapshots for fault targeting.
+    scratch_groups: Vec<usize>,
     /// Notifications discovered while mutating group state; drained at
     /// the top event loop only, so scheduling never re-enters itself.
     deferred: Vec<Notify>,
@@ -178,6 +190,11 @@ impl Driver {
             bootstrapped: false,
             naive_form_scheduled: false,
             isolated_queue: VecDeque::new(),
+            dead_jobs: 0,
+            scratch_members: Vec::new(),
+            scratch_fp: Vec::new(),
+            scratch_fp2: Vec::new(),
+            scratch_groups: Vec::new(),
             deferred: Vec::new(),
             cpu_busy_total: 0.0,
             net_busy_total: 0.0,
@@ -239,7 +256,23 @@ impl Driver {
     }
 
     fn live_jobs(&self) -> usize {
-        self.jobs.iter().filter(|j| j.is_live()).count()
+        debug_assert_eq!(
+            self.jobs.len() - self.dead_jobs,
+            self.jobs.iter().filter(|j| j.is_live()).count(),
+            "dead-job counter out of sync"
+        );
+        self.jobs.len() - self.dead_jobs
+    }
+
+    /// Moves a job into a terminal state exactly once, keeping the
+    /// dead-job counter (and thus `live_jobs`) exact.
+    fn set_terminal(&mut self, j: usize, state: SimJobState, at: f64) {
+        debug_assert!(matches!(state, SimJobState::Finished | SimJobState::Failed));
+        if self.jobs[j].is_live() {
+            self.dead_jobs += 1;
+        }
+        self.jobs[j].state = state;
+        self.jobs[j].finish = Some(at);
     }
 
     fn event_loop(&mut self) {
@@ -263,7 +296,7 @@ impl Driver {
                             );
                         }
                     }
-                    for g in self.alive_group_ids() {
+                    for g in self.alive_groups() {
                         let grp = self.groups[g].as_ref().unwrap();
                         eprintln!(
                             "alive group {g}: m={} jobs={:?} cpuq={:?} netq={:?} cpu_tasks={} net_tasks={} prof_host={}",
@@ -279,8 +312,7 @@ impl Driver {
                 // Runaway config: abandon remaining work as failed.
                 for j in 0..self.jobs.len() {
                     if self.jobs[j].is_live() {
-                        self.jobs[j].state = SimJobState::Failed;
-                        self.jobs[j].finish = Some(t);
+                        self.set_terminal(j, SimJobState::Failed, t);
                     }
                 }
                 break;
@@ -394,8 +426,7 @@ impl Driver {
 
         // Prefer an existing profiling host with room.
         let host = self
-            .alive_group_ids()
-            .into_iter()
+            .alive_groups()
             .filter(|&g| {
                 let grp = self.groups[g].as_ref().expect("alive");
                 grp.profiling_host && grp.jobs.len() < self.cfg.profiling_group_jobs
@@ -414,8 +445,7 @@ impl Driver {
         }
         // No free machines: piggyback on the smallest group.
         if let Some(g) = self
-            .alive_group_ids()
-            .into_iter()
+            .alive_groups()
             .min_by_key(|&g| self.groups[g].as_ref().expect("alive").machines)
         {
             self.attach_job(g, j, true);
@@ -508,11 +538,10 @@ impl Driver {
         if !keep_state {
             job.state = SimJobState::Running;
         }
+        self.jobs[j].joined_iters = self.jobs[j].iterations_done;
         let mut grp = self.groups[g].take().expect("alive group");
         self.finalize_prediction_of(&mut grp);
         grp.jobs.push(j);
-        grp.iters_at_creation
-            .push((j, self.jobs[j].iterations_done));
         grp.steady_at = grp.steady_at.max(self.now + delay);
         grp.steady_mark = None;
         self.groups[g] = Some(grp);
@@ -539,13 +568,10 @@ impl Driver {
         let grp = self.groups[g].as_mut().expect("job group alive");
         grp.unqueue(j);
         if let ExecPhase::Running(phase) = self.jobs[j].exec {
-            let res = if phase.is_cpu() {
-                &mut grp.cpu
+            if phase.is_cpu() {
+                grp.cpu.cancel_all_of(j);
             } else {
-                &mut grp.net
-            };
-            for key in res.tasks_of(j) {
-                res.cancel(key);
+                grp.net.cancel_all_of(j);
             }
         }
         grp.jobs.retain(|&x| x != j);
@@ -617,76 +643,104 @@ impl Driver {
         self.net_busy_total += grp.net_busy * mf;
     }
 
-    fn alive_group_ids(&self) -> Vec<usize> {
-        (0..self.groups.len())
-            .filter(|&g| self.groups[g].is_some())
-            .collect()
+    /// Ids of alive groups, without materializing a vector. Callers
+    /// that mutate the group table while iterating snapshot the ids
+    /// into [`Self::scratch_groups`] first.
+    fn alive_groups(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(g, s)| s.as_ref().map(|_| g))
     }
 
     // ----------------------------------------------------------------
     // Memory management (§IV-C).
     // ----------------------------------------------------------------
 
-    fn footprints(&self, g: &GroupSim) -> Vec<JobFootprint> {
-        g.jobs
-            .iter()
-            .map(|&j| {
-                let job = &self.jobs[j];
-                JobFootprint {
-                    input_bytes: job.spec.input_bytes,
-                    model_bytes: job.spec.model_bytes,
-                    alpha: job.alpha,
-                    model_spilled: job.model_spilled,
-                    computing: matches!(job.exec, ExecPhase::Running(Phase::Comp)),
-                }
-            })
-            .collect()
+    /// Fills `out` with the group members' current footprints (reuses
+    /// the caller's buffer — the GC model consults this on every COMP
+    /// dispatch).
+    fn footprints_into(&self, g: &GroupSim, out: &mut Vec<JobFootprint>) {
+        out.clear();
+        out.extend(g.jobs.iter().map(|&j| {
+            let job = &self.jobs[j];
+            JobFootprint {
+                input_bytes: job.spec.input_bytes,
+                model_bytes: job.spec.model_bytes,
+                alpha: job.alpha,
+                model_spilled: job.model_spilled,
+                computing: matches!(job.exec, ExecPhase::Running(Phase::Comp)),
+            }
+        }));
     }
 
     /// Re-derives every member's α (and model-spill flag) for the
     /// group's current composition, killing jobs on unavoidable OOM.
     fn recompute_group_memory(&mut self, g: usize) {
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let mut probe = std::mem::take(&mut self.scratch_fp);
+        let mut inner = std::mem::take(&mut self.scratch_fp2);
+        self.recompute_group_memory_with(g, &mut members, &mut probe, &mut inner);
+        members.clear();
+        probe.clear();
+        inner.clear();
+        self.scratch_members = members;
+        self.scratch_fp = probe;
+        self.scratch_fp2 = inner;
+    }
+
+    /// [`Self::recompute_group_memory`] against caller-provided scratch
+    /// buffers (taken from the driver's arena), so the re-planning that
+    /// runs on every composition change allocates nothing.
+    fn recompute_group_memory_with(
+        &mut self,
+        g: usize,
+        members: &mut Vec<usize>,
+        probe: &mut Vec<JobFootprint>,
+        inner: &mut Vec<JobFootprint>,
+    ) {
         loop {
             let grp = self.groups[g].as_ref().expect("alive group");
             if grp.jobs.is_empty() {
                 return;
             }
             let m = grp.machines;
-            let members = grp.jobs.clone();
+            members.clear();
+            members.extend_from_slice(&grp.jobs);
             // Baselines run on the same runtime as Harmony (§V-A: "we
             // implement their scheduling schemes on Harmony"), so model
             // spill is a property of the reload policy, not the
             // scheduler.
             let allow_model_spill = !matches!(self.cfg.reload, ReloadPolicy::None);
             // Probe with fresh (policy-independent) footprints.
-            let probe: Vec<JobFootprint> = members
-                .iter()
-                .map(|&j| JobFootprint {
-                    input_bytes: self.jobs[j].spec.input_bytes,
-                    model_bytes: self.jobs[j].spec.model_bytes,
-                    alpha: 0.0,
-                    model_spilled: false,
-                    computing: false,
-                })
-                .collect();
+            probe.clear();
+            probe.extend(members.iter().map(|&j| JobFootprint {
+                input_bytes: self.jobs[j].spec.input_bytes,
+                model_bytes: self.jobs[j].spec.model_bytes,
+                alpha: 0.0,
+                model_spilled: false,
+                computing: false,
+            }));
             let (cpu_slots, _) = self.discipline();
             let concurrent = cpu_slots.min(members.len()).max(1);
-            let fit = groupmem::classify_fit(&probe, m, &self.mem, concurrent);
+            let fit = groupmem::classify_fit_in(probe, m, &self.mem, concurrent, inner);
             let oom = match (fit, self.cfg.reload) {
                 (FitOutcome::OutOfMemory, _) => true,
                 (FitOutcome::NeedsModelSpill, _) if !allow_model_spill => true,
                 (FitOutcome::NeedsSpill | FitOutcome::NeedsModelSpill, ReloadPolicy::None) => true,
                 (outcome, policy) => {
                     // Apply the policy.
-                    let floor = groupmem::static_fit_alpha(&probe, m, &self.mem, 0.95, concurrent);
-                    let target = groupmem::static_fit_alpha(
-                        &probe,
+                    let floor =
+                        groupmem::static_fit_alpha_in(probe, m, &self.mem, 0.95, concurrent, inner);
+                    let target = groupmem::static_fit_alpha_in(
+                        probe,
                         m,
                         &self.mem,
                         self.cfg.static_fill_target,
                         concurrent,
+                        inner,
                     );
-                    for &j in &members {
+                    for &j in members.iter() {
                         let job = &mut self.jobs[j];
                         job.model_spilled =
                             allow_model_spill && outcome == FitOutcome::NeedsModelSpill;
@@ -747,7 +801,7 @@ impl Driver {
                                 }
                             })
                             .sum();
-                        for &j in &members {
+                        for &j in members.iter() {
                             let others: f64 = members
                                 .iter()
                                 .filter(|&&k| k != j)
@@ -770,7 +824,8 @@ impl Driver {
                     }
                     // Fixed / None may still blow past capacity.
                     let grp = self.groups[g].as_ref().expect("alive");
-                    groupmem::usage_ratio(&self.footprints(grp), m, &self.mem) > 1.0
+                    self.footprints_into(grp, probe);
+                    groupmem::usage_ratio(probe, m, &self.mem) > 1.0
                 }
             };
             if !oom {
@@ -784,8 +839,7 @@ impl Driver {
                 .expect("non-empty group");
             self.oom_events
                 .push((self.now, self.jobs[victim].spec.name.clone()));
-            self.jobs[victim].state = SimJobState::Failed;
-            self.jobs[victim].finish = Some(self.now);
+            self.set_terminal(victim, SimJobState::Failed, self.now);
             let grp = self.groups[g].as_mut().expect("alive");
             grp.unqueue(victim);
             grp.jobs.retain(|&x| x != victim);
@@ -951,13 +1005,9 @@ impl Driver {
         let iter_wall = self.now - self.jobs[j].iter_start;
         self.jobs[j].last_iter_wall = iter_wall;
         self.iter_wall_stats.observe(iter_wall);
-        // Skip each member's first in-group iteration (load warmup).
-        let first_in_group = grp
-            .iters_at_creation
-            .iter()
-            .find(|&&(job, _)| job == j)
-            .map(|&(_, at)| self.jobs[j].iterations_done <= at + 1)
-            .unwrap_or(false);
+        // Skip each member's first in-group iteration (load warmup),
+        // anchored at the iteration count recorded when it joined.
+        let first_in_group = self.jobs[j].iterations_done <= self.jobs[j].joined_iters + 1;
         if !first_in_group {
             self.group_iter_stats[grp.id]
                 .entry(j)
@@ -990,8 +1040,7 @@ impl Driver {
             }
         }
         if self.jobs[j].iterations_done >= self.jobs[j].total_iterations {
-            self.jobs[j].state = SimJobState::Finished;
-            self.jobs[j].finish = Some(self.now);
+            self.set_terminal(j, SimJobState::Finished, self.now);
             notes.push(Notify::Finished {
                 job: j,
                 group: grp.id,
@@ -1018,18 +1067,25 @@ impl Driver {
     }
 
     fn dispatch(&mut self, grp: &mut GroupSim) {
-        // Promote ready Idle members into the PULL queue.
-        let members = grp.jobs.clone();
-        for j in members {
-            if let ExecPhase::Idle { ready_at } = self.jobs[j].exec {
+        // Promote ready Idle members into the PULL queue. The member
+        // list and the queue are disjoint fields, so splitting the
+        // borrow avoids snapshotting the membership.
+        let GroupSim {
+            jobs: members,
+            net_queue,
+            ..
+        } = grp;
+        for &j in members.iter() {
+            let job = &mut self.jobs[j];
+            if let ExecPhase::Idle { ready_at } = job.exec {
                 if ready_at <= self.now + 1e-9
                     && matches!(
-                        self.jobs[j].state,
+                        job.state,
                         SimJobState::Running | SimJobState::Profiling | SimJobState::Profiled
                     )
                 {
-                    self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
-                    grp.net_queue.push_back(j);
+                    job.exec = ExecPhase::Queued(Phase::Pull);
+                    net_queue.push_back(j);
                 }
             }
         }
@@ -1063,7 +1119,10 @@ impl Driver {
                 self.jobs[j].exec = ExecPhase::Running(Phase::Comp);
                 let base = self.jobs[j].spec.comp_cost / mf;
                 let deser = alpha * spec_input / (mf * self.cfg.deser_bytes_per_sec);
-                let gc = groupmem::gc_slowdown(&self.footprints(grp), m, &self.mem, &self.cfg.gc);
+                let mut fp = std::mem::take(&mut self.scratch_fp);
+                self.footprints_into(grp, &mut fp);
+                let gc = groupmem::gc_slowdown(&fp, m, &self.mem, &self.cfg.gc);
+                self.scratch_fp = fp;
                 let gap = (self.now - self.jobs[j].last_comp_end).max(0.0);
                 // Disk bandwidth is shared by the background preloads of
                 // every co-located job. Reads spread over the whole group
@@ -1135,15 +1194,24 @@ impl Driver {
     /// after an input-reload delay. "A machine/process failure may have
     /// an impact on all co-located jobs" (§VI).
     fn inject_failure(&mut self, n: u64) {
-        let alive = self.alive_group_ids();
-        if alive.is_empty() {
+        let mut alive = std::mem::take(&mut self.scratch_groups);
+        alive.clear();
+        alive.extend(self.alive_groups());
+        let victim = if alive.is_empty() {
+            None
+        } else {
+            Some(alive[(n as usize * 7919) % alive.len()])
+        };
+        self.scratch_groups = alive;
+        let Some(g) = victim else {
             return;
-        }
-        let g = alive[(n as usize * 7919) % alive.len()];
+        };
         self.failures_injected += 1;
-        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
+        members.extend_from_slice(&self.groups[g].as_ref().expect("alive").jobs);
         let machines = self.groups[g].as_ref().expect("alive").machines;
-        for j in members {
+        for &j in members.iter() {
             // Roll back to the epoch checkpoint.
             let per_epoch = u64::from(self.jobs[j].spec.iters_per_epoch.max(1));
             self.jobs[j].iterations_done = (self.jobs[j].iterations_done / per_epoch) * per_epoch;
@@ -1152,13 +1220,10 @@ impl Driver {
             let grp = self.groups[g].as_mut().expect("alive");
             grp.unqueue(j);
             if let ExecPhase::Running(phase) = self.jobs[j].exec {
-                let res = if phase.is_cpu() {
-                    &mut grp.cpu
+                if phase.is_cpu() {
+                    grp.cpu.cancel_all_of(j);
                 } else {
-                    &mut grp.net
-                };
-                for key in res.tasks_of(j) {
-                    res.cancel(key);
+                    grp.net.cancel_all_of(j);
                 }
             }
             let reload = ((1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64
@@ -1168,6 +1233,8 @@ impl Driver {
                 ready_at: self.now + reload,
             };
         }
+        members.clear();
+        self.scratch_members = members;
         self.bump_and_wake(g);
     }
 
@@ -1218,15 +1285,20 @@ impl Driver {
     fn inject_machine_crash(&mut self, victim_seed: u64) {
         // Prefer worker groups; fall back to profiling hosts; then to
         // the free pool.
-        let mut candidates: Vec<usize> = self
-            .alive_group_ids()
-            .into_iter()
-            .filter(|&g| !self.groups[g].as_ref().expect("alive").profiling_host)
-            .collect();
+        let mut candidates = std::mem::take(&mut self.scratch_groups);
+        candidates.clear();
+        candidates.extend(
+            self.alive_groups()
+                .filter(|&g| !self.groups[g].as_ref().expect("alive").profiling_host),
+        );
         if candidates.is_empty() {
-            candidates = self.alive_group_ids();
+            candidates.extend(self.alive_groups());
         }
-        if candidates.is_empty() {
+        let victim = candidates
+            .get((victim_seed % candidates.len().max(1) as u64) as usize)
+            .copied();
+        self.scratch_groups = candidates;
+        let Some(g) = victim else {
             if self.free_machines > 0 {
                 self.free_machines -= 1;
                 self.machines_lost += 1;
@@ -1238,8 +1310,7 @@ impl Driver {
                 );
             }
             return;
-        }
-        let g = candidates[(victim_seed % candidates.len() as u64) as usize];
+        };
         self.machines_lost += 1;
         self.failures_injected += 1;
         let machines_before = self.groups[g].as_ref().expect("alive").machines;
@@ -1261,19 +1332,18 @@ impl Driver {
     /// escalating.
     fn crash_shrinks_group(&mut self, g: usize, survivors: u32) {
         self.groups[g].as_mut().expect("alive").machines = survivors;
-        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
-        for j in members {
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
+        members.extend_from_slice(&self.groups[g].as_ref().expect("alive").jobs);
+        for &j in members.iter() {
             self.rollback_to_checkpoint(j);
             let grp = self.groups[g].as_mut().expect("alive");
             grp.unqueue(j);
             if let ExecPhase::Running(phase) = self.jobs[j].exec {
-                let res = if phase.is_cpu() {
-                    &mut grp.cpu
+                if phase.is_cpu() {
+                    grp.cpu.cancel_all_of(j);
                 } else {
-                    &mut grp.net
-                };
-                for key in res.tasks_of(j) {
-                    res.cancel(key);
+                    grp.net.cancel_all_of(j);
                 }
             }
             let reload = ((1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64
@@ -1284,6 +1354,8 @@ impl Driver {
             };
             self.recovery_stats.observe(reload);
         }
+        members.clear();
+        self.scratch_members = members;
         // The survivors hold less memory; the plan must be re-derived
         // (this may OOM-kill a member or even dissolve the group).
         self.recompute_group_memory(g);
@@ -1333,7 +1405,9 @@ impl Driver {
     /// members are orphaned (rolled back to checkpoints) and handed
     /// back to the placement machinery of the active scheduler.
     fn crash_dissolves_group(&mut self, g: usize) {
-        let members = self.groups[g].as_ref().expect("alive").jobs.clone();
+        let mut members = std::mem::take(&mut self.scratch_members);
+        members.clear();
+        members.extend_from_slice(&self.groups[g].as_ref().expect("alive").jobs);
         for &j in &members {
             self.rollback_to_checkpoint(j);
             self.jobs[j].recover_mark = Some(self.now);
@@ -1390,19 +1464,26 @@ impl Driver {
             "recovery",
             format!("group {g} dissolved; {} jobs re-queued", members.len()),
         );
+        members.clear();
+        self.scratch_members = members;
     }
 
     /// A transient straggler: one group's subtasks dispatched inside
     /// the window run `factor`× slower. Recovery is automatic at the
     /// window's end.
     fn inject_slowdown(&mut self, victim_seed: u64, factor: f64, duration: f64) {
-        let candidates = self.alive_group_ids();
-        if candidates.is_empty() {
+        let mut candidates = std::mem::take(&mut self.scratch_groups);
+        candidates.clear();
+        candidates.extend(self.alive_groups());
+        let victim = candidates
+            .get((victim_seed % candidates.len().max(1) as u64) as usize)
+            .copied();
+        self.scratch_groups = candidates;
+        let Some(g) = victim else {
             self.fault_log
                 .record(self.now, "slowdown", "no running group to slow down");
             return;
-        }
-        let g = candidates[(victim_seed % candidates.len() as u64) as usize];
+        };
         let grp = self.groups[g].as_mut().expect("alive");
         grp.slow_factor = factor.max(1.0);
         grp.slow_until = self.now + duration;
@@ -1449,9 +1530,8 @@ impl Driver {
             ),
         );
         let profile = self.jobs[j].profile.clone();
-        self.jobs[j].state = SimJobState::Failed;
+        self.set_terminal(j, SimJobState::Failed, self.now);
         self.jobs[j].aborted = true;
-        self.jobs[j].finish = Some(self.now);
         self.detach_job(j);
         match self.cfg.scheduler {
             SchedulerKind::Harmony | SchedulerKind::Oracle => {
@@ -1508,7 +1588,7 @@ impl Driver {
         let total = f64::from(self.available_machines().max(1));
         let mut cpu = 0.0;
         let mut net = 0.0;
-        for g in self.alive_group_ids() {
+        for g in self.alive_groups() {
             let grp = self.groups[g].as_ref().expect("alive");
             let mf = f64::from(grp.machines);
             cpu += grp.cpu.usage() * mf;
@@ -1594,7 +1674,7 @@ impl Driver {
     fn cluster_view(&self) -> ClusterView {
         let mut grouping = harmony_core::group::Grouping::new();
         let mut profiling_held = 0u32;
-        for g in self.alive_group_ids() {
+        for g in self.alive_groups() {
             let grp = self.groups[g].as_ref().expect("alive");
             if grp.profiling_host {
                 profiling_held += grp.machines;
@@ -1784,10 +1864,9 @@ impl Driver {
             return;
         }
         let profiling_held: u32 = self
-            .alive_group_ids()
-            .iter()
-            .filter(|&&g| self.group_is_actively_profiling(g))
-            .map(|&g| self.groups[g].as_ref().expect("alive").machines)
+            .alive_groups()
+            .filter(|&g| self.group_is_actively_profiling(g))
+            .map(|g| self.groups[g].as_ref().expect("alive").machines)
             .sum();
         let machines = self.available_machines().saturating_sub(profiling_held);
         if machines == 0 {
@@ -1808,8 +1887,7 @@ impl Driver {
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
         let involved: Vec<usize> = self
-            .alive_group_ids()
-            .into_iter()
+            .alive_groups()
             .filter(|&g| !self.group_is_actively_profiling(g))
             .collect();
         self.apply_outcome(&outcome, &involved);
@@ -1823,31 +1901,32 @@ impl Driver {
             .copied()
             .filter(|&g| self.groups.get(g).is_some_and(Option::is_some))
             .collect();
-        let old_signature: std::collections::HashMap<usize, (Vec<usize>, u32)> = involved
-            .iter()
-            .flat_map(|&g| {
-                let grp = self.groups[g].as_ref().expect("alive");
-                let mut sig = grp.jobs.clone();
-                sig.sort_unstable();
-                let m = grp.machines;
-                grp.jobs
-                    .iter()
-                    .map(move |&j| (j, (sig.clone(), m)))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        // One sorted signature per involved group, shared by all of its
+        // members through an index — the per-job `sig.clone()` this
+        // replaces dominated reschedule cost on large clusters.
+        let mut sigs: Vec<Vec<usize>> = Vec::with_capacity(involved.len());
+        let mut old_placement: std::collections::HashMap<usize, (usize, u32)> =
+            std::collections::HashMap::new();
+        for &g in &involved {
+            let grp = self.groups[g].as_ref().expect("alive");
+            let mut sig = grp.jobs.clone();
+            sig.sort_unstable();
+            let si = sigs.len();
+            for &j in &grp.jobs {
+                old_placement.insert(j, (si, grp.machines));
+            }
+            sigs.push(sig);
+        }
 
         // Pause and dissolve the involved groups.
+        let mut members = std::mem::take(&mut self.scratch_members);
         for &g in &involved {
-            let Some(members) = self
-                .groups
-                .get(g)
-                .and_then(|x| x.as_ref())
-                .map(|x| x.jobs.clone())
-            else {
+            let Some(grp) = self.groups.get(g).and_then(|x| x.as_ref()) else {
                 continue;
             };
-            for j in members {
+            members.clear();
+            members.extend_from_slice(&grp.jobs);
+            for &j in &members {
                 if self.jobs[j].is_live() {
                     self.jobs[j].state = SimJobState::Paused;
                 }
@@ -1857,6 +1936,8 @@ impl Driver {
                 self.dissolve_group(g);
             }
         }
+        members.clear();
+        self.scratch_members = members;
 
         // Build the new groups.
         for (gi, core_group) in outcome.grouping.groups().iter().enumerate() {
@@ -1880,10 +1961,10 @@ impl Driver {
                 if !self.jobs[j].is_live() {
                     continue;
                 }
-                let unchanged = old_signature
+                let unchanged = old_placement
                     .get(&j)
-                    .is_some_and(|(sig, om)| *sig == new_sig && *om == m);
-                if !unchanged && old_signature.contains_key(&j) {
+                    .is_some_and(|&(si, om)| sigs[si] == new_sig && om == m);
+                if !unchanged && old_placement.contains_key(&j) {
                     self.migrations += 1;
                 }
                 // The job may still sit in a profiling group.
@@ -1915,8 +1996,7 @@ impl Driver {
 
     fn record_snapshot(&mut self) {
         let groups: Vec<(u32, usize)> = self
-            .alive_group_ids()
-            .into_iter()
+            .alive_groups()
             .filter(|&g| !self.groups[g].as_ref().expect("alive").profiling_host)
             .map(|g| {
                 let grp = self.groups[g].as_ref().expect("alive");
@@ -2006,8 +2086,7 @@ impl Driver {
             // Pack into an existing pool with room (fewest jobs first) —
             // the Gandiva-style packing with no model of fit quality.
             let pool = self
-                .alive_group_ids()
-                .into_iter()
+                .alive_groups()
                 .filter(|&g| {
                     self.groups[g]
                         .as_ref()
@@ -2054,7 +2133,7 @@ impl Driver {
 
     fn finalize(mut self) -> RunReport {
         // Fold surviving groups into the busy totals.
-        for g in self.alive_group_ids() {
+        for g in self.alive_groups().collect::<Vec<_>>() {
             self.dissolve_group(g);
         }
         let makespan = self

@@ -102,7 +102,7 @@ impl FaultPlan {
     /// Builds a plan from explicit events (sorted by time; the sort is
     /// stable so equal-time events keep their given order).
     pub fn new(seed: u64, mut events: Vec<FaultEvent>) -> Self {
-        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite fault times"));
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
         Self { seed, events }
     }
 

@@ -84,12 +84,13 @@ impl Fluid {
         });
     }
 
-    /// Per-task progress rates under proportional sharing with
-    /// interference.
-    fn rates(&self) -> Vec<f64> {
+    /// Shared-rate coefficients `(share, interference)`: every task
+    /// progresses at `demand * share * interference`, so per-task rate
+    /// vectors never need to be materialized.
+    fn rate_coeffs(&self) -> (f64, f64) {
         let n = self.tasks.len();
         if n == 0 {
-            return Vec::new();
+            return (1.0, 1.0);
         }
         let total: f64 = self.tasks.iter().map(|t| t.demand).sum();
         let share = if total > self.capacity {
@@ -98,26 +99,28 @@ impl Fluid {
             1.0
         };
         let interference = 1.0 / (1.0 + self.beta * (n as f64 - 1.0));
-        self.tasks
-            .iter()
-            .map(|t| t.demand * share * interference)
-            .collect()
+        (share, interference)
     }
 
     /// Instantaneous total consumption (for utilization accounting),
     /// in `[0, capacity]`.
     pub fn usage(&self) -> f64 {
-        self.rates().iter().sum::<f64>().min(self.capacity)
+        let (share, interference) = self.rate_coeffs();
+        self.tasks
+            .iter()
+            .map(|t| t.demand * share * interference)
+            .sum::<f64>()
+            .min(self.capacity)
     }
 
     /// Seconds until the next task completes at current rates, or
     /// `None` when idle.
     pub fn time_to_next_completion(&self) -> Option<f64> {
-        let rates = self.rates();
+        let (share, interference) = self.rate_coeffs();
         self.tasks
             .iter()
-            .zip(&rates)
-            .map(|(t, &r)| {
+            .map(|t| {
+                let r = t.demand * share * interference;
                 if r <= 0.0 {
                     f64::INFINITY
                 } else {
@@ -143,11 +146,11 @@ impl Fluid {
         if self.tasks.is_empty() || dt == 0.0 {
             return (Vec::new(), 0.0);
         }
-        let rates = self.rates();
+        let (share, interference) = self.rate_coeffs();
         let consumed = self.usage() * dt;
         let mut finished = Vec::new();
-        for (task, &rate) in self.tasks.iter_mut().zip(&rates) {
-            task.remaining -= rate * dt;
+        for task in self.tasks.iter_mut() {
+            task.remaining -= task.demand * share * interference * dt;
             if task.remaining <= 1e-9 {
                 finished.push(task.key);
             }
@@ -161,6 +164,12 @@ impl Fluid {
     pub fn cancel(&mut self, key: TaskKey) -> Option<f64> {
         let idx = self.tasks.iter().position(|t| t.key == key)?;
         Some(self.tasks.remove(idx).remaining)
+    }
+
+    /// Removes every task belonging to `job` (pause / failure paths),
+    /// without materializing the key list first.
+    pub fn cancel_all_of(&mut self, job: usize) {
+        self.tasks.retain(|t| t.key.job != job);
     }
 
     /// Keys of active tasks belonging to `job`.
@@ -280,6 +289,18 @@ mod tests {
         assert!(done.is_empty());
         let (done, _) = f.advance(1e-12);
         assert_eq!(done, vec![key(0, 0)]);
+    }
+
+    #[test]
+    fn cancel_all_of_drops_every_task_of_the_job() {
+        let mut f = Fluid::new(1.0, 0.0);
+        f.add(key(0, 0), 0.3, 1.0);
+        f.add(key(1, 0), 0.3, 1.0);
+        f.add(key(0, 1), 0.3, 1.0);
+        f.cancel_all_of(0);
+        assert_eq!(f.len(), 1);
+        assert!(f.tasks_of(0).is_empty());
+        assert_eq!(f.tasks_of(1).len(), 1);
     }
 
     #[test]

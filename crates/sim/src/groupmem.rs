@@ -65,25 +65,39 @@ pub fn usage_ratio(jobs: &[JobFootprint], m: u32, p: &MemoryParams) -> f64 {
 /// Marks the `concurrent` largest-input jobs as computing (their
 /// working sets are live at once); the executor discipline bounds that
 /// number — 1 under Harmony's one-COMP-at-a-time rule, all jobs under
-/// naive dispatch.
-fn probe(
+/// naive dispatch. Fills `out` in place so repeated probes (the fit
+/// ladder tries several α values) stay allocation-free.
+fn probe_into(
     jobs: &[JobFootprint],
     alpha: f64,
     model_spilled: bool,
     concurrent: usize,
-) -> Vec<JobFootprint> {
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].input_bytes));
-    let computing: std::collections::BTreeSet<usize> = order.into_iter().take(concurrent).collect();
-    jobs.iter()
-        .enumerate()
-        .map(|(i, j)| JobFootprint {
-            alpha,
-            model_spilled,
-            computing: computing.contains(&i),
-            ..*j
-        })
-        .collect()
+    out: &mut Vec<JobFootprint>,
+) {
+    out.clear();
+    out.extend(jobs.iter().map(|j| JobFootprint {
+        alpha,
+        model_spilled,
+        computing: false,
+        ..*j
+    }));
+    // Repeated argmax over the unmarked tail selects the same set as a
+    // descending stable sort's take(concurrent): largest inputs first,
+    // ties resolved to the lowest index.
+    for _ in 0..concurrent.min(out.len()) {
+        let mut best: Option<usize> = None;
+        for (i, j) in out.iter().enumerate() {
+            if j.computing {
+                continue;
+            }
+            if best.is_none_or(|b| out[b].input_bytes < j.input_bytes) {
+                best = Some(i);
+            }
+        }
+        if let Some(b) = best {
+            out[b].computing = true;
+        }
+    }
 }
 
 /// The smallest α that keeps the group at or under `fill_target`,
@@ -97,7 +111,23 @@ pub fn static_fit_alpha(
     fill_target: f64,
     concurrent: usize,
 ) -> f64 {
-    let at = |alpha: f64| usage_ratio(&probe(jobs, alpha, false, concurrent), m, p);
+    static_fit_alpha_in(jobs, m, p, fill_target, concurrent, &mut Vec::new())
+}
+
+/// [`static_fit_alpha`] with a caller-provided probe buffer, so the
+/// driver's memory-plan recomputation does not allocate per call.
+pub fn static_fit_alpha_in(
+    jobs: &[JobFootprint],
+    m: u32,
+    p: &MemoryParams,
+    fill_target: f64,
+    concurrent: usize,
+    scratch: &mut Vec<JobFootprint>,
+) -> f64 {
+    let mut at = |alpha: f64| {
+        probe_into(jobs, alpha, false, concurrent, scratch);
+        usage_ratio(scratch, m, p)
+    };
     if at(0.0) <= fill_target {
         return 0.0;
     }
@@ -133,8 +163,21 @@ pub fn classify_fit(
     p: &MemoryParams,
     concurrent: usize,
 ) -> FitOutcome {
-    let with = |alpha: f64, model_spilled: bool| {
-        usage_ratio(&probe(jobs, alpha, model_spilled, concurrent), m, p)
+    classify_fit_in(jobs, m, p, concurrent, &mut Vec::new())
+}
+
+/// [`classify_fit`] with a caller-provided probe buffer (see
+/// [`static_fit_alpha_in`]).
+pub fn classify_fit_in(
+    jobs: &[JobFootprint],
+    m: u32,
+    p: &MemoryParams,
+    concurrent: usize,
+    scratch: &mut Vec<JobFootprint>,
+) -> FitOutcome {
+    let mut with = |alpha: f64, model_spilled: bool| {
+        probe_into(jobs, alpha, model_spilled, concurrent, scratch);
+        usage_ratio(scratch, m, p)
     };
     if with(0.0, false) <= 1.0 {
         FitOutcome::Fits
@@ -261,6 +304,21 @@ mod tests {
         // 200 GB * 0.08 workspace * 2.5 expansion = 40 GB > 32 GB.
         let impossible = [job(200, 1, 0.0)];
         assert_eq!(classify_fit(&impossible, 1, &p, 1), FitOutcome::OutOfMemory);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_ones() {
+        let p = params();
+        let jobs = [job(64, 1, 0.0), job(64, 1, 0.0), job(32, 2, 0.5)];
+        let mut scratch = Vec::new();
+        assert_eq!(
+            static_fit_alpha(&jobs, 4, &p, 0.8, 2),
+            static_fit_alpha_in(&jobs, 4, &p, 0.8, 2, &mut scratch),
+        );
+        assert_eq!(
+            classify_fit(&jobs, 2, &p, 3),
+            classify_fit_in(&jobs, 2, &p, 3, &mut scratch),
+        );
     }
 
     #[test]

@@ -122,6 +122,10 @@ pub struct JobSim {
     pub pause_requested: bool,
     /// Duration of the job's most recent completed iteration.
     pub last_iter_wall: f64,
+    /// Iterations completed when the job last joined a group — the
+    /// anchor for skipping the first in-group (load-warmup) iteration
+    /// without scanning a per-group membership table.
+    pub joined_iters: u64,
     /// Accumulated per-iteration COMP cost fed to the α controller.
     pub alpha_cost_acc: f64,
     /// Iterations accumulated in `alpha_cost_acc`.
@@ -165,6 +169,7 @@ impl JobSim {
             seq: 0,
             pause_requested: false,
             last_iter_wall: 0.0,
+            joined_iters: 0,
             alpha_cost_acc: 0.0,
             alpha_cost_n: 0,
             aborted: false,
@@ -229,9 +234,6 @@ pub struct GroupSim {
     pub predicted_iteration: Option<f64>,
     /// Predicted `(cpu, net)` utilization at formation.
     pub predicted_util: Option<(f64, f64)>,
-    /// Members' completed-iteration counts at formation, for realized
-    /// iteration-time measurement.
-    pub iters_at_creation: Vec<(usize, u64)>,
     /// When the slowest founding member finished loading (steady-state
     /// start for utilization measurement).
     pub steady_at: f64,
@@ -276,7 +278,6 @@ impl GroupSim {
             profiling_host: false,
             predicted_iteration: None,
             predicted_util: None,
-            iters_at_creation: Vec::new(),
             steady_at: now,
             steady_mark: None,
             slow_factor: 1.0,

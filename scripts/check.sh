@@ -1,9 +1,22 @@
 #!/usr/bin/env sh
 # Repo-wide hygiene gate: formatting, lints, build, tests.
-# Usage: scripts/check.sh
+#
+# Usage: scripts/check.sh [--bench-smoke]
+#   --bench-smoke  additionally run the perf-baseline binaries at tiny
+#                  scale and validate their emitted JSON — plus the
+#                  committed BENCH_*.json files — against the perfjson
+#                  schema (see crates/bench/src/perfjson.rs).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -16,5 +29,18 @@ cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace --quiet
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+    echo "==> bench smoke (schema check)"
+    SMOKE_DIR=target/bench_smoke
+    mkdir -p "$SMOKE_DIR"
+    cargo run --release -q -p harmony-bench --bin sched_scalability -- \
+        --smoke --out "$SMOKE_DIR/BENCH_sched.json" >/dev/null
+    cargo run --release -q -p harmony-bench --bin ps_end_to_end -- \
+        --smoke --out "$SMOKE_DIR/BENCH_sim.json" >/dev/null
+    cargo run --release -q -p harmony-bench --bin bench_schema_check -- \
+        "$SMOKE_DIR/BENCH_sched.json" "$SMOKE_DIR/BENCH_sim.json" \
+        BENCH_sched.json BENCH_sim.json
+fi
 
 echo "All checks passed."
