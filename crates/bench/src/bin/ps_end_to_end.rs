@@ -166,7 +166,7 @@ fn main() {
     let sim_scales: &[(usize, u32)] = if smoke {
         &[(20, 25)]
     } else {
-        &[(20, 25), (80, 100), (160, 200)]
+        &[(20, 25), (80, 100), (160, 200), (320, 400), (640, 800)]
     };
     let sim_reps = if smoke { 2 } else { 5 };
     for &(jobs, machines) in sim_scales {

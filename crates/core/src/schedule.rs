@@ -76,6 +76,14 @@ pub struct SchedulerConfig {
     /// Optional cap on jobs per group (memory-pressure guard; the paper
     /// "prefers fitting a smaller number of jobs in a job group").
     pub max_jobs_per_group: Option<usize>,
+    /// Enables the *exact pruning* fast paths: candidate scans stop
+    /// early whenever a conservative floating-point error bound proves
+    /// the skipped work could not have changed the decision (see
+    /// [`SCORE_CEILING`] and the same-sign swap guards in the candidate
+    /// evaluator). The output is bit-identical either way — the flag
+    /// exists so equivalence tests can compare the pruned scan against
+    /// the pristine exhaustive one.
+    pub exact_prunes: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -86,6 +94,7 @@ impl Default for SchedulerConfig {
             max_swap_passes: 64,
             min_loop_improvement: 0.01,
             max_jobs_per_group: None,
+            exact_prunes: true,
         }
     }
 }
@@ -121,6 +130,27 @@ const SPARSE_SWAP_PASSES: usize = 4;
 /// Per-group member-sample budget of the swap pair scan in sparse
 /// mode (dense mode keeps the legacy 128).
 const SPARSE_SWAP_SAMPLES: usize = 48;
+
+/// Strict upper bound on any achievable candidate score.
+///
+/// Per group the Eq. 3 ratios are `fl(x / t)` with `x <= t` selected by
+/// comparison, so each ratio is `<= 1.0` exactly; the group machine
+/// counts are integers whose sum is exact in `f64`, leaving only the
+/// numerator fold's relative error of at most `n_G · u` (`u = 2^-53`)
+/// on the machine-weighted average. Even at `n_G = u32::MAX` groups
+/// that is `< 5e-7`, so no candidate can ever score `>= 1 + 1e-5`.
+/// Once the incumbent satisfies
+/// `best_score * (1 + min_loop_improvement) >= SCORE_CEILING`, no later
+/// prefix can win the reduction and the scan may stop.
+const SCORE_CEILING: f64 = 1.0 + 1e-5;
+
+/// Magnitude guard for the same-sign swap prunes. Skipping the pair
+/// scan is exact only while the worst-case absolute rounding error of
+/// the `after + 1e-12 < current` improvement test — bounded by
+/// `u · (4·Σ|δ| + 6·max|δ|)` — stays below the `1e-12` tolerance,
+/// i.e. while `4·Σ|δ| + 6·max|δ| < 1e-12 / u ≈ 9007`. `8000` leaves
+/// margin for the guard's own rounding.
+const SWAP_PRUNE_MAGNITUDE: f64 = 8000.0;
 
 /// The result of one run of Algorithm 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,44 +243,92 @@ impl Scheduler {
             };
         }
 
-        // Algorithm 1 grows the job set while utilization improves. The
-        // predicted-utilization curve is not monotone in practice (group
-        // counts jump discretely), so we scan candidate prefixes and
-        // keep the global best, preferring fewer jobs unless a larger
-        // set is better by at least `min_loop_improvement` — the paper's
-        // preference for "fitting a smaller number of jobs". The scan is
-        // dense for small job counts and geometric beyond, keeping a
-        // full decision within milliseconds even at 8K jobs (§V-F).
         let cache = ProfileCache::build(jobs);
-        let prefixes = candidate_counts(jobs.len());
-        let workers = workers.clamp(1, prefixes.len());
-
         let mut scratch = ScheduleScratch::new();
-        let evals: Vec<PrefixEval> = if workers <= 1 {
-            prefixes
-                .iter()
-                .map(|&nj| self.eval_prefix(&cache, &mut scratch, nj, machines))
-                .collect()
-        } else {
-            self.scan_parallel(&cache, &prefixes, machines, workers)
-        };
+        self.schedule_prepared(jobs, machines, workers, &cache, &mut scratch)
+    }
 
-        // Deterministic reduction: replay the sequential preference
-        // order over the independently computed scores.
-        let mut best: Option<usize> = None;
-        let mut best_score = 0.0;
-        for (i, ev) in evals.iter().enumerate() {
-            let better = match best {
-                None => true,
-                Some(_) => ev.score > best_score * (1.0 + self.cfg.min_loop_improvement),
+    /// Like [`Self::schedule`], but reusing a caller-owned
+    /// [`ProfileCache`] and [`ScheduleScratch`] so repeated decisions
+    /// (the simulator re-runs Algorithm 1 on every arrival/completion)
+    /// perform no per-call allocations once the buffers are warm. Runs
+    /// the sequential scan (`workers == 1`); output is identical to
+    /// [`Self::schedule`].
+    pub fn schedule_reusing(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        cache: &mut ProfileCache,
+        scratch: &mut ScheduleScratch,
+    ) -> ScheduleOutcome {
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
             };
-            if better {
-                best = Some(i);
-                best_score = ev.score;
-            }
         }
-        let ev = evals[best.expect("at least one candidate was built")];
-        let cand = self.materialize(&cache, &mut scratch, ev, machines);
+        cache.rebuild(jobs);
+        self.schedule_prepared(jobs, machines, 1, cache, scratch)
+    }
+
+    /// The candidate-prefix scan over an already-built cache.
+    ///
+    /// Algorithm 1 grows the job set while utilization improves. The
+    /// predicted-utilization curve is not monotone in practice (group
+    /// counts jump discretely), so we scan candidate prefixes and
+    /// keep the global best, preferring fewer jobs unless a larger
+    /// set is better by at least `min_loop_improvement` — the paper's
+    /// preference for "fitting a smaller number of jobs". The scan is
+    /// dense for small job counts and geometric beyond, keeping a
+    /// full decision within milliseconds even at 8K jobs (§V-F).
+    fn schedule_prepared(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        workers: usize,
+        cache: &ProfileCache,
+        scratch: &mut ScheduleScratch,
+    ) -> ScheduleOutcome {
+        scratch.prefixes.clear();
+        extend_candidate_counts(&mut scratch.prefixes, jobs.len());
+        let workers = workers.clamp(1, scratch.prefixes.len());
+
+        // Deterministic reduction replaying the sequential preference
+        // order: an earlier prefix wins unless a later one beats it by
+        // `min_loop_improvement`.
+        let mli = self.cfg.min_loop_improvement;
+        let mut best: Option<PrefixEval> = None;
+        let mut best_score = 0.0;
+        if workers <= 1 {
+            for i in 0..scratch.prefixes.len() {
+                let nj = scratch.prefixes[i];
+                let ev = self.eval_prefix(cache, scratch, nj, machines);
+                if best.is_none() || ev.score > best_score * (1.0 + mli) {
+                    best = Some(ev);
+                    best_score = ev.score;
+                }
+                // Saturation cut: once the incumbent is unbeatable by
+                // *any* score a candidate can produce (see
+                // `SCORE_CEILING`), the remaining prefixes cannot
+                // change the reduction and are skipped. Exact.
+                if self.cfg.exact_prunes && best_score * (1.0 + mli) >= SCORE_CEILING {
+                    break;
+                }
+            }
+        } else {
+            let prefixes = std::mem::take(&mut scratch.prefixes);
+            for ev in self.scan_parallel(cache, &prefixes, machines, workers) {
+                if best.is_none() || ev.score > best_score * (1.0 + mli) {
+                    best = Some(ev);
+                    best_score = ev.score;
+                }
+            }
+            scratch.prefixes = prefixes;
+        }
+        let ev = best.expect("at least one candidate was built");
+        let cand = self.materialize(cache, scratch, ev, machines);
         let unscheduled = jobs[ev.nj..].iter().map(|p| p.job()).collect();
         self.finish(cand, jobs, unscheduled)
     }
@@ -485,6 +563,14 @@ impl Scheduler {
         let dop = f64::from(machines) / ng as f64;
         let dense = nj <= DENSE_PREFIX_MAX;
 
+        // One shared division per job: `q[p] = pcpu[p] / dop` feeds both
+        // the sort key `q + pnet` and the swap delta `q - pnet` below —
+        // bit-identical to evaluating those expressions inline (same
+        // rounding tree), but the comparator's two divisions per
+        // comparison collapse into one add.
+        s.qdop.clear();
+        s.qdop.extend(s.pcpu.iter().map(|&c| c / dop));
+
         // Greedy assignment (Algorithm 1 L7): groups are contiguous
         // runs of the descending iteration-time order, as even as
         // possible, so similar-sized jobs stay together (job-bound
@@ -492,16 +578,25 @@ impl Scheduler {
         // job list at this candidate's own DoP, exactly like the
         // legacy formulation; geometric prefixes reuse the per-prefix
         // order sorted at the L6 seed DoP.
-        s.members.clear();
-        s.members.extend(0..nj as u32);
+        if dense && s.members.len() == nj {
+            // The comparator below is a strict total order (unique
+            // `JobId` tie-breaker), so sorting any permutation of
+            // `0..nj` — such as the previous candidate's membership,
+            // which is already nearly in order — yields the identical
+            // unique sequence the identity start would.
+        } else {
+            s.members.clear();
+            s.members.extend(0..nj as u32);
+        }
         if dense {
-            let pcpu = &s.pcpu;
-            let pnet = &s.pnet;
+            s.sort_key.clear();
+            s.sort_key
+                .extend(s.qdop.iter().zip(&s.pnet).map(|(&q, &t)| q + t));
+            let key = &s.sort_key;
             let pid = &s.pid;
             s.members.sort_unstable_by(|&a, &b| {
-                let ta = pcpu[a as usize] / dop + pnet[a as usize];
-                let tb = pcpu[b as usize] / dop + pnet[b as usize];
-                tb.total_cmp(&ta)
+                key[b as usize]
+                    .total_cmp(&key[a as usize])
                     .then_with(|| pid[a as usize].cmp(&pid[b as usize]))
             });
         }
@@ -543,7 +638,32 @@ impl Scheduler {
 
         s.delta.clear();
         s.delta
-            .extend(s.pcpu.iter().zip(&s.pnet).map(|(&c, &t)| c / dop - t));
+            .extend(s.qdop.iter().zip(&s.pnet).map(|(&q, &t)| q - t));
+
+        // Delta statistics backing the same-sign swap prunes: when all
+        // per-job deltas share one sign, every group imbalance (a
+        // cancellation-free fold of them) shares it too, and for
+        // same-sign imbalances `|i1+σ| + |i2−σ| >= |i1| + |i2|` for any
+        // real σ — no swap can pass the `after + 1e-12 < current` test
+        // unless rounding noise exceeds the tolerance, which the
+        // magnitude guard rules out (see `SWAP_PRUNE_MAGNITUDE`).
+        let prunes = self.cfg.exact_prunes;
+        let mut dmin = f64::INFINITY;
+        let mut dmax = f64::NEG_INFINITY;
+        let mut dabs_sum = 0.0f64;
+        let mut dabs_max = 0.0f64;
+        if prunes && ng >= 2 {
+            for &d in &s.delta {
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+                // A NaN delta poisons `dabs_sum`, failing the `<`
+                // magnitude guard, so NaNs disable both prunes.
+                dabs_sum += d.abs();
+                dabs_max = dabs_max.max(d.abs());
+            }
+        }
+        let in_bounds = 4.0 * dabs_sum + 6.0 * dabs_max < SWAP_PRUNE_MAGNITUDE;
+        let swaps_cannot_improve = prunes && (dmin >= 0.0 || dmax <= 0.0) && in_bounds;
 
         // Fine-tune: swap jobs between the most imbalanced group and
         // the most complementary group while it helps.
@@ -552,22 +672,48 @@ impl Scheduler {
         } else {
             self.cfg.max_swap_passes
         };
-        for _ in 0..passes {
-            if ng < 2 {
+        // Imbalances of groups untouched by the previous pass's swap
+        // refold to the same bits, so only the swapped pair is redone.
+        let mut stale: Option<(usize, usize)> = None;
+        for pass in 0..passes {
+            if ng < 2 || swaps_cannot_improve {
                 break;
             }
-            s.imbs.clear();
-            for gi in 0..ng {
-                if dense {
-                    // Legacy-exact: sum the per-job deltas in
-                    // membership order.
-                    let mut im = 0.0f64;
-                    for &p in &s.members[s.bounds[gi]..s.bounds[gi + 1]] {
-                        im += s.delta[p as usize];
+            {
+                let ScheduleScratch {
+                    ref mut imbs,
+                    ref members,
+                    ref bounds,
+                    ref delta,
+                    ref gcpu,
+                    ref gnet,
+                    ..
+                } = *s;
+                let refold = |gi: usize| {
+                    if dense {
+                        // Legacy-exact: sum the per-job deltas in
+                        // membership order.
+                        let mut im = 0.0f64;
+                        for &p in &members[bounds[gi]..bounds[gi + 1]] {
+                            im += delta[p as usize];
+                        }
+                        im
+                    } else {
+                        gcpu[gi] / dop - gnet[gi]
                     }
-                    s.imbs.push(im);
-                } else {
-                    s.imbs.push(s.gcpu[gi] / dop - s.gnet[gi]);
+                };
+                match (pass, stale) {
+                    (0, _) | (_, None) => {
+                        imbs.clear();
+                        for gi in 0..ng {
+                            let im = refold(gi);
+                            imbs.push(im);
+                        }
+                    }
+                    (_, Some((a, b))) => {
+                        imbs[a] = refold(a);
+                        imbs[b] = refold(b);
+                    }
                 }
             }
             let Some(g1) = (0..ng).max_by(|&a, &b| s.imbs[a].abs().total_cmp(&s.imbs[b].abs()))
@@ -583,6 +729,19 @@ impl Scheduler {
             };
 
             let current = s.imbs[g1].abs() + s.imbs[g2].abs();
+            // Pass cut, exact for the same reasons as the whole-scan
+            // prune above: when the chosen pair's imbalances share a
+            // sign (and magnitudes keep rounding noise below the
+            // `1e-12` tolerance), or `current` is within the tolerance
+            // of zero, the scan below cannot find an improving swap —
+            // it would terminate this pass with `best_swap == None`.
+            if prunes
+                && (current <= 1e-12
+                    || (s.imbs[g1] * s.imbs[g2] >= 0.0
+                        && 4.0 * current + 6.0 * dabs_max < SWAP_PRUNE_MAGNITUDE))
+            {
+                break;
+            }
             // Full pair enumeration for small groups; deterministic
             // stride sampling caps the work for very large ones
             // (tighter budget in sparse mode — the pair scan is the
@@ -617,6 +776,7 @@ impl Scheduler {
                     s.gnet[g1] += s.pnet[pb] - s.pnet[pa];
                     s.gcpu[g2] += s.pcpu[pa] - s.pcpu[pb];
                     s.gnet[g2] += s.pnet[pa] - s.pnet[pb];
+                    stale = Some((g1, g2));
                 }
                 None => break, // no improving swap remains
             }
@@ -628,6 +788,7 @@ impl Scheduler {
             machines,
             &mut s.alloc,
             &mut s.shares,
+            &mut s.fracs,
             &mut s.rema,
         );
 
@@ -711,14 +872,15 @@ impl Scheduler {
 /// computation cost in an iteration, reducing the CPU-bound cases".
 ///
 /// `gcpu`/`gnet` are the per-group `Σ Tcpu(1)` / `Σ Tnet` totals;
-/// `alloc`, `shares` and `rema` are caller-owned scratch. On return
-/// `alloc` sums to exactly `machines` with every group ≥ 1.
+/// `alloc`, `shares`, `fracs` and `rema` are caller-owned scratch. On
+/// return `alloc` sums to exactly `machines` with every group ≥ 1.
 fn allocate_machines_into(
     gcpu: &[f64],
     gnet: &[f64],
     machines: u32,
     alloc: &mut Vec<u32>,
     shares: &mut Vec<f64>,
+    fracs: &mut Vec<f64>,
     rema: &mut Vec<usize>,
 ) {
     let ng = gcpu.len();
@@ -747,6 +909,9 @@ fn allocate_machines_into(
     }
     let need = |g: usize, alloc: &[u32]| gcpu[g] / f64::from(alloc[g]) - gnet[g];
     let assigned: u32 = alloc.iter().sum();
+    if assigned == machines {
+        return; // floors landed exactly; nothing to settle or trim
+    }
     if assigned < machines {
         // Distribute the remainder by largest fractional share — one
         // machine per group at most, so no group can collect a second
@@ -758,11 +923,11 @@ fn allocate_machines_into(
         let mut left = machines - assigned;
         rema.clear();
         rema.extend(0..ng);
-        let frac_desc = |&a: &usize, &b: &usize| {
-            (shares[b] - shares[b].floor())
-                .total_cmp(&(shares[a] - shares[a].floor()))
-                .then(a.cmp(&b))
-        };
+        // Fractional parts hoisted out of the selection comparator
+        // (identical rounding: same `share - floor(share)` expression).
+        fracs.clear();
+        fracs.extend(shares.iter().map(|&sh| sh - sh.floor()));
+        let frac_desc = |&a: &usize, &b: &usize| fracs[b].total_cmp(&fracs[a]).then(a.cmp(&b));
         if (left as usize) < ng {
             rema.select_nth_unstable_by(left as usize, frac_desc);
             rema.truncate(left as usize);
@@ -856,14 +1021,6 @@ fn trim_heap_sift_down(needs: &mut [f64], groups: &mut [usize], mut i: usize, le
         groups.swap(i, m);
         i = m;
     }
-}
-
-/// Candidate counts for prefix / group-count scans: every value up to
-/// 64, then geometric (×1.15) growth, always including `n` itself.
-fn candidate_counts(n: usize) -> Vec<usize> {
-    let mut out = Vec::new();
-    extend_candidate_counts(&mut out, n);
-    out
 }
 
 /// Appends the candidate counts for `n` to `out` (allocation-free when
@@ -1078,8 +1235,17 @@ mod tests {
         // here only group 0 — leaving every group >= 1.
         let gcpu = [100.0, 1.0, 1.0, 1.0, 1.0];
         let gnet = [10.0, 1.0, 1.0, 1.0, 1.0];
-        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
-        allocate_machines_into(&gcpu, &gnet, 6, &mut alloc, &mut shares, &mut rema);
+        let (mut alloc, mut shares, mut fracs, mut rema) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(
+            &gcpu,
+            &gnet,
+            6,
+            &mut alloc,
+            &mut shares,
+            &mut fracs,
+            &mut rema,
+        );
         assert_eq!(alloc.iter().sum::<u32>(), 6);
         assert!(alloc.iter().all(|&a| a >= 1), "{alloc:?}");
         assert_eq!(alloc, vec![2, 1, 1, 1, 1]);
@@ -1093,8 +1259,17 @@ mod tests {
         // ties by group index) — never two to one group.
         let gcpu = [3.0, 3.0, 3.0, 3.0];
         let gnet = [2.0, 2.0, 2.0, 2.0];
-        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
-        allocate_machines_into(&gcpu, &gnet, 7, &mut alloc, &mut shares, &mut rema);
+        let (mut alloc, mut shares, mut fracs, mut rema) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(
+            &gcpu,
+            &gnet,
+            7,
+            &mut alloc,
+            &mut shares,
+            &mut fracs,
+            &mut rema,
+        );
         assert_eq!(alloc, vec![2, 2, 2, 1]);
         for (gi, &a) in alloc.iter().enumerate() {
             assert!(
@@ -1111,8 +1286,17 @@ mod tests {
         // slack flows to the CPU-bound groups and the sum is exact.
         let gcpu = [50.0, 8.0];
         let gnet = [5.0, 0.0];
-        let (mut alloc, mut shares, mut rema) = (Vec::new(), Vec::new(), Vec::new());
-        allocate_machines_into(&gcpu, &gnet, 11, &mut alloc, &mut shares, &mut rema);
+        let (mut alloc, mut shares, mut fracs, mut rema) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        allocate_machines_into(
+            &gcpu,
+            &gnet,
+            11,
+            &mut alloc,
+            &mut shares,
+            &mut fracs,
+            &mut rema,
+        );
         assert_eq!(alloc.iter().sum::<u32>(), 11);
         assert!(alloc[0] > alloc[1], "{alloc:?}");
         assert!(alloc[1] >= 1);

@@ -67,50 +67,76 @@ impl ProfileCache {
     /// Panics if any profile is cold (same contract as
     /// [`JobProfile::tcpu_at`]).
     pub fn build(jobs: &[JobProfile]) -> Self {
+        let mut cache = Self::empty();
+        cache.rebuild(jobs);
+        cache
+    }
+
+    /// An empty cache; fill it with [`Self::rebuild`].
+    pub fn empty() -> Self {
+        Self {
+            tcpu1: Vec::new(),
+            tnet: Vec::new(),
+            id: Vec::new(),
+            size_order: Vec::new(),
+            ratio_order: Vec::new(),
+            ratio_key: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the cache over `jobs` in place, reusing every buffer's
+    /// capacity — the allocation-free twin of [`Self::build`] for
+    /// callers (the simulator) that run one decision per cluster event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn rebuild(&mut self, jobs: &[JobProfile]) {
         let n = jobs.len();
-        let mut tcpu1 = Vec::with_capacity(n);
-        let mut tnet = Vec::with_capacity(n);
-        let mut id = Vec::with_capacity(n);
+        self.tcpu1.clear();
+        self.tnet.clear();
+        self.id.clear();
         for p in jobs {
-            tcpu1.push(p.tcpu_at(1));
-            tnet.push(p.tnet());
-            id.push(p.job());
+            self.tcpu1.push(p.tcpu_at(1));
+            self.tnet.push(p.tnet());
+            self.id.push(p.job());
         }
 
-        let mut size_order: Vec<u32> = (0..n as u32).collect();
-        size_order.sort_unstable_by(|&a, &b| {
-            let ta = tcpu1[a as usize] + tnet[a as usize];
-            let tb = tcpu1[b as usize] + tnet[b as usize];
-            tb.total_cmp(&ta)
-                .then_with(|| jobs[a as usize].job().cmp(&jobs[b as usize].job()))
-        });
-
-        let ratio_key: Vec<f64> = (0..n)
-            .map(|i| {
-                if tnet[i] > 0.0 {
-                    tcpu1[i] / tnet[i]
-                } else if tcpu1[i] > 0.0 {
-                    f64::INFINITY
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let mut ratio_order: Vec<u32> = (0..n as u32).collect();
-        ratio_order.sort_unstable_by(|&a, &b| {
-            ratio_key[b as usize]
-                .total_cmp(&ratio_key[a as usize])
-                .then_with(|| jobs[a as usize].job().cmp(&jobs[b as usize].job()))
-        });
-
-        Self {
+        let Self {
             tcpu1,
             tnet,
             id,
             size_order,
             ratio_order,
             ratio_key,
-        }
+        } = self;
+        size_order.clear();
+        size_order.extend(0..n as u32);
+        size_order.sort_unstable_by(|&a, &b| {
+            let ta = tcpu1[a as usize] + tnet[a as usize];
+            let tb = tcpu1[b as usize] + tnet[b as usize];
+            tb.total_cmp(&ta)
+                .then_with(|| id[a as usize].cmp(&id[b as usize]))
+        });
+
+        ratio_key.clear();
+        ratio_key.extend((0..n).map(|i| {
+            if tnet[i] > 0.0 {
+                tcpu1[i] / tnet[i]
+            } else if tcpu1[i] > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        }));
+        ratio_order.clear();
+        ratio_order.extend(0..n as u32);
+        ratio_order.sort_unstable_by(|&a, &b| {
+            ratio_key[b as usize]
+                .total_cmp(&ratio_key[a as usize])
+                .then_with(|| id[a as usize].cmp(&id[b as usize]))
+        });
     }
 
     /// Number of cached jobs.
@@ -172,6 +198,14 @@ pub struct ScheduleScratch {
     /// Per-position swap deltas `tcpu1/dop − tnet` for the current
     /// candidate's uniform DoP.
     pub(crate) delta: Vec<f64>,
+    /// Per-position `tcpu1/dop` for the current candidate — the shared
+    /// division feeding both the sort key (`+ tnet`) and the swap delta
+    /// (`− tnet`).
+    pub(crate) qdop: Vec<f64>,
+    /// Fractional machine shares (largest-remainder selection keys).
+    pub(crate) fracs: Vec<f64>,
+    /// Candidate prefix sizes for the current decision.
+    pub(crate) prefixes: Vec<usize>,
     /// Per-group imbalance for the current swap pass.
     pub(crate) imbs: Vec<f64>,
     /// Machines allocated per group.

@@ -67,6 +67,51 @@ proptest! {
         let out = scheduler.schedule(&jobs, machines);
         assert_all_machines_allocated(&out, machines);
     }
+
+    /// The exact prunes (saturation cut, same-sign swap guards) never
+    /// change the decision: the pruned scan equals the pristine
+    /// exhaustive one on arbitrary populations, including magnitudes
+    /// that straddle the prune guards' error-bound thresholds.
+    #[test]
+    fn pruned_scan_matches_exhaustive(
+        costs in prop::collection::vec((0.001f64..100.0, 0.001f64..100.0), 1..120),
+        machines in 1u32..10_000,
+    ) {
+        let jobs = population(&costs);
+        let pruned = Scheduler::new(SchedulerConfig::default());
+        let exhaustive = Scheduler::new(SchedulerConfig {
+            exact_prunes: false,
+            ..SchedulerConfig::default()
+        });
+        let a = pruned.schedule_with_workers(&jobs, machines, 1);
+        let b = exhaustive.schedule_with_workers(&jobs, machines, 1);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The allocation-free re-entrant path (`schedule_reusing`, warm
+    /// cache + scratch carried across decisions) returns exactly what a
+    /// fresh `schedule` call does, decision after decision.
+    #[test]
+    fn reused_scratch_matches_fresh_decisions(
+        costs in prop::collection::vec((0.001f64..10.0, 0.001f64..10.0), 1..80),
+        machines in 1u32..2_000,
+    ) {
+        use harmony_core::scratch::{ProfileCache, ScheduleScratch};
+        let jobs = population(&costs);
+        let scheduler = Scheduler::new(SchedulerConfig::default());
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        // Re-run over shrinking suffixes so every reuse starts from a
+        // dirty scratch shaped by a *different* previous population.
+        let mut lo = 0usize;
+        while lo < jobs.len() {
+            let slice = &jobs[lo..];
+            let fresh = scheduler.schedule(slice, machines);
+            let reused = scheduler.schedule_reusing(slice, machines, &mut cache, &mut scratch);
+            prop_assert_eq!(fresh, reused, "suffix starting at {}", lo);
+            lo += 1 + lo / 2;
+        }
+    }
 }
 
 /// The same invariants at cluster scale, where the scan runs in

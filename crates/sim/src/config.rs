@@ -133,6 +133,15 @@ pub struct SimConfig {
     /// place), plan-driven crashes permanently remove machines and
     /// exercise the regrouper's recovery paths.
     pub fault_plan: Option<FaultPlan>,
+    /// Route hot events through the allocation-free fast path: wake
+    /// dedup via per-group pending markers, the incremental
+    /// active-scheduled counter, and reschedules that reuse a
+    /// persistent scratch instead of rebuilding a `ProfileStore` and
+    /// fresh buffers per invocation. The fast path is equivalence-gated:
+    /// `RunReport::canonical_bytes` is bit-identical with the flag off
+    /// (asserted by `tests/sim_equivalence.rs`), so disabling it only
+    /// serves as the reference arm of that comparison.
+    pub fast_event_path: bool,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
 }
@@ -167,6 +176,7 @@ impl Default for SimConfig {
             record_spans: false,
             failure_mtbf_secs: None,
             fault_plan: None,
+            fast_event_path: true,
             max_sim_seconds: 60.0 * 86_400.0,
         }
     }

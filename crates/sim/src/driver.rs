@@ -27,6 +27,7 @@ use crate::groupmem::{self, FitOutcome, JobFootprint, MemoryParams};
 use crate::noise::Straggler;
 use crate::report::{GroupingSnapshot, JobOutcome, PredictionSample, RunReport};
 use crate::runtime::{ExecPhase, GroupSim, JobSim, Phase, SimJobState};
+use crate::schedscratch::SimSchedScratch;
 use crate::spans::SubtaskSpan;
 
 /// Deterministic exponential-ish inter-failure gap (inverse CDF on a
@@ -118,6 +119,10 @@ pub struct Driver {
     /// live count is `jobs.len() - dead_jobs`, so the event loop never
     /// scans the job table to know whether work remains.
     dead_jobs: usize,
+    /// Live jobs currently attached to a group — maintained at every
+    /// attach/detach/terminal transition so utilization sampling never
+    /// scans the job table (fast event path).
+    active_scheduled: usize,
     /// Scratch arena: member snapshots taken while a group is mutated.
     scratch_members: Vec<usize>,
     /// Scratch arena: footprint buffer for the memory model.
@@ -126,6 +131,17 @@ pub struct Driver {
     scratch_fp2: Vec<JobFootprint>,
     /// Scratch arena: alive-group id snapshots for fault targeting.
     scratch_groups: Vec<usize>,
+    /// Scratch arena: fluid completion keys drained on each group
+    /// catch-up (one buffer for both resources, reused per wake).
+    scratch_done: Vec<TaskKey>,
+    /// Scratch arena: notifications produced while handling a wake.
+    scratch_notes: Vec<Notify>,
+    /// Scratch arena: notifications produced inside `bump_and_wake`
+    /// (a separate buffer — `scratch_notes` may be checked out by the
+    /// event loop while a notification handler re-enters a bump).
+    scratch_notes_bump: Vec<Notify>,
+    /// Persistent reschedule buffers (ordering, profiles, core scratch).
+    sched_scratch: SimSchedScratch,
     /// Notifications discovered while mutating group state; drained at
     /// the top event loop only, so scheduling never re-enters itself.
     deferred: Vec<Notify>,
@@ -191,10 +207,15 @@ impl Driver {
             naive_form_scheduled: false,
             isolated_queue: VecDeque::new(),
             dead_jobs: 0,
+            active_scheduled: 0,
             scratch_members: Vec::new(),
             scratch_fp: Vec::new(),
             scratch_fp2: Vec::new(),
             scratch_groups: Vec::new(),
+            scratch_done: Vec::new(),
+            scratch_notes: Vec::new(),
+            scratch_notes_bump: Vec::new(),
+            sched_scratch: SimSchedScratch::new(),
             deferred: Vec::new(),
             cpu_busy_total: 0.0,
             net_busy_total: 0.0,
@@ -270,6 +291,9 @@ impl Driver {
         debug_assert!(matches!(state, SimJobState::Finished | SimJobState::Failed));
         if self.jobs[j].is_live() {
             self.dead_jobs += 1;
+            if self.jobs[j].group.is_some() {
+                self.active_scheduled -= 1;
+            }
         }
         self.jobs[j].state = state;
         self.jobs[j].finish = Some(at);
@@ -321,13 +345,24 @@ impl Driver {
             match kind {
                 EventKind::Arrival(j) => self.on_arrival(j),
                 EventKind::Wake { group, gen } => {
+                    // This wake left the heap: clear its pending marker
+                    // (stale-gen wakes leave newer markers untouched —
+                    // the tuple no longer matches).
+                    if let Some(grp) = self.groups.get_mut(group).and_then(Option::as_mut) {
+                        if grp.pending_wake == Some((gen, t)) {
+                            grp.pending_wake = None;
+                        }
+                    }
                     let valid = self
                         .groups
                         .get(group)
                         .is_some_and(|g| g.as_ref().is_some_and(|g| g.gen == gen));
                     if valid {
-                        let notes = self.advance_group(group);
-                        self.handle_notifications(notes);
+                        let mut notes = std::mem::take(&mut self.scratch_notes);
+                        self.advance_group(group, &mut notes);
+                        self.handle_notifications(&mut notes);
+                        notes.clear();
+                        self.scratch_notes = notes;
                     }
                 }
                 EventKind::Sample => {
@@ -359,8 +394,15 @@ impl Driver {
             // Drain notifications deferred during state mutation.
             let mut guard = 0;
             while !self.deferred.is_empty() {
-                let notes = std::mem::take(&mut self.deferred);
-                self.handle_notifications(notes);
+                let mut notes = std::mem::take(&mut self.deferred);
+                self.handle_notifications(&mut notes);
+                // Hand the (drained) buffer back if nothing new was
+                // deferred, preserving its capacity for the next round.
+                if self.deferred.is_empty() {
+                    notes.clear();
+                    self.deferred = notes;
+                    break;
+                }
                 guard += 1;
                 assert!(guard < 1000, "deferred-notification livelock");
             }
@@ -528,6 +570,9 @@ impl Driver {
                 ),
             );
         }
+        if self.jobs[j].group.is_none() && self.jobs[j].is_live() {
+            self.active_scheduled += 1;
+        }
         let job = &mut self.jobs[j];
         job.group = Some(g);
         job.exec = ExecPhase::Idle {
@@ -562,6 +607,9 @@ impl Driver {
         let Some(g) = self.jobs[j].group.take() else {
             return;
         };
+        if self.jobs[j].is_live() {
+            self.active_scheduled -= 1;
+        }
         let mut owned = self.groups[g].take().expect("job group alive");
         self.finalize_prediction_of(&mut owned);
         self.groups[g] = Some(owned);
@@ -625,12 +673,14 @@ impl Driver {
     }
 
     fn dissolve_group(&mut self, g: usize) {
-        // Advance to now so busy integrals are complete.
+        // Advance to now so busy integrals are complete (completions
+        // surfacing in this final slice are moot — the group is gone).
         let grp = self.groups[g].as_mut().expect("alive group");
         let dt = self.now - grp.last_advance;
         if dt > 0.0 {
-            let (_, used_c) = grp.cpu.advance(dt);
-            let (_, used_n) = grp.net.advance(dt);
+            let used_c = grp.cpu.advance_into(dt, &mut self.scratch_done);
+            let used_n = grp.net.advance_into(dt, &mut self.scratch_done);
+            self.scratch_done.clear();
             grp.cpu_busy += used_c;
             grp.net_busy += used_n;
             grp.last_advance = self.now;
@@ -855,27 +905,33 @@ impl Driver {
     // Subtask execution.
     // ----------------------------------------------------------------
 
-    /// Advances group `g` to `self.now`, processes completions and
-    /// dispatches, then re-arms the group's wake event.
-    fn advance_group(&mut self, g: usize) -> Vec<Notify> {
-        let mut notes = Vec::new();
-        let mut grp = self.groups[g].take().expect("alive group");
+    /// Single-pass fluid catch-up: advances both resources of an owned
+    /// group to `self.now` (one drain, shared by the wake and the
+    /// composition-change paths), accumulates busy integrals, and
+    /// processes completions into `notes` — CPU completions first, then
+    /// network, exactly as the former per-path drains did.
+    fn catch_up(&mut self, grp: &mut GroupSim, notes: &mut Vec<Notify>) {
         let dt = self.now - grp.last_advance;
-        if dt > 0.0 {
-            let (done_cpu, used_c) = grp.cpu.advance(dt);
-            let (done_net, used_n) = grp.net.advance(dt);
-            grp.cpu_busy += used_c;
-            grp.net_busy += used_n;
-            grp.last_advance = self.now;
-            for key in done_cpu.into_iter().chain(done_net) {
-                self.on_subtask_done(&mut grp, key, &mut notes);
-            }
-        } else {
-            grp.last_advance = self.now;
+        grp.last_advance = self.now;
+        if dt <= 0.0 {
+            return;
         }
-        if grp.steady_mark.is_none() && self.now >= grp.steady_at {
-            grp.steady_mark = Some((grp.cpu_busy, grp.net_busy, self.now));
+        let mut done = std::mem::take(&mut self.scratch_done);
+        done.clear();
+        let used_c = grp.cpu.advance_into(dt, &mut done);
+        let used_n = grp.net.advance_into(dt, &mut done);
+        grp.cpu_busy += used_c;
+        grp.net_busy += used_n;
+        for &key in &done {
+            self.on_subtask_done(grp, key, notes);
         }
+        done.clear();
+        self.scratch_done = done;
+    }
+
+    /// Dispatches an owned group and hands it back to the table,
+    /// dissolving it when it emptied or re-arming its wake otherwise.
+    fn dispatch_and_rearm(&mut self, mut grp: GroupSim) {
         self.dispatch(&mut grp);
         let id = grp.id;
         let empty = grp.jobs.is_empty();
@@ -885,50 +941,36 @@ impl Driver {
         } else {
             self.arm_wake(id);
         }
-        notes
+    }
+
+    /// Advances group `g` to `self.now`, processes completions into
+    /// `notes` and dispatches, then re-arms the group's wake event.
+    fn advance_group(&mut self, g: usize, notes: &mut Vec<Notify>) {
+        let mut grp = self.groups[g].take().expect("alive group");
+        self.catch_up(&mut grp, notes);
+        if grp.steady_mark.is_none() && self.now >= grp.steady_at {
+            grp.steady_mark = Some((grp.cpu_busy, grp.net_busy, self.now));
+        }
+        self.dispatch_and_rearm(grp);
     }
 
     /// Bumps the generation (invalidating stale wakes) and re-arms.
     fn bump_and_wake(&mut self, g: usize) {
-        if let Some(grp) = self.groups[g].as_mut() {
-            // Catch up the fluid clock before composition-driven rate
-            // changes take effect.
-            let dt = self.now - grp.last_advance;
-            if dt > 0.0 {
-                let (done_cpu, used_c) = grp.cpu.advance(dt);
-                let (done_net, used_n) = grp.net.advance(dt);
-                grp.cpu_busy += used_c;
-                grp.net_busy += used_n;
-                grp.last_advance = self.now;
-                // Completions discovered here are rare (composition
-                // changes usually happen at completion boundaries). The
-                // resulting notifications are deferred to the event loop
-                // so the scheduler never re-enters itself mid-mutation.
-                if !done_cpu.is_empty() || !done_net.is_empty() {
-                    let mut grp_owned = self.groups[g].take().expect("alive");
-                    let mut notes = Vec::new();
-                    for key in done_cpu.into_iter().chain(done_net) {
-                        self.on_subtask_done(&mut grp_owned, key, &mut notes);
-                    }
-                    let id = grp_owned.id;
-                    self.groups[id] = Some(grp_owned);
-                    self.deferred.extend(notes);
-                }
-            }
-        }
-        if let Some(grp) = self.groups[g].as_mut() {
-            grp.gen += 1;
-            let mut grp = self.groups[g].take().expect("alive");
-            self.dispatch(&mut grp);
-            let id = grp.id;
-            let empty = grp.jobs.is_empty();
-            self.groups[id] = Some(grp);
-            if empty {
-                self.dissolve_group(id);
-            } else {
-                self.arm_wake(id);
-            }
-        }
+        let Some(mut grp) = self.groups.get_mut(g).and_then(Option::take) else {
+            return;
+        };
+        // Catch up the fluid clock before composition-driven rate
+        // changes take effect. Completions discovered here are rare
+        // (composition changes usually happen at completion
+        // boundaries); the resulting notifications are deferred to the
+        // event loop so the scheduler never re-enters itself
+        // mid-mutation.
+        let mut notes = std::mem::take(&mut self.scratch_notes_bump);
+        self.catch_up(&mut grp, &mut notes);
+        self.deferred.append(&mut notes);
+        self.scratch_notes_bump = notes;
+        grp.gen += 1;
+        self.dispatch_and_rearm(grp);
     }
 
     fn arm_wake(&mut self, g: usize) {
@@ -954,6 +996,16 @@ impl Driver {
             }
         }
         if let Some(t) = next {
+            if self.cfg.fast_event_path {
+                let grp = self.groups[g].as_mut().expect("alive");
+                if grp.pending_wake == Some((gen, t)) {
+                    // An identical wake is already sitting in the heap;
+                    // processing the duplicate would be a no-op (same
+                    // instant, same generation), so skip the enqueue.
+                    return;
+                }
+                grp.pending_wake = Some((gen, t));
+            }
             self.push_event(t, EventKind::Wake { group: g, gen });
         }
     }
@@ -1062,6 +1114,9 @@ impl Driver {
         self.finalize_prediction_of(grp);
         grp.unqueue(j);
         grp.jobs.retain(|&x| x != j);
+        if self.jobs[j].group.is_some() && self.jobs[j].is_live() {
+            self.active_scheduled -= 1;
+        }
         self.jobs[j].group = None;
         self.jobs[j].exec = ExecPhase::Idle { ready_at: self.now };
     }
@@ -1596,11 +1651,22 @@ impl Driver {
         }
         self.cpu_tl.record(self.now, (cpu / total).min(1.0));
         self.net_tl.record(self.now, (net / total).min(1.0));
-        let active = self
-            .jobs
-            .iter()
-            .filter(|j| j.group.is_some() && j.is_live())
-            .count();
+        let active = if self.cfg.fast_event_path {
+            debug_assert_eq!(
+                self.active_scheduled,
+                self.jobs
+                    .iter()
+                    .filter(|j| j.group.is_some() && j.is_live())
+                    .count(),
+                "active-scheduled counter out of sync"
+            );
+            self.active_scheduled
+        } else {
+            self.jobs
+                .iter()
+                .filter(|j| j.group.is_some() && j.is_live())
+                .count()
+        };
         if active > 0 {
             self.concurrent_stats.observe(active as f64);
         }
@@ -1610,8 +1676,8 @@ impl Driver {
     // Harmony scheduling integration.
     // ----------------------------------------------------------------
 
-    fn handle_notifications(&mut self, notes: Vec<Notify>) {
-        for note in notes {
+    fn handle_notifications(&mut self, notes: &mut Vec<Notify>) {
+        for note in notes.drain(..) {
             match self.cfg.scheduler {
                 SchedulerKind::Harmony | SchedulerKind::Oracle => match note {
                     Notify::Profiled(j) => self.on_profiled_harmony(j),
@@ -1829,6 +1895,10 @@ impl Driver {
     /// Runs Algorithm 1 (or the oracle) over all schedulable jobs and
     /// rebuilds every non-profiling group.
     fn full_reschedule(&mut self) {
+        if self.cfg.fast_event_path {
+            self.full_reschedule_reusing();
+            return;
+        }
         // Ordered J_profiled ∪ J_paused ∪ J_running, as in Algorithm 1;
         // within each class, shortest predicted iteration first, so the
         // incremental prefix favors quick jobs (the paper's preference
@@ -1886,6 +1956,104 @@ impl Driver {
         };
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
+        let involved: Vec<usize> = self
+            .alive_groups()
+            .filter(|&g| !self.group_is_actively_profiling(g))
+            .collect();
+        self.apply_outcome(&outcome, &involved);
+    }
+
+    /// The fast-path twin of [`Self::full_reschedule`]: identical
+    /// ordering, filtering and error-injection semantics, but fed from
+    /// the persistent [`SimSchedScratch`] — no `ProfileStore` rebuild,
+    /// no fresh ordering/profile vectors, and the core scheduler's
+    /// derived arrays are carried across invocations
+    /// (`schedule_reusing`).
+    fn full_reschedule_reusing(&mut self) {
+        let mut ss = std::mem::take(&mut self.sched_scratch);
+        ss.profiles.clear();
+        let inject = self.cfg.error_injection;
+        // Ordered J_profiled ∪ J_paused ∪ J_running, as in Algorithm 1;
+        // within each class, shortest predicted remaining time first.
+        for state in [
+            SimJobState::Profiled,
+            SimJobState::Paused,
+            SimJobState::Running,
+        ] {
+            ss.class.clear();
+            ss.class
+                .extend((0..self.jobs.len()).filter(|&j| self.jobs[j].state == state));
+            ss.class.sort_by(|&a, &b| {
+                let key = |j: usize| {
+                    let p = &self.jobs[j].profile;
+                    if p.is_warm() {
+                        p.iter_time_at(16) * self.jobs[j].iterations_left() as f64
+                    } else {
+                        f64::MAX
+                    }
+                };
+                key(a).partial_cmp(&key(b)).expect("finite").then(a.cmp(&b))
+            });
+            for &j in ss.class.iter() {
+                // Same visibility rule as the store-backed path: the
+                // scheduler sees warm profiles only (all three states
+                // imply liveness, so warmth is the whole filter).
+                let p = &self.jobs[j].profile;
+                if !p.is_warm() {
+                    continue;
+                }
+                if inject > 0.0 {
+                    // Persistent per-job error (Figure 13a simulates a
+                    // *model* with a given error level, so a job's bias
+                    // must not average out across decisions).
+                    let e1 = persistent_error(self.cfg.seed, j as u64, 0, inject);
+                    let e2 = persistent_error(self.cfg.seed, j as u64, 1, inject);
+                    let mut q = JobProfile::from_reference(
+                        p.job(),
+                        (p.tcpu_at(1) * (1.0 + e1)).max(1e-6),
+                        (p.tnet() * (1.0 + e2)).max(1e-6),
+                    );
+                    q.set_memory_footprint(p.input_bytes(), p.model_bytes());
+                    ss.profiles.push(q);
+                } else {
+                    ss.profiles.push(p.clone());
+                }
+            }
+        }
+        if ss.profiles.is_empty() {
+            self.sched_scratch = ss;
+            return;
+        }
+        let profiling_held: u32 = self
+            .alive_groups()
+            .filter(|&g| self.group_is_actively_profiling(g))
+            .map(|g| self.groups[g].as_ref().expect("alive").machines)
+            .sum();
+        let machines = self.available_machines().saturating_sub(profiling_held);
+        if machines == 0 {
+            self.sched_scratch = ss;
+            return;
+        }
+        let t0 = Instant::now();
+        let outcome = match self.cfg.scheduler {
+            SchedulerKind::Oracle => {
+                assert!(
+                    ss.profiles.len() <= OracleScheduler::MAX_JOBS,
+                    "oracle runs are limited to {} jobs",
+                    OracleScheduler::MAX_JOBS
+                );
+                self.oracle.schedule(&ss.profiles, machines)
+            }
+            _ => self.scheduler.schedule_reusing(
+                &ss.profiles,
+                machines,
+                &mut ss.cache,
+                &mut ss.scratch,
+            ),
+        };
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        self.sched_scratch = ss;
         let involved: Vec<usize> = self
             .alive_groups()
             .filter(|&g| !self.group_is_actively_profiling(g))

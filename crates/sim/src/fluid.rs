@@ -35,6 +35,15 @@ pub struct Fluid {
     capacity: f64,
     beta: f64,
     tasks: Vec<Task>,
+    // Aggregates over the current task set, refreshed on every
+    // membership change so the per-wake queries (`usage`,
+    // `time_to_next_completion`, `advance`) never re-fold demands.
+    // Each refresh folds in task-insertion order — the exact fold the
+    // uncached code performed per query — so cached values are
+    // bit-identical, not merely close.
+    share: f64,
+    interference: f64,
+    usage_sum: f64,
 }
 
 impl Fluid {
@@ -51,6 +60,9 @@ impl Fluid {
             capacity,
             beta,
             tasks: Vec::new(),
+            share: 1.0,
+            interference: 1.0,
+            usage_sum: 0.0,
         }
     }
 
@@ -82,41 +94,46 @@ impl Fluid {
             demand,
             remaining: work,
         });
+        self.refresh();
     }
 
-    /// Shared-rate coefficients `(share, interference)`: every task
-    /// progresses at `demand * share * interference`, so per-task rate
-    /// vectors never need to be materialized.
-    fn rate_coeffs(&self) -> (f64, f64) {
+    /// Re-folds the shared-rate coefficients and the usage aggregate
+    /// after a membership change. Every task progresses at
+    /// `demand * share * interference`, so per-task rate vectors never
+    /// need to be materialized.
+    fn refresh(&mut self) {
         let n = self.tasks.len();
         if n == 0 {
-            return (1.0, 1.0);
+            self.share = 1.0;
+            self.interference = 1.0;
+            self.usage_sum = 0.0;
+            return;
         }
         let total: f64 = self.tasks.iter().map(|t| t.demand).sum();
-        let share = if total > self.capacity {
+        self.share = if total > self.capacity {
             self.capacity / total
         } else {
             1.0
         };
-        let interference = 1.0 / (1.0 + self.beta * (n as f64 - 1.0));
-        (share, interference)
+        self.interference = 1.0 / (1.0 + self.beta * (n as f64 - 1.0));
+        let (share, interference) = (self.share, self.interference);
+        self.usage_sum = self
+            .tasks
+            .iter()
+            .map(|t| t.demand * share * interference)
+            .sum::<f64>();
     }
 
     /// Instantaneous total consumption (for utilization accounting),
     /// in `[0, capacity]`.
     pub fn usage(&self) -> f64 {
-        let (share, interference) = self.rate_coeffs();
-        self.tasks
-            .iter()
-            .map(|t| t.demand * share * interference)
-            .sum::<f64>()
-            .min(self.capacity)
+        self.usage_sum.min(self.capacity)
     }
 
     /// Seconds until the next task completes at current rates, or
     /// `None` when idle.
     pub fn time_to_next_completion(&self) -> Option<f64> {
-        let (share, interference) = self.rate_coeffs();
+        let (share, interference) = (self.share, self.interference);
         self.tasks
             .iter()
             .map(|t| {
@@ -142,34 +159,57 @@ impl Fluid {
     ///
     /// Panics if `dt` is negative.
     pub fn advance(&mut self, dt: f64) -> (Vec<TaskKey>, f64) {
+        let mut finished = Vec::new();
+        let consumed = self.advance_into(dt, &mut finished);
+        (finished, consumed)
+    }
+
+    /// [`Self::advance`] against a caller-owned completion buffer:
+    /// finished keys are *appended* to `out` (existing contents are
+    /// preserved), so the per-wake drain in the driver reuses one
+    /// buffer across both resources and never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn advance_into(&mut self, dt: f64, out: &mut Vec<TaskKey>) -> f64 {
         assert!(dt >= 0.0, "time cannot run backwards");
         if self.tasks.is_empty() || dt == 0.0 {
-            return (Vec::new(), 0.0);
+            return 0.0;
         }
-        let (share, interference) = self.rate_coeffs();
+        let (share, interference) = (self.share, self.interference);
         let consumed = self.usage() * dt;
-        let mut finished = Vec::new();
+        let before = out.len();
         for task in self.tasks.iter_mut() {
             task.remaining -= task.demand * share * interference * dt;
             if task.remaining <= 1e-9 {
-                finished.push(task.key);
+                out.push(task.key);
             }
         }
-        self.tasks.retain(|t| t.remaining > 1e-9);
-        (finished, consumed)
+        if out.len() != before {
+            self.tasks.retain(|t| t.remaining > 1e-9);
+            self.refresh();
+        }
+        consumed
     }
 
     /// Removes a task regardless of progress (job pause/migration).
     /// Returns the remaining work if the task was present.
     pub fn cancel(&mut self, key: TaskKey) -> Option<f64> {
         let idx = self.tasks.iter().position(|t| t.key == key)?;
-        Some(self.tasks.remove(idx).remaining)
+        let remaining = self.tasks.remove(idx).remaining;
+        self.refresh();
+        Some(remaining)
     }
 
     /// Removes every task belonging to `job` (pause / failure paths),
     /// without materializing the key list first.
     pub fn cancel_all_of(&mut self, job: usize) {
+        let before = self.tasks.len();
         self.tasks.retain(|t| t.key.job != job);
+        if self.tasks.len() != before {
+            self.refresh();
+        }
     }
 
     /// Keys of active tasks belonging to `job`.

@@ -46,6 +46,7 @@ pub mod groupmem;
 pub mod noise;
 pub mod report;
 pub mod runtime;
+pub(crate) mod schedscratch;
 pub mod spans;
 
 pub use config::{ReloadPolicy, SchedulerKind, SimConfig};

@@ -245,6 +245,11 @@ pub struct GroupSim {
     pub slow_factor: f64,
     /// End of the transient slowdown window.
     pub slow_until: f64,
+    /// The `(gen, time)` of this group's wake event currently sitting
+    /// in the driver's heap, if any — set on push, cleared on the
+    /// matching pop, so re-arming an identical wake can skip the
+    /// duplicate enqueue entirely (fast event path).
+    pub pending_wake: Option<(u64, f64)>,
 }
 
 impl GroupSim {
@@ -282,6 +287,7 @@ impl GroupSim {
             steady_mark: None,
             slow_factor: 1.0,
             slow_until: 0.0,
+            pending_wake: None,
         }
     }
 

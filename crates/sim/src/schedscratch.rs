@@ -1,0 +1,43 @@
+//! Persistent scratch for the simulator's reschedule path.
+//!
+//! Every `full_reschedule` used to rebuild a `ProfileStore` (a
+//! `BTreeMap` clone of every warm profile), per-class ordering
+//! vectors, a fresh profile vector and the core scheduler's internal
+//! buffers — all heap traffic repeated on each trigger. This scratch
+//! keeps those buffers alive across invocations so the steady-state
+//! reschedule allocates nothing once warmed up; the ordering and
+//! filtering logic itself is unchanged, and the profile sequence fed
+//! to Algorithm 1 is byte-identical to the store-backed path.
+
+use harmony_core::profile::JobProfile;
+use harmony_core::scratch::{ProfileCache, ScheduleScratch};
+
+/// Reused buffers for [`crate::driver::Driver`]'s full reschedule.
+pub(crate) struct SimSchedScratch {
+    /// Job indices of the state class being ordered (cleared per class).
+    pub class: Vec<usize>,
+    /// Profiles of the ordered schedulable jobs (J_profiled ∪ J_paused
+    /// ∪ J_running), in decision order; flat copies, capacity reused.
+    pub profiles: Vec<JobProfile>,
+    /// Per-profile derived arrays reused by the core scheduler.
+    pub cache: ProfileCache,
+    /// Candidate-scan scratch reused by the core scheduler.
+    pub scratch: ScheduleScratch,
+}
+
+impl SimSchedScratch {
+    pub fn new() -> Self {
+        Self {
+            class: Vec::new(),
+            profiles: Vec::new(),
+            cache: ProfileCache::empty(),
+            scratch: ScheduleScratch::new(),
+        }
+    }
+}
+
+impl Default for SimSchedScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}

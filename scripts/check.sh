@@ -4,8 +4,10 @@
 # Usage: scripts/check.sh [--bench-smoke]
 #   --bench-smoke  additionally run the perf-baseline binaries at tiny
 #                  scale and validate their emitted JSON — plus the
-#                  committed BENCH_*.json files — against the perfjson
-#                  schema (see crates/bench/src/perfjson.rs).
+#                  committed BENCH_*.json files (including the enlarged
+#                  sim_driver sweep) — against the perfjson schema (see
+#                  crates/bench/src/perfjson.rs), and run the simulator
+#                  fast-event-path equivalence gate at tiny scale.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +33,10 @@ echo "==> cargo test"
 cargo test --workspace --quiet
 
 if [ "$BENCH_SMOKE" = 1 ]; then
+    echo "==> sim equivalence smoke (fast event path == reference bytes)"
+    cargo test --release -q -p harmony --test sim_equivalence \
+        tiny_scale_fast_path_matches_reference
+
     echo "==> bench smoke (schema check)"
     SMOKE_DIR=target/bench_smoke
     mkdir -p "$SMOKE_DIR"
