@@ -3,17 +3,26 @@
 //! co-located on one in-process cluster with Harmony's subtask
 //! discipline — the role Bösen parity plays in the paper.
 //!
-//! The binary also emits the repo's machine-readable simulator baseline
-//! (`BENCH_sim.json`, see `harmony_bench::perfjson`): wall-clock of the
-//! end-to-end PS training run (`case: "ps_train"`) and of full
-//! discrete-event simulations at a sweep of workload scales
-//! (`case: "sim_driver"`), so regressions on the sim event path show up
-//! as diffs against the committed file. Flags: `--smoke` (tiny scale,
-//! for `scripts/check.sh --bench-smoke`), `--out <path>`.
+//! The binary also emits two machine-readable baselines (see
+//! `harmony_bench::perfjson`):
+//!
+//! - `BENCH_sim.json`: wall-clock of the end-to-end PS training run
+//!   (`case: "ps_train"`) and of full discrete-event simulations at a
+//!   sweep of workload scales (`case: "sim_driver"`);
+//! - `BENCH_ps.json`: the PS runtime matrix — one Lasso job timed on
+//!   both runtime arms (`case: "fast_runtime"` vs `"reference"`) at
+//!   growing model scale, `jobs` = model dimension and `machines` =
+//!   worker count per row. The arms are bit-identical
+//!   (`tests/ps_equivalence.rs`), so the rows isolate the cost of
+//!   per-iteration allocation and phase barriers.
+//!
+//! Flags: `--smoke` (tiny scale, for `scripts/check.sh --bench-smoke`),
+//! `--out <path>` (sim report), `--ps-out <path>` (runtime matrix).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use harmony_bench::{harmony_config, parse_bench_args, BenchReport, BenchRow};
+use harmony_bench::{harmony_config, BenchReport, BenchRow};
 use harmony_metrics::TextTable;
 use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
 use harmony_ps::{JobBuilder, JobReport, PsCluster, PsConfig};
@@ -26,6 +35,7 @@ fn run_ps_jobs(nodes: usize, iters: u64) -> Vec<JobReport> {
     let cluster = PsCluster::new(PsConfig {
         nodes,
         network_bytes_per_sec: None,
+        ..PsConfig::default()
     });
 
     let mlr_data = synth::classification(400, 64, 5, 0.25, 1);
@@ -93,6 +103,52 @@ fn run_ps_jobs(nodes: usize, iters: u64) -> Vec<JobReport> {
     reports
 }
 
+/// Times one `workers`-worker Lasso job of `dim` parameters on one
+/// runtime arm, `reps` times on a single cluster (so the fast arm's
+/// buffer pool reaches steady state), after one untimed warmup rep.
+/// Data/job construction stays outside the timer.
+fn ps_runtime_row(workers: usize, dim: usize, iters: u64, reps: usize, fast: bool) -> BenchRow {
+    let cluster = PsCluster::new(PsConfig {
+        nodes: workers,
+        network_bytes_per_sec: None,
+        fast_runtime: fast,
+    });
+    // ~100 non-zeros per example regardless of dimension: COMP cost is
+    // dominated by the O(dim) dense passes, like the wide sparse models
+    // the paper's applications train.
+    let density = (100.0 / dim as f64).min(1.0);
+    let data = synth::regression(8 * workers as u32, dim, density, 42);
+    let job = || {
+        JobBuilder::new(format!("lasso-{dim}"))
+            .workers(
+                synth::partition(&data, workers)
+                    .into_iter()
+                    .map(|p| Box::new(Lasso::new(p, dim, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+            )
+            .max_iterations(iters)
+            .check_every(iters)
+            .build()
+    };
+    let _ = cluster.run_jobs(vec![job()]); // warmup
+    let samples = (0..reps)
+        .map(|_| {
+            let j = job();
+            let t0 = Instant::now();
+            let report = cluster.run_jobs(vec![j]).remove(0);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.iterations, iters);
+            assert!(report.final_loss.is_finite());
+            dt
+        })
+        .collect();
+    BenchRow::new(
+        if fast { "fast_runtime" } else { "reference" },
+        dim,
+        workers as u32,
+        samples,
+    )
+}
+
 /// Times `Driver::run` on a synthetic workload of `jobs` jobs over
 /// `machines` machines, `reps` times; returns wall-clock ms samples.
 fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> Vec<f64> {
@@ -116,8 +172,36 @@ fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Parses `--smoke` / `--out <path>` / `--ps-out <path>`.
+fn parse_args() -> (bool, PathBuf, PathBuf) {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_sim.json");
+    let mut ps_out = PathBuf::from("BENCH_ps.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut path_arg = |flag: &str| {
+            args.next().map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = path_arg("--out"),
+            "--ps-out" => ps_out = path_arg("--ps-out"),
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (expected --smoke / --out <path> / --ps-out <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    (smoke, out, ps_out)
+}
+
 fn main() {
-    let (smoke, out_path) = parse_bench_args("BENCH_sim.json");
+    let (smoke, out_path, ps_out_path) = parse_args();
     let nodes = 4;
     let ps_iters = if smoke { 10 } else { 40 };
     let ps_reps = if smoke { 2 } else { 5 };
@@ -176,6 +260,43 @@ fn main() {
 
     report.write(&out_path).expect("write bench report");
     println!("wrote {}", out_path.display());
+
+    // PS runtime matrix: both arms at growing model scale. `jobs`
+    // carries the model dimension, `machines` the worker count.
+    let ps_scales: &[(usize, usize, u64, usize)] = if smoke {
+        &[(2, 1_000, 4, 2)] // (workers, dim, iters, reps)
+    } else {
+        &[(4, 10_000, 8, 5), (8, 100_000, 8, 5), (16, 1_000_000, 8, 3)]
+    };
+    let mut ps_report = BenchReport::new("ps_runtime");
+    let mut runtime_table = TextTable::new([
+        "workers",
+        "model dim",
+        "fast median (ms)",
+        "reference median (ms)",
+        "speedup",
+    ]);
+    for &(workers, dim, iters, reps) in ps_scales {
+        let fast = ps_runtime_row(workers, dim, iters, reps, true);
+        let reference = ps_runtime_row(workers, dim, iters, reps, false);
+        let (fast_median, _, _) = fast.stats();
+        let (ref_median, _, _) = reference.stats();
+        runtime_table.row([
+            workers.to_string(),
+            dim.to_string(),
+            format!("{fast_median:.2}"),
+            format!("{ref_median:.2}"),
+            format!("{:.2}x", ref_median / fast_median),
+        ]);
+        ps_report.push(fast);
+        ps_report.push(reference);
+    }
+    println!("\nPS runtime arms (pooled+pipelined vs phase-barriered reference)\n");
+    println!("{runtime_table}");
+    ps_report
+        .write(&ps_out_path)
+        .expect("write ps bench report");
+    println!("wrote {}", ps_out_path.display());
 
     println!(
         "\nPaper finding reproduced when: every application's loss improves \

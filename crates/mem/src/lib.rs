@@ -21,14 +21,18 @@
 //!   pluggable backends (pure accounting, or real temp files);
 //! - [`alpha`]: the per-job hill-climbing α controller;
 //! - [`gc`]: the analytic GC-pressure model shared with the cluster
-//!   simulator.
+//!   simulator;
+//! - [`pool`]: a recycling pool of `f64` working buffers so the PS
+//!   runtime's steady-state iterations allocate nothing.
 
 pub mod alpha;
 pub mod block;
 pub mod gc;
+pub mod pool;
 pub mod store;
 
 pub use alpha::AlphaController;
 pub use block::{Block, BlockId, Residency};
 pub use gc::GcModel;
+pub use pool::{BufferPool, PoolStats, PooledBuffer};
 pub use store::{BlockStore, FileBackend, NullBackend, SpillBackend};

@@ -1,0 +1,235 @@
+//! A recycling pool of `f64` working buffers.
+//!
+//! The PS runtime needs one pull buffer and one gradient buffer per
+//! worker per job, every iteration. Allocating them fresh each
+//! iteration puts megabytes of short-lived garbage on the allocator's
+//! fast path (and, for large models, forces mmap/munmap churn); the
+//! pool instead hands out [`PooledBuffer`]s that return themselves on
+//! drop, so a steady-state training iteration performs zero heap
+//! allocations.
+//!
+//! Where [`crate::BlockStore`] manages *input* blocks (spillable,
+//! disk-backed, §IV-C), `BufferPool` manages *working* memory: always
+//! resident, length-keyed, zero-initialised on acquire. Ownership
+//! rules:
+//!
+//! - `acquire(len)` returns a zeroed buffer of exactly `len` elements,
+//!   reusing a free buffer of the same length when one exists;
+//! - the buffer is exclusively owned until dropped — no aliasing, no
+//!   generation counters;
+//! - dropping returns the allocation to the pool's free list (the
+//!   pool itself is `Arc`-shared internally, so buffers may outlive
+//!   the handle they were acquired from).
+
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared state behind every [`BufferPool`] handle and the buffers it
+/// has issued.
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Free buffers, keyed by length so mixed-size jobs don't thrash.
+    free: Mutex<BTreeMap<usize, Vec<Box<[f64]>>>>,
+    /// Buffers created fresh because no free one matched.
+    allocations: AtomicUsize,
+    /// Acquisitions served from the free list.
+    reuses: AtomicUsize,
+    /// Buffers currently held by callers.
+    outstanding: AtomicUsize,
+}
+
+/// Length-keyed recycling pool of zero-initialised `f64` buffers.
+///
+/// Cloning the handle is cheap and shares the underlying free lists.
+#[derive(Debug, Clone, Default)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+/// Counters describing a pool's lifetime behaviour (see
+/// [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh heap allocations performed by `acquire`.
+    pub allocations: usize,
+    /// Acquisitions satisfied by recycling a previously-freed buffer.
+    pub reuses: usize,
+    /// Buffers currently checked out.
+    pub outstanding: usize,
+    /// Buffers sitting on the free lists.
+    pub free: usize,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zeroed buffer of exactly `len` elements, recycling a
+    /// same-length free buffer when available.
+    pub fn acquire(&self, len: usize) -> PooledBuffer {
+        let recycled = {
+            let mut free = self.inner.free.lock().expect("pool lock");
+            free.get_mut(&len).and_then(Vec::pop)
+        };
+        let buf = match recycled {
+            Some(mut buf) => {
+                self.inner.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.fill(0.0);
+                buf
+            }
+            None => {
+                self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len].into_boxed_slice()
+            }
+        };
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        PooledBuffer {
+            buf: Some(buf),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Lifetime counters for this pool.
+    pub fn stats(&self) -> PoolStats {
+        let free = {
+            let map = self.inner.free.lock().expect("pool lock");
+            map.values().map(Vec::len).sum()
+        };
+        PoolStats {
+            allocations: self.inner.allocations.load(Ordering::Relaxed),
+            reuses: self.inner.reuses.load(Ordering::Relaxed),
+            outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+            free,
+        }
+    }
+}
+
+/// An exclusively-owned `f64` buffer that returns itself to its
+/// [`BufferPool`] when dropped. Derefs to `[f64]`.
+#[derive(Debug)]
+pub struct PooledBuffer {
+    buf: Option<Box<[f64]>>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuffer {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.slice().len()
+    }
+
+    /// True when the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.slice().is_empty()
+    }
+
+    fn slice(&self) -> &[f64] {
+        self.buf.as_deref().expect("buffer present until drop")
+    }
+}
+
+impl Deref for PooledBuffer {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.slice()
+    }
+}
+
+impl DerefMut for PooledBuffer {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.buf.as_deref_mut().expect("buffer present until drop")
+    }
+}
+
+impl AsRef<[f64]> for PooledBuffer {
+    fn as_ref(&self) -> &[f64] {
+        self.slice()
+    }
+}
+
+impl AsMut<[f64]> for PooledBuffer {
+    fn as_mut(&mut self) -> &mut [f64] {
+        self.buf.as_deref_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for PooledBuffer {
+    fn drop(&mut self) {
+        let buf = self.buf.take().expect("double drop");
+        self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut free = self.pool.free.lock().expect("pool lock");
+        free.entry(buf.len()).or_default().push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_returns_zeroed_buffer_of_requested_len() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&x| x == 0.0));
+        b[3] = 7.0;
+        assert_eq!(b[3], 7.0);
+    }
+
+    #[test]
+    fn drop_recycles_and_acquire_rezeroes() {
+        let pool = BufferPool::new();
+        {
+            let mut b = pool.acquire(8);
+            b.fill(9.0);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.outstanding, 0);
+        assert_eq!(stats.free, 1);
+
+        let b = pool.acquire(8);
+        assert!(b.iter().all(|&x| x == 0.0), "recycled buffer re-zeroed");
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 1, "no second allocation");
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.outstanding, 1);
+    }
+
+    #[test]
+    fn lengths_are_keyed_independently() {
+        let pool = BufferPool::new();
+        drop(pool.acquire(4));
+        let _b8 = pool.acquire(8);
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 2, "len-8 cannot reuse the len-4 slot");
+        assert_eq!(stats.free, 1);
+    }
+
+    #[test]
+    fn buffers_outlive_the_pool_handle() {
+        let pool = BufferPool::new();
+        let clone = pool.clone();
+        let b = pool.acquire(4);
+        drop(pool);
+        drop(b);
+        assert_eq!(clone.stats().free, 1);
+    }
+
+    #[test]
+    fn steady_state_reuse_allocates_once_per_size() {
+        let pool = BufferPool::new();
+        for _ in 0..100 {
+            let _a = pool.acquire(32);
+            let _b = pool.acquire(32);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.reuses, 198);
+    }
+}

@@ -24,6 +24,7 @@ mod cdf;
 mod events;
 mod ewma;
 mod online;
+mod phase;
 mod table;
 mod timeline;
 
@@ -31,5 +32,6 @@ pub use cdf::Cdf;
 pub use events::{EventLog, TimelineEvent};
 pub use ewma::{Ewma, MovingAverage};
 pub use online::OnlineStats;
+pub use phase::PhaseTimes;
 pub use table::{fmt3, TextTable};
 pub use timeline::{Timeline, TimelinePoint};

@@ -76,11 +76,20 @@ impl PsAlgorithm for Lasso {
             .collect()
     }
 
-    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+    fn compute_update_into(&mut self, model: &[f64], update: &mut [f64]) {
         assert_eq!(model.len(), self.features, "model length mismatch");
-        let mut update = vec![0.0; self.features];
+        assert_eq!(update.len(), self.features, "update length mismatch");
         if self.partition.is_empty() {
-            return update;
+            update.fill(0.0);
+            return;
+        }
+        // Single dense pass: seed each slot with the L1 subgradient
+        // (instead of zero-filling and adding it in a second sweep) —
+        // the sparse gradient terms then accumulate on top. The model
+        // is wide and the data sparse, so the dense sweeps dominate.
+        let reg = -self.learning_rate * self.l1;
+        for (u, &w) in update.iter_mut().zip(model) {
+            *u = reg * w.signum() * f64::from(u8::from(w != 0.0));
         }
         let scale = -self.learning_rate / self.partition.len() as f64;
         for (x, y) in &self.partition {
@@ -89,11 +98,6 @@ impl PsAlgorithm for Lasso {
                 update[i as usize] += scale * 2.0 * err * v;
             }
         }
-        // L1 subgradient on the whole weight vector.
-        for (u, &w) in update.iter_mut().zip(model) {
-            *u += -self.learning_rate * self.l1 * w.signum() * f64::from(u8::from(w != 0.0));
-        }
-        update
     }
 
     fn loss(&self, model: &[f64]) -> f64 {

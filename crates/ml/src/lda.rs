@@ -29,6 +29,9 @@ pub struct Lda {
     beta: f64,
     rng: StdRng,
     total_tokens: usize,
+    /// Per-token sampling distribution scratch (length `topics`), kept
+    /// as a field so steady-state COMP subtasks allocate nothing.
+    probs: Vec<f64>,
 }
 
 impl Lda {
@@ -68,6 +71,7 @@ impl Lda {
             beta: 0.01,
             rng,
             total_tokens,
+            probs: vec![0.0; topics],
         }
     }
 
@@ -104,13 +108,14 @@ impl PsAlgorithm for Lda {
         vec![0.0; self.model_len()]
     }
 
-    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+    fn compute_update_into(&mut self, model: &[f64], delta: &mut [f64]) {
         assert_eq!(model.len(), self.model_len(), "model length mismatch");
-        let mut delta = vec![0.0; model.len()];
+        assert_eq!(delta.len(), self.model_len(), "update length mismatch");
+        delta.fill(0.0);
         let vocab = self.vocab;
         let topics = self.topics;
         let vbeta = vocab as f64 * self.beta;
-        let mut probs = vec![0.0; topics];
+        let mut probs = std::mem::take(&mut self.probs);
         for (d, tokens) in self.docs.iter_mut().enumerate() {
             for tok in tokens.iter_mut() {
                 let (word, old_t) = *tok;
@@ -145,7 +150,7 @@ impl PsAlgorithm for Lda {
                 *tok = (word, new_t);
             }
         }
-        delta
+        self.probs = probs;
     }
 
     fn loss(&self, model: &[f64]) -> f64 {

@@ -66,10 +66,22 @@ pub trait PsAlgorithm: Send {
     /// same `seed`, so servers can be seeded by any one worker).
     fn init_model(&self, seed: u64) -> Vec<f64>;
 
-    /// One mini-batch of computation: consumes the current global model
-    /// and returns an additive update (already scaled by the learning
-    /// rate and partition size). This is the COMP subtask body.
-    fn compute_update(&mut self, model: &[f64]) -> Vec<f64>;
+    /// One mini-batch of computation: reads the current global model and
+    /// overwrites `update` (length [`PsAlgorithm::model_len`]) with an
+    /// additive update, already scaled by the learning rate and
+    /// partition size. This is the COMP subtask body; implementations
+    /// keep any per-call scratch as reusable fields so steady-state
+    /// iterations perform no heap allocation (the fast PS runtime's
+    /// zero-allocation gate depends on it).
+    fn compute_update_into(&mut self, model: &[f64], update: &mut [f64]);
+
+    /// Allocating convenience wrapper around
+    /// [`PsAlgorithm::compute_update_into`].
+    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+        let mut update = vec![0.0; self.model_len()];
+        self.compute_update_into(model, &mut update);
+        update
+    }
 
     /// This worker's contribution to the global objective (e.g. the sum
     /// of losses over the local partition). The master sums

@@ -19,6 +19,9 @@ pub struct Mlr {
     features: usize,
     classes: usize,
     learning_rate: f64,
+    /// Per-example logits scratch, kept as a field so steady-state COMP
+    /// subtasks allocate nothing.
+    logits: Vec<f64>,
 }
 
 impl Mlr {
@@ -46,6 +49,7 @@ impl Mlr {
             features,
             classes,
             learning_rate,
+            logits: vec![0.0; classes],
         }
     }
 
@@ -93,16 +97,23 @@ impl PsAlgorithm for Mlr {
             .collect()
     }
 
-    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+    fn compute_update_into(&mut self, model: &[f64], update: &mut [f64]) {
         assert_eq!(model.len(), self.model_len(), "model length mismatch");
-        let mut update = vec![0.0; model.len()];
+        assert_eq!(update.len(), self.model_len(), "update length mismatch");
+        update.fill(0.0);
         if self.partition.is_empty() {
-            return update;
+            return;
         }
         let scale = -self.learning_rate / self.partition.len() as f64;
+        // take/restore splits the scratch borrow from `self.partition`.
+        let mut logits = std::mem::take(&mut self.logits);
         for (x, y) in &self.partition {
-            let probs = self.probabilities(model, x);
-            for (c, &p) in probs.iter().enumerate() {
+            for (c, logit) in logits.iter_mut().enumerate() {
+                let row = &model[c * self.features..(c + 1) * self.features];
+                *logit = x.dot_dense(row);
+            }
+            softmax(&mut logits);
+            for (c, &p) in logits.iter().enumerate() {
                 // d L / d logits_c = p_c - 1{c == y}
                 let g = p - f64::from(u8::from(c == *y));
                 if g == 0.0 {
@@ -114,7 +125,7 @@ impl PsAlgorithm for Mlr {
                 }
             }
         }
-        update
+        self.logits = logits;
     }
 
     fn loss(&self, model: &[f64]) -> f64 {

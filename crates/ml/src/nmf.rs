@@ -30,6 +30,9 @@ pub struct Nmf {
     learning_rate: f64,
     /// Worker-local user factors, keyed by user id.
     user_factors: BTreeMap<u32, Vec<f64>>,
+    /// Per-rating `H` column scratch (length `rank`), kept as a field so
+    /// steady-state COMP subtasks allocate nothing.
+    h_scratch: Vec<f64>,
 }
 
 impl Nmf {
@@ -59,6 +62,7 @@ impl Nmf {
             items,
             learning_rate,
             user_factors,
+            h_scratch: vec![0.0; rank],
         }
     }
 
@@ -89,18 +93,23 @@ impl PsAlgorithm for Nmf {
             .collect()
     }
 
-    fn compute_update(&mut self, model: &[f64]) -> Vec<f64> {
+    fn compute_update_into(&mut self, model: &[f64], update: &mut [f64]) {
         assert_eq!(model.len(), self.model_len(), "model length mismatch");
-        let mut update = vec![0.0; model.len()];
+        assert_eq!(update.len(), self.model_len(), "update length mismatch");
+        update.fill(0.0);
         if self.ratings.is_empty() {
-            return update;
+            return;
         }
         let lr = self.learning_rate;
         // Pass 1: refresh local user rows against the pulled H.
+        // take/restore splits the borrows from `self`'s methods.
         let ratings = std::mem::take(&mut self.ratings);
+        let mut h = std::mem::take(&mut self.h_scratch);
         for &(u, i, r) in &ratings {
             let err = self.predict(model, u, i) - r;
-            let h: Vec<f64> = self.h_col(model, i).collect();
+            for (hk, hv) in h.iter_mut().zip(self.h_col(model, i)) {
+                *hk = hv;
+            }
             let w = self.user_factors.get_mut(&u).expect("user row exists");
             for (wk, hk) in w.iter_mut().zip(&h) {
                 *wk = (*wk - lr * err * hk).max(0.0);
@@ -115,7 +124,7 @@ impl PsAlgorithm for Nmf {
             }
         }
         self.ratings = ratings;
-        update
+        self.h_scratch = h;
     }
 
     fn loss(&self, model: &[f64]) -> f64 {

@@ -29,19 +29,46 @@ pub struct AllReduceStats {
     pub elements_moved: usize,
 }
 
-/// Reduces the workers' update vectors into their element-wise sum via
+/// Splits `xs` into disjoint `&mut` references to positions `a` and
+/// `b`, so a transfer can read one buffer while writing another without
+/// copying the payload first.
+fn pair_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(a, b, "ring link endpoints must differ");
+    if a < b {
+        let (lo, hi) = xs.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Reduces the workers' update buffers into their element-wise sum via
 /// ring reduce-scatter + all-gather, writing the result back into every
 /// worker's buffer. Returns the transfer statistics.
 ///
+/// Generic over the buffer representation (`Vec<f64>`, `Box<[f64]>`,
+/// `harmony_mem::PooledBuffer`, …) so the fast PS runtime can reduce
+/// pooled buffers in place. Each transfer borrows source and
+/// destination disjointly (`src != dst` always holds on a ring of
+/// `k >= 2`), so no payload is ever copied to a temporary.
+///
 /// # Panics
 ///
-/// Panics if `buffers` is empty or the vectors have unequal lengths.
-pub fn ring_all_reduce(buffers: &mut [Vec<f64>]) -> AllReduceStats {
+/// Panics if `buffers` is empty or the buffers have unequal lengths.
+pub fn ring_all_reduce<B>(buffers: &mut [B]) -> AllReduceStats
+where
+    B: AsRef<[f64]> + AsMut<[f64]>,
+{
     let k = buffers.len();
     assert!(k > 0, "all-reduce needs at least one participant");
-    let len = buffers[0].len();
+    let len = buffers[0].as_ref().len();
     for (i, b) in buffers.iter().enumerate() {
-        assert_eq!(b.len(), len, "participant {i} has a mismatched buffer");
+        assert_eq!(
+            b.as_ref().len(),
+            len,
+            "participant {i} has a mismatched buffer"
+        );
     }
     if k == 1 || len == 0 {
         return AllReduceStats {
@@ -67,10 +94,11 @@ pub fn ring_all_reduce(buffers: &mut [Vec<f64>]) -> AllReduceStats {
             let c = (r + k - s) % k;
             let range = chunk(c);
             moved += range.len();
-            // Two-phase copy to satisfy the borrow checker: snapshot the
-            // source chunk, then accumulate into the destination.
-            let payload: Vec<f64> = buffers[src][range.clone()].to_vec();
-            for (dst_v, src_v) in buffers[dst][range].iter_mut().zip(&payload) {
+            let (src_buf, dst_buf) = pair_mut(buffers, src, dst);
+            for (dst_v, src_v) in dst_buf.as_mut()[range.clone()]
+                .iter_mut()
+                .zip(&src_buf.as_ref()[range])
+            {
                 *dst_v += src_v;
             }
         }
@@ -86,8 +114,8 @@ pub fn ring_all_reduce(buffers: &mut [Vec<f64>]) -> AllReduceStats {
             let c = (r + 1 + k - s) % k;
             let range = chunk(c);
             moved += range.len();
-            let payload: Vec<f64> = buffers[src][range.clone()].to_vec();
-            buffers[dst][range].copy_from_slice(&payload);
+            let (src_buf, dst_buf) = pair_mut(buffers, src, dst);
+            dst_buf.as_mut()[range.clone()].copy_from_slice(&src_buf.as_ref()[range]);
         }
         steps += 1;
     }
@@ -161,6 +189,32 @@ mod tests {
     fn rejects_ragged_buffers() {
         let mut bufs = vec![vec![1.0], vec![1.0, 2.0]];
         let _ = ring_all_reduce(&mut bufs);
+    }
+
+    #[test]
+    fn generic_over_buffer_representation() {
+        // Boxed slices exercise the same path the pooled buffers use.
+        let want = expected_sum(&workers(3, 8));
+        let mut bufs: Vec<Box<[f64]>> = workers(3, 8)
+            .into_iter()
+            .map(Vec::into_boxed_slice)
+            .collect();
+        ring_all_reduce(&mut bufs);
+        for b in &bufs {
+            for (got, w) in b.iter().zip(&want) {
+                assert!((got - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_mut_returns_disjoint_references() {
+        let mut xs = [1, 2, 3, 4];
+        let (a, b) = pair_mut(&mut xs, 3, 1);
+        assert_eq!((*a, *b), (4, 2));
+        *a = 9;
+        *b = 7;
+        assert_eq!(xs, [1, 7, 3, 9]);
     }
 
     #[test]

@@ -12,10 +12,28 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
 
+/// A task body: boxed one-shot closures for ordinary submissions, or a
+/// shared `Arc` closure for [`Executor::submit_shared`] — resubmitting
+/// the latter only bumps a refcount, so a steady-state training
+/// iteration enqueues tasks without heap allocation.
+enum TaskBody {
+    Once(Box<dyn FnOnce() + Send + 'static>),
+    Shared(Arc<dyn Fn() + Send + Sync + 'static>),
+}
+
+impl TaskBody {
+    fn run(self) {
+        match self {
+            TaskBody::Once(f) => f(),
+            TaskBody::Shared(f) => f(),
+        }
+    }
+}
+
 struct Task {
     /// Set by an [`AbortHandle`]; checked once, at dequeue time.
     abort: Option<Arc<AtomicBool>>,
-    run: Box<dyn FnOnce() + Send + 'static>,
+    run: TaskBody,
 }
 
 /// Runtime statistics of one executor.
@@ -118,7 +136,7 @@ impl Executor {
                             }
                             let now = shared.running.fetch_add(1, Ordering::SeqCst) + 1;
                             shared.peak.fetch_max(now, Ordering::SeqCst);
-                            (task.run)();
+                            task.run.run();
                             shared.running.fetch_sub(1, Ordering::SeqCst);
                             shared.completed.fetch_add(1, Ordering::SeqCst);
                         }
@@ -147,7 +165,22 @@ impl Executor {
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
         self.send(Task {
             abort: None,
-            run: Box::new(task),
+            run: TaskBody::Once(Box::new(task)),
+        });
+    }
+
+    /// Enqueues a long-lived shared task. Unlike [`Executor::submit`],
+    /// resubmitting the same `Arc` every iteration performs no heap
+    /// allocation — the fast PS runtime builds each worker's subtask
+    /// closures once and re-enqueues them for the job's whole lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Executor::shutdown`].
+    pub fn submit_shared(&self, task: &Arc<dyn Fn() + Send + Sync + 'static>) {
+        self.send(Task {
+            abort: None,
+            run: TaskBody::Shared(Arc::clone(task)),
         });
     }
 
@@ -161,7 +194,7 @@ impl Executor {
         let flag = Arc::new(AtomicBool::new(false));
         self.send(Task {
             abort: Some(Arc::clone(&flag)),
-            run: Box::new(task),
+            run: TaskBody::Once(Box::new(task)),
         });
         AbortHandle { flag }
     }
@@ -183,7 +216,7 @@ impl Executor {
         let shared = Arc::clone(&self.shared);
         self.send(Task {
             abort: None,
-            run: Box::new(move || {
+            run: TaskBody::Once(Box::new(move || {
                 for attempt in 1..=max_attempts {
                     if task() {
                         return;
@@ -192,7 +225,7 @@ impl Executor {
                         shared.retries.fetch_add(1, Ordering::SeqCst);
                     }
                 }
-            }),
+            })),
         });
     }
 
@@ -301,6 +334,19 @@ mod tests {
         let peak = exec.shutdown().peak_concurrency;
         assert!(peak <= 2, "peak {peak}");
         assert_eq!(peak, 2, "secondary slot never engaged");
+    }
+
+    #[test]
+    fn shared_task_runs_on_every_submission() {
+        let exec = Executor::new("shared", 1);
+        let (tx, rx) = mpsc::channel();
+        let task: Arc<dyn Fn() + Send + Sync> = Arc::new(move || tx.send(1).unwrap());
+        for _ in 0..5 {
+            exec.submit_shared(&task);
+        }
+        assert_eq!(rx.iter().take(5).sum::<i32>(), 5);
+        let stats = exec.shutdown();
+        assert_eq!(stats.completed, 5);
     }
 
     #[test]

@@ -45,11 +45,12 @@
 pub mod allreduce;
 pub mod executor;
 pub mod master;
+pub(crate) mod runtime;
 pub mod shard;
 pub mod subtask;
 
 pub use allreduce::{ring_all_reduce, AllReduceStats};
 pub use executor::{AbortHandle, Executor, ExecutorStats};
 pub use master::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
-pub use shard::ShardedModel;
-pub use subtask::{SubtaskKind, SubtaskTiming};
+pub use shard::{ShardedModel, StripedModel, DEFAULT_STRIPE_LEN};
+pub use subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};

@@ -7,12 +7,15 @@
 //! jobs run through the same executors simultaneously, which is exactly
 //! how Harmony multiplexes complementary subtasks.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 
+use harmony_mem::BufferPool;
+use harmony_metrics::PhaseTimes;
 use harmony_ml::PsAlgorithm;
 
 use crate::executor::{Executor, ExecutorStats};
@@ -29,6 +32,11 @@ pub struct PsConfig {
     /// subtask sleeps `transferred_bytes / bandwidth` to emulate the
     /// paper's 1.1 Gbps network; `None` disables the delay (fast tests).
     pub network_bytes_per_sec: Option<f64>,
+    /// Execute iterations on the zero-copy pipelined runtime (pooled
+    /// buffers, striped apply, per-worker subtask chaining). `false`
+    /// falls back to the phase-barriered reference arm; both produce
+    /// bit-identical models (`tests/ps_equivalence.rs`).
+    pub fast_runtime: bool,
 }
 
 impl Default for PsConfig {
@@ -36,6 +44,7 @@ impl Default for PsConfig {
         Self {
             nodes: 2,
             network_bytes_per_sec: None,
+            fast_runtime: true,
         }
     }
 }
@@ -43,14 +52,15 @@ impl Default for PsConfig {
 /// A submitted training job: one [`PsAlgorithm`] worker per node it
 /// runs on.
 pub struct TrainingJob {
-    name: String,
-    workers: Vec<Box<dyn PsAlgorithm>>,
-    max_iterations: u64,
-    loss_threshold: Option<f64>,
-    check_every: u64,
-    initial_model: Option<Vec<f64>>,
-    seed: u64,
-    all_reduce: bool,
+    pub(crate) name: String,
+    pub(crate) workers: Vec<Box<dyn PsAlgorithm>>,
+    pub(crate) max_iterations: u64,
+    pub(crate) loss_threshold: Option<f64>,
+    pub(crate) check_every: u64,
+    pub(crate) initial_model: Option<Vec<f64>>,
+    pub(crate) seed: u64,
+    pub(crate) all_reduce: bool,
+    pub(crate) abort_after: Option<u64>,
 }
 
 impl TrainingJob {
@@ -89,6 +99,7 @@ pub struct JobBuilder {
     initial_model: Option<Vec<f64>>,
     seed: u64,
     all_reduce: bool,
+    abort_after: Option<u64>,
 }
 
 impl JobBuilder {
@@ -103,7 +114,23 @@ impl JobBuilder {
             initial_model: None,
             seed: 0,
             all_reduce: false,
+            abort_after: None,
         }
+    }
+
+    /// Injects a fault: the job aborts as its `iteration`-th iteration
+    /// begins (its in-flight PULLs are drained, no COMP of that
+    /// iteration runs), leaving the model exactly as of iteration
+    /// `iteration - 1`. Deterministic in both runtime arms, so the
+    /// equivalence gate covers mid-iteration teardown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration` is zero.
+    pub fn abort_after(mut self, iteration: u64) -> Self {
+        assert!(iteration > 0, "abort iteration must be >= 1");
+        self.abort_after = Some(iteration);
+        self
     }
 
     /// Synchronizes updates with ring all-reduce instead of server
@@ -177,6 +204,7 @@ impl JobBuilder {
             initial_model: self.initial_model,
             seed: self.seed,
             all_reduce: self.all_reduce,
+            abort_after: self.abort_after,
         }
     }
 }
@@ -200,21 +228,82 @@ pub struct JobReport {
     pub mean_tcpu: f64,
     /// Mean per-iteration COMM (PULL+PUSH) seconds — the profiled `Tnet`.
     pub mean_tnet: f64,
+    /// Mean per-iteration server-side APPLY seconds (per node). Zero on
+    /// the reference runtime, which folds updates inside PUSH.
+    pub mean_tapply: f64,
     /// Final model snapshot (checkpoint for migration/resume).
     pub final_model: Vec<f64>,
     /// Whether the loss threshold was reached before the iteration cap.
     pub converged: bool,
+    /// Whether an [`JobBuilder::abort_after`] fault tore the job down
+    /// before it finished.
+    pub aborted: bool,
 }
 
-struct NodeExecutors {
-    cpu: Executor,
-    comm: Executor,
+/// Maps a subtask kind to its [`PhaseTimes`] slot.
+pub(crate) fn phase_index(kind: SubtaskKind) -> usize {
+    match kind {
+        SubtaskKind::Pull => 0,
+        SubtaskKind::Comp => 1,
+        SubtaskKind::Push => 2,
+        SubtaskKind::Apply => 3,
+    }
+}
+
+/// Builds the final [`JobReport`] from a finished run's raw records —
+/// shared by both runtime arms so the aggregation arithmetic cannot
+/// drift between them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_report(
+    name: String,
+    iterations: u64,
+    initial_loss: f64,
+    loss_history: Vec<(u64, f64)>,
+    timings: Vec<SubtaskTiming>,
+    dop: usize,
+    final_model: Vec<f64>,
+    converged: bool,
+    aborted: bool,
+) -> JobReport {
+    let iters = iterations.max(1) as f64;
+    let dop_f = dop.max(1) as f64;
+    let mut phases = PhaseTimes::new(4);
+    for t in &timings {
+        phases.record(phase_index(t.kind), t.elapsed.as_secs_f64());
+    }
+    let per_iter_node = |kind: SubtaskKind| phases.total_secs(phase_index(kind)) / iters / dop_f;
+    let mean_tcpu = per_iter_node(SubtaskKind::Comp);
+    let mean_tnet = per_iter_node(SubtaskKind::Pull) + per_iter_node(SubtaskKind::Push);
+    let mean_tapply = per_iter_node(SubtaskKind::Apply);
+    let final_loss = loss_history.last().map(|&(_, l)| l).unwrap_or(initial_loss);
+    JobReport {
+        name,
+        iterations,
+        initial_loss,
+        final_loss,
+        loss_history,
+        timings,
+        mean_tcpu,
+        mean_tnet,
+        mean_tapply,
+        final_model,
+        converged,
+        aborted,
+    }
+}
+
+pub(crate) struct NodeExecutors {
+    pub(crate) cpu: Executor,
+    pub(crate) comm: Executor,
 }
 
 /// An in-process PS cluster: `nodes` pairs of (CPU, COMM) executors.
 pub struct PsCluster {
-    nodes: Vec<NodeExecutors>,
-    config: PsConfig,
+    pub(crate) nodes: Vec<NodeExecutors>,
+    pub(crate) config: PsConfig,
+    /// Recycles pull/update buffers across jobs and `run_jobs` calls so
+    /// repeated runs on one cluster reach zero steady-state allocation.
+    pub(crate) pool: BufferPool,
 }
 
 impl PsCluster {
@@ -231,7 +320,17 @@ impl PsCluster {
                 comm: Executor::new(&format!("comm-{i}"), 2),
             })
             .collect();
-        Self { nodes, config }
+        Self {
+            nodes,
+            config,
+            pool: BufferPool::new(),
+        }
+    }
+
+    /// The cluster's working-buffer pool statistics (allocation vs
+    /// reuse counters for the fast runtime's pooled buffers).
+    pub fn pool_stats(&self) -> harmony_mem::PoolStats {
+        self.pool.stats()
     }
 
     /// Number of nodes.
@@ -251,6 +350,11 @@ impl PsCluster {
     /// this cluster's executors, and returns one report per job (same
     /// order).
     ///
+    /// Dispatches to the zero-copy pipelined runtime
+    /// ([`PsConfig::fast_runtime`], the default) or to the
+    /// phase-barriered reference arm; both produce bit-identical models
+    /// and loss trajectories.
+    ///
     /// # Panics
     ///
     /// Panics if a job has more workers than the cluster has nodes.
@@ -264,19 +368,43 @@ impl PsCluster {
                 self.nodes.len()
             );
         }
+        if self.config.fast_runtime {
+            crate::runtime::run_jobs_fast(self, jobs)
+        } else {
+            self.run_jobs_reference(jobs)
+        }
+    }
 
+    /// The flag-off arm: phase-barriered (all PULLs, then all COMPs,
+    /// then all PUSHes), freshly-allocated buffers each iteration.
+    /// Retained as the measurement baseline and equivalence oracle.
+    ///
+    /// PUSH aggregation is deterministic here too: updates stay staged
+    /// in per-worker slots and the last PUSH to arrive at each shard
+    /// folds all workers' deltas in worker-id order — f64 addition is
+    /// not associative, so a fixed fold order (not just a fixed operand
+    /// set) is what makes the two arms byte-comparable.
+    fn run_jobs_reference(&self, jobs: Vec<TrainingJob>) -> Vec<JobReport> {
+        /// One worker's staged buffer slot (pulled model or update).
+        type Slot = Arc<Mutex<Option<Vec<f64>>>>;
         struct JobRun {
             name: String,
             model: ShardedModel,
             workers: Vec<Arc<Mutex<Box<dyn PsAlgorithm>>>>,
-            pulled: Vec<Arc<Mutex<Option<Vec<f64>>>>>,
-            updates: Vec<Arc<Mutex<Option<Vec<f64>>>>>,
+            pulled: Vec<Slot>,
+            /// Per-worker staged updates, `Arc`-shared as a whole so
+            /// every PUSH task can fold *all* workers' deltas.
+            updates: Arc<Vec<Slot>>,
+            /// Per-shard PUSH arrival counters; the arrival that
+            /// completes a shard's count performs its ordered fold.
+            shard_arrivals: Arc<Vec<AtomicUsize>>,
             iteration: u64,
             pending: usize,
             kind: SubtaskKind,
             max_iterations: u64,
             loss_threshold: Option<f64>,
             check_every: u64,
+            abort_after: Option<u64>,
             total_examples: usize,
             all_reduce: bool,
             timings: Vec<SubtaskTiming>,
@@ -284,6 +412,7 @@ impl PsCluster {
             initial_loss: f64,
             done: bool,
             converged: bool,
+            aborting: bool,
         }
 
         let (event_tx, event_rx) = unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
@@ -314,11 +443,13 @@ impl PsCluster {
                 let sum: f64 = workers.iter().map(|w| w.lock().loss(&snapshot)).sum();
                 sum / total_examples.max(1) as f64
             };
+            let shard_count = model.shard_count();
             runs.push(JobRun {
                 name: job.name,
                 model,
                 pulled: (0..dop).map(|_| Arc::new(Mutex::new(None))).collect(),
-                updates: (0..dop).map(|_| Arc::new(Mutex::new(None))).collect(),
+                updates: Arc::new((0..dop).map(|_| Arc::new(Mutex::new(None))).collect()),
+                shard_arrivals: Arc::new((0..shard_count).map(|_| AtomicUsize::new(0)).collect()),
                 workers,
                 iteration: 0,
                 pending: 0,
@@ -326,6 +457,7 @@ impl PsCluster {
                 max_iterations: job.max_iterations,
                 loss_threshold: job.loss_threshold,
                 check_every: job.check_every,
+                abort_after: job.abort_after,
                 total_examples,
                 all_reduce: job.all_reduce,
                 timings: Vec::new(),
@@ -333,6 +465,7 @@ impl PsCluster {
                 initial_loss,
                 done: false,
                 converged: false,
+                aborting: false,
             });
         }
 
@@ -346,6 +479,14 @@ impl PsCluster {
         let enqueue = |run: &mut JobRun, j: usize, kind: SubtaskKind| {
             run.kind = kind;
             run.pending = run.workers.len();
+            if kind == SubtaskKind::Push && !run.all_reduce {
+                // No PUSH of this round is in flight yet (the COMP
+                // barrier just cleared), so resetting the arrival
+                // counters here races with nothing.
+                for a in run.shard_arrivals.iter() {
+                    a.store(0, Ordering::SeqCst);
+                }
+            }
             for node in 0..run.workers.len() {
                 let tx = event_tx.clone();
                 let iter = run.iteration;
@@ -378,11 +519,13 @@ impl PsCluster {
                     }
                     SubtaskKind::Push => {
                         let model = run.model.clone();
-                        let slot = Arc::clone(&run.updates[node]);
+                        let slots = Arc::clone(&run.updates);
+                        let arrivals = Arc::clone(&run.shard_arrivals);
                         let all_reduce = run.all_reduce;
+                        let dop = run.workers.len();
                         // All-reduce moves 2(k-1)/k of the model per rank.
                         let bytes = if all_reduce {
-                            let k = run.workers.len().max(1) as f64;
+                            let k = dop.max(1) as f64;
                             (run.model.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
                         } else {
                             run.model.pull_bytes()
@@ -390,19 +533,36 @@ impl PsCluster {
                         let delay = net_delay(bytes);
                         self.nodes[node].comm.submit(move || {
                             let t0 = Instant::now();
-                            if all_reduce {
-                                // The update stays in the slot; the ring
-                                // reduction runs at the barrier once all
-                                // ranks have contributed.
-                            } else {
-                                let update = slot.lock().take().expect("COMP preceded PUSH");
-                                model.push(&update);
+                            if !all_reduce {
+                                // Updates stay staged in their per-worker
+                                // slots; the PUSH that reaches each shard
+                                // last folds *all* workers' deltas into it
+                                // in worker-id order, so the result is
+                                // bit-identical however pushes interleave
+                                // (f64 addition is not associative).
+                                for s in 0..model.shard_count() {
+                                    if arrivals[s].fetch_add(1, Ordering::SeqCst) + 1 == dop {
+                                        let range = model.shard_range(s);
+                                        for slot in slots.iter() {
+                                            let staged = slot.lock();
+                                            let update =
+                                                staged.as_ref().expect("COMP preceded PUSH");
+                                            model.push_shard(s, &update[range.clone()]);
+                                        }
+                                    }
+                                }
                             }
+                            // With all-reduce the update stays staged; the
+                            // ring reduction runs at the barrier once all
+                            // ranks have contributed.
                             if let Some(d) = delay {
                                 std::thread::sleep(d);
                             }
                             let _ = tx.send((j, node, SubtaskKind::Push, iter, t0.elapsed()));
                         });
+                    }
+                    SubtaskKind::Apply => {
+                        unreachable!("the reference runtime never enqueues APPLY")
                     }
                 }
             }
@@ -426,6 +586,23 @@ impl PsCluster {
             let (j, node, kind, iter, elapsed) =
                 event_rx.recv().expect("executors alive while jobs active");
             let run = &mut runs[j];
+            if run.aborting || run.abort_after == Some(iter) {
+                // Fault injection: the first PULL of the doomed iteration
+                // trips the abort; the remaining in-flight PULLs are
+                // drained without scheduling any COMP, so the model stays
+                // exactly as of the previous iteration.
+                if !run.aborting {
+                    debug_assert_eq!(kind, SubtaskKind::Pull);
+                    run.aborting = true;
+                    run.iteration -= 1;
+                }
+                run.pending -= 1;
+                if run.pending == 0 {
+                    run.done = true;
+                    active -= 1;
+                }
+                continue;
+            }
             debug_assert_eq!(kind, run.kind);
             run.timings.push(SubtaskTiming {
                 kind,
@@ -472,41 +649,27 @@ impl PsCluster {
                         enqueue(run, j, SubtaskKind::Pull);
                     }
                 }
+                SubtaskKind::Apply => {
+                    unreachable!("the reference runtime never receives APPLY events")
+                }
             }
         }
 
         runs.into_iter()
             .map(|run| {
-                let iters = run.iteration.max(1) as f64;
-                let dop = run.workers.len().max(1) as f64;
-                let sum_by = |k: SubtaskKind| -> f64 {
-                    run.timings
-                        .iter()
-                        .filter(|t| t.kind == k)
-                        .map(|t| t.elapsed.as_secs_f64())
-                        .sum()
-                };
-                let mean_tcpu = sum_by(SubtaskKind::Comp) / iters / dop;
-                let mean_tnet =
-                    (sum_by(SubtaskKind::Pull) + sum_by(SubtaskKind::Push)) / iters / dop;
                 let final_model = run.model.pull();
-                let final_loss = run
-                    .loss_history
-                    .last()
-                    .map(|&(_, l)| l)
-                    .unwrap_or(run.initial_loss);
-                JobReport {
-                    name: run.name,
-                    iterations: run.iteration,
-                    initial_loss: run.initial_loss,
-                    final_loss,
-                    loss_history: run.loss_history,
-                    timings: run.timings,
-                    mean_tcpu,
-                    mean_tnet,
+                let dop = run.workers.len();
+                finish_report(
+                    run.name,
+                    run.iteration,
+                    run.initial_loss,
+                    run.loss_history,
+                    run.timings,
+                    dop,
                     final_model,
-                    converged: run.converged,
-                }
+                    run.converged,
+                    run.aborting,
+                )
             })
             .collect()
     }
@@ -666,6 +829,7 @@ mod tests {
         let slow = PsCluster::new(PsConfig {
             nodes: 2,
             network_bytes_per_sec: Some(4.0e6),
+            ..PsConfig::default()
         });
         let report = slow.run_jobs(vec![mlr_job("slow", 2, 3)]).remove(0);
         // Model is 3*16 f64 = 384 bytes; delay ~0.1 ms per transfer — just

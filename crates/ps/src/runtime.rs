@@ -1,0 +1,414 @@
+//! The zero-copy pipelined PS runtime — the [`PsConfig::fast_runtime`]
+//! arm (default on).
+//!
+//! Three changes over the phase-barriered reference arm, none of which
+//! may change a single output bit (`tests/ps_equivalence.rs`):
+//!
+//! 1. **Pooled buffers, one snapshot.** Every worker owns a persistent
+//!    update buffer drawn from the cluster's
+//!    [`BufferPool`](harmony_mem::BufferPool), and the whole job shares
+//!    a single pooled *snapshot* buffer: the model is quiescent from
+//!    one apply barrier to the next, so every worker's PULL observes
+//!    the same bits and the master fills the snapshot once per
+//!    iteration instead of copying it per worker. Subtask closures are
+//!    built once per job as [`Arc`]ed shared tasks. After warmup a
+//!    steady-state iteration performs zero heap allocations
+//!    (`tests/ps_alloc.rs`).
+//! 2. **Striped apply.** Server-side aggregation runs as explicit
+//!    `APPLY` subtasks over a [`StripedModel`]: each apply task owns a
+//!    disjoint stripe range and folds every worker's staged delta into
+//!    it in worker-id order. f64 addition is not associative, so the
+//!    fixed fold *order* — not merely the fixed operand set — is what
+//!    keeps the result bit-identical to the reference arm's per-shard
+//!    fold however arrivals interleave.
+//! 3. **Per-worker pipelining.** A worker's COMP is submitted the
+//!    moment *its own* PULL lands (and its PUSH the moment its COMP
+//!    lands) instead of waiting for the slowest peer at a global phase
+//!    barrier. Synchronous semantics are kept by the PUSH barrier
+//!    (reduce + apply) and the apply barrier (iteration end); the
+//!    [`Synchronizer`]'s generation counter proves no subtask ever
+//!    crosses an iteration boundary.
+//!
+//! What is deliberately *not* pipelined: issuing the next PULL before
+//! the apply barrier would snapshot a stale model and break synchronous
+//! SGD — see DESIGN.md for the rejected variants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use parking_lot::{Mutex, RwLock};
+
+use harmony_mem::PooledBuffer;
+use harmony_ml::PsAlgorithm;
+
+use crate::master::{finish_report, JobReport, PsCluster, TrainingJob};
+use crate::shard::{StripedModel, DEFAULT_STRIPE_LEN};
+use crate::subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};
+
+/// A subtask closure built once per job and resubmitted every iteration
+/// (an [`Arc`] clone per submission — no per-iteration boxing).
+type SharedTask = Arc<dyn Fn() + Send + Sync + 'static>;
+
+struct JobRun {
+    name: String,
+    store: StripedModel,
+    workers: Vec<Arc<Mutex<Box<dyn PsAlgorithm>>>>,
+    /// Per-worker staged updates; shared with the COMP and APPLY tasks.
+    update_bufs: Arc<Vec<Arc<Mutex<Option<PooledBuffer>>>>>,
+    /// The job-wide model snapshot the COMP tasks read. The master
+    /// refills it at each iteration boundary (write lock), when every
+    /// reader is provably idle — COMPs only hold the read lock.
+    snapshot: Arc<RwLock<PooledBuffer>>,
+    /// Generation stamp read by in-flight tasks; only the master writes
+    /// it, and only at iteration boundaries when no task is running.
+    generation: Arc<AtomicU64>,
+    sync: Synchronizer,
+    pull_tasks: Vec<SharedTask>,
+    comp_tasks: Vec<SharedTask>,
+    push_tasks: Vec<SharedTask>,
+    /// `(node, task)` pairs; each folds a disjoint stripe range.
+    apply_tasks: Vec<(usize, SharedTask)>,
+    iteration: u64,
+    max_iterations: u64,
+    loss_threshold: Option<f64>,
+    check_every: u64,
+    abort_after: Option<u64>,
+    total_examples: usize,
+    all_reduce: bool,
+    timings: Vec<SubtaskTiming>,
+    loss_history: Vec<(u64, f64)>,
+    initial_loss: f64,
+    /// Scratch for loss evaluation, allocated once at setup.
+    eval_buf: Vec<f64>,
+    /// Scratch holding the buffers during a ring reduction (capacity
+    /// reserved at setup, so take/return cycles never reallocate).
+    ring_scratch: Vec<PooledBuffer>,
+    done: bool,
+    converged: bool,
+    aborting: bool,
+    /// In-flight events still to swallow while tearing down an abort.
+    drain: usize,
+}
+
+/// Runs `jobs` on the pipelined zero-copy runtime. Semantics (and every
+/// output bit) match [`PsCluster::run_jobs`] with `fast_runtime: false`.
+pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<JobReport> {
+    // (job, node, kind, generation, elapsed)
+    let (event_tx, event_rx) = unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
+
+    let net_delay = |bytes: u64| -> Option<Duration> {
+        cluster
+            .config
+            .network_bytes_per_sec
+            .map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
+    };
+
+    let mut runs: Vec<JobRun> = Vec::with_capacity(jobs.len());
+    for (j, job) in jobs.into_iter().enumerate() {
+        let dop = job.workers.len();
+        let model_len = job.workers[0].model_len();
+        let store = StripedModel::new(model_len, DEFAULT_STRIPE_LEN);
+        match &job.initial_model {
+            Some(m) => store.restore(m),
+            None => store.restore(&job.workers[0].init_model(job.seed)),
+        }
+        // Pre-training pushes (e.g. LDA's random-assignment counts) —
+        // sequential and in worker order, like the reference arm.
+        for w in &job.workers {
+            if let Some(init) = w.initial_update() {
+                store.push(&init);
+            }
+        }
+        let total_examples: usize = job.workers.iter().map(|w| w.num_examples()).sum();
+        let workers: Vec<_> = job
+            .workers
+            .into_iter()
+            .map(|w| Arc::new(Mutex::new(w)))
+            .collect();
+        let mut eval_buf = vec![0.0; model_len];
+        let initial_loss = {
+            store.pull_into(&mut eval_buf);
+            let sum: f64 = workers.iter().map(|w| w.lock().loss(&eval_buf)).sum();
+            sum / total_examples.max(1) as f64
+        };
+
+        let snapshot = Arc::new(RwLock::new(cluster.pool.acquire(model_len)));
+        let update_bufs: Arc<Vec<Arc<Mutex<Option<PooledBuffer>>>>> = Arc::new(
+            (0..dop)
+                .map(|_| Arc::new(Mutex::new(Some(cluster.pool.acquire(model_len)))))
+                .collect(),
+        );
+        let generation = Arc::new(AtomicU64::new(0));
+        let apply_count = dop.min(store.stripe_count());
+        let all_reduce = job.all_reduce;
+
+        let pull_tasks: Vec<SharedTask> = (0..dop)
+            .map(|w| {
+                let generation = Arc::clone(&generation);
+                let tx = event_tx.clone();
+                let delay = net_delay(store.pull_bytes());
+                // The snapshot is already filled (the master refills it
+                // before submitting PULLs), so an in-process PULL moves
+                // no payload — only the (simulated) wire time remains.
+                Arc::new(move || {
+                    let t0 = Instant::now();
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
+                    let gen = generation.load(Ordering::SeqCst);
+                    let _ = tx.send((j, w, SubtaskKind::Pull, gen, t0.elapsed()));
+                }) as SharedTask
+            })
+            .collect();
+
+        let comp_tasks: Vec<SharedTask> = (0..dop)
+            .map(|w| {
+                let worker = Arc::clone(&workers[w]);
+                let input = Arc::clone(&snapshot);
+                let output = Arc::clone(&update_bufs[w]);
+                let generation = Arc::clone(&generation);
+                let tx = event_tx.clone();
+                Arc::new(move || {
+                    let t0 = Instant::now();
+                    let pulled = input.read();
+                    let mut staged = output.lock();
+                    let out = staged.as_mut().expect("update buffer is resident");
+                    worker
+                        .lock()
+                        .compute_update_into(pulled.as_ref(), out.as_mut());
+                    drop(staged);
+                    drop(pulled);
+                    let gen = generation.load(Ordering::SeqCst);
+                    let _ = tx.send((j, w, SubtaskKind::Comp, gen, t0.elapsed()));
+                }) as SharedTask
+            })
+            .collect();
+
+        let push_tasks: Vec<SharedTask> = (0..dop)
+            .map(|w| {
+                let generation = Arc::clone(&generation);
+                let tx = event_tx.clone();
+                // The update is already staged in a buffer the server
+                // side reads directly — an in-process PUSH moves no
+                // payload, only the (simulated) wire time remains.
+                let bytes = if all_reduce {
+                    let k = dop.max(1) as f64;
+                    (store.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
+                } else {
+                    store.pull_bytes()
+                };
+                let delay = net_delay(bytes);
+                Arc::new(move || {
+                    let t0 = Instant::now();
+                    if let Some(d) = delay {
+                        std::thread::sleep(d);
+                    }
+                    let gen = generation.load(Ordering::SeqCst);
+                    let _ = tx.send((j, w, SubtaskKind::Push, gen, t0.elapsed()));
+                }) as SharedTask
+            })
+            .collect();
+
+        let apply_tasks: Vec<(usize, SharedTask)> = (0..apply_count)
+            .map(|n| {
+                let store = store.clone();
+                let slots = Arc::clone(&update_bufs);
+                let generation = Arc::clone(&generation);
+                let tx = event_tx.clone();
+                let lo = n * store.stripe_count() / apply_count;
+                let hi = (n + 1) * store.stripe_count() / apply_count;
+                let task = Arc::new(move || {
+                    let t0 = Instant::now();
+                    for s in lo..hi {
+                        if all_reduce {
+                            // The ring reduction left every slot holding
+                            // the full sum; fold slot 0 once, exactly as
+                            // the reference pushes `buffers[0]`.
+                            let staged = slots[0].lock();
+                            let sum = staged.as_ref().expect("reduced update is resident");
+                            store.stripe_add(s, sum.as_ref());
+                        } else {
+                            // Worker-id order: the determinism contract.
+                            for slot in slots.iter() {
+                                let staged = slot.lock();
+                                let delta = staged.as_ref().expect("COMP preceded APPLY");
+                                store.stripe_add(s, delta.as_ref());
+                            }
+                        }
+                    }
+                    let gen = generation.load(Ordering::SeqCst);
+                    let _ = tx.send((j, n, SubtaskKind::Apply, gen, t0.elapsed()));
+                }) as SharedTask;
+                (n, task)
+            })
+            .collect();
+
+        let expected_events = (3 * dop + apply_count) as u64 * job.max_iterations.min(4096);
+        runs.push(JobRun {
+            name: job.name,
+            store,
+            workers,
+            update_bufs,
+            snapshot,
+            generation,
+            sync: Synchronizer::new(dop, apply_count),
+            pull_tasks,
+            comp_tasks,
+            push_tasks,
+            apply_tasks,
+            iteration: 0,
+            max_iterations: job.max_iterations,
+            loss_threshold: job.loss_threshold,
+            check_every: job.check_every,
+            abort_after: job.abort_after,
+            total_examples,
+            all_reduce,
+            timings: Vec::with_capacity(expected_events as usize),
+            loss_history: {
+                let mut h =
+                    Vec::with_capacity((job.max_iterations / job.check_every.max(1)) as usize + 2);
+                h.push((0, initial_loss));
+                h
+            },
+            initial_loss,
+            eval_buf,
+            ring_scratch: Vec::with_capacity(dop),
+            done: false,
+            converged: false,
+            aborting: false,
+            drain: 0,
+        });
+    }
+
+    // Kick off iteration 1 of every job.
+    let mut active = 0usize;
+    for run in runs.iter_mut() {
+        if run.max_iterations == 0 {
+            run.done = true;
+            continue;
+        }
+        run.iteration = 1;
+        run.generation
+            .store(run.sync.begin_iteration(), Ordering::SeqCst);
+        run.store.pull_into(run.snapshot.write().as_mut());
+        for (w, task) in run.pull_tasks.iter().enumerate() {
+            cluster.nodes[w].comm.submit_shared(task);
+        }
+        active += 1;
+    }
+
+    while active > 0 {
+        let (j, node, kind, egen, elapsed) =
+            event_rx.recv().expect("executors alive while jobs active");
+        let run = &mut runs[j];
+        if run.aborting {
+            run.drain -= 1;
+            if run.drain == 0 {
+                run.done = true;
+                active -= 1;
+            }
+            continue;
+        }
+        if run.abort_after == Some(egen) {
+            // The first event of a generation is always a PULL (COMPs
+            // are only submitted in reaction to it), so aborting here
+            // leaves the model exactly as of the previous iteration.
+            debug_assert_eq!(kind, SubtaskKind::Pull);
+            run.aborting = true;
+            run.iteration -= 1;
+            run.drain = run.workers.len() - 1;
+            if run.drain == 0 {
+                run.done = true;
+                active -= 1;
+            }
+            continue;
+        }
+        run.timings.push(SubtaskTiming {
+            kind,
+            node,
+            iteration: egen,
+            elapsed,
+        });
+        match run.sync.on_subtask(kind, egen) {
+            SyncAction::StartCompute => {
+                cluster.nodes[node].cpu.submit_shared(&run.comp_tasks[node]);
+            }
+            SyncAction::StartPush => {
+                cluster.nodes[node]
+                    .comm
+                    .submit_shared(&run.push_tasks[node]);
+            }
+            SyncAction::ReduceAndApply => {
+                if run.all_reduce {
+                    // Every rank contributed: reduce around the ring in
+                    // place (no copies — the pooled buffers are the ring
+                    // nodes), then hand the buffers back to their slots.
+                    run.ring_scratch.clear();
+                    for slot in run.update_bufs.iter() {
+                        let buf = slot.lock().take().expect("COMP preceded reduce");
+                        run.ring_scratch.push(buf);
+                    }
+                    crate::allreduce::ring_all_reduce(&mut run.ring_scratch);
+                    for (slot, buf) in run.update_bufs.iter().zip(run.ring_scratch.drain(..)) {
+                        *slot.lock() = Some(buf);
+                    }
+                }
+                for (n, task) in &run.apply_tasks {
+                    cluster.nodes[*n].comm.submit_shared(task);
+                }
+            }
+            SyncAction::IterationComplete => {
+                let at_check = run.iteration.is_multiple_of(run.check_every)
+                    || run.iteration == run.max_iterations;
+                if at_check {
+                    // All subtasks of the iteration have landed, so the
+                    // workers are idle and the model is quiescent.
+                    run.store.pull_into(&mut run.eval_buf);
+                    let eval = &run.eval_buf;
+                    let sum: f64 = run.workers.iter().map(|w| w.lock().loss(eval)).sum();
+                    let loss = sum / run.total_examples.max(1) as f64;
+                    run.loss_history.push((run.iteration, loss));
+                    if run.loss_threshold.is_some_and(|t| loss <= t) {
+                        run.converged = true;
+                    }
+                }
+                if run.converged || run.iteration >= run.max_iterations {
+                    run.done = true;
+                    active -= 1;
+                } else {
+                    run.iteration += 1;
+                    run.generation
+                        .store(run.sync.begin_iteration(), Ordering::SeqCst);
+                    // Refill the shared snapshot while every task of the
+                    // job is provably idle (the apply barrier just
+                    // cleared), then release the PULLs that read it.
+                    run.store.pull_into(run.snapshot.write().as_mut());
+                    for (w, task) in run.pull_tasks.iter().enumerate() {
+                        cluster.nodes[w].comm.submit_shared(task);
+                    }
+                }
+            }
+            SyncAction::InFlight => {}
+        }
+    }
+
+    runs.into_iter()
+        .map(|run| {
+            let final_model = run.store.pull();
+            let dop = run.workers.len();
+            finish_report(
+                run.name,
+                run.iteration,
+                run.initial_loss,
+                run.loss_history,
+                run.timings,
+                dop,
+                final_model,
+                run.converged,
+                run.aborting,
+            )
+        })
+        .collect()
+}

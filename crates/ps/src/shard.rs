@@ -85,10 +85,29 @@ impl ShardedModel {
     /// Snapshots the full model (a PULL of every shard).
     pub fn pull(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.len];
-        for (shard, range) in self.shards.iter().zip(self.ranges.iter()) {
-            out[range.clone()].copy_from_slice(&shard.read());
-        }
+        self.pull_into(&mut out);
         out
+    }
+
+    /// Snapshots the full model into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the model length.
+    pub fn pull_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len, "pull buffer length mismatch");
+        for (shard, range) in (0..self.shards.len()).zip(self.ranges.iter()) {
+            self.pull_shard_into(shard, &mut out[range.clone()]);
+        }
+    }
+
+    /// The contiguous range of model indices held by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_range(&self, shard: usize) -> std::ops::Range<usize> {
+        self.ranges[shard].clone()
     }
 
     /// Snapshots one shard (a partial PULL). Returns the shard's range
@@ -99,7 +118,38 @@ impl ShardedModel {
     /// Panics if `shard` is out of range.
     pub fn pull_shard(&self, shard: usize) -> (std::ops::Range<usize>, Vec<f64>) {
         let range = self.ranges[shard].clone();
-        (range, self.shards[shard].read().clone())
+        let mut out = vec![0.0; range.len()];
+        self.pull_shard_into(shard, &mut out);
+        (range, out)
+    }
+
+    /// Copies one shard's values into `out` — a partial PULL without the
+    /// allocation `pull_shard` pays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `out.len()` differs from the
+    /// shard's length.
+    pub fn pull_shard_into(&self, shard: usize, out: &mut [f64]) {
+        let guard = self.shards[shard].read();
+        assert_eq!(out.len(), guard.len(), "shard buffer length mismatch");
+        out.copy_from_slice(&guard);
+    }
+
+    /// Adds `delta` (indexed from the shard's own start) into one shard
+    /// — a partial PUSH. Holding only this shard's lock, pushes to
+    /// other shards proceed in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `delta.len()` differs from
+    /// the shard's length.
+    pub fn push_shard(&self, shard: usize, delta: &[f64]) {
+        let mut guard = self.shards[shard].write();
+        assert_eq!(delta.len(), guard.len(), "shard delta length mismatch");
+        for (w, d) in guard.iter_mut().zip(delta) {
+            *w += d;
+        }
     }
 
     /// Adds `delta` into the model (a PUSH to every shard).
@@ -135,6 +185,157 @@ impl std::fmt::Debug for ShardedModel {
         f.debug_struct("ShardedModel")
             .field("len", &self.len)
             .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Default [`StripedModel`] stripe length: 8192 parameters (64 KiB),
+/// small enough that contended pushes from different workers rarely
+/// wait on the same lock, large enough that lock traffic stays
+/// negligible next to the adds.
+pub const DEFAULT_STRIPE_LEN: usize = 8192;
+
+/// The fast PS runtime's global model: fixed-length stripes, each
+/// behind its own lock.
+///
+/// Where [`ShardedModel`] mirrors the *placement* unit (one shard per
+/// server node), `StripedModel` sizes its lock granularity for
+/// *contention*: apply tasks working on disjoint stripe ranges never
+/// touch the same lock, so concurrent aggregation scales with stripes,
+/// not nodes. Determinism rule: every stripe folds contributor deltas
+/// in worker-id order (see [`StripedModel::stripe_add`] callers), so
+/// the aggregate is bit-identical no matter how PUSH arrivals raced —
+/// f64 addition is not associative, so the fold order, not just the
+/// operand set, must be fixed.
+///
+/// Cloning is cheap (shared `Arc`): clones refer to the same model.
+#[derive(Clone)]
+pub struct StripedModel {
+    stripes: Arc<Vec<RwLock<Box<[f64]>>>>,
+    stripe_len: usize,
+    len: usize,
+}
+
+impl StripedModel {
+    /// Creates a zero model of `len` parameters in stripes of
+    /// `stripe_len` (the last stripe may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` or `stripe_len` is zero.
+    pub fn new(len: usize, stripe_len: usize) -> Self {
+        assert!(len > 0, "model length must be non-zero");
+        assert!(stripe_len > 0, "stripe length must be non-zero");
+        let count = len.div_ceil(stripe_len);
+        let stripes = (0..count)
+            .map(|s| {
+                let lo = s * stripe_len;
+                let hi = (lo + stripe_len).min(len);
+                RwLock::new(vec![0.0; hi - lo].into_boxed_slice())
+            })
+            .collect();
+        Self {
+            stripes: Arc::new(stripes),
+            stripe_len,
+            len,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the model has no parameters (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Bytes a full PULL transfers.
+    pub fn pull_bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// The contiguous range of model indices held by `stripe`.
+    pub fn stripe_range(&self, stripe: usize) -> std::ops::Range<usize> {
+        let lo = stripe * self.stripe_len;
+        lo..(lo + self.stripe_len).min(self.len)
+    }
+
+    /// Snapshots the full model into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the model length.
+    pub fn pull_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len, "pull buffer length mismatch");
+        for (s, stripe) in self.stripes.iter().enumerate() {
+            out[self.stripe_range(s)].copy_from_slice(&stripe.read());
+        }
+    }
+
+    /// Snapshots the full model (allocating convenience wrapper).
+    pub fn pull(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len];
+        self.pull_into(&mut out);
+        out
+    }
+
+    /// Adds one stripe's slice of the full-length `delta` into that
+    /// stripe, holding only its lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe` is out of range or `delta.len()` differs from
+    /// the model length.
+    pub fn stripe_add(&self, stripe: usize, delta: &[f64]) {
+        assert_eq!(delta.len(), self.len, "delta length mismatch");
+        let range = self.stripe_range(stripe);
+        let mut guard = self.stripes[stripe].write();
+        for (w, d) in guard.iter_mut().zip(&delta[range]) {
+            *w += d;
+        }
+    }
+
+    /// Adds `delta` into the whole model, stripe by stripe (setup path;
+    /// steady-state aggregation goes through [`StripedModel::stripe_add`]
+    /// from parallel apply tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len()` differs from the model length.
+    pub fn push(&self, delta: &[f64]) {
+        for s in 0..self.stripes.len() {
+            self.stripe_add(s, delta);
+        }
+    }
+
+    /// Replaces the model contents (checkpoint restore / init).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the model length.
+    pub fn restore(&self, values: &[f64]) {
+        assert_eq!(values.len(), self.len, "restore length mismatch");
+        for (s, stripe) in self.stripes.iter().enumerate() {
+            stripe
+                .write()
+                .copy_from_slice(&values[self.stripe_range(s)]);
+        }
+    }
+}
+
+impl std::fmt::Debug for StripedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedModel")
+            .field("len", &self.len)
+            .field("stripe_len", &self.stripe_len)
+            .field("stripes", &self.stripes.len())
             .finish()
     }
 }
@@ -204,5 +405,102 @@ mod tests {
     fn pull_bytes_accounts_f64() {
         let m = ShardedModel::new(100, 2);
         assert_eq!(m.pull_bytes(), 800);
+    }
+
+    #[test]
+    fn pull_shard_into_matches_pull_shard() {
+        let m = ShardedModel::new(10, 3);
+        let delta: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        m.push(&delta);
+        for s in 0..m.shard_count() {
+            let (range, vals) = m.pull_shard(s);
+            assert_eq!(range, m.shard_range(s));
+            let mut out = vec![0.0; range.len()];
+            m.pull_shard_into(s, &mut out);
+            assert_eq!(out, vals);
+        }
+    }
+
+    #[test]
+    fn push_shard_targets_one_shard_only() {
+        let m = ShardedModel::new(10, 3);
+        let range = m.shard_range(1);
+        m.push_shard(1, &vec![2.0; range.len()]);
+        let got = m.pull();
+        for (i, &v) in got.iter().enumerate() {
+            let want = if range.contains(&i) { 2.0 } else { 0.0 };
+            assert_eq!(v, want, "element {i}");
+        }
+    }
+
+    #[test]
+    fn striped_ranges_cover_model() {
+        let m = StripedModel::new(20, 6);
+        assert_eq!(m.stripe_count(), 4);
+        let mut covered = [false; 20];
+        for s in 0..m.stripe_count() {
+            for i in m.stripe_range(s) {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        assert_eq!(m.stripe_range(3).len(), 2, "tail stripe is short");
+    }
+
+    #[test]
+    fn striped_push_pull_restore_roundtrip() {
+        let m = StripedModel::new(11, 4);
+        let delta: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        m.push(&delta);
+        m.push(&delta);
+        let mut got = vec![0.0; 11];
+        m.pull_into(&mut got);
+        let want: Vec<f64> = delta.iter().map(|d| d * 2.0).collect();
+        assert_eq!(got, want);
+        m.restore(&delta);
+        assert_eq!(m.pull(), delta);
+        assert_eq!(m.pull_bytes(), 88);
+    }
+
+    #[test]
+    fn striped_worker_order_fold_is_bit_stable() {
+        // Folding the same contributors in worker order must give
+        // bit-identical results no matter which stripes go first.
+        let contributors: Vec<Vec<f64>> = (0..3)
+            .map(|w| (0..17).map(|i| 0.1 * (w * 17 + i) as f64).collect())
+            .collect();
+        let fold = |stripe_order: &[usize]| {
+            let m = StripedModel::new(17, 5);
+            for &s in stripe_order {
+                for c in &contributors {
+                    m.stripe_add(s, c);
+                }
+            }
+            m.pull()
+        };
+        let a = fold(&[0, 1, 2, 3]);
+        let b = fold(&[3, 1, 0, 2]);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn striped_adds_are_additive_across_threads() {
+        let m = StripedModel::new(64, 8);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for s in 0..m.stripe_count() {
+                        m.stripe_add(s, &vec![1.0; 64]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(m.pull().iter().all(|&v| (v - 8.0).abs() < 1e-12));
     }
 }

@@ -1,12 +1,15 @@
-//! Subtask kinds and timing records.
+//! Subtask kinds, timing records, and the iteration synchronizer.
 
 use std::fmt;
 use std::time::Duration;
 
-/// The three subtask kinds of a PS iteration (Figure 1 / §IV-A).
+/// The subtask kinds of a PS iteration (Figure 1 / §IV-A).
 ///
 /// `Pull` and `Push` are the network-dominant COMM subtasks; `Comp` is
-/// the CPU-dominant computation subtask.
+/// the CPU-dominant computation subtask. `Apply` is the server-side
+/// aggregation the fast runtime executes as explicit parallel tasks
+/// (the reference runtime folds updates inside the PUSH subtask
+/// instead, so it never emits `Apply` timings).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubtaskKind {
     /// Fetch the current model from the servers (COMM).
@@ -15,6 +18,9 @@ pub enum SubtaskKind {
     Comp,
     /// Send the update back to the servers (COMM).
     Push,
+    /// Fold the received updates into the server shards (COMM side,
+    /// fast runtime only).
+    Apply,
 }
 
 impl SubtaskKind {
@@ -24,12 +30,13 @@ impl SubtaskKind {
     }
 
     /// The subtask that follows this one within an iteration, wrapping
-    /// from `Push` back to `Pull` of the next iteration.
+    /// from `Apply` back to `Pull` of the next iteration.
     pub fn next(self) -> SubtaskKind {
         match self {
             SubtaskKind::Pull => SubtaskKind::Comp,
             SubtaskKind::Comp => SubtaskKind::Push,
-            SubtaskKind::Push => SubtaskKind::Pull,
+            SubtaskKind::Push => SubtaskKind::Apply,
+            SubtaskKind::Apply => SubtaskKind::Pull,
         }
     }
 }
@@ -40,6 +47,7 @@ impl fmt::Display for SubtaskKind {
             SubtaskKind::Pull => "PULL",
             SubtaskKind::Comp => "COMP",
             SubtaskKind::Push => "PUSH",
+            SubtaskKind::Apply => "APPLY",
         };
         f.write_str(s)
     }
@@ -58,6 +66,117 @@ pub struct SubtaskTiming {
     pub elapsed: Duration,
 }
 
+/// What the master should do after a subtask-completion event (see
+/// [`Synchronizer::on_subtask`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncAction {
+    /// A worker's PULL landed: submit its COMP.
+    StartCompute,
+    /// A worker's COMP landed: submit its PUSH.
+    StartPush,
+    /// Every worker's PUSH landed: reduce (all-reduce jobs) and submit
+    /// the apply tasks.
+    ReduceAndApply,
+    /// Every apply task landed: the iteration is complete.
+    IterationComplete,
+    /// Other subtasks of this iteration are still in flight.
+    InFlight,
+}
+
+/// Per-job barrier state for the pipelined fast runtime.
+///
+/// The pipeline issues a worker's next subtask the moment its previous
+/// one completes — per-worker progress is independent until the PUSH
+/// barrier, then the apply barrier ends the iteration. The generation
+/// counter stamps every submitted subtask; completion events carry it
+/// back, so a stale event from a previous iteration (impossible under
+/// the current master loop, but the invariant that *proves* the
+/// pipeline is safe) is detected instead of silently corrupting the
+/// barrier counts.
+#[derive(Debug)]
+pub struct Synchronizer {
+    dop: usize,
+    apply_tasks: usize,
+    generation: u64,
+    pushes_seen: usize,
+    applies_seen: usize,
+}
+
+impl Synchronizer {
+    /// A synchronizer for `dop` workers and `apply_tasks` parallel
+    /// apply tasks per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(dop: usize, apply_tasks: usize) -> Self {
+        assert!(dop > 0, "need at least one worker");
+        assert!(apply_tasks > 0, "need at least one apply task");
+        Self {
+            dop,
+            apply_tasks,
+            generation: 0,
+            pushes_seen: 0,
+            applies_seen: 0,
+        }
+    }
+
+    /// The generation to stamp on subtasks submitted for the current
+    /// iteration (0 until the first [`Synchronizer::begin_iteration`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Starts the next iteration: bumps the generation and resets the
+    /// barrier counts. Returns the new generation.
+    pub fn begin_iteration(&mut self) -> u64 {
+        self.generation += 1;
+        self.pushes_seen = 0;
+        self.applies_seen = 0;
+        self.generation
+    }
+
+    /// Records one subtask completion and returns what to do next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation` is not the current one (a stale in-flight
+    /// subtask crossed an iteration boundary — a pipeline bug), or if a
+    /// barrier overflows (more PUSH/APPLY events than workers/tasks).
+    pub fn on_subtask(&mut self, kind: SubtaskKind, generation: u64) -> SyncAction {
+        assert_eq!(
+            generation, self.generation,
+            "stale {kind} event: generation {generation} != current {}",
+            self.generation
+        );
+        match kind {
+            SubtaskKind::Pull => SyncAction::StartCompute,
+            SubtaskKind::Comp => SyncAction::StartPush,
+            SubtaskKind::Push => {
+                self.pushes_seen += 1;
+                assert!(self.pushes_seen <= self.dop, "PUSH barrier overflow");
+                if self.pushes_seen == self.dop {
+                    SyncAction::ReduceAndApply
+                } else {
+                    SyncAction::InFlight
+                }
+            }
+            SubtaskKind::Apply => {
+                self.applies_seen += 1;
+                assert!(
+                    self.applies_seen <= self.apply_tasks,
+                    "APPLY barrier overflow"
+                );
+                if self.applies_seen == self.apply_tasks {
+                    SyncAction::IterationComplete
+                } else {
+                    SyncAction::InFlight
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,7 +185,8 @@ mod tests {
     fn kind_cycle() {
         assert_eq!(SubtaskKind::Pull.next(), SubtaskKind::Comp);
         assert_eq!(SubtaskKind::Comp.next(), SubtaskKind::Push);
-        assert_eq!(SubtaskKind::Push.next(), SubtaskKind::Pull);
+        assert_eq!(SubtaskKind::Push.next(), SubtaskKind::Apply);
+        assert_eq!(SubtaskKind::Apply.next(), SubtaskKind::Pull);
     }
 
     #[test]
@@ -74,6 +194,7 @@ mod tests {
         assert!(SubtaskKind::Comp.is_cpu());
         assert!(!SubtaskKind::Pull.is_cpu());
         assert!(!SubtaskKind::Push.is_cpu());
+        assert!(!SubtaskKind::Apply.is_cpu());
     }
 
     #[test]
@@ -81,5 +202,53 @@ mod tests {
         assert_eq!(SubtaskKind::Pull.to_string(), "PULL");
         assert_eq!(SubtaskKind::Comp.to_string(), "COMP");
         assert_eq!(SubtaskKind::Push.to_string(), "PUSH");
+        assert_eq!(SubtaskKind::Apply.to_string(), "APPLY");
+    }
+
+    #[test]
+    fn one_full_iteration_of_two_workers() {
+        let mut sync = Synchronizer::new(2, 2);
+        let g = sync.begin_iteration();
+        assert_eq!(g, 1);
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Pull, g),
+            SyncAction::StartCompute
+        );
+        assert_eq!(sync.on_subtask(SubtaskKind::Comp, g), SyncAction::StartPush);
+        // The second worker lags a whole phase: per-worker pipelining.
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Pull, g),
+            SyncAction::StartCompute
+        );
+        assert_eq!(sync.on_subtask(SubtaskKind::Push, g), SyncAction::InFlight);
+        assert_eq!(sync.on_subtask(SubtaskKind::Comp, g), SyncAction::StartPush);
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Push, g),
+            SyncAction::ReduceAndApply
+        );
+        assert_eq!(sync.on_subtask(SubtaskKind::Apply, g), SyncAction::InFlight);
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Apply, g),
+            SyncAction::IterationComplete
+        );
+        assert_eq!(sync.begin_iteration(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_generation_is_rejected() {
+        let mut sync = Synchronizer::new(1, 1);
+        sync.begin_iteration();
+        sync.begin_iteration();
+        let _ = sync.on_subtask(SubtaskKind::Pull, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "PUSH barrier overflow")]
+    fn push_overflow_is_rejected() {
+        let mut sync = Synchronizer::new(1, 1);
+        let g = sync.begin_iteration();
+        let _ = sync.on_subtask(SubtaskKind::Push, g);
+        let _ = sync.on_subtask(SubtaskKind::Push, g);
     }
 }

@@ -19,6 +19,7 @@ fn main() {
     let cluster = PsCluster::new(PsConfig {
         nodes,
         network_bytes_per_sec: None,
+        ..PsConfig::default()
     });
 
     // Job A: 6-class MLR over 300 sparse examples.

@@ -6,8 +6,11 @@
 #                  scale and validate their emitted JSON — plus the
 #                  committed BENCH_*.json files (including the enlarged
 #                  sim_driver sweep) — against the perfjson schema (see
-#                  crates/bench/src/perfjson.rs), and run the simulator
-#                  fast-event-path equivalence gate at tiny scale.
+#                  crates/bench/src/perfjson.rs), run the simulator
+#                  fast-event-path and PS fast-runtime equivalence gates
+#                  at tiny scale, and run the PS steady-state allocation
+#                  audit (counting global allocator, `alloc-count`
+#                  feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,16 +40,25 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     cargo test --release -q -p harmony --test sim_equivalence \
         tiny_scale_fast_path_matches_reference
 
+    echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
+    cargo test --release -q -p harmony --test ps_equivalence \
+        tiny_scale_fast_runtime_matches_reference
+
+    echo "==> PS steady-state allocation audit (alloc-count)"
+    cargo test --release -q -p harmony --features alloc-count --test ps_alloc
+
     echo "==> bench smoke (schema check)"
     SMOKE_DIR=target/bench_smoke
     mkdir -p "$SMOKE_DIR"
     cargo run --release -q -p harmony-bench --bin sched_scalability -- \
         --smoke --out "$SMOKE_DIR/BENCH_sched.json" >/dev/null
     cargo run --release -q -p harmony-bench --bin ps_end_to_end -- \
-        --smoke --out "$SMOKE_DIR/BENCH_sim.json" >/dev/null
+        --smoke --out "$SMOKE_DIR/BENCH_sim.json" \
+        --ps-out "$SMOKE_DIR/BENCH_ps.json" >/dev/null
     cargo run --release -q -p harmony-bench --bin bench_schema_check -- \
         "$SMOKE_DIR/BENCH_sched.json" "$SMOKE_DIR/BENCH_sim.json" \
-        BENCH_sched.json BENCH_sim.json
+        "$SMOKE_DIR/BENCH_ps.json" \
+        BENCH_sched.json BENCH_sim.json BENCH_ps.json
 fi
 
 echo "All checks passed."

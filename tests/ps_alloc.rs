@@ -1,0 +1,117 @@
+//! Steady-state allocation audit for the fast PS runtime.
+//!
+//! Run with `cargo test --features alloc-count --test ps_alloc`. A
+//! counting `#[global_allocator]` tallies every heap allocation in the
+//! process; the test then compares total allocation *counts* of a short
+//! and a long training run on the same warmed cluster. Per-run setup
+//! (job construction, pooled-buffer checkout, task `Arc`s) costs the
+//! same number of allocations regardless of iteration count, so equal
+//! totals prove the extra iterations allocated nothing: pull buffers,
+//! update buffers, ML scratch, the ring reduction, and the event
+//! channel are all reused.
+#![cfg(feature = "alloc-count")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use harmony::ml::{synth, Lasso, PsAlgorithm};
+use harmony::ps::{JobBuilder, PsCluster, PsConfig};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// One 4-worker Lasso run; `check_every` is huge so the only loss
+/// evaluation is the final-iteration one — the same count either way.
+fn run_lasso(cluster: &PsCluster, iters: u64) {
+    let data = synth::regression(80, 16, 0.3, 3);
+    let job = JobBuilder::new("alloc-audit")
+        .workers(
+            synth::partition(&data, 4)
+                .into_iter()
+                .map(|p| Box::new(Lasso::new(p, 16, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+        )
+        .max_iterations(iters)
+        .check_every(1_000_000)
+        .build();
+    let _ = cluster.run_jobs(vec![job]);
+}
+
+/// Waits until every pooled buffer has drained back (the executor
+/// threads drop their task `Arc`s just after the final event lands),
+/// so the next run's setup draws from the pool instead of allocating.
+fn settle(cluster: &PsCluster) {
+    for _ in 0..500 {
+        if cluster.pool_stats().outstanding == 0 {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    panic!(
+        "pooled buffers were not returned: {:?}",
+        cluster.pool_stats()
+    );
+}
+
+#[test]
+fn steady_state_iterations_allocate_nothing() {
+    let cluster = PsCluster::new(PsConfig {
+        nodes: 4,
+        network_bytes_per_sec: None,
+        fast_runtime: true,
+    });
+
+    // Warmup: populate the buffer pool, grow the executor queues and
+    // the event channel to their steady capacity, fault in lazy
+    // thread-local state.
+    run_lasso(&cluster, 40);
+    settle(&cluster);
+
+    // Lazy one-time allocations elsewhere in the process can land in
+    // either window; a bounded retry separates that noise from a real
+    // per-iteration allocation (which would repeat every attempt).
+    let mut attempts = Vec::new();
+    for _ in 0..3 {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        run_lasso(&cluster, 40);
+        settle(&cluster);
+        let a1 = ALLOCS.load(Ordering::Relaxed);
+        run_lasso(&cluster, 400);
+        settle(&cluster);
+        let a2 = ALLOCS.load(Ordering::Relaxed);
+
+        let short = a1 - a0;
+        let long = a2 - a1;
+        if long == short {
+            return; // 360 extra iterations allocated nothing
+        }
+        attempts.push((short, long));
+    }
+    panic!(
+        "steady-state iterations allocated memory: (short, long) counts per attempt = {attempts:?}"
+    );
+}

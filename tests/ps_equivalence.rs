@@ -1,0 +1,247 @@
+//! Equivalence gate for the zero-copy pipelined PS runtime.
+//!
+//! `PsConfig::fast_runtime` (default on) must be a pure optimization:
+//! pooled buffers, striped apply, and per-worker pipelining may change
+//! *when* work happens, never *what* is computed. These tests run the
+//! same jobs through both arms and compare the final model and the loss
+//! trajectory **bit for bit** (`f64::to_bits`) — f64 addition is not
+//! associative, so byte-identity only holds because both arms fold
+//! worker updates in the same (worker-id) order per element.
+
+use harmony::ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
+use harmony::ps::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
+
+fn cluster(nodes: usize, fast_runtime: bool) -> PsCluster {
+    PsCluster::new(PsConfig {
+        nodes,
+        network_bytes_per_sec: None,
+        fast_runtime,
+    })
+}
+
+struct Spec {
+    algo: &'static str,
+    workers: usize,
+    iters: u64,
+    all_reduce: bool,
+    abort_after: Option<u64>,
+}
+
+impl Spec {
+    fn new(algo: &'static str, workers: usize, iters: u64) -> Self {
+        Self {
+            algo,
+            workers,
+            iters,
+            all_reduce: false,
+            abort_after: None,
+        }
+    }
+
+    /// Builds the job fresh for each arm — synth data and worker seeds
+    /// are deterministic, so both arms see identical inputs.
+    fn job(&self) -> TrainingJob {
+        let w = self.workers;
+        let mut b = JobBuilder::new(format!("{}-{}w", self.algo, w));
+        b = match self.algo {
+            "mlr" => {
+                let data = synth::classification(96, 12, 3, 0.3, 5);
+                b.workers(
+                    synth::partition(&data, w)
+                        .into_iter()
+                        .map(|p| Box::new(Mlr::new(p, 12, 3, 0.5)) as Box<dyn PsAlgorithm>),
+                )
+            }
+            "lasso" => {
+                let data = synth::regression(96, 16, 0.3, 6);
+                b.workers(
+                    synth::partition(&data, w)
+                        .into_iter()
+                        .map(|p| Box::new(Lasso::new(p, 16, 0.05, 0.01)) as Box<dyn PsAlgorithm>),
+                )
+            }
+            "nmf" => {
+                let ratings = synth::ratings(24, 30, 8, 3, 7);
+                b.workers(
+                    synth::partition(&ratings, w)
+                        .into_iter()
+                        .map(|p| Box::new(Nmf::new(p, 30, 3, 0.05)) as Box<dyn PsAlgorithm>),
+                )
+            }
+            "lda" => {
+                let docs = synth::bag_of_words(24, 120, 30, 3, 8);
+                b.workers(
+                    synth::partition(&docs, w)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            Box::new(Lda::new(p, 120, 3, i as u64)) as Box<dyn PsAlgorithm>
+                        }),
+                )
+            }
+            other => panic!("unknown algorithm {other}"),
+        };
+        if self.all_reduce {
+            b = b.all_reduce();
+        }
+        if let Some(at) = self.abort_after {
+            b = b.abort_after(at);
+        }
+        b.max_iterations(self.iters).check_every(2).build()
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(tag: &str, fast: &JobReport, reference: &JobReport) {
+    assert_eq!(fast.iterations, reference.iterations, "{tag}: iterations");
+    assert_eq!(fast.converged, reference.converged, "{tag}: converged");
+    assert_eq!(fast.aborted, reference.aborted, "{tag}: aborted");
+    assert_eq!(
+        bits(&fast.final_model),
+        bits(&reference.final_model),
+        "{tag}: final model diverged"
+    );
+    let traj = |r: &JobReport| -> Vec<(u64, u64)> {
+        r.loss_history
+            .iter()
+            .map(|&(i, l)| (i, l.to_bits()))
+            .collect()
+    };
+    assert_eq!(
+        traj(fast),
+        traj(reference),
+        "{tag}: loss trajectory diverged"
+    );
+}
+
+fn run_pair(spec: Spec) {
+    let tag = format!(
+        "{} workers={} all_reduce={} abort={:?}",
+        spec.algo, spec.workers, spec.all_reduce, spec.abort_after
+    );
+    let fast = cluster(spec.workers, true)
+        .run_jobs(vec![spec.job()])
+        .remove(0);
+    let reference = cluster(spec.workers, false)
+        .run_jobs(vec![spec.job()])
+        .remove(0);
+    assert_identical(&tag, &fast, &reference);
+}
+
+/// The cheap gate `scripts/check.sh --bench-smoke` runs before
+/// trusting BENCH_ps.json: one small job, both arms, bit-compared.
+#[test]
+fn tiny_scale_fast_runtime_matches_reference() {
+    run_pair(Spec::new("lasso", 2, 4));
+}
+
+#[test]
+fn all_algorithms_match_across_worker_counts() {
+    for algo in ["mlr", "lasso", "nmf", "lda"] {
+        for workers in [1usize, 2, 4, 8] {
+            run_pair(Spec::new(algo, workers, 6));
+        }
+    }
+}
+
+#[test]
+fn all_reduce_synchronization_matches() {
+    for workers in [2usize, 4, 8] {
+        run_pair(Spec {
+            all_reduce: true,
+            ..Spec::new("mlr", workers, 6)
+        });
+    }
+}
+
+#[test]
+fn abort_mid_iteration_matches() {
+    // Mid-run abort: the doomed iteration's PULLs are drained in both
+    // arms, leaving the model exactly as of the previous iteration.
+    for algo in ["mlr", "lda"] {
+        run_pair(Spec {
+            abort_after: Some(4),
+            ..Spec::new(algo, 4, 8)
+        });
+    }
+    // Abort as the very first iteration begins: no COMP ever runs.
+    run_pair(Spec {
+        abort_after: Some(1),
+        ..Spec::new("lasso", 2, 8)
+    });
+}
+
+#[test]
+fn aborted_job_reports_truncated_progress() {
+    let report = cluster(4, true)
+        .run_jobs(vec![Spec {
+            abort_after: Some(3),
+            ..Spec::new("lasso", 4, 10)
+        }
+        .job()])
+        .remove(0);
+    assert!(report.aborted);
+    assert!(!report.converged);
+    assert_eq!(report.iterations, 2, "aborted as iteration 3 began");
+}
+
+#[test]
+fn colocated_jobs_match_their_solo_runs() {
+    // Co-location multiplexes executors but must not perturb results:
+    // run two jobs together on each arm and bit-compare across arms.
+    let jobs = || vec![Spec::new("mlr", 4, 6).job(), Spec::new("lasso", 2, 6).job()];
+    let fast = cluster(4, true).run_jobs(jobs());
+    let reference = cluster(4, false).run_jobs(jobs());
+    for (f, r) in fast.iter().zip(&reference) {
+        assert_identical(&format!("colocated {}", f.name), f, r);
+    }
+}
+
+#[test]
+fn fast_runtime_reports_apply_phase_times() {
+    let fast = cluster(2, true)
+        .run_jobs(vec![Spec::new("mlr", 2, 6).job()])
+        .remove(0);
+    let reference = cluster(2, false)
+        .run_jobs(vec![Spec::new("mlr", 2, 6).job()])
+        .remove(0);
+    // The fast arm surfaces server-side aggregation as APPLY subtasks;
+    // the reference folds inside PUSH and reports none.
+    assert!(fast
+        .timings
+        .iter()
+        .any(|t| format!("{}", t.kind) == "APPLY"));
+    assert!(fast.mean_tapply > 0.0);
+    assert_eq!(reference.mean_tapply, 0.0);
+}
+
+#[test]
+fn pool_reuses_buffers_across_runs() {
+    // Buffers return to the pool when the executor threads drop the
+    // last task `Arc`s — a hair *after* the final completion event is
+    // received — so poll briefly for quiescence between runs.
+    fn settled(c: &PsCluster) -> harmony::mem::PoolStats {
+        for _ in 0..500 {
+            let s = c.pool_stats();
+            if s.outstanding == 0 {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("pooled buffers were not returned: {:?}", c.pool_stats());
+    }
+
+    let c = cluster(2, true);
+    let _ = c.run_jobs(vec![Spec::new("lasso", 2, 4).job()]);
+    let first = settled(&c);
+    let _ = c.run_jobs(vec![Spec::new("lasso", 2, 4).job()]);
+    let second = settled(&c);
+    assert_eq!(
+        second.allocations, first.allocations,
+        "second run should draw every buffer from the pool"
+    );
+    assert!(second.reuses > first.reuses);
+}

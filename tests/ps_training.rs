@@ -8,6 +8,7 @@ fn cluster(nodes: usize) -> PsCluster {
     PsCluster::new(PsConfig {
         nodes,
         network_bytes_per_sec: None,
+        ..PsConfig::default()
     })
 }
 
