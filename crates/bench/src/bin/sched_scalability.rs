@@ -11,8 +11,11 @@
 //! optimized scan (`case: "optimized"`) and the retained pre-overhaul
 //! implementation (`case: "pre_pr_reference"`,
 //! `harmony_core::reference`), so the before/after speedup is pinned
-//! in-repo. Flags: `--smoke` (tiny scale, for `scripts/check.sh
-//! --bench-smoke`), `--out <path>`.
+//! in-repo — plus the optimized scan with the fourth APPLY charge
+//! enabled (`case: "optimized_charge_apply"`, profiles carrying a
+//! measured server-side APPLY time), pinning the cost of the
+//! closed-loop model extension. Flags: `--smoke` (tiny scale, for
+//! `scripts/check.sh --bench-smoke`), `--out <path>`.
 
 use std::time::Instant;
 
@@ -61,6 +64,10 @@ fn main() {
     let (smoke, out_path) = parse_bench_args("BENCH_sched.json");
     let scheduler = Scheduler::new(SchedulerConfig::default());
     let reference = ReferenceScheduler::new(SchedulerConfig::default());
+    let apply_scheduler = Scheduler::new(SchedulerConfig {
+        charge_apply: true,
+        ..SchedulerConfig::default()
+    });
     let mut table = TextTable::new(["jobs", "machines", "scheduler", "decision time (median)"]);
     let mut report = BenchReport::new("sched_scalability");
 
@@ -88,10 +95,28 @@ fn main() {
             (opt_score - pre_score).abs() <= 0.05 * pre_score.abs().max(1e-12),
             "optimized scan score {opt_score} drifted from reference {pre_score}"
         );
+        // Third arm: the optimized scan with the fourth APPLY charge
+        // enabled (`SchedulerConfig::charge_apply`), on profiles that
+        // carry a measured server-side APPLY time (2% of COMP) — the
+        // per-candidate branch must stay in the noise of the flag-off
+        // scan.
+        let ps_apply: Vec<JobProfile> = ps
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                let (c, n) = (p.tcpu_at(1), p.tnet());
+                p.observe_sample(c, n, 0.02 * c, 1);
+                p
+            })
+            .collect();
+        let apply_out = apply_scheduler.schedule(&ps_apply, machines);
+        assert!(apply_out.grouping.validate().is_ok());
         let opt_ms = time_reps(reps, || scheduler.schedule(&ps, machines));
         let pre_ms = time_reps(reps, || reference.schedule(&ps, machines));
+        let apply_ms = time_reps(reps, || apply_scheduler.schedule(&ps_apply, machines));
         let opt_row = BenchRow::new("optimized", jobs, machines, opt_ms);
         let pre_row = BenchRow::new("pre_pr_reference", jobs, machines, pre_ms);
+        let apply_row = BenchRow::new("optimized_charge_apply", jobs, machines, apply_ms);
         table.row([
             jobs.to_string(),
             machines.to_string(),
@@ -104,8 +129,15 @@ fn main() {
             "harmony (pre-PR reference)".to_string(),
             format!("{:.2} ms", pre_row.stats().0),
         ]);
+        table.row([
+            jobs.to_string(),
+            machines.to_string(),
+            "harmony (charge_apply)".to_string(),
+            format!("{:.2} ms", apply_row.stats().0),
+        ]);
         report.push(opt_row);
         report.push(pre_row);
+        report.push(apply_row);
     }
 
     // Oracle on small instances only (Bell-number growth); skipped in

@@ -13,6 +13,9 @@
 //! - [`job`]: job identities, specifications and lifecycle states;
 //! - [`profile`]: profiled runtime metrics `(Tcpu, Tnet, m)` per job
 //!   (§IV-B1), kept fresh with moving averages;
+//! - [`feedback`]: the closed profiling loop — measured iteration
+//!   samples flow back into the profiles, with ≥5% drift detection
+//!   against the basis the current schedule was computed with (§IV-B4);
 //! - [`model`]: the performance model — group iteration time (Eq. 1),
 //!   the DoP scaling law (Eq. 2), and utilization (Eqs. 3–4) (§IV-B2);
 //! - [`schedule`]: Algorithm 1 — incremental job selection, group-count
@@ -53,6 +56,7 @@
 pub mod baseline;
 pub mod cluster;
 pub mod error;
+pub mod feedback;
 pub mod group;
 pub mod job;
 pub mod model;
@@ -65,6 +69,7 @@ pub mod scratch;
 
 pub use cluster::{ClusterSpec, MachineId, MachineSpec};
 pub use error::{Error, Result};
+pub use feedback::{FeedbackLoop, IterationSample, ProfileSink};
 pub use group::{GroupId, Grouping, JobGroup};
 pub use job::{AppKind, JobId, JobSpec, JobState, SyncKind};
 pub use model::{cluster_utilization, group_iteration_time, group_utilization, Utilization};

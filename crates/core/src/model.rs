@@ -82,6 +82,17 @@ pub fn group_iteration_time(profiles: &[&JobProfile], m: u32) -> f64 {
     group_bounds(profiles, m).0
 }
 
+/// [`group_iteration_time`] with the optional fourth subtask class:
+/// when `charge_apply` is set, each job's measured server-side APPLY
+/// seconds ([`JobProfile::tapply`]) are charged to the CPU term on top
+/// of Eq. 2's worker COMP — the paper folds APPLY into PUSH, but the
+/// fast PS runtime measures it separately and it burns server CPU, not
+/// wire time. With `charge_apply` false this is bit-identical to
+/// [`group_iteration_time`] (equivalence-gate pattern).
+pub fn group_iteration_time_charged(profiles: &[&JobProfile], m: u32, charge_apply: bool) -> f64 {
+    group_bounds_charged(profiles, m, charge_apply).0
+}
+
 /// Like [`group_iteration_time`], also reporting which term dominated.
 pub fn group_iteration_time_with_bound(profiles: &[&JobProfile], m: u32) -> (f64, BoundKind) {
     let (t, kind, _, _) = group_bounds(profiles, m);
@@ -89,12 +100,26 @@ pub fn group_iteration_time_with_bound(profiles: &[&JobProfile], m: u32) -> (f64
 }
 
 fn group_bounds(profiles: &[&JobProfile], m: u32) -> (f64, BoundKind, f64, f64) {
+    group_bounds_charged(profiles, m, false)
+}
+
+fn group_bounds_charged(
+    profiles: &[&JobProfile],
+    m: u32,
+    charge_apply: bool,
+) -> (f64, BoundKind, f64, f64) {
     assert!(m > 0, "DoP must be at least 1");
     let mut sum_cpu = 0.0;
     let mut sum_net = 0.0;
     let mut max_itr = 0.0f64;
     for p in profiles {
-        let tcpu = p.tcpu_at(m);
+        // Branch instead of adding 0.0: `x + 0.0` can flip the sign of
+        // a negative zero, and the flag-off arm must stay bit-identical.
+        let tcpu = if charge_apply {
+            p.tcpu_at(m) + p.tapply()
+        } else {
+            p.tcpu_at(m)
+        };
         let tnet = p.tnet();
         sum_cpu += tcpu;
         sum_net += tnet;
@@ -242,6 +267,34 @@ mod tests {
             assert!(t >= sum_cpu && t >= sum_net && t >= max_itr);
             assert!(t <= sum_cpu + sum_net); // never worse than serial
         }
+    }
+
+    #[test]
+    fn apply_charge_extends_the_cpu_term() {
+        let mut a = JobProfile::new(JobId::new(0));
+        a.observe_sample(10.0, 1.0, 0.5, 1);
+        let mut b = JobProfile::new(JobId::new(1));
+        b.observe_sample(8.0, 1.0, 0.25, 1);
+        let ps = [&a, &b];
+        // Flag off: APPLY is invisible, exactly the legacy model.
+        let off = group_iteration_time_charged(&ps, 1, false);
+        assert_eq!(off.to_bits(), group_iteration_time(&ps, 1).to_bits());
+        assert_eq!(off, 18.0);
+        // Flag on: the CPU-bound term grows by the APPLY charges.
+        assert_eq!(group_iteration_time_charged(&ps, 1, true), 18.75);
+    }
+
+    #[test]
+    fn apply_charge_without_measurements_is_identity() {
+        // Profiles that never saw an APPLY sample read tapply() == 0.0,
+        // so even the flag-on arm reproduces the legacy time bit-for-bit.
+        let a = prof(0, 10.0, 1.0);
+        let b = prof(1, 8.0, 1.0);
+        let ps = [&a, &b];
+        assert_eq!(
+            group_iteration_time_charged(&ps, 2, true).to_bits(),
+            group_iteration_time(&ps, 2).to_bits()
+        );
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct JobProfile {
     tcpu_ref: Ewma,
     /// COMM (PULL+PUSH) seconds per iteration (DoP-invariant).
     tnet: Ewma,
+    /// Server-side APPLY seconds per iteration (DoP-invariant: the
+    /// stripes cover the whole model however many workers run). Cold
+    /// when observations arrive through [`JobProfile::observe_iteration`],
+    /// which predates the APPLY measurement.
+    tapply: Ewma,
+    /// `(tcpu_ref, tnet)` values the current schedule was computed with
+    /// (pinned by [`JobProfile::mark_scheduled`]); drift is measured
+    /// against these.
+    scheduled_basis: Option<(f64, f64)>,
     /// DoP of the most recent observation.
     last_dop: u32,
     /// Total input bytes (for memory-pressure estimation).
@@ -57,6 +66,8 @@ impl JobProfile {
             job,
             tcpu_ref: Ewma::default(),
             tnet: Ewma::default(),
+            tapply: Ewma::default(),
+            scheduled_basis: None,
             last_dop: 1,
             input_bytes: 0,
             model_bytes: 0,
@@ -86,14 +97,76 @@ impl JobProfile {
     ///
     /// # Panics
     ///
-    /// Panics if `dop` is zero or either duration is negative.
+    /// Panics if `dop` is zero or either duration is negative or
+    /// non-finite. `+inf` would pass a plain `>= 0.0` check, the EWMAs
+    /// would silently reject `inf * dop`, and the profile would end up
+    /// "warm" by observation count with cold averages — a later
+    /// [`JobProfile::tcpu_at`] would then panic far from the bad input.
     pub fn observe_iteration(&mut self, tcpu: f64, tnet: f64, dop: u32) {
         assert!(dop > 0, "DoP must be at least 1");
+        assert!(
+            tcpu.is_finite() && tnet.is_finite(),
+            "durations must be finite"
+        );
         assert!(tcpu >= 0.0 && tnet >= 0.0, "durations must be non-negative");
         self.tcpu_ref.observe(tcpu * f64::from(dop));
         self.tnet.observe(tnet);
         self.last_dop = dop;
         self.observations += 1;
+    }
+
+    /// Feeds one measured iteration including the server-side APPLY
+    /// charge — the full `(tcpu, tnet, tapply, dop)` sample the closed
+    /// profiling loop produces (`tapply` may legitimately be `0.0`, e.g.
+    /// from the reference PS runtime, which folds updates inside PUSH).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dop` is zero or any duration is negative or
+    /// non-finite.
+    pub fn observe_sample(&mut self, tcpu: f64, tnet: f64, tapply: f64, dop: u32) {
+        assert!(
+            tapply.is_finite() && tapply >= 0.0,
+            "durations must be finite and non-negative"
+        );
+        self.observe_iteration(tcpu, tnet, dop);
+        self.tapply.observe(tapply);
+    }
+
+    /// Pins the current smoothed `(tcpu_ref, tnet)` as the basis the
+    /// schedule now in force was computed with; subsequent
+    /// [`JobProfile::drift_from_basis`] calls measure against it. A cold
+    /// profile has nothing to pin, so the call is a no-op.
+    pub fn mark_scheduled(&mut self) {
+        if let (Some(c), Some(n)) = (self.tcpu_ref.value(), self.tnet.value()) {
+            self.scheduled_basis = Some((c, n));
+        }
+    }
+
+    /// The `(tcpu_ref, tnet)` basis pinned by the last
+    /// [`JobProfile::mark_scheduled`], if any.
+    pub fn scheduled_basis(&self) -> Option<(f64, f64)> {
+        self.scheduled_basis
+    }
+
+    /// Forgets the pinned basis (used once a drift has been acted on, so
+    /// one deviation triggers exactly one re-evaluation).
+    pub fn clear_scheduled_basis(&mut self) {
+        self.scheduled_basis = None;
+    }
+
+    /// Largest relative deviation of the smoothed `tcpu_ref`/`tnet` from
+    /// the pinned basis, or `None` when no basis is pinned.
+    ///
+    /// This is the §IV-B4 re-evaluation signal: compare against the
+    /// scheduler's `improvement_threshold` (5% by default) to decide
+    /// whether the schedule was computed from estimates that no longer
+    /// hold.
+    pub fn drift_from_basis(&self) -> Option<f64> {
+        let (c, n) = self.scheduled_basis?;
+        let dc = self.tcpu_ref.relative_deviation_from(c)?;
+        let dn = self.tnet.relative_deviation_from(n)?;
+        Some(dc.max(dn))
     }
 
     /// The job this profile belongs to.
@@ -136,6 +209,14 @@ impl JobProfile {
     /// Panics if the profile is cold.
     pub fn tnet(&self) -> f64 {
         self.tnet.value().expect("profile has no observations yet")
+    }
+
+    /// Measured server-side APPLY time per iteration, `0.0` when no
+    /// APPLY observation has been folded in (cold EWMA) — the paper's
+    /// model charges APPLY inside PUSH, so absence is a valid state, not
+    /// an error like a cold `tnet`.
+    pub fn tapply(&self) -> f64 {
+        self.tapply.value().unwrap_or(0.0)
     }
 
     /// Predicted single-job iteration time at DoP `m`:
@@ -274,6 +355,77 @@ mod tests {
         p.observe_iteration(1.0, 1.0, 1);
         assert!(p.is_warm());
         assert_eq!(p.observations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_tcpu_is_rejected() {
+        // Regression: `+inf` passes `>= 0.0`, the EWMA silently drops
+        // `inf * dop`, and the profile used to end up warm-by-count with
+        // cold averages — poisoning `tcpu_at` far from the bad input.
+        let mut p = JobProfile::new(JobId::new(40));
+        p.observe_iteration(f64::INFINITY, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_tnet_is_rejected() {
+        let mut p = JobProfile::new(JobId::new(41));
+        p.observe_iteration(1.0, f64::NAN, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_tapply_is_rejected() {
+        let mut p = JobProfile::new(JobId::new(42));
+        p.observe_sample(1.0, 1.0, f64::NEG_INFINITY, 1);
+    }
+
+    #[test]
+    fn rejected_sample_leaves_profile_cold() {
+        let mut p = JobProfile::new(JobId::new(43));
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.observe_iteration(f64::INFINITY, 1.0, 1);
+        }));
+        assert!(poisoned.is_err());
+        // The count and the averages stay in sync: still cold.
+        assert!(!p.is_warm());
+        assert_eq!(p.observations(), 0);
+    }
+
+    #[test]
+    fn observe_sample_folds_apply_charge() {
+        let mut p = JobProfile::new(JobId::new(44));
+        assert_eq!(p.tapply(), 0.0); // cold APPLY reads as absent
+        p.observe_sample(10.0, 3.0, 0.5, 2);
+        assert_eq!(p.tcpu_at(1), 20.0);
+        assert_eq!(p.tnet(), 3.0);
+        assert_eq!(p.tapply(), 0.5);
+        // Plain observe_iteration keeps the APPLY average untouched.
+        p.observe_iteration(10.0, 3.0, 2);
+        assert_eq!(p.tapply(), 0.5);
+    }
+
+    #[test]
+    fn drift_is_measured_against_scheduled_basis() {
+        let mut p = JobProfile::from_reference(JobId::new(45), 10.0, 2.0);
+        assert_eq!(p.drift_from_basis(), None); // nothing pinned yet
+        p.mark_scheduled();
+        assert_eq!(p.scheduled_basis(), Some((10.0, 2.0)));
+        assert_eq!(p.drift_from_basis(), Some(0.0));
+        // alpha = 0.3: one 50% jump moves the smoothed tcpu_ref 15%.
+        p.observe_iteration(15.0, 2.0, 1);
+        let d = p.drift_from_basis().unwrap();
+        assert!((d - 0.15).abs() < 1e-12, "drift was {d}");
+        p.clear_scheduled_basis();
+        assert_eq!(p.drift_from_basis(), None);
+    }
+
+    #[test]
+    fn mark_scheduled_on_cold_profile_is_noop() {
+        let mut p = JobProfile::new(JobId::new(46));
+        p.mark_scheduled();
+        assert_eq!(p.scheduled_basis(), None);
     }
 
     #[test]

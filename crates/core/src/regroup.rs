@@ -664,6 +664,165 @@ mod tests {
         );
     }
 
+    /// The §IV-B4 similarity test is *inclusive* at the 5% boundary:
+    /// `rel_diff <= 0.05` accepts. The finished job has iteration time
+    /// exactly 10.0 and ratio exactly 4.0 (8.0 + 2.0 at DoP 1); the
+    /// candidate (8.4, 2.1) lands at iteration time exactly 10.5 and
+    /// ratio exactly 4.0, so `rel_diff = 0.5 / 10.0` — the f64 nearest
+    /// 0.05, bit-equal to the threshold literal.
+    #[test]
+    fn similarity_accepts_at_exact_boundary() {
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 8.4, 2.1)];
+        let finished = prof(0, 8.0, 2.0);
+        assert_eq!(finished.iter_time_at(1), 10.0);
+        assert_eq!(finished.comp_comm_ratio_at(1), 4.0);
+        assert_eq!(ps[1].iter_time_at(1), 10.5);
+        assert_eq!(ps[1].comp_comm_ratio_at(1), 4.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert_eq!(
+            d,
+            RegroupDecision::ReplaceFinished {
+                group: GroupId::new(0),
+                add: vec![JobId::new(2)]
+            }
+        );
+    }
+
+    /// Just inside the band (4.5% off on iteration time) still takes
+    /// the minimal-movement replacement.
+    #[test]
+    fn similarity_accepts_just_under_boundary() {
+        // (8.36, 2.09): iteration time 10.45 → rel_diff 0.045.
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 8.36, 2.09)];
+        let finished = prof(0, 8.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert_eq!(
+            d,
+            RegroupDecision::ReplaceFinished {
+                group: GroupId::new(0),
+                add: vec![JobId::new(2)]
+            }
+        );
+    }
+
+    /// Just outside the band (5.5% off on iteration time) must NOT take
+    /// the single-similar replacement — with one waiting job a bunch is
+    /// impossible too, so any `ReplaceFinished` here means the 5% gate
+    /// leaked.
+    #[test]
+    fn similarity_rejects_just_over_boundary() {
+        // (8.44, 2.11): iteration time 10.55 → rel_diff 0.055; the
+        // ratio still matches exactly, so only the time check trips.
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 8.44, 2.11)];
+        let finished = prof(0, 8.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert!(
+            !matches!(d, RegroupDecision::ReplaceFinished { .. }),
+            "5.5% mismatch slipped through the similarity gate: {d:?}"
+        );
+    }
+
+    /// Both conditions are required: a candidate matching the finished
+    /// job's iteration time *exactly* is still rejected when its
+    /// comp/comm ratio is off by more than 5%.
+    #[test]
+    fn similarity_requires_matching_ratio_too() {
+        // (8.35, 1.65): iteration time 10.0 (rel_diff 0) but ratio
+        // ~5.06 vs 4.0 → rel_diff ~0.27.
+        let ps = vec![prof(1, 6.0, 6.0), prof(2, 8.35, 1.65)];
+        let finished = prof(0, 8.0, 2.0);
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d = Regrouper::default().on_job_finished(
+            &view,
+            &store(&ps),
+            finished.iter_time_at(1),
+            finished.comp_comm_ratio_at(1),
+            GroupId::new(0),
+        );
+        assert!(
+            !matches!(d, RegroupDecision::ReplaceFinished { .. }),
+            "ratio mismatch slipped through the similarity gate: {d:?}"
+        );
+    }
+
+    /// When a waiting job exists but is *not* similar, the regrouper
+    /// escalates past both replacement steps to partial rescheduling —
+    /// and the dissimilar job still gets placed by Algorithm 1 there.
+    #[test]
+    fn dissimilar_waiting_job_escalates_to_partial_reschedule() {
+        // Remaining job is CPU-bound, the waiting one net-bound; the
+        // finished job (iter 10, ratio 4) resembles neither.
+        let ps = vec![prof(1, 20.0, 1.0), prof(2, 1.0, 20.0)];
+        let view = ClusterView {
+            machines: 1,
+            grouping: Grouping::from_groups(vec![group(0, &[1], 0..1)]),
+            profiled: vec![JobId::new(2)],
+            paused: vec![],
+        };
+        let d =
+            Regrouper::default().on_job_finished(&view, &store(&ps), 10.0, 4.0, GroupId::new(0));
+        match d {
+            RegroupDecision::PartialReschedule {
+                involved_groups,
+                outcome,
+            } => {
+                assert_eq!(involved_groups, vec![GroupId::new(0)]);
+                let placed: Vec<JobId> = outcome
+                    .grouping
+                    .groups()
+                    .iter()
+                    .flat_map(|g| g.jobs().iter().copied())
+                    .collect();
+                assert!(
+                    placed.contains(&JobId::new(2)),
+                    "waiting job not placed: {placed:?}"
+                );
+            }
+            other => panic!("expected escalation, got {other:?}"),
+        }
+    }
+
     #[test]
     fn escalation_repairs_badly_unbalanced_groups() {
         // Group 0 lost its net-heavy job and is now purely CPU-bound;

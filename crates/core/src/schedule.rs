@@ -50,7 +50,7 @@
 use crate::cluster::MachineId;
 use crate::group::{GroupId, Grouping, JobGroup};
 use crate::job::JobId;
-use crate::model::{group_iteration_time, Utilization};
+use crate::model::{group_iteration_time_charged, Utilization};
 use crate::profile::JobProfile;
 use crate::scratch::{ProfileCache, ScheduleScratch};
 
@@ -84,6 +84,22 @@ pub struct SchedulerConfig {
     /// exists so equivalence tests can compare the pruned scan against
     /// the pristine exhaustive one.
     pub exact_prunes: bool,
+    /// Charges each job's measured server-side APPLY seconds
+    /// ([`JobProfile::tapply`]) as a fourth subtask class in the Eq. 1
+    /// group-time model: the CPU term becomes `Σ (Tcpu(m) + Tapply)`
+    /// and a job's own pipeline `Tcpu(m) + Tapply + Tnet`. The paper
+    /// folds APPLY into PUSH; the fast PS runtime measures it
+    /// separately, and it burns server CPU rather than wire time. Off
+    /// by default — with the flag off (or with profiles that carry no
+    /// APPLY measurements) every decision is **byte-identical** to the
+    /// unflagged scheduler, following the repo's equivalence-gate
+    /// pattern. The charge affects candidate *scoring* and the
+    /// predicted iteration times; the L6 group-count seed, swap
+    /// imbalance metric and machine allocation deliberately stay
+    /// APPLY-free (APPLY is DoP-invariant, so it shifts neither the
+    /// `Tcpu(m) = Tnet` balance point those heuristics search for, nor
+    /// the marginal value of an extra machine).
+    pub charge_apply: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -95,6 +111,7 @@ impl Default for SchedulerConfig {
             min_loop_improvement: 0.01,
             max_jobs_per_group: None,
             exact_prunes: true,
+            charge_apply: false,
         }
     }
 }
@@ -415,7 +432,11 @@ impl Scheduler {
             next_machine += m;
             let job_ids: Vec<JobId> = members.iter().map(|&i| jobs[i].job()).collect();
             let profs: Vec<&JobProfile> = members.iter().map(|&i| &jobs[i]).collect();
-            predicted.push(group_iteration_time(&profs, *m));
+            predicted.push(group_iteration_time_charged(
+                &profs,
+                *m,
+                self.cfg.charge_apply,
+            ));
             grouping.push(JobGroup::new(GroupId::new(gi as u32), job_ids, ids));
         }
         debug_assert!(grouping.validate().is_ok());
@@ -616,19 +637,23 @@ impl Scheduler {
         // across swaps afterwards.
         s.gcpu.clear();
         s.gnet.clear();
+        s.gapply.clear();
         for gi in 0..ng {
             let (lo, hi) = (s.bounds[gi], s.bounds[gi + 1]);
             if dense {
-                let (mut c, mut t) = (0.0f64, 0.0f64);
+                let (mut c, mut t, mut a) = (0.0f64, 0.0f64, 0.0f64);
                 for &p in &s.members[lo..hi] {
                     c += s.pcpu[p as usize];
                     t += s.pnet[p as usize];
+                    a += s.papply[p as usize];
                 }
                 s.gcpu.push(c);
                 s.gnet.push(t);
+                s.gapply.push(a);
             } else {
                 s.gcpu.push(s.ps_cpu[hi] - s.ps_cpu[lo]);
                 s.gnet.push(s.ps_net[hi] - s.ps_net[lo]);
+                s.gapply.push(s.ps_apply[hi] - s.ps_apply[lo]);
             }
         }
 
@@ -774,8 +799,10 @@ impl Scheduler {
                     let (pa, pb) = (a as usize, b as usize);
                     s.gcpu[g1] += s.pcpu[pb] - s.pcpu[pa];
                     s.gnet[g1] += s.pnet[pb] - s.pnet[pa];
+                    s.gapply[g1] += s.papply[pb] - s.papply[pa];
                     s.gcpu[g2] += s.pcpu[pa] - s.pcpu[pb];
                     s.gnet[g2] += s.pnet[pa] - s.pnet[pb];
+                    s.gapply[g2] += s.papply[pa] - s.papply[pb];
                     stale = Some((g1, g2));
                 }
                 None => break, // no improving swap remains
@@ -793,17 +820,29 @@ impl Scheduler {
         );
 
         // Eq. 4: machine-weighted average of per-group Eq. 3
-        // utilizations, straight off the flat arrays.
+        // utilizations, straight off the flat arrays. Under
+        // `charge_apply` the CPU-side terms carry the measured APPLY
+        // charge; the branches (never `x + 0.0`) keep the flag-off arm
+        // bit-identical to the unflagged scheduler.
+        let charge = self.cfg.charge_apply;
         let mut total_m = 0.0;
         let mut cpu = 0.0;
         let mut net = 0.0;
         for gi in 0..ng {
             let mf = f64::from(s.alloc[gi]);
-            let sum_cpu = s.gcpu[gi] / mf;
+            let sum_cpu = if charge {
+                s.gcpu[gi] / mf + s.gapply[gi]
+            } else {
+                s.gcpu[gi] / mf
+            };
             let sum_net = s.gnet[gi];
             let mut max_itr = 0.0f64;
             for &p in &s.members[s.bounds[gi]..s.bounds[gi + 1]] {
-                let t = s.pcpu[p as usize] / mf + s.pnet[p as usize];
+                let t = if charge {
+                    (s.pcpu[p as usize] / mf + s.papply[p as usize]) + s.pnet[p as usize]
+                } else {
+                    s.pcpu[p as usize] / mf + s.pnet[p as usize]
+                };
                 if t > max_itr {
                     max_itr = t;
                 }
@@ -1198,6 +1237,88 @@ mod tests {
         for &t in &out.predicted_iteration {
             assert!(t > 0.0);
         }
+    }
+
+    /// A profile carrying a measured APPLY charge on top of `prof`.
+    fn prof_apply(i: u64, tcpu1: f64, tnet: f64, tapply: f64) -> JobProfile {
+        let mut p = JobProfile::new(JobId::new(i));
+        p.observe_sample(tcpu1, tnet, tapply, 1);
+        p
+    }
+
+    #[test]
+    fn charge_apply_off_is_byte_identical() {
+        // Profiles with APPLY measurements scheduled by the default
+        // (flag-off) scheduler must decide exactly as if the
+        // measurements did not exist — the equivalence gate for the
+        // fourth subtask class.
+        let plain = Scheduler::default();
+        let jobs_apply: Vec<JobProfile> = (0..12)
+            .map(|i| {
+                prof_apply(
+                    i,
+                    3.0 + (i * 13 % 50) as f64,
+                    1.0 + (i * 7 % 9) as f64,
+                    0.25 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        let jobs_plain: Vec<JobProfile> = (0..12)
+            .map(|i| prof(i, 3.0 + (i * 13 % 50) as f64, 1.0 + (i * 7 % 9) as f64))
+            .collect();
+        for machines in [3u32, 8, 24] {
+            let a = plain.schedule(&jobs_apply, machines);
+            let b = plain.schedule(&jobs_plain, machines);
+            assert_eq!(a.grouping, b.grouping, "machines={machines}");
+            assert_eq!(
+                a.utilization.cpu.to_bits(),
+                b.utilization.cpu.to_bits(),
+                "machines={machines}"
+            );
+            assert_eq!(a.utilization.net.to_bits(), b.utilization.net.to_bits());
+            let pa: Vec<u64> = a.predicted_iteration.iter().map(|t| t.to_bits()).collect();
+            let pb: Vec<u64> = b.predicted_iteration.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(pa, pb, "machines={machines}");
+        }
+    }
+
+    #[test]
+    fn charge_apply_on_without_measurements_is_byte_identical() {
+        // The flag costs nothing when no profile ever saw an APPLY
+        // sample: tapply() reads 0.0 and the charged expressions
+        // reproduce the unflagged arithmetic bit-for-bit.
+        let plain = Scheduler::default();
+        let charged = Scheduler::new(SchedulerConfig {
+            charge_apply: true,
+            ..SchedulerConfig::default()
+        });
+        let jobs: Vec<JobProfile> = (0..10)
+            .map(|i| prof(i, 5.0 + (i % 3) as f64 * 30.0, 1.0 + (i % 4) as f64 * 4.0))
+            .collect();
+        let a = charged.schedule(&jobs, 20);
+        let b = plain.schedule(&jobs, 20);
+        assert_eq!(a.grouping, b.grouping);
+        assert_eq!(a.utilization.cpu.to_bits(), b.utilization.cpu.to_bits());
+        assert_eq!(a.utilization.net.to_bits(), b.utilization.net.to_bits());
+    }
+
+    #[test]
+    fn charge_apply_raises_predicted_iteration() {
+        // Same grouping, but the per-group Eq. 1 prediction grows by
+        // the APPLY charge when the flag is on.
+        let jobs = vec![prof_apply(0, 16.0, 2.0, 1.0), prof_apply(1, 4.0, 8.0, 1.0)];
+        let off = Scheduler::default().schedule(&jobs, 2);
+        let on = Scheduler::new(SchedulerConfig {
+            charge_apply: true,
+            ..SchedulerConfig::default()
+        })
+        .schedule(&jobs, 2);
+        let off_total: f64 = off.predicted_iteration.iter().sum();
+        let on_total: f64 = on.predicted_iteration.iter().sum();
+        assert!(
+            on_total > off_total,
+            "APPLY charge should lengthen predictions: on={on_total} off={off_total}"
+        );
     }
 
     #[test]

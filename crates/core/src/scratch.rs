@@ -41,6 +41,11 @@ pub struct ProfileCache {
     pub(crate) tcpu1: Vec<f64>,
     /// `Tnet` per job, indexed by position.
     pub(crate) tnet: Vec<f64>,
+    /// Measured server-side APPLY seconds per job (DoP-invariant, `0.0`
+    /// when unmeasured). Only read when
+    /// [`SchedulerConfig::charge_apply`](crate::schedule::SchedulerConfig)
+    /// is set; always cached so the flag costs nothing to flip.
+    pub(crate) tapply: Vec<f64>,
     /// `JobId` per position (sort tie-breaker).
     pub(crate) id: Vec<JobId>,
     /// Job positions sorted by `Tcpu(1) + Tnet` descending (single-
@@ -77,6 +82,7 @@ impl ProfileCache {
         Self {
             tcpu1: Vec::new(),
             tnet: Vec::new(),
+            tapply: Vec::new(),
             id: Vec::new(),
             size_order: Vec::new(),
             ratio_order: Vec::new(),
@@ -96,16 +102,19 @@ impl ProfileCache {
         let n = jobs.len();
         self.tcpu1.clear();
         self.tnet.clear();
+        self.tapply.clear();
         self.id.clear();
         for p in jobs {
             self.tcpu1.push(p.tcpu_at(1));
             self.tnet.push(p.tnet());
+            self.tapply.push(p.tapply());
             self.id.push(p.job());
         }
 
         let Self {
             tcpu1,
             tnet,
+            tapply: _,
             id,
             size_order,
             ratio_order,
@@ -167,12 +176,17 @@ pub struct ScheduleScratch {
     pub(crate) pcpu: Vec<f64>,
     /// `tnet` gathered in `sub_size` order.
     pub(crate) pnet: Vec<f64>,
+    /// `tapply` gathered in `sub_size` order (read only under
+    /// `charge_apply`).
+    pub(crate) papply: Vec<f64>,
     /// `JobId` gathered in `sub_size` order (sort tie-breaker).
     pub(crate) pid: Vec<JobId>,
     /// Prefix sums of `tcpu1` over `sub_size` (length `nj + 1`).
     pub(crate) ps_cpu: Vec<f64>,
     /// Prefix sums of `tnet` over `sub_size`.
     pub(crate) ps_net: Vec<f64>,
+    /// Prefix sums of `tapply` over `sub_size`.
+    pub(crate) ps_apply: Vec<f64>,
     /// Sort-key scratch for [`Self::sort_prefix_by_dop`], indexed by
     /// cache position (prefix positions are always `< nj`).
     pub(crate) sort_key: Vec<f64>,
@@ -195,6 +209,8 @@ pub struct ScheduleScratch {
     pub(crate) gcpu: Vec<f64>,
     /// `Σ Tnet` per group, maintained incrementally across swaps.
     pub(crate) gnet: Vec<f64>,
+    /// `Σ Tapply` per group (only filled/read under `charge_apply`).
+    pub(crate) gapply: Vec<f64>,
     /// Per-position swap deltas `tcpu1/dop − tnet` for the current
     /// candidate's uniform DoP.
     pub(crate) delta: Vec<f64>,
@@ -299,21 +315,28 @@ impl ScheduleScratch {
     fn rebuild_prefix_views(&mut self, cache: &ProfileCache) {
         self.pcpu.clear();
         self.pnet.clear();
+        self.papply.clear();
         self.pid.clear();
         self.ps_cpu.clear();
         self.ps_net.clear();
+        self.ps_apply.clear();
         self.ps_cpu.push(0.0);
         self.ps_net.push(0.0);
-        let (mut c, mut t) = (0.0f64, 0.0f64);
+        self.ps_apply.push(0.0);
+        let (mut c, mut t, mut a) = (0.0f64, 0.0f64, 0.0f64);
         for &p in &self.sub_size {
             let (c0, t0) = (cache.tcpu1[p as usize], cache.tnet[p as usize]);
+            let a0 = cache.tapply[p as usize];
             self.pcpu.push(c0);
             self.pnet.push(t0);
+            self.papply.push(a0);
             self.pid.push(cache.id[p as usize]);
             c += c0;
             t += t0;
+            a += a0;
             self.ps_cpu.push(c);
             self.ps_net.push(t);
+            self.ps_apply.push(a);
         }
     }
 

@@ -1,0 +1,88 @@
+//! Property tests for the Eq. 2 profile normalization: every COMP
+//! observation is folded back to a *reference DoP of one machine*
+//! (`tcpu_ref = tcpu · m`), so the profile must recover the underlying
+//! workload constant whatever DoP sequence it was observed at, and its
+//! `Tcpu(m)` predictions must scale down monotonically with DoP.
+
+use harmony_core::job::JobId;
+use harmony_core::profile::JobProfile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DoP-sequence invariance: a job whose true per-iteration workload
+    /// is `C` CPU-seconds shows `tcpu = C/m` when run at DoP `m`
+    /// (perfect Eq. 2 scaling). Observing it at *any* random sequence
+    /// of DoPs must leave the smoothed reference at `C` — the
+    /// normalization cancels the DoP exactly, so the EWMA only ever
+    /// sees the constant.
+    #[test]
+    fn reference_tcpu_recovers_workload_at_any_dop_sequence(
+        workload in 0.001f64..1_000.0,
+        tnet in 0.001f64..10.0,
+        dops in prop::collection::vec(1u32..64, 1..50),
+    ) {
+        let mut p = JobProfile::new(JobId::new(0));
+        for &m in &dops {
+            p.observe_iteration(workload / f64::from(m), tnet, m);
+        }
+        let got = p.tcpu_at(1);
+        prop_assert!(
+            (got - workload).abs() <= workload * 1e-9,
+            "tcpu_ref drifted: expected {workload}, got {got} after dops {dops:?}"
+        );
+        prop_assert!((p.tnet() - tnet).abs() <= tnet * 1e-9);
+        prop_assert_eq!(p.last_dop(), *dops.last().unwrap());
+        prop_assert_eq!(p.observations(), dops.len() as u64);
+    }
+
+    /// Monotonicity: for a warm profile built from arbitrary (noisy)
+    /// observations, predicted COMP time never increases when machines
+    /// are added — `tcpu_at` is non-increasing in `m`, and exact
+    /// doubling halves it (Eq. 2 is a strict 1/m law, not just a
+    /// trend).
+    #[test]
+    fn tcpu_at_is_monotone_non_increasing_in_dop(
+        samples in prop::collection::vec((0.001f64..100.0, 0.001f64..10.0, 1u32..32), 1..40),
+    ) {
+        let mut p = JobProfile::new(JobId::new(1));
+        for &(tcpu, tnet, m) in &samples {
+            p.observe_iteration(tcpu, tnet, m);
+        }
+        let mut prev = p.tcpu_at(1);
+        for m in 2u32..=64 {
+            let cur = p.tcpu_at(m);
+            prop_assert!(
+                cur <= prev,
+                "tcpu_at({m}) = {cur} > tcpu_at({}) = {prev}", m - 1
+            );
+            prop_assert!(cur >= 0.0);
+            prev = cur;
+        }
+        // Exact 1/m law: doubling the DoP exactly halves the charge.
+        prop_assert_eq!(p.tcpu_at(2), p.tcpu_at(1) / 2.0);
+        prop_assert_eq!(p.tcpu_at(64), p.tcpu_at(32) / 2.0);
+    }
+
+    /// The drift signal is exact at the pin point: pinning a basis and
+    /// measuring immediately reports zero drift, for any warm profile —
+    /// the §IV-B4 re-evaluation can only fire after new observations.
+    #[test]
+    fn freshly_pinned_basis_shows_zero_drift(
+        samples in prop::collection::vec((0.001f64..100.0, 0.001f64..10.0, 1u32..32), 1..20),
+    ) {
+        let mut p = JobProfile::new(JobId::new(2));
+        for &(tcpu, tnet, m) in &samples {
+            p.observe_iteration(tcpu, tnet, m);
+        }
+        p.mark_scheduled();
+        prop_assert_eq!(p.drift_from_basis(), Some(0.0));
+        // And re-observing the *smoothed* values keeps drift at zero:
+        // the EWMA of its own value is a fixed point.
+        let (c, n) = (p.tcpu_at(1), p.tnet());
+        p.observe_iteration(c, n, 1);
+        let d = p.drift_from_basis().unwrap();
+        prop_assert!(d <= 1e-9, "fixed-point observation drifted by {d}");
+    }
+}

@@ -72,6 +72,17 @@ impl Ewma {
         self.value.is_some()
     }
 
+    /// Relative deviation of the smoothed value from `reference`:
+    /// `|value - reference| / max(|reference|, 1e-12)`.
+    ///
+    /// `None` while the average is cold. The denominator floor keeps a
+    /// zero reference from dividing to infinity — matching the guard the
+    /// regrouper's similarity test (§IV-B4) uses.
+    pub fn relative_deviation_from(&self, reference: f64) -> Option<f64> {
+        self.value
+            .map(|v| (v - reference).abs() / reference.abs().max(1e-12))
+    }
+
     /// Resets the average to its empty state.
     pub fn reset(&mut self) {
         self.value = None;
@@ -257,6 +268,17 @@ mod tests {
         e.observe(f64::NEG_INFINITY);
         e.observe(f64::NAN);
         assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn ewma_relative_deviation() {
+        let mut e = Ewma::new(1.0);
+        assert_eq!(e.relative_deviation_from(10.0), None);
+        e.observe(10.5);
+        assert_eq!(e.relative_deviation_from(10.0), Some(0.05));
+        // A zero reference hits the denominator floor instead of inf.
+        let d = e.relative_deviation_from(0.0).unwrap();
+        assert!(d.is_finite() && d > 0.0);
     }
 
     #[test]

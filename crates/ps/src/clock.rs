@@ -1,0 +1,194 @@
+//! Injectable time source for subtask timing.
+//!
+//! The runtime measures every subtask's duration to feed the profiling
+//! loop (`JobReport::timings` → `harmony_core::feedback`). Real wall
+//! clocks make those measurements — and therefore every closed-loop
+//! scheduling test — nondeterministic, so the cluster reads time
+//! through a [`Clock`] trait instead of calling
+//! [`Instant::now`](std::time::Instant::now) directly:
+//!
+//! - [`WallClock`] (the default) measures real elapsed time;
+//! - [`VirtualClock`] returns *scripted* durations that are a pure
+//!   function of `(job, node, kind, iteration)`, so a run replays
+//!   bit-identically however the executor threads interleave.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::subtask::SubtaskKind;
+
+/// A time source for subtask duration measurements.
+///
+/// Implementations must be cheap and callable from any executor thread.
+pub trait Clock: Send + Sync + fmt::Debug + 'static {
+    /// An opaque timestamp (duration since the clock's origin).
+    fn now(&self) -> Duration;
+
+    /// The measured duration of one subtask that started at `start`
+    /// (a [`Clock::now`] reading taken when the subtask began).
+    ///
+    /// The identifying arguments let scripted clocks answer from a
+    /// schedule instead of real time; the default implementation
+    /// ignores them and returns genuine elapsed time.
+    fn subtask_elapsed(
+        &self,
+        start: Duration,
+        job: usize,
+        node: usize,
+        kind: SubtaskKind,
+        iteration: u64,
+    ) -> Duration {
+        let _ = (job, node, kind, iteration);
+        self.now().saturating_sub(start)
+    }
+}
+
+/// Real time, measured from the clock's creation.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock anchored at the current instant.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// The scripted-duration function of a [`VirtualClock`]:
+/// `(job, node, kind, iteration) → duration`.
+pub type ClockScript = dyn Fn(usize, usize, SubtaskKind, u64) -> Duration + Send + Sync;
+
+/// A deterministic clock for closed-loop tests: every subtask's
+/// measured duration comes from a user-supplied script keyed on
+/// `(job, node, kind, iteration)`, independent of real time and of
+/// thread interleaving — two runs of the same workload produce
+/// bit-identical timing records.
+///
+/// [`Clock::now`] still advances (one tick per call) so code that only
+/// wants a monotone timestamp keeps working, but scripted runs never
+/// derive durations from it.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use harmony_ps::{Clock, SubtaskKind, VirtualClock};
+///
+/// let clock = VirtualClock::new(|_job, _node, kind, _iter| match kind {
+///     SubtaskKind::Comp => Duration::from_secs(8),
+///     _ => Duration::from_millis(500),
+/// });
+/// let d = clock.subtask_elapsed(Duration::ZERO, 0, 1, SubtaskKind::Comp, 3);
+/// assert_eq!(d, Duration::from_secs(8));
+/// ```
+pub struct VirtualClock {
+    script: Box<ClockScript>,
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock answering from `script`.
+    pub fn new(
+        script: impl Fn(usize, usize, SubtaskKind, u64) -> Duration + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            script: Box::new(script),
+            ticks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualClock")
+            .field("ticks", &self.ticks.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.ticks.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn subtask_elapsed(
+        &self,
+        _start: Duration,
+        job: usize,
+        node: usize,
+        kind: SubtaskKind,
+        iteration: u64,
+    ) -> Duration {
+        (self.script)(job, node, kind, iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_measures_real_elapsed_time() {
+        let c = WallClock::new();
+        let t0 = c.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let d = c.subtask_elapsed(t0, 0, 0, SubtaskKind::Comp, 1);
+        assert!(d >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn wall_clock_saturates_on_stale_start() {
+        // A start reading "from the future" (clock shared across
+        // threads) degrades to zero, never panics.
+        let c = WallClock::new();
+        let d = c.subtask_elapsed(Duration::from_secs(1 << 30), 0, 0, SubtaskKind::Pull, 1);
+        assert_eq!(d, Duration::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_answers_from_script_only() {
+        let c = VirtualClock::new(|job, node, kind, iter| {
+            let base = match kind {
+                SubtaskKind::Comp => 1000,
+                _ => 0,
+            };
+            Duration::from_micros(base + (job * 100 + node * 10) as u64 + iter)
+        });
+        // The start timestamp is irrelevant: the script decides.
+        for start in [Duration::ZERO, Duration::from_secs(99)] {
+            assert_eq!(
+                c.subtask_elapsed(start, 2, 1, SubtaskKind::Comp, 7),
+                Duration::from_micros(1217)
+            );
+        }
+        assert_eq!(
+            c.subtask_elapsed(Duration::ZERO, 0, 0, SubtaskKind::Push, 1),
+            Duration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn virtual_clock_now_is_monotone() {
+        let c = VirtualClock::new(|_, _, _, _| Duration::ZERO);
+        let a = c.now();
+        let b = c.now();
+        assert!(b > a);
+    }
+}

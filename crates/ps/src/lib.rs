@@ -23,6 +23,12 @@
 //! `harmony-mem` and the whole job can be checkpointed (model snapshot)
 //! and resumed — the migration primitive of §IV-B4.
 //!
+//! Every subtask is timed through an injectable [`Clock`] (the scripted
+//! [`VirtualClock`] makes timing-dependent tests bit-reproducible), and
+//! [`iteration_samples`] turns a finished [`JobReport`] into canonical
+//! per-iteration `(Tcpu, Tnet, Tapply, DoP)` samples for the
+//! scheduler's closed profiling loop (`harmony_core::FeedbackLoop`).
+//!
 //! # Examples
 //!
 //! ```
@@ -43,14 +49,18 @@
 //! ```
 
 pub mod allreduce;
+pub mod clock;
 pub mod executor;
+pub mod feedback;
 pub mod master;
 pub(crate) mod runtime;
 pub mod shard;
 pub mod subtask;
 
 pub use allreduce::{ring_all_reduce, AllReduceStats};
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use executor::{AbortHandle, Executor, ExecutorStats};
+pub use feedback::{iteration_samples, record_report};
 pub use master::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
 pub use shard::{ShardedModel, StripedModel, DEFAULT_STRIPE_LEN};
 pub use subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
@@ -18,6 +18,7 @@ use harmony_mem::BufferPool;
 use harmony_metrics::PhaseTimes;
 use harmony_ml::PsAlgorithm;
 
+use crate::clock::{Clock, WallClock};
 use crate::executor::{Executor, ExecutorStats};
 use crate::shard::ShardedModel;
 use crate::subtask::{SubtaskKind, SubtaskTiming};
@@ -231,6 +232,10 @@ pub struct JobReport {
     /// Mean per-iteration server-side APPLY seconds (per node). Zero on
     /// the reference runtime, which folds updates inside PUSH.
     pub mean_tapply: f64,
+    /// Degree of parallelism the job ran with (worker count) — the `m`
+    /// the timings were measured at, needed to normalize samples via
+    /// Eq. 2 when feeding them back into a profile.
+    pub dop: usize,
     /// Final model snapshot (checkpoint for migration/resume).
     pub final_model: Vec<f64>,
     /// Whether the loss threshold was reached before the iteration cap.
@@ -286,6 +291,7 @@ pub(crate) fn finish_report(
         mean_tcpu,
         mean_tnet,
         mean_tapply,
+        dop,
         final_model,
         converged,
         aborted,
@@ -304,15 +310,29 @@ pub struct PsCluster {
     /// Recycles pull/update buffers across jobs and `run_jobs` calls so
     /// repeated runs on one cluster reach zero steady-state allocation.
     pub(crate) pool: BufferPool,
+    /// The time source subtask timings are measured with; swap in a
+    /// [`crate::VirtualClock`] for bit-reproducible closed-loop tests.
+    pub(crate) clock: Arc<dyn Clock>,
 }
 
 impl PsCluster {
-    /// Spins up the cluster's executor threads.
+    /// Spins up the cluster's executor threads, timing subtasks against
+    /// the real wall clock.
     ///
     /// # Panics
     ///
     /// Panics if `config.nodes` is zero.
     pub fn new(config: PsConfig) -> Self {
+        Self::with_clock(config, Arc::new(WallClock::new()))
+    }
+
+    /// Like [`PsCluster::new`], but measures subtask durations through
+    /// `clock` instead of the wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero.
+    pub fn with_clock(config: PsConfig, clock: Arc<dyn Clock>) -> Self {
         assert!(config.nodes > 0, "cluster needs at least one node");
         let nodes = (0..config.nodes)
             .map(|i| NodeExecutors {
@@ -324,6 +344,7 @@ impl PsCluster {
             nodes,
             config,
             pool: BufferPool::new(),
+            clock,
         }
     }
 
@@ -490,19 +511,21 @@ impl PsCluster {
             for node in 0..run.workers.len() {
                 let tx = event_tx.clone();
                 let iter = run.iteration;
+                let clock = Arc::clone(&self.clock);
                 match kind {
                     SubtaskKind::Pull => {
                         let model = run.model.clone();
                         let slot = Arc::clone(&run.pulled[node]);
                         let delay = net_delay(run.model.pull_bytes());
                         self.nodes[node].comm.submit(move || {
-                            let t0 = Instant::now();
+                            let t0 = clock.now();
                             let snapshot = model.pull();
                             if let Some(d) = delay {
                                 std::thread::sleep(d);
                             }
                             *slot.lock() = Some(snapshot);
-                            let _ = tx.send((j, node, SubtaskKind::Pull, iter, t0.elapsed()));
+                            let dt = clock.subtask_elapsed(t0, j, node, SubtaskKind::Pull, iter);
+                            let _ = tx.send((j, node, SubtaskKind::Pull, iter, dt));
                         });
                     }
                     SubtaskKind::Comp => {
@@ -510,11 +533,12 @@ impl PsCluster {
                         let input = Arc::clone(&run.pulled[node]);
                         let output = Arc::clone(&run.updates[node]);
                         self.nodes[node].cpu.submit(move || {
-                            let t0 = Instant::now();
+                            let t0 = clock.now();
                             let model = input.lock().take().expect("PULL preceded COMP");
                             let update = worker.lock().compute_update(&model);
                             *output.lock() = Some(update);
-                            let _ = tx.send((j, node, SubtaskKind::Comp, iter, t0.elapsed()));
+                            let dt = clock.subtask_elapsed(t0, j, node, SubtaskKind::Comp, iter);
+                            let _ = tx.send((j, node, SubtaskKind::Comp, iter, dt));
                         });
                     }
                     SubtaskKind::Push => {
@@ -532,7 +556,7 @@ impl PsCluster {
                         };
                         let delay = net_delay(bytes);
                         self.nodes[node].comm.submit(move || {
-                            let t0 = Instant::now();
+                            let t0 = clock.now();
                             if !all_reduce {
                                 // Updates stay staged in their per-worker
                                 // slots; the PUSH that reaches each shard
@@ -558,7 +582,8 @@ impl PsCluster {
                             if let Some(d) = delay {
                                 std::thread::sleep(d);
                             }
-                            let _ = tx.send((j, node, SubtaskKind::Push, iter, t0.elapsed()));
+                            let dt = clock.subtask_elapsed(t0, j, node, SubtaskKind::Push, iter);
+                            let _ = tx.send((j, node, SubtaskKind::Push, iter, dt));
                         });
                     }
                     SubtaskKind::Apply => {
@@ -864,5 +889,110 @@ mod tests {
         let report = cluster.run_jobs(vec![job]).remove(0);
         assert_eq!(report.iterations, 0);
         assert_eq!(report.initial_loss, report.final_loss);
+    }
+
+    // --- finish_report edge cases ------------------------------------
+
+    fn timing(kind: SubtaskKind, node: usize, iteration: u64, secs: f64) -> SubtaskTiming {
+        SubtaskTiming {
+            kind,
+            node,
+            iteration,
+            elapsed: Duration::from_secs_f64(secs),
+        }
+    }
+
+    #[test]
+    fn finish_report_zero_iterations_yields_finite_means() {
+        // A job torn down before any iteration: the per-iteration
+        // divisor clamps to 1 so the means stay finite (and zero).
+        let r = finish_report(
+            "noop".into(),
+            0,
+            1.5,
+            vec![(0, 1.5)],
+            Vec::new(),
+            2,
+            vec![0.0; 4],
+            false,
+            false,
+        );
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.mean_tcpu, 0.0);
+        assert_eq!(r.mean_tnet, 0.0);
+        assert_eq!(r.mean_tapply, 0.0);
+        assert_eq!(r.final_loss, 1.5);
+        assert_eq!(r.dop, 2);
+    }
+
+    #[test]
+    fn finish_report_clamps_zero_dop() {
+        // dop = 0 never happens through the builder (it asserts on empty
+        // workers) but the shared aggregator must not divide by it.
+        let timings = vec![timing(SubtaskKind::Comp, 0, 1, 3.0)];
+        let r = finish_report(
+            "degenerate".into(),
+            1,
+            1.0,
+            vec![(0, 1.0)],
+            timings,
+            0,
+            Vec::new(),
+            false,
+            false,
+        );
+        assert!(r.mean_tcpu.is_finite());
+        assert_eq!(r.mean_tcpu, 3.0); // divided by max(dop, 1) = 1
+    }
+
+    #[test]
+    fn finish_report_means_average_over_iterations_and_nodes() {
+        let timings = vec![
+            timing(SubtaskKind::Pull, 0, 1, 0.5),
+            timing(SubtaskKind::Pull, 1, 1, 0.5),
+            timing(SubtaskKind::Comp, 0, 1, 4.0),
+            timing(SubtaskKind::Comp, 1, 1, 4.0),
+            timing(SubtaskKind::Push, 0, 1, 0.5),
+            timing(SubtaskKind::Push, 1, 1, 0.5),
+            timing(SubtaskKind::Apply, 0, 1, 0.25),
+            timing(SubtaskKind::Apply, 1, 1, 0.25),
+            timing(SubtaskKind::Pull, 0, 2, 0.5),
+            timing(SubtaskKind::Pull, 1, 2, 0.5),
+            timing(SubtaskKind::Comp, 0, 2, 4.0),
+            timing(SubtaskKind::Comp, 1, 2, 4.0),
+            timing(SubtaskKind::Push, 0, 2, 0.5),
+            timing(SubtaskKind::Push, 1, 2, 0.5),
+            timing(SubtaskKind::Apply, 0, 2, 0.25),
+            timing(SubtaskKind::Apply, 1, 2, 0.25),
+        ];
+        let r = finish_report(
+            "avg".into(),
+            2,
+            1.0,
+            vec![(0, 1.0), (2, 0.5)],
+            timings,
+            2,
+            Vec::new(),
+            false,
+            false,
+        );
+        assert!((r.mean_tcpu - 4.0).abs() < 1e-12);
+        assert!((r.mean_tnet - 1.0).abs() < 1e-12);
+        assert!((r.mean_tapply - 0.25).abs() < 1e-12);
+        assert_eq!(r.final_loss, 0.5);
+    }
+
+    #[test]
+    fn reference_runtime_reports_zero_tapply() {
+        // The reference arm folds updates inside PUSH: it never runs an
+        // APPLY subtask, so the profiled mean must be exactly zero.
+        let cluster = PsCluster::new(PsConfig {
+            fast_runtime: false,
+            ..PsConfig::default()
+        });
+        let report = cluster.run_jobs(vec![mlr_job("ref", 2, 5)]).remove(0);
+        assert_eq!(report.mean_tapply, 0.0);
+        assert!(report.timings.iter().all(|t| t.kind != SubtaskKind::Apply));
+        assert_eq!(report.dop, 2);
     }
 }

@@ -35,7 +35,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use parking_lot::{Mutex, RwLock};
@@ -148,17 +148,19 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             .map(|w| {
                 let generation = Arc::clone(&generation);
                 let tx = event_tx.clone();
+                let clock = Arc::clone(&cluster.clock);
                 let delay = net_delay(store.pull_bytes());
                 // The snapshot is already filled (the master refills it
                 // before submitting PULLs), so an in-process PULL moves
                 // no payload — only the (simulated) wire time remains.
                 Arc::new(move || {
-                    let t0 = Instant::now();
+                    let t0 = clock.now();
                     if let Some(d) = delay {
                         std::thread::sleep(d);
                     }
                     let gen = generation.load(Ordering::SeqCst);
-                    let _ = tx.send((j, w, SubtaskKind::Pull, gen, t0.elapsed()));
+                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Pull, gen);
+                    let _ = tx.send((j, w, SubtaskKind::Pull, gen, dt));
                 }) as SharedTask
             })
             .collect();
@@ -170,8 +172,9 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 let output = Arc::clone(&update_bufs[w]);
                 let generation = Arc::clone(&generation);
                 let tx = event_tx.clone();
+                let clock = Arc::clone(&cluster.clock);
                 Arc::new(move || {
-                    let t0 = Instant::now();
+                    let t0 = clock.now();
                     let pulled = input.read();
                     let mut staged = output.lock();
                     let out = staged.as_mut().expect("update buffer is resident");
@@ -181,7 +184,8 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                     drop(staged);
                     drop(pulled);
                     let gen = generation.load(Ordering::SeqCst);
-                    let _ = tx.send((j, w, SubtaskKind::Comp, gen, t0.elapsed()));
+                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Comp, gen);
+                    let _ = tx.send((j, w, SubtaskKind::Comp, gen, dt));
                 }) as SharedTask
             })
             .collect();
@@ -190,6 +194,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             .map(|w| {
                 let generation = Arc::clone(&generation);
                 let tx = event_tx.clone();
+                let clock = Arc::clone(&cluster.clock);
                 // The update is already staged in a buffer the server
                 // side reads directly — an in-process PUSH moves no
                 // payload, only the (simulated) wire time remains.
@@ -201,12 +206,13 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 };
                 let delay = net_delay(bytes);
                 Arc::new(move || {
-                    let t0 = Instant::now();
+                    let t0 = clock.now();
                     if let Some(d) = delay {
                         std::thread::sleep(d);
                     }
                     let gen = generation.load(Ordering::SeqCst);
-                    let _ = tx.send((j, w, SubtaskKind::Push, gen, t0.elapsed()));
+                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Push, gen);
+                    let _ = tx.send((j, w, SubtaskKind::Push, gen, dt));
                 }) as SharedTask
             })
             .collect();
@@ -217,10 +223,11 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 let slots = Arc::clone(&update_bufs);
                 let generation = Arc::clone(&generation);
                 let tx = event_tx.clone();
+                let clock = Arc::clone(&cluster.clock);
                 let lo = n * store.stripe_count() / apply_count;
                 let hi = (n + 1) * store.stripe_count() / apply_count;
                 let task = Arc::new(move || {
-                    let t0 = Instant::now();
+                    let t0 = clock.now();
                     for s in lo..hi {
                         if all_reduce {
                             // The ring reduction left every slot holding
@@ -239,7 +246,8 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                         }
                     }
                     let gen = generation.load(Ordering::SeqCst);
-                    let _ = tx.send((j, n, SubtaskKind::Apply, gen, t0.elapsed()));
+                    let dt = clock.subtask_elapsed(t0, j, n, SubtaskKind::Apply, gen);
+                    let _ = tx.send((j, n, SubtaskKind::Apply, gen, dt));
                 }) as SharedTask;
                 (n, task)
             })

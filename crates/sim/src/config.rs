@@ -142,6 +142,15 @@ pub struct SimConfig {
     /// (asserted by `tests/sim_equivalence.rs`), so disabling it only
     /// serves as the reference arm of that comparison.
     pub fast_event_path: bool,
+    /// Closed-loop online profiling (§IV-B4): pin every running job's
+    /// profile to the estimate its current schedule was computed with,
+    /// and trigger a reschedule when the smoothed measurement drifts
+    /// from that basis by at least
+    /// `scheduler_config.improvement_threshold` (the paper's 5%). Off
+    /// by default; with the flag off the event path never consults the
+    /// drift machinery, so decisions are byte-identical to a build
+    /// without it (`tests/profile_feedback.rs`).
+    pub profile_feedback: bool,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
 }
@@ -177,6 +186,7 @@ impl Default for SimConfig {
             failure_mtbf_secs: None,
             fault_plan: None,
             fast_event_path: true,
+            profile_feedback: false,
             max_sim_seconds: 60.0 * 86_400.0,
         }
     }

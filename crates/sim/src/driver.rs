@@ -95,7 +95,15 @@ enum EventKind {
 #[derive(Debug)]
 enum Notify {
     Profiled(usize),
-    Finished { job: usize, group: usize },
+    /// A running job's smoothed profile moved ≥ the similarity
+    /// threshold away from the basis its schedule was computed with
+    /// (§IV-B4 drift; only produced with
+    /// [`SimConfig::profile_feedback`] on).
+    Drifted(usize),
+    Finished {
+        job: usize,
+        group: usize,
+    },
 }
 
 /// The discrete-event simulation driver.
@@ -1103,6 +1111,23 @@ impl Driver {
             self.jobs[j].state = SimJobState::Paused;
             self.detach_from(grp, j);
         } else {
+            // Closed-loop profiling: the fresh observation just folded
+            // into the EWMAs; if the smoothed estimate now sits ≥ the
+            // similarity threshold away from the basis this schedule
+            // was computed with, the placement is stale (§IV-B4).
+            // Clearing the basis here makes the trigger one-shot — it
+            // re-arms only when the next decision re-pins it.
+            if self.cfg.profile_feedback {
+                let thr = self.cfg.scheduler_config.improvement_threshold;
+                if self.jobs[j]
+                    .profile
+                    .drift_from_basis()
+                    .is_some_and(|d| d >= thr)
+                {
+                    self.jobs[j].profile.clear_scheduled_basis();
+                    notes.push(Notify::Drifted(j));
+                }
+            }
             self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
             grp.net_queue.push_back(j);
         }
@@ -1681,6 +1706,7 @@ impl Driver {
             match self.cfg.scheduler {
                 SchedulerKind::Harmony | SchedulerKind::Oracle => match note {
                     Notify::Profiled(j) => self.on_profiled_harmony(j),
+                    Notify::Drifted(j) => self.on_drifted_harmony(j),
                     Notify::Finished { job, group } => self.on_finished_harmony(job, group),
                 },
                 SchedulerKind::Isolated => {
@@ -1823,6 +1849,15 @@ impl Driver {
         }
     }
 
+    /// A running job's profile drifted from its scheduled basis: the
+    /// whole placement was computed against stale estimates, so
+    /// re-evaluate it. The regrouper's incremental paths
+    /// (`on_job_profiled`) assume a *waiting* job and would
+    /// double-attach a running one, hence the full reschedule.
+    fn on_drifted_harmony(&mut self, _j: usize) {
+        self.full_reschedule();
+    }
+
     fn on_finished_harmony(&mut self, j: usize, g: usize) {
         // The job was already detached inside complete_iteration; the
         // group may have dissolved if it was the last member.
@@ -1863,6 +1898,9 @@ impl Driver {
                     self.detach_job(j);
                     self.jobs[j].state = SimJobState::Running;
                     self.attach_job(g, j, false);
+                    if self.cfg.profile_feedback {
+                        self.jobs[j].profile.mark_scheduled();
+                    }
                     self.record_snapshot();
                 }
             }
@@ -1874,6 +1912,9 @@ impl Driver {
                         self.detach_job(j);
                         self.jobs[j].state = SimJobState::Running;
                         self.attach_job(g, j, false);
+                        if self.cfg.profile_feedback {
+                            self.jobs[j].profile.mark_scheduled();
+                        }
                     }
                     self.record_snapshot();
                 }
@@ -2139,6 +2180,11 @@ impl Driver {
                 self.detach_job(j);
                 self.jobs[j].state = SimJobState::Running;
                 self.attach_job(g, j, false);
+                // Pin the drift basis to the estimates this decision
+                // was computed with (no-op while the profile is cold).
+                if self.cfg.profile_feedback {
+                    self.jobs[j].profile.mark_scheduled();
+                }
             }
             if let Some(grp) = self.groups.get_mut(g).and_then(Option::as_mut) {
                 grp.predicted_iteration = predicted_it;

@@ -35,6 +35,15 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+# The closed-loop profiling suites run again in release mode: the
+# virtual-clock determinism gate replays a real multi-threaded
+# training run and must be bit-identical under release scheduling
+# jitter too, and the Eq. 2 property tests are cheap enough to rerun.
+echo "==> closed-loop profiling determinism gate (virtual clock, release)"
+cargo test --release -q -p harmony --test profile_feedback
+echo "==> Eq. 2 normalization property tests (release)"
+cargo test --release -q -p harmony-core --test profile_props
+
 if [ "$BENCH_SMOKE" = 1 ]; then
     echo "==> sim equivalence smoke (fast event path == reference bytes)"
     cargo test --release -q -p harmony --test sim_equivalence \
