@@ -112,6 +112,7 @@ fn ps_runtime_row(workers: usize, dim: usize, iters: u64, reps: usize, fast: boo
         nodes: workers,
         network_bytes_per_sec: None,
         fast_runtime: fast,
+        live_migration: false,
     });
     // ~100 non-zeros per example regardless of dimension: COMP cost is
     // dominated by the O(dim) dense passes, like the wide sparse models

@@ -23,6 +23,7 @@
 mod cdf;
 mod events;
 mod ewma;
+mod migration;
 mod online;
 mod phase;
 mod table;
@@ -31,6 +32,7 @@ mod timeline;
 pub use cdf::Cdf;
 pub use events::{EventLog, TimelineEvent};
 pub use ewma::{Ewma, MovingAverage};
+pub use migration::MigrationStats;
 pub use online::OnlineStats;
 pub use phase::PhaseTimes;
 pub use table::{fmt3, TextTable};

@@ -1,0 +1,137 @@
+//! Live-migration accounting (§IV-B4 checkpoint/resume).
+//!
+//! When the scheduler moves a *running* job — drift-triggered regroup or
+//! fault escalation — the runtime pauses it at an iteration boundary,
+//! checkpoints the model, and reattaches it elsewhere. This module keeps
+//! the books for that protocol: how many migrations started and
+//! completed, how large the checkpoints were, and how long each
+//! pause→resume window lasted.
+
+use crate::OnlineStats;
+
+/// Counters and distributions for live job migrations.
+///
+/// A migration is *started* when the job is paused and its model
+/// checkpointed, and *completed* when the job is reattached and ready to
+/// run in its new group. A started migration that becomes moot before
+/// the reattach — the job finished, was aborted, or died with its
+/// machines — is *cancelled* instead, so that
+/// `started == completed + cancelled` holds whenever nothing is in
+/// flight.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::MigrationStats;
+///
+/// let mut m = MigrationStats::new();
+/// m.begin(8_000.0); // checkpointed 8 KB of parameters
+/// m.finish(1.5); // resumed 1.5 s later
+/// assert_eq!(m.started, 1);
+/// assert_eq!(m.completed, 1);
+/// assert_eq!(m.checkpoint_bytes.mean(), 8_000.0);
+/// assert_eq!(m.latency.mean(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationStats {
+    /// Migrations begun (job paused, checkpoint taken).
+    pub started: u64,
+    /// Migrations finished (job reattached in its new group).
+    pub completed: u64,
+    /// Migrations abandoned before the reattach (job finished or was
+    /// aborted while its migration was pending).
+    pub cancelled: u64,
+    /// Pause→resume latency per completed migration, seconds.
+    pub latency: OnlineStats,
+    /// Checkpoint size per started migration, bytes.
+    pub checkpoint_bytes: OnlineStats,
+}
+
+impl MigrationStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a migration starting: the model checkpoint was taken.
+    pub fn begin(&mut self, checkpoint_bytes: f64) {
+        self.started += 1;
+        self.checkpoint_bytes.observe(checkpoint_bytes);
+    }
+
+    /// Records a migration completing after `latency_secs`.
+    pub fn finish(&mut self, latency_secs: f64) {
+        self.completed += 1;
+        self.latency.observe(latency_secs);
+    }
+
+    /// Records a started migration abandoned before its reattach.
+    pub fn cancel(&mut self) {
+        self.cancelled += 1;
+    }
+
+    /// Migrations begun but not (yet) completed or cancelled.
+    pub fn in_flight(&self) -> u64 {
+        self.started.saturating_sub(self.completed + self.cancelled)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MigrationStats) {
+        self.started += other.started;
+        self.completed += other.completed;
+        self.cancelled += other.cancelled;
+        self.latency.merge(&other.latency);
+        self.checkpoint_bytes.merge(&other.checkpoint_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let m = MigrationStats::new();
+        assert_eq!(m.started, 0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.latency.count(), 0);
+        assert_eq!(m.checkpoint_bytes.count(), 0);
+    }
+
+    #[test]
+    fn begin_finish_track_in_flight() {
+        let mut m = MigrationStats::new();
+        m.begin(100.0);
+        m.begin(300.0);
+        assert_eq!(m.in_flight(), 2);
+        m.finish(2.0);
+        assert_eq!(m.in_flight(), 1);
+        assert_eq!(m.checkpoint_bytes.mean(), 200.0);
+        assert_eq!(m.latency.mean(), 2.0);
+    }
+
+    #[test]
+    fn cancel_settles_the_books_without_a_latency_sample() {
+        let mut m = MigrationStats::new();
+        m.begin(64.0);
+        m.cancel();
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.started, m.completed + m.cancelled);
+        assert_eq!(m.latency.count(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_distributions() {
+        let mut a = MigrationStats::new();
+        a.begin(10.0);
+        a.finish(1.0);
+        let mut b = MigrationStats::new();
+        b.begin(30.0);
+        a.merge(&b);
+        assert_eq!(a.started, 2);
+        assert_eq!(a.completed, 1);
+        assert_eq!(a.checkpoint_bytes.mean(), 20.0);
+        assert_eq!(a.in_flight(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Model checkpoints for live migration (§IV-B4).
+//!
+//! When a running job is migrated — paused at an iteration boundary,
+//! detached, and reattached in a new group with a new degree of
+//! parallelism — its model parameters travel as a [`Checkpoint`]: the
+//! raw `f64` vector serialized bit-exactly. The serialization is
+//! `f64::to_bits` little-endian, so the round trip is lossless for
+//! *every* bit pattern, including NaNs with arbitrary payloads and
+//! signed zeros — which is what lets the migration-equivalence gate
+//! compare migrate-in-place against checkpoint→fresh-restart bit for
+//! bit.
+
+/// A bit-exact serialized model snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_ps::Checkpoint;
+///
+/// let model = vec![1.5, -0.0, f64::NAN];
+/// let ckpt = Checkpoint::capture(&model);
+/// assert_eq!(ckpt.param_count(), 3);
+/// assert_eq!(ckpt.byte_len(), 24);
+/// let restored = ckpt.restore();
+/// let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+/// assert_eq!(bits(&model), bits(&restored));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes a model snapshot. Empty models are allowed (an empty
+    /// checkpoint restores to an empty vector).
+    pub fn capture(model: &[f64]) -> Self {
+        let mut bytes = Vec::with_capacity(model.len() * 8);
+        for v in model {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Self { bytes }
+    }
+
+    /// Rehydrates a checkpoint from its serialized form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a whole number of 8-byte parameters.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        assert!(
+            bytes.len().is_multiple_of(8),
+            "checkpoint of {} bytes is not a whole number of f64s",
+            bytes.len()
+        );
+        Self { bytes }
+    }
+
+    /// The serialized form (what would travel over the wire / to disk).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Number of parameters in the snapshot.
+    pub fn param_count(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Deserializes into a fresh vector.
+    pub fn restore(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.param_count()];
+        self.restore_into(&mut out);
+        out
+    }
+
+    /// Deserializes into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`Checkpoint::param_count`].
+    pub fn restore_into(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.param_count(),
+            "restore buffer length mismatch"
+        );
+        for (slot, chunk) in out.iter_mut().zip(self.bytes.chunks_exact(8)) {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(chunk);
+            *slot = f64::from_bits(u64::from_le_bytes(raw));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let model = vec![0.1, -2.5e300, 3.0_f64.sqrt(), f64::MIN_POSITIVE];
+        let ckpt = Checkpoint::capture(&model);
+        assert_eq!(bits(&ckpt.restore()), bits(&model));
+    }
+
+    #[test]
+    fn non_finite_and_signed_zero_survive() {
+        let weird = vec![
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+        ];
+        let ckpt = Checkpoint::capture(&weird);
+        assert_eq!(bits(&ckpt.restore()), bits(&weird));
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let ckpt = Checkpoint::capture(&[]);
+        assert_eq!(ckpt.byte_len(), 0);
+        assert_eq!(ckpt.param_count(), 0);
+        assert!(ckpt.restore().is_empty());
+    }
+
+    #[test]
+    fn bytes_round_trip_through_from_bytes() {
+        let model = vec![42.0, -0.0];
+        let ckpt = Checkpoint::capture(&model);
+        let wire = ckpt.as_bytes().to_vec();
+        let back = Checkpoint::from_bytes(wire);
+        assert_eq!(back, ckpt);
+        assert_eq!(bits(&back.restore()), bits(&model));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of f64s")]
+    fn ragged_bytes_are_rejected() {
+        let _ = Checkpoint::from_bytes(vec![0u8; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore buffer length mismatch")]
+    fn restore_into_checks_length() {
+        let ckpt = Checkpoint::capture(&[1.0, 2.0]);
+        let mut out = [0.0; 3];
+        ckpt.restore_into(&mut out);
+    }
+}

@@ -33,6 +33,13 @@ fn kind_rank(kind: SubtaskKind) -> u8 {
 /// to `job`: per-node `(tcpu, tnet, tapply)` seconds at the DoP the job
 /// ran with, in iteration order.
 ///
+/// A migrated job (`JobReport::migrated`) changed DoP mid-run, so each
+/// iteration is normalized by — and stamped with — the DoP it actually
+/// ran at: `from_dop` up to and including the boundary iteration, the
+/// final `report.dop` after. A later drift measurement therefore
+/// compares against the post-migration basis, not the admission-time
+/// one.
+///
 /// The result is a pure function of the *set* of timing records —
 /// independent of the order the executors delivered them.
 pub fn iteration_samples(report: &JobReport, job: JobId) -> Vec<IterationSample> {
@@ -45,8 +52,12 @@ pub fn iteration_samples(report: &JobReport, job: JobId) -> Vec<IterationSample>
             .entry((t.iteration, kind_rank(t.kind), t.node))
             .or_insert(0.0) += t.elapsed.as_secs_f64();
     }
-    let dop = report.dop.max(1);
-    let dop_f = dop as f64;
+    let dop_at = |iter: u64| -> usize {
+        match &report.migrated {
+            Some(m) if iter <= m.at_iteration => m.from_dop.max(1),
+            _ => report.dop.max(1),
+        }
+    };
     let mut per_iter: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
     for ((iter, rank, _node), secs) in canonical {
         let slot = per_iter.entry(iter).or_insert((0.0, 0.0, 0.0));
@@ -57,13 +68,17 @@ pub fn iteration_samples(report: &JobReport, job: JobId) -> Vec<IterationSample>
         }
     }
     per_iter
-        .into_values()
-        .map(|(tcpu, tnet, tapply)| IterationSample {
-            job,
-            tcpu: tcpu / dop_f,
-            tnet: tnet / dop_f,
-            tapply: tapply / dop_f,
-            dop: dop as u32,
+        .into_iter()
+        .map(|(iter, (tcpu, tnet, tapply))| {
+            let dop = dop_at(iter);
+            let dop_f = dop as f64;
+            IterationSample {
+                job,
+                tcpu: tcpu / dop_f,
+                tnet: tnet / dop_f,
+                tapply: tapply / dop_f,
+                dop: dop as u32,
+            }
         })
         .collect()
 }
@@ -99,6 +114,7 @@ mod tests {
             mean_tapply: 0.0,
             dop,
             final_model: vec![],
+            migrated: None,
             converged: false,
             aborted: false,
         }
@@ -167,6 +183,29 @@ mod tests {
         let ka = key(a);
         assert_eq!(ka, key(b));
         assert_eq!(ka, key(c));
+    }
+
+    #[test]
+    fn migrated_report_uses_per_iteration_dop() {
+        // Iter 1 ran at dop 1 (4 s on one node), iter 2 at dop 2 after
+        // migrating (4 s on each of two nodes): the per-node basis is
+        // 4.0 s both times, and each sample carries the DoP it ran at.
+        let mut timings = vec![timing(SubtaskKind::Comp, 0, 1, 4.0)];
+        for node in 0..2usize {
+            timings.push(timing(SubtaskKind::Comp, node, 2, 4.0));
+        }
+        let mut report = report_with(timings, 2, 2);
+        report.migrated = Some(crate::master::MigrationRecord {
+            at_iteration: 1,
+            from_dop: 1,
+            checkpoint_bytes: 64,
+        });
+        let samples = iteration_samples(&report, JobId::new(1));
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].dop, 1);
+        assert_eq!(samples[1].dop, 2);
+        assert!((samples[0].tcpu - 4.0).abs() < 1e-12);
+        assert!((samples[1].tcpu - 4.0).abs() < 1e-12);
     }
 
     #[test]

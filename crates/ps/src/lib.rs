@@ -49,6 +49,7 @@
 //! ```
 
 pub mod allreduce;
+pub mod checkpoint;
 pub mod clock;
 pub mod executor;
 pub mod feedback;
@@ -58,9 +59,12 @@ pub mod shard;
 pub mod subtask;
 
 pub use allreduce::{ring_all_reduce, AllReduceStats};
+pub use checkpoint::Checkpoint;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use executor::{AbortHandle, Executor, ExecutorStats};
 pub use feedback::{iteration_samples, record_report};
-pub use master::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
+pub use master::{
+    JobBuilder, JobReport, MigrationRecord, PlannedMigration, PsCluster, PsConfig, TrainingJob,
+};
 pub use shard::{ShardedModel, StripedModel, DEFAULT_STRIPE_LEN};
 pub use subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};

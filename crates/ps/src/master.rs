@@ -15,9 +15,10 @@ use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 
 use harmony_mem::BufferPool;
-use harmony_metrics::PhaseTimes;
+use harmony_metrics::{MigrationStats, PhaseTimes};
 use harmony_ml::PsAlgorithm;
 
+use crate::checkpoint::Checkpoint;
 use crate::clock::{Clock, WallClock};
 use crate::executor::{Executor, ExecutorStats};
 use crate::shard::ShardedModel;
@@ -38,6 +39,13 @@ pub struct PsConfig {
     /// falls back to the phase-barriered reference arm; both produce
     /// bit-identical models (`tests/ps_equivalence.rs`).
     pub fast_runtime: bool,
+    /// Honor [`JobBuilder::migrate_after`] plans: pause the job at the
+    /// scheduled iteration boundary, checkpoint the model bit-exactly,
+    /// swap in the new worker set (the new DoP) and resume — the live
+    /// §IV-B4 migration path. Off (the default), submitting a job with
+    /// a migration plan panics and nothing else changes, so flag-off
+    /// runs stay byte-identical (`tests/migration_equivalence.rs`).
+    pub live_migration: bool,
 }
 
 impl Default for PsConfig {
@@ -46,8 +54,41 @@ impl Default for PsConfig {
             nodes: 2,
             network_bytes_per_sec: None,
             fast_runtime: true,
+            live_migration: false,
         }
     }
+}
+
+/// A scheduled live migration (§IV-B4): when iteration
+/// `after_iteration` completes, the job checkpoints its model, drops
+/// its current workers and resumes with `workers` — the in-run
+/// counterpart of checkpoint → fresh restart via
+/// [`JobBuilder::initial_model`], and bit-identical to it
+/// (`tests/migration_equivalence.rs`).
+pub struct PlannedMigration {
+    pub(crate) after_iteration: u64,
+    pub(crate) workers: Vec<Box<dyn PsAlgorithm>>,
+}
+
+impl std::fmt::Debug for PlannedMigration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannedMigration")
+            .field("after_iteration", &self.after_iteration)
+            .field("to_dop", &self.workers.len())
+            .finish()
+    }
+}
+
+/// What a live migration did to a job, recorded in its [`JobReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Iteration boundary the job was paused and checkpointed at.
+    pub at_iteration: u64,
+    /// DoP before the move; iterations `1..=at_iteration` ran at it
+    /// (later ones ran at [`JobReport::dop`]).
+    pub from_dop: usize,
+    /// Serialized checkpoint size in bytes.
+    pub checkpoint_bytes: u64,
 }
 
 /// A submitted training job: one [`PsAlgorithm`] worker per node it
@@ -62,6 +103,7 @@ pub struct TrainingJob {
     pub(crate) seed: u64,
     pub(crate) all_reduce: bool,
     pub(crate) abort_after: Option<u64>,
+    pub(crate) migration: Option<PlannedMigration>,
 }
 
 impl TrainingJob {
@@ -101,6 +143,7 @@ pub struct JobBuilder {
     seed: u64,
     all_reduce: bool,
     abort_after: Option<u64>,
+    migration: Option<PlannedMigration>,
 }
 
 impl JobBuilder {
@@ -116,7 +159,31 @@ impl JobBuilder {
             seed: 0,
             all_reduce: false,
             abort_after: None,
+            migration: None,
         }
+    }
+
+    /// Schedules a live migration: when iteration `after_iteration`
+    /// completes, checkpoint the model, replace the worker set with
+    /// `workers` (whose count is the new DoP) and keep training.
+    /// Requires [`PsConfig::live_migration`] on the cluster the job is
+    /// submitted to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after_iteration` is zero or `workers` is empty
+    /// (checked in [`JobBuilder::build`]).
+    pub fn migrate_after(
+        mut self,
+        after_iteration: u64,
+        workers: impl IntoIterator<Item = Box<dyn PsAlgorithm>>,
+    ) -> Self {
+        assert!(after_iteration > 0, "migration boundary must be >= 1");
+        self.migration = Some(PlannedMigration {
+            after_iteration,
+            workers: workers.into_iter().collect(),
+        });
+        self
     }
 
     /// Injects a fault: the job aborts as its `iteration`-th iteration
@@ -196,6 +263,22 @@ impl JobBuilder {
     /// Panics if no workers were supplied.
     pub fn build(self) -> TrainingJob {
         assert!(!self.workers.is_empty(), "a job needs at least one worker");
+        if let Some(m) = &self.migration {
+            assert!(
+                !m.workers.is_empty(),
+                "a migration needs at least one worker"
+            );
+            assert!(
+                m.after_iteration < self.max_iterations,
+                "migration after iteration {} never fires within {} iterations",
+                m.after_iteration,
+                self.max_iterations
+            );
+            assert!(
+                !self.all_reduce,
+                "live migration of all-reduce jobs is not supported"
+            );
+        }
         TrainingJob {
             name: self.name,
             workers: self.workers,
@@ -206,6 +289,7 @@ impl JobBuilder {
             seed: self.seed,
             all_reduce: self.all_reduce,
             abort_after: self.abort_after,
+            migration: self.migration,
         }
     }
 }
@@ -238,6 +322,10 @@ pub struct JobReport {
     pub dop: usize,
     /// Final model snapshot (checkpoint for migration/resume).
     pub final_model: Vec<f64>,
+    /// The live migration the job underwent mid-run, if any: iterations
+    /// up to `at_iteration` ran at `from_dop`, the rest at
+    /// [`JobReport::dop`].
+    pub migrated: Option<MigrationRecord>,
     /// Whether the loss threshold was reached before the iteration cap.
     pub converged: bool,
     /// Whether an [`JobBuilder::abort_after`] fault tore the job down
@@ -267,16 +355,28 @@ pub(crate) fn finish_report(
     timings: Vec<SubtaskTiming>,
     dop: usize,
     final_model: Vec<f64>,
+    migrated: Option<MigrationRecord>,
     converged: bool,
     aborted: bool,
 ) -> JobReport {
     let iters = iterations.max(1) as f64;
-    let dop_f = dop.max(1) as f64;
+    // A migrated job ran its early iterations at a different DoP, so
+    // each timing is normalized to per-node by the worker count *its*
+    // iteration ran with (post-migration basis, not admission-time).
+    let dop_at = |iter: u64| -> f64 {
+        match &migrated {
+            Some(m) if iter <= m.at_iteration => m.from_dop.max(1) as f64,
+            _ => dop.max(1) as f64,
+        }
+    };
     let mut phases = PhaseTimes::new(4);
     for t in &timings {
-        phases.record(phase_index(t.kind), t.elapsed.as_secs_f64());
+        phases.record(
+            phase_index(t.kind),
+            t.elapsed.as_secs_f64() / dop_at(t.iteration),
+        );
     }
-    let per_iter_node = |kind: SubtaskKind| phases.total_secs(phase_index(kind)) / iters / dop_f;
+    let per_iter_node = |kind: SubtaskKind| phases.total_secs(phase_index(kind)) / iters;
     let mean_tcpu = per_iter_node(SubtaskKind::Comp);
     let mean_tnet = per_iter_node(SubtaskKind::Pull) + per_iter_node(SubtaskKind::Push);
     let mean_tapply = per_iter_node(SubtaskKind::Apply);
@@ -293,6 +393,7 @@ pub(crate) fn finish_report(
         mean_tapply,
         dop,
         final_model,
+        migrated,
         converged,
         aborted,
     }
@@ -313,6 +414,8 @@ pub struct PsCluster {
     /// The time source subtask timings are measured with; swap in a
     /// [`crate::VirtualClock`] for bit-reproducible closed-loop tests.
     pub(crate) clock: Arc<dyn Clock>,
+    /// Live-migration bookkeeping across every job this cluster ran.
+    pub(crate) migrations: Mutex<MigrationStats>,
 }
 
 impl PsCluster {
@@ -345,6 +448,7 @@ impl PsCluster {
             config,
             pool: BufferPool::new(),
             clock,
+            migrations: Mutex::new(MigrationStats::new()),
         }
     }
 
@@ -352,6 +456,13 @@ impl PsCluster {
     /// reuse counters for the fast runtime's pooled buffers).
     pub fn pool_stats(&self) -> harmony_mem::PoolStats {
         self.pool.stats()
+    }
+
+    /// Live-migration accounting across every job this cluster has run:
+    /// counts, checkpoint sizes, and pause→resume latencies (measured
+    /// through the cluster's [`Clock`]).
+    pub fn migration_stats(&self) -> MigrationStats {
+        *self.migrations.lock()
     }
 
     /// Number of nodes.
@@ -388,6 +499,20 @@ impl PsCluster {
                 job.workers.len(),
                 self.nodes.len()
             );
+            if let Some(m) = &job.migration {
+                assert!(
+                    self.config.live_migration,
+                    "job '{}' schedules a migration but PsConfig::live_migration is off",
+                    job.name
+                );
+                assert!(
+                    m.workers.len() <= self.nodes.len(),
+                    "job '{}' migrates to {} workers but the cluster has {} nodes",
+                    job.name,
+                    m.workers.len(),
+                    self.nodes.len()
+                );
+            }
         }
         if self.config.fast_runtime {
             crate::runtime::run_jobs_fast(self, jobs)
@@ -428,6 +553,8 @@ impl PsCluster {
             abort_after: Option<u64>,
             total_examples: usize,
             all_reduce: bool,
+            migration: Option<PlannedMigration>,
+            migrated: Option<MigrationRecord>,
             timings: Vec<SubtaskTiming>,
             loss_history: Vec<(u64, f64)>,
             initial_loss: f64,
@@ -481,6 +608,8 @@ impl PsCluster {
                 abort_after: job.abort_after,
                 total_examples,
                 all_reduce: job.all_reduce,
+                migration: job.migration,
+                migrated: None,
                 timings: Vec::new(),
                 loss_history: vec![(0, initial_loss)],
                 initial_loss,
@@ -494,6 +623,53 @@ impl PsCluster {
             self.config
                 .network_bytes_per_sec
                 .map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
+        };
+
+        // Executes `run`'s planned migration at the iteration boundary
+        // it just completed: checkpoint the quiescent model bit-exactly
+        // (staged through a pooled buffer), rebuild the shards for the
+        // new DoP, restore, and replay the new workers' pre-training
+        // pushes — the exact sequence a fresh restart from
+        // `JobBuilder::initial_model` would run, which is what the
+        // migration-equivalence gate asserts.
+        let migrate = |run: &mut JobRun| {
+            let plan = run.migration.take().expect("migration due");
+            let t0 = self.clock.now();
+            let model_len = run.model.len();
+            let mut stage = self.pool.acquire(model_len);
+            run.model.pull_into(stage.as_mut());
+            let ckpt = Checkpoint::capture(stage.as_ref());
+            self.migrations.lock().begin(ckpt.byte_len() as f64);
+            let from_dop = run.workers.len();
+            let new_dop = plan.workers.len();
+            run.model = ShardedModel::new(model_len, new_dop);
+            ckpt.restore_into(stage.as_mut());
+            run.model.restore(stage.as_ref());
+            for w in &plan.workers {
+                if let Some(init) = w.initial_update() {
+                    run.model.push(&init);
+                }
+            }
+            run.total_examples = plan.workers.iter().map(|w| w.num_examples()).sum();
+            run.workers = plan
+                .workers
+                .into_iter()
+                .map(|w| Arc::new(Mutex::new(w)))
+                .collect();
+            run.pulled = (0..new_dop).map(|_| Arc::new(Mutex::new(None))).collect();
+            run.updates = Arc::new((0..new_dop).map(|_| Arc::new(Mutex::new(None))).collect());
+            run.shard_arrivals = Arc::new(
+                (0..run.model.shard_count())
+                    .map(|_| AtomicUsize::new(0))
+                    .collect(),
+            );
+            run.migrated = Some(MigrationRecord {
+                at_iteration: run.iteration,
+                from_dop,
+                checkpoint_bytes: ckpt.byte_len(),
+            });
+            let latency = self.clock.now().saturating_sub(t0).as_secs_f64();
+            self.migrations.lock().finish(latency);
         };
 
         // Enqueues kind `kind` subtasks of job `j` on all its nodes.
@@ -670,6 +846,13 @@ impl PsCluster {
                         run.done = true;
                         active -= 1;
                     } else {
+                        if run
+                            .migration
+                            .as_ref()
+                            .is_some_and(|m| m.after_iteration == run.iteration)
+                        {
+                            migrate(run);
+                        }
                         run.iteration += 1;
                         enqueue(run, j, SubtaskKind::Pull);
                     }
@@ -692,6 +875,7 @@ impl PsCluster {
                     run.timings,
                     dop,
                     final_model,
+                    run.migrated,
                     run.converged,
                     run.aborting,
                 )
@@ -914,6 +1098,7 @@ mod tests {
             Vec::new(),
             2,
             vec![0.0; 4],
+            None,
             false,
             false,
         );
@@ -938,6 +1123,7 @@ mod tests {
             timings,
             0,
             Vec::new(),
+            None,
             false,
             false,
         );
@@ -973,6 +1159,7 @@ mod tests {
             timings,
             2,
             Vec::new(),
+            None,
             false,
             false,
         );
@@ -980,6 +1167,58 @@ mod tests {
         assert!((r.mean_tnet - 1.0).abs() < 1e-12);
         assert!((r.mean_tapply - 0.25).abs() < 1e-12);
         assert_eq!(r.final_loss, 0.5);
+    }
+
+    #[test]
+    fn finish_report_normalizes_by_per_iteration_dop_across_migration() {
+        // Iteration 1 ran at DoP 1 (COMP 4 s on its single node),
+        // iteration 2 at DoP 2 (4 s on each of two nodes): per-node COMP
+        // is 4 s either way, and the post-migration report must say so
+        // instead of dividing every iteration by the final DoP.
+        let timings = vec![
+            timing(SubtaskKind::Comp, 0, 1, 4.0),
+            timing(SubtaskKind::Comp, 0, 2, 4.0),
+            timing(SubtaskKind::Comp, 1, 2, 4.0),
+        ];
+        let migrated = Some(MigrationRecord {
+            at_iteration: 1,
+            from_dop: 1,
+            checkpoint_bytes: 32,
+        });
+        let r = finish_report(
+            "moved".into(),
+            2,
+            1.0,
+            vec![(0, 1.0)],
+            timings,
+            2,
+            Vec::new(),
+            migrated,
+            false,
+            false,
+        );
+        assert!((r.mean_tcpu - 4.0).abs() < 1e-12);
+        assert_eq!(r.dop, 2, "dop reflects the post-migration group");
+        assert_eq!(r.migrated.unwrap().from_dop, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "live_migration is off")]
+    fn migration_requires_the_flag() {
+        let cluster = PsCluster::new(PsConfig::default());
+        let data = synth::classification(40, 8, 2, 0.3, 3);
+        let mk = || {
+            synth::partition(&data, 1)
+                .into_iter()
+                .map(|p| Box::new(Mlr::new(p, 8, 2, 0.5)) as Box<dyn PsAlgorithm>)
+                .collect::<Vec<_>>()
+        };
+        let job = JobBuilder::new("flagless")
+            .workers(mk())
+            .migrate_after(2, mk())
+            .max_iterations(5)
+            .build();
+        let _ = cluster.run_jobs(vec![job]);
     }
 
     #[test]

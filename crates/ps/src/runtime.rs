@@ -43,13 +43,18 @@ use parking_lot::{Mutex, RwLock};
 use harmony_mem::PooledBuffer;
 use harmony_ml::PsAlgorithm;
 
-use crate::master::{finish_report, JobReport, PsCluster, TrainingJob};
+use crate::checkpoint::Checkpoint;
+use crate::master::{finish_report, JobReport, MigrationRecord, PsCluster, TrainingJob};
 use crate::shard::{StripedModel, DEFAULT_STRIPE_LEN};
 use crate::subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};
 
 /// A subtask closure built once per job and resubmitted every iteration
 /// (an [`Arc`] clone per submission — no per-iteration boxing).
 type SharedTask = Arc<dyn Fn() + Send + Sync + 'static>;
+
+/// Completion events flowing from executor threads back to the master:
+/// `(job, node, kind, generation, elapsed)`.
+type EventTx = crossbeam::channel::Sender<(usize, usize, SubtaskKind, u64, Duration)>;
 
 struct JobRun {
     name: String,
@@ -77,6 +82,11 @@ struct JobRun {
     abort_after: Option<u64>,
     total_examples: usize,
     all_reduce: bool,
+    /// A pending live-migration plan (`JobBuilder::migrate_after`),
+    /// consumed at its iteration boundary.
+    migration: Option<crate::master::PlannedMigration>,
+    /// What the consumed plan did, for the report.
+    migrated: Option<MigrationRecord>,
     timings: Vec<SubtaskTiming>,
     loss_history: Vec<(u64, f64)>,
     initial_loss: f64,
@@ -92,18 +102,228 @@ struct JobRun {
     drain: usize,
 }
 
-/// Runs `jobs` on the pipelined zero-copy runtime. Semantics (and every
-/// output bit) match [`PsCluster::run_jobs`] with `fast_runtime: false`.
-pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<JobReport> {
-    // (job, node, kind, generation, elapsed)
-    let (event_tx, event_rx) = unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
+/// One job's subtask closures, built once and resubmitted every
+/// iteration. Built at job setup and rebuilt by live migration for the
+/// new worker roster (new DoP), reusing the same snapshot/generation
+/// plumbing.
+struct TaskSet {
+    pull: Vec<SharedTask>,
+    comp: Vec<SharedTask>,
+    push: Vec<SharedTask>,
+    /// `(node, task)` pairs; each folds a disjoint stripe range.
+    apply: Vec<(usize, SharedTask)>,
+}
 
+#[allow(clippy::too_many_arguments)]
+fn build_tasks(
+    cluster: &PsCluster,
+    event_tx: &EventTx,
+    j: usize,
+    store: &StripedModel,
+    workers: &[Arc<Mutex<Box<dyn PsAlgorithm>>>],
+    update_bufs: &Arc<Vec<Arc<Mutex<Option<PooledBuffer>>>>>,
+    snapshot: &Arc<RwLock<PooledBuffer>>,
+    generation: &Arc<AtomicU64>,
+    all_reduce: bool,
+) -> TaskSet {
+    let dop = workers.len();
+    let apply_count = dop.min(store.stripe_count());
     let net_delay = |bytes: u64| -> Option<Duration> {
         cluster
             .config
             .network_bytes_per_sec
             .map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
     };
+
+    let pull: Vec<SharedTask> = (0..dop)
+        .map(|w| {
+            let generation = Arc::clone(generation);
+            let tx = event_tx.clone();
+            let clock = Arc::clone(&cluster.clock);
+            let delay = net_delay(store.pull_bytes());
+            // The snapshot is already filled (the master refills it
+            // before submitting PULLs), so an in-process PULL moves
+            // no payload — only the (simulated) wire time remains.
+            Arc::new(move || {
+                let t0 = clock.now();
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                let gen = generation.load(Ordering::SeqCst);
+                let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Pull, gen);
+                let _ = tx.send((j, w, SubtaskKind::Pull, gen, dt));
+            }) as SharedTask
+        })
+        .collect();
+
+    let comp: Vec<SharedTask> = (0..dop)
+        .map(|w| {
+            let worker = Arc::clone(&workers[w]);
+            let input = Arc::clone(snapshot);
+            let output = Arc::clone(&update_bufs[w]);
+            let generation = Arc::clone(generation);
+            let tx = event_tx.clone();
+            let clock = Arc::clone(&cluster.clock);
+            Arc::new(move || {
+                let t0 = clock.now();
+                let pulled = input.read();
+                let mut staged = output.lock();
+                let out = staged.as_mut().expect("update buffer is resident");
+                worker
+                    .lock()
+                    .compute_update_into(pulled.as_ref(), out.as_mut());
+                drop(staged);
+                drop(pulled);
+                let gen = generation.load(Ordering::SeqCst);
+                let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Comp, gen);
+                let _ = tx.send((j, w, SubtaskKind::Comp, gen, dt));
+            }) as SharedTask
+        })
+        .collect();
+
+    let push: Vec<SharedTask> = (0..dop)
+        .map(|w| {
+            let generation = Arc::clone(generation);
+            let tx = event_tx.clone();
+            let clock = Arc::clone(&cluster.clock);
+            // The update is already staged in a buffer the server
+            // side reads directly — an in-process PUSH moves no
+            // payload, only the (simulated) wire time remains.
+            let bytes = if all_reduce {
+                let k = dop.max(1) as f64;
+                (store.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
+            } else {
+                store.pull_bytes()
+            };
+            let delay = net_delay(bytes);
+            Arc::new(move || {
+                let t0 = clock.now();
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                let gen = generation.load(Ordering::SeqCst);
+                let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Push, gen);
+                let _ = tx.send((j, w, SubtaskKind::Push, gen, dt));
+            }) as SharedTask
+        })
+        .collect();
+
+    let apply: Vec<(usize, SharedTask)> = (0..apply_count)
+        .map(|n| {
+            let store = store.clone();
+            let slots = Arc::clone(update_bufs);
+            let generation = Arc::clone(generation);
+            let tx = event_tx.clone();
+            let clock = Arc::clone(&cluster.clock);
+            let lo = n * store.stripe_count() / apply_count;
+            let hi = (n + 1) * store.stripe_count() / apply_count;
+            let task = Arc::new(move || {
+                let t0 = clock.now();
+                for s in lo..hi {
+                    if all_reduce {
+                        // The ring reduction left every slot holding
+                        // the full sum; fold slot 0 once, exactly as
+                        // the reference pushes `buffers[0]`.
+                        let staged = slots[0].lock();
+                        let sum = staged.as_ref().expect("reduced update is resident");
+                        store.stripe_add(s, sum.as_ref());
+                    } else {
+                        // Worker-id order: the determinism contract.
+                        for slot in slots.iter() {
+                            let staged = slot.lock();
+                            let delta = staged.as_ref().expect("COMP preceded APPLY");
+                            store.stripe_add(s, delta.as_ref());
+                        }
+                    }
+                }
+                let gen = generation.load(Ordering::SeqCst);
+                let dt = clock.subtask_elapsed(t0, j, n, SubtaskKind::Apply, gen);
+                let _ = tx.send((j, n, SubtaskKind::Apply, gen, dt));
+            }) as SharedTask;
+            (n, task)
+        })
+        .collect();
+
+    TaskSet {
+        pull,
+        comp,
+        push,
+        apply,
+    }
+}
+
+/// Executes `run`'s planned migration at the iteration boundary it just
+/// completed (§IV-B4): checkpoint the quiescent model bit-exactly
+/// (staged through the job's pooled snapshot buffer), restore through
+/// the serialized form, replay the new workers' pre-training pushes —
+/// the exact sequence a fresh restart from `JobBuilder::initial_model`
+/// runs — and rebuild the task set and barriers for the new DoP. The
+/// stripe layout is DoP-independent, so the model store is reused in
+/// place; the generation counter keeps running (no subtask is in flight
+/// at the boundary).
+fn migrate_fast(cluster: &PsCluster, event_tx: &EventTx, j: usize, run: &mut JobRun) {
+    let plan = run.migration.take().expect("migration due");
+    let t0 = cluster.clock.now();
+    let model_len = run.store.len();
+    let checkpoint_bytes;
+    {
+        let mut snap = run.snapshot.write();
+        run.store.pull_into(snap.as_mut());
+        let ckpt = Checkpoint::capture(snap.as_ref());
+        checkpoint_bytes = ckpt.byte_len();
+        cluster.migrations.lock().begin(checkpoint_bytes as f64);
+        ckpt.restore_into(snap.as_mut());
+        run.store.restore(snap.as_ref());
+    }
+    for w in &plan.workers {
+        if let Some(init) = w.initial_update() {
+            run.store.push(&init);
+        }
+    }
+    let from_dop = run.workers.len();
+    let new_dop = plan.workers.len();
+    run.total_examples = plan.workers.iter().map(|w| w.num_examples()).sum();
+    run.workers = plan
+        .workers
+        .into_iter()
+        .map(|w| Arc::new(Mutex::new(w)))
+        .collect();
+    run.update_bufs = Arc::new(
+        (0..new_dop)
+            .map(|_| Arc::new(Mutex::new(Some(cluster.pool.acquire(model_len)))))
+            .collect(),
+    );
+    let tasks = build_tasks(
+        cluster,
+        event_tx,
+        j,
+        &run.store,
+        &run.workers,
+        &run.update_bufs,
+        &run.snapshot,
+        &run.generation,
+        run.all_reduce,
+    );
+    run.pull_tasks = tasks.pull;
+    run.comp_tasks = tasks.comp;
+    run.push_tasks = tasks.push;
+    run.apply_tasks = tasks.apply;
+    run.sync
+        .reconfigure(new_dop, new_dop.min(run.store.stripe_count()));
+    run.migrated = Some(MigrationRecord {
+        at_iteration: run.iteration,
+        from_dop,
+        checkpoint_bytes,
+    });
+    let latency = cluster.clock.now().saturating_sub(t0).as_secs_f64();
+    cluster.migrations.lock().finish(latency);
+}
+
+/// Runs `jobs` on the pipelined zero-copy runtime. Semantics (and every
+/// output bit) match [`PsCluster::run_jobs`] with `fast_runtime: false`.
+pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<JobReport> {
+    // (job, node, kind, generation, elapsed)
+    let (event_tx, event_rx) = unbounded::<(usize, usize, SubtaskKind, u64, Duration)>();
 
     let mut runs: Vec<JobRun> = Vec::with_capacity(jobs.len());
     for (j, job) in jobs.into_iter().enumerate() {
@@ -144,114 +364,17 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
         let apply_count = dop.min(store.stripe_count());
         let all_reduce = job.all_reduce;
 
-        let pull_tasks: Vec<SharedTask> = (0..dop)
-            .map(|w| {
-                let generation = Arc::clone(&generation);
-                let tx = event_tx.clone();
-                let clock = Arc::clone(&cluster.clock);
-                let delay = net_delay(store.pull_bytes());
-                // The snapshot is already filled (the master refills it
-                // before submitting PULLs), so an in-process PULL moves
-                // no payload — only the (simulated) wire time remains.
-                Arc::new(move || {
-                    let t0 = clock.now();
-                    if let Some(d) = delay {
-                        std::thread::sleep(d);
-                    }
-                    let gen = generation.load(Ordering::SeqCst);
-                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Pull, gen);
-                    let _ = tx.send((j, w, SubtaskKind::Pull, gen, dt));
-                }) as SharedTask
-            })
-            .collect();
-
-        let comp_tasks: Vec<SharedTask> = (0..dop)
-            .map(|w| {
-                let worker = Arc::clone(&workers[w]);
-                let input = Arc::clone(&snapshot);
-                let output = Arc::clone(&update_bufs[w]);
-                let generation = Arc::clone(&generation);
-                let tx = event_tx.clone();
-                let clock = Arc::clone(&cluster.clock);
-                Arc::new(move || {
-                    let t0 = clock.now();
-                    let pulled = input.read();
-                    let mut staged = output.lock();
-                    let out = staged.as_mut().expect("update buffer is resident");
-                    worker
-                        .lock()
-                        .compute_update_into(pulled.as_ref(), out.as_mut());
-                    drop(staged);
-                    drop(pulled);
-                    let gen = generation.load(Ordering::SeqCst);
-                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Comp, gen);
-                    let _ = tx.send((j, w, SubtaskKind::Comp, gen, dt));
-                }) as SharedTask
-            })
-            .collect();
-
-        let push_tasks: Vec<SharedTask> = (0..dop)
-            .map(|w| {
-                let generation = Arc::clone(&generation);
-                let tx = event_tx.clone();
-                let clock = Arc::clone(&cluster.clock);
-                // The update is already staged in a buffer the server
-                // side reads directly — an in-process PUSH moves no
-                // payload, only the (simulated) wire time remains.
-                let bytes = if all_reduce {
-                    let k = dop.max(1) as f64;
-                    (store.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
-                } else {
-                    store.pull_bytes()
-                };
-                let delay = net_delay(bytes);
-                Arc::new(move || {
-                    let t0 = clock.now();
-                    if let Some(d) = delay {
-                        std::thread::sleep(d);
-                    }
-                    let gen = generation.load(Ordering::SeqCst);
-                    let dt = clock.subtask_elapsed(t0, j, w, SubtaskKind::Push, gen);
-                    let _ = tx.send((j, w, SubtaskKind::Push, gen, dt));
-                }) as SharedTask
-            })
-            .collect();
-
-        let apply_tasks: Vec<(usize, SharedTask)> = (0..apply_count)
-            .map(|n| {
-                let store = store.clone();
-                let slots = Arc::clone(&update_bufs);
-                let generation = Arc::clone(&generation);
-                let tx = event_tx.clone();
-                let clock = Arc::clone(&cluster.clock);
-                let lo = n * store.stripe_count() / apply_count;
-                let hi = (n + 1) * store.stripe_count() / apply_count;
-                let task = Arc::new(move || {
-                    let t0 = clock.now();
-                    for s in lo..hi {
-                        if all_reduce {
-                            // The ring reduction left every slot holding
-                            // the full sum; fold slot 0 once, exactly as
-                            // the reference pushes `buffers[0]`.
-                            let staged = slots[0].lock();
-                            let sum = staged.as_ref().expect("reduced update is resident");
-                            store.stripe_add(s, sum.as_ref());
-                        } else {
-                            // Worker-id order: the determinism contract.
-                            for slot in slots.iter() {
-                                let staged = slot.lock();
-                                let delta = staged.as_ref().expect("COMP preceded APPLY");
-                                store.stripe_add(s, delta.as_ref());
-                            }
-                        }
-                    }
-                    let gen = generation.load(Ordering::SeqCst);
-                    let dt = clock.subtask_elapsed(t0, j, n, SubtaskKind::Apply, gen);
-                    let _ = tx.send((j, n, SubtaskKind::Apply, gen, dt));
-                }) as SharedTask;
-                (n, task)
-            })
-            .collect();
+        let tasks = build_tasks(
+            cluster,
+            &event_tx,
+            j,
+            &store,
+            &workers,
+            &update_bufs,
+            &snapshot,
+            &generation,
+            all_reduce,
+        );
 
         let expected_events = (3 * dop + apply_count) as u64 * job.max_iterations.min(4096);
         runs.push(JobRun {
@@ -262,10 +385,10 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             snapshot,
             generation,
             sync: Synchronizer::new(dop, apply_count),
-            pull_tasks,
-            comp_tasks,
-            push_tasks,
-            apply_tasks,
+            pull_tasks: tasks.pull,
+            comp_tasks: tasks.comp,
+            push_tasks: tasks.push,
+            apply_tasks: tasks.apply,
             iteration: 0,
             max_iterations: job.max_iterations,
             loss_threshold: job.loss_threshold,
@@ -273,6 +396,8 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             abort_after: job.abort_after,
             total_examples,
             all_reduce,
+            migration: job.migration,
+            migrated: None,
             timings: Vec::with_capacity(expected_events as usize),
             loss_history: {
                 let mut h =
@@ -386,6 +511,13 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                     run.done = true;
                     active -= 1;
                 } else {
+                    if run
+                        .migration
+                        .as_ref()
+                        .is_some_and(|m| m.after_iteration == run.iteration)
+                    {
+                        migrate_fast(cluster, &event_tx, j, run);
+                    }
                     run.iteration += 1;
                     run.generation
                         .store(run.sync.begin_iteration(), Ordering::SeqCst);
@@ -414,6 +546,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 run.timings,
                 dop,
                 final_model,
+                run.migrated,
                 run.converged,
                 run.aborting,
             )

@@ -136,6 +136,24 @@ impl Synchronizer {
         self.generation
     }
 
+    /// Re-shapes the barrier for a migrated job: new worker count, new
+    /// apply-task count, *same* generation counter. Migration happens at
+    /// an iteration boundary (no subtasks in flight), so the generation
+    /// stream stays monotonic across the move and in-flight staleness
+    /// detection keeps working.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn reconfigure(&mut self, dop: usize, apply_tasks: usize) {
+        assert!(dop > 0, "need at least one worker");
+        assert!(apply_tasks > 0, "need at least one apply task");
+        self.dop = dop;
+        self.apply_tasks = apply_tasks;
+        self.pushes_seen = 0;
+        self.applies_seen = 0;
+    }
+
     /// Records one subtask completion and returns what to do next.
     ///
     /// # Panics
@@ -232,6 +250,31 @@ mod tests {
             SyncAction::IterationComplete
         );
         assert_eq!(sync.begin_iteration(), 2);
+    }
+
+    #[test]
+    fn reconfigure_preserves_generation_and_resizes_barriers() {
+        let mut sync = Synchronizer::new(2, 2);
+        let g1 = sync.begin_iteration();
+        let _ = sync.on_subtask(SubtaskKind::Push, g1);
+        let _ = sync.on_subtask(SubtaskKind::Push, g1);
+        let _ = sync.on_subtask(SubtaskKind::Apply, g1);
+        let _ = sync.on_subtask(SubtaskKind::Apply, g1);
+        // Migrate 2 workers -> 3 at the boundary: generation continues.
+        sync.reconfigure(3, 1);
+        assert_eq!(sync.generation(), g1);
+        let g2 = sync.begin_iteration();
+        assert_eq!(g2, g1 + 1);
+        assert_eq!(sync.on_subtask(SubtaskKind::Push, g2), SyncAction::InFlight);
+        assert_eq!(sync.on_subtask(SubtaskKind::Push, g2), SyncAction::InFlight);
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Push, g2),
+            SyncAction::ReduceAndApply
+        );
+        assert_eq!(
+            sync.on_subtask(SubtaskKind::Apply, g2),
+            SyncAction::IterationComplete
+        );
     }
 
     #[test]

@@ -45,6 +45,24 @@ pub enum ReloadPolicy {
     Adaptive,
 }
 
+/// A scripted mid-run workload shift: from (0-based) iteration
+/// `at_iteration` onward, job `job`'s true per-iteration COMP cost is
+/// multiplied by `factor`. The scheduler is never told — it can only
+/// find out through closed-loop measurements (`profile_feedback`), which
+/// makes this the simulator analogue of the COMP-collapse script the PS
+/// tests drive through [`harmony_ps` virtual clocks].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompShift {
+    /// Index of the shifted job in the workload's spec order.
+    pub job: usize,
+    /// First iteration (0-based, counting every completed iteration
+    /// including profiling) that runs at the shifted cost.
+    pub at_iteration: u64,
+    /// Multiplier applied to the spec's `comp_cost`; `1/16` is the
+    /// paper-style 16× collapse, values above 1 model a degradation.
+    pub factor: f64,
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -151,6 +169,30 @@ pub struct SimConfig {
     /// drift machinery, so decisions are byte-identical to a build
     /// without it (`tests/profile_feedback.rs`).
     pub profile_feedback: bool,
+    /// Live job migration via checkpoint/resume (§IV-B4). When a
+    /// running job's profile drifts (`profile_feedback` must be on for
+    /// drift to fire), instead of triggering a cluster-wide reschedule
+    /// the job alone is paused at its next iteration boundary, its
+    /// model checkpointed, and it is reattached in the group a targeted
+    /// scheduling pass picks — paying a checkpoint-transfer delay on
+    /// top of the input reload. Off by default; with the flag off the
+    /// drift path full-reschedules exactly as before, so
+    /// `RunReport::canonical_bytes` is byte-identical to a build
+    /// without the feature (`tests/sim_equivalence.rs`).
+    pub live_migration: bool,
+    /// Iterations a freshly migrated job runs before its drift trigger
+    /// re-arms. The smoothed profile estimate needs several samples to
+    /// converge on the regime that caused the move (at the EWMA's
+    /// α = 0.3, a 16× shift takes ~8 samples to settle within the 5%
+    /// band); checking drift during that decay re-flags the same shift
+    /// every iteration and migrates the job in a loop. When the window
+    /// expires the basis is re-pinned on the settled estimate. Only
+    /// consulted when `live_migration` is on.
+    pub migration_settle_iters: u32,
+    /// Scripted mid-run workload shifts (see [`CompShift`]). Empty by
+    /// default; with no shifts the COMP cost path is untouched, so
+    /// decisions are byte-identical to a build without the knob.
+    pub comp_shifts: Vec<CompShift>,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
 }
@@ -187,6 +229,9 @@ impl Default for SimConfig {
             fault_plan: None,
             fast_event_path: true,
             profile_feedback: false,
+            live_migration: false,
+            migration_settle_iters: 8,
+            comp_shifts: Vec::new(),
             max_sim_seconds: 60.0 * 86_400.0,
         }
     }
@@ -228,6 +273,14 @@ impl SimConfig {
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
+        }
+        for s in &self.comp_shifts {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(format!(
+                    "comp shift factor must be positive, got {}",
+                    s.factor
+                ));
+            }
         }
         Ok(())
     }
@@ -276,6 +329,16 @@ mod tests {
                     kind: crate::fault::FaultKind::MachineCrash,
                 }],
             )),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            comp_shifts: vec![CompShift {
+                job: 0,
+                at_iteration: 4,
+                factor: 0.0,
+            }],
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());

@@ -18,7 +18,7 @@ use harmony_core::profile::{JobProfile, ProfileStore};
 use harmony_core::regroup::{ClusterView, RegroupDecision, Regrouper};
 use harmony_core::schedule::{ScheduleOutcome, Scheduler};
 use harmony_mem::AlphaController;
-use harmony_metrics::{EventLog, OnlineStats, Timeline};
+use harmony_metrics::{EventLog, MigrationStats, OnlineStats, Timeline};
 
 use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
 use crate::fault::FaultKind;
@@ -90,6 +90,9 @@ enum EventKind {
     /// [`FaultPlan`](crate::fault::FaultPlan); the payload indexes the
     /// plan's event list.
     Fault(usize),
+    /// A migrating job's checkpoint finished writing: re-place it
+    /// ([`SimConfig::live_migration`]).
+    Migrate(usize),
 }
 
 #[derive(Debug)]
@@ -173,6 +176,8 @@ pub struct Driver {
     fault_log: EventLog,
     /// Seconds from each fault to the affected jobs' resumption.
     recovery_stats: OnlineStats,
+    /// Live checkpoint/resume migrations (§IV-B4).
+    migration_stats: MigrationStats,
     gc_seconds: f64,
     alpha_stats: OnlineStats,
     iter_wall_stats: OnlineStats,
@@ -240,6 +245,7 @@ impl Driver {
             jobs_aborted: 0,
             fault_log: EventLog::new(),
             recovery_stats: OnlineStats::new(),
+            migration_stats: MigrationStats::new(),
             gc_seconds: 0.0,
             alpha_stats: OnlineStats::new(),
             iter_wall_stats: OnlineStats::new(),
@@ -265,6 +271,10 @@ impl Driver {
             assert!(spec.validate().is_ok(), "job {i} spec invalid");
             d.jobs.push(JobSim::new(i, spec, at));
             d.push_event(at, EventKind::Arrival(i));
+        }
+        for s in &d.cfg.comp_shifts {
+            assert!(s.job < d.jobs.len(), "comp shift names job {}", s.job);
+            d.jobs[s.job].comp_shift = Some((s.at_iteration, s.factor));
         }
         d.push_event(0.0, EventKind::Sample);
         if let Some(mtbf) = d.cfg.failure_mtbf_secs {
@@ -297,6 +307,14 @@ impl Driver {
     /// dead-job counter (and thus `live_jobs`) exact.
     fn set_terminal(&mut self, j: usize, state: SimJobState, at: f64) {
         debug_assert!(matches!(state, SimJobState::Finished | SimJobState::Failed));
+        // A pending migration dies with the job: a drifted job can reach
+        // its final iteration (or be aborted / crash-killed) before the
+        // pause boundary, and the checkpoint it announced must be
+        // written off or the books never balance.
+        if self.jobs[j].migrate_mark.take().is_some() {
+            self.migration_stats.cancel();
+        }
+        self.jobs[j].migrate_origin = None;
         if self.jobs[j].is_live() {
             self.dead_jobs += 1;
             if self.jobs[j].group.is_some() {
@@ -398,6 +416,7 @@ impl Driver {
                     }
                 }
                 EventKind::Fault(i) => self.on_fault(i),
+                EventKind::Migrate(j) => self.on_migrate_ready(j),
             }
             // Drain notifications deferred during state mutation.
             let mut guard = 0;
@@ -562,8 +581,26 @@ impl Driver {
             }
             return false;
         };
-        let load_bytes = (1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64;
+        let mut load_bytes = (1.0 - self.jobs[j].alpha) * self.jobs[j].spec.input_bytes as f64;
+        // A live-migrating job reloads its model checkpoint alongside
+        // its input blocks (§IV-B4).
+        if self.jobs[j].migrate_mark.is_some() {
+            load_bytes += self.jobs[j].spec.model_bytes as f64;
+        }
         let delay = load_bytes / (f64::from(machines) * self.cfg.machine.disk_bytes_per_sec);
+        // A migration completes at whichever placement lands first —
+        // the targeted `Migrate` pass or any cluster-wide reschedule
+        // that got there before it (the other path then no-ops on its
+        // staleness guards).
+        if let Some(mark) = self.jobs[j].migrate_mark.take() {
+            let latency = (self.now + delay - mark).max(0.0);
+            self.migration_stats.finish(latency);
+            // Open the settle window: no drift checks while the EWMA
+            // converges on the post-move regime.
+            self.jobs[j].drift_holdoff =
+                self.jobs[j].iterations_done + u64::from(self.cfg.migration_settle_iters);
+        }
+        self.jobs[j].migrate_origin = None;
         // A job orphaned by a fault completes its recovery the moment it
         // is re-placed and reloaded somewhere.
         if let Some(mark) = self.jobs[j].recover_mark.take() {
@@ -1110,6 +1147,15 @@ impl Driver {
             self.jobs[j].pause_requested = false;
             self.jobs[j].state = SimJobState::Paused;
             self.detach_from(grp, j);
+            // A live migration paused this job: write the model
+            // checkpoint over the old group's disks, then re-place it
+            // once the write lands.
+            if self.jobs[j].migrate_mark.is_some() {
+                let ckpt_bytes = self.jobs[j].spec.model_bytes as f64;
+                let write = ckpt_bytes
+                    / (f64::from(grp.machines.max(1)) * self.cfg.machine.disk_bytes_per_sec);
+                self.push_event(self.now + write, EventKind::Migrate(j));
+            }
         } else {
             // Closed-loop profiling: the fresh observation just folded
             // into the EWMAs; if the smoothed estimate now sits ≥ the
@@ -1118,14 +1164,26 @@ impl Driver {
             // Clearing the basis here makes the trigger one-shot — it
             // re-arms only when the next decision re-pins it.
             if self.cfg.profile_feedback {
-                let thr = self.cfg.scheduler_config.improvement_threshold;
-                if self.jobs[j]
-                    .profile
-                    .drift_from_basis()
-                    .is_some_and(|d| d >= thr)
-                {
-                    self.jobs[j].profile.clear_scheduled_basis();
-                    notes.push(Notify::Drifted(j));
+                if self.jobs[j].iterations_done < self.jobs[j].drift_holdoff {
+                    // Post-migration settle window: the EWMA is still
+                    // converging on the shift that caused the move.
+                } else {
+                    if self.jobs[j].drift_holdoff != 0 {
+                        // Window just expired: re-pin the basis on the
+                        // settled estimate so residual decay is not
+                        // mistaken for a second shift.
+                        self.jobs[j].drift_holdoff = 0;
+                        self.jobs[j].profile.mark_scheduled();
+                    }
+                    let thr = self.cfg.scheduler_config.improvement_threshold;
+                    if self.jobs[j]
+                        .profile
+                        .drift_from_basis()
+                        .is_some_and(|d| d >= thr)
+                    {
+                        self.jobs[j].profile.clear_scheduled_basis();
+                        notes.push(Notify::Drifted(j));
+                    }
                 }
             }
             self.jobs[j].exec = ExecPhase::Queued(Phase::Pull);
@@ -1197,7 +1255,15 @@ impl Driver {
         let (demand, work) = match phase {
             Phase::Comp => {
                 self.jobs[j].exec = ExecPhase::Running(Phase::Comp);
-                let base = self.jobs[j].spec.comp_cost / mf;
+                let mut base = self.jobs[j].spec.comp_cost / mf;
+                // Scripted workload shift: the true COMP cost changes
+                // mid-run, visible to the scheduler only through the
+                // closed profiling loop.
+                if let Some((at, factor)) = self.jobs[j].comp_shift {
+                    if self.jobs[j].iterations_done >= at {
+                        base *= factor;
+                    }
+                }
                 let deser = alpha * spec_input / (mf * self.cfg.deser_bytes_per_sec);
                 let mut fp = std::mem::take(&mut self.scratch_fp);
                 self.footprints_into(grp, &mut fp);
@@ -1853,9 +1919,79 @@ impl Driver {
     /// whole placement was computed against stale estimates, so
     /// re-evaluate it. The regrouper's incremental paths
     /// (`on_job_profiled`) assume a *waiting* job and would
-    /// double-attach a running one, hence the full reschedule.
-    fn on_drifted_harmony(&mut self, _j: usize) {
+    /// double-attach a running one, hence the full reschedule — unless
+    /// [`SimConfig::live_migration`] is on, in which case only the
+    /// drifted job moves: it is paused at its next iteration boundary,
+    /// checkpointed, and re-placed by a targeted pass
+    /// ([`Self::on_migrate_ready`]) once the checkpoint lands.
+    fn on_drifted_harmony(&mut self, j: usize) {
+        if self.cfg.live_migration
+            && self.jobs[j].is_live()
+            && self.jobs[j].state == SimJobState::Running
+            && self.jobs[j].group.is_some()
+        {
+            self.jobs[j].pause_requested = true;
+            self.jobs[j].migrate_mark = Some(self.now);
+            let g = self.jobs[j].group.expect("checked above");
+            let created = self.groups[g].as_ref().expect("alive").created_at;
+            self.jobs[j].migrate_origin = Some((g, created));
+            self.migration_stats
+                .begin(self.jobs[j].spec.model_bytes as f64);
+            return;
+        }
         self.full_reschedule();
+    }
+
+    /// A migrating job's checkpoint finished writing: run a targeted
+    /// scheduling pass for just this job (the same incremental path a
+    /// freshly profiled job takes — it is detached and paused, exactly
+    /// the waiting shape that path assumes). Stale events — the job was
+    /// already re-placed by an interleaved reschedule, finished, or
+    /// died — no-op.
+    fn on_migrate_ready(&mut self, j: usize) {
+        if !self.jobs[j].is_live()
+            || self.jobs[j].state != SimJobState::Paused
+            || self.jobs[j].group.is_some()
+            || self.jobs[j].migrate_mark.is_none()
+        {
+            return;
+        }
+        let view = self.cluster_view();
+        let store = self.profile_store();
+        let t0 = Instant::now();
+        let decision = self
+            .regrouper
+            .on_job_profiled(&view, &store, JobId::new(j as u64));
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        // A targeted pass that sends the job straight back into the
+        // group it drifted out of is a no-op migration: the measurements
+        // that triggered the move condemned exactly that placement.
+        // Escalate to a cluster-wide pass instead of bouncing back.
+        let back_home = match &decision {
+            RegroupDecision::AddToGroup { group, .. } => {
+                let g = group.index() as usize;
+                self.jobs[j].migrate_origin.is_some_and(|(og, oc)| {
+                    og == g
+                        && self
+                            .groups
+                            .get(g)
+                            .and_then(|x| x.as_ref())
+                            .is_some_and(|grp| grp.created_at == oc)
+                })
+            }
+            _ => false,
+        };
+        if back_home {
+            self.full_reschedule();
+        } else {
+            self.apply_decision(decision);
+        }
+        // The targeted pass may decline to place the job (NoChange);
+        // escalate to a cluster-wide pass rather than strand it.
+        if self.jobs[j].is_live() && self.jobs[j].group.is_none() {
+            self.full_reschedule();
+        }
     }
 
     fn on_finished_harmony(&mut self, j: usize, g: usize) {
@@ -2397,6 +2533,7 @@ impl Driver {
             jobs_aborted: self.jobs_aborted,
             fault_log: self.fault_log,
             recovery_latency: self.recovery_stats,
+            live_migration: self.migration_stats,
             gc_seconds: self.gc_seconds,
             alpha_stats: self.alpha_stats,
             mean_group_iteration: self.iter_wall_stats.mean(),
@@ -2661,6 +2798,26 @@ mod tests {
         // With eight heterogeneous jobs on eight machines at least one
         // reshape moves a running job.
         assert!(r.migrations > 0);
+    }
+
+    #[test]
+    fn live_migration_is_inert_without_drift() {
+        // Without profile_feedback no drift ever fires, so turning
+        // live_migration on must not change a single byte.
+        let specs = two_complementary();
+        let off = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            specs.clone(),
+            vec![0.0, 0.0],
+        );
+        let cfg = SimConfig {
+            live_migration: true,
+            ..small_cfg(SchedulerKind::Harmony)
+        };
+        let on = Driver::run(cfg, specs, vec![0.0, 0.0]);
+        assert_eq!(off.canonical_bytes(), on.canonical_bytes());
+        assert_eq!(on.live_migration.started, 0);
+        assert_eq!(on.live_migration.completed, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Results of one simulated run.
 
-use harmony_metrics::{EventLog, OnlineStats, Timeline};
+use harmony_metrics::{EventLog, MigrationStats, OnlineStats, Timeline};
 
 use crate::spans::SubtaskSpan;
 
@@ -104,6 +104,12 @@ pub struct RunReport {
     /// repairs, fault-to-replacement time for orphaned jobs, straggler
     /// window lengths).
     pub recovery_latency: OnlineStats,
+    /// Live checkpoint/resume migrations (§IV-B4,
+    /// [`SimConfig::live_migration`](crate::SimConfig)): counts plus
+    /// drift-to-reattach latency and checkpoint-size distributions.
+    /// Distinct from `migrations`, which counts any placement change a
+    /// reschedule caused.
+    pub live_migration: MigrationStats,
     /// Total GC-overhead seconds charged to computations.
     pub gc_seconds: f64,
     /// Distribution of α values sampled at COMP dispatches.
@@ -261,6 +267,14 @@ impl RunReport {
             put_str(&mut out, &ev.detail);
         }
         put_stats(&mut out, &self.recovery_latency);
+        // Live-migration stats are appended after every pre-existing
+        // field so two arms that never migrate serialize identically
+        // up to (and including) this suffix.
+        put_u64(&mut out, self.live_migration.started);
+        put_u64(&mut out, self.live_migration.completed);
+        put_u64(&mut out, self.live_migration.cancelled);
+        put_stats(&mut out, &self.live_migration.latency);
+        put_stats(&mut out, &self.live_migration.checkpoint_bytes);
         out
     }
 }
@@ -302,6 +316,7 @@ mod tests {
             jobs_aborted: 0,
             fault_log: EventLog::new(),
             recovery_latency: OnlineStats::new(),
+            live_migration: MigrationStats::new(),
             gc_seconds: 0.0,
             alpha_stats: OnlineStats::new(),
             mean_group_iteration: 0.0,
@@ -371,5 +386,9 @@ mod tests {
         assert_eq!(a.canonical_bytes(), c.canonical_bytes());
         c.fault_log.record(9.0, "job-abort", "job x");
         assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+
+        let mut d = a.clone();
+        d.live_migration.begin(1024.0);
+        assert_ne!(a.canonical_bytes(), d.canonical_bytes());
     }
 }

@@ -137,6 +137,27 @@ pub struct JobSim {
     /// (and turned into a recovery-latency sample) when the job is
     /// next placed.
     pub recover_mark: Option<f64>,
+    /// Set to the drift time when live migration decided to move this
+    /// job; cleared (and turned into a migration-latency sample, plus a
+    /// checkpoint-reload charge) when the job is next placed.
+    pub migrate_mark: Option<f64>,
+    /// The `(group slot, created_at)` the job drifted out of. A
+    /// migrating job refuses to bounce straight back into this exact
+    /// group — its own measurements just condemned that placement — and
+    /// escalates to a cluster-wide pass instead. `created_at`
+    /// disambiguates a reused slot.
+    pub migrate_origin: Option<(usize, f64)>,
+    /// Scripted workload shift `(first shifted iteration, COMP-cost
+    /// multiplier)` wired from [`crate::config::CompShift`]; `None` for
+    /// an unshifted job.
+    pub comp_shift: Option<(u64, f64)>,
+    /// Drift checks are suppressed until this iteration count. Set on a
+    /// migration attach: the smoothed estimate is still converging on
+    /// the regime that triggered the move, and re-flagging drift every
+    /// iteration of that decay would migrate the job over and over for
+    /// one workload change. When the window expires the basis is
+    /// re-pinned on the settled estimate.
+    pub drift_holdoff: u64,
 }
 
 impl JobSim {
@@ -174,6 +195,10 @@ impl JobSim {
             alpha_cost_n: 0,
             aborted: false,
             recover_mark: None,
+            migrate_mark: None,
+            migrate_origin: None,
+            comp_shift: None,
+            drift_holdoff: 0,
         }
     }
 

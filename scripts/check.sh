@@ -7,10 +7,10 @@
 #                  committed BENCH_*.json files (including the enlarged
 #                  sim_driver sweep) — against the perfjson schema (see
 #                  crates/bench/src/perfjson.rs), run the simulator
-#                  fast-event-path and PS fast-runtime equivalence gates
-#                  at tiny scale, and run the PS steady-state allocation
-#                  audit (counting global allocator, `alloc-count`
-#                  feature).
+#                  fast-event-path, PS fast-runtime and live-migration
+#                  equivalence gates at tiny scale, and run the PS
+#                  steady-state allocation audit (counting global
+#                  allocator, `alloc-count` feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,6 +52,10 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
     cargo test --release -q -p harmony --test ps_equivalence \
         tiny_scale_fast_runtime_matches_reference
+
+    echo "==> live-migration equivalence smoke (migrate == checkpoint/restart bytes)"
+    cargo test --release -q -p harmony --test migration_equivalence \
+        tiny_scale_migration_matches_restart
 
     echo "==> PS steady-state allocation audit (alloc-count)"
     cargo test --release -q -p harmony --features alloc-count --test ps_alloc

@@ -239,6 +239,77 @@ fn crash_is_survivable_under_every_scheduler() {
     }
 }
 
+/// Live migration under fire. A 16x straggler window inflates the
+/// victim group's measured iteration times until the feedback loop
+/// declares drift; with `live_migration` on, the drifted job pauses at
+/// its next boundary, checkpoints, and reattaches wherever the
+/// targeted pass puts it. A machine crash is then landed at increasing
+/// offsets inside that window — sweeping across drift detection, the
+/// pause boundary, the checkpoint write, and the reattach — and every
+/// interleaving must escalate cleanly: no checkpoint may be lost
+/// (every started migration is finished, either by the Migrate event
+/// or absorbed into the crash reschedule that re-places the paused
+/// job), recovery latency is still recorded, and every job completes.
+#[test]
+fn crash_during_migration_escalates_cleanly() {
+    let specs = small_workload();
+    let arrivals = vec![0.0; specs.len()];
+    let mig_cfg = |plan: Option<FaultPlan>| SimConfig {
+        profile_feedback: true,
+        live_migration: true,
+        ..cfg(plan)
+    };
+
+    let clean = Driver::run(mig_cfg(None), specs.clone(), arrivals.clone());
+    let slow_at = clean.makespan * 0.25;
+    let slowdown = harmony::sim::FaultEvent {
+        at: slow_at,
+        kind: FaultKind::Slowdown {
+            factor: 16.0,
+            duration_secs: clean.makespan,
+        },
+    };
+
+    // First establish the slowdown alone drives at least one live
+    // migration, and its books balance.
+    let slowed = Driver::run(
+        mig_cfg(Some(FaultPlan::new(21, vec![slowdown]))),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    assert!(
+        slowed.live_migration.completed >= 1,
+        "the straggler window never drove a migration to completion"
+    );
+    assert_eq!(
+        slowed.live_migration.in_flight(),
+        0,
+        "migration left in flight without a crash"
+    );
+
+    for (i, frac) in [0.02, 0.05, 0.1, 0.2, 0.4].into_iter().enumerate() {
+        let crash = harmony::sim::FaultEvent {
+            at: slow_at + clean.makespan * frac,
+            kind: FaultKind::MachineCrash,
+        };
+        let plan = FaultPlan::new(23 + i as u64, vec![slowdown, crash]);
+        let r = Driver::run(mig_cfg(Some(plan)), specs.clone(), arrivals.clone());
+        let tag = format!("crash at slowdown + {frac} * makespan");
+        assert_eq!(r.completed(), specs.len(), "{tag}: jobs lost");
+        assert_eq!(r.machines_lost, 1, "{tag}: crash did not land");
+        assert!(
+            r.recovery_latency.count() >= 1,
+            "{tag}: recovery latency not recorded"
+        );
+        assert_eq!(
+            r.live_migration.started,
+            r.live_migration.completed + r.live_migration.cancelled,
+            "{tag}: a checkpoint was lost in flight"
+        );
+        assert_eq!(r.live_migration.in_flight(), 0, "{tag}");
+    }
+}
+
 /// A sustained barrage — every fault class recurring — must still end
 /// with all survivors finished and matched fault/recovery bookkeeping.
 #[test]

@@ -17,14 +17,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use harmony::core::{
-    cluster_utilization, FeedbackLoop, JobId, JobProfile, ProfileSink, Scheduler, SchedulerConfig,
+    cluster_utilization, AppKind, FeedbackLoop, JobId, JobProfile, JobSpec, ProfileSink, Scheduler,
+    SchedulerConfig, SyncKind,
 };
 use harmony::mem::GcModel;
 use harmony::ml::{synth, Mlr, PsAlgorithm};
 use harmony::ps::{
     iteration_samples, JobBuilder, PsCluster, PsConfig, SubtaskKind, TrainingJob, VirtualClock,
 };
-use harmony::sim::{Driver, ReloadPolicy, SimConfig};
+use harmony::sim::{CompShift, Driver, ReloadPolicy, SimConfig};
 use harmony::trace::{workload_with, WorkloadParams};
 
 const JOBS: usize = 4;
@@ -246,6 +247,169 @@ fn virtual_clock_samples_are_bit_reproducible() {
     for r in &a {
         assert!(r.final_loss < r.initial_loss, "{} did not train", r.name);
     }
+}
+
+/// The migration-on arm of the COMP-collapse scenario, on the real PS
+/// runtime: the feedback loop flags the drifted jobs, and re-running
+/// them with a planned migration at the first post-collapse boundary
+/// proves the drifted job actually *moves* mid-run — the report keeps
+/// the pre-move DoP in its migration record, finishes at the new DoP,
+/// and the cluster accounts a checkpoint plus a resume latency per
+/// drifted job.
+#[test]
+fn drifted_jobs_actually_move_mid_run() {
+    let run = run_pipeline();
+    assert!(!run.drifted.is_empty(), "scenario produced no drift");
+
+    // Post-collapse the jobs are network-bound, so the fresh schedule
+    // wants them at a lower DoP: migrate each drifted job 2 -> 1 at the
+    // first boundary after the collapse is detectable.
+    let boundary = WARM + 1;
+    let cluster = PsCluster::with_clock(
+        PsConfig {
+            nodes: DOP,
+            live_migration: true,
+            ..PsConfig::default()
+        },
+        Arc::new(VirtualClock::new(drift_script)),
+    );
+    let jobs: Vec<TrainingJob> = run
+        .drifted
+        .iter()
+        .map(|id| {
+            let seed = id.index();
+            let data = synth::classification(80, 8, 2, 0.3, seed);
+            JobBuilder::new(format!("moved-{seed}"))
+                .workers(
+                    synth::partition(&data, DOP)
+                        .into_iter()
+                        .map(|p| Box::new(Mlr::new(p, 8, 2, 0.5)) as Box<dyn PsAlgorithm>),
+                )
+                .migrate_after(
+                    boundary,
+                    synth::partition(&data, 1)
+                        .into_iter()
+                        .map(|p| Box::new(Mlr::new(p, 8, 2, 0.5)) as Box<dyn PsAlgorithm>),
+                )
+                .max_iterations(ITERS)
+                .build()
+        })
+        .collect();
+    let reports = cluster.run_jobs(jobs);
+
+    for r in &reports {
+        let rec = r.migrated.expect("job never moved");
+        assert_eq!(
+            rec.at_iteration, boundary,
+            "{}: moved at the boundary",
+            r.name
+        );
+        assert_eq!(rec.from_dop, DOP, "{}: pre-move DoP", r.name);
+        assert_eq!(r.dop, 1, "{}: finished at the new DoP", r.name);
+        assert_eq!(r.iterations, ITERS, "{}: ran to completion", r.name);
+        assert!(
+            r.final_loss < r.initial_loss,
+            "{}: stopped training",
+            r.name
+        );
+    }
+    let stats = cluster.migration_stats();
+    assert_eq!(stats.completed, run.drifted.len() as u64);
+    assert_eq!(stats.in_flight(), 0);
+    assert_eq!(stats.latency.count(), run.drifted.len() as u64);
+    assert!(stats.checkpoint_bytes.mean() > 0.0);
+}
+
+/// A handcrafted spec for the simulator arm of the COMP-collapse
+/// scenario.
+fn sim_spec(name: &str, app: AppKind, comp: f64, net: f64, epochs: u32) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        app,
+        dataset: "synthetic".into(),
+        input_bytes: 2 << 30,
+        model_bytes: 64 << 20,
+        comp_cost: comp,
+        net_cost: net,
+        sync: SyncKind::ParameterServer,
+        pull_fraction: 0.5,
+        iters_per_epoch: 10,
+        target_epochs: epochs,
+    }
+}
+
+/// The acceptance arm in the simulator: job 0 profiles CPU-heavy, so
+/// Algorithm 1 packs it with network-heavy peers (complementary
+/// utilization) — then its true COMP cost collapses 16× (the simulator
+/// analogue of `drift_script`, injected via [`CompShift`]). Now
+/// network-bound, the job spends its iterations queued behind the
+/// peers' long transfers on the group's serialized wire. With
+/// `live_migration` on, the closed loop flags the drift and moves just
+/// that job — it ends up in a small dedicated group matching its fresh
+/// (network-bound) profile and must finish measurably faster than the
+/// no-feedback arm that leaves it stranded on its stale placement.
+#[test]
+fn migration_completes_drifted_job_measurably_faster() {
+    let specs = vec![
+        sim_spec("victim", AppKind::Mlr, 60.0, 4.0, 8),
+        sim_spec("net-a", AppKind::Lda, 16.0, 12.0, 12),
+        sim_spec("net-b", AppKind::Lda, 16.0, 12.0, 12),
+        sim_spec("net-c", AppKind::Nmf, 18.0, 10.0, 12),
+        sim_spec("cpu-a", AppKind::Lasso, 120.0, 2.0, 8),
+        sim_spec("cpu-b", AppKind::Lasso, 110.0, 2.0, 8),
+    ];
+    let arrivals = vec![0.0; specs.len()];
+    // Deterministic per-iteration costs (no straggler noise, no reload
+    // machinery, flat GC): the collapse is the only drift source, and
+    // both arms are bit-identical until the first post-collapse
+    // iteration completes.
+    let base = SimConfig {
+        machines: 10,
+        straggler_cv: 0.0,
+        reload: ReloadPolicy::None,
+        gc: GcModel::new(0.9, 0.0),
+        comp_shifts: vec![CompShift {
+            job: 0,
+            at_iteration: 8,
+            factor: 1.0 / 16.0,
+        }],
+        ..SimConfig::default()
+    };
+    let stuck = Driver::run(base.clone(), specs.clone(), arrivals.clone());
+    let migrated = Driver::run(
+        SimConfig {
+            profile_feedback: true,
+            live_migration: true,
+            ..base
+        },
+        specs.clone(),
+        arrivals,
+    );
+    assert_eq!(stuck.completed(), specs.len());
+    assert_eq!(migrated.completed(), specs.len());
+    assert!(
+        migrated.live_migration.completed >= 1,
+        "the collapse never drove a live migration"
+    );
+    assert_eq!(migrated.live_migration.in_flight(), 0);
+    assert_eq!(
+        migrated.live_migration.started,
+        migrated.live_migration.completed + migrated.live_migration.cancelled,
+        "migration books must balance"
+    );
+    // The stuck arm never migrates — it has no feedback loop at all.
+    assert_eq!(stuck.live_migration.started, 0);
+
+    let stuck_jct = stuck.jobs[0].jct.expect("victim finished");
+    let moved_jct = migrated.jobs[0].jct.expect("victim finished");
+    assert!(
+        moved_jct < 0.9 * stuck_jct,
+        "migration did not measurably help the drifted job: {moved_jct:.0}s vs {stuck_jct:.0}s stuck"
+    );
+    assert!(
+        migrated.makespan < stuck.makespan,
+        "migration arm should finish the whole run sooner"
+    );
 }
 
 /// Flag-off equivalence in the simulator: on a drift-free workload the

@@ -16,6 +16,7 @@ fn cluster(nodes: usize, fast_runtime: bool) -> PsCluster {
         nodes,
         network_bytes_per_sec: None,
         fast_runtime,
+        live_migration: false,
     })
 }
 
