@@ -284,6 +284,17 @@ fn check_schema(doc: &Json) -> Result<usize, String> {
                 "rows[{i}]: expected min <= median <= p95, got {min} / {median} / {p95}"
             ));
         }
+        // Optional v2 field: a PUSH wire volume, non-negative integer.
+        if let Some(v) = row.get("push_bytes") {
+            let x = v
+                .as_num()
+                .ok_or_else(|| format!("rows[{i}].push_bytes is not a number"))?;
+            if !x.is_finite() || x < 0.0 || x.fract() != 0.0 {
+                return Err(format!(
+                    "rows[{i}].push_bytes: {x} is not a non-negative integer"
+                ));
+            }
+        }
     }
     Ok(rows.len())
 }
@@ -322,19 +333,33 @@ mod tests {
     fn accepts_emitted_reports() {
         let mut rep = BenchReport::new("demo");
         rep.push(BenchRow::new("optimized", 80, 100, vec![2.0, 1.0, 3.0]));
+        rep.push(BenchRow::new("lda_sparse", 80, 100, vec![2.0]).with_push_bytes(4096));
         let doc = Parser::new(&rep.to_json()).parse().expect("parses");
-        assert_eq!(check_schema(&doc), Ok(1));
+        assert_eq!(check_schema(&doc), Ok(2));
+    }
+
+    #[test]
+    fn rejects_fractional_push_bytes() {
+        let doc = Parser::new(
+            "{\"bench\": \"x\", \"schema_version\": 2, \"rows\": [
+              {\"case\": \"c\", \"jobs\": 1, \"machines\": 1, \"reps\": 1,
+               \"median_ms\": 1.0, \"p95_ms\": 1.0, \"min_ms\": 1.0,
+               \"push_bytes\": 1.5}]}",
+        )
+        .parse()
+        .expect("parses");
+        assert!(check_schema(&doc).is_err());
     }
 
     #[test]
     fn rejects_malformed_documents() {
         assert!(Parser::new("{\"bench\": }").parse().is_err());
-        let no_rows = Parser::new("{\"bench\": \"x\", \"schema_version\": 1, \"rows\": []}")
+        let no_rows = Parser::new("{\"bench\": \"x\", \"schema_version\": 2, \"rows\": []}")
             .parse()
             .expect("parses");
         assert!(check_schema(&no_rows).is_err());
         let bad_stats = Parser::new(
-            "{\"bench\": \"x\", \"schema_version\": 1, \"rows\": [
+            "{\"bench\": \"x\", \"schema_version\": 2, \"rows\": [
               {\"case\": \"c\", \"jobs\": 1, \"machines\": 1, \"reps\": 1,
                \"median_ms\": 1.0, \"p95_ms\": 0.5, \"min_ms\": 2.0}]}",
         )

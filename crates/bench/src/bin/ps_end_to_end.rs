@@ -14,7 +14,10 @@
 //!   growing model scale, `jobs` = model dimension and `machines` =
 //!   worker count per row. The arms are bit-identical
 //!   (`tests/ps_equivalence.rs`), so the rows isolate the cost of
-//!   per-iteration allocation and phase barriers.
+//!   per-iteration allocation and phase barriers. Plus the sparse-wire
+//!   matrix (`case: "{lda,nmf,mlr}_{sparse,dense}"`): bytes shipped on
+//!   the PUSH wire per arm, recorded in the schema-v2 `push_bytes`
+//!   field.
 //!
 //! Flags: `--smoke` (tiny scale, for `scripts/check.sh --bench-smoke`),
 //! `--out <path>` (sim report), `--ps-out <path>` (runtime matrix).
@@ -113,6 +116,7 @@ fn ps_runtime_row(workers: usize, dim: usize, iters: u64, reps: usize, fast: boo
         network_bytes_per_sec: None,
         fast_runtime: fast,
         live_migration: false,
+        sparse_push: fast,
     });
     // ~100 non-zeros per example regardless of dimension: COMP cost is
     // dominated by the O(dim) dense passes, like the wide sparse models
@@ -148,6 +152,94 @@ fn ps_runtime_row(workers: usize, dim: usize, iters: u64, reps: usize, fast: boo
         workers as u32,
         samples,
     )
+}
+
+/// Times one job of the named application at model dimension `dim` on
+/// `workers` workers with the PUSH wire forced sparse or dense, and
+/// records the bytes the run actually shipped
+/// (`JobReport::total_push_bytes`). The arms are bit-identical in the
+/// trained model (`tests/ps_equivalence.rs`); these rows isolate the
+/// wire volume. `jobs` carries the model dimension, `machines` the
+/// worker count, matching the runtime matrix convention.
+fn sparse_wire_row(
+    algo: &str,
+    workers: usize,
+    dim: usize,
+    iters: u64,
+    reps: usize,
+    sparse: bool,
+) -> BenchRow {
+    let cluster = PsCluster::new(PsConfig {
+        nodes: workers,
+        network_bytes_per_sec: None,
+        sparse_push: sparse,
+        ..PsConfig::default()
+    });
+    let job = |name: String| match algo {
+        "lda" => {
+            let topics = 5;
+            let vocab = dim / topics;
+            let docs = synth::bag_of_words(80, vocab as u32, 60, topics, 4);
+            JobBuilder::new(name)
+                .workers(
+                    synth::partition(&docs, workers)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            Box::new(Lda::new(p, vocab, topics, i as u64)) as Box<dyn PsAlgorithm>
+                        }),
+                )
+                .max_iterations(iters)
+                .check_every(iters)
+                .build()
+        }
+        "nmf" => {
+            let rank = 4;
+            let items = dim / rank;
+            let ratings = synth::ratings(60, items as u32, 12, rank, 3);
+            JobBuilder::new(name)
+                .workers(
+                    synth::partition(&ratings, workers)
+                        .into_iter()
+                        .map(|p| Box::new(Nmf::new(p, items, rank, 0.05)) as Box<dyn PsAlgorithm>),
+                )
+                .max_iterations(iters)
+                .check_every(iters)
+                .build()
+        }
+        "mlr" => {
+            let classes = 5;
+            let features = dim / classes;
+            let data = synth::classification(200, features, classes, 0.05, 1);
+            JobBuilder::new(name)
+                .workers(
+                    synth::partition(&data, workers).into_iter().map(|p| {
+                        Box::new(Mlr::new(p, features, classes, 0.5)) as Box<dyn PsAlgorithm>
+                    }),
+                )
+                .max_iterations(iters)
+                .check_every(iters)
+                .build()
+        }
+        other => panic!("unknown wire-matrix application: {other}"),
+    };
+    let arm = if sparse { "sparse" } else { "dense" };
+    let _ = cluster.run_jobs(vec![job(format!("{algo}-warmup"))]);
+    let mut push_bytes = 0;
+    let samples = (0..reps)
+        .map(|_| {
+            let j = job(format!("{algo}-{arm}"));
+            let t0 = Instant::now();
+            let report = cluster.run_jobs(vec![j]).remove(0);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.iterations, iters);
+            assert!(report.final_loss.is_finite());
+            push_bytes = report.total_push_bytes();
+            dt
+        })
+        .collect();
+    BenchRow::new(&format!("{algo}_{arm}"), dim, workers as u32, samples)
+        .with_push_bytes(push_bytes)
 }
 
 /// Times `Driver::run` on a synthetic workload of `jobs` jobs over
@@ -294,6 +386,53 @@ fn main() {
     }
     println!("\nPS runtime arms (pooled+pipelined vs phase-barriered reference)\n");
     println!("{runtime_table}");
+
+    // Sparse-wire matrix: bytes actually shipped on the PUSH wire,
+    // dense vs coordinate-sparse arms, per application. LDA and NMF
+    // update narrow supports and collapse; MLR's near-dense gradients
+    // ride the density-adaptive fallback, so its sparse arm can never
+    // ship more than the dense one.
+    let wire_scales: &[(usize, usize, u64, usize)] = if smoke {
+        &[(2, 1_000, 4, 2)] // (workers, dim, iters, reps)
+    } else {
+        &[(4, 10_000, 8, 5), (8, 100_000, 8, 3), (16, 1_000_000, 8, 3)]
+    };
+    let mut wire_table = TextTable::new([
+        "app",
+        "workers",
+        "model dim",
+        "dense push (B)",
+        "sparse push (B)",
+        "reduction",
+    ]);
+    for &(workers, dim, iters, reps) in wire_scales {
+        for algo in ["lda", "nmf", "mlr"] {
+            let sparse = sparse_wire_row(algo, workers, dim, iters, reps, true);
+            let dense = sparse_wire_row(algo, workers, dim, iters, reps, false);
+            let sparse_bytes = sparse.push_bytes.expect("wire row");
+            let dense_bytes = dense.push_bytes.expect("wire row");
+            assert!(
+                sparse_bytes <= dense_bytes,
+                "{algo}: the adaptive fallback must never ship more than dense \
+                 ({sparse_bytes} vs {dense_bytes})"
+            );
+            wire_table.row([
+                algo.to_string(),
+                workers.to_string(),
+                dim.to_string(),
+                dense_bytes.to_string(),
+                sparse_bytes.to_string(),
+                format!(
+                    "{:.1}x",
+                    dense_bytes as f64 / (sparse_bytes as f64).max(1.0)
+                ),
+            ]);
+            ps_report.push(sparse);
+            ps_report.push(dense);
+        }
+    }
+    println!("\nPUSH wire volume (coordinate-sparse vs dense arms)\n");
+    println!("{wire_table}");
     ps_report
         .write(&ps_out_path)
         .expect("write ps bench report");

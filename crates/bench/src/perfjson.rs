@@ -7,18 +7,23 @@
 //! with summary statistics over `reps` wall-clock samples — and is
 //! emitted by hand (the workspace carries no JSON dependency).
 //!
-//! Schema (version 1):
+//! Schema (version 2):
 //!
 //! ```json
 //! {
 //!   "bench": "sched_scalability",
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "rows": [
 //!     {"case": "optimized", "jobs": 8000, "machines": 10000,
 //!      "reps": 5, "median_ms": 21.4, "p95_ms": 25.0, "min_ms": 20.6}
 //!   ]
 //! }
 //! ```
+//!
+//! Version 2 adds one optional per-row field, `"push_bytes"`: total
+//! bytes shipped on the PUSH wire during one run of the case (emitted
+//! by the sparse-vs-dense communication matrix in `ps_end_to_end`).
+//! Rows without the field are timed-only cells, as in version 1.
 //!
 //! `scripts/check.sh --bench-smoke` regenerates the files at a tiny
 //! scale and validates this schema with the `bench_schema_check`
@@ -31,7 +36,7 @@ use std::path::Path;
 use harmony_metrics::Cdf;
 
 /// Schema version stamped into every report.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One timed cell: a named case at one workload scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +49,9 @@ pub struct BenchRow {
     pub machines: u32,
     /// Wall-clock samples, milliseconds.
     pub samples_ms: Vec<f64>,
+    /// Total bytes shipped on the PUSH wire during one run of the case
+    /// (`None` for timed-only rows — the schema-v2 optional field).
+    pub push_bytes: Option<u64>,
 }
 
 impl BenchRow {
@@ -55,7 +63,14 @@ impl BenchRow {
             jobs,
             machines,
             samples_ms,
+            push_bytes: None,
         }
+    }
+
+    /// Attaches a measured PUSH wire volume to the row.
+    pub fn with_push_bytes(mut self, bytes: u64) -> Self {
+        self.push_bytes = Some(bytes);
+        self
     }
 
     /// `(median, p95, min)` of the samples in milliseconds.
@@ -115,6 +130,10 @@ impl BenchReport {
                 fmt_ms(p95),
                 fmt_ms(min),
             );
+            if let Some(bytes) = row.push_bytes {
+                out.pop(); // reopen the row object
+                let _ = write!(out, ", \"push_bytes\": {bytes}}}");
+            }
             out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
@@ -213,5 +232,16 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn push_bytes_rides_as_an_optional_field() {
+        let mut rep = BenchReport::new("wire");
+        rep.push(BenchRow::new("lda_sparse", 100, 4, vec![2.0]).with_push_bytes(1234));
+        rep.push(BenchRow::new("lda_dense", 100, 4, vec![2.0]));
+        let json = rep.to_json();
+        assert!(json.contains("\"push_bytes\": 1234"));
+        assert_eq!(json.matches("push_bytes").count(), 1);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -30,6 +30,10 @@ pub struct IterationSample {
     /// Server-side APPLY seconds for this iteration (`0.0` where the
     /// runtime folds APPLY into PUSH, e.g. the reference PS arm).
     pub tapply: f64,
+    /// Byte-weighted PUSH density of this iteration relative to a dense
+    /// push: `1.0` for a dense wire, lower when the runtime shipped
+    /// coordinate-sparse deltas (see `harmony_ps::PushVolume`).
+    pub density: f64,
     /// Degree of parallelism the job ran at.
     pub dop: u32,
 }
@@ -57,13 +61,15 @@ impl ProfileSink for JobProfile {
             "sample routed to the wrong job's profile"
         );
         self.observe_sample(sample.tcpu, sample.tnet, sample.tapply, sample.dop);
+        self.observe_push_density(sample.density);
     }
 }
 
 impl ProfileSink for ProfileStore {
     fn record(&mut self, sample: IterationSample) {
-        self.entry(sample.job)
-            .observe_sample(sample.tcpu, sample.tnet, sample.tapply, sample.dop);
+        let p = self.entry(sample.job);
+        p.observe_sample(sample.tcpu, sample.tnet, sample.tapply, sample.dop);
+        p.observe_push_density(sample.density);
     }
 }
 
@@ -80,7 +86,7 @@ impl ProfileSink for ProfileStore {
 ///
 /// let mut fb = FeedbackLoop::new(0.05);
 /// let j = JobId::new(0);
-/// let sample = |tcpu| IterationSample { job: j, tcpu, tnet: 2.0, tapply: 0.0, dop: 1 };
+/// let sample = |tcpu| IterationSample { job: j, tcpu, tnet: 2.0, tapply: 0.0, density: 1.0, dop: 1 };
 /// fb.record(sample(10.0));
 /// fb.mark_scheduled([j]); // a schedule was computed from tcpu_ref = 10
 /// fb.record(sample(10.1)); // ~0.3% smoothed move: no drift
@@ -197,6 +203,7 @@ mod tests {
             tcpu,
             tnet,
             tapply: 0.0,
+            density: 1.0,
             dop: 1,
         }
     }
@@ -218,10 +225,12 @@ mod tests {
             tcpu: 6.0,
             tnet: 2.0,
             tapply: 0.25,
+            density: 0.4,
             dop: 2,
         });
         assert_eq!(p.tcpu_at(1), 12.0);
         assert_eq!(p.tapply(), 0.25);
+        assert_eq!(p.push_density(), 0.4);
     }
 
     #[test]

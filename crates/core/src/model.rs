@@ -90,7 +90,24 @@ pub fn group_iteration_time(profiles: &[&JobProfile], m: u32) -> f64 {
 /// wire time. With `charge_apply` false this is bit-identical to
 /// [`group_iteration_time`] (equivalence-gate pattern).
 pub fn group_iteration_time_charged(profiles: &[&JobProfile], m: u32, charge_apply: bool) -> f64 {
-    group_bounds_charged(profiles, m, charge_apply).0
+    group_bounds_modeled(profiles, m, charge_apply, false).0
+}
+
+/// The fully flag-gated Eq. 1 model: [`group_iteration_time_charged`]
+/// plus the density-aware COMM charge. When `charge_sparse_comm` is
+/// set, each job's COMM term is scaled by its measured PUSH density
+/// ([`JobProfile::push_density`]): the wire moves `density ×` the dense
+/// byte volume, and `Tnet` is proportional to bytes on the wire. With
+/// the flag off — or for profiles with no density measurement, which
+/// read `1.0` — this is bit-identical to the uncharged model
+/// (`x * 1.0` is an exact identity for finite `x`).
+pub fn group_iteration_time_modeled(
+    profiles: &[&JobProfile],
+    m: u32,
+    charge_apply: bool,
+    charge_sparse_comm: bool,
+) -> f64 {
+    group_bounds_modeled(profiles, m, charge_apply, charge_sparse_comm).0
 }
 
 /// Like [`group_iteration_time`], also reporting which term dominated.
@@ -100,13 +117,14 @@ pub fn group_iteration_time_with_bound(profiles: &[&JobProfile], m: u32) -> (f64
 }
 
 fn group_bounds(profiles: &[&JobProfile], m: u32) -> (f64, BoundKind, f64, f64) {
-    group_bounds_charged(profiles, m, false)
+    group_bounds_modeled(profiles, m, false, false)
 }
 
-fn group_bounds_charged(
+fn group_bounds_modeled(
     profiles: &[&JobProfile],
     m: u32,
     charge_apply: bool,
+    charge_sparse_comm: bool,
 ) -> (f64, BoundKind, f64, f64) {
     assert!(m > 0, "DoP must be at least 1");
     let mut sum_cpu = 0.0;
@@ -120,7 +138,14 @@ fn group_bounds_charged(
         } else {
             p.tcpu_at(m)
         };
-        let tnet = p.tnet();
+        // Branch for symmetry with the APPLY charge above, although
+        // `tnet * 1.0` would be exact: the flag-off arm must not even
+        // read the density.
+        let tnet = if charge_sparse_comm {
+            p.tnet() * p.push_density()
+        } else {
+            p.tnet()
+        };
         sum_cpu += tcpu;
         sum_net += tnet;
         max_itr = max_itr.max(tcpu + tnet);
@@ -294,6 +319,46 @@ mod tests {
         assert_eq!(
             group_iteration_time_charged(&ps, 2, true).to_bits(),
             group_iteration_time(&ps, 2).to_bits()
+        );
+    }
+
+    #[test]
+    fn sparse_comm_charge_scales_the_network_term() {
+        // Two net-bound jobs; one pushes at density 0.25. Charged, the
+        // group's Σ Tnet shrinks by that job's saved wire time.
+        let mut a = JobProfile::from_reference(JobId::new(10), 2.0, 8.0);
+        a.observe_push_density(0.25);
+        let b = JobProfile::from_reference(JobId::new(11), 2.0, 8.0);
+        let ps = [&a, &b];
+        let off = group_iteration_time_modeled(&ps, 1, false, false);
+        assert_eq!(off, 16.0); // network bound: 8 + 8
+        let on = group_iteration_time_modeled(&ps, 1, false, true);
+        assert_eq!(on, 10.0); // 8 * 0.25 + 8
+    }
+
+    #[test]
+    fn sparse_comm_charge_without_measurements_is_identity() {
+        // Cold density reads 1.0 and `tnet * 1.0` is exact, so even the
+        // flag-on arm reproduces the legacy time bit-for-bit.
+        let a = prof(0, 10.0, 1.0);
+        let b = prof(1, 8.0, 3.0);
+        let ps = [&a, &b];
+        for m in [1u32, 2, 4] {
+            assert_eq!(
+                group_iteration_time_modeled(&ps, m, false, true).to_bits(),
+                group_iteration_time(&ps, m).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_comm_charge_off_ignores_measurements() {
+        let mut a = JobProfile::from_reference(JobId::new(12), 4.0, 6.0);
+        a.observe_push_density(0.1);
+        let b = JobProfile::from_reference(JobId::new(13), 4.0, 6.0);
+        assert_eq!(
+            group_iteration_time_modeled(&[&a], 1, false, false).to_bits(),
+            group_iteration_time(&[&b], 1).to_bits()
         );
     }
 

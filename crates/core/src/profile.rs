@@ -45,6 +45,12 @@ pub struct JobProfile {
     /// when observations arrive through [`JobProfile::observe_iteration`],
     /// which predates the APPLY measurement.
     tapply: Ewma,
+    /// Byte-weighted PUSH density relative to a dense push (`1.0` =
+    /// fully dense wire, lower when the runtime ships coordinate-sparse
+    /// deltas). Cold when observations arrive through
+    /// [`JobProfile::observe_iteration`], which predates the
+    /// measurement; a cold EWMA reads as dense.
+    push_density: Ewma,
     /// `(tcpu_ref, tnet)` values the current schedule was computed with
     /// (pinned by [`JobProfile::mark_scheduled`]); drift is measured
     /// against these.
@@ -67,6 +73,7 @@ impl JobProfile {
             tcpu_ref: Ewma::default(),
             tnet: Ewma::default(),
             tapply: Ewma::default(),
+            push_density: Ewma::default(),
             scheduled_basis: None,
             last_dop: 1,
             input_bytes: 0,
@@ -131,6 +138,30 @@ impl JobProfile {
         );
         self.observe_iteration(tcpu, tnet, dop);
         self.tapply.observe(tapply);
+    }
+
+    /// Feeds one iteration's measured PUSH density: bytes actually
+    /// pushed divided by the dense wire volume for the same iteration
+    /// (`1.0` for a dense push, `0.0` for an empty one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `[0.0, 1.0]` — the sparse runtime
+    /// never sends more than the dense arm would.
+    pub fn observe_push_density(&mut self, density: f64) {
+        assert!(
+            density.is_finite() && (0.0..=1.0).contains(&density),
+            "push density must be in [0, 1]"
+        );
+        self.push_density.observe(density);
+    }
+
+    /// Smoothed PUSH density, `1.0` when no density observation has
+    /// been folded in (cold EWMA) — a wire of unknown shape is charged
+    /// as dense, so profiles that predate the measurement schedule
+    /// exactly as before.
+    pub fn push_density(&self) -> f64 {
+        self.push_density.value().unwrap_or(1.0)
     }
 
     /// Pins the current smoothed `(tcpu_ref, tnet)` as the basis the
@@ -404,6 +435,32 @@ mod tests {
         // Plain observe_iteration keeps the APPLY average untouched.
         p.observe_iteration(10.0, 3.0, 2);
         assert_eq!(p.tapply(), 0.5);
+    }
+
+    #[test]
+    fn push_density_is_dense_until_observed() {
+        let mut p = JobProfile::from_reference(JobId::new(50), 10.0, 2.0);
+        assert_eq!(p.push_density(), 1.0); // cold reads as dense
+        p.observe_push_density(0.2);
+        assert_eq!(p.push_density(), 0.2);
+        for _ in 0..100 {
+            p.observe_push_density(0.5);
+        }
+        assert!((p.push_density() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "push density")]
+    fn push_density_above_one_is_rejected() {
+        let mut p = JobProfile::new(JobId::new(51));
+        p.observe_push_density(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "push density")]
+    fn non_finite_push_density_is_rejected() {
+        let mut p = JobProfile::new(JobId::new(52));
+        p.observe_push_density(f64::NAN);
     }
 
     #[test]

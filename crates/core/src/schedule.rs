@@ -50,7 +50,7 @@
 use crate::cluster::MachineId;
 use crate::group::{GroupId, Grouping, JobGroup};
 use crate::job::JobId;
-use crate::model::{group_iteration_time_charged, Utilization};
+use crate::model::{group_iteration_time_modeled, Utilization};
 use crate::profile::JobProfile;
 use crate::scratch::{ProfileCache, ScheduleScratch};
 
@@ -100,6 +100,22 @@ pub struct SchedulerConfig {
     /// `Tcpu(m) = Tnet` balance point those heuristics search for, nor
     /// the marginal value of an extra machine).
     pub charge_apply: bool,
+    /// Prices each job's COMM charge at its *measured* wire volume:
+    /// the profile cache's `Tnet` is scaled by the job's observed PUSH
+    /// density ([`JobProfile::push_density`]) before any part of
+    /// Algorithm 1 reads it, so the L6 group-count seed, the swap
+    /// deltas, the machine allocation and the Eq. 3/4 scoring all see
+    /// the bytes the sparse runtime actually moves. Unlike APPLY —
+    /// a separate additive subtask class — density multiplies the
+    /// existing COMM term (`Tnet ∝ bytes` on the wire), so the charge
+    /// belongs in every balance computation: a coordinate-sparse job's
+    /// true `Tcpu(m) = Tnet` break-point sits at a higher DoP, and
+    /// with the charge on the scheduler gives it the extra machines.
+    /// Off by default — flag off (or with profiles carrying no density
+    /// measurements, which read `1.0`) every decision is
+    /// **byte-identical** to the unflagged scheduler, following the
+    /// repo's equivalence-gate pattern.
+    pub charge_sparse_comm: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -112,6 +128,7 @@ impl Default for SchedulerConfig {
             max_jobs_per_group: None,
             exact_prunes: true,
             charge_apply: false,
+            charge_sparse_comm: false,
         }
     }
 }
@@ -260,7 +277,7 @@ impl Scheduler {
             };
         }
 
-        let cache = ProfileCache::build(jobs);
+        let cache = ProfileCache::build_charged(jobs, self.cfg.charge_sparse_comm);
         let mut scratch = ScheduleScratch::new();
         self.schedule_prepared(jobs, machines, workers, &cache, &mut scratch)
     }
@@ -286,7 +303,7 @@ impl Scheduler {
                 predicted_iteration: Vec::new(),
             };
         }
-        cache.rebuild(jobs);
+        cache.rebuild_charged(jobs, self.cfg.charge_sparse_comm);
         self.schedule_prepared(jobs, machines, 1, cache, scratch)
     }
 
@@ -409,7 +426,7 @@ impl Scheduler {
                 predicted_iteration: Vec::new(),
             };
         }
-        let cache = ProfileCache::build(jobs);
+        let cache = ProfileCache::build_charged(jobs, self.cfg.charge_sparse_comm);
         let mut scratch = ScheduleScratch::new();
         let ev = self.eval_prefix(&cache, &mut scratch, jobs.len(), machines);
         let cand = self.materialize(&cache, &mut scratch, ev, machines);
@@ -432,10 +449,11 @@ impl Scheduler {
             next_machine += m;
             let job_ids: Vec<JobId> = members.iter().map(|&i| jobs[i].job()).collect();
             let profs: Vec<&JobProfile> = members.iter().map(|&i| &jobs[i]).collect();
-            predicted.push(group_iteration_time_charged(
+            predicted.push(group_iteration_time_modeled(
                 &profs,
                 *m,
                 self.cfg.charge_apply,
+                self.cfg.charge_sparse_comm,
             ));
             grouping.push(JobGroup::new(GroupId::new(gi as u32), job_ids, ids));
         }
@@ -1318,6 +1336,126 @@ mod tests {
         assert!(
             on_total > off_total,
             "APPLY charge should lengthen predictions: on={on_total} off={off_total}"
+        );
+    }
+
+    /// A profile carrying a measured PUSH density on top of `prof`.
+    fn prof_density(i: u64, tcpu1: f64, tnet: f64, density: f64) -> JobProfile {
+        let mut p = prof(i, tcpu1, tnet);
+        p.observe_push_density(density);
+        p
+    }
+
+    #[test]
+    fn charge_sparse_comm_off_is_byte_identical() {
+        // Profiles with density measurements scheduled by the default
+        // (flag-off) scheduler must decide exactly as if the
+        // measurements did not exist.
+        let plain = Scheduler::default();
+        let jobs_dense: Vec<JobProfile> = (0..12)
+            .map(|i| prof(i, 3.0 + (i * 13 % 50) as f64, 1.0 + (i * 7 % 9) as f64))
+            .collect();
+        let jobs_sparse: Vec<JobProfile> = (0..12)
+            .map(|i| {
+                prof_density(
+                    i,
+                    3.0 + (i * 13 % 50) as f64,
+                    1.0 + (i * 7 % 9) as f64,
+                    0.1 + (i % 5) as f64 * 0.2,
+                )
+            })
+            .collect();
+        for machines in [3u32, 8, 24] {
+            let a = plain.schedule(&jobs_sparse, machines);
+            let b = plain.schedule(&jobs_dense, machines);
+            assert_eq!(a.grouping, b.grouping, "machines={machines}");
+            assert_eq!(a.utilization.cpu.to_bits(), b.utilization.cpu.to_bits());
+            assert_eq!(a.utilization.net.to_bits(), b.utilization.net.to_bits());
+            let pa: Vec<u64> = a.predicted_iteration.iter().map(|t| t.to_bits()).collect();
+            let pb: Vec<u64> = b.predicted_iteration.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(pa, pb, "machines={machines}");
+        }
+    }
+
+    #[test]
+    fn charge_sparse_comm_on_without_measurements_is_byte_identical() {
+        // Cold density EWMAs read 1.0, and `tnet * 1.0` is an exact
+        // identity, so the flag costs nothing until the runtime
+        // actually measures a sparse wire.
+        let plain = Scheduler::default();
+        let charged = Scheduler::new(SchedulerConfig {
+            charge_sparse_comm: true,
+            ..SchedulerConfig::default()
+        });
+        let jobs: Vec<JobProfile> = (0..10)
+            .map(|i| prof(i, 5.0 + (i % 3) as f64 * 30.0, 1.0 + (i % 4) as f64 * 4.0))
+            .collect();
+        let a = charged.schedule(&jobs, 20);
+        let b = plain.schedule(&jobs, 20);
+        assert_eq!(a.grouping, b.grouping);
+        assert_eq!(a.utilization.cpu.to_bits(), b.utilization.cpu.to_bits());
+        assert_eq!(a.utilization.net.to_bits(), b.utilization.net.to_bits());
+    }
+
+    #[test]
+    fn charge_sparse_comm_grants_sparse_jobs_a_higher_dop() {
+        // Two jobs with identical raw (tcpu1, tnet); job 0 pushes
+        // coordinate-sparse deltas at density 0.1. Uncharged, the
+        // scheduler cannot tell them apart and splits the machines
+        // evenly. Charged, the sparse job's effective Tnet collapses,
+        // its Tcpu(m) = Tnet balance point moves to a much higher DoP,
+        // and the machine allocation follows (Eq. 2: extra machines
+        // shrink Tcpu but not Tnet, so they belong with the now
+        // CPU-bound sparse job) — its predicted iteration drops below
+        // the density-blind schedule's.
+        let jobs = vec![
+            prof_density(0, 40.0, 10.0, 0.1),
+            prof_density(1, 40.0, 10.0, 1.0),
+        ];
+        let on = Scheduler::new(SchedulerConfig {
+            charge_sparse_comm: true,
+            ..SchedulerConfig::default()
+        })
+        .schedule_exact(&jobs, 16);
+        let off = Scheduler::default().schedule_exact(&jobs, 16);
+        let group_of = |out: &ScheduleOutcome, j: u64| {
+            out.grouping
+                .group_of(JobId::new(j))
+                .expect("job scheduled")
+                .clone()
+        };
+        assert_eq!(
+            on.grouping.len(),
+            2,
+            "charged, the jobs are no longer complementary: {}",
+            on.grouping
+        );
+        let sparse_dop = group_of(&on, 0).dop();
+        let dense_dop = group_of(&on, 1).dop();
+        assert!(
+            sparse_dop > dense_dop,
+            "sparse job should out-DoP the dense job: {sparse_dop} vs {dense_dop}"
+        );
+        // The blind arm cannot tell the jobs apart: whatever it does,
+        // it does symmetrically (shared group, or equal DoPs).
+        let off_sparse = group_of(&off, 0);
+        let off_dense = group_of(&off, 1);
+        assert!(
+            off_sparse.id() == off_dense.id() || off_sparse.dop() == off_dense.dop(),
+            "density-blind schedule should treat identical profiles alike: {}",
+            off.grouping
+        );
+        // Lower predicted JCT for the sparse job: its group's Eq. 1
+        // prediction under the charged schedule beats the blind one.
+        let predicted_of = |out: &ScheduleOutcome, j: u64| {
+            let gi = group_of(out, j).id().index() as usize;
+            out.predicted_iteration[gi]
+        };
+        assert!(
+            predicted_of(&on, 0) < predicted_of(&off, 0),
+            "sparse job should iterate faster under the charged schedule: {} vs {}",
+            predicted_of(&on, 0),
+            predicted_of(&off, 0)
         );
     }
 

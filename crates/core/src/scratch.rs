@@ -39,7 +39,14 @@ use crate::profile::JobProfile;
 pub struct ProfileCache {
     /// `Tcpu(1)` per job, indexed by position in the caller's job slice.
     pub(crate) tcpu1: Vec<f64>,
-    /// `Tnet` per job, indexed by position.
+    /// *Effective* `Tnet` per job, indexed by position. Under
+    /// [`SchedulerConfig::charge_sparse_comm`](crate::schedule::SchedulerConfig)
+    /// this is the measured `Tnet` scaled by the job's observed PUSH
+    /// density (`Tnet` is proportional to bytes on the wire); otherwise
+    /// the raw measurement. Scaling *here* — rather than branching at
+    /// every use — keeps the L6 seed, the swap deltas, the machine
+    /// allocation and the Eq. 3/4 scoring mutually consistent: they all
+    /// price the wire the job actually uses.
     pub(crate) tnet: Vec<f64>,
     /// Measured server-side APPLY seconds per job (DoP-invariant, `0.0`
     /// when unmeasured). Only read when
@@ -77,6 +84,23 @@ impl ProfileCache {
         cache
     }
 
+    /// [`Self::build`] with the density-aware COMM charge: when
+    /// `charge_sparse_comm` is set, each job's cached `Tnet` is scaled
+    /// by its measured PUSH density ([`JobProfile::push_density`]).
+    /// With the flag off — or for profiles with no density measurement,
+    /// which read `1.0` — the cache is bit-identical to [`Self::build`]
+    /// (`x * 1.0` is an exact identity for finite `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn build_charged(jobs: &[JobProfile], charge_sparse_comm: bool) -> Self {
+        let mut cache = Self::empty();
+        cache.rebuild_charged(jobs, charge_sparse_comm);
+        cache
+    }
+
     /// An empty cache; fill it with [`Self::rebuild`].
     pub fn empty() -> Self {
         Self {
@@ -99,6 +123,17 @@ impl ProfileCache {
     /// Panics if any profile is cold (same contract as
     /// [`JobProfile::tcpu_at`]).
     pub fn rebuild(&mut self, jobs: &[JobProfile]) {
+        self.rebuild_charged(jobs, false);
+    }
+
+    /// [`Self::rebuild`] with the density-aware COMM charge (see
+    /// [`Self::build_charged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn rebuild_charged(&mut self, jobs: &[JobProfile], charge_sparse_comm: bool) {
         let n = jobs.len();
         self.tcpu1.clear();
         self.tnet.clear();
@@ -106,7 +141,14 @@ impl ProfileCache {
         self.id.clear();
         for p in jobs {
             self.tcpu1.push(p.tcpu_at(1));
-            self.tnet.push(p.tnet());
+            // Branch for symmetry with the APPLY charge, although
+            // `tnet * 1.0` would be exact: the flag-off arm must not
+            // even read the density.
+            self.tnet.push(if charge_sparse_comm {
+                p.tnet() * p.push_density()
+            } else {
+                p.tnet()
+            });
             self.tapply.push(p.tapply());
             self.id.push(p.job());
         }

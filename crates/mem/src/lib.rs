@@ -34,5 +34,5 @@ pub mod store;
 pub use alpha::AlphaController;
 pub use block::{Block, BlockId, Residency};
 pub use gc::GcModel;
-pub use pool::{BufferPool, PoolStats, PooledBuffer};
+pub use pool::{BufferPool, PoolStats, PooledBuffer, PooledIndexBuffer};
 pub use store::{BlockStore, FileBackend, NullBackend, SpillBackend};

@@ -32,6 +32,8 @@ use std::sync::{Arc, Mutex};
 struct PoolInner {
     /// Free buffers, keyed by length so mixed-size jobs don't thrash.
     free: Mutex<BTreeMap<usize, Vec<Box<[f64]>>>>,
+    /// Free `u32` coordinate-index buffers, keyed like `free`.
+    free_indices: Mutex<BTreeMap<usize, Vec<Box<[u32]>>>>,
     /// Buffers created fresh because no free one matched.
     allocations: AtomicUsize,
     /// Acquisitions served from the free list.
@@ -93,11 +95,40 @@ impl BufferPool {
         }
     }
 
+    /// Returns a zeroed `u32` index buffer of exactly `len` elements,
+    /// recycling a same-length free buffer when available. Index
+    /// buffers carry the coordinates of sparse deltas; they share the
+    /// pool's counters with the `f64` buffers, so the steady-state
+    /// zero-allocation audit covers both kinds.
+    pub fn acquire_indices(&self, len: usize) -> PooledIndexBuffer {
+        let recycled = {
+            let mut free = self.inner.free_indices.lock().expect("pool lock");
+            free.get_mut(&len).and_then(Vec::pop)
+        };
+        let buf = match recycled {
+            Some(mut buf) => {
+                self.inner.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.fill(0);
+                buf
+            }
+            None => {
+                self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+                vec![0u32; len].into_boxed_slice()
+            }
+        };
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        PooledIndexBuffer {
+            buf: Some(buf),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
     /// Lifetime counters for this pool.
     pub fn stats(&self) -> PoolStats {
         let free = {
             let map = self.inner.free.lock().expect("pool lock");
-            map.values().map(Vec::len).sum()
+            let idx = self.inner.free_indices.lock().expect("pool lock");
+            map.values().map(Vec::len).sum::<usize>() + idx.values().map(Vec::len).sum::<usize>()
         };
         PoolStats {
             allocations: self.inner.allocations.load(Ordering::Relaxed),
@@ -167,6 +198,65 @@ impl Drop for PooledBuffer {
     }
 }
 
+/// An exclusively-owned `u32` index buffer that returns itself to its
+/// [`BufferPool`] when dropped. Derefs to `[u32]`.
+#[derive(Debug)]
+pub struct PooledIndexBuffer {
+    buf: Option<Box<[u32]>>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledIndexBuffer {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.slice().len()
+    }
+
+    /// True when the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.slice().is_empty()
+    }
+
+    fn slice(&self) -> &[u32] {
+        self.buf.as_deref().expect("buffer present until drop")
+    }
+}
+
+impl Deref for PooledIndexBuffer {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        self.slice()
+    }
+}
+
+impl DerefMut for PooledIndexBuffer {
+    fn deref_mut(&mut self) -> &mut [u32] {
+        self.buf.as_deref_mut().expect("buffer present until drop")
+    }
+}
+
+impl AsRef<[u32]> for PooledIndexBuffer {
+    fn as_ref(&self) -> &[u32] {
+        self.slice()
+    }
+}
+
+impl AsMut<[u32]> for PooledIndexBuffer {
+    fn as_mut(&mut self) -> &mut [u32] {
+        self.buf.as_deref_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for PooledIndexBuffer {
+    fn drop(&mut self) {
+        let buf = self.buf.take().expect("double drop");
+        self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut free = self.pool.free_indices.lock().expect("pool lock");
+        free.entry(buf.len()).or_default().push(buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +309,36 @@ mod tests {
         drop(pool);
         drop(b);
         assert_eq!(clone.stats().free, 1);
+    }
+
+    #[test]
+    fn index_buffers_recycle_like_value_buffers() {
+        let pool = BufferPool::new();
+        {
+            let mut idx = pool.acquire_indices(16);
+            assert_eq!(idx.len(), 16);
+            assert!(idx.iter().all(|&i| i == 0));
+            idx[0] = 42;
+        }
+        let recycled = pool.acquire_indices(16);
+        assert!(recycled.iter().all(|&i| i == 0), "recycled index re-zeroed");
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.outstanding, 1);
+    }
+
+    #[test]
+    fn index_and_value_free_lists_are_independent() {
+        let pool = BufferPool::new();
+        drop(pool.acquire(8));
+        let _idx = pool.acquire_indices(8);
+        let stats = pool.stats();
+        assert_eq!(
+            stats.allocations, 2,
+            "a u32 acquire cannot reuse the f64 slot"
+        );
+        assert_eq!(stats.free, 1);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! PUSH-traffic accounting for the sparse-delta communication path.
+//!
+//! The fast PS runtime may ship a worker's update as coordinate-sparse
+//! `(index, value)` pairs instead of the full dense vector when the
+//! update's support is small enough to win on the wire. This module
+//! keeps the books for that choice: how many bytes each job actually
+//! pushed, how many a dense-only runtime would have pushed, and how
+//! often the density-adaptive fallback kept an iteration dense.
+
+/// Counters for one job's (or one cluster's) PUSH traffic.
+///
+/// *Density* is the wire ratio `push_bytes / dense_push_bytes`: 1.0
+/// means every iteration shipped the full model, lower means the sparse
+/// path paid off. With nothing recorded the ratio is defined as 1.0 —
+/// a job that never pushed is indistinguishable from a dense one to the
+/// scheduler, which is the safe default.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::CommStats;
+///
+/// let mut c = CommStats::new();
+/// c.record_push(120, 800); // a sparse iteration: 120 of 800 bytes
+/// c.record_push(800, 800); // a dense fallback iteration
+/// assert_eq!(c.push_bytes, 920);
+/// assert_eq!(c.sparse_pushes, 1);
+/// assert_eq!(c.dense_pushes, 1);
+/// assert!((c.density() - 920.0 / 1600.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommStats {
+    /// Bytes actually moved by PUSH subtasks.
+    pub push_bytes: u64,
+    /// Bytes a dense-only runtime would have moved for the same pushes.
+    pub dense_push_bytes: u64,
+    /// Iterations whose PUSH went over the coordinate-sparse wire form.
+    pub sparse_pushes: u64,
+    /// Iterations that fell back to (or always used) the dense form.
+    pub dense_pushes: u64,
+}
+
+impl CommStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one iteration's PUSH volume: `bytes` actually shipped
+    /// against the `dense_bytes` a dense push would have cost. An
+    /// iteration counts as sparse when it beat the dense wire size.
+    pub fn record_push(&mut self, bytes: u64, dense_bytes: u64) {
+        self.push_bytes += bytes;
+        self.dense_push_bytes += dense_bytes;
+        if bytes < dense_bytes {
+            self.sparse_pushes += 1;
+        } else {
+            self.dense_pushes += 1;
+        }
+    }
+
+    /// Folds another accumulator into this one (e.g. per-job totals into
+    /// a cluster-wide view).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.push_bytes += other.push_bytes;
+        self.dense_push_bytes += other.dense_push_bytes;
+        self.sparse_pushes += other.sparse_pushes;
+        self.dense_pushes += other.dense_pushes;
+    }
+
+    /// Observed wire density over everything recorded:
+    /// `push_bytes / dense_push_bytes`, or 1.0 when nothing was pushed.
+    pub fn density(&self) -> f64 {
+        if self.dense_push_bytes == 0 {
+            1.0
+        } else {
+            self.push_bytes as f64 / self.dense_push_bytes as f64
+        }
+    }
+
+    /// Bytes the sparse path saved versus a dense-only runtime.
+    pub fn bytes_saved(&self) -> u64 {
+        self.dense_push_bytes.saturating_sub(self.push_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_job_reads_as_dense() {
+        let c = CommStats::new();
+        assert_eq!(c.push_bytes, 0);
+        assert_eq!(c.density(), 1.0);
+        assert_eq!(c.bytes_saved(), 0);
+        assert_eq!(c.sparse_pushes + c.dense_pushes, 0);
+    }
+
+    #[test]
+    fn all_dense_job_has_unit_density() {
+        let mut c = CommStats::new();
+        for _ in 0..5 {
+            c.record_push(640, 640);
+        }
+        assert_eq!(c.density(), 1.0);
+        assert_eq!(c.bytes_saved(), 0);
+        assert_eq!(c.dense_pushes, 5);
+        assert_eq!(c.sparse_pushes, 0);
+    }
+
+    #[test]
+    fn mixed_run_tracks_both_arms_and_ratio() {
+        let mut c = CommStats::new();
+        c.record_push(100, 1000); // sparse
+        c.record_push(1000, 1000); // dense fallback
+        c.record_push(50, 1000); // sparse
+        assert_eq!(c.sparse_pushes, 2);
+        assert_eq!(c.dense_pushes, 1);
+        assert_eq!(c.push_bytes, 1150);
+        assert_eq!(c.bytes_saved(), 1850);
+        assert!((c.density() - 1150.0 / 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_folds_per_job_totals() {
+        let mut a = CommStats::new();
+        a.record_push(100, 1000);
+        let mut b = CommStats::new();
+        b.record_push(1000, 1000);
+        let mut total = CommStats::new();
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.push_bytes, 1100);
+        assert_eq!(total.dense_push_bytes, 2000);
+        assert_eq!(total.sparse_pushes, 1);
+        assert_eq!(total.dense_pushes, 1);
+    }
+}

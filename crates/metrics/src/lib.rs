@@ -21,6 +21,7 @@
 //! ```
 
 mod cdf;
+mod comm;
 mod events;
 mod ewma;
 mod migration;
@@ -30,6 +31,7 @@ mod table;
 mod timeline;
 
 pub use cdf::Cdf;
+pub use comm::CommStats;
 pub use events::{EventLog, TimelineEvent};
 pub use ewma::{Ewma, MovingAverage};
 pub use migration::MigrationStats;

@@ -142,6 +142,42 @@ impl SparseVector {
         Self { dim, entries }
     }
 
+    /// Creates a sparse vector from possibly-unsorted `(index, value)`
+    /// pairs, merging duplicate indices by summing their values. Delta
+    /// accumulation produces the same coordinate many times (e.g. one
+    /// LDA token resampled back and forth), so unlike
+    /// [`SparseVector::new`] this constructor welcomes duplicates.
+    ///
+    /// Merged values sum in the pairs' post-sort order, which for
+    /// duplicates preserves their original relative order (stable
+    /// sort) — deterministic bits for a deterministic input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use harmony_ml::SparseVector;
+    ///
+    /// let v = SparseVector::from_unsorted_pairs(8, vec![(5, 1.0), (1, 2.0), (5, -3.0)]);
+    /// let entries: Vec<(u32, f64)> = v.iter().collect();
+    /// assert_eq!(entries, vec![(1, 2.0), (5, -2.0)]);
+    /// ```
+    pub fn from_unsorted_pairs(dim: usize, mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_by_key(|&(i, _)| i);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "index {i} out of dimension {dim}");
+            match entries.last_mut() {
+                Some((last, acc)) if *last == i => *acc += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        Self { dim, entries }
+    }
+
     /// Dimension of the (conceptual) dense vector.
     pub fn dim(&self) -> usize {
         self.dim
@@ -246,6 +282,27 @@ mod tests {
     #[should_panic(expected = "out of dimension")]
     fn sparse_rejects_out_of_range() {
         let _ = SparseVector::new(2, vec![(5, 1.0)]);
+    }
+
+    #[test]
+    fn from_unsorted_pairs_merges_duplicates() {
+        let v = SparseVector::from_unsorted_pairs(6, vec![(4, 1.0), (0, 2.0), (4, 0.5), (0, -2.0)]);
+        let entries: Vec<(u32, f64)> = v.iter().collect();
+        assert_eq!(entries, vec![(0, 0.0), (4, 1.5)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn from_unsorted_pairs_empty_and_single() {
+        assert_eq!(SparseVector::from_unsorted_pairs(3, vec![]).nnz(), 0);
+        let v = SparseVector::from_unsorted_pairs(3, vec![(2, 9.0)]);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(2, 9.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dimension")]
+    fn from_unsorted_pairs_rejects_out_of_range() {
+        let _ = SparseVector::from_unsorted_pairs(2, vec![(0, 1.0), (2, 1.0)]);
     }
 
     #[test]

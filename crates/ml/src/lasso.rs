@@ -17,6 +17,14 @@ pub struct Lasso {
     features: usize,
     learning_rate: f64,
     l1: f64,
+    /// Sorted unique feature indices appearing in the local partition
+    /// (static): the slots the gradient terms can touch.
+    feature_support: Vec<u32>,
+    /// Sorted unique slots the latest update may hold non-zeros at: the
+    /// active set `{i : w_i != 0}` (L1 subgradient) merged with
+    /// `feature_support`. Pre-reserved to `features` so steady-state
+    /// iterations never reallocate.
+    support: Vec<u32>,
 }
 
 impl Lasso {
@@ -39,11 +47,19 @@ impl Lasso {
         for (x, _) in &partition {
             assert_eq!(x.dim(), features, "feature dimension mismatch");
         }
+        let mut feature_support: Vec<u32> = partition
+            .iter()
+            .flat_map(|(x, _)| x.iter().map(|(i, _)| i))
+            .collect();
+        feature_support.sort_unstable();
+        feature_support.dedup();
         Self {
             partition,
             features,
             learning_rate,
             l1,
+            feature_support,
+            support: Vec::with_capacity(features),
         }
     }
 
@@ -79,6 +95,7 @@ impl PsAlgorithm for Lasso {
     fn compute_update_into(&mut self, model: &[f64], update: &mut [f64]) {
         assert_eq!(model.len(), self.features, "model length mismatch");
         assert_eq!(update.len(), self.features, "update length mismatch");
+        self.support.clear();
         if self.partition.is_empty() {
             update.fill(0.0);
             return;
@@ -87,9 +104,22 @@ impl PsAlgorithm for Lasso {
         // (instead of zero-filling and adding it in a second sweep) —
         // the sparse gradient terms then accumulate on top. The model
         // is wide and the data sparse, so the dense sweeps dominate.
+        // The same pass collects the support: the active set `w != 0`
+        // (the only slots the seed is non-zero at) merged with the
+        // static feature set. Slots outside it hold `reg * (±0.0)` —
+        // a signed zero, which folds bit-neutrally into any server
+        // value, so a sparse PUSH may omit them.
         let reg = -self.learning_rate * self.l1;
-        for (u, &w) in update.iter_mut().zip(model) {
+        let mut feat = 0usize;
+        for (i, (u, &w)) in update.iter_mut().zip(model).enumerate() {
             *u = reg * w.signum() * f64::from(u8::from(w != 0.0));
+            let in_features = self.feature_support.get(feat) == Some(&(i as u32));
+            if in_features {
+                feat += 1;
+            }
+            if in_features || w != 0.0 {
+                self.support.push(i as u32);
+            }
         }
         let scale = -self.learning_rate / self.partition.len() as f64;
         for (x, y) in &self.partition {
@@ -98,6 +128,10 @@ impl PsAlgorithm for Lasso {
                 update[i as usize] += scale * 2.0 * err * v;
             }
         }
+    }
+
+    fn sparse_support(&self) -> Option<&[u32]> {
+        Some(&self.support)
     }
 
     fn loss(&self, model: &[f64]) -> f64 {
@@ -179,6 +213,27 @@ mod tests {
     fn rejects_wrong_dim() {
         let x = SparseVector::new(4, vec![(0, 1.0)]);
         let _ = Lasso::new(vec![(x, 1.0)], 8, 0.1, 0.0);
+    }
+
+    #[test]
+    fn support_is_active_set_union_features() {
+        let x0 = SparseVector::new(6, vec![(1, 1.0), (4, 2.0)]);
+        let x1 = SparseVector::new(6, vec![(1, -1.0)]);
+        let mut worker = Lasso::new(vec![(x0, 1.0), (x1, 0.5)], 6, 0.1, 0.05);
+        // Model with zeros outside the data's features: support is the
+        // feature set plus the non-zero weight at slot 5.
+        let model = [0.0, 0.2, 0.0, 0.0, -0.3, 0.7];
+        let mut update = vec![0.0; 6];
+        worker.compute_update_into(&model, &mut update);
+        let support = worker.sparse_support().expect("Lasso is sparse").to_vec();
+        assert_eq!(support, vec![1, 4, 5]);
+        for (i, &u) in update.iter().enumerate() {
+            if u != 0.0 {
+                assert!(support.binary_search(&(i as u32)).is_ok());
+            }
+        }
+        // Skipped slots hold only signed zeros (bit-neutral to fold).
+        assert!(update[0] == 0.0 && update[2] == 0.0 && update[3] == 0.0);
     }
 
     #[test]

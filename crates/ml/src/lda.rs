@@ -32,6 +32,10 @@ pub struct Lda {
     /// Per-token sampling distribution scratch (length `topics`), kept
     /// as a field so steady-state COMP subtasks allocate nothing.
     probs: Vec<f64>,
+    /// Sorted unique model slots touched by the latest sweep (old/new
+    /// word cells plus the totals row). Pre-reserved to the worst case
+    /// (4 slots per token) so steady-state sweeps never reallocate.
+    support: Vec<u32>,
 }
 
 impl Lda {
@@ -72,6 +76,7 @@ impl Lda {
             rng,
             total_tokens,
             probs: vec![0.0; topics],
+            support: Vec::with_capacity(4 * total_tokens),
         }
     }
 
@@ -112,6 +117,7 @@ impl PsAlgorithm for Lda {
         assert_eq!(model.len(), self.model_len(), "model length mismatch");
         assert_eq!(delta.len(), self.model_len(), "update length mismatch");
         delta.fill(0.0);
+        self.support.clear();
         let vocab = self.vocab;
         let topics = self.topics;
         let vbeta = vocab as f64 * self.beta;
@@ -123,6 +129,8 @@ impl PsAlgorithm for Lda {
                 self.doc_topic[d][old_t] -= 1.0;
                 delta[old_t * vocab + word as usize] -= 1.0;
                 delta[topics * vocab + old_t] -= 1.0;
+                self.support.push((old_t * vocab + word as usize) as u32);
+                self.support.push((topics * vocab + old_t) as u32);
                 // Sample a new topic from the collapsed conditional.
                 let mut sum = 0.0;
                 for (t, p) in probs.iter_mut().enumerate() {
@@ -147,10 +155,18 @@ impl PsAlgorithm for Lda {
                 self.doc_topic[d][new_t] += 1.0;
                 delta[new_t * vocab + word as usize] += 1.0;
                 delta[topics * vocab + new_t] += 1.0;
+                self.support.push((new_t * vocab + word as usize) as u32);
+                self.support.push((topics * vocab + new_t) as u32);
                 *tok = (word, new_t);
             }
         }
         self.probs = probs;
+        self.support.sort_unstable();
+        self.support.dedup();
+    }
+
+    fn sparse_support(&self) -> Option<&[u32]> {
+        Some(&self.support)
     }
 
     fn loss(&self, model: &[f64]) -> f64 {
@@ -236,6 +252,31 @@ mod tests {
         let total_sum: f64 = delta[300..].iter().sum();
         assert!(word_sum.abs() < 1e-9);
         assert!(total_sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_covers_every_nonzero_delta_slot() {
+        let docs = synth::bag_of_words(10, 100, 30, 3, 45);
+        let mut worker = Lda::new(docs, 100, 3, 5);
+        let mut model = worker.init_model(0);
+        for (m, d) in model.iter_mut().zip(&worker.initial_counts()) {
+            *m += d;
+        }
+        let delta = worker.compute_update(&model);
+        let support = worker.sparse_support().expect("LDA is sparse").to_vec();
+        assert!(support.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        for (i, &v) in delta.iter().enumerate() {
+            if v != 0.0 {
+                assert!(
+                    support.binary_search(&(i as u32)).is_ok(),
+                    "nonzero slot {i} missing from support"
+                );
+            }
+        }
+        assert!(
+            support.len() < delta.len(),
+            "a single sweep should touch a strict subset of the model"
+        );
     }
 
     #[test]

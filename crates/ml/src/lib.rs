@@ -83,6 +83,21 @@ pub trait PsAlgorithm: Send {
         update
     }
 
+    /// Coordinate support of the most recent
+    /// [`PsAlgorithm::compute_update_into`] call: sorted unique indices
+    /// covering every slot that may hold a non-zero value in the update
+    /// it produced. Slots outside the support are guaranteed to be
+    /// `±0.0`, so a PUSH may transmit only `(support, values)` and the
+    /// servers still fold exactly the dense update's bits.
+    ///
+    /// `None` (the default) means the update is naturally dense and the
+    /// runtime must ship the full vector. Implementations that return
+    /// `Some` keep the index buffer as a reusable field (like the
+    /// update scratch) so steady-state iterations stay allocation-free.
+    fn sparse_support(&self) -> Option<&[u32]> {
+        None
+    }
+
     /// This worker's contribution to the global objective (e.g. the sum
     /// of losses over the local partition). The master sums
     /// contributions and divides by [`PsAlgorithm::num_examples`].

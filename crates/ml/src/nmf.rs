@@ -33,6 +33,10 @@ pub struct Nmf {
     /// Per-rating `H` column scratch (length `rank`), kept as a field so
     /// steady-state COMP subtasks allocate nothing.
     h_scratch: Vec<f64>,
+    /// Sorted unique model slots this partition can ever write: column
+    /// `i` of every factor row, for each locally-rated item `i`. The
+    /// rated-item set is static, so this is computed once.
+    support: Vec<u32>,
 }
 
 impl Nmf {
@@ -56,6 +60,15 @@ impl Nmf {
                 .entry(u)
                 .or_insert_with(|| (0..rank).map(|_| rng.gen_range(0.1..0.9)).collect());
         }
+        let mut local_items: Vec<u32> = ratings.iter().map(|&(_, i, _)| i).collect();
+        local_items.sort_unstable();
+        local_items.dedup();
+        let mut support = Vec::with_capacity(rank * local_items.len());
+        for k in 0..rank {
+            for &i in &local_items {
+                support.push((k * items + i as usize) as u32);
+            }
+        }
         Self {
             ratings,
             rank,
@@ -63,6 +76,7 @@ impl Nmf {
             learning_rate,
             user_factors,
             h_scratch: vec![0.0; rank],
+            support,
         }
     }
 
@@ -125,6 +139,10 @@ impl PsAlgorithm for Nmf {
         }
         self.ratings = ratings;
         self.h_scratch = h;
+    }
+
+    fn sparse_support(&self) -> Option<&[u32]> {
+        Some(&self.support)
     }
 
     fn loss(&self, model: &[f64]) -> f64 {
@@ -196,5 +214,19 @@ mod tests {
     fn model_len_is_rank_times_items() {
         let worker = Nmf::new(vec![], 10, 3, 0.1);
         assert_eq!(worker.model_len(), 30);
+    }
+
+    #[test]
+    fn support_is_rated_columns_of_every_row() {
+        let mut worker = Nmf::new(vec![(0, 2, 1.0), (1, 7, 2.0), (2, 2, 0.5)], 10, 2, 0.1);
+        let support = worker.sparse_support().expect("NMF is sparse").to_vec();
+        assert_eq!(support, vec![2, 7, 12, 17]);
+        let model = worker.init_model(0);
+        let update = worker.compute_update(&model);
+        for (i, &u) in update.iter().enumerate() {
+            if u != 0.0 {
+                assert!(support.binary_search(&(i as u32)).is_ok());
+            }
+        }
     }
 }

@@ -58,6 +58,13 @@ pub fn iteration_samples(report: &JobReport, job: JobId) -> Vec<IterationSample>
             _ => report.dop.max(1),
         }
     };
+    // Wire densities by iteration; iterations with no recorded volume
+    // (the volumes predate an abort, or an older report) charge dense.
+    let density_at: BTreeMap<u64, f64> = report
+        .push_volumes
+        .iter()
+        .map(|v| (v.iteration, v.density()))
+        .collect();
     let mut per_iter: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
     for ((iter, rank, _node), secs) in canonical {
         let slot = per_iter.entry(iter).or_insert((0.0, 0.0, 0.0));
@@ -77,6 +84,7 @@ pub fn iteration_samples(report: &JobReport, job: JobId) -> Vec<IterationSample>
                 tcpu: tcpu / dop_f,
                 tnet: tnet / dop_f,
                 tapply: tapply / dop_f,
+                density: density_at.get(&iter).copied().unwrap_or(1.0),
                 dop: dop as u32,
             }
         })
@@ -117,6 +125,7 @@ mod tests {
             migrated: None,
             converged: false,
             aborted: false,
+            push_volumes: vec![],
         }
     }
 
@@ -206,6 +215,26 @@ mod tests {
         assert_eq!(samples[1].dop, 2);
         assert!((samples[0].tcpu - 4.0).abs() < 1e-12);
         assert!((samples[1].tcpu - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_volumes_ride_the_samples_as_density() {
+        let mut report = report_with(two_iteration_timings(), 2, 2);
+        report.push_volumes = vec![crate::master::PushVolume {
+            iteration: 1,
+            bytes: 300,
+            dense_bytes: 1200,
+        }];
+        let samples = iteration_samples(&report, JobId::new(4));
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].density, 0.25);
+        // Iteration 2 recorded no volume: charged dense.
+        assert_eq!(samples[1].density, 1.0);
+        let mut fb = FeedbackLoop::new(0.05);
+        record_report(&report, JobId::new(4), &mut fb);
+        let p = fb.store().get(JobId::new(4)).expect("profile created");
+        let d = p.push_density();
+        assert!(d > 0.25 && d < 1.0, "smoothed density was {d}");
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use executor::{AbortHandle, Executor, ExecutorStats};
 pub use feedback::{iteration_samples, record_report};
 pub use master::{
-    JobBuilder, JobReport, MigrationRecord, PlannedMigration, PsCluster, PsConfig, TrainingJob,
+    JobBuilder, JobReport, MigrationRecord, PlannedMigration, PsCluster, PsConfig, PushVolume,
+    TrainingJob, SPARSE_DENSITY_THRESHOLD,
 };
 pub use shard::{ShardedModel, StripedModel, DEFAULT_STRIPE_LEN};
 pub use subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};

@@ -15,7 +15,7 @@ use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 
 use harmony_mem::BufferPool;
-use harmony_metrics::{MigrationStats, PhaseTimes};
+use harmony_metrics::{CommStats, MigrationStats, PhaseTimes};
 use harmony_ml::PsAlgorithm;
 
 use crate::checkpoint::Checkpoint;
@@ -46,6 +46,16 @@ pub struct PsConfig {
     /// a migration plan panics and nothing else changes, so flag-off
     /// runs stay byte-identical (`tests/migration_equivalence.rs`).
     pub live_migration: bool,
+    /// Ship PUSH traffic as coordinate-sparse `(index, value)` pairs
+    /// when a worker's update support
+    /// ([`PsAlgorithm::sparse_support`]) is below
+    /// [`SPARSE_DENSITY_THRESHOLD`], falling back to the dense wire
+    /// form otherwise — fast runtime only, and bit-identical to the
+    /// dense path either way (`tests/ps_equivalence.rs`,
+    /// `crates/ps/tests/sparse_props.rs`). Off, the runtime never
+    /// touches the sparse machinery, so flag-off runs are byte-exact
+    /// replays of the pre-sparse code path.
+    pub sparse_push: bool,
 }
 
 impl Default for PsConfig {
@@ -55,7 +65,36 @@ impl Default for PsConfig {
             network_bytes_per_sec: None,
             fast_runtime: true,
             live_migration: false,
+            sparse_push: true,
         }
+    }
+}
+
+/// Coordinate-density cutoff for the sparse PUSH wire form: a worker's
+/// update ships sparse only when `support_len <= threshold * model_len`.
+///
+/// The wire break-even sits at 2/3 (a pair costs 12 bytes — `u32` index
+/// plus `f64` value — against 8 bytes per dense slot), so 0.5 keeps a
+/// ~25% wire margin to also cover the server-side scatter being less
+/// cache-friendly than a striped dense fold. Dense-phase workloads (MLR,
+/// or LDA sweeps touching most of the vocabulary) sit above the cutoff
+/// and keep the dense path's exact cost.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.5;
+
+/// Wire cost of one coordinate-sparse PUSH pair: `u32` index + `f64`
+/// value.
+pub(crate) const SPARSE_PAIR_BYTES: u64 = 12;
+
+/// What one worker's dense PUSH moves: the full model for a PS push, or
+/// the ring all-reduce volume `2(k-1)/k` of the model per rank. Shared
+/// by both runtime arms and the report accounting so the arithmetic
+/// cannot drift between them.
+pub(crate) fn dense_push_bytes_per_worker(model_bytes: u64, dop: usize, all_reduce: bool) -> u64 {
+    if all_reduce {
+        let k = dop.max(1) as f64;
+        (model_bytes as f64 * 2.0 * (k - 1.0) / k) as u64
+    } else {
+        model_bytes
     }
 }
 
@@ -294,6 +333,31 @@ impl JobBuilder {
     }
 }
 
+/// One iteration's PUSH wire volume, as recorded in a [`JobReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushVolume {
+    /// Iteration the pushes belong to.
+    pub iteration: u64,
+    /// Bytes actually shipped across all the job's workers (sparse
+    /// pairs where the sparse path engaged, full vectors otherwise).
+    pub bytes: u64,
+    /// Bytes a dense-only runtime would have shipped for the same
+    /// iteration — the denominator of the density ratio.
+    pub dense_bytes: u64,
+}
+
+impl PushVolume {
+    /// Wire density of this iteration: `bytes / dense_bytes` (1.0 for a
+    /// fully dense push, or when nothing was pushed).
+    pub fn density(&self) -> f64 {
+        if self.dense_bytes == 0 {
+            1.0
+        } else {
+            self.bytes as f64 / self.dense_bytes as f64
+        }
+    }
+}
+
 /// Outcome of one trained job.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -331,6 +395,29 @@ pub struct JobReport {
     /// Whether an [`JobBuilder::abort_after`] fault tore the job down
     /// before it finished.
     pub aborted: bool,
+    /// Per-iteration PUSH wire volumes, in iteration order. Both
+    /// runtime arms record them; on the reference arm (and with
+    /// [`PsConfig::sparse_push`] off) every entry is fully dense.
+    pub push_volumes: Vec<PushVolume>,
+}
+
+impl JobReport {
+    /// Total bytes the job's PUSH subtasks moved.
+    pub fn total_push_bytes(&self) -> u64 {
+        self.push_volumes.iter().map(|v| v.bytes).sum()
+    }
+
+    /// Byte-weighted wire density of the job's PUSH traffic: total
+    /// bytes shipped over total dense bytes, 1.0 when nothing was
+    /// pushed (a job with no iterations reads as dense).
+    pub fn push_density(&self) -> f64 {
+        let dense: u64 = self.push_volumes.iter().map(|v| v.dense_bytes).sum();
+        if dense == 0 {
+            1.0
+        } else {
+            self.total_push_bytes() as f64 / dense as f64
+        }
+    }
 }
 
 /// Maps a subtask kind to its [`PhaseTimes`] slot.
@@ -358,6 +445,7 @@ pub(crate) fn finish_report(
     migrated: Option<MigrationRecord>,
     converged: bool,
     aborted: bool,
+    push_volumes: Vec<PushVolume>,
 ) -> JobReport {
     let iters = iterations.max(1) as f64;
     // A migrated job ran its early iterations at a different DoP, so
@@ -396,6 +484,7 @@ pub(crate) fn finish_report(
         migrated,
         converged,
         aborted,
+        push_volumes,
     }
 }
 
@@ -416,6 +505,10 @@ pub struct PsCluster {
     pub(crate) clock: Arc<dyn Clock>,
     /// Live-migration bookkeeping across every job this cluster ran.
     pub(crate) migrations: Mutex<MigrationStats>,
+    /// PUSH wire-traffic bookkeeping across every job this cluster ran
+    /// (actual vs dense-equivalent bytes, sparse/dense iteration
+    /// counts).
+    pub(crate) comm: Mutex<CommStats>,
 }
 
 impl PsCluster {
@@ -449,6 +542,7 @@ impl PsCluster {
             pool: BufferPool::new(),
             clock,
             migrations: Mutex::new(MigrationStats::new()),
+            comm: Mutex::new(CommStats::new()),
         }
     }
 
@@ -463,6 +557,14 @@ impl PsCluster {
     /// through the cluster's [`Clock`]).
     pub fn migration_stats(&self) -> MigrationStats {
         *self.migrations.lock()
+    }
+
+    /// PUSH wire-traffic accounting across every job this cluster has
+    /// run: bytes actually shipped vs the dense-equivalent volume, and
+    /// how many iterations went over the sparse wire form. Per-job
+    /// figures live on each [`JobReport::push_volumes`].
+    pub fn comm_stats(&self) -> CommStats {
+        *self.comm.lock()
     }
 
     /// Number of nodes.
@@ -514,11 +616,19 @@ impl PsCluster {
                 );
             }
         }
-        if self.config.fast_runtime {
+        let reports = if self.config.fast_runtime {
             crate::runtime::run_jobs_fast(self, jobs)
         } else {
             self.run_jobs_reference(jobs)
+        };
+        let mut comm = self.comm.lock();
+        for r in &reports {
+            for v in &r.push_volumes {
+                comm.record_push(v.bytes, v.dense_bytes);
+            }
         }
+        drop(comm);
+        reports
     }
 
     /// The flag-off arm: phase-barriered (all PULLs, then all COMPs,
@@ -558,6 +668,8 @@ impl PsCluster {
             timings: Vec<SubtaskTiming>,
             loss_history: Vec<(u64, f64)>,
             initial_loss: f64,
+            /// Per-iteration PUSH wire volumes (always dense here).
+            push_volumes: Vec<PushVolume>,
             done: bool,
             converged: bool,
             aborting: bool,
@@ -613,6 +725,7 @@ impl PsCluster {
                 timings: Vec::new(),
                 loss_history: vec![(0, initial_loss)],
                 initial_loss,
+                push_volumes: Vec::new(),
                 done: false,
                 converged: false,
                 aborting: false,
@@ -724,12 +837,8 @@ impl PsCluster {
                         let all_reduce = run.all_reduce;
                         let dop = run.workers.len();
                         // All-reduce moves 2(k-1)/k of the model per rank.
-                        let bytes = if all_reduce {
-                            let k = dop.max(1) as f64;
-                            (run.model.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
-                        } else {
-                            run.model.pull_bytes()
-                        };
+                        let bytes =
+                            dense_push_bytes_per_worker(run.model.pull_bytes(), dop, all_reduce);
                         let delay = net_delay(bytes);
                         self.nodes[node].comm.submit(move || {
                             let t0 = clock.now();
@@ -830,6 +939,15 @@ impl PsCluster {
                         crate::allreduce::ring_all_reduce(&mut buffers);
                         run.model.push(&buffers[0]);
                     }
+                    // The reference arm always ships dense updates.
+                    let dop = run.workers.len();
+                    let per_worker =
+                        dense_push_bytes_per_worker(run.model.pull_bytes(), dop, run.all_reduce);
+                    run.push_volumes.push(PushVolume {
+                        iteration: run.iteration,
+                        bytes: per_worker * dop as u64,
+                        dense_bytes: per_worker * dop as u64,
+                    });
                     // Iteration boundary: evaluate, then stop or go on.
                     let at_check = run.iteration.is_multiple_of(run.check_every)
                         || run.iteration == run.max_iterations;
@@ -878,6 +996,7 @@ impl PsCluster {
                     run.migrated,
                     run.converged,
                     run.aborting,
+                    run.push_volumes,
                 )
             })
             .collect()
@@ -1101,6 +1220,7 @@ mod tests {
             None,
             false,
             false,
+            Vec::new(),
         );
         assert_eq!(r.iterations, 0);
         assert_eq!(r.mean_tcpu, 0.0);
@@ -1126,6 +1246,7 @@ mod tests {
             None,
             false,
             false,
+            Vec::new(),
         );
         assert!(r.mean_tcpu.is_finite());
         assert_eq!(r.mean_tcpu, 3.0); // divided by max(dop, 1) = 1
@@ -1162,6 +1283,7 @@ mod tests {
             None,
             false,
             false,
+            Vec::new(),
         );
         assert!((r.mean_tcpu - 4.0).abs() < 1e-12);
         assert!((r.mean_tnet - 1.0).abs() < 1e-12);
@@ -1196,6 +1318,7 @@ mod tests {
             migrated,
             false,
             false,
+            Vec::new(),
         );
         assert!((r.mean_tcpu - 4.0).abs() < 1e-12);
         assert_eq!(r.dop, 2, "dop reflects the post-migration group");

@@ -40,11 +40,14 @@ use std::time::Duration;
 use crossbeam::channel::unbounded;
 use parking_lot::{Mutex, RwLock};
 
-use harmony_mem::PooledBuffer;
+use harmony_mem::{PooledBuffer, PooledIndexBuffer};
 use harmony_ml::PsAlgorithm;
 
 use crate::checkpoint::Checkpoint;
-use crate::master::{finish_report, JobReport, MigrationRecord, PsCluster, TrainingJob};
+use crate::master::{
+    dense_push_bytes_per_worker, finish_report, JobReport, MigrationRecord, PsCluster, PushVolume,
+    TrainingJob, SPARSE_DENSITY_THRESHOLD, SPARSE_PAIR_BYTES,
+};
 use crate::shard::{StripedModel, DEFAULT_STRIPE_LEN};
 use crate::subtask::{SubtaskKind, SubtaskTiming, SyncAction, Synchronizer};
 
@@ -56,12 +59,69 @@ type SharedTask = Arc<dyn Fn() + Send + Sync + 'static>;
 /// `(job, node, kind, generation, elapsed)`.
 type EventTx = crossbeam::channel::Sender<(usize, usize, SubtaskKind, u64, Duration)>;
 
+/// Sentinel in [`SparseStage::nnz`]: this iteration's update ships (and
+/// folds) dense.
+const DENSE_PUSH: usize = usize::MAX;
+
+/// One worker's staged coordinate-sparse delta for the current
+/// iteration, written by its COMP task and read by its PUSH task (wire
+/// size), the APPLY tasks (scatter fold) and the master (byte
+/// accounting).
+///
+/// The index/value buffers are pooled at full model capacity once at
+/// job setup — `nnz` tracks the logical pair count, so steady-state
+/// iterations stay allocation-free whatever the support size does.
+/// No lock-order hazard with the update-buffer slots: the synchronizer
+/// guarantees a job's COMP and APPLY tasks never overlap in time.
+struct SparseStage {
+    indices: PooledIndexBuffer,
+    values: PooledBuffer,
+    /// Logical pair count, or [`DENSE_PUSH`] after a dense fallback
+    /// (support above [`SPARSE_DENSITY_THRESHOLD`], or a worker with no
+    /// sparse support at all).
+    nnz: usize,
+}
+
+/// Per-worker sparse staging, shared by the COMP/PUSH/APPLY closures.
+/// `None` when the sparse path is disabled ([`PsConfig::sparse_push`]
+/// off, or an all-reduce job — the ring reduction needs dense
+/// operands), in which case every closure takes exactly the pre-sparse
+/// code path.
+type SparseStages = Arc<Vec<Mutex<SparseStage>>>;
+
+/// Builds the per-worker sparse staging for a job when the sparse path
+/// applies to it.
+fn build_sparse_stages(
+    cluster: &PsCluster,
+    model_len: usize,
+    dop: usize,
+    all_reduce: bool,
+) -> Option<SparseStages> {
+    if !cluster.config.sparse_push || all_reduce {
+        return None;
+    }
+    Some(Arc::new(
+        (0..dop)
+            .map(|_| {
+                Mutex::new(SparseStage {
+                    indices: cluster.pool.acquire_indices(model_len),
+                    values: cluster.pool.acquire(model_len),
+                    nnz: DENSE_PUSH,
+                })
+            })
+            .collect(),
+    ))
+}
+
 struct JobRun {
     name: String,
     store: StripedModel,
     workers: Vec<Arc<Mutex<Box<dyn PsAlgorithm>>>>,
     /// Per-worker staged updates; shared with the COMP and APPLY tasks.
     update_bufs: Arc<Vec<Arc<Mutex<Option<PooledBuffer>>>>>,
+    /// Per-worker sparse PUSH staging; `None` when the sparse path is
+    /// off for this job.
+    sparse_stages: Option<SparseStages>,
     /// The job-wide model snapshot the COMP tasks read. The master
     /// refills it at each iteration boundary (write lock), when every
     /// reader is provably idle — COMPs only hold the read lock.
@@ -90,6 +150,8 @@ struct JobRun {
     timings: Vec<SubtaskTiming>,
     loss_history: Vec<(u64, f64)>,
     initial_loss: f64,
+    /// Per-iteration PUSH wire volumes (actual vs dense-equivalent).
+    push_volumes: Vec<PushVolume>,
     /// Scratch for loss evaluation, allocated once at setup.
     eval_buf: Vec<f64>,
     /// Scratch holding the buffers during a ring reduction (capacity
@@ -125,14 +187,13 @@ fn build_tasks(
     snapshot: &Arc<RwLock<PooledBuffer>>,
     generation: &Arc<AtomicU64>,
     all_reduce: bool,
+    sparse: Option<&SparseStages>,
 ) -> TaskSet {
     let dop = workers.len();
     let apply_count = dop.min(store.stripe_count());
-    let net_delay = |bytes: u64| -> Option<Duration> {
-        cluster
-            .config
-            .network_bytes_per_sec
-            .map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
+    let bandwidth = cluster.config.network_bytes_per_sec;
+    let net_delay = move |bytes: u64| -> Option<Duration> {
+        bandwidth.map(|bw| Duration::from_secs_f64(bytes as f64 / bw))
     };
 
     let pull: Vec<SharedTask> = (0..dop)
@@ -161,6 +222,7 @@ fn build_tasks(
             let worker = Arc::clone(&workers[w]);
             let input = Arc::clone(snapshot);
             let output = Arc::clone(&update_bufs[w]);
+            let stages = sparse.map(Arc::clone);
             let generation = Arc::clone(generation);
             let tx = event_tx.clone();
             let clock = Arc::clone(&cluster.clock);
@@ -169,9 +231,31 @@ fn build_tasks(
                 let pulled = input.read();
                 let mut staged = output.lock();
                 let out = staged.as_mut().expect("update buffer is resident");
-                worker
-                    .lock()
-                    .compute_update_into(pulled.as_ref(), out.as_mut());
+                let mut alg = worker.lock();
+                alg.compute_update_into(pulled.as_ref(), out.as_mut());
+                if let Some(stages) = &stages {
+                    // Decide this iteration's wire form: pack the
+                    // support's `(index, value)` pairs when they
+                    // undercut the density cutoff, else fall back to
+                    // the dense form. Values are gathered from the
+                    // dense update buffer just computed, so the bits a
+                    // sparse fold applies are exactly the dense fold's.
+                    let mut stage = stages[w].lock();
+                    stage.nnz = DENSE_PUSH;
+                    if let Some(support) = alg.sparse_support() {
+                        let len = out.as_ref().len();
+                        if support.len() as f64 <= SPARSE_DENSITY_THRESHOLD * len as f64 {
+                            let nnz = support.len();
+                            stage.indices.as_mut()[..nnz].copy_from_slice(support);
+                            let update = out.as_ref();
+                            for (v, &i) in stage.values.as_mut()[..nnz].iter_mut().zip(support) {
+                                *v = update[i as usize];
+                            }
+                            stage.nnz = nnz;
+                        }
+                    }
+                }
+                drop(alg);
                 drop(staged);
                 drop(pulled);
                 let gen = generation.load(Ordering::SeqCst);
@@ -186,19 +270,23 @@ fn build_tasks(
             let generation = Arc::clone(generation);
             let tx = event_tx.clone();
             let clock = Arc::clone(&cluster.clock);
+            let stages = sparse.map(Arc::clone);
             // The update is already staged in a buffer the server
             // side reads directly — an in-process PUSH moves no
-            // payload, only the (simulated) wire time remains.
-            let bytes = if all_reduce {
-                let k = dop.max(1) as f64;
-                (store.pull_bytes() as f64 * 2.0 * (k - 1.0) / k) as u64
-            } else {
-                store.pull_bytes()
-            };
-            let delay = net_delay(bytes);
+            // payload, only the (simulated) wire time remains. The
+            // dense wire size is fixed per job; the sparse path sizes
+            // each iteration from what its COMP actually staged.
+            let dense_bytes = dense_push_bytes_per_worker(store.pull_bytes(), dop, all_reduce);
             Arc::new(move || {
                 let t0 = clock.now();
-                if let Some(d) = delay {
+                let bytes = match &stages {
+                    Some(stages) => match stages[w].lock().nnz {
+                        DENSE_PUSH => dense_bytes,
+                        nnz => nnz as u64 * SPARSE_PAIR_BYTES,
+                    },
+                    None => dense_bytes,
+                };
+                if let Some(d) = net_delay(bytes) {
                     std::thread::sleep(d);
                 }
                 let gen = generation.load(Ordering::SeqCst);
@@ -212,6 +300,7 @@ fn build_tasks(
         .map(|n| {
             let store = store.clone();
             let slots = Arc::clone(update_bufs);
+            let stages = sparse.map(Arc::clone);
             let generation = Arc::clone(generation);
             let tx = event_tx.clone();
             let clock = Arc::clone(&cluster.clock);
@@ -229,10 +318,27 @@ fn build_tasks(
                         store.stripe_add(s, sum.as_ref());
                     } else {
                         // Worker-id order: the determinism contract.
-                        for slot in slots.iter() {
-                            let staged = slot.lock();
-                            let delta = staged.as_ref().expect("COMP preceded APPLY");
-                            store.stripe_add(s, delta.as_ref());
+                        // A sparsely-staged worker scatter-folds just
+                        // its support (bit-identical — off-support
+                        // slots hold only signed zeros, which fold
+                        // bit-neutrally); a dense one folds the whole
+                        // stripe. Mixed rosters keep the same order.
+                        for (w, slot) in slots.iter().enumerate() {
+                            let nnz = stages
+                                .as_ref()
+                                .map_or(DENSE_PUSH, |stages| stages[w].lock().nnz);
+                            if nnz == DENSE_PUSH {
+                                let staged = slot.lock();
+                                let delta = staged.as_ref().expect("COMP preceded APPLY");
+                                store.stripe_add(s, delta.as_ref());
+                            } else {
+                                let stage = stages.as_ref().expect("sparse nnz")[w].lock();
+                                store.stripe_add_sparse(
+                                    s,
+                                    &stage.indices.as_ref()[..nnz],
+                                    &stage.values.as_ref()[..nnz],
+                                );
+                            }
                         }
                     }
                 }
@@ -293,6 +399,7 @@ fn migrate_fast(cluster: &PsCluster, event_tx: &EventTx, j: usize, run: &mut Job
             .map(|_| Arc::new(Mutex::new(Some(cluster.pool.acquire(model_len)))))
             .collect(),
     );
+    run.sparse_stages = build_sparse_stages(cluster, model_len, new_dop, run.all_reduce);
     let tasks = build_tasks(
         cluster,
         event_tx,
@@ -303,6 +410,7 @@ fn migrate_fast(cluster: &PsCluster, event_tx: &EventTx, j: usize, run: &mut Job
         &run.snapshot,
         &run.generation,
         run.all_reduce,
+        run.sparse_stages.as_ref(),
     );
     run.pull_tasks = tasks.pull;
     run.comp_tasks = tasks.comp;
@@ -363,6 +471,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
         let generation = Arc::new(AtomicU64::new(0));
         let apply_count = dop.min(store.stripe_count());
         let all_reduce = job.all_reduce;
+        let sparse_stages = build_sparse_stages(cluster, model_len, dop, all_reduce);
 
         let tasks = build_tasks(
             cluster,
@@ -374,6 +483,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             &snapshot,
             &generation,
             all_reduce,
+            sparse_stages.as_ref(),
         );
 
         let expected_events = (3 * dop + apply_count) as u64 * job.max_iterations.min(4096);
@@ -382,6 +492,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
             store,
             workers,
             update_bufs,
+            sparse_stages,
             snapshot,
             generation,
             sync: Synchronizer::new(dop, apply_count),
@@ -406,6 +517,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 h
             },
             initial_loss,
+            push_volumes: Vec::with_capacity(job.max_iterations.min(4096) as usize),
             eval_buf,
             ring_scratch: Vec::with_capacity(dop),
             done: false,
@@ -493,6 +605,28 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 }
             }
             SyncAction::IterationComplete => {
+                // The apply barrier just cleared, so every stage still
+                // holds this iteration's wire decision — account for it
+                // before anything can resubmit a COMP.
+                let dop = run.workers.len();
+                let per_worker_dense =
+                    dense_push_bytes_per_worker(run.store.pull_bytes(), dop, run.all_reduce);
+                let dense_total = per_worker_dense * dop as u64;
+                let bytes = match &run.sparse_stages {
+                    Some(stages) => stages
+                        .iter()
+                        .map(|stage| match stage.lock().nnz {
+                            DENSE_PUSH => per_worker_dense,
+                            nnz => nnz as u64 * SPARSE_PAIR_BYTES,
+                        })
+                        .sum(),
+                    None => dense_total,
+                };
+                run.push_volumes.push(PushVolume {
+                    iteration: run.iteration,
+                    bytes,
+                    dense_bytes: dense_total,
+                });
                 let at_check = run.iteration.is_multiple_of(run.check_every)
                     || run.iteration == run.max_iterations;
                 if at_check {
@@ -549,6 +683,7 @@ pub(crate) fn run_jobs_fast(cluster: &PsCluster, jobs: Vec<TrainingJob>) -> Vec<
                 run.migrated,
                 run.converged,
                 run.aborting,
+                run.push_volumes,
             )
         })
         .collect()

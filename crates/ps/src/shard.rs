@@ -302,6 +302,44 @@ impl StripedModel {
         }
     }
 
+    /// Scatter-adds a coordinate-sparse delta into one stripe, holding
+    /// only its lock: `indices` are sorted unique *model-global*
+    /// coordinates and `values[k]` is the delta at `indices[k]`. Only
+    /// the coordinates falling inside the stripe's range are applied
+    /// (binary-searched, so a stripe crossed by none of the indices
+    /// costs `O(log nnz)`).
+    ///
+    /// Bit-equivalence contract with [`StripedModel::stripe_add`]: a
+    /// dense delta whose off-support slots are all `±0.0` folds to the
+    /// same bits as this sparse scatter of its support — adding `-0.0`
+    /// never changes a non-signaling server value's bits, and `+0.0`
+    /// only would on a `-0.0` server slot. Neither exception can occur:
+    /// model slots hold only IEEE arithmetic results, whose sums are
+    /// `-0.0` only for `(-0.0) + (-0.0)` and whose NaNs are always
+    /// quiet (an sNaN slot would have its quiet bit flipped by a `±0.0`
+    /// add, but arithmetic never stores one). Callers keep the
+    /// worker-id fold order exactly as in the dense path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe` is out of range, the slices' lengths differ,
+    /// or an index falls outside the model.
+    pub fn stripe_add_sparse(&self, stripe: usize, indices: &[u32], values: &[f64]) {
+        assert_eq!(indices.len(), values.len(), "sparse delta length mismatch");
+        let range = self.stripe_range(stripe);
+        let lo = indices.partition_point(|&i| (i as usize) < range.start);
+        let hi = indices.partition_point(|&i| (i as usize) < range.end);
+        if lo == hi {
+            return;
+        }
+        let mut guard = self.stripes[stripe].write();
+        for (&i, &v) in indices[lo..hi].iter().zip(&values[lo..hi]) {
+            let at = i as usize;
+            assert!(at < self.len, "index {at} out of model length {}", self.len);
+            guard[at - range.start] += v;
+        }
+    }
+
     /// Adds `delta` into the whole model, stripe by stripe (setup path;
     /// steady-state aggregation goes through [`StripedModel::stripe_add`]
     /// from parallel apply tasks).
@@ -483,6 +521,46 @@ mod tests {
         let b = fold(&[3, 1, 0, 2]);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn sparse_scatter_matches_dense_stripe_add() {
+        // A dense delta that is zero off-support must fold to the same
+        // bits as the sparse scatter of its support — including signed
+        // zeros and NaN payloads on the support itself.
+        let len = 23;
+        let dense_m = StripedModel::new(len, 5);
+        let sparse_m = StripedModel::new(len, 5);
+        let base: Vec<f64> = (0..len).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        dense_m.restore(&base);
+        sparse_m.restore(&base);
+        let indices: Vec<u32> = vec![0, 4, 5, 11, 12, 21, 22];
+        let values: Vec<f64> = vec![1.5, -0.0, f64::NAN, 0.25, -3.5, 0.0, 7.0];
+        let mut dense = vec![0.0; len];
+        for (&i, &v) in indices.iter().zip(&values) {
+            dense[i as usize] = v;
+        }
+        for s in 0..dense_m.stripe_count() {
+            dense_m.stripe_add(s, &dense);
+            sparse_m.stripe_add_sparse(s, &indices, &values);
+        }
+        let bits = |m: &StripedModel| m.pull().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&dense_m), bits(&sparse_m));
+    }
+
+    #[test]
+    fn sparse_scatter_applies_only_the_stripes_own_coordinates() {
+        // Stripes of 4 over 10 params: 0..4, 4..8, 8..10. Slot 7 lives
+        // in stripe 1, slot 9 in stripe 2.
+        let m = StripedModel::new(10, 4);
+        m.stripe_add_sparse(0, &[7, 9], &[1.0, 2.0]);
+        assert_eq!(m.pull(), vec![0.0; 10], "no coordinate in stripe 0");
+        m.stripe_add_sparse(2, &[7, 9], &[1.0, 2.0]);
+        let got = m.pull();
+        assert_eq!(got[7], 0.0, "stripe 2 must not apply stripe 1's slot");
+        assert_eq!(got[9], 2.0);
+        m.stripe_add_sparse(1, &[7, 9], &[1.0, 2.0]);
+        assert_eq!(m.pull()[7], 1.0);
     }
 
     #[test]

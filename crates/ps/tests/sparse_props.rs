@@ -1,0 +1,242 @@
+//! Property tests: the coordinate-sparse scatter-apply is bit-identical
+//! to the dense stripe fold for *every* delta the runtime contract
+//! admits — NaN payloads, signed zeros, empty and single-coordinate
+//! supports, ragged stripe layouts, mixed sparse/dense worker rosters,
+//! and arbitrary stripe application orders.
+//!
+//! The contract under test (see `StripedModel::stripe_add_sparse` and
+//! `PsAlgorithm::sparse_support`): a sparse PUSH may omit exactly the
+//! slots where the dense update holds `±0.0`, because
+//!
+//! * adding `-0.0` to any non-signaling value is a bit-identity, and
+//! * adding `+0.0` changes bits only on a `-0.0` slot — and server
+//!   model slots can never hold `-0.0` (IEEE round-to-nearest sums
+//!   produce `-0.0` only from `(-0.0) + (-0.0)`, and initial models
+//!   contain none).
+//!
+//! Signaling NaN slots are excluded the same way `-0.0` slots are:
+//! `sNaN + (±0.0)` quiets the NaN (flips its quiet bit), but a server
+//! slot only ever holds IEEE arithmetic results (always *quiet* NaNs)
+//! or finite initial values, never an sNaN. The strategies therefore
+//! quiet generated NaNs and normalize the sign of zero — the invariant
+//! real servers maintain — while a dedicated test keeps `-0.0` model
+//! slots and omits only `-0.0` entries, the case that is neutral on
+//! any non-signaling model.
+
+use proptest::prelude::*;
+
+use harmony_ps::StripedModel;
+
+fn to_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// IEEE-754 binary64 quiet bit (mantissa MSB).
+const QUIET_BIT: u64 = 0x0008_0000_0000_0000;
+
+/// Normalizes a raw bit pattern to a value a real server slot can hold:
+/// arbitrary payloads, infinities, and subnormals survive, but `-0.0`
+/// becomes `+0.0` and signaling NaNs get their quiet bit set — slots
+/// only ever hold arithmetic results, which are never either.
+fn server_slot(b: u64) -> f64 {
+    let v = f64::from_bits(b);
+    if v.is_nan() {
+        f64::from_bits(b | QUIET_BIT)
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Model slots: arbitrary bit patterns (NaN payloads, infinities,
+/// subnormals) run through [`server_slot`], mirroring the server
+/// invariant the omission rule relies on.
+fn server_model(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u64..=u64::MAX).prop_map(server_slot), 1..max_len)
+}
+
+/// One worker's raw delta material: `(index_seed, value_bits)` pairs
+/// (indices are reduced mod the model length in the test body) plus a
+/// seed choosing the sign of every off-support zero.
+type RawWorker = (Vec<(u64, u64)>, u64);
+
+fn raw_workers(max_pairs: usize) -> impl Strategy<Value = Vec<RawWorker>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(((0u64..=u64::MAX), (0u64..=u64::MAX)), 0..max_pairs),
+            0u64..=u64::MAX,
+        ),
+        1..5,
+    )
+}
+
+/// Expands one worker's raw material against a model length: returns
+/// `(support, packed_values, dense_delta)` where off-support slots of
+/// the dense form hold `±0.0` with pseudo-random signs (exactly what a
+/// real `compute_update_into` leaves behind after seeding/zero-fill).
+fn expand(len: usize, raw: &RawWorker) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+    let (pairs, zero_signs) = raw;
+    let mut support: Vec<u32> = pairs
+        .iter()
+        .map(|&(i, _)| (i % len as u64) as u32)
+        .collect();
+    support.sort_unstable();
+    support.dedup();
+    let mut dense: Vec<f64> = (0..len)
+        .map(|i| {
+            if (zero_signs >> (i % 64)) & 1 == 1 {
+                -0.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Last write wins per index — any deterministic merge works, both
+    // arms read the same dense buffer.
+    for &(i, bits) in pairs {
+        dense[(i % len as u64) as usize] = f64::from_bits(bits);
+    }
+    let values: Vec<f64> = support.iter().map(|&i| dense[i as usize]).collect();
+    (support, values, dense)
+}
+
+/// Folds every worker into `store` stripe-major, worker-id order inside
+/// each stripe — the runtime's APPLY discipline. `sparse[w]` selects
+/// the wire form per worker (the density-adaptive mix).
+fn fold(
+    store: &StripedModel,
+    deltas: &[(Vec<u32>, Vec<f64>, Vec<f64>)],
+    sparse: impl Fn(usize) -> bool,
+    stripe_order: impl Iterator<Item = usize>,
+) {
+    for s in stripe_order {
+        for (w, (support, values, dense)) in deltas.iter().enumerate() {
+            if sparse(w) {
+                store.stripe_add_sparse(s, support, values);
+            } else {
+                store.stripe_add(s, dense);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// All-sparse fold == all-dense fold, bit for bit, at any stripe
+    /// layout (including stripes longer than the model and ragged
+    /// tails) and any support size (empty through full).
+    #[test]
+    fn sparse_fold_matches_dense_fold(
+        model in server_model(64),
+        raw in raw_workers(24),
+        stripe_len in 1usize..80,
+    ) {
+        let deltas: Vec<_> = raw.iter().map(|r| expand(model.len(), r)).collect();
+        let dense_store = StripedModel::new(model.len(), stripe_len);
+        dense_store.restore(&model);
+        let sparse_store = StripedModel::new(model.len(), stripe_len);
+        sparse_store.restore(&model);
+        let stripes = dense_store.stripe_count();
+        fold(&dense_store, &deltas, |_| false, 0..stripes);
+        fold(&sparse_store, &deltas, |_| true, 0..stripes);
+        prop_assert_eq!(to_bits(&sparse_store.pull()), to_bits(&dense_store.pull()));
+    }
+
+    /// A mixed roster — some workers sparse, some fallen back to dense,
+    /// chosen per worker — still matches the all-dense fold, and the
+    /// stripes may land in any order (they are disjoint).
+    #[test]
+    fn mixed_roster_and_stripe_order_match(
+        model in server_model(64),
+        raw in raw_workers(24),
+        stripe_len in 1usize..40,
+        sparse_mask in 0u64..=u64::MAX,
+        rotation in 0usize..32,
+    ) {
+        let deltas: Vec<_> = raw.iter().map(|r| expand(model.len(), r)).collect();
+        let reference = StripedModel::new(model.len(), stripe_len);
+        reference.restore(&model);
+        let mixed = StripedModel::new(model.len(), stripe_len);
+        mixed.restore(&model);
+        let stripes = reference.stripe_count();
+        fold(&reference, &deltas, |_| false, 0..stripes);
+        let mut order: Vec<usize> = (0..stripes).collect();
+        order.rotate_left(rotation % stripes.max(1));
+        fold(
+            &mixed,
+            &deltas,
+            |w| (sparse_mask >> (w % 64)) & 1 == 1,
+            order.into_iter(),
+        );
+        prop_assert_eq!(to_bits(&mixed.pull()), to_bits(&reference.pull()));
+    }
+
+    /// The wider neutral case: when every omitted slot holds `-0.0`,
+    /// the fold is bit-identical even on models that DO contain `-0.0`
+    /// slots — no reliance on the signed-zero half of the server
+    /// invariant (NaN slots are still quieted: `sNaN + (-0.0)` flips
+    /// the quiet bit on the dense arm no matter the zero's sign).
+    #[test]
+    fn negative_zero_omissions_are_neutral_on_any_model(
+        model_bits in prop::collection::vec(0u64..=u64::MAX, 1..64),
+        raw in raw_workers(16),
+        stripe_len in 1usize..40,
+    ) {
+        let model: Vec<f64> = model_bits
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                if v.is_nan() {
+                    f64::from_bits(b | QUIET_BIT)
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let deltas: Vec<_> = raw
+            .iter()
+            .map(|(pairs, _)| expand(model.len(), &(pairs.clone(), u64::MAX)))
+            .collect();
+        let dense_store = StripedModel::new(model.len(), stripe_len);
+        dense_store.restore(&model);
+        let sparse_store = StripedModel::new(model.len(), stripe_len);
+        sparse_store.restore(&model);
+        let stripes = dense_store.stripe_count();
+        fold(&dense_store, &deltas, |_| false, 0..stripes);
+        fold(&sparse_store, &deltas, |_| true, 0..stripes);
+        prop_assert_eq!(to_bits(&sparse_store.pull()), to_bits(&dense_store.pull()));
+    }
+}
+
+/// Deterministic edge cases the strategies only hit by chance: an empty
+/// delta, a single-coordinate delta at each boundary slot, and a stripe
+/// layout whose tail stripe holds one element.
+#[test]
+fn empty_and_single_coordinate_deltas() {
+    let model = [1.5, -2.25, f64::NAN, 0.0, 7.0e-300, -1.0, 3.0];
+    for stripe_len in [1usize, 2, 3, 4, 7, 100] {
+        let dense_store = StripedModel::new(model.len(), stripe_len);
+        dense_store.restore(&model);
+        let sparse_store = StripedModel::new(model.len(), stripe_len);
+        sparse_store.restore(&model);
+        for s in 0..dense_store.stripe_count() {
+            // Empty delta: dense folds all-zeros, sparse folds nothing.
+            dense_store.stripe_add(s, &[0.0; 7]);
+            sparse_store.stripe_add_sparse(s, &[], &[]);
+            // Single coordinate at the first and last slots.
+            for idx in [0u32, 6] {
+                let mut dense = [0.0; 7];
+                dense[idx as usize] = -0.5;
+                dense_store.stripe_add(s, &dense);
+                sparse_store.stripe_add_sparse(s, &[idx], &[-0.5]);
+            }
+        }
+        assert_eq!(
+            to_bits(&sparse_store.pull()),
+            to_bits(&dense_store.pull()),
+            "stripe_len {stripe_len}"
+        );
+    }
+}

@@ -63,6 +63,21 @@ pub struct CompShift {
     pub factor: f64,
 }
 
+/// A sparse-wire declaration: job `job` ships coordinate-sparse PUSH
+/// deltas whose bytes-on-the-wire are `density` × the dense payload
+/// (see `harmony_ps::PushVolume`). The simulator scales the job's PUSH
+/// subtask cost accordingly — PULL stays dense, because the server
+/// broadcasts the full model either way. As with [`CompShift`], the
+/// scheduler is never told directly; with `charge_sparse_comm` on it
+/// can learn the density through closed-loop measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushDensity {
+    /// Index of the sparse job in the workload's spec order.
+    pub job: usize,
+    /// Wire bytes relative to a dense push, in `(0, 1]`.
+    pub density: f64,
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -193,6 +208,10 @@ pub struct SimConfig {
     /// default; with no shifts the COMP cost path is untouched, so
     /// decisions are byte-identical to a build without the knob.
     pub comp_shifts: Vec<CompShift>,
+    /// Per-job sparse-wire declarations (see [`PushDensity`]). Empty by
+    /// default; with no entries the PUSH cost path is untouched, so
+    /// decisions are byte-identical to a build without the knob.
+    pub push_densities: Vec<PushDensity>,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
 }
@@ -232,6 +251,7 @@ impl Default for SimConfig {
             live_migration: false,
             migration_settle_iters: 8,
             comp_shifts: Vec::new(),
+            push_densities: Vec::new(),
             max_sim_seconds: 60.0 * 86_400.0,
         }
     }
@@ -280,6 +300,11 @@ impl SimConfig {
                     "comp shift factor must be positive, got {}",
                     s.factor
                 ));
+            }
+        }
+        for d in &self.push_densities {
+            if !d.density.is_finite() || d.density <= 0.0 || d.density > 1.0 {
+                return Err(format!("push density must be in (0, 1], got {}", d.density));
             }
         }
         Ok(())
@@ -338,6 +363,15 @@ mod tests {
                 job: 0,
                 at_iteration: 4,
                 factor: 0.0,
+            }],
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            push_densities: vec![PushDensity {
+                job: 0,
+                density: 1.5,
             }],
             ..SimConfig::default()
         };

@@ -276,6 +276,11 @@ impl Driver {
             assert!(s.job < d.jobs.len(), "comp shift names job {}", s.job);
             d.jobs[s.job].comp_shift = Some((s.at_iteration, s.factor));
         }
+        let densities = d.cfg.push_densities.clone();
+        for p in &densities {
+            assert!(p.job < d.jobs.len(), "push density names job {}", p.job);
+            d.jobs[p.job].push_density = Some(p.density);
+        }
         d.push_event(0.0, EventKind::Sample);
         if let Some(mtbf) = d.cfg.failure_mtbf_secs {
             d.push_event(next_failure_gap(d.cfg.seed, 0, mtbf), EventKind::Failure(1));
@@ -1309,6 +1314,14 @@ impl Driver {
                 };
                 // DoP-dependent for all-reduce jobs, constant for PS.
                 let mut base = self.jobs[j].spec.net_time_at(m) * frac;
+                // A sparse job ships coordinate-sparse PUSH deltas:
+                // wire time scales with density. PULL stays dense (the
+                // server broadcasts the full model either way).
+                if phase == Phase::Push {
+                    if let Some(density) = self.jobs[j].push_density {
+                        base *= density;
+                    }
+                }
                 if self.jobs[j].model_spilled {
                     base += spec_model / (mf * disk_bw);
                 }

@@ -49,7 +49,7 @@ pub mod runtime;
 pub(crate) mod schedscratch;
 pub mod spans;
 
-pub use config::{CompShift, ReloadPolicy, SchedulerKind, SimConfig};
+pub use config::{CompShift, PushDensity, ReloadPolicy, SchedulerKind, SimConfig};
 pub use driver::Driver;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use report::{JobOutcome, PredictionSample, RunReport};

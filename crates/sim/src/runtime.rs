@@ -151,6 +151,11 @@ pub struct JobSim {
     /// multiplier)` wired from [`crate::config::CompShift`]; `None` for
     /// an unshifted job.
     pub comp_shift: Option<(u64, f64)>,
+    /// Sparse-wire density wired from [`crate::config::PushDensity`]:
+    /// the job's PUSH subtask cost is this fraction of the dense wire
+    /// (PULL stays dense — the server broadcasts the full model).
+    /// `None` for a dense job.
+    pub push_density: Option<f64>,
     /// Drift checks are suppressed until this iteration count. Set on a
     /// migration attach: the smoothed estimate is still converging on
     /// the regime that triggered the move, and re-flagging drift every
@@ -198,6 +203,7 @@ impl JobSim {
             migrate_mark: None,
             migrate_origin: None,
             comp_shift: None,
+            push_density: None,
             drift_holdoff: 0,
         }
     }

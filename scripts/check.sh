@@ -7,10 +7,10 @@
 #                  committed BENCH_*.json files (including the enlarged
 #                  sim_driver sweep) — against the perfjson schema (see
 #                  crates/bench/src/perfjson.rs), run the simulator
-#                  fast-event-path, PS fast-runtime and live-migration
-#                  equivalence gates at tiny scale, and run the PS
-#                  steady-state allocation audit (counting global
-#                  allocator, `alloc-count` feature).
+#                  fast-event-path, PS fast-runtime, sparse-wire and
+#                  live-migration equivalence gates at tiny scale, and
+#                  run the PS steady-state allocation audit (counting
+#                  global allocator, `alloc-count` feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,6 +52,10 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
     cargo test --release -q -p harmony --test ps_equivalence \
         tiny_scale_fast_runtime_matches_reference
+
+    echo "==> PS sparse-wire equivalence smoke (sparse PUSH == dense bytes, smaller wire)"
+    cargo test --release -q -p harmony --test ps_equivalence \
+        sparse_push_shrinks_the_wire_on_sparse_workloads
 
     echo "==> live-migration equivalence smoke (migrate == checkpoint/restart bytes)"
     cargo test --release -q -p harmony --test migration_equivalence \

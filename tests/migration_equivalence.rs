@@ -21,6 +21,7 @@ fn cluster(nodes: usize, fast_runtime: bool, live_migration: bool) -> PsCluster 
         network_bytes_per_sec: None,
         fast_runtime,
         live_migration,
+        sparse_push: true,
     })
 }
 

@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use harmony::ml::{synth, Lasso, PsAlgorithm};
+use harmony::ml::{synth, Lasso, Lda, PsAlgorithm};
 use harmony::ps::{JobBuilder, PsCluster, PsConfig};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -83,6 +83,8 @@ fn steady_state_iterations_allocate_nothing() {
         nodes: 4,
         network_bytes_per_sec: None,
         fast_runtime: true,
+        live_migration: false,
+        sparse_push: true,
     });
 
     // Warmup: populate the buffer pool, grow the executor queues and
@@ -113,5 +115,62 @@ fn steady_state_iterations_allocate_nothing() {
     }
     panic!(
         "steady-state iterations allocated memory: (short, long) counts per attempt = {attempts:?}"
+    );
+}
+
+/// One 4-worker LDA run whose Gibbs-sweep support sits far below the
+/// sparse cutoff, so every steady-state PUSH takes the coordinate-sparse
+/// path (index copy + value gather + scatter apply).
+fn run_lda(cluster: &PsCluster, iters: u64) {
+    let docs = synth::bag_of_words(12, 300, 20, 3, 9);
+    let job = JobBuilder::new("sparse-alloc-audit")
+        .workers(
+            synth::partition(&docs, 4)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Box::new(Lda::new(p, 300, 3, i as u64)) as Box<dyn PsAlgorithm>),
+        )
+        .max_iterations(iters)
+        .check_every(1_000_000)
+        .build();
+    let _ = cluster.run_jobs(vec![job]);
+}
+
+#[test]
+fn sparse_push_steady_state_allocates_nothing() {
+    let cluster = PsCluster::new(PsConfig {
+        nodes: 4,
+        network_bytes_per_sec: None,
+        fast_runtime: true,
+        live_migration: false,
+        sparse_push: true,
+    });
+
+    run_lda(&cluster, 40);
+    settle(&cluster);
+    assert!(
+        cluster.comm_stats().sparse_pushes > 0,
+        "audit workload never engaged the sparse path"
+    );
+
+    let mut attempts = Vec::new();
+    for _ in 0..3 {
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        run_lda(&cluster, 40);
+        settle(&cluster);
+        let a1 = ALLOCS.load(Ordering::Relaxed);
+        run_lda(&cluster, 400);
+        settle(&cluster);
+        let a2 = ALLOCS.load(Ordering::Relaxed);
+
+        let short = a1 - a0;
+        let long = a2 - a1;
+        if long == short {
+            return; // 360 extra sparse iterations allocated nothing
+        }
+        attempts.push((short, long));
+    }
+    panic!(
+        "sparse-path iterations allocated memory: (short, long) counts per attempt = {attempts:?}"
     );
 }

@@ -7,16 +7,23 @@
 //! trajectory **bit for bit** (`f64::to_bits`) — f64 addition is not
 //! associative, so byte-identity only holds because both arms fold
 //! worker updates in the same (worker-id) order per element.
+//!
+//! `PsConfig::sparse_push` (default on) is held to the same bar: every
+//! pairing runs the fast arm twice — coordinate-sparse PUSH and forced
+//! dense — and both must match the dense reference bit for bit. The
+//! sparse scatter may skip only slots holding signed zeros, which fold
+//! bit-neutrally (see `StripedModel::stripe_add_sparse`).
 
 use harmony::ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
 use harmony::ps::{JobBuilder, JobReport, PsCluster, PsConfig, TrainingJob};
 
-fn cluster(nodes: usize, fast_runtime: bool) -> PsCluster {
+fn cluster(nodes: usize, fast_runtime: bool, sparse_push: bool) -> PsCluster {
     PsCluster::new(PsConfig {
         nodes,
         network_bytes_per_sec: None,
         fast_runtime,
         live_migration: false,
+        sparse_push,
     })
 }
 
@@ -123,13 +130,28 @@ fn run_pair(spec: Spec) {
         "{} workers={} all_reduce={} abort={:?}",
         spec.algo, spec.workers, spec.all_reduce, spec.abort_after
     );
-    let fast = cluster(spec.workers, true)
+    let sparse = cluster(spec.workers, true, true)
         .run_jobs(vec![spec.job()])
         .remove(0);
-    let reference = cluster(spec.workers, false)
+    let dense = cluster(spec.workers, true, false)
         .run_jobs(vec![spec.job()])
         .remove(0);
-    assert_identical(&tag, &fast, &reference);
+    let reference = cluster(spec.workers, false, false)
+        .run_jobs(vec![spec.job()])
+        .remove(0);
+    assert_identical(&format!("{tag} [sparse]"), &sparse, &reference);
+    assert_identical(&format!("{tag} [dense]"), &dense, &reference);
+    // The flag never inflates the wire: sparse iterations are counted
+    // against the same dense denominator both arms report.
+    assert!(
+        sparse.total_push_bytes() <= dense.total_push_bytes(),
+        "{tag}: wire grew"
+    );
+    assert_eq!(
+        dense.push_density(),
+        1.0,
+        "{tag}: dense arm must report unit density"
+    );
 }
 
 /// The cheap gate `scripts/check.sh --bench-smoke` runs before
@@ -177,7 +199,7 @@ fn abort_mid_iteration_matches() {
 
 #[test]
 fn aborted_job_reports_truncated_progress() {
-    let report = cluster(4, true)
+    let report = cluster(4, true, true)
         .run_jobs(vec![Spec {
             abort_after: Some(3),
             ..Spec::new("lasso", 4, 10)
@@ -194,8 +216,8 @@ fn colocated_jobs_match_their_solo_runs() {
     // Co-location multiplexes executors but must not perturb results:
     // run two jobs together on each arm and bit-compare across arms.
     let jobs = || vec![Spec::new("mlr", 4, 6).job(), Spec::new("lasso", 2, 6).job()];
-    let fast = cluster(4, true).run_jobs(jobs());
-    let reference = cluster(4, false).run_jobs(jobs());
+    let fast = cluster(4, true, true).run_jobs(jobs());
+    let reference = cluster(4, false, false).run_jobs(jobs());
     for (f, r) in fast.iter().zip(&reference) {
         assert_identical(&format!("colocated {}", f.name), f, r);
     }
@@ -203,10 +225,10 @@ fn colocated_jobs_match_their_solo_runs() {
 
 #[test]
 fn fast_runtime_reports_apply_phase_times() {
-    let fast = cluster(2, true)
+    let fast = cluster(2, true, true)
         .run_jobs(vec![Spec::new("mlr", 2, 6).job()])
         .remove(0);
-    let reference = cluster(2, false)
+    let reference = cluster(2, false, false)
         .run_jobs(vec![Spec::new("mlr", 2, 6).job()])
         .remove(0);
     // The fast arm surfaces server-side aggregation as APPLY subtasks;
@@ -217,6 +239,63 @@ fn fast_runtime_reports_apply_phase_times() {
         .any(|t| format!("{}", t.kind) == "APPLY"));
     assert!(fast.mean_tapply > 0.0);
     assert_eq!(reference.mean_tapply, 0.0);
+}
+
+#[test]
+fn sparse_push_shrinks_the_wire_on_sparse_workloads() {
+    // LDA and NMF updates touch a small fraction of the model: the
+    // sparse arm must move measurably fewer bytes while (per run_pair)
+    // computing identical bits. MLR is naturally dense — its fallback
+    // must keep the exact dense byte count.
+    let lda = cluster(4, true, true)
+        .run_jobs(vec![Spec::new("lda", 4, 6).job()])
+        .remove(0);
+    assert!(
+        lda.push_density() < 0.5,
+        "lda: density {} not sparse",
+        lda.push_density()
+    );
+    assert!(lda.total_push_bytes() > 0);
+    assert_eq!(lda.push_volumes.len(), 6, "lda: one volume per iteration");
+    // A wide catalog where each worker rates a sliver of the items —
+    // the factor-row support Spec::new's 30-item matrix is too dense
+    // to show (every item is locally rated there, a correct fallback).
+    let ratings = synth::ratings(24, 400, 5, 3, 7);
+    let nmf = cluster(4, true, true)
+        .run_jobs(vec![JobBuilder::new("nmf-wide")
+            .workers(
+                synth::partition(&ratings, 4)
+                    .into_iter()
+                    .map(|p| Box::new(Nmf::new(p, 400, 3, 0.05)) as Box<dyn PsAlgorithm>),
+            )
+            .max_iterations(6)
+            .build()])
+        .remove(0);
+    assert!(
+        nmf.push_density() < 0.5,
+        "nmf: density {} not sparse",
+        nmf.push_density()
+    );
+    let mlr = cluster(4, true, true)
+        .run_jobs(vec![Spec::new("mlr", 4, 6).job()])
+        .remove(0);
+    assert_eq!(mlr.push_density(), 1.0, "mlr: dense fallback engaged");
+}
+
+#[test]
+fn cluster_comm_stats_aggregate_push_volumes() {
+    let c = cluster(4, true, true);
+    let reports = c.run_jobs(vec![
+        Spec::new("lda", 4, 4).job(),
+        Spec::new("mlr", 4, 4).job(),
+    ]);
+    let stats = c.comm_stats();
+    let bytes: u64 = reports.iter().map(|r| r.total_push_bytes()).sum();
+    assert_eq!(stats.push_bytes, bytes);
+    assert!(stats.sparse_pushes >= 4, "every LDA iteration went sparse");
+    assert!(stats.dense_pushes >= 4, "every MLR iteration stayed dense");
+    assert!(stats.density() < 1.0);
+    assert!(stats.bytes_saved() > 0);
 }
 
 #[test]
@@ -235,7 +314,7 @@ fn pool_reuses_buffers_across_runs() {
         panic!("pooled buffers were not returned: {:?}", c.pool_stats());
     }
 
-    let c = cluster(2, true);
+    let c = cluster(2, true, true);
     let _ = c.run_jobs(vec![Spec::new("lasso", 2, 4).job()]);
     let first = settled(&c);
     let _ = c.run_jobs(vec![Spec::new("lasso", 2, 4).job()]);

@@ -206,3 +206,64 @@ fn prediction_samples_are_collected_and_finite() {
         assert!(p.iteration_error().is_finite());
     }
 }
+
+/// Sparse-wire modelling: declaring a job coordinate-sparse via
+/// [`PushDensity`] shrinks its PUSH subtasks (PULL stays dense), so on
+/// a network-heavy workload the sparse arm finishes that job sooner and
+/// its measured profile sees the effective (smaller) wire. The closed
+/// loop then prices the real transfer without any flag on the scheduler
+/// side — the simulator measures effective Tnet directly.
+#[test]
+fn sparse_push_density_shortens_the_sparse_jobs_run() {
+    use harmony::core::{AppKind, JobSpec, SyncKind};
+    use harmony::mem::GcModel;
+    use harmony::sim::PushDensity;
+    let spec = |name: &str, comp: f64, net: f64| JobSpec {
+        name: name.into(),
+        app: AppKind::Lda,
+        dataset: "synthetic".into(),
+        input_bytes: 2 << 30,
+        model_bytes: 64 << 20,
+        comp_cost: comp,
+        net_cost: net,
+        sync: SyncKind::ParameterServer,
+        pull_fraction: 0.25,
+        iters_per_epoch: 10,
+        target_epochs: 8,
+    };
+    let specs = vec![
+        spec("sparse", 20.0, 16.0),
+        spec("peer-a", 20.0, 16.0),
+        spec("peer-b", 24.0, 12.0),
+    ];
+    let arrivals = vec![0.0; specs.len()];
+    // Deterministic costs: no straggler noise, no reload machinery,
+    // flat GC — the wire density is the only difference between arms.
+    let base = SimConfig {
+        machines: 12,
+        straggler_cv: 0.0,
+        reload: ReloadPolicy::None,
+        gc: GcModel::new(0.9, 0.0),
+        ..SimConfig::default()
+    };
+    let dense = Driver::run(base.clone(), specs.clone(), arrivals.clone());
+    let sparse = Driver::run(
+        SimConfig {
+            push_densities: vec![PushDensity {
+                job: 0,
+                density: 0.1,
+            }],
+            ..base
+        },
+        specs.clone(),
+        arrivals,
+    );
+    assert_eq!(dense.completed(), specs.len());
+    assert_eq!(sparse.completed(), specs.len());
+    let dense_jct = dense.jobs[0].jct.expect("finished");
+    let sparse_jct = sparse.jobs[0].jct.expect("finished");
+    assert!(
+        sparse_jct < dense_jct,
+        "sparse wire should shorten the job: {sparse_jct:.0}s vs {dense_jct:.0}s dense"
+    );
+}
