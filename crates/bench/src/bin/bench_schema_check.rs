@@ -299,18 +299,64 @@ fn check_schema(doc: &Json) -> Result<usize, String> {
     Ok(rows.len())
 }
 
+/// The `sim_driver` scales a committed (non-smoke) sweep must cover —
+/// the top of the ladder grows when the sweep is extended, so a stale
+/// baseline fails the check instead of silently shrinking coverage.
+const REQUIRED_SIM_SWEEP: &[(f64, f64)] = &[(640.0, 800.0), (1280.0, 1600.0), (2560.0, 3200.0)];
+
+/// Checks that a report carries `sim_driver` rows at every required
+/// sweep scale (for files flagged `--full-sweep`).
+fn check_full_sweep(doc: &Json) -> Result<(), String> {
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err("missing array field \"rows\"".to_string());
+    };
+    for &(jobs, machines) in REQUIRED_SIM_SWEEP {
+        let found = rows.iter().any(|row| {
+            row.get("case").and_then(Json::as_str) == Some("sim_driver")
+                && row.get("jobs").and_then(Json::as_num) == Some(jobs)
+                && row.get("machines").and_then(Json::as_num) == Some(machines)
+        });
+        if !found {
+            return Err(format!(
+                "full sweep is missing the sim_driver row at jobs={jobs} machines={machines}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<(String, bool)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--full-sweep" {
+            match args.next() {
+                Some(f) => files.push((f, true)),
+                None => {
+                    eprintln!("--full-sweep requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            files.push((a, false));
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: bench_schema_check <BENCH_*.json>...");
+        eprintln!("usage: bench_schema_check [--full-sweep <file>] <BENCH_*.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
-    for file in &files {
+    for (file, full_sweep) in &files {
         let result = std::fs::read_to_string(file)
             .map_err(|e| format!("read failed: {e}"))
             .and_then(|text| Parser::new(&text).parse())
-            .and_then(|doc| check_schema(&doc));
+            .and_then(|doc| {
+                let rows = check_schema(&doc)?;
+                if *full_sweep {
+                    check_full_sweep(&doc)?;
+                }
+                Ok(rows)
+            });
         match result {
             Ok(rows) => println!("{file}: ok ({rows} rows)"),
             Err(e) => {
@@ -366,6 +412,29 @@ mod tests {
         .parse()
         .expect("parses");
         assert!(check_schema(&bad_stats).is_err());
+    }
+
+    #[test]
+    fn full_sweep_requires_every_ladder_scale() {
+        let mut rep = BenchReport::new("ps_end_to_end");
+        for &(jobs, machines) in REQUIRED_SIM_SWEEP {
+            rep.push(BenchRow::new(
+                "sim_driver",
+                jobs as usize,
+                machines as u32,
+                vec![1.0],
+            ));
+        }
+        let doc = Parser::new(&rep.to_json()).parse().expect("parses");
+        assert_eq!(check_full_sweep(&doc), Ok(()));
+
+        // Drop the top scale: the sweep check must name it.
+        let mut partial = BenchReport::new("ps_end_to_end");
+        partial.push(BenchRow::new("sim_driver", 640, 800, vec![1.0]));
+        partial.push(BenchRow::new("sim_driver", 1280, 1600, vec![1.0]));
+        let doc = Parser::new(&partial.to_json()).parse().expect("parses");
+        let err = check_full_sweep(&doc).unwrap_err();
+        assert!(err.contains("jobs=2560"), "unexpected error: {err}");
     }
 
     #[test]

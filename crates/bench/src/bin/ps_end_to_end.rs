@@ -242,9 +242,23 @@ fn sparse_wire_row(
         .with_push_bytes(push_bytes)
 }
 
+/// One simulator sweep point: wall-clock samples plus the
+/// scheduler-vs-event-loop split of the last rep.
+struct SimSweepPoint {
+    /// Wall-clock ms per rep (whole `Driver::run`).
+    samples: Vec<f64>,
+    /// Time inside scheduler decisions (ms, last rep).
+    sched_ms: f64,
+    /// Event-loop time outside the scheduler — dispatch, group
+    /// teardown/rebuild, bookkeeping (ms, last rep).
+    event_ms: f64,
+    /// Full scheduling passes the run performed.
+    passes: usize,
+}
+
 /// Times `Driver::run` on a synthetic workload of `jobs` jobs over
-/// `machines` machines, `reps` times; returns wall-clock ms samples.
-fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> Vec<f64> {
+/// `machines` machines, `reps` times.
+fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> SimSweepPoint {
     let per_pair = jobs.div_ceil(8).max(1) as u32;
     let specs: Vec<_> = workload_with(WorkloadParams {
         hyper_params: per_pair,
@@ -253,16 +267,24 @@ fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> Vec<f64> {
     .into_iter()
     .take(jobs)
     .collect();
-    (0..reps)
-        .map(|_| {
-            let arrivals = vec![0.0; specs.len()];
-            let t0 = Instant::now();
-            let report = Driver::run(harmony_config(machines), specs.clone(), arrivals);
-            let dt = t0.elapsed().as_secs_f64() * 1e3;
-            assert!(report.completed() > 0, "simulated run completed no jobs");
-            dt
-        })
-        .collect()
+    let mut point = SimSweepPoint {
+        samples: Vec::with_capacity(reps),
+        sched_ms: 0.0,
+        event_ms: 0.0,
+        passes: 0,
+    };
+    for _ in 0..reps {
+        let arrivals = vec![0.0; specs.len()];
+        let t0 = Instant::now();
+        let report = Driver::run(harmony_config(machines), specs.clone(), arrivals);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(report.completed() > 0, "simulated run completed no jobs");
+        point.samples.push(dt);
+        point.sched_ms = report.sched_wall.as_secs_f64() * 1e3;
+        point.event_ms = report.event_wall.as_secs_f64() * 1e3;
+        point.passes = report.sched_invocations;
+    }
+    point
 }
 
 /// Parses `--smoke` / `--out <path>` / `--ps-out <path>`.
@@ -340,16 +362,45 @@ fn main() {
     println!("executor discipline held on every rep (CPU cap 1, COMM cap 2)");
 
     // Simulator event-loop sweep: full Harmony runs at growing scale.
-    let sim_scales: &[(usize, u32)] = if smoke {
-        &[(20, 25)]
+    // The top two scales take tens of seconds per rep, so they run
+    // fewer reps (`(jobs, machines, reps)` triples).
+    let sim_scales: &[(usize, u32, usize)] = if smoke {
+        &[(20, 25, 2)]
     } else {
-        &[(20, 25), (80, 100), (160, 200), (320, 400), (640, 800)]
+        &[
+            (20, 25, 5),
+            (80, 100, 5),
+            (160, 200, 5),
+            (320, 400, 5),
+            (640, 800, 5),
+            (1280, 1600, 3),
+            (2560, 3200, 2),
+        ]
     };
-    let sim_reps = if smoke { 2 } else { 5 };
-    for &(jobs, machines) in sim_scales {
-        let samples = time_sim_driver(jobs, machines, sim_reps);
-        report.push(BenchRow::new("sim_driver", jobs, machines, samples));
+    let mut sim_table = TextTable::new([
+        "jobs",
+        "machines",
+        "total median (ms)",
+        "scheduler (ms)",
+        "event loop (ms)",
+        "passes",
+    ]);
+    for &(jobs, machines, reps) in sim_scales {
+        let point = time_sim_driver(jobs, machines, reps);
+        let row = BenchRow::new("sim_driver", jobs, machines, point.samples);
+        let (median, _, _) = row.stats();
+        sim_table.row([
+            jobs.to_string(),
+            machines.to_string(),
+            format!("{median:.1}"),
+            format!("{:.1}", point.sched_ms),
+            format!("{:.1}", point.event_ms),
+            point.passes.to_string(),
+        ]);
+        report.push(row);
     }
+    println!("\nsimulator sweep (wall split: scheduler decisions vs event loop)\n");
+    println!("{sim_table}");
 
     report.write(&out_path).expect("write bench report");
     println!("wrote {}", out_path.display());

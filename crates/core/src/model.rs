@@ -191,13 +191,41 @@ pub fn group_utilization(profiles: &[&JobProfile], m: u32) -> Utilization {
 ///
 /// Panics if any group has zero machines.
 pub fn cluster_utilization(groups: &[(Vec<&JobProfile>, u32)]) -> Utilization {
+    cluster_utilization_from_terms(groups.iter().map(|(profiles, m)| {
+        assert!(*m > 0, "every job group needs at least one machine");
+        (group_utilization(profiles, *m), *m)
+    }))
+}
+
+/// Eq. 4 fold over precomputed per-group utilization terms.
+///
+/// This is the machine-weighted average [`cluster_utilization`]
+/// performs, split out so callers that cache per-group
+/// [`group_utilization`] results (the regrouper's incremental
+/// candidate scans) can refold them without re-deriving every term.
+/// The accumulation order and arithmetic are identical to
+/// [`cluster_utilization`], so folding cached terms is bit-identical
+/// to recomputing the whole cluster as long as the cached terms
+/// themselves are bit-identical.
+///
+/// Every component of the result is bounded by `1.0`: each term's
+/// `cpu`/`net` is `≤ 1.0` (a group's busy time never exceeds its
+/// iteration), so the weighted numerator is termwise dominated by the
+/// machine total, IEEE addition is monotone, and `x / t ≤ 1.0` exactly
+/// when `x ≤ t`.
+///
+/// # Panics
+///
+/// Panics if any group has zero machines.
+pub fn cluster_utilization_from_terms(
+    terms: impl IntoIterator<Item = (Utilization, u32)>,
+) -> Utilization {
     let mut total_m = 0.0;
     let mut cpu = 0.0;
     let mut net = 0.0;
-    for (profiles, m) in groups {
-        assert!(*m > 0, "every job group needs at least one machine");
-        let u = group_utilization(profiles, *m);
-        let mf = f64::from(*m);
+    for (u, m) in terms {
+        assert!(m > 0, "every job group needs at least one machine");
+        let mf = f64::from(m);
         cpu += mf * u.cpu;
         net += mf * u.net;
         total_m += mf;

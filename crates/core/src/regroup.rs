@@ -16,12 +16,23 @@
 //!   5%, and only then escalates to partial rescheduling over a growing
 //!   set of involved groups, preferring decisions that involve fewer
 //!   jobs unless a larger decision is ≥ 5% better.
+//!
+//! With [`Regrouper::with_incremental`] the decision paths run
+//! incrementally — per-group Eq. 3 terms are frozen once per call and
+//! refolded per candidate, and the escalation ladder is skipped
+//! outright when the current grouping already saturates the acceptance
+//! gate (no candidate can score past `base × (1 + threshold)` when
+//! that bound exceeds the provable score ceiling). Both shortcuts are
+//! decision-neutral: the incremental arm returns bit-identical
+//! decisions, which `tests/sim_equivalence.rs` asserts end-to-end.
 
 use crate::group::{GroupId, Grouping};
 use crate::job::JobId;
-use crate::model::{cluster_utilization, Utilization};
+use crate::model::{
+    cluster_utilization, cluster_utilization_from_terms, group_utilization, Utilization,
+};
 use crate::profile::ProfileStore;
-use crate::schedule::{ScheduleOutcome, Scheduler};
+use crate::schedule::{ScheduleOutcome, Scheduler, SCORE_CEILING};
 
 /// The master's view of cluster state handed to the regrouper.
 #[derive(Debug, Clone)]
@@ -67,17 +78,72 @@ pub enum RegroupDecision {
     },
 }
 
+/// Per-group Eq. 3 term cache for the incremental candidate scans:
+/// one entry per group in grouping order, `None` for job-less groups
+/// (the Eq. 4 fold skips them entirely, matching
+/// [`Regrouper::utilization_of`]'s filter).
+type GroupTerms = Vec<Option<(Utilization, u32)>>;
+
 /// Stateless regrouping policy around a [`Scheduler`].
 #[derive(Debug, Clone, Default)]
 pub struct Regrouper {
     scheduler: Scheduler,
+    incremental: bool,
 }
 
 impl Regrouper {
     /// Creates a regrouper using the given scheduler (and its
     /// improvement threshold).
     pub fn new(scheduler: Scheduler) -> Self {
-        Self { scheduler }
+        Self {
+            scheduler,
+            incremental: false,
+        }
+    }
+
+    /// Enables (or disables) the incremental decision paths: the
+    /// saturation prune on escalation and the per-group term refolds.
+    /// Both are provably decision-neutral — every answer is
+    /// bit-identical to the non-incremental arm — but the flag keeps
+    /// the original code path alive as the equivalence oracle, per the
+    /// house equivalence-gate style.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether no proposal can clear the acceptance gate over `base`:
+    /// every achievable cluster score is `<= SCORE_CEILING` (see the
+    /// ceiling proof at [`SCORE_CEILING`] — Eq. 3 ratios are exact
+    /// `<= 1.0`, the Eq. 4 fold's relative error is `< 5e-7`), so once
+    /// `base * (1 + threshold) >= SCORE_CEILING` the comparison
+    /// `score > base * (1 + threshold)` is false for every candidate
+    /// and the scan's outcome is `NoChange` without running it.
+    /// `base == 0.0` bypasses the gate, so a saturated prune also
+    /// requires a positive base.
+    fn saturated(&self, base: f64) -> bool {
+        self.incremental
+            && base > 0.0
+            && base * (1.0 + self.scheduler.config().improvement_threshold) >= SCORE_CEILING
+    }
+
+    /// Builds the per-group Eq. 3 term cache for `grouping`: the exact
+    /// values [`Self::utilization_of`] would feed the Eq. 4 fold, in
+    /// the same group order, so refolding any subset of them is
+    /// bit-identical to rebuilding that subset's cluster utilization
+    /// from scratch.
+    fn group_terms(&self, grouping: &Grouping, profiles: &ProfileStore) -> GroupTerms {
+        grouping
+            .groups()
+            .iter()
+            .map(|g| {
+                if g.jobs().is_empty() {
+                    return None;
+                }
+                let profs: Vec<_> = g.jobs().iter().filter_map(|&j| profiles.get(j)).collect();
+                Some((group_utilization(&profs, g.dop()), g.dop()))
+            })
+            .collect()
     }
 
     /// Relative difference `|a - b| / max(|b|, ε)`.
@@ -142,20 +208,59 @@ impl Regrouper {
         }
 
         let threshold = self.scheduler.config().improvement_threshold;
-        let base = self
-            .utilization_of(&view.grouping, profiles)
-            .score(self.scheduler.config().cpu_weight);
+        let cpu_weight = self.scheduler.config().cpu_weight;
+        // Incremental arm: cache every group's Eq. 3 term once, then
+        // score each "add the job to group g" candidate by refolding
+        // the cached terms with only g's term re-derived — O(groups)
+        // per candidate instead of a grouping clone plus a full
+        // cluster recomputation. The refold walks the same group
+        // order with the same arithmetic, so scores are bit-identical
+        // to the non-incremental arm.
+        let terms = self
+            .incremental
+            .then(|| self.group_terms(&view.grouping, profiles));
+        let base = match &terms {
+            Some(terms) => {
+                cluster_utilization_from_terms(terms.iter().flatten().copied()).score(cpu_weight)
+            }
+            None => self
+                .utilization_of(&view.grouping, profiles)
+                .score(cpu_weight),
+        };
+        if self.saturated(base) {
+            return RegroupDecision::NoChange;
+        }
 
         let mut best: Option<(GroupId, f64)> = None;
-        for g in view.grouping.groups() {
-            let mut candidate = view.grouping.clone();
-            candidate
-                .group_mut(g.id())
-                .expect("group exists")
-                .push_job(job);
-            let score = self
-                .utilization_of(&candidate, profiles)
-                .score(self.scheduler.config().cpu_weight);
+        for (gi, g) in view.grouping.groups().iter().enumerate() {
+            let score = match &terms {
+                Some(terms) => {
+                    // `push_job` appends, so the candidate group's
+                    // profile list is its old list plus the new job's
+                    // profile at the end — and a previously job-less
+                    // group (term `None`) enters the fold.
+                    let mut profs: Vec<_> =
+                        g.jobs().iter().filter_map(|&j| profiles.get(j)).collect();
+                    profs.extend(profiles.get(job));
+                    let term = Some((group_utilization(&profs, g.dop()), g.dop()));
+                    cluster_utilization_from_terms(terms.iter().enumerate().filter_map(|(i, t)| {
+                        if i == gi {
+                            term
+                        } else {
+                            *t
+                        }
+                    }))
+                    .score(cpu_weight)
+                }
+                None => {
+                    let mut candidate = view.grouping.clone();
+                    candidate
+                        .group_mut(g.id())
+                        .expect("group exists")
+                        .push_job(job);
+                    self.utilization_of(&candidate, profiles).score(cpu_weight)
+                }
+            };
             if best.is_none_or(|(_, s)| score > s) {
                 best = Some((g.id(), score));
             }
@@ -336,9 +441,27 @@ impl Regrouper {
     ) -> RegroupDecision {
         let cpu_weight = self.scheduler.config().cpu_weight;
         let threshold = self.scheduler.config().improvement_threshold;
-        let base_score = self
-            .utilization_of(&view.grouping, profiles)
-            .score(cpu_weight);
+        // Incremental arm: freeze every group's Eq. 3 term once; each
+        // rung of the ladder refolds the cached terms of untouched
+        // groups with only the proposal's terms re-derived.
+        let terms = self
+            .incremental
+            .then(|| self.group_terms(&view.grouping, profiles));
+        let base_score = match &terms {
+            Some(terms) => {
+                cluster_utilization_from_terms(terms.iter().flatten().copied()).score(cpu_weight)
+            }
+            None => self
+                .utilization_of(&view.grouping, profiles)
+                .score(cpu_weight),
+        };
+        // The ladder runs Algorithm 1 once per rung over a growing job
+        // set — the per-event cost that scales with jobs × machines.
+        // When the current grouping already saturates the acceptance
+        // gate, no rung can be accepted; skip the whole ladder.
+        if self.saturated(base_score) {
+            return RegroupDecision::NoChange;
+        }
 
         // Candidate group sets: start with {repaired group + smallest
         // group}, then grow by the next-smallest groups.
@@ -377,23 +500,46 @@ impl Regrouper {
                 continue;
             }
             // Score the whole cluster: untouched groups + the proposal.
-            let mut whole: Vec<(Vec<&crate::profile::JobProfile>, u32)> = Vec::new();
-            for g in view.grouping.groups() {
-                if involved.contains(&g.id()) || g.jobs().is_empty() {
-                    continue;
+            let score = match &terms {
+                Some(terms) => cluster_utilization_from_terms(
+                    view.grouping
+                        .groups()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, g)| {
+                            if involved.contains(&g.id()) || g.jobs().is_empty() {
+                                None
+                            } else {
+                                terms[i]
+                            }
+                        })
+                        .chain(outcome.grouping.groups().iter().map(|g| {
+                            let profs: Vec<_> =
+                                g.jobs().iter().filter_map(|&j| profiles.get(j)).collect();
+                            (group_utilization(&profs, g.dop()), g.dop())
+                        })),
+                )
+                .score(cpu_weight),
+                None => {
+                    let mut whole: Vec<(Vec<&crate::profile::JobProfile>, u32)> = Vec::new();
+                    for g in view.grouping.groups() {
+                        if involved.contains(&g.id()) || g.jobs().is_empty() {
+                            continue;
+                        }
+                        whole.push((
+                            g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
+                            g.dop(),
+                        ));
+                    }
+                    for g in outcome.grouping.groups() {
+                        whole.push((
+                            g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
+                            g.dop(),
+                        ));
+                    }
+                    cluster_utilization(&whole).score(cpu_weight)
                 }
-                whole.push((
-                    g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
-                    g.dop(),
-                ));
-            }
-            for g in outcome.grouping.groups() {
-                whole.push((
-                    g.jobs().iter().filter_map(|&j| profiles.get(j)).collect(),
-                    g.dop(),
-                ));
-            }
-            let score = cluster_utilization(&whole).score(cpu_weight);
+            };
             let moved = outcome.grouping.total_jobs();
             // Prefer fewer moved jobs unless a bigger decision is ≥5%
             // better than the current best.

@@ -176,7 +176,7 @@ const SPARSE_SWAP_SAMPLES: usize = 48;
 /// Once the incumbent satisfies
 /// `best_score * (1 + min_loop_improvement) >= SCORE_CEILING`, no later
 /// prefix can win the reduction and the scan may stop.
-const SCORE_CEILING: f64 = 1.0 + 1e-5;
+pub(crate) const SCORE_CEILING: f64 = 1.0 + 1e-5;
 
 /// Magnitude guard for the same-sign swap prunes. Skipping the pair
 /// scan is exact only while the worst-case absolute rounding error of
@@ -304,6 +304,34 @@ impl Scheduler {
             };
         }
         cache.rebuild_charged(jobs, self.cfg.charge_sparse_comm);
+        self.schedule_prepared(jobs, machines, 1, cache, scratch)
+    }
+
+    /// [`Self::schedule_reusing`] through the dirty-set cache path
+    /// ([`ProfileCache::rebuild_dirty`]): positions whose profiles are
+    /// unchanged since the previous decision keep their cached
+    /// durations and sort ranks, and an entirely unchanged job list
+    /// keeps the cache's generation, letting the scratch skip its
+    /// prefix gathers too. The decision is bit-identical to
+    /// [`Self::schedule_reusing`] — the dirty rebuild reproduces the
+    /// full rebuild's state exactly (see `rebuild_dirty`'s invariant
+    /// and the property tests in `crates/core/tests/`).
+    pub fn schedule_reusing_incremental(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        cache: &mut ProfileCache,
+        scratch: &mut ScheduleScratch,
+    ) -> ScheduleOutcome {
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
+            };
+        }
+        cache.rebuild_dirty_charged(jobs, self.cfg.charge_sparse_comm);
         self.schedule_prepared(jobs, machines, 1, cache, scratch)
     }
 

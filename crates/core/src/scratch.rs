@@ -69,6 +69,18 @@ pub struct ProfileCache {
     /// with CPU work, `0` for fully idle profiles — never NaN, so the
     /// split search is total).
     pub(crate) ratio_key: Vec<f64>,
+    /// Monotonic build stamp: bumped by every rebuild that changed any
+    /// cached value. [`ScheduleScratch::load_prefix`] keys its loaded
+    /// prefix on this, so a decision over an unchanged cache skips the
+    /// initial prefix gather.
+    pub(crate) generation: u64,
+    /// Scratch: dirty positions of the current incremental rebuild.
+    dirty: Vec<u32>,
+    /// Scratch: per-position dirty mask of the current incremental
+    /// rebuild.
+    dirty_mask: Vec<bool>,
+    /// Scratch: merge output buffer for order repair.
+    merged: Vec<u32>,
 }
 
 impl ProfileCache {
@@ -111,6 +123,10 @@ impl ProfileCache {
             size_order: Vec::new(),
             ratio_order: Vec::new(),
             ratio_key: Vec::new(),
+            generation: 0,
+            dirty: Vec::new(),
+            dirty_mask: Vec::new(),
+            merged: Vec::new(),
         }
     }
 
@@ -156,11 +172,11 @@ impl ProfileCache {
         let Self {
             tcpu1,
             tnet,
-            tapply: _,
             id,
             size_order,
             ratio_order,
             ratio_key,
+            ..
         } = self;
         size_order.clear();
         size_order.extend(0..n as u32);
@@ -188,6 +204,178 @@ impl ProfileCache {
                 .total_cmp(&ratio_key[a as usize])
                 .then_with(|| id[a as usize].cmp(&id[b as usize]))
         });
+        self.generation += 1;
+    }
+
+    /// [`Self::rebuild`] that reuses the previous build where possible:
+    /// the dirty-set path of the incremental reschedule pipeline.
+    ///
+    /// When the job list has the same shape as the cached one (same
+    /// length, same `JobId` at every position), only positions whose
+    /// cached durations actually changed are re-derived, and the two
+    /// sort orders are repaired by merging the re-sorted dirty
+    /// positions into the retained clean ones — O(n + k log k) for `k`
+    /// dirty jobs instead of two O(n log n) sorts. A shape change
+    /// falls back to the full rebuild.
+    ///
+    /// **Byte-identity:** both comparators are strict total orders
+    /// (`total_cmp` on the key, `JobId` tie-break — ids are distinct),
+    /// so the sorted permutation is unique; merging two sorted
+    /// subsequences under the same order reproduces exactly the
+    /// permutation a full sort would. Values are compared by
+    /// `to_bits`, so even a `-0.0 → 0.0` change (which `total_cmp`
+    /// orders) marks the position dirty. The property test in
+    /// `crates/core/tests/` asserts state equality against a fresh
+    /// [`Self::build`] over arbitrary dirty subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn rebuild_dirty(&mut self, jobs: &[JobProfile]) {
+        self.rebuild_dirty_charged(jobs, false);
+    }
+
+    /// [`Self::rebuild_dirty`] with the density-aware COMM charge (see
+    /// [`Self::build_charged`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is cold (same contract as
+    /// [`JobProfile::tcpu_at`]).
+    pub fn rebuild_dirty_charged(&mut self, jobs: &[JobProfile], charge_sparse_comm: bool) {
+        let n = jobs.len();
+        if n != self.len() || jobs.iter().zip(&self.id).any(|(p, &id)| p.job() != id) {
+            self.rebuild_charged(jobs, charge_sparse_comm);
+            return;
+        }
+
+        self.dirty.clear();
+        for (i, p) in jobs.iter().enumerate() {
+            let tcpu1 = p.tcpu_at(1);
+            let tnet = if charge_sparse_comm {
+                p.tnet() * p.push_density()
+            } else {
+                p.tnet()
+            };
+            let tapply = p.tapply();
+            if tcpu1.to_bits() != self.tcpu1[i].to_bits()
+                || tnet.to_bits() != self.tnet[i].to_bits()
+                || tapply.to_bits() != self.tapply[i].to_bits()
+            {
+                self.tcpu1[i] = tcpu1;
+                self.tnet[i] = tnet;
+                self.tapply[i] = tapply;
+                self.ratio_key[i] = if tnet > 0.0 {
+                    tcpu1 / tnet
+                } else if tcpu1 > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                self.dirty.push(i as u32);
+            }
+        }
+        if self.dirty.is_empty() {
+            return;
+        }
+
+        self.dirty_mask.clear();
+        self.dirty_mask.resize(n, false);
+        for &p in &self.dirty {
+            self.dirty_mask[p as usize] = true;
+        }
+
+        let Self {
+            tcpu1,
+            tnet,
+            id,
+            size_order,
+            ratio_order,
+            ratio_key,
+            dirty,
+            dirty_mask,
+            merged,
+            ..
+        } = self;
+        let size_cmp = |a: u32, b: u32| {
+            let ta = tcpu1[a as usize] + tnet[a as usize];
+            let tb = tcpu1[b as usize] + tnet[b as usize];
+            tb.total_cmp(&ta)
+                .then_with(|| id[a as usize].cmp(&id[b as usize]))
+        };
+        dirty.sort_unstable_by(|&a, &b| size_cmp(a, b));
+        Self::repair_order(size_order, dirty, dirty_mask, merged, size_cmp);
+
+        let ratio_cmp = |a: u32, b: u32| {
+            ratio_key[b as usize]
+                .total_cmp(&ratio_key[a as usize])
+                .then_with(|| id[a as usize].cmp(&id[b as usize]))
+        };
+        dirty.sort_unstable_by(|&a, &b| ratio_cmp(a, b));
+        Self::repair_order(ratio_order, dirty, dirty_mask, merged, ratio_cmp);
+
+        self.generation += 1;
+    }
+
+    /// Repairs one sort order after a dirty-set update: drops the
+    /// dirty positions (the retained ones stay sorted — their keys are
+    /// unchanged) and merges the re-sorted dirty positions back in.
+    fn repair_order(
+        order: &mut Vec<u32>,
+        dirty: &[u32],
+        dirty_mask: &[bool],
+        merged: &mut Vec<u32>,
+        cmp: impl Fn(u32, u32) -> std::cmp::Ordering,
+    ) {
+        order.retain(|&p| !dirty_mask[p as usize]);
+        merged.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < order.len() && j < dirty.len() {
+            if cmp(order[i], dirty[j]).is_lt() {
+                merged.push(order[i]);
+                i += 1;
+            } else {
+                merged.push(dirty[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&order[i..]);
+        merged.extend_from_slice(&dirty[j..]);
+        std::mem::swap(order, merged);
+    }
+
+    /// Canonical little-endian byte serialization of the cache's
+    /// semantic state (durations, ids, orders, keys — not scratch
+    /// buffers or the build stamp). Two caches with equal bytes are
+    /// interchangeable for every scheduling decision; the dirty-set
+    /// property tests compare incremental and full rebuilds through
+    /// this.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in &self.tcpu1 {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for v in &self.tnet {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for v in &self.tapply {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for v in &self.id {
+            out.extend_from_slice(&v.index().to_le_bytes());
+        }
+        for v in &self.size_order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.ratio_order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.ratio_key {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
     }
 
     /// Number of cached jobs.
@@ -276,6 +464,14 @@ pub struct ScheduleScratch {
     pub(crate) grid: Vec<usize>,
     /// Loaded prefix length (guards against stale reuse).
     pub(crate) loaded_nj: usize,
+    /// [`ProfileCache::generation`] at the last [`Self::load_prefix`]
+    /// (`0` = never loaded; a built cache's generation is always
+    /// ≥ 1). Together with `loaded_nj` this keys the loaded views, so
+    /// re-loading the same prefix of an unchanged cache is free — the
+    /// common case when [`ProfileCache::rebuild_dirty`] found nothing
+    /// dirty between decisions. A scratch must stay paired with one
+    /// cache for this key to be sound (every caller owns the pair).
+    pub(crate) loaded_gen: u64,
 }
 
 impl ScheduleScratch {
@@ -289,6 +485,17 @@ impl ScheduleScratch {
     /// sums. O(n) time, allocation-free after warm-up.
     pub(crate) fn load_prefix(&mut self, cache: &ProfileCache, nj: usize) {
         debug_assert!(nj <= cache.len());
+
+        // Same prefix of the same build: every loaded view is already
+        // exact. `sub_size` may sit in a DoP-sorted permutation from a
+        // later `sort_prefix_by_dop` call, but that call only runs for
+        // prefixes that re-sort unconditionally (and its comparator is
+        // a strict total order, so the result is permutation-
+        // independent); everything else loaded here is determined by
+        // the *set* of prefix positions, not their order.
+        if nj == self.loaded_nj && self.loaded_gen == cache.generation && self.loaded_gen != 0 {
+            return;
+        }
 
         self.sub_size.clear();
         for &p in &cache.size_order {
@@ -324,6 +531,7 @@ impl ScheduleScratch {
         }
 
         self.loaded_nj = nj;
+        self.loaded_gen = cache.generation;
     }
 
     /// Re-sorts the loaded prefix by iteration time at uniform DoP
@@ -457,5 +665,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dirty_rebuild_generation_tracks_changes() {
+        let mut jobs = vec![prof(0, 4.0, 2.0), prof(1, 3.0, 1.0)];
+        let mut cache = ProfileCache::build(&jobs);
+        let g0 = cache.generation;
+
+        // Nothing changed: the cache keeps its generation, so a scratch
+        // whose `loaded_gen` matches can skip `load_prefix` entirely.
+        cache.rebuild_dirty(&jobs);
+        assert_eq!(cache.generation, g0);
+
+        // A real value change bumps it.
+        jobs[1] = prof(1, 9.0, 1.0);
+        cache.rebuild_dirty(&jobs);
+        assert_eq!(cache.generation, g0 + 1);
+        assert_eq!(cache.size_order, vec![1, 0]);
+
+        // A full rebuild always bumps, even when values are identical —
+        // it reorders nothing but the caller asked for a fresh build.
+        cache.rebuild(&jobs);
+        assert_eq!(cache.generation, g0 + 2);
+    }
+
+    #[test]
+    fn load_prefix_generation_guard_skips_clean_reload() {
+        let jobs = vec![prof(0, 1.0, 1.0), prof(1, 9.0, 3.0), prof(2, 4.0, 4.0)];
+        let cache = ProfileCache::build(&jobs);
+        let mut s = ScheduleScratch::new();
+        s.load_prefix(&cache, 3);
+        let gen = s.loaded_gen;
+        assert_eq!(gen, cache.generation);
+        // Poison a loaded buffer, reload with the same (nj, generation):
+        // the guard must skip the reload and leave the poison in place —
+        // proving the skip actually happens.
+        s.ps_cpu[0] = f64::NAN;
+        s.load_prefix(&cache, 3);
+        assert!(s.ps_cpu[0].is_nan());
+        // A different prefix length reloads for real.
+        s.load_prefix(&cache, 2);
+        assert_eq!(s.ps_cpu[0], 0.0);
     }
 }

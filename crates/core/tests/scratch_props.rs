@@ -1,0 +1,156 @@
+//! Property tests for the dirty-set profile-cache rebuild
+//! ([`ProfileCache::rebuild_dirty`]): over *arbitrary* dirty subsets —
+//! any number of jobs re-observed with any new durations, densities
+//! and DoPs, in any order — the incrementally repaired cache must be
+//! byte-identical ([`ProfileCache::state_bytes`]) to a cache built
+//! from scratch over the same profiles. This is the load-bearing
+//! guarantee behind `SimConfig::incremental_resched`: the simulator's
+//! equivalence gate only proves the end-to-end run matches; these
+//! tests pin the cache layer in isolation, including the shape-change
+//! fallback and the density-charged variant.
+
+use harmony_core::job::JobId;
+use harmony_core::profile::JobProfile;
+use harmony_core::scratch::ProfileCache;
+use proptest::prelude::*;
+
+/// A warm profile seeded from reference durations, with optional extra
+/// samples so `tapply` and `push_density` carry real values too.
+fn seed_profile(i: u64, tcpu1: f64, tnet: f64, tapply: f64, density: f64) -> JobProfile {
+    let mut p = JobProfile::from_reference(JobId::new(i), tcpu1, tnet);
+    p.observe_sample(tcpu1, tnet, tapply, 1);
+    p.observe_push_density(density);
+    p
+}
+
+/// One re-observation of an existing job: `(which, tcpu, tnet, tapply,
+/// dop, density)` — `which` is reduced modulo the population.
+type Touch = (usize, f64, f64, f64, u32, f64);
+
+fn apply_touches(jobs: &mut [JobProfile], touches: &[Touch]) {
+    for &(which, tcpu, tnet, tapply, dop, density) in touches {
+        let p = &mut jobs[which % jobs.len()];
+        p.observe_sample(tcpu / f64::from(dop), tnet, tapply, dop);
+        p.observe_push_density(density);
+    }
+}
+
+fn seeds() -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    prop::collection::vec(
+        (
+            0.01f64..100.0, // tcpu1
+            0.0f64..10.0,   // tnet (zero allowed: exercises the ∞/0 ratio keys)
+            0.0f64..5.0,    // tapply
+            0.05f64..1.0,   // push density
+        ),
+        1..40,
+    )
+}
+
+fn touches() -> impl Strategy<Value = Vec<Touch>> {
+    prop::collection::vec(
+        (
+            0usize..usize::MAX,
+            0.01f64..100.0,
+            0.0f64..10.0,
+            0.0f64..5.0,
+            1u32..32,
+            0.05f64..1.0,
+        ),
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core identity: seed a population, build the cache, touch an
+    /// arbitrary subset of jobs (possibly none, possibly all of them,
+    /// possibly several times each), then `rebuild_dirty` — the cache
+    /// state must equal a from-scratch build bit for bit, under both
+    /// the plain and the density-charged COMM pricing.
+    #[test]
+    fn dirty_rebuild_matches_full_build(
+        seeds in seeds(),
+        touches in touches(),
+        charged in any::<bool>(),
+    ) {
+        let mut jobs: Vec<JobProfile> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t, a, d))| seed_profile(i as u64, c, t, a, d))
+            .collect();
+        let mut cache = ProfileCache::build_charged(&jobs, charged);
+
+        apply_touches(&mut jobs, &touches);
+        cache.rebuild_dirty_charged(&jobs, charged);
+
+        let fresh = ProfileCache::build_charged(&jobs, charged);
+        prop_assert_eq!(
+            cache.state_bytes(),
+            fresh.state_bytes(),
+            "incremental repair diverged from a full build \
+             ({} jobs, {} touches, charged={})",
+            jobs.len(),
+            touches.len(),
+            charged,
+        );
+    }
+
+    /// Repeated incremental rounds never drift: the same cache is
+    /// repaired through several touch batches in sequence (the
+    /// simulator's steady state) and must still match a fresh build
+    /// after every round.
+    #[test]
+    fn chained_dirty_rebuilds_stay_identical(
+        seeds in seeds(),
+        rounds in prop::collection::vec(touches(), 1..4),
+        charged in any::<bool>(),
+    ) {
+        let mut jobs: Vec<JobProfile> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t, a, d))| seed_profile(i as u64, c, t, a, d))
+            .collect();
+        let mut cache = ProfileCache::build_charged(&jobs, charged);
+        for (round, batch) in rounds.iter().enumerate() {
+            apply_touches(&mut jobs, batch);
+            cache.rebuild_dirty_charged(&jobs, charged);
+            let fresh = ProfileCache::build_charged(&jobs, charged);
+            prop_assert_eq!(
+                cache.state_bytes(),
+                fresh.state_bytes(),
+                "drift after round {}",
+                round,
+            );
+        }
+    }
+
+    /// Shape changes (a job finished, a new one profiled — the job
+    /// *set* differs, not just the values) must fall back to the full
+    /// rebuild and still land on the identical state.
+    #[test]
+    fn shape_change_falls_back_to_full_rebuild(
+        seeds in seeds(),
+        drop_last in any::<bool>(),
+        charged in any::<bool>(),
+    ) {
+        let mut jobs: Vec<JobProfile> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t, a, d))| seed_profile(i as u64, c, t, a, d))
+            .collect();
+        let mut cache = ProfileCache::build_charged(&jobs, charged);
+
+        if drop_last && jobs.len() > 1 {
+            jobs.pop();
+        } else {
+            let next = jobs.len() as u64;
+            jobs.push(seed_profile(next, 7.0, 3.0, 0.5, 0.5));
+        }
+        cache.rebuild_dirty_charged(&jobs, charged);
+
+        let fresh = ProfileCache::build_charged(&jobs, charged);
+        prop_assert_eq!(cache.state_bytes(), fresh.state_bytes());
+    }
+}

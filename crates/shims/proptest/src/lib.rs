@@ -152,6 +152,38 @@ impl_tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "whole domain" strategy (`any::<T>()`); only
+/// the types this workspace actually draws are covered.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen_range(0u8..2) == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T` (`proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
 }
 
 /// The `prop::` namespace (collection strategies).
@@ -191,7 +223,7 @@ pub mod prop {
 /// Commonly imported names, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use super::prop;
-    pub use super::{Just, ProptestConfig, Strategy, TestRng, TestRunner};
+    pub use super::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestRng, TestRunner};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
@@ -258,7 +290,7 @@ macro_rules! __proptest_items {
     (cfg = ($cfg:expr);) => {};
     (cfg = ($cfg:expr);
      $(#[$meta:meta])*
-     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
      $($rest:tt)*
     ) => {
         $(#[$meta])*

@@ -175,6 +175,23 @@ pub struct SimConfig {
     /// (asserted by `tests/sim_equivalence.rs`), so disabling it only
     /// serves as the reference arm of that comparison.
     pub fast_event_path: bool,
+    /// Incremental rescheduling: kill the per-event O(jobs × machines)
+    /// term with three provably outcome-preserving cuts. (1) The
+    /// regrouper freezes per-group Eq. 3 terms once per decision and
+    /// refolds Eq. 4 over them, so a targeted pass re-derives only the
+    /// touched group — see
+    /// [`harmony_core::regroup::Regrouper::with_incremental`]. (2) When
+    /// the incumbent utilization already saturates the score ceiling,
+    /// the regrouper's escalation ladder (one full Algorithm 1 pass per
+    /// rung) is skipped outright: no candidate can clear the
+    /// improvement threshold. (3) Full passes rebuild the profile
+    /// cache through the dirty-set path
+    /// ([`harmony_core::scratch::ProfileCache::rebuild_dirty`]), and
+    /// the event queue is sharded into per-group lanes
+    /// ([`crate::events`]). Equivalence-gated like `fast_event_path`:
+    /// `RunReport::canonical_bytes` is bit-identical with the flag off
+    /// (asserted by `tests/sim_equivalence.rs`).
+    pub incremental_resched: bool,
     /// Closed-loop online profiling (§IV-B4): pin every running job's
     /// profile to the estimate its current schedule was computed with,
     /// and trigger a reschedule when the smoothed measurement drifts
@@ -247,6 +264,7 @@ impl Default for SimConfig {
             failure_mtbf_secs: None,
             fault_plan: None,
             fast_event_path: true,
+            incremental_resched: true,
             profile_feedback: false,
             live_migration: false,
             migration_settle_iters: 8,

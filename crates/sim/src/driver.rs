@@ -6,8 +6,7 @@
 //! regrouping, completion — under one [`SchedulerKind`] and returns a
 //! [`RunReport`].
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use harmony_core::baseline::IsolatedScheduler;
@@ -21,11 +20,14 @@ use harmony_mem::AlphaController;
 use harmony_metrics::{EventLog, MigrationStats, OnlineStats, Timeline};
 
 use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
+use crate::events::LaneQueue;
 use crate::fault::FaultKind;
 use crate::fluid::TaskKey;
 use crate::groupmem::{self, FitOutcome, JobFootprint, MemoryParams};
 use crate::noise::Straggler;
-use crate::report::{GroupingSnapshot, JobOutcome, PredictionSample, RunReport};
+use crate::report::{
+    GroupingSnapshot, JobOutcome, PredictionSample, ReschedCounters, ReschedReason, RunReport,
+};
 use crate::runtime::{ExecPhase, GroupSim, JobSim, Phase, SimJobState};
 use crate::schedscratch::SimSchedScratch;
 use crate::spans::SubtaskSpan;
@@ -117,7 +119,7 @@ pub struct Driver {
     groups: Vec<Option<GroupSim>>,
     free_machines: u32,
     now: f64,
-    events: BinaryHeap<Reverse<(Time, u64, EventKind)>>,
+    events: LaneQueue<(Time, u64, EventKind)>,
     event_seq: u64,
     noise: Straggler,
     scheduler: Scheduler,
@@ -166,6 +168,8 @@ pub struct Driver {
     predictions: Vec<PredictionSample>,
     sched_invocations: usize,
     sched_wall: Duration,
+    event_wall: Duration,
+    resched_reasons: ReschedCounters,
     migrations: usize,
     failures_injected: usize,
     /// Machines permanently removed by plan-driven crashes.
@@ -206,15 +210,16 @@ impl Driver {
         Self {
             noise: Straggler::new(cfg.straggler_cv, cfg.seed ^ 0x5u64),
             scheduler: Scheduler::new(cfg.scheduler_config),
-            regrouper: Regrouper::new(Scheduler::new(cfg.scheduler_config)),
+            regrouper: Regrouper::new(Scheduler::new(cfg.scheduler_config))
+                .with_incremental(cfg.incremental_resched),
             oracle: OracleScheduler::new(cfg.scheduler_config),
             free_machines: cfg.machines,
             mem,
+            events: LaneQueue::new(cfg.incremental_resched),
             cfg,
             jobs: Vec::new(),
             groups: Vec::new(),
             now: 0.0,
-            events: BinaryHeap::new(),
             event_seq: 0,
             bootstrapped: false,
             naive_form_scheduled: false,
@@ -239,6 +244,8 @@ impl Driver {
             predictions: Vec::new(),
             sched_invocations: 0,
             sched_wall: Duration::ZERO,
+            event_wall: Duration::ZERO,
+            resched_reasons: ReschedCounters::default(),
             migrations: 0,
             failures_injected: 0,
             machines_lost: 0,
@@ -296,7 +303,13 @@ impl Driver {
 
     fn push_event(&mut self, at: f64, kind: EventKind) {
         self.event_seq += 1;
-        self.events.push(Reverse((Time(at), self.event_seq, kind)));
+        // One lane per group (wake churn dominates event traffic); all
+        // global events share lane 0.
+        let lane = match kind {
+            EventKind::Wake { group, .. } => group + 1,
+            _ => 0,
+        };
+        self.events.push(lane, (Time(at), self.event_seq, kind));
     }
 
     fn live_jobs(&self) -> usize {
@@ -331,8 +344,9 @@ impl Driver {
     }
 
     fn event_loop(&mut self) {
+        let loop_t0 = Instant::now();
         let mut stall_breaker = 0;
-        while let Some(Reverse((Time(t), _, kind))) = self.events.pop() {
+        while let Some((Time(t), _, kind)) = self.events.pop() {
             if self.live_jobs() == 0 {
                 break;
             }
@@ -450,13 +464,16 @@ impl Driver {
                 self.unstall();
             }
         }
+        // Everything the loop spent outside scheduling decisions is
+        // event-path time (fluid advancement, queue churn, memory).
+        self.event_wall = loop_t0.elapsed().saturating_sub(self.sched_wall);
     }
 
     /// Last-resort progress: re-run the placement machinery.
     fn unstall(&mut self) {
         match self.cfg.scheduler {
             SchedulerKind::Harmony | SchedulerKind::Oracle => {
-                self.full_reschedule();
+                self.reschedule_because(ReschedReason::Unstall);
                 // Anything still waiting (e.g. never profiled because no
                 // group existed) re-enters profiling.
                 let waiting: Vec<usize> = (0..self.jobs.len())
@@ -1593,9 +1610,7 @@ impl Driver {
                 for j in cold {
                     self.place_for_profiling(j);
                 }
-                if self.waiting_count() > 0 {
-                    self.full_reschedule();
-                }
+                self.reschedule_if_waiting(ReschedReason::CrashRecovery);
             }
             SchedulerKind::Isolated => {
                 for &j in &members {
@@ -1725,8 +1740,8 @@ impl Driver {
                             format!("group {g} back-filled after abort"),
                         );
                     }
-                } else if self.waiting_count() > 0 {
-                    self.full_reschedule();
+                } else {
+                    self.reschedule_if_waiting(ReschedReason::AbortRecovery);
                 }
             }
             SchedulerKind::Isolated => self.isolated_admit(),
@@ -1910,7 +1925,7 @@ impl Driver {
         if !self.bootstrapped {
             if !still_profiling {
                 self.bootstrapped = true;
-                self.full_reschedule();
+                self.reschedule_because(ReschedReason::Bootstrap);
             }
             return;
         }
@@ -1923,9 +1938,7 @@ impl Driver {
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
         self.apply_decision(decision);
-        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
-            self.full_reschedule();
-        }
+        self.reschedule_on_backlog(ReschedReason::Profiled);
     }
 
     /// A running job's profile drifted from its scheduled basis: the
@@ -1952,7 +1965,7 @@ impl Driver {
                 .begin(self.jobs[j].spec.model_bytes as f64);
             return;
         }
-        self.full_reschedule();
+        self.reschedule_because(ReschedReason::Drift);
     }
 
     /// A migrating job's checkpoint finished writing: run a targeted
@@ -1996,14 +2009,14 @@ impl Driver {
             _ => false,
         };
         if back_home {
-            self.full_reschedule();
+            self.reschedule_because(ReschedReason::MigrationEscalation);
         } else {
             self.apply_decision(decision);
         }
         // The targeted pass may decline to place the job (NoChange);
         // escalate to a cluster-wide pass rather than strand it.
         if self.jobs[j].is_live() && self.jobs[j].group.is_none() {
-            self.full_reschedule();
+            self.reschedule_because(ReschedReason::MigrationEscalation);
         }
     }
 
@@ -2011,9 +2024,7 @@ impl Driver {
         // The job was already detached inside complete_iteration; the
         // group may have dissolved if it was the last member.
         if self.groups.get(g).is_none_or(|x| x.is_none()) {
-            if self.waiting_count() > 0 {
-                self.full_reschedule();
-            }
+            self.reschedule_if_waiting(ReschedReason::Finished);
             return;
         }
         let dop = self.groups[g].as_ref().expect("alive").machines.max(1);
@@ -2032,9 +2043,7 @@ impl Driver {
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
         self.apply_decision(decision);
-        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
-            self.full_reschedule();
-        }
+        self.reschedule_on_backlog(ReschedReason::Finished);
     }
 
     fn apply_decision(&mut self, decision: RegroupDecision) {
@@ -2079,6 +2088,32 @@ impl Driver {
                     .collect();
                 self.apply_outcome(&outcome, &sim_ids);
             }
+        }
+    }
+
+    /// Counts and runs a cluster-wide pass for `reason`: every full
+    /// reschedule trigger goes through here, so the report's
+    /// [`ReschedCounters`] show *why* passes fire.
+    fn reschedule_because(&mut self, reason: ReschedReason) {
+        self.resched_reasons.bump(reason);
+        self.full_reschedule();
+    }
+
+    /// The recurring "work is waiting, re-run Algorithm 1" guard that
+    /// used to be copy-pasted at every trigger site.
+    fn reschedule_if_waiting(&mut self, reason: ReschedReason) {
+        if self.waiting_count() > 0 {
+            self.reschedule_because(reason);
+        }
+    }
+
+    /// The backlog-threshold guard
+    /// ([`SimConfig::waiting_reschedule_threshold`]): incremental
+    /// decisions handle onesie arrivals, a crossed threshold escalates
+    /// to a cluster-wide pass.
+    fn reschedule_on_backlog(&mut self, reason: ReschedReason) {
+        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
+            self.reschedule_because(reason);
         }
     }
 
@@ -2234,6 +2269,15 @@ impl Driver {
                 );
                 self.oracle.schedule(&ss.profiles, machines)
             }
+            // The dirty-set arm: unchanged profiles keep their cached
+            // durations and sort ranks (bit-identical decisions, see
+            // `schedule_reusing_incremental`).
+            _ if self.cfg.incremental_resched => self.scheduler.schedule_reusing_incremental(
+                &ss.profiles,
+                machines,
+                &mut ss.cache,
+                &mut ss.scratch,
+            ),
             _ => self.scheduler.schedule_reusing(
                 &ss.profiles,
                 machines,
@@ -2540,6 +2584,8 @@ impl Driver {
             predictions: self.predictions,
             sched_invocations: self.sched_invocations,
             sched_wall: self.sched_wall,
+            event_wall: self.event_wall,
+            resched_reasons: self.resched_reasons,
             migrations: self.migrations,
             failures: self.failures_injected,
             machines_lost: self.machines_lost,

@@ -1,0 +1,173 @@
+//! Sharded event lanes: a two-level priority queue for the driver's
+//! event heap.
+//!
+//! The single `BinaryHeap` the driver started with funnels every wake
+//! of every group through one O(log total-events) structure, so wake
+//! churn in one busy group pays for the backlog of all the others. The
+//! [`LaneQueue`] shards events into per-lane heaps (the driver maps
+//! one lane per group, plus a lane for global events) and keeps a
+//! top-level heap of *lane-head snapshots*, so a push or pop touches
+//! only its own lane — O(log lane-events) — plus an O(log lanes)
+//! top-heap update.
+//!
+//! **Order equivalence.** Event keys embed a strictly increasing
+//! sequence number, so the key order is a strict total order with no
+//! ties. The top heap always holds at least one snapshot of every
+//! lane's current head (a snapshot is pushed whenever a lane's head
+//! changes — by a push that becomes the new head, or by popping the
+//! previous head), and stale snapshots — those no longer equal to
+//! their lane's head — are skipped on pop. The first *valid* snapshot
+//! popped is therefore the minimum over all lane heads, i.e. exactly
+//! the event a single global heap would pop. `tests` below assert the
+//! pop sequence matches a reference heap under randomized interleaved
+//! push/pop traffic.
+//!
+//! The queue is flag-gated ([`SimConfig::incremental_resched`]
+//! (crate::SimConfig)): with `sharded` off it degenerates to the
+//! original single heap, serving as the reference arm of the
+//! equivalence gate — though by the argument above the arms agree on
+//! every pop, not just on the final report.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A two-level sharded priority queue: min-order over `K`, which must
+/// be globally unique (the driver's `(Time, seq, kind)` tuples are —
+/// `seq` never repeats).
+#[derive(Debug)]
+pub(crate) struct LaneQueue<K: Ord + Copy> {
+    /// Single-heap reference arm (used when `sharded` is off).
+    heap: BinaryHeap<Reverse<K>>,
+    /// Per-lane heaps (sharded arm).
+    lanes: Vec<BinaryHeap<Reverse<K>>>,
+    /// Lane-head snapshots: `(head_key, lane)`. May hold stale
+    /// entries; validity is checked against the lane's current head.
+    top: BinaryHeap<Reverse<(K, u32)>>,
+    /// Total queued events (both arms).
+    len: usize,
+    /// Route through the lanes instead of the single heap.
+    sharded: bool,
+}
+
+impl<K: Ord + Copy> LaneQueue<K> {
+    /// An empty queue; `sharded` picks the arm for its whole lifetime.
+    pub(crate) fn new(sharded: bool) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            lanes: Vec::new(),
+            top: BinaryHeap::new(),
+            len: 0,
+            sharded,
+        }
+    }
+
+    /// Queues `key` on `lane` (lanes are created on demand).
+    pub(crate) fn push(&mut self, lane: usize, key: K) {
+        self.len += 1;
+        if !self.sharded {
+            self.heap.push(Reverse(key));
+            return;
+        }
+        if lane >= self.lanes.len() {
+            self.lanes.resize_with(lane + 1, BinaryHeap::new);
+        }
+        self.lanes[lane].push(Reverse(key));
+        // Snapshot the head only when this push changed it; the old
+        // head's snapshot goes stale and is skipped on pop.
+        if self.lanes[lane].peek() == Some(&Reverse(key)) {
+            self.top.push(Reverse((key, lane as u32)));
+        }
+    }
+
+    /// Pops the globally smallest queued key.
+    pub(crate) fn pop(&mut self) -> Option<K> {
+        if !self.sharded {
+            let Reverse(key) = self.heap.pop()?;
+            self.len -= 1;
+            return Some(key);
+        }
+        while let Some(Reverse((key, lane))) = self.top.pop() {
+            let lane = lane as usize;
+            if self.lanes[lane].peek() != Some(&Reverse(key)) {
+                continue; // stale snapshot
+            }
+            self.lanes[lane].pop();
+            if let Some(&Reverse(head)) = self.lanes[lane].peek() {
+                self.top.push(Reverse((head, lane as u32)));
+            }
+            self.len -= 1;
+            return Some(key);
+        }
+        debug_assert_eq!(self.len, 0, "lanes hold events but no head snapshot");
+        None
+    }
+
+    /// Whether any event is queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic splitmix64 stream for randomized traffic.
+    fn mix(z: &mut u64) -> u64 {
+        *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = *z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    #[test]
+    fn sharded_pop_order_matches_single_heap() {
+        for seed in 0..4u64 {
+            let mut rng = seed;
+            let mut sharded = LaneQueue::new(true);
+            let mut single = LaneQueue::new(false);
+            let mut seq = 0u64;
+            let mut drained: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..2000 {
+                let r = mix(&mut rng);
+                if !r.is_multiple_of(3) || sharded.is_empty() {
+                    // Push to a random lane with a random (coarse) time
+                    // and a unique sequence number.
+                    seq += 1;
+                    let key = (r >> 8 & 0xF, seq);
+                    let lane = (r % 7) as usize;
+                    sharded.push(lane, key);
+                    single.push(lane, key);
+                } else {
+                    let a = sharded.pop();
+                    let b = single.pop();
+                    assert_eq!(a, b);
+                    drained.push(a.unwrap());
+                }
+            }
+            while let Some(a) = sharded.pop() {
+                assert_eq!(Some(a), single.pop());
+                drained.push(a);
+            }
+            assert!(single.is_empty());
+            // Each drain segment between pushes is locally sorted; the
+            // cross-check above is the real assertion, this guards the
+            // reference arm itself.
+            assert_eq!(drained.len(), seq as usize);
+        }
+    }
+
+    #[test]
+    fn interleaved_same_time_events_pop_in_seq_order() {
+        let mut q = LaneQueue::new(true);
+        for (lane, seq) in [(2usize, 1u64), (0, 2), (1, 3), (2, 4), (0, 5)] {
+            q.push(lane, (10u64, seq));
+        }
+        let mut seqs = Vec::new();
+        while let Some((_, s)) = q.pop() {
+            seqs.push(s);
+        }
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod driver;
+pub(crate) mod events;
 pub mod fault;
 pub mod fluid;
 pub mod groupmem;
@@ -52,5 +53,5 @@ pub mod spans;
 pub use config::{CompShift, PushDensity, ReloadPolicy, SchedulerKind, SimConfig};
 pub use driver::Driver;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
-pub use report::{JobOutcome, PredictionSample, RunReport};
+pub use report::{JobOutcome, PredictionSample, ReschedCounters, ReschedReason, RunReport};
 pub use spans::{ascii_gantt, to_chrome_trace, SubtaskSpan};

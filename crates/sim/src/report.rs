@@ -63,6 +63,85 @@ pub struct GroupingSnapshot {
     pub groups: Vec<(u32, usize)>,
 }
 
+/// Why a cluster-wide reschedule pass fired (the trigger site, not the
+/// decision it produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReschedReason {
+    /// The first decision, once every arrival finished profiling.
+    Bootstrap,
+    /// The waiting backlog crossed the reschedule threshold after a
+    /// job's profile became ready.
+    Profiled,
+    /// A job finished — either its backlog crossed the threshold or
+    /// its group dissolved with work still waiting.
+    Finished,
+    /// A running job's profile drifted from its scheduled basis and
+    /// live migration is off (the drift path's cluster-wide arm).
+    Drift,
+    /// An injected job abort left no surviving group to repair.
+    AbortRecovery,
+    /// A machine crash dissolved its group.
+    CrashRecovery,
+    /// The deadlock guardrail re-ran placement with live jobs but an
+    /// empty event queue.
+    Unstall,
+    /// A targeted migration pass declined to place the job or bounced
+    /// it back into the group it drifted out of.
+    MigrationEscalation,
+}
+
+/// Per-trigger-reason counts of full reschedule passes (see
+/// [`ReschedReason`]), so bench runs show *why* cluster-wide passes
+/// fire rather than just how many
+/// ([`RunReport::sched_invocations`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReschedCounters {
+    /// Passes triggered at bootstrap.
+    pub bootstrap: usize,
+    /// Passes triggered by the profiled-backlog threshold.
+    pub profiled: usize,
+    /// Passes triggered after a job finished.
+    pub finished: usize,
+    /// Passes triggered by profile drift (no live migration).
+    pub drift: usize,
+    /// Passes triggered by abort recovery.
+    pub abort_recovery: usize,
+    /// Passes triggered by crash recovery.
+    pub crash_recovery: usize,
+    /// Passes triggered by the unstall guardrail.
+    pub unstall: usize,
+    /// Passes escalated out of a targeted migration placement.
+    pub migration_escalation: usize,
+}
+
+impl ReschedCounters {
+    /// Increments the counter for `reason`.
+    pub fn bump(&mut self, reason: ReschedReason) {
+        match reason {
+            ReschedReason::Bootstrap => self.bootstrap += 1,
+            ReschedReason::Profiled => self.profiled += 1,
+            ReschedReason::Finished => self.finished += 1,
+            ReschedReason::Drift => self.drift += 1,
+            ReschedReason::AbortRecovery => self.abort_recovery += 1,
+            ReschedReason::CrashRecovery => self.crash_recovery += 1,
+            ReschedReason::Unstall => self.unstall += 1,
+            ReschedReason::MigrationEscalation => self.migration_escalation += 1,
+        }
+    }
+
+    /// Total full passes across every reason.
+    pub fn total(&self) -> usize {
+        self.bootstrap
+            + self.profiled
+            + self.finished
+            + self.drift
+            + self.abort_recovery
+            + self.crash_recovery
+            + self.unstall
+            + self.migration_escalation
+    }
+}
+
 /// Full results of one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -88,8 +167,21 @@ pub struct RunReport {
     pub predictions: Vec<PredictionSample>,
     /// Number of scheduling-algorithm invocations.
     pub sched_invocations: usize,
-    /// Total wall-clock spent inside the scheduling algorithm.
+    /// Total wall-clock spent inside the scheduling algorithm (the
+    /// decision half of the run's host cost).
     pub sched_wall: std::time::Duration,
+    /// Wall-clock spent in the event loop *outside* the scheduling
+    /// algorithm — fluid advancement, queue churn, the memory model
+    /// (the run's total host wall minus `sched_wall`). Together the
+    /// two halves show which side a perf change moved. Excluded from
+    /// [`Self::canonical_bytes`] like every wall-clock field.
+    pub event_wall: std::time::Duration,
+    /// Full reschedule passes by trigger reason. Diagnostics only:
+    /// excluded from [`Self::canonical_bytes`], because cross-run
+    /// equivalence harnesses (migration equivalence) compare runs
+    /// whose trigger mix legitimately differs while every decision
+    /// coincides — `sched_invocations` is the canonical gate.
+    pub resched_reasons: ReschedCounters,
     /// Jobs that went through at least one migration.
     pub migrations: usize,
     /// Machine failures injected (§VI fault-tolerance experiments).
@@ -310,6 +402,8 @@ mod tests {
             predictions: Vec::new(),
             sched_invocations: 0,
             sched_wall: std::time::Duration::ZERO,
+            event_wall: std::time::Duration::ZERO,
+            resched_reasons: ReschedCounters::default(),
             migrations: 0,
             failures: 0,
             machines_lost: 0,
@@ -376,6 +470,8 @@ mod tests {
         let mut a = report(vec![outcome(Some(10.0)), outcome(None)]);
         let mut b = a.clone();
         b.sched_wall = std::time::Duration::from_secs(42);
+        b.event_wall = std::time::Duration::from_secs(7);
+        b.resched_reasons.bump(ReschedReason::Bootstrap);
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
 
         b.jobs[0].iterations += 1;
@@ -390,5 +486,26 @@ mod tests {
         let mut d = a.clone();
         d.live_migration.begin(1024.0);
         assert_ne!(a.canonical_bytes(), d.canonical_bytes());
+    }
+
+    #[test]
+    fn resched_counters_bump_and_total() {
+        let mut c = ReschedCounters::default();
+        for reason in [
+            ReschedReason::Bootstrap,
+            ReschedReason::Profiled,
+            ReschedReason::Finished,
+            ReschedReason::Drift,
+            ReschedReason::AbortRecovery,
+            ReschedReason::CrashRecovery,
+            ReschedReason::Unstall,
+            ReschedReason::MigrationEscalation,
+        ] {
+            c.bump(reason);
+        }
+        c.bump(ReschedReason::Finished);
+        assert_eq!(c.finished, 2);
+        assert_eq!(c.bootstrap, 1);
+        assert_eq!(c.total(), 9);
     }
 }

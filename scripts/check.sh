@@ -4,13 +4,15 @@
 # Usage: scripts/check.sh [--bench-smoke]
 #   --bench-smoke  additionally run the perf-baseline binaries at tiny
 #                  scale and validate their emitted JSON — plus the
-#                  committed BENCH_*.json files (including the enlarged
-#                  sim_driver sweep) — against the perfjson schema (see
-#                  crates/bench/src/perfjson.rs), run the simulator
-#                  fast-event-path, PS fast-runtime, sparse-wire and
-#                  live-migration equivalence gates at tiny scale, and
-#                  run the PS steady-state allocation audit (counting
-#                  global allocator, `alloc-count` feature).
+#                  committed BENCH_*.json files (the committed sim
+#                  sweep must carry every ladder scale up to 2560 jobs,
+#                  enforced via --full-sweep) — against the perfjson
+#                  schema (see crates/bench/src/perfjson.rs), run the
+#                  simulator fast-event-path, incremental-resched, PS
+#                  fast-runtime, sparse-wire and live-migration
+#                  equivalence gates at tiny scale, and run the PS
+#                  steady-state allocation audit (counting global
+#                  allocator, `alloc-count` feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -49,6 +51,10 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     cargo test --release -q -p harmony --test sim_equivalence \
         tiny_scale_fast_path_matches_reference
 
+    echo "==> incremental-resched equivalence smoke (dirty-set path == full-pass bytes)"
+    cargo test --release -q -p harmony --test sim_equivalence \
+        incremental_resched_matches_across_schedulers_and_faults
+
     echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
     cargo test --release -q -p harmony --test ps_equivalence \
         tiny_scale_fast_runtime_matches_reference
@@ -75,7 +81,7 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     cargo run --release -q -p harmony-bench --bin bench_schema_check -- \
         "$SMOKE_DIR/BENCH_sched.json" "$SMOKE_DIR/BENCH_sim.json" \
         "$SMOKE_DIR/BENCH_ps.json" \
-        BENCH_sched.json BENCH_sim.json BENCH_ps.json
+        BENCH_sched.json --full-sweep BENCH_sim.json BENCH_ps.json
 fi
 
 echo "All checks passed."

@@ -18,10 +18,12 @@ use harmony::trace::{workload_with, WorkloadParams};
 use proptest::prelude::*;
 
 /// The pre-overhaul reference configuration: same simulation, original
-/// event path, exhaustive candidate scans.
+/// event path, exhaustive candidate scans, no incremental
+/// rescheduling.
 fn reference_arm(fast: &SimConfig) -> SimConfig {
     SimConfig {
         fast_event_path: false,
+        incremental_resched: false,
         scheduler_config: SchedulerConfig {
             exact_prunes: false,
             ..fast.scheduler_config
@@ -166,6 +168,71 @@ fn fault_scenarios_match() {
         specs,
         arrivals,
     );
+}
+
+/// Isolates `SimConfig::incremental_resched` (saturation-pruned
+/// escalation ladders, group-delta Eq. 4 refolds, the dirty-set
+/// profile cache and the sharded event lanes) from the other fast-path
+/// switches: both arms run with `fast_event_path` and `exact_prunes`
+/// on, differing *only* in the incremental flag, across every
+/// scheduler kind and a fault-churn scenario.
+#[test]
+fn incremental_resched_matches_across_schedulers_and_faults() {
+    let mk = |kind: SchedulerKind, plan: Option<FaultPlan>, threshold: usize| SimConfig {
+        scheduler: kind,
+        fault_plan: plan,
+        waiting_reschedule_threshold: threshold,
+        ..base_cfg(16)
+    };
+    let specs = tiny_workload(1, 0.3, 8);
+    let horizon = Driver::run(
+        mk(SchedulerKind::Harmony, None, 8),
+        specs.clone(),
+        vec![0.0; specs.len()],
+    )
+    .makespan;
+    let rates = FaultRates {
+        crash_mtbf_secs: Some(horizon * 0.5),
+        abort_mtbf_secs: Some(horizon * 0.8),
+        ..FaultRates::default()
+    };
+    let churn = FaultPlan::generate(11, horizon * 1.5, &rates);
+    let cases = [
+        ("harmony", mk(SchedulerKind::Harmony, None, 2)),
+        ("oracle", mk(SchedulerKind::Oracle, None, 8)),
+        ("isolated", mk(SchedulerKind::Isolated, None, 8)),
+        (
+            "naive",
+            mk(
+                SchedulerKind::Naive {
+                    jobs_per_group: 3,
+                    seed: 4,
+                },
+                None,
+                8,
+            ),
+        ),
+        ("harmony-churn", mk(SchedulerKind::Harmony, Some(churn), 2)),
+    ];
+    for (label, on) in cases {
+        let off = SimConfig {
+            incremental_resched: false,
+            ..on.clone()
+        };
+        let arrivals: Vec<f64> = (0..specs.len()).map(|i| i as f64 * 25.0).collect();
+        let a = Driver::run(on, specs.clone(), arrivals.clone());
+        let b = Driver::run(off, specs.clone(), arrivals);
+        assert_eq!(
+            a.canonical_bytes(),
+            b.canonical_bytes(),
+            "{label}: incremental resched diverged from the non-incremental arm \
+             (makespan {} vs {}, invocations {} vs {})",
+            a.makespan,
+            b.makespan,
+            a.sched_invocations,
+            b.sched_invocations,
+        );
+    }
 }
 
 proptest! {
