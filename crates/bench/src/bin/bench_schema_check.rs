@@ -299,26 +299,46 @@ fn check_schema(doc: &Json) -> Result<usize, String> {
     Ok(rows.len())
 }
 
-/// The `sim_driver` scales a committed (non-smoke) sweep must cover —
-/// the top of the ladder grows when the sweep is extended, so a stale
-/// baseline fails the check instead of silently shrinking coverage.
-const REQUIRED_SIM_SWEEP: &[(f64, f64)] = &[(640.0, 800.0), (1280.0, 1600.0), (2560.0, 3200.0)];
+/// The sim-sweep rows a committed (non-smoke) baseline must cover,
+/// per scheduling arm — the top of the ladder grows when the sweep is
+/// extended, so a stale baseline fails the check instead of silently
+/// shrinking coverage. The coalesced arm reaches one doubling further
+/// than the exact arm (its whole point).
+const REQUIRED_SIM_SWEEP: &[(&str, f64, f64)] = &[
+    ("sim_driver", 640.0, 800.0),
+    ("sim_driver", 1280.0, 1600.0),
+    ("sim_driver", 2560.0, 3200.0),
+    ("sim_driver_coalesced", 640.0, 800.0),
+    ("sim_driver_coalesced", 1280.0, 1600.0),
+    ("sim_driver_coalesced", 2560.0, 3200.0),
+    ("sim_driver_coalesced", 5120.0, 6400.0),
+];
 
-/// Checks that a report carries `sim_driver` rows at every required
-/// sweep scale (for files flagged `--full-sweep`).
+/// Checks that a report carries sim-sweep rows at every required
+/// (case, scale) pair and that every row was measured with at least
+/// 3 repetitions (for files flagged `--full-sweep`; smoke runs keep
+/// reps = 2 and are validated without the flag).
 fn check_full_sweep(doc: &Json) -> Result<(), String> {
     let Some(Json::Arr(rows)) = doc.get("rows") else {
         return Err("missing array field \"rows\"".to_string());
     };
-    for &(jobs, machines) in REQUIRED_SIM_SWEEP {
+    for (i, row) in rows.iter().enumerate() {
+        if req_num(row, "reps", i)? < 3.0 {
+            return Err(format!(
+                "rows[{i}]: a committed baseline needs reps >= 3, got {}",
+                req_num(row, "reps", i)?
+            ));
+        }
+    }
+    for &(case, jobs, machines) in REQUIRED_SIM_SWEEP {
         let found = rows.iter().any(|row| {
-            row.get("case").and_then(Json::as_str) == Some("sim_driver")
+            row.get("case").and_then(Json::as_str) == Some(case)
                 && row.get("jobs").and_then(Json::as_num) == Some(jobs)
                 && row.get("machines").and_then(Json::as_num) == Some(machines)
         });
         if !found {
             return Err(format!(
-                "full sweep is missing the sim_driver row at jobs={jobs} machines={machines}"
+                "full sweep is missing the {case} row at jobs={jobs} machines={machines}"
             ));
         }
     }
@@ -417,24 +437,65 @@ mod tests {
     #[test]
     fn full_sweep_requires_every_ladder_scale() {
         let mut rep = BenchReport::new("ps_end_to_end");
-        for &(jobs, machines) in REQUIRED_SIM_SWEEP {
+        for &(case, jobs, machines) in REQUIRED_SIM_SWEEP {
             rep.push(BenchRow::new(
-                "sim_driver",
+                case,
+                jobs as usize,
+                machines as u32,
+                vec![1.0, 2.0, 3.0],
+            ));
+        }
+        let doc = Parser::new(&rep.to_json()).parse().expect("parses");
+        assert_eq!(check_full_sweep(&doc), Ok(()));
+
+        // Drop the coalesced arm entirely: the sweep check must name
+        // its first missing scale.
+        let mut partial = BenchReport::new("ps_end_to_end");
+        for &(case, jobs, machines) in REQUIRED_SIM_SWEEP {
+            if case == "sim_driver" {
+                partial.push(BenchRow::new(
+                    case,
+                    jobs as usize,
+                    machines as u32,
+                    vec![1.0, 2.0, 3.0],
+                ));
+            }
+        }
+        let doc = Parser::new(&partial.to_json()).parse().expect("parses");
+        let err = check_full_sweep(&doc).unwrap_err();
+        assert!(
+            err.contains("sim_driver_coalesced"),
+            "unexpected error: {err}"
+        );
+
+        // Drop the top exact scale: the sweep check must name it.
+        let mut partial = BenchReport::new("ps_end_to_end");
+        partial.push(BenchRow::new("sim_driver", 640, 800, vec![1.0, 2.0, 3.0]));
+        partial.push(BenchRow::new("sim_driver", 1280, 1600, vec![1.0, 2.0, 3.0]));
+        let doc = Parser::new(&partial.to_json()).parse().expect("parses");
+        let err = check_full_sweep(&doc).unwrap_err();
+        assert!(err.contains("jobs=2560"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn full_sweep_rejects_underpowered_rows() {
+        // reps < 3 anywhere in a committed baseline fails --full-sweep
+        // even when every required scale is present...
+        let mut rep = BenchReport::new("ps_end_to_end");
+        for &(case, jobs, machines) in REQUIRED_SIM_SWEEP {
+            rep.push(BenchRow::new(
+                case,
                 jobs as usize,
                 machines as u32,
                 vec![1.0],
             ));
         }
         let doc = Parser::new(&rep.to_json()).parse().expect("parses");
-        assert_eq!(check_full_sweep(&doc), Ok(()));
-
-        // Drop the top scale: the sweep check must name it.
-        let mut partial = BenchReport::new("ps_end_to_end");
-        partial.push(BenchRow::new("sim_driver", 640, 800, vec![1.0]));
-        partial.push(BenchRow::new("sim_driver", 1280, 1600, vec![1.0]));
-        let doc = Parser::new(&partial.to_json()).parse().expect("parses");
         let err = check_full_sweep(&doc).unwrap_err();
-        assert!(err.contains("jobs=2560"), "unexpected error: {err}");
+        assert!(err.contains("reps >= 3"), "unexpected error: {err}");
+
+        // ...but still passes the flagless schema check (smoke files).
+        assert!(check_schema(&doc).is_ok());
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!
 //! - `BENCH_sim.json`: wall-clock of the end-to-end PS training run
 //!   (`case: "ps_train"`) and of full discrete-event simulations at a
-//!   sweep of workload scales (`case: "sim_driver"`);
+//!   sweep of workload scales, one row set per scheduling arm: the
+//!   exact per-finish arm (`case: "sim_driver"`) and the
+//!   equivalence-relaxed coalesced arm (`case: "sim_driver_coalesced"`,
+//!   `coalesced_passes` on, window 6000 s, batch 64), which extends the
+//!   ladder one doubling past where the exact arm is tractable;
 //! - `BENCH_ps.json`: the PS runtime matrix — one Lasso job timed on
 //!   both runtime arms (`case: "fast_runtime"` vs `"reference"`) at
 //!   growing model scale, `jobs` = model dimension and `machines` =
@@ -29,7 +33,7 @@ use harmony_bench::{harmony_config, BenchReport, BenchRow};
 use harmony_metrics::TextTable;
 use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
 use harmony_ps::{JobBuilder, JobReport, PsCluster, PsConfig};
-use harmony_sim::Driver;
+use harmony_sim::{Driver, SimConfig};
 use harmony_trace::{workload_with, WorkloadParams};
 
 /// Builds the four-application job set and runs it on a fresh cluster.
@@ -257,8 +261,11 @@ struct SimSweepPoint {
 }
 
 /// Times `Driver::run` on a synthetic workload of `jobs` jobs over
-/// `machines` machines, `reps` times.
-fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> SimSweepPoint {
+/// `machines` machines, `reps` times. The `coalesced` arm runs the
+/// equivalence-relaxed window mode (window 6000 s, batch 64 — the
+/// bench-scale operating point from `tests/coalesce_acceptance.rs`);
+/// it is what lets the sweep extend past the exact arm's ladder.
+fn time_sim_driver(jobs: usize, machines: u32, reps: usize, coalesced: bool) -> SimSweepPoint {
     let per_pair = jobs.div_ceil(8).max(1) as u32;
     let specs: Vec<_> = workload_with(WorkloadParams {
         hyper_params: per_pair,
@@ -275,8 +282,14 @@ fn time_sim_driver(jobs: usize, machines: u32, reps: usize) -> SimSweepPoint {
     };
     for _ in 0..reps {
         let arrivals = vec![0.0; specs.len()];
+        let cfg = SimConfig {
+            coalesced_passes: coalesced,
+            coalesce_window: 6000.0,
+            coalesce_max_batch: 64,
+            ..harmony_config(machines)
+        };
         let t0 = Instant::now();
-        let report = Driver::run(harmony_config(machines), specs.clone(), arrivals);
+        let report = Driver::run(cfg, specs.clone(), arrivals);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         assert!(report.completed() > 0, "simulated run completed no jobs");
         point.samples.push(dt);
@@ -374,10 +387,27 @@ fn main() {
             (320, 400, 5),
             (640, 800, 5),
             (1280, 1600, 3),
-            (2560, 3200, 2),
+            (2560, 3200, 3),
+        ]
+    };
+    // The coalesced arm covers the exact ladder plus one further
+    // doubling the exact arm cannot reach in reasonable wall time.
+    let sim_scales_coalesced: &[(usize, u32, usize)] = if smoke {
+        &[(20, 25, 2)]
+    } else {
+        &[
+            (20, 25, 5),
+            (80, 100, 5),
+            (160, 200, 5),
+            (320, 400, 5),
+            (640, 800, 5),
+            (1280, 1600, 3),
+            (2560, 3200, 3),
+            (5120, 6400, 3),
         ]
     };
     let mut sim_table = TextTable::new([
+        "arm",
         "jobs",
         "machines",
         "total median (ms)",
@@ -385,19 +415,31 @@ fn main() {
         "event loop (ms)",
         "passes",
     ]);
-    for &(jobs, machines, reps) in sim_scales {
-        let point = time_sim_driver(jobs, machines, reps);
-        let row = BenchRow::new("sim_driver", jobs, machines, point.samples);
-        let (median, _, _) = row.stats();
-        sim_table.row([
-            jobs.to_string(),
-            machines.to_string(),
-            format!("{median:.1}"),
-            format!("{:.1}", point.sched_ms),
-            format!("{:.1}", point.event_ms),
-            point.passes.to_string(),
-        ]);
-        report.push(row);
+    let sim_arms = [
+        ("sim_driver", "exact", false, sim_scales),
+        (
+            "sim_driver_coalesced",
+            "coalesced",
+            true,
+            sim_scales_coalesced,
+        ),
+    ];
+    for (case, arm, coalesced, scales) in sim_arms {
+        for &(jobs, machines, reps) in scales {
+            let point = time_sim_driver(jobs, machines, reps, coalesced);
+            let row = BenchRow::new(case, jobs, machines, point.samples);
+            let (median, _, _) = row.stats();
+            sim_table.row([
+                arm.to_string(),
+                jobs.to_string(),
+                machines.to_string(),
+                format!("{median:.1}"),
+                format!("{:.1}", point.sched_ms),
+                format!("{:.1}", point.event_ms),
+                point.passes.to_string(),
+            ]);
+            report.push(row);
+        }
     }
     println!("\nsimulator sweep (wall split: scheduler decisions vs event loop)\n");
     println!("{sim_table}");

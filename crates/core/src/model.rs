@@ -142,7 +142,7 @@ fn group_bounds_modeled(
         // `tnet * 1.0` would be exact: the flag-off arm must not even
         // read the density.
         let tnet = if charge_sparse_comm {
-            p.tnet() * p.push_density()
+            p.tnet() * p.push_density_trusted()
         } else {
             p.tnet()
         };
@@ -352,10 +352,13 @@ mod tests {
 
     #[test]
     fn sparse_comm_charge_scales_the_network_term() {
-        // Two net-bound jobs; one pushes at density 0.25. Charged, the
-        // group's Σ Tnet shrinks by that job's saved wire time.
+        // Two net-bound jobs; one pushes at density 0.25 (measured
+        // often enough to be trusted). Charged, the group's Σ Tnet
+        // shrinks by that job's saved wire time.
         let mut a = JobProfile::from_reference(JobId::new(10), 2.0, 8.0);
-        a.observe_push_density(0.25);
+        for _ in 0..JobProfile::DENSITY_TRUST_ITERS {
+            a.observe_push_density(0.25);
+        }
         let b = JobProfile::from_reference(JobId::new(11), 2.0, 8.0);
         let ps = [&a, &b];
         let off = group_iteration_time_modeled(&ps, 1, false, false);
@@ -387,6 +390,29 @@ mod tests {
         assert_eq!(
             group_iteration_time_modeled(&[&a], 1, false, false).to_bits(),
             group_iteration_time(&[&b], 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn sparse_comm_charge_prices_untrusted_density_dense() {
+        // A young sparse job (fewer than DENSITY_TRUST_ITERS
+        // measurements) is charged as if dense — never under-charged —
+        // even with the flag on.
+        let mut a = JobProfile::from_reference(JobId::new(14), 4.0, 6.0);
+        for _ in 0..JobProfile::DENSITY_TRUST_ITERS - 1 {
+            a.observe_push_density(0.1);
+        }
+        let b = JobProfile::from_reference(JobId::new(15), 4.0, 6.0);
+        assert_eq!(
+            group_iteration_time_modeled(&[&a], 1, false, true).to_bits(),
+            group_iteration_time(&[&b], 1).to_bits()
+        );
+        // One more measurement crosses the trust threshold and the
+        // charge engages.
+        a.observe_push_density(0.1);
+        assert!(
+            group_iteration_time_modeled(&[&a], 1, false, true)
+                < group_iteration_time_modeled(&[&b], 1, false, true)
         );
     }
 

@@ -63,6 +63,9 @@ pub struct JobProfile {
     model_bytes: u64,
     /// Number of iterations observed.
     observations: u64,
+    /// Number of PUSH-density measurements folded into the density
+    /// EWMA (see [`JobProfile::push_density_trusted`]).
+    density_observations: u64,
 }
 
 impl JobProfile {
@@ -79,6 +82,7 @@ impl JobProfile {
             input_bytes: 0,
             model_bytes: 0,
             observations: 0,
+            density_observations: 0,
         }
     }
 
@@ -154,6 +158,7 @@ impl JobProfile {
             "push density must be in [0, 1]"
         );
         self.push_density.observe(density);
+        self.density_observations += 1;
     }
 
     /// Smoothed PUSH density, `1.0` when no density observation has
@@ -162,6 +167,34 @@ impl JobProfile {
     /// exactly as before.
     pub fn push_density(&self) -> f64 {
         self.push_density.value().unwrap_or(1.0)
+    }
+
+    /// Density measurements folded in so far.
+    pub fn density_observations(&self) -> u64 {
+        self.density_observations
+    }
+
+    /// Measurements required before
+    /// [`JobProfile::push_density_trusted`] stops reporting dense: at
+    /// the EWMA's default smoothing a single early outlier (a warm-up
+    /// iteration pushing a nearly-empty delta, say) still dominates the
+    /// average, and a scheduler that believed it would hand the job too
+    /// few COMM machines. Eight samples decay a lone outlier below the
+    /// 5% improvement threshold the rest of the pipeline uses.
+    pub const DENSITY_TRUST_ITERS: u64 = 8;
+
+    /// The smoothed PUSH density once at least
+    /// [`Self::DENSITY_TRUST_ITERS`] measurements back it, `1.0`
+    /// (dense) before that. This is the value every Eq. 1 pricing site
+    /// reads (`SchedulerConfig::charge_sparse_comm`): a cold or
+    /// young profile is *never under-charged* — its wire is priced
+    /// dense until the EWMA has converged on the measured shape.
+    pub fn push_density_trusted(&self) -> f64 {
+        if self.density_observations >= Self::DENSITY_TRUST_ITERS {
+            self.push_density()
+        } else {
+            1.0
+        }
     }
 
     /// Pins the current smoothed `(tcpu_ref, tnet)` as the basis the
@@ -447,6 +480,29 @@ mod tests {
             p.observe_push_density(0.5);
         }
         assert!((p.push_density() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trusted_density_stays_dense_until_enough_measurements() {
+        let mut p = JobProfile::from_reference(JobId::new(53), 10.0, 2.0);
+        assert_eq!(p.push_density_trusted(), 1.0);
+        // One wildly sparse outlier, then steady measurements: the
+        // trusted value stays dense through the whole warm-up...
+        p.observe_push_density(0.01);
+        for _ in 1..JobProfile::DENSITY_TRUST_ITERS - 1 {
+            p.observe_push_density(0.4);
+            assert_eq!(
+                p.push_density_trusted(),
+                1.0,
+                "under-charged at {} observations",
+                p.density_observations()
+            );
+        }
+        // ...and flips to the smoothed estimate at exactly K samples.
+        p.observe_push_density(0.4);
+        assert_eq!(p.density_observations(), JobProfile::DENSITY_TRUST_ITERS);
+        assert_eq!(p.push_density_trusted(), p.push_density());
+        assert!(p.push_density_trusted() < 1.0);
     }
 
     #[test]

@@ -101,9 +101,9 @@ pub struct SchedulerConfig {
     /// the marginal value of an extra machine).
     pub charge_apply: bool,
     /// Prices each job's COMM charge at its *measured* wire volume:
-    /// the profile cache's `Tnet` is scaled by the job's observed PUSH
-    /// density ([`JobProfile::push_density`]) before any part of
-    /// Algorithm 1 reads it, so the L6 group-count seed, the swap
+    /// the profile cache's `Tnet` is scaled by the job's trusted PUSH
+    /// density ([`JobProfile::push_density_trusted`]) before any part
+    /// of Algorithm 1 reads it, so the L6 group-count seed, the swap
     /// deltas, the machine allocation and the Eq. 3/4 scoring all see
     /// the bytes the sparse runtime actually moves. Unlike APPLY —
     /// a separate additive subtask class — density multiplies the
@@ -111,10 +111,16 @@ pub struct SchedulerConfig {
     /// belongs in every balance computation: a coordinate-sparse job's
     /// true `Tcpu(m) = Tnet` break-point sits at a higher DoP, and
     /// with the charge on the scheduler gives it the extra machines.
-    /// Off by default — flag off (or with profiles carrying no density
-    /// measurements, which read `1.0`) every decision is
-    /// **byte-identical** to the unflagged scheduler, following the
-    /// repo's equivalence-gate pattern.
+    ///
+    /// **On by default**, behind a trust policy: the density only
+    /// prices the wire once at least
+    /// [`JobProfile::DENSITY_TRUST_ITERS`] measured iterations back
+    /// the EWMA — a cold or freshly-started job reads `1.0` and is
+    /// charged dense, so it can never be *under*-charged off a noisy
+    /// first sample. With the flag off — or for profiles whose density
+    /// is untrusted — every decision is **byte-identical** to the
+    /// unflagged scheduler, following the repo's equivalence-gate
+    /// pattern.
     pub charge_sparse_comm: bool,
 }
 
@@ -128,7 +134,7 @@ impl Default for SchedulerConfig {
             max_jobs_per_group: None,
             exact_prunes: true,
             charge_apply: false,
-            charge_sparse_comm: false,
+            charge_sparse_comm: true,
         }
     }
 }
@@ -333,6 +339,78 @@ impl Scheduler {
         }
         cache.rebuild_dirty_charged(jobs, self.cfg.charge_sparse_comm);
         self.schedule_prepared(jobs, machines, 1, cache, scratch)
+    }
+
+    /// A targeted **release pass**: hands `machines` freed capacity to
+    /// the best prefix of `jobs` (the caller's priority-ordered
+    /// waiting/starved set) without touching any running group.
+    ///
+    /// The coalesced scheduling mode
+    /// (`SimConfig::coalesced_passes` in `harmony-sim`) defers the
+    /// full Algorithm 1 pass a job finish used to mandate; this pass
+    /// keeps the capacity that finish freed from idling while the
+    /// coalescing window is open. It is deliberately cheaper than a
+    /// full pass: per candidate prefix it evaluates *one* grouping —
+    /// the group count seeded by the L6 argmin
+    /// ([`Self::schedule`]'s `prepare_prefix` heuristic) — instead of
+    /// sweeping the whole group-count grid, and it rides the same
+    /// dirty-set pipeline ([`ProfileCache::rebuild_dirty`]) and
+    /// scratch buffers as the incremental full pass, so repeated
+    /// release decisions allocate nothing once warm.
+    ///
+    /// The outcome's machines are abstract IDs `M0..M{machines-1}`
+    /// over the freed capacity only; jobs beyond the chosen prefix
+    /// come back in `unscheduled` and simply keep waiting for the
+    /// window flush. Not part of any bit-equivalence gate — the pass
+    /// only exists in the equivalence-*relaxed* coalesced arm.
+    pub fn schedule_release(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        cache: &mut ProfileCache,
+        scratch: &mut ScheduleScratch,
+    ) -> ScheduleOutcome {
+        if jobs.is_empty() || machines == 0 {
+            return ScheduleOutcome {
+                grouping: Grouping::new(),
+                utilization: Utilization::default(),
+                unscheduled: jobs.iter().map(|p| p.job()).collect(),
+                predicted_iteration: Vec::new(),
+            };
+        }
+        cache.rebuild_dirty_charged(jobs, self.cfg.charge_sparse_comm);
+        scratch.prefixes.clear();
+        extend_candidate_counts(&mut scratch.prefixes, jobs.len());
+        let mli = self.cfg.min_loop_improvement;
+        let mut best: Option<PrefixEval> = None;
+        let mut best_score = 0.0;
+        for i in 0..scratch.prefixes.len() {
+            let nj = scratch.prefixes[i];
+            let (_, _, l6_ng) = self.prepare_prefix(cache, scratch, nj, machines);
+            let sparse = cache.len() > SPARSE_POPULATION_MIN && nj > DENSE_PREFIX_MAX;
+            let utilization = self.eval_candidate(scratch, l6_ng, machines, sparse);
+            let score = utilization.score(self.cfg.cpu_weight);
+            let ev = PrefixEval {
+                nj,
+                ng: l6_ng,
+                utilization,
+                score,
+            };
+            // Same preference fold as the full scan: an earlier
+            // (smaller) prefix wins unless a later one beats it by
+            // `min_loop_improvement`, and the saturation cut applies.
+            if best.is_none() || score > best_score * (1.0 + mli) {
+                best = Some(ev);
+                best_score = score;
+            }
+            if self.cfg.exact_prunes && best_score * (1.0 + mli) >= SCORE_CEILING {
+                break;
+            }
+        }
+        let ev = best.expect("at least one candidate was built");
+        let cand = self.materialize(cache, scratch, ev, machines);
+        let unscheduled = jobs[ev.nj..].iter().map(|p| p.job()).collect();
+        self.finish(cand, jobs, unscheduled)
     }
 
     /// The candidate-prefix scan over an already-built cache.
@@ -1367,19 +1445,32 @@ mod tests {
         );
     }
 
-    /// A profile carrying a measured PUSH density on top of `prof`.
+    /// A profile carrying a *trusted* measured PUSH density on top of
+    /// `prof` (repeated identical samples: the EWMA reads exactly
+    /// `density` once warm).
     fn prof_density(i: u64, tcpu1: f64, tnet: f64, density: f64) -> JobProfile {
         let mut p = prof(i, tcpu1, tnet);
-        p.observe_push_density(density);
+        for _ in 0..JobProfile::DENSITY_TRUST_ITERS {
+            p.observe_push_density(density);
+        }
         p
+    }
+
+    /// A scheduler with the sparse-COMM charge explicitly off (the
+    /// pre-flip default).
+    fn uncharged() -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            charge_sparse_comm: false,
+            ..SchedulerConfig::default()
+        })
     }
 
     #[test]
     fn charge_sparse_comm_off_is_byte_identical() {
-        // Profiles with density measurements scheduled by the default
-        // (flag-off) scheduler must decide exactly as if the
-        // measurements did not exist.
-        let plain = Scheduler::default();
+        // Profiles with density measurements scheduled by a flag-off
+        // scheduler must decide exactly as if the measurements did not
+        // exist.
+        let plain = uncharged();
         let jobs_dense: Vec<JobProfile> = (0..12)
             .map(|i| prof(i, 3.0 + (i * 13 % 50) as f64, 1.0 + (i * 7 % 9) as f64))
             .collect();
@@ -1410,7 +1501,7 @@ mod tests {
         // Cold density EWMAs read 1.0, and `tnet * 1.0` is an exact
         // identity, so the flag costs nothing until the runtime
         // actually measures a sparse wire.
-        let plain = Scheduler::default();
+        let plain = uncharged();
         let charged = Scheduler::new(SchedulerConfig {
             charge_sparse_comm: true,
             ..SchedulerConfig::default()
@@ -1445,7 +1536,7 @@ mod tests {
             ..SchedulerConfig::default()
         })
         .schedule_exact(&jobs, 16);
-        let off = Scheduler::default().schedule_exact(&jobs, 16);
+        let off = uncharged().schedule_exact(&jobs, 16);
         let group_of = |out: &ScheduleOutcome, j: u64| {
             out.grouping
                 .group_of(JobId::new(j))
@@ -1587,5 +1678,77 @@ mod tests {
         assert_eq!(alloc.iter().sum::<u32>(), 11);
         assert!(alloc[0] > alloc[1], "{alloc:?}");
         assert!(alloc[1] >= 1);
+    }
+
+    #[test]
+    fn release_pass_empty_inputs_produce_empty_grouping() {
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let out = s.schedule_release(&[], 10, &mut cache, &mut scratch);
+        assert!(out.grouping.is_empty());
+        let jobs = [prof(0, 1.0, 1.0)];
+        let out = s.schedule_release(&jobs, 0, &mut cache, &mut scratch);
+        assert!(out.grouping.is_empty());
+        assert_eq!(out.unscheduled, vec![JobId::new(0)]);
+    }
+
+    #[test]
+    fn release_pass_allocates_all_freed_machines() {
+        // Whatever prefix the release pass picks, every freed machine
+        // must end up in some group — freed capacity never idles.
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let jobs: Vec<JobProfile> = (0..6)
+            .map(|i| prof(i, 10.0 + i as f64 * 7.0, 2.0 + i as f64))
+            .collect();
+        for m in [1u32, 3, 7, 16] {
+            let out = s.schedule_release(&jobs, m, &mut cache, &mut scratch);
+            assert_eq!(out.grouping.total_machines(), m as usize, "machines={m}");
+            assert!(out.grouping.validate().is_ok());
+            assert_eq!(
+                out.grouping.total_jobs() + out.unscheduled.len(),
+                jobs.len(),
+                "machines={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn release_pass_scores_no_worse_than_first_job_alone() {
+        // The candidate fold starts from the one-job prefix, so the
+        // winner's score can only improve on it.
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let jobs: Vec<JobProfile> = (0..8)
+            .map(|i| prof(i, 20.0 / (1.0 + i as f64), 3.0))
+            .collect();
+        let all = s.schedule_release(&jobs, 12, &mut cache, &mut scratch);
+        let mut c1 = ProfileCache::empty();
+        let mut s1 = ScheduleScratch::new();
+        let one = s.schedule_release(&jobs[..1], 12, &mut c1, &mut s1);
+        let w = s.config().cpu_weight;
+        assert!(all.utilization.score(w) >= one.utilization.score(w));
+    }
+
+    #[test]
+    fn release_pass_is_stable_across_cache_reuse() {
+        // Riding the dirty-set pipeline must not change the decision:
+        // a warm cache/scratch pair reproduces the cold result.
+        let s = Scheduler::default();
+        let jobs: Vec<JobProfile> = (0..10)
+            .map(|i| prof(i, 5.0 + (i % 4) as f64 * 3.0, 1.0 + (i % 3) as f64))
+            .collect();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let cold = s.schedule_release(&jobs, 9, &mut cache, &mut scratch);
+        // Unrelated interleaved full pass dirties the scratch views.
+        let _ = s.schedule_reusing_incremental(&jobs[..4], 9, &mut cache, &mut scratch);
+        let warm = s.schedule_release(&jobs, 9, &mut cache, &mut scratch);
+        assert_eq!(format!("{}", cold.grouping), format!("{}", warm.grouping));
+        assert_eq!(cold.utilization, warm.utilization);
+        assert_eq!(cold.unscheduled, warm.unscheduled);
     }
 }

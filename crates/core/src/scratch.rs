@@ -98,10 +98,13 @@ impl ProfileCache {
 
     /// [`Self::build`] with the density-aware COMM charge: when
     /// `charge_sparse_comm` is set, each job's cached `Tnet` is scaled
-    /// by its measured PUSH density ([`JobProfile::push_density`]).
-    /// With the flag off — or for profiles with no density measurement,
-    /// which read `1.0` — the cache is bit-identical to [`Self::build`]
-    /// (`x * 1.0` is an exact identity for finite `x`).
+    /// by its *trusted* PUSH density
+    /// ([`JobProfile::push_density_trusted`] — dense until at least
+    /// `DENSITY_TRUST_ITERS` measurements back the EWMA, so cold jobs
+    /// are never under-charged). With the flag off — or for profiles
+    /// whose density is untrusted, which read `1.0` — the cache is
+    /// bit-identical to [`Self::build`] (`x * 1.0` is an exact
+    /// identity for finite `x`).
     ///
     /// # Panics
     ///
@@ -161,7 +164,7 @@ impl ProfileCache {
             // `tnet * 1.0` would be exact: the flag-off arm must not
             // even read the density.
             self.tnet.push(if charge_sparse_comm {
-                p.tnet() * p.push_density()
+                p.tnet() * p.push_density_trusted()
             } else {
                 p.tnet()
             });
@@ -254,7 +257,7 @@ impl ProfileCache {
         for (i, p) in jobs.iter().enumerate() {
             let tcpu1 = p.tcpu_at(1);
             let tnet = if charge_sparse_comm {
-                p.tnet() * p.push_density()
+                p.tnet() * p.push_density_trusted()
             } else {
                 p.tnet()
             };

@@ -153,4 +153,50 @@ proptest! {
         let fresh = ProfileCache::build_charged(&jobs, charged);
         prop_assert_eq!(cache.state_bytes(), fresh.state_bytes());
     }
+
+    /// The targeted release pass
+    /// ([`harmony_core::schedule::Scheduler::schedule_release`]) rides
+    /// the same dirty-set pipeline as the incremental full pass: a
+    /// persistent cache/scratch pair carried across arbitrary touch
+    /// batches — with full passes interleaved to churn the shared
+    /// scratch views — must reproduce the decision a fresh pair makes
+    /// from scratch, round after round.
+    #[test]
+    fn release_pass_rides_the_dirty_set_cleanly(
+        seeds in seeds(),
+        rounds in prop::collection::vec(touches(), 1..4),
+        machines in 1u32..24,
+    ) {
+        use harmony_core::schedule::Scheduler;
+        use harmony_core::scratch::ScheduleScratch;
+
+        let mut jobs: Vec<JobProfile> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t, a, d))| seed_profile(i as u64, c, t, a, d))
+            .collect();
+        let sched = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        for (round, batch) in rounds.iter().enumerate() {
+            apply_touches(&mut jobs, batch);
+            let warm = sched.schedule_release(&jobs, machines, &mut cache, &mut scratch);
+            let mut fresh_cache = ProfileCache::empty();
+            let mut fresh_scratch = ScheduleScratch::new();
+            let fresh =
+                sched.schedule_release(&jobs, machines, &mut fresh_cache, &mut fresh_scratch);
+            prop_assert_eq!(
+                format!("{}", warm.grouping),
+                format!("{}", fresh.grouping),
+                "release decision drifted after round {}",
+                round,
+            );
+            prop_assert_eq!(warm.utilization, fresh.utilization);
+            prop_assert_eq!(warm.unscheduled, fresh.unscheduled);
+            // A full pass over the same buffers churns the shared
+            // scratch views between release rounds, exactly like the
+            // simulator's steady state.
+            let _ = sched.schedule_reusing_incremental(&jobs, machines, &mut cache, &mut scratch);
+        }
+    }
 }

@@ -1,0 +1,211 @@
+//! Streaming log-bucketed histograms.
+//!
+//! Unlike [`Cdf`](crate::Cdf), which materializes every sample, a
+//! [`Hist`] folds observations into fixed power-of-two buckets as they
+//! arrive — O(1) memory however long the run. The simulator uses it
+//! for decision-staleness distributions (how long a coalesced
+//! reschedule pass was deferred), where runs at warehouse scale would
+//! otherwise retain one sample per scheduling window.
+
+/// Number of power-of-two buckets; bucket `i` covers
+/// `[2^(i - OFFSET), 2^(i + 1 - OFFSET))` seconds.
+const BUCKETS: usize = 48;
+
+/// Bucket index of `1.0`: values down to `2^-16` (~15 µs) resolve
+/// before clamping into bucket 0.
+const OFFSET: i32 = 16;
+
+/// A streaming histogram over non-negative values with power-of-two
+/// buckets, plus exact count/sum/min/max.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::Hist;
+///
+/// let mut h = Hist::new();
+/// h.observe(0.5);
+/// h.observe(3.0);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), Some(3.0));
+/// assert!((h.mean().unwrap() - 1.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(x: f64) -> usize {
+        if x <= 0.0 {
+            return 0;
+        }
+        let idx = x.log2().floor() as i32 + OFFSET;
+        idx.clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    /// Folds one sample in. Non-finite samples are discarded (matching
+    /// [`Cdf`](crate::Cdf)); negatives clamp into the lowest bucket but
+    /// keep their exact value in the moments.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of the samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` rows in
+    /// ascending value order — the printable histogram.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = 2f64.powi(i as i32 - OFFSET);
+                let hi = 2f64.powi(i as i32 + 1 - OFFSET);
+                (lo, hi, c)
+            })
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count
+    /// reaches a fraction `q` of the samples — a bucket-resolution
+    /// quantile (exact to within one power of two).
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(2f64.powi(i as i32 + 1 - OFFSET));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_behaves() {
+        let h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile_bound(0.5), None);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn moments_are_exact() {
+        let mut h = Hist::new();
+        for x in [1.0, 2.0, 3.0, 10.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16.0);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(10.0));
+    }
+
+    #[test]
+    fn buckets_partition_by_powers_of_two() {
+        let mut h = Hist::new();
+        for x in [1.0, 1.5, 3.0, 3.9, 100.0] {
+            h.observe(x);
+        }
+        let rows: Vec<_> = h.buckets().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (1.0, 2.0, 2));
+        assert_eq!(rows[1], (2.0, 4.0, 2));
+        assert_eq!(rows[2].2, 1);
+        assert!(rows[2].0 <= 100.0 && 100.0 < rows[2].1);
+    }
+
+    #[test]
+    fn quantile_bound_brackets_the_samples() {
+        let mut h = Hist::new();
+        for _ in 0..99 {
+            h.observe(1.0);
+        }
+        h.observe(1000.0);
+        let p50 = h.quantile_bound(0.5).unwrap();
+        assert!((1.0..=2.0).contains(&p50));
+        let p100 = h.quantile_bound(1.0).unwrap();
+        assert!(p100 >= 1000.0);
+    }
+
+    #[test]
+    fn non_finite_and_edge_samples() {
+        let mut h = Hist::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert!(h.is_empty());
+        h.observe(0.0);
+        h.observe(1e-30); // below the lowest bucket: clamps, still counted
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets().next().unwrap().2, 2);
+    }
+}

@@ -24,6 +24,7 @@ mod cdf;
 mod comm;
 mod events;
 mod ewma;
+mod hist;
 mod migration;
 mod online;
 mod phase;
@@ -34,6 +35,7 @@ pub use cdf::Cdf;
 pub use comm::CommStats;
 pub use events::{EventLog, TimelineEvent};
 pub use ewma::{Ewma, MovingAverage};
+pub use hist::Hist;
 pub use migration::MigrationStats;
 pub use online::OnlineStats;
 pub use phase::PhaseTimes;

@@ -231,6 +231,43 @@ pub struct SimConfig {
     pub push_densities: Vec<PushDensity>,
     /// Hard cap on simulated seconds (guards against runaway configs).
     pub max_sim_seconds: f64,
+    /// Coalesced reschedule passes: break the finish-mandated
+    /// full-pass floor. With the flag off every job finish that
+    /// crosses the backlog threshold (or dissolves its group with work
+    /// waiting) fires its own full Algorithm 1 pass, so passes grow
+    /// with n and the event path inherits a superlinear wall-clock
+    /// floor. With the flag on, finish-triggered passes *coalesce*:
+    /// the first finish opens a window of [`Self::coalesce_window`]
+    /// virtual seconds; further finishes inside it only accumulate;
+    /// the window flushes into ONE full pass at expiry (or at
+    /// [`Self::coalesce_max_batch`] finishes). Any other full-pass
+    /// trigger — drift, fault recovery, unstall, the profiled-backlog
+    /// threshold — closes the window for free, because its own full
+    /// pass subsumes the deferred one. While a window is open, a
+    /// finish that dissolves its group hands the freed machines to the
+    /// best waiting jobs through a cheap targeted release pass
+    /// ([`harmony_core::schedule::Scheduler::schedule_release`]), so
+    /// freed capacity never idles behind the deferral.
+    ///
+    /// Unlike `fast_event_path`/`incremental_resched` this mode is
+    /// equivalence-*relaxed*, not equivalence-gated: decisions
+    /// legitimately differ from the exact arm. The acceptance story is
+    /// quantified instead — `tests/coalesce_acceptance.rs` holds mean
+    /// JCT and final utilization within 1% of the exact arm across the
+    /// equivalence matrix, and `RunReport::coalesce_staleness` proves
+    /// no deferred decision ever waits longer than the window. Off by
+    /// default; with the flag off the event path never consults the
+    /// window machinery, so existing equivalence suites stay
+    /// byte-identical.
+    pub coalesced_passes: bool,
+    /// Virtual seconds a coalescing window stays open before flushing
+    /// (the staleness bound on any deferred finish pass). Only
+    /// consulted when `coalesced_passes` is on.
+    pub coalesce_window: f64,
+    /// Finish count that flushes a window early, bounding how much
+    /// cluster state one deferred pass can reshuffle. Only consulted
+    /// when `coalesced_passes` is on.
+    pub coalesce_max_batch: usize,
 }
 
 impl Default for SimConfig {
@@ -271,6 +308,9 @@ impl Default for SimConfig {
             comp_shifts: Vec::new(),
             push_densities: Vec::new(),
             max_sim_seconds: 60.0 * 86_400.0,
+            coalesced_passes: false,
+            coalesce_window: 30.0,
+            coalesce_max_batch: 32,
         }
     }
 }
@@ -323,6 +363,17 @@ impl SimConfig {
         for d in &self.push_densities {
             if !d.density.is_finite() || d.density <= 0.0 || d.density > 1.0 {
                 return Err(format!("push density must be in (0, 1], got {}", d.density));
+            }
+        }
+        if self.coalesced_passes {
+            if !self.coalesce_window.is_finite() || self.coalesce_window <= 0.0 {
+                return Err(format!(
+                    "coalesce window must be a positive number of seconds, got {}",
+                    self.coalesce_window
+                ));
+            }
+            if self.coalesce_max_batch == 0 {
+                return Err("coalesce batch cap needs at least one finish".into());
             }
         }
         Ok(())
@@ -394,6 +445,29 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            coalesced_passes: true,
+            coalesce_window: 0.0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            coalesced_passes: true,
+            coalesce_max_batch: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        // The knobs are dormant while the mode is off.
+        let c = SimConfig {
+            coalesced_passes: false,
+            coalesce_window: -1.0,
+            coalesce_max_batch: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use harmony_core::profile::{JobProfile, ProfileStore};
 use harmony_core::regroup::{ClusterView, RegroupDecision, Regrouper};
 use harmony_core::schedule::{ScheduleOutcome, Scheduler};
 use harmony_mem::AlphaController;
-use harmony_metrics::{EventLog, MigrationStats, OnlineStats, Timeline};
+use harmony_metrics::{EventLog, Hist, MigrationStats, OnlineStats, Timeline};
 
 use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
 use crate::events::LaneQueue;
@@ -31,6 +31,15 @@ use crate::report::{
 use crate::runtime::{ExecPhase, GroupSim, JobSim, Phase, SimJobState};
 use crate::schedscratch::SimSchedScratch;
 use crate::spans::SubtaskSpan;
+
+/// Member-count floor above which coalesced mode builds and tears down
+/// groups with one batched memory re-plan instead of one per member.
+/// Below it the per-member path is cheap and keeps the coalesced arm's
+/// decision history close to the exact arm's (the tiny-workload
+/// acceptance matrix runs entirely under this floor); above it the
+/// per-member re-plans make group builds O(k²), which dominated the
+/// event wall once windows let groups grow into the hundreds.
+const COALESCE_BATCH_BUILD_MIN: usize = 32;
 
 /// Deterministic exponential-ish inter-failure gap (inverse CDF on a
 /// splitmix64 stream).
@@ -95,6 +104,11 @@ enum EventKind {
     /// A migrating job's checkpoint finished writing: re-place it
     /// ([`SimConfig::live_migration`]).
     Migrate(usize),
+    /// A coalescing window expired: flush the deferred finish pass
+    /// ([`SimConfig::coalesced_passes`]). Stale generations — the
+    /// window already flushed early or was subsumed by another full
+    /// pass — no-op.
+    FlushCoalesce(u64),
 }
 
 #[derive(Debug)]
@@ -155,6 +169,14 @@ pub struct Driver {
     scratch_notes_bump: Vec<Notify>,
     /// Persistent reschedule buffers (ordering, profiles, core scratch).
     sched_scratch: SimSchedScratch,
+    /// Virtual time the open coalescing window started at; `None` when
+    /// closed (always `None` with [`SimConfig::coalesced_passes`] off).
+    coalesce_opened: Option<f64>,
+    /// Finishes absorbed by the currently open window.
+    coalesce_batch: usize,
+    /// Window generation, stamped into [`EventKind::FlushCoalesce`] so
+    /// expiry events for already-flushed windows no-op.
+    coalesce_gen: u64,
     /// Notifications discovered while mutating group state; drained at
     /// the top event loop only, so scheduling never re-enters itself.
     deferred: Vec<Notify>,
@@ -190,6 +212,14 @@ pub struct Driver {
     /// validated against the slowest member's mean period.
     group_iter_stats: Vec<std::collections::HashMap<usize, OnlineStats>>,
     concurrent_stats: OnlineStats,
+    /// Coalescing windows opened over the run.
+    coalesce_windows: usize,
+    /// Finishes absorbed into windows instead of firing full passes.
+    coalesced_finishes: usize,
+    /// Targeted release passes run while windows were open.
+    release_passes: usize,
+    /// Per-window staleness: how long the deferred finish pass waited.
+    coalesce_staleness: Hist,
 }
 
 impl Driver {
@@ -234,6 +264,9 @@ impl Driver {
             scratch_notes: Vec::new(),
             scratch_notes_bump: Vec::new(),
             sched_scratch: SimSchedScratch::new(),
+            coalesce_opened: None,
+            coalesce_batch: 0,
+            coalesce_gen: 0,
             deferred: Vec::new(),
             cpu_busy_total: 0.0,
             net_busy_total: 0.0,
@@ -259,6 +292,10 @@ impl Driver {
             spans: Vec::new(),
             group_iter_stats: Vec::new(),
             concurrent_stats: OnlineStats::new(),
+            coalesce_windows: 0,
+            coalesced_finishes: 0,
+            release_passes: 0,
+            coalesce_staleness: Hist::new(),
         }
     }
 
@@ -346,7 +383,22 @@ impl Driver {
     fn event_loop(&mut self) {
         let loop_t0 = Instant::now();
         let mut stall_breaker = 0;
+        let debug = std::env::var_os("HARMONY_SIM_DEBUG").is_some();
+        let mut popped = 0u64;
+        let mut stale_wakes = 0u64;
         while let Some((Time(t), _, kind)) = self.events.pop() {
+            if debug {
+                popped += 1;
+                if let EventKind::Wake { group, gen } = kind {
+                    let live = self
+                        .groups
+                        .get(group)
+                        .is_some_and(|g| g.as_ref().is_some_and(|g| g.gen == gen));
+                    if !live {
+                        stale_wakes += 1;
+                    }
+                }
+            }
             if self.live_jobs() == 0 {
                 break;
             }
@@ -436,6 +488,7 @@ impl Driver {
                 }
                 EventKind::Fault(i) => self.on_fault(i),
                 EventKind::Migrate(j) => self.on_migrate_ready(j),
+                EventKind::FlushCoalesce(gen) => self.on_flush_coalesce(gen),
             }
             // Drain notifications deferred during state mutation.
             let mut guard = 0;
@@ -467,6 +520,12 @@ impl Driver {
         // Everything the loop spent outside scheduling decisions is
         // event-path time (fluid advancement, queue churn, memory).
         self.event_wall = loop_t0.elapsed().saturating_sub(self.sched_wall);
+        if debug {
+            eprintln!(
+                "event-loop: popped={popped} stale_wakes={stale_wakes} group_slots={}",
+                self.groups.len()
+            );
+        }
     }
 
     /// Last-resort progress: re-run the placement machinery.
@@ -588,6 +647,22 @@ impl Driver {
     /// e.g. it was dissolved by an OOM kill while a batch of jobs was
     /// being attached.
     fn attach_job(&mut self, g: usize, j: usize, keep_state: bool) -> bool {
+        self.attach_job_with_replan(g, j, keep_state, true)
+    }
+
+    /// [`Self::attach_job`] with the memory re-plan optionally
+    /// deferred. Population loops in coalesced mode attach every member
+    /// first and re-plan once ([`Self::finish_group_build`]): the
+    /// per-attach re-plan is O(members), so building a k-member group
+    /// through it costs O(k²) — the dominant event-path term once
+    /// windows let groups grow into the thousands.
+    fn attach_job_with_replan(
+        &mut self,
+        g: usize,
+        j: usize,
+        keep_state: bool,
+        replan: bool,
+    ) -> bool {
         let Some(machines) = self
             .groups
             .get(g)
@@ -654,9 +729,16 @@ impl Driver {
         let mut grp = self.groups[g].take().expect("alive group");
         self.finalize_prediction_of(&mut grp);
         grp.jobs.push(j);
+        if self.coalesce_active() && delay > 0.0 {
+            grp.ready_heap
+                .push(std::cmp::Reverse(((self.now + delay).to_bits(), j)));
+        }
         grp.steady_at = grp.steady_at.max(self.now + delay);
         grp.steady_mark = None;
         self.groups[g] = Some(grp);
+        if !replan {
+            return true;
+        }
         self.recompute_group_memory(g);
         self.bump_and_wake(g);
         // The OOM path inside recompute may have dissolved the group or
@@ -669,8 +751,32 @@ impl Driver {
         true
     }
 
+    /// Completes a deferred-replan population loop: one memory re-plan
+    /// and wake re-arm for the whole batch (dissolving the group if
+    /// every candidate member turned out to be dead).
+    fn finish_group_build(&mut self, g: usize) {
+        let Some(grp) = self.groups.get(g).and_then(|x| x.as_ref()) else {
+            return;
+        };
+        if grp.jobs.is_empty() {
+            self.dissolve_group(g);
+            return;
+        }
+        self.recompute_group_memory(g);
+        self.bump_and_wake(g);
+    }
+
     /// Removes a job from its group; dissolves the group when empty.
     fn detach_job(&mut self, j: usize) {
+        self.detach_job_with_replan(j, true);
+    }
+
+    /// [`Self::detach_job`] with the memory re-plan optionally skipped.
+    /// The pause-and-dissolve loop of a coalesced full pass detaches
+    /// every member of a doomed group in turn; re-planning a k-member
+    /// group after each one is O(k²) of work the dissolution throws
+    /// away.
+    fn detach_job_with_replan(&mut self, j: usize, replan: bool) {
         let Some(g) = self.jobs[j].group.take() else {
             return;
         };
@@ -693,7 +799,7 @@ impl Driver {
         self.jobs[j].exec = ExecPhase::Idle { ready_at: self.now };
         if self.groups[g].as_ref().expect("alive").jobs.is_empty() {
             self.dissolve_group(g);
-        } else {
+        } else if replan {
             self.recompute_group_memory(g);
             self.bump_and_wake(g);
         }
@@ -758,6 +864,38 @@ impl Driver {
         let mf = f64::from(grp.machines);
         self.cpu_busy_total += grp.cpu_busy * mf;
         self.net_busy_total += grp.net_busy * mf;
+    }
+
+    /// Pauses and detaches every member of `g` in one sweep, then
+    /// dissolves it. Equivalent to detaching member-by-member, but the
+    /// per-member `unqueue` / `jobs.retain` scans make that O(k²) for
+    /// a k-member group — coalesced full passes tear down every
+    /// involved group on each flush, so they route through here.
+    fn teardown_group(&mut self, g: usize) {
+        let Some(mut grp) = self.groups.get_mut(g).and_then(Option::take) else {
+            return;
+        };
+        self.finalize_prediction_of(&mut grp);
+        let members = std::mem::take(&mut grp.jobs);
+        for &j in &members {
+            if self.jobs[j].is_live() {
+                self.jobs[j].state = SimJobState::Paused;
+                self.active_scheduled -= 1;
+            }
+            self.jobs[j].group = None;
+            if let ExecPhase::Running(phase) = self.jobs[j].exec {
+                if phase.is_cpu() {
+                    grp.cpu.cancel_all_of(j);
+                } else {
+                    grp.net.cancel_all_of(j);
+                }
+            }
+            self.jobs[j].exec = ExecPhase::Idle { ready_at: self.now };
+        }
+        grp.cpu_queue.clear();
+        grp.net_queue.clear();
+        self.groups[g] = Some(grp);
+        self.dissolve_group(g);
     }
 
     /// Ids of alive groups, without materializing a vector. Callers
@@ -918,25 +1056,60 @@ impl Driver {
                                 }
                             })
                             .sum();
-                        for &j in members.iter() {
-                            let others: f64 = members
+                        // Coalesced mode: one fold over the members,
+                        // then each job's "others" is the total minus
+                        // its own term. The per-job refold below is
+                        // quadratic, which compounds to cubic per
+                        // group build (one recompute per attach) and
+                        // dominates the event path once groups grow
+                        // past a few dozen members — but the
+                        // subtraction reassociates the float sum, so
+                        // the exact mode keeps the original op order
+                        // and stays bit-identical with the flag off.
+                        if self.coalesce_active() && members.len() >= COALESCE_BATCH_BUILD_MIN {
+                            let resident_total: f64 = members
                                 .iter()
-                                .filter(|&&k| k != j)
                                 .map(|&k| {
                                     (1.0 - self.jobs[k].alpha)
                                         * self.jobs[k].spec.input_bytes as f64
                                         * self.mem.expansion
                                 })
                                 .sum();
-                            let mine = self.jobs[j].spec.input_bytes as f64 * self.mem.expansion;
-                            let room = budget - models - others;
-                            let floor_j = if mine > 0.0 {
-                                (1.0 - room / mine).clamp(0.0, 1.0)
-                            } else {
-                                0.0
-                            };
-                            self.jobs[j].alpha_floor = floor_j;
-                            self.jobs[j].alpha = self.jobs[j].alpha.max(floor_j);
+                            for &j in members.iter() {
+                                let mine =
+                                    self.jobs[j].spec.input_bytes as f64 * self.mem.expansion;
+                                let others = resident_total - (1.0 - self.jobs[j].alpha) * mine;
+                                let room = budget - models - others;
+                                let floor_j = if mine > 0.0 {
+                                    (1.0 - room / mine).clamp(0.0, 1.0)
+                                } else {
+                                    0.0
+                                };
+                                self.jobs[j].alpha_floor = floor_j;
+                                self.jobs[j].alpha = self.jobs[j].alpha.max(floor_j);
+                            }
+                        } else {
+                            for &j in members.iter() {
+                                let others: f64 = members
+                                    .iter()
+                                    .filter(|&&k| k != j)
+                                    .map(|&k| {
+                                        (1.0 - self.jobs[k].alpha)
+                                            * self.jobs[k].spec.input_bytes as f64
+                                            * self.mem.expansion
+                                    })
+                                    .sum();
+                                let mine =
+                                    self.jobs[j].spec.input_bytes as f64 * self.mem.expansion;
+                                let room = budget - models - others;
+                                let floor_j = if mine > 0.0 {
+                                    (1.0 - room / mine).clamp(0.0, 1.0)
+                                } else {
+                                    0.0
+                                };
+                                self.jobs[j].alpha_floor = floor_j;
+                                self.jobs[j].alpha = self.jobs[j].alpha.max(floor_j);
+                            }
                         }
                     }
                     // Fixed / None may still blow past capacity.
@@ -946,6 +1119,7 @@ impl Driver {
                 }
             };
             if !oom {
+                self.refold_mem_aggregates(g);
                 return;
             }
             // OOM: kill the largest-footprint member and retry.
@@ -966,6 +1140,28 @@ impl Driver {
                 return;
             }
         }
+    }
+
+    /// Refolds the group's cached memory aggregates from its current
+    /// member list — called at every successful memory re-plan (which
+    /// already runs on each membership change), so the GC probe on the
+    /// per-dispatch hot path can price the resident set in O(1).
+    fn refold_mem_aggregates(&mut self, g: usize) {
+        let grp = self.groups[g].as_ref().expect("alive group");
+        let mut base = 0.0;
+        let mut alpha_in = 0.0;
+        for &j in &grp.jobs {
+            let job = &self.jobs[j];
+            let input = job.spec.input_bytes as f64;
+            base += (1.0 - job.alpha) * input * self.mem.expansion;
+            if !job.model_spilled {
+                base += job.spec.model_bytes as f64;
+            }
+            alpha_in += job.alpha * input;
+        }
+        let grp = self.groups[g].as_mut().expect("alive group");
+        grp.mem_base_bytes = base;
+        grp.alpha_input_bytes = alpha_in;
     }
 
     // ----------------------------------------------------------------
@@ -1050,15 +1246,48 @@ impl Driver {
         // ...or the earliest pending input-load completion: a member
         // still loading needs a wake at its ready time, and generation
         // bumps may have invalidated the wake pushed when it attached.
-        for &j in &grp.jobs {
-            if let ExecPhase::Idle { ready_at } = self.jobs[j].exec {
-                if ready_at > self.now
+        if self.coalesce_active() {
+            // The lazy ready-heap replaces the full member scan (the
+            // scan runs on every event, so it is O(events × members)
+            // across a run). Stale tops — the job left, finished its
+            // load, or its ready time passed — are popped on sight;
+            // a valid top is only peeked, so the wake re-arms until
+            // the load event actually fires.
+            let grp = self.groups[g].as_mut().expect("alive");
+            let ready = loop {
+                let Some(&std::cmp::Reverse((bits, j))) = grp.ready_heap.peek() else {
+                    break None;
+                };
+                let ra = f64::from_bits(bits);
+                let live = ra > self.now
+                    && self.jobs[j].group == Some(grp.id)
+                    && matches!(
+                        self.jobs[j].exec,
+                        ExecPhase::Idle { ready_at } if ready_at.to_bits() == bits
+                    )
                     && matches!(
                         self.jobs[j].state,
                         SimJobState::Running | SimJobState::Profiling | SimJobState::Profiled
-                    )
-                {
-                    next = Some(next.map_or(ready_at, |t| t.min(ready_at)));
+                    );
+                if live {
+                    break Some(ra);
+                }
+                grp.ready_heap.pop();
+            };
+            if let Some(ra) = ready {
+                next = Some(next.map_or(ra, |t| t.min(ra)));
+            }
+        } else {
+            for &j in &grp.jobs {
+                if let ExecPhase::Idle { ready_at } = self.jobs[j].exec {
+                    if ready_at > self.now
+                        && matches!(
+                            self.jobs[j].state,
+                            SimJobState::Running | SimJobState::Profiling | SimJobState::Profiled
+                        )
+                    {
+                        next = Some(next.map_or(ready_at, |t| t.min(ready_at)));
+                    }
                 }
             }
         }
@@ -1148,7 +1377,16 @@ impl Driver {
                 let floor = self.jobs[j].alpha_floor;
                 if let Some(ctl) = self.jobs[j].alpha_ctl.as_mut() {
                     let a = ctl.observe(cost);
+                    let old = self.jobs[j].alpha;
                     self.jobs[j].alpha = a.max(floor).min(1.0);
+                    // Keep the group's cached memory aggregates in
+                    // step with the climb; the next re-plan refolds
+                    // them exactly, so incremental float drift never
+                    // accumulates past one membership epoch.
+                    let delta = self.jobs[j].alpha - old;
+                    let input = self.jobs[j].spec.input_bytes as f64;
+                    grp.mem_base_bytes -= delta * input * self.mem.expansion;
+                    grp.alpha_input_bytes += delta * input;
                 }
             }
         }
@@ -1287,10 +1525,30 @@ impl Driver {
                     }
                 }
                 let deser = alpha * spec_input / (mf * self.cfg.deser_bytes_per_sec);
-                let mut fp = std::mem::take(&mut self.scratch_fp);
-                self.footprints_into(grp, &mut fp);
-                let gc = groupmem::gc_slowdown(&fp, m, &self.mem, &self.cfg.gc);
-                self.scratch_fp = fp;
+                let gc = if self.coalesce_active()
+                    && grp.cpu_slots == 1
+                    && grp.jobs.len() >= COALESCE_BATCH_BUILD_MIN
+                {
+                    // One COMP at a time: the fluid was empty when this
+                    // dispatch fired and every cancel path resets
+                    // `exec`, so the computing set is exactly this job.
+                    // Price the resident set from the group's cached
+                    // aggregate instead of refolding every member —
+                    // this probe runs once per COMP dispatch, and the
+                    // fold made the event path scale with
+                    // iterations × group size.
+                    let bytes = grp.mem_base_bytes
+                        + spec_input * self.mem.workspace_fraction * self.mem.expansion;
+                    self.cfg
+                        .gc
+                        .slowdown(bytes / (mf * self.mem.capacity as f64))
+                } else {
+                    let mut fp = std::mem::take(&mut self.scratch_fp);
+                    self.footprints_into(grp, &mut fp);
+                    let gc = groupmem::gc_slowdown(&fp, m, &self.mem, &self.cfg.gc);
+                    self.scratch_fp = fp;
+                    gc
+                };
                 let gap = (self.now - self.jobs[j].last_comp_end).max(0.0);
                 // Disk bandwidth is shared by the background preloads of
                 // every co-located job. Reads spread over the whole group
@@ -1298,13 +1556,20 @@ impl Driver {
                 // aggregate read demand exceeds what the disk can deliver
                 // in one round: stretch this job's read by that
                 // oversubscription ratio.
-                let total_reads: f64 = grp
-                    .jobs
-                    .iter()
-                    .map(|&k| {
-                        self.jobs[k].alpha * self.jobs[k].spec.input_bytes as f64 / (mf * disk_bw)
-                    })
-                    .sum();
+                let total_reads: f64 = if self.coalesce_active()
+                    && grp.cpu_slots == 1
+                    && grp.jobs.len() >= COALESCE_BATCH_BUILD_MIN
+                {
+                    grp.alpha_input_bytes / (mf * disk_bw)
+                } else {
+                    grp.jobs
+                        .iter()
+                        .map(|&k| {
+                            self.jobs[k].alpha * self.jobs[k].spec.input_bytes as f64
+                                / (mf * disk_bw)
+                        })
+                        .sum()
+                };
                 let round_est = if self.jobs[j].last_iter_wall > 0.0 {
                     self.jobs[j].last_iter_wall
                 } else {
@@ -1408,6 +1673,13 @@ impl Driver {
             self.jobs[j].exec = ExecPhase::Idle {
                 ready_at: self.now + reload,
             };
+            if self.coalesce_active() && reload > 0.0 {
+                self.groups[g]
+                    .as_mut()
+                    .expect("alive")
+                    .ready_heap
+                    .push(std::cmp::Reverse(((self.now + reload).to_bits(), j)));
+            }
         }
         members.clear();
         self.scratch_members = members;
@@ -1528,6 +1800,13 @@ impl Driver {
             self.jobs[j].exec = ExecPhase::Idle {
                 ready_at: self.now + reload,
             };
+            if self.coalesce_active() && reload > 0.0 {
+                self.groups[g]
+                    .as_mut()
+                    .expect("alive")
+                    .ready_heap
+                    .push(std::cmp::Reverse(((self.now + reload).to_bits(), j)));
+            }
             self.recovery_stats.observe(reload);
         }
         members.clear();
@@ -1892,6 +2171,19 @@ impl Driver {
             .collect()
     }
 
+    /// Whether the equivalence-relaxed coalesced machinery (windows,
+    /// batch group builds, cached aggregates, ready-heap wakes) is in
+    /// force. The flag must stay inert for schedulers whose finish
+    /// path never consults the window (Isolated, Naive), so the fast
+    /// paths gate on this, not on the raw flag.
+    fn coalesce_active(&self) -> bool {
+        self.cfg.coalesced_passes
+            && matches!(
+                self.cfg.scheduler,
+                SchedulerKind::Harmony | SchedulerKind::Oracle
+            )
+    }
+
     fn waiting_count(&self) -> usize {
         self.jobs
             .iter()
@@ -2021,12 +2313,24 @@ impl Driver {
     }
 
     fn on_finished_harmony(&mut self, j: usize, g: usize) {
+        if self.cfg.coalesced_passes {
+            self.on_finished_coalesced(j, g);
+            return;
+        }
         // The job was already detached inside complete_iteration; the
         // group may have dissolved if it was the last member.
         if self.groups.get(g).is_none_or(|x| x.is_none()) {
             self.reschedule_if_waiting(ReschedReason::Finished);
             return;
         }
+        self.finished_replacement_decision(j, g);
+        self.reschedule_on_backlog(ReschedReason::Finished);
+    }
+
+    /// The targeted per-finish decision (shared by the exact and the
+    /// coalesced arm): ask the regrouper to backfill the finished
+    /// job's slot in its still-alive group.
+    fn finished_replacement_decision(&mut self, j: usize, g: usize) {
         let dop = self.groups[g].as_ref().expect("alive").machines.max(1);
         let profile = &self.jobs[j].profile;
         let (it, ratio) = if profile.is_warm() {
@@ -2043,7 +2347,6 @@ impl Driver {
         self.sched_wall += t0.elapsed();
         self.sched_invocations += 1;
         self.apply_decision(decision);
-        self.reschedule_on_backlog(ReschedReason::Finished);
     }
 
     fn apply_decision(&mut self, decision: RegroupDecision) {
@@ -2091,10 +2394,93 @@ impl Driver {
         }
     }
 
+    /// The coalesced twin of [`Self::on_finished_harmony`]
+    /// ([`SimConfig::coalesced_passes`]): the cheap targeted
+    /// replacement decision still runs on every finish whose group
+    /// survives (so groups get backfilled exactly like the exact arm),
+    /// but the *full pass* a finish used to mandate — on a crossed
+    /// backlog threshold or a dissolved group with work waiting — is
+    /// deferred into a window that flushes into ONE pass: at expiry,
+    /// at the batch cap, or for free when any other full-pass trigger
+    /// fires first. A finish that dissolved its group routes the freed
+    /// machines to the best waiting jobs through the targeted release
+    /// pass so capacity never idles behind the deferral.
+    fn on_finished_coalesced(&mut self, j: usize, g: usize) {
+        self.coalesced_finishes += 1;
+        if self.groups.get(g).is_none_or(|x| x.is_none()) {
+            if self.waiting_count() > 0 {
+                if self.free_machines > 0 {
+                    self.release_pass();
+                }
+                self.defer_finish_pass();
+            }
+            return;
+        }
+        if self.coalesce_opened.is_some() {
+            // A flush is already pending, and a full pass subsumes
+            // both the targeted backfill and the threshold pass this
+            // finish would have run — the expensive per-finish
+            // decision (O(jobs) store/view rebuild) collapses into
+            // the one deferred pass. This skip is where the
+            // finish-mandated floor actually breaks at scale.
+            if self.waiting_count() > 0 {
+                self.defer_finish_pass();
+            }
+            return;
+        }
+        self.finished_replacement_decision(j, g);
+        if self.waiting_count() >= self.cfg.waiting_reschedule_threshold {
+            self.defer_finish_pass();
+        }
+    }
+
+    /// Accumulates one would-have-fired finish pass into the open
+    /// coalescing window, opening one if none is pending.
+    fn defer_finish_pass(&mut self) {
+        if self.coalesce_opened.is_none() {
+            self.coalesce_opened = Some(self.now);
+            self.coalesce_batch = 0;
+            self.coalesce_windows += 1;
+            self.coalesce_gen += 1;
+            let gen = self.coalesce_gen;
+            self.push_event(
+                self.now + self.cfg.coalesce_window,
+                EventKind::FlushCoalesce(gen),
+            );
+        }
+        self.coalesce_batch += 1;
+        if self.coalesce_batch >= self.cfg.coalesce_max_batch {
+            self.reschedule_because(ReschedReason::WindowFlush);
+        }
+    }
+
+    /// A coalescing window expired. The generation check drops expiry
+    /// events of windows that already flushed (batch cap, or another
+    /// full-pass trigger subsuming the deferral).
+    fn on_flush_coalesce(&mut self, gen: u64) {
+        if self.coalesce_opened.is_some() && gen == self.coalesce_gen {
+            self.reschedule_because(ReschedReason::WindowFlush);
+        }
+    }
+
+    /// Closes an open coalescing window because a full pass is about
+    /// to run: whatever pass fires now subsumes the deferred finish
+    /// pass, so the window's pending flush becomes a stale no-op and
+    /// the deferral's staleness is recorded. Free when the mode is
+    /// off: the window is always closed.
+    fn close_coalesce_window(&mut self) {
+        if let Some(opened) = self.coalesce_opened.take() {
+            self.coalesce_staleness.observe(self.now - opened);
+            self.coalesce_batch = 0;
+        }
+    }
+
     /// Counts and runs a cluster-wide pass for `reason`: every full
     /// reschedule trigger goes through here, so the report's
-    /// [`ReschedCounters`] show *why* passes fire.
+    /// [`ReschedCounters`] show *why* passes fire — and any open
+    /// coalescing window closes, subsumed by this pass.
     fn reschedule_because(&mut self, reason: ReschedReason) {
+        self.close_coalesce_window();
         self.resched_reasons.bump(reason);
         self.full_reschedule();
     }
@@ -2295,6 +2681,82 @@ impl Driver {
         self.apply_outcome(&outcome, &involved);
     }
 
+    /// The targeted release pass of the coalesced mode
+    /// ([`SimConfig::coalesced_passes`]): hand the free pool to the
+    /// best waiting (profiled/paused) jobs via
+    /// [`Scheduler::schedule_release`] without touching any running
+    /// group. Same ordering, warm-profile filter and error-injection
+    /// semantics as the full pass, restricted to the waiting classes;
+    /// fed from dedicated persistent buffers so the full pass's
+    /// dirty-set cache never sees release-only churn. Harmony kind
+    /// only — the oracle has no cheap targeted variant, so its
+    /// coalesced mode is window-only.
+    fn release_pass(&mut self) {
+        if !matches!(self.cfg.scheduler, SchedulerKind::Harmony) {
+            return;
+        }
+        let machines = self.free_machines;
+        if machines == 0 {
+            return;
+        }
+        let mut ss = std::mem::take(&mut self.sched_scratch);
+        ss.release_profiles.clear();
+        let inject = self.cfg.error_injection;
+        for state in [SimJobState::Profiled, SimJobState::Paused] {
+            ss.class.clear();
+            ss.class
+                .extend((0..self.jobs.len()).filter(|&j| self.jobs[j].state == state));
+            ss.class.sort_by(|&a, &b| {
+                let key = |j: usize| {
+                    let p = &self.jobs[j].profile;
+                    if p.is_warm() {
+                        p.iter_time_at(16) * self.jobs[j].iterations_left() as f64
+                    } else {
+                        f64::MAX
+                    }
+                };
+                key(a).partial_cmp(&key(b)).expect("finite").then(a.cmp(&b))
+            });
+            for &j in ss.class.iter() {
+                let p = &self.jobs[j].profile;
+                if !p.is_warm() {
+                    continue;
+                }
+                if inject > 0.0 {
+                    let e1 = persistent_error(self.cfg.seed, j as u64, 0, inject);
+                    let e2 = persistent_error(self.cfg.seed, j as u64, 1, inject);
+                    let mut q = JobProfile::from_reference(
+                        p.job(),
+                        (p.tcpu_at(1) * (1.0 + e1)).max(1e-6),
+                        (p.tnet() * (1.0 + e2)).max(1e-6),
+                    );
+                    q.set_memory_footprint(p.input_bytes(), p.model_bytes());
+                    ss.release_profiles.push(q);
+                } else {
+                    ss.release_profiles.push(p.clone());
+                }
+            }
+        }
+        if ss.release_profiles.is_empty() {
+            self.sched_scratch = ss;
+            return;
+        }
+        let t0 = Instant::now();
+        let outcome = self.scheduler.schedule_release(
+            &ss.release_profiles,
+            machines,
+            &mut ss.release_cache,
+            &mut ss.release_scratch,
+        );
+        self.sched_wall += t0.elapsed();
+        self.sched_invocations += 1;
+        self.release_passes += 1;
+        self.sched_scratch = ss;
+        // No groups are involved: the pass only *adds* groups over the
+        // free pool (`apply_outcome` skips anything it cannot fund).
+        self.apply_outcome(&outcome, &[]);
+    }
+
     /// Replaces `involved` groups with the groups of `outcome`.
     fn apply_outcome(&mut self, outcome: &ScheduleOutcome, involved: &[usize]) {
         // Remember old placement for migration-cost decisions.
@@ -2323,6 +2785,21 @@ impl Driver {
         // Pause and dissolve the involved groups.
         let mut members = std::mem::take(&mut self.scratch_members);
         for &g in &involved {
+            // One O(k) sweep instead of k O(k) detaches — but only
+            // where the quadratic bites. Small groups keep the exact
+            // arm's detach-by-detach history, so the tiny-workload
+            // acceptance matrix diverges only through the window
+            // timing itself, not through teardown bookkeeping.
+            if self.coalesce_active()
+                && self
+                    .groups
+                    .get(g)
+                    .and_then(|x| x.as_ref())
+                    .is_some_and(|grp| grp.jobs.len() >= COALESCE_BATCH_BUILD_MIN)
+            {
+                self.teardown_group(g);
+                continue;
+            }
             let Some(grp) = self.groups.get(g).and_then(|x| x.as_ref()) else {
                 continue;
             };
@@ -2349,6 +2826,11 @@ impl Driver {
             }
             let predicted_it = outcome.predicted_iteration.get(gi).copied();
             let util = outcome.utilization;
+            // Same size floor as the teardown sweep: defer the
+            // per-attach re-plan only for groups big enough that the
+            // O(k²) build actually costs something.
+            let batch_build =
+                self.coalesce_active() && core_group.jobs().len() >= COALESCE_BATCH_BUILD_MIN;
             // Predictions are armed only after the founding members are
             // attached, so population itself does not finalize them.
             let g = self.create_group(m, false, None, None);
@@ -2372,12 +2854,18 @@ impl Driver {
                 // The job may still sit in a profiling group.
                 self.detach_job(j);
                 self.jobs[j].state = SimJobState::Running;
-                self.attach_job(g, j, false);
+                // Coalesced mode defers the per-attach memory re-plan
+                // to one batch re-plan below; the exact mode keeps the
+                // attach-by-attach plan (and its bit-exact history).
+                self.attach_job_with_replan(g, j, false, !batch_build);
                 // Pin the drift basis to the estimates this decision
                 // was computed with (no-op while the profile is cold).
                 if self.cfg.profile_feedback {
                     self.jobs[j].profile.mark_scheduled();
                 }
+            }
+            if batch_build {
+                self.finish_group_build(g);
             }
             if let Some(grp) = self.groups.get_mut(g).and_then(Option::as_mut) {
                 grp.predicted_iteration = predicted_it;
@@ -2539,6 +3027,9 @@ impl Driver {
     // ----------------------------------------------------------------
 
     fn finalize(mut self) -> RunReport {
+        // A window still open at run end only records its staleness —
+        // there is nothing left to flush into a pass.
+        self.close_coalesce_window();
         // Fold surviving groups into the busy totals.
         for g in self.alive_groups().collect::<Vec<_>>() {
             self.dissolve_group(g);
@@ -2598,6 +3089,10 @@ impl Driver {
             mean_group_iteration: self.iter_wall_stats.mean(),
             concurrent_jobs: self.concurrent_stats,
             spans: self.spans,
+            coalesce_windows: self.coalesce_windows,
+            coalesced_finishes: self.coalesced_finishes,
+            release_passes: self.release_passes,
+            coalesce_staleness: self.coalesce_staleness,
         }
     }
 }
@@ -2902,6 +3397,241 @@ mod tests {
             for &(m, jobs) in &s.groups {
                 assert!(m >= 1);
                 assert!(jobs >= 1);
+            }
+        }
+    }
+
+    fn coalesced_cfg(window: f64, max_batch: usize) -> SimConfig {
+        SimConfig {
+            coalesced_passes: true,
+            coalesce_window: window,
+            coalesce_max_batch: max_batch,
+            // Windows only open where the exact arm would have fired a
+            // finish pass; a threshold of 1 makes every finish with a
+            // backlog mandate one, so the window machinery is actually
+            // exercised on these tiny workloads.
+            waiting_reschedule_threshold: 1,
+            ..small_cfg(SchedulerKind::Harmony)
+        }
+    }
+
+    fn staggered_mix(n: usize) -> (Vec<JobSpec>, Vec<f64>) {
+        let mut specs = Vec::new();
+        let mut arrivals = Vec::new();
+        for i in 0..n {
+            specs.push(spec(
+                &format!("c{i}"),
+                120.0 + 30.0 * (i % 5) as f64,
+                6.0 + 2.0 * (i % 3) as f64,
+                1,
+                1,
+            ));
+            arrivals.push(10.0 * (i % 4) as f64);
+        }
+        (specs, arrivals)
+    }
+
+    #[test]
+    fn coalesced_mode_completes_and_counts_every_finish() {
+        let (specs, arrivals) = staggered_mix(8);
+        let n = specs.len();
+        let r = Driver::run(coalesced_cfg(30.0, 32), specs, arrivals);
+        assert_eq!(r.completed(), n);
+        // Every finish routed through a window, none lost or doubled.
+        assert_eq!(r.coalesced_finishes, n);
+        assert!(r.coalesce_windows >= 1);
+        assert_eq!(r.coalesce_windows, r.coalesce_staleness.count() as usize);
+        assert!(r.resched_reasons.window_flush <= r.coalesce_windows);
+        assert_eq!(r.resched_reasons.finished, 0);
+    }
+
+    #[test]
+    fn coalesced_staleness_is_bounded_by_the_window() {
+        let (specs, arrivals) = staggered_mix(10);
+        for window in [5.0, 60.0, 600.0] {
+            let r = Driver::run(coalesced_cfg(window, 32), specs.clone(), arrivals.clone());
+            if let Some(max) = r.coalesce_staleness.max() {
+                assert!(
+                    max <= window + 1e-9,
+                    "staleness {max} exceeds window {window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_batch_cap_of_one_flushes_every_finish() {
+        let (specs, arrivals) = staggered_mix(6);
+        let n = specs.len();
+        let r = Driver::run(coalesced_cfg(1e6, 1), specs, arrivals);
+        assert_eq!(r.completed(), n);
+        // Cap 1 degenerates to one flush per mandated finish: every
+        // window flushes immediately with zero staleness.
+        assert!(r.coalesce_windows >= 1);
+        assert_eq!(r.resched_reasons.window_flush, r.coalesce_windows);
+        assert_eq!(r.coalesce_staleness.max(), Some(0.0));
+    }
+
+    #[test]
+    fn coalesced_flag_off_keeps_the_window_machinery_silent() {
+        let (specs, arrivals) = staggered_mix(8);
+        let r = Driver::run(small_cfg(SchedulerKind::Harmony), specs, arrivals);
+        assert_eq!(r.coalesce_windows, 0);
+        assert_eq!(r.coalesced_finishes, 0);
+        assert_eq!(r.release_passes, 0);
+        assert!(r.coalesce_staleness.is_empty());
+        assert_eq!(r.resched_reasons.window_flush, 0);
+    }
+
+    #[test]
+    fn coalesced_flag_is_inert_for_isolated_and_naive() {
+        // The window machinery hangs off the Harmony finish handler;
+        // the baselines must stay byte-identical with the flag on.
+        for kind in [
+            SchedulerKind::Isolated,
+            SchedulerKind::Naive {
+                jobs_per_group: 4,
+                seed: 1,
+            },
+        ] {
+            let (specs, arrivals) = staggered_mix(6);
+            let off = Driver::run(small_cfg(kind.clone()), specs.clone(), arrivals.clone());
+            let on = Driver::run(
+                SimConfig {
+                    coalesced_passes: true,
+                    ..small_cfg(kind)
+                },
+                specs,
+                arrivals,
+            );
+            assert_eq!(off.canonical_bytes(), on.canonical_bytes());
+            assert_eq!(on.coalesce_windows, 0);
+            assert_eq!(on.release_passes, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod coalesce_props {
+    use super::*;
+    use harmony_core::job::{AppKind, JobSpec};
+    use proptest::prelude::*;
+
+    fn spec(name: String, comp: f64, net: f64) -> JobSpec {
+        JobSpec {
+            name,
+            app: AppKind::Mlr,
+            dataset: "synthetic".into(),
+            input_bytes: 1 << 30,
+            model_bytes: 1 << 30,
+            comp_cost: comp,
+            net_cost: net,
+            sync: Default::default(),
+            pull_fraction: 0.5,
+            iters_per_epoch: 5,
+            target_epochs: 3,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Core accounting of the window state machine, under random
+        /// workload shapes, windows and batch caps: no finish is lost
+        /// or double-counted, every window records exactly one
+        /// staleness sample bounded by the window length, and flush
+        /// passes never outnumber windows (other triggers may subsume
+        /// a window for free, never the reverse).
+        #[test]
+        fn window_accounting_invariants(
+            njobs in 2usize..10,
+            window in 1.0f64..600.0,
+            max_batch in 1usize..8,
+            spread in 0.0f64..40.0,
+        ) {
+            let mut specs = Vec::new();
+            let mut arrivals = Vec::new();
+            for i in 0..njobs {
+                specs.push(spec(
+                    format!("p{i}"),
+                    80.0 + 35.0 * (i % 4) as f64,
+                    5.0 + 3.0 * (i % 3) as f64,
+                ));
+                arrivals.push(spread * (i % 3) as f64);
+            }
+            let cfg = SimConfig {
+                machines: 8,
+                scheduler: SchedulerKind::Harmony,
+                reload: ReloadPolicy::Adaptive,
+                straggler_cv: 0.0,
+                coalesced_passes: true,
+                coalesce_window: window,
+                coalesce_max_batch: max_batch,
+                ..SimConfig::default()
+            };
+            let r = Driver::run(cfg, specs, arrivals);
+            // No finish lost or double-counted.
+            prop_assert_eq!(r.completed(), njobs);
+            prop_assert_eq!(r.coalesced_finishes, njobs);
+            // The exact finish trigger never fires in coalesced mode.
+            prop_assert_eq!(r.resched_reasons.finished, 0);
+            // One staleness sample per window, each bounded by the
+            // window length (flush ordering is total: expiry, batch
+            // cap and subsuming triggers all close before any later
+            // pass runs).
+            prop_assert_eq!(r.coalesce_windows, r.coalesce_staleness.count() as usize);
+            if let Some(max) = r.coalesce_staleness.max() {
+                prop_assert!(
+                    max <= window + 1e-9,
+                    "staleness {} exceeds window {}", max, window
+                );
+            }
+            prop_assert!(r.resched_reasons.window_flush <= r.coalesce_windows);
+            // Release passes only fire while a window exists.
+            if r.coalesce_windows == 0 {
+                prop_assert_eq!(r.release_passes, 0);
+            }
+        }
+
+        /// Drift-style triggers (here: the profiled-backlog threshold
+        /// crossing under staggered arrivals) subsume open windows:
+        /// the run still completes, and subsumed windows show up as
+        /// staleness samples without a matching flush pass.
+        #[test]
+        fn subsuming_triggers_interleave_cleanly(
+            njobs in 4usize..12,
+            window in 50.0f64..2000.0,
+        ) {
+            let mut specs = Vec::new();
+            let mut arrivals = Vec::new();
+            for i in 0..njobs {
+                specs.push(spec(
+                    format!("q{i}"),
+                    100.0 + 25.0 * (i % 3) as f64,
+                    4.0 + 2.0 * (i % 2) as f64,
+                ));
+                // Late stragglers keep profiling/backlog triggers
+                // firing while earlier jobs finish into windows.
+                arrivals.push(if i % 2 == 0 { 0.0 } else { 120.0 });
+            }
+            let cfg = SimConfig {
+                machines: 8,
+                scheduler: SchedulerKind::Harmony,
+                reload: ReloadPolicy::Adaptive,
+                straggler_cv: 0.0,
+                waiting_reschedule_threshold: 2,
+                coalesced_passes: true,
+                coalesce_window: window,
+                coalesce_max_batch: 64,
+                ..SimConfig::default()
+            };
+            let r = Driver::run(cfg, specs, arrivals);
+            prop_assert_eq!(r.completed(), njobs);
+            prop_assert_eq!(r.coalesced_finishes, njobs);
+            prop_assert_eq!(r.coalesce_windows, r.coalesce_staleness.count() as usize);
+            prop_assert!(r.resched_reasons.window_flush <= r.coalesce_windows);
+            if let Some(max) = r.coalesce_staleness.max() {
+                prop_assert!(max <= window + 1e-9);
             }
         }
     }

@@ -24,23 +24,55 @@ pub struct TaskKey {
 
 #[derive(Debug, Clone)]
 struct Task {
-    key: TaskKey,
     demand: f64,
-    remaining: f64,
+    /// Virtual completion time: `v_start + work / demand`. Fixed at
+    /// admission — membership changes alter how fast *virtual* time
+    /// advances, never where a task finishes on the virtual axis.
+    v_done: f64,
+    /// Internal admission stamp; heap entries carry it so a cancelled
+    /// (or re-added) task's stale entries are recognisable.
+    fseq: u64,
 }
 
 /// One machine-equivalent shared resource.
+///
+/// # Virtual-time formulation
+///
+/// Every task progresses at `demand × share × interference`, and the
+/// `share × interference` multiplier is *common to all tasks*. Define
+/// a virtual clock `v` with `dv = share · interference · dt`: a task
+/// admitted at `v₀` with `w` demand-seconds of work then completes at
+/// the fixed virtual instant `v₀ + w / demand`, no matter how the
+/// membership (and hence the multiplier) changes in between. That
+/// turns the per-wake work from O(tasks) — the old representation
+/// decremented every task's `remaining` on every advance — into
+/// O(log tasks): a min-heap on virtual completion time yields the next
+/// finisher, and membership aggregates (`total_demand`, task count)
+/// update in O(1). On bench-scale runs the advance loop is the
+/// simulator's hottest path, and its cost used to scale with group
+/// size; it no longer does.
+///
+/// Cancelled tasks leave stale heap entries that are purged lazily;
+/// `purge_stale_top` keeps the heap *top* live so `&self` peeks
+/// (`time_to_next_completion`) stay O(1).
 #[derive(Debug, Clone)]
 pub struct Fluid {
     capacity: f64,
     beta: f64,
-    tasks: Vec<Task>,
-    // Aggregates over the current task set, refreshed on every
-    // membership change so the per-wake queries (`usage`,
-    // `time_to_next_completion`, `advance`) never re-fold demands.
-    // Each refresh folds in task-insertion order — the exact fold the
-    // uncached code performed per query — so cached values are
-    // bit-identical, not merely close.
+    /// Live tasks keyed `(job, seq)`. A `BTreeMap` so `tasks_of` /
+    /// `cancel_all_of` iterate in a deterministic order (runs must be
+    /// reproducible bit for bit).
+    tasks: std::collections::BTreeMap<(usize, u64), Task>,
+    /// Min-heap of `(v_done bits, fseq, job, seq)`. Non-negative
+    /// floats order identically to their IEEE bits, and `v` never goes
+    /// negative.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize, u64)>>,
+    /// The virtual clock: `∫ share · interference dt`. Reset to zero
+    /// whenever the resource drains so precision never degrades over a
+    /// long run.
+    v: f64,
+    next_fseq: u64,
+    total_demand: f64,
     share: f64,
     interference: f64,
     usage_sum: f64,
@@ -59,7 +91,11 @@ impl Fluid {
         Self {
             capacity,
             beta,
-            tasks: Vec::new(),
+            tasks: std::collections::BTreeMap::new(),
+            heap: std::collections::BinaryHeap::new(),
+            v: 0.0,
+            next_fseq: 0,
+            total_demand: 0.0,
             share: 1.0,
             interference: 1.0,
             usage_sum: 0.0,
@@ -89,39 +125,63 @@ impl Fluid {
             self.capacity
         );
         assert!(work >= 0.0, "work must be non-negative");
-        self.tasks.push(Task {
-            key,
-            demand,
-            remaining: work,
-        });
+        self.next_fseq += 1;
+        let fseq = self.next_fseq;
+        let v_done = self.v + work / demand;
+        self.tasks.insert(
+            (key.job, key.seq),
+            Task {
+                demand,
+                v_done,
+                fseq,
+            },
+        );
+        self.heap.push(std::cmp::Reverse((
+            v_done.to_bits(),
+            fseq,
+            key.job,
+            key.seq,
+        )));
+        self.total_demand += demand;
         self.refresh();
     }
 
-    /// Re-folds the shared-rate coefficients and the usage aggregate
-    /// after a membership change. Every task progresses at
-    /// `demand * share * interference`, so per-task rate vectors never
-    /// need to be materialized.
+    /// Recomputes the shared-rate coefficients and the usage aggregate
+    /// from the incrementally maintained `total_demand` after a
+    /// membership change — O(1), never re-folds the task set. A drained
+    /// resource resets its virtual clock (and drops any stale heap
+    /// entries) so float precision does not decay over a long run.
     fn refresh(&mut self) {
         let n = self.tasks.len();
         if n == 0 {
             self.share = 1.0;
             self.interference = 1.0;
             self.usage_sum = 0.0;
+            self.total_demand = 0.0;
+            self.v = 0.0;
+            self.heap.clear();
             return;
         }
-        let total: f64 = self.tasks.iter().map(|t| t.demand).sum();
-        self.share = if total > self.capacity {
-            self.capacity / total
+        self.total_demand = self.total_demand.max(0.0);
+        self.share = if self.total_demand > self.capacity {
+            self.capacity / self.total_demand
         } else {
             1.0
         };
         self.interference = 1.0 / (1.0 + self.beta * (n as f64 - 1.0));
-        let (share, interference) = (self.share, self.interference);
-        self.usage_sum = self
-            .tasks
-            .iter()
-            .map(|t| t.demand * share * interference)
-            .sum::<f64>();
+        self.usage_sum = self.total_demand * self.share * self.interference;
+    }
+
+    /// Pops stale heap entries (cancelled tasks) off the top, restoring
+    /// the invariant that the heap head — if any — is a live task. Must
+    /// run after every operation that removes tasks.
+    fn purge_stale_top(&mut self) {
+        while let Some(&std::cmp::Reverse((_, fseq, job, seq))) = self.heap.peek() {
+            if self.tasks.get(&(job, seq)).is_some_and(|t| t.fseq == fseq) {
+                break;
+            }
+            self.heap.pop();
+        }
     }
 
     /// Instantaneous total consumption (for utilization accounting),
@@ -131,22 +191,12 @@ impl Fluid {
     }
 
     /// Seconds until the next task completes at current rates, or
-    /// `None` when idle.
+    /// `None` when idle. O(1): the heap head is kept live, and all
+    /// tasks share one rate multiplier.
     pub fn time_to_next_completion(&self) -> Option<f64> {
-        let (share, interference) = (self.share, self.interference);
-        self.tasks
-            .iter()
-            .map(|t| {
-                let r = t.demand * share * interference;
-                if r <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    t.remaining / r
-                }
-            })
-            .fold(None, |acc: Option<f64>, x| {
-                Some(acc.map_or(x, |a| a.min(x)))
-            })
+        let &std::cmp::Reverse((bits, _, _, _)) = self.heap.peek()?;
+        let rate = self.share * self.interference;
+        Some(((f64::from_bits(bits) - self.v) / rate).max(0.0))
     }
 
     /// Advances all tasks by `dt` seconds, returning `(finished_keys,
@@ -177,18 +227,33 @@ impl Fluid {
         if self.tasks.is_empty() || dt == 0.0 {
             return 0.0;
         }
-        let (share, interference) = (self.share, self.interference);
         let consumed = self.usage() * dt;
-        let before = out.len();
-        for task in self.tasks.iter_mut() {
-            task.remaining -= task.demand * share * interference * dt;
-            if task.remaining <= 1e-9 {
-                out.push(task.key);
+        self.v += self.share * self.interference * dt;
+        let mut popped = false;
+        while let Some(&std::cmp::Reverse((bits, fseq, job, seq))) = self.heap.peek() {
+            let Some(task) = self.tasks.get(&(job, seq)) else {
+                self.heap.pop();
+                continue;
+            };
+            if task.fseq != fseq {
+                self.heap.pop();
+                continue;
             }
+            // A task is done when its residual work — `(v_done − v) ×
+            // demand` — is within the same 1e-9 demand-seconds the old
+            // per-task decrement used.
+            if self.v < f64::from_bits(bits) - 1e-9 / task.demand {
+                break;
+            }
+            self.heap.pop();
+            let task = self.tasks.remove(&(job, seq)).expect("live task");
+            self.total_demand -= task.demand;
+            out.push(TaskKey { job, seq });
+            popped = true;
         }
-        if out.len() != before {
-            self.tasks.retain(|t| t.remaining > 1e-9);
+        if popped {
             self.refresh();
+            self.purge_stale_top();
         }
         consumed
     }
@@ -196,28 +261,38 @@ impl Fluid {
     /// Removes a task regardless of progress (job pause/migration).
     /// Returns the remaining work if the task was present.
     pub fn cancel(&mut self, key: TaskKey) -> Option<f64> {
-        let idx = self.tasks.iter().position(|t| t.key == key)?;
-        let remaining = self.tasks.remove(idx).remaining;
+        let task = self.tasks.remove(&(key.job, key.seq))?;
+        self.total_demand -= task.demand;
+        let remaining = ((task.v_done - self.v) * task.demand).max(0.0);
         self.refresh();
+        self.purge_stale_top();
         Some(remaining)
     }
 
-    /// Removes every task belonging to `job` (pause / failure paths),
-    /// without materializing the key list first.
+    /// Removes every task belonging to `job` (pause / failure paths).
     pub fn cancel_all_of(&mut self, job: usize) {
-        let before = self.tasks.len();
-        self.tasks.retain(|t| t.key.job != job);
-        if self.tasks.len() != before {
-            self.refresh();
+        let keys: Vec<(usize, u64)> = self
+            .tasks
+            .range((job, 0)..=(job, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        if keys.is_empty() {
+            return;
         }
+        for k in keys {
+            let task = self.tasks.remove(&k).expect("ranged key");
+            self.total_demand -= task.demand;
+        }
+        self.refresh();
+        self.purge_stale_top();
     }
 
-    /// Keys of active tasks belonging to `job`.
+    /// Keys of active tasks belonging to `job`, in admission order
+    /// (`seq` is monotone per job).
     pub fn tasks_of(&self, job: usize) -> Vec<TaskKey> {
         self.tasks
-            .iter()
-            .filter(|t| t.key.job == job)
-            .map(|t| t.key)
+            .range((job, 0)..=(job, u64::MAX))
+            .map(|(&(job, seq), _)| TaskKey { job, seq })
             .collect()
     }
 }

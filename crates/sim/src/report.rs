@@ -1,6 +1,6 @@
 //! Results of one simulated run.
 
-use harmony_metrics::{EventLog, MigrationStats, OnlineStats, Timeline};
+use harmony_metrics::{EventLog, Hist, MigrationStats, OnlineStats, Timeline};
 
 use crate::spans::SubtaskSpan;
 
@@ -88,6 +88,10 @@ pub enum ReschedReason {
     /// A targeted migration pass declined to place the job or bounced
     /// it back into the group it drifted out of.
     MigrationEscalation,
+    /// A coalescing window expired (or hit its batch cap) and flushed
+    /// the finish-mandated pass it had been deferring
+    /// ([`SimConfig::coalesced_passes`](crate::SimConfig)).
+    WindowFlush,
 }
 
 /// Per-trigger-reason counts of full reschedule passes (see
@@ -112,6 +116,8 @@ pub struct ReschedCounters {
     pub unstall: usize,
     /// Passes escalated out of a targeted migration placement.
     pub migration_escalation: usize,
+    /// Passes fired by a coalescing-window flush (expiry or batch cap).
+    pub window_flush: usize,
 }
 
 impl ReschedCounters {
@@ -126,6 +132,7 @@ impl ReschedCounters {
             ReschedReason::CrashRecovery => self.crash_recovery += 1,
             ReschedReason::Unstall => self.unstall += 1,
             ReschedReason::MigrationEscalation => self.migration_escalation += 1,
+            ReschedReason::WindowFlush => self.window_flush += 1,
         }
     }
 
@@ -139,6 +146,7 @@ impl ReschedCounters {
             + self.crash_recovery
             + self.unstall
             + self.migration_escalation
+            + self.window_flush
     }
 }
 
@@ -215,6 +223,23 @@ pub struct RunReport {
     pub concurrent_jobs: OnlineStats,
     /// Per-subtask spans (only when `SimConfig::record_spans` is on).
     pub spans: Vec<SubtaskSpan>,
+    /// Coalescing windows opened
+    /// ([`SimConfig::coalesced_passes`](crate::SimConfig)). Zero when
+    /// the mode is off. Diagnostics: excluded from
+    /// [`Self::canonical_bytes`] like the trigger counters.
+    pub coalesce_windows: usize,
+    /// Job finishes absorbed into coalescing windows instead of each
+    /// mandating its own full pass. Equals the completed-job count
+    /// when the mode is on (every finish routes through a window).
+    pub coalesced_finishes: usize,
+    /// Targeted release passes that handed freed machines to waiting
+    /// jobs while a window was open.
+    pub release_passes: usize,
+    /// Decision-staleness distribution: for each window, how long
+    /// (virtual seconds) its deferred finish pass waited before some
+    /// full pass subsumed it. Bounded above by
+    /// `SimConfig::coalesce_window` by construction.
+    pub coalesce_staleness: Hist,
 }
 
 impl RunReport {
@@ -416,6 +441,10 @@ mod tests {
             mean_group_iteration: 0.0,
             concurrent_jobs: OnlineStats::new(),
             spans: Vec::new(),
+            coalesce_windows: 0,
+            coalesced_finishes: 0,
+            release_passes: 0,
+            coalesce_staleness: Hist::new(),
         }
     }
 
@@ -472,6 +501,10 @@ mod tests {
         b.sched_wall = std::time::Duration::from_secs(42);
         b.event_wall = std::time::Duration::from_secs(7);
         b.resched_reasons.bump(ReschedReason::Bootstrap);
+        b.coalesce_windows = 3;
+        b.coalesced_finishes = 5;
+        b.release_passes = 2;
+        b.coalesce_staleness.observe(1.5);
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
 
         b.jobs[0].iterations += 1;
@@ -500,12 +533,14 @@ mod tests {
             ReschedReason::CrashRecovery,
             ReschedReason::Unstall,
             ReschedReason::MigrationEscalation,
+            ReschedReason::WindowFlush,
         ] {
             c.bump(reason);
         }
         c.bump(ReschedReason::Finished);
         assert_eq!(c.finished, 2);
         assert_eq!(c.bootstrap, 1);
-        assert_eq!(c.total(), 9);
+        assert_eq!(c.window_flush, 1);
+        assert_eq!(c.total(), 10);
     }
 }

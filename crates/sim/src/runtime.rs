@@ -281,6 +281,22 @@ pub struct GroupSim {
     /// matching pop, so re-arming an identical wake can skip the
     /// duplicate enqueue entirely (fast event path).
     pub pending_wake: Option<(u64, f64)>,
+    /// Cached Σ over members of `(1 − α)·input·expansion` plus the
+    /// unspilled model bytes — the non-workspace part of the group's
+    /// memory footprint. The driver refolds it on every membership or
+    /// memory-plan change and nudges it incrementally on α hill-climb
+    /// steps, so the GC probe on every COMP dispatch is O(1) instead
+    /// of O(members).
+    pub mem_base_bytes: f64,
+    /// Cached Σ over members of `α·input` bytes (background disk-read
+    /// pricing), maintained alongside `mem_base_bytes`.
+    pub alpha_input_bytes: f64,
+    /// Lazy min-heap of `(ready_at bits, job)` for members still
+    /// loading input — coalesced mode's wake re-arm consults the top
+    /// instead of scanning every member (the scan is O(members) and
+    /// runs on every event). Entries go stale in place (job left,
+    /// re-loaded, or its ready time passed) and are popped on sight.
+    pub ready_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
 }
 
 impl GroupSim {
@@ -319,6 +335,9 @@ impl GroupSim {
             slow_factor: 1.0,
             slow_until: 0.0,
             pending_wake: None,
+            mem_base_bytes: 0.0,
+            alpha_input_bytes: 0.0,
+            ready_heap: std::collections::BinaryHeap::new(),
         }
     }
 

@@ -23,6 +23,15 @@ pub(crate) struct SimSchedScratch {
     pub cache: ProfileCache,
     /// Candidate-scan scratch reused by the core scheduler.
     pub scratch: ScheduleScratch,
+    /// Profiles fed to the targeted release pass
+    /// ([`harmony_core::schedule::Scheduler::schedule_release`]); kept
+    /// separate from `profiles` so a release decision never perturbs
+    /// the full pass's dirty-set cache.
+    pub release_profiles: Vec<JobProfile>,
+    /// Dirty-set cache dedicated to the release pass.
+    pub release_cache: ProfileCache,
+    /// Candidate-scan scratch dedicated to the release pass.
+    pub release_scratch: ScheduleScratch,
 }
 
 impl SimSchedScratch {
@@ -32,6 +41,9 @@ impl SimSchedScratch {
             profiles: Vec::new(),
             cache: ProfileCache::empty(),
             scratch: ScheduleScratch::new(),
+            release_profiles: Vec::new(),
+            release_cache: ProfileCache::empty(),
+            release_scratch: ScheduleScratch::new(),
         }
     }
 }

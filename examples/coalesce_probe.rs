@@ -1,0 +1,59 @@
+use std::time::Instant;
+
+use harmony::sim::{Driver, ReloadPolicy, SchedulerKind, SimConfig};
+use harmony::trace::{workload_with, WorkloadParams};
+
+fn cfg(machines: u32) -> SimConfig {
+    SimConfig {
+        machines,
+        scheduler: SchedulerKind::Harmony,
+        reload: ReloadPolicy::Adaptive,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(2560);
+    let machines: u32 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(3200);
+    let window: f64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(30.0);
+    let batch: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(32);
+    let per_pair = jobs.div_ceil(8).max(1) as u32;
+    let specs: Vec<_> = workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(jobs)
+    .collect();
+    let arrivals = vec![0.0; specs.len()];
+
+    let only = args.get(4).cloned();
+    for (label, coalesced) in [("exact", false), ("coalesced", true)] {
+        if only.as_deref().is_some_and(|o| o != label) {
+            continue;
+        }
+        let c = SimConfig {
+            coalesced_passes: coalesced,
+            coalesce_window: window,
+            coalesce_max_batch: batch,
+            ..cfg(machines)
+        };
+        let t0 = Instant::now();
+        let r = Driver::run(c, specs.clone(), arrivals.clone());
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{label:>9} jobs={jobs} m={machines} w={window} b={batch}: wall {wall:.2}s event {:.2}s sched {:.2}s passes={} fin={} flush={} windows={} release={} jct {:.1} cpu {:.4} done={}",
+            r.event_wall.as_secs_f64(),
+            r.sched_wall.as_secs_f64(),
+            r.sched_invocations,
+            r.resched_reasons.finished,
+            r.resched_reasons.window_flush,
+            r.coalesce_windows,
+            r.release_passes,
+            r.mean_jct(),
+            r.avg_cpu_util(machines),
+            r.completed(),
+        );
+    }
+}

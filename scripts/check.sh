@@ -5,14 +5,16 @@
 #   --bench-smoke  additionally run the perf-baseline binaries at tiny
 #                  scale and validate their emitted JSON — plus the
 #                  committed BENCH_*.json files (the committed sim
-#                  sweep must carry every ladder scale up to 2560 jobs,
-#                  enforced via --full-sweep) — against the perfjson
-#                  schema (see crates/bench/src/perfjson.rs), run the
-#                  simulator fast-event-path, incremental-resched, PS
-#                  fast-runtime, sparse-wire and live-migration
-#                  equivalence gates at tiny scale, and run the PS
-#                  steady-state allocation audit (counting global
-#                  allocator, `alloc-count` feature).
+#                  sweep must carry both scheduling arms with reps >= 3:
+#                  the exact ladder up to 2560 jobs and the coalesced
+#                  ladder up to 5120 jobs, enforced via --full-sweep) —
+#                  against the perfjson schema (see
+#                  crates/bench/src/perfjson.rs), run the simulator
+#                  fast-event-path, incremental-resched, coalesced-pass
+#                  acceptance, PS fast-runtime, sparse-wire and
+#                  live-migration equivalence gates at tiny scale, and
+#                  run the PS steady-state allocation audit (counting
+#                  global allocator, `alloc-count` feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -54,6 +56,9 @@ if [ "$BENCH_SMOKE" = 1 ]; then
     echo "==> incremental-resched equivalence smoke (dirty-set path == full-pass bytes)"
     cargo test --release -q -p harmony --test sim_equivalence \
         incremental_resched_matches_across_schedulers_and_faults
+
+    echo "==> coalesced-pass acceptance gate (1% JCT/utilization bound + flag-off bit-identity)"
+    cargo test --release -q -p harmony --test coalesce_acceptance
 
     echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
     cargo test --release -q -p harmony --test ps_equivalence \

@@ -1,0 +1,291 @@
+//! Quantified acceptance gate for coalesced reschedule passes
+//! (`SimConfig::coalesced_passes`).
+//!
+//! Unlike `fast_event_path` / `incremental_resched` — which are
+//! bit-exact and gated byte-for-byte in `tests/sim_equivalence.rs` —
+//! the coalesced mode deliberately gives up bit-identity: deferring
+//! finish-mandated passes into windows produces *different* (not
+//! wrong) decisions. Its admission story is quantified instead: across
+//! the same matrix the equivalence suite covers (schedulers ×
+//! arrivals × noise × fault plans), mean JCT and final cluster
+//! utilization must stay within 1% of the exact arm, every job must
+//! still complete, and the window accounting must balance (no finish
+//! lost, staleness bounded by the window). Schedulers whose finish
+//! path never consults the window machinery (Isolated, Naive) must
+//! stay byte-identical with the flag on.
+
+use harmony::core::JobSpec;
+use harmony::sim::{Driver, FaultPlan, ReloadPolicy, RunReport, SchedulerKind, SimConfig};
+use harmony::trace::{workload_with, WorkloadParams};
+
+/// Relative mean-JCT bound and absolute utilization-fraction bound.
+const JCT_TOLERANCE: f64 = 0.01;
+const UTIL_TOLERANCE: f64 = 0.01;
+
+fn tiny_workload(hyper_params: u32, epoch_scale: f64, take: usize) -> Vec<JobSpec> {
+    workload_with(WorkloadParams {
+        hyper_params,
+        epoch_scale,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(take)
+    .collect()
+}
+
+fn coalesced_cfg(machines: u32) -> SimConfig {
+    SimConfig {
+        machines,
+        straggler_cv: 0.0,
+        coalesced_passes: true,
+        // Tiny matrix workloads run a handful of passes, so one
+        // deferred decision carries a lot of weight; a short window
+        // keeps the per-decision divergence inside the 1% budget
+        // (drift is decision scatter, not accumulated staleness — at
+        // bench scale finishes are dense and larger windows coalesce
+        // harder with the same bound).
+        coalesce_window: 5.0,
+        ..SimConfig::default()
+    }
+}
+
+fn exact_arm(cfg: &SimConfig) -> SimConfig {
+    SimConfig {
+        coalesced_passes: false,
+        ..cfg.clone()
+    }
+}
+
+/// Runs both arms and asserts the quantified acceptance bounds plus
+/// the window-accounting invariants.
+fn assert_accepted(label: &str, cfg: SimConfig, specs: Vec<JobSpec>, arrivals: Vec<f64>) {
+    assert!(
+        cfg.coalesced_passes,
+        "{label}: matrix cell must enable the mode"
+    );
+    let machines = cfg.machines;
+    let exact = Driver::run(exact_arm(&cfg), specs.clone(), arrivals.clone());
+    let coal = Driver::run(cfg, specs, arrivals);
+
+    assert_eq!(
+        coal.completed(),
+        exact.completed(),
+        "{label}: completed-job count diverged"
+    );
+    let jct_delta = (coal.mean_jct() - exact.mean_jct()).abs() / exact.mean_jct().max(1e-9);
+    assert!(
+        jct_delta <= JCT_TOLERANCE,
+        "{label}: mean JCT drifted {:.3}% (coalesced {:.1}s vs exact {:.1}s)",
+        jct_delta * 100.0,
+        coal.mean_jct(),
+        exact.mean_jct(),
+    );
+    let cpu_delta = (coal.avg_cpu_util(machines) - exact.avg_cpu_util(machines)).abs();
+    let net_delta = (coal.avg_net_util(machines) - exact.avg_net_util(machines)).abs();
+    assert!(
+        cpu_delta <= UTIL_TOLERANCE && net_delta <= UTIL_TOLERANCE,
+        "{label}: utilization drifted (cpu Δ{:.4}, net Δ{:.4}; \
+         coalesced cpu {:.4} vs exact {:.4})",
+        cpu_delta,
+        net_delta,
+        coal.avg_cpu_util(machines),
+        exact.avg_cpu_util(machines),
+    );
+    sanity(label, &coal);
+    // The exact arm never touches the window machinery.
+    assert_eq!(exact.coalesce_windows, 0, "{label}");
+    assert_eq!(exact.coalesced_finishes, 0, "{label}");
+    assert_eq!(exact.release_passes, 0, "{label}");
+}
+
+/// Window-accounting invariants of the coalesced arm.
+fn sanity(label: &str, coal: &RunReport) {
+    assert_eq!(
+        coal.coalesced_finishes,
+        coal.completed(),
+        "{label}: a finish was lost or double-counted by the window"
+    );
+    assert_eq!(
+        coal.coalesce_windows,
+        coal.coalesce_staleness.count() as usize,
+        "{label}: every window must record exactly one staleness sample"
+    );
+    assert!(
+        coal.resched_reasons.window_flush <= coal.coalesce_windows,
+        "{label}: more flush passes than windows"
+    );
+    assert_eq!(
+        coal.resched_reasons.finished, 0,
+        "{label}: the exact finish trigger fired in coalesced mode"
+    );
+}
+
+/// One acceptance cell:
+/// (label, scheduler, jobs, machines, threshold, stagger, cv, err).
+type Cell = (
+    &'static str,
+    SchedulerKind,
+    usize,
+    u32,
+    usize,
+    f64,
+    f64,
+    f64,
+);
+
+/// The core matrix: Harmony and the oracle, batch and staggered
+/// arrivals, clean and noisy profiles.
+#[test]
+fn coalesced_arm_stays_within_one_percent() {
+    let cells: &[Cell] = &[
+        (
+            "harmony-batch",
+            SchedulerKind::Harmony,
+            12,
+            16,
+            8,
+            0.0,
+            0.0,
+            0.0,
+        ),
+        (
+            "harmony-staggered",
+            SchedulerKind::Harmony,
+            12,
+            16,
+            2,
+            40.0,
+            0.0,
+            0.0,
+        ),
+        (
+            "harmony-noisy",
+            SchedulerKind::Harmony,
+            10,
+            16,
+            2,
+            0.0,
+            0.05,
+            0.15,
+        ),
+        (
+            "oracle-batch",
+            SchedulerKind::Oracle,
+            6,
+            12,
+            8,
+            0.0,
+            0.0,
+            0.0,
+        ),
+        (
+            "oracle-staggered",
+            SchedulerKind::Oracle,
+            6,
+            12,
+            2,
+            60.0,
+            0.0,
+            0.0,
+        ),
+    ];
+    for &(label, ref kind, take, machines, threshold, stagger, cv, err) in cells {
+        let specs = tiny_workload(2, 0.3, take);
+        let arrivals: Vec<f64> = (0..specs.len()).map(|i| i as f64 * stagger).collect();
+        let cfg = SimConfig {
+            scheduler: kind.clone(),
+            waiting_reschedule_threshold: threshold,
+            straggler_cv: cv,
+            error_injection: err,
+            seed: 9,
+            ..coalesced_cfg(machines)
+        };
+        assert_accepted(label, cfg, specs, arrivals);
+    }
+}
+
+/// Fault plans interleave crash-recovery passes with open windows —
+/// the subsumption path under the most state churn.
+#[test]
+fn coalesced_arm_accepts_fault_plans() {
+    let specs = tiny_workload(1, 0.3, 8);
+    let arrivals = vec![0.0; specs.len()];
+    let clean = Driver::run(
+        exact_arm(&coalesced_cfg(16)),
+        specs.clone(),
+        arrivals.clone(),
+    );
+    let horizon = clean.makespan;
+    let crash = FaultPlan::single_crash(42, horizon * 0.4);
+    assert_accepted(
+        "single-crash",
+        SimConfig {
+            fault_plan: Some(crash),
+            reload: ReloadPolicy::Adaptive,
+            ..coalesced_cfg(16)
+        },
+        specs,
+        arrivals,
+    );
+}
+
+/// Isolated and Naive never route finishes through the window
+/// machinery: the flag on must be byte-identical, not merely close.
+#[test]
+fn coalesced_flag_is_byte_identical_for_baselines() {
+    for kind in [
+        SchedulerKind::Isolated,
+        SchedulerKind::Naive {
+            jobs_per_group: 3,
+            seed: 4,
+        },
+    ] {
+        let label = format!("{kind:?}");
+        let specs = tiny_workload(1, 0.25, 6);
+        let arrivals = vec![0.0; specs.len()];
+        let cfg = SimConfig {
+            scheduler: kind,
+            ..coalesced_cfg(12)
+        };
+        let off = Driver::run(exact_arm(&cfg), specs.clone(), arrivals.clone());
+        let on = Driver::run(cfg, specs, arrivals);
+        assert_eq!(
+            on.canonical_bytes(),
+            off.canonical_bytes(),
+            "{label}: the coalesced flag must be inert for baselines"
+        );
+        assert_eq!(on.coalesce_windows, 0);
+        assert_eq!(on.release_passes, 0);
+    }
+}
+
+/// The whole point: with the mode on, finish-mandated full passes
+/// collapse. On a finish-heavy workload the coalesced arm must run
+/// strictly fewer full passes than the exact arm runs finish passes.
+#[test]
+fn coalescing_actually_reduces_passes() {
+    let specs = tiny_workload(2, 0.25, 16);
+    let arrivals = vec![0.0; specs.len()];
+    // Coalescing pays off when finishes are dense relative to the
+    // window. Tiny workloads finish ~100 s apart, so this mechanism
+    // test widens the window until several finish passes share one
+    // flush (bench-scale runs reach the same density with the default
+    // window because thousands of jobs finish concurrently).
+    let cfg = SimConfig {
+        waiting_reschedule_threshold: 2,
+        coalesce_window: 2000.0,
+        ..coalesced_cfg(16)
+    };
+    let exact = Driver::run(exact_arm(&cfg), specs.clone(), arrivals.clone());
+    let coal = Driver::run(cfg, specs, arrivals);
+    assert!(
+        exact.resched_reasons.finished > 0,
+        "workload must exercise finish-mandated passes"
+    );
+    assert!(
+        coal.resched_reasons.window_flush < exact.resched_reasons.finished,
+        "coalescing did not reduce finish-path passes: {} flushes vs {} exact finish passes",
+        coal.resched_reasons.window_flush,
+        exact.resched_reasons.finished,
+    );
+}
