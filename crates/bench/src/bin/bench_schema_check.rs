@@ -303,7 +303,9 @@ fn check_schema(doc: &Json) -> Result<usize, String> {
 /// per scheduling arm — the top of the ladder grows when the sweep is
 /// extended, so a stale baseline fails the check instead of silently
 /// shrinking coverage. The coalesced arm reaches one doubling further
-/// than the exact arm (its whole point).
+/// than the exact arm (its whole point). The open-loop arrival arms
+/// (seeded Poisson arrivals under `AdmitAll` / `UtilityThreshold`
+/// admission) must cover their whole small ladder on both policies.
 const REQUIRED_SIM_SWEEP: &[(&str, f64, f64)] = &[
     ("sim_driver", 640.0, 800.0),
     ("sim_driver", 1280.0, 1600.0),
@@ -312,6 +314,12 @@ const REQUIRED_SIM_SWEEP: &[(&str, f64, f64)] = &[
     ("sim_driver_coalesced", 1280.0, 1600.0),
     ("sim_driver_coalesced", 2560.0, 3200.0),
     ("sim_driver_coalesced", 5120.0, 6400.0),
+    ("sim_driver_open_loop", 40.0, 25.0),
+    ("sim_driver_open_loop", 80.0, 50.0),
+    ("sim_driver_open_loop", 160.0, 100.0),
+    ("sim_driver_open_loop_utility", 40.0, 25.0),
+    ("sim_driver_open_loop_utility", 80.0, 50.0),
+    ("sim_driver_open_loop_utility", 160.0, 100.0),
 ];
 
 /// Checks that a report carries sim-sweep rows at every required
@@ -475,6 +483,26 @@ mod tests {
         let doc = Parser::new(&partial.to_json()).parse().expect("parses");
         let err = check_full_sweep(&doc).unwrap_err();
         assert!(err.contains("jobs=2560"), "unexpected error: {err}");
+
+        // Drop the open-loop utility arm: a baseline predating the
+        // admission sweep must fail by name.
+        let mut partial = BenchReport::new("ps_end_to_end");
+        for &(case, jobs, machines) in REQUIRED_SIM_SWEEP {
+            if case != "sim_driver_open_loop_utility" {
+                partial.push(BenchRow::new(
+                    case,
+                    jobs as usize,
+                    machines as u32,
+                    vec![1.0, 2.0, 3.0],
+                ));
+            }
+        }
+        let doc = Parser::new(&partial.to_json()).parse().expect("parses");
+        let err = check_full_sweep(&doc).unwrap_err();
+        assert!(
+            err.contains("sim_driver_open_loop_utility"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

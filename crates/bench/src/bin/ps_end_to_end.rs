@@ -12,7 +12,14 @@
 //!   exact per-finish arm (`case: "sim_driver"`) and the
 //!   equivalence-relaxed coalesced arm (`case: "sim_driver_coalesced"`,
 //!   `coalesced_passes` on, window 6000 s, batch 64), which extends the
-//!   ladder one doubling past where the exact arm is tractable;
+//!   ladder one doubling past where the exact arm is tractable, plus
+//!   the open-loop arrival sweep (`case: "sim_driver_open_loop"` /
+//!   `"sim_driver_open_loop_utility"`): `Driver::run_open_loop` on a
+//!   seeded Poisson arrival process at a saturating rate, under
+//!   `AdmitAll` and OASiS-style `UtilityThreshold` admission. The
+//!   binary asserts that utility-priced admission sustains long-run
+//!   cluster utilization at least as high as admit-everything at the
+//!   saturating scale;
 //! - `BENCH_ps.json`: the PS runtime matrix — one Lasso job timed on
 //!   both runtime arms (`case: "fast_runtime"` vs `"reference"`) at
 //!   growing model scale, `jobs` = model dimension and `machines` =
@@ -24,7 +31,10 @@
 //!   field.
 //!
 //! Flags: `--smoke` (tiny scale, for `scripts/check.sh --bench-smoke`),
-//! `--out <path>` (sim report), `--ps-out <path>` (runtime matrix).
+//! `--out <path>` (sim report), `--ps-out <path>` (runtime matrix),
+//! `--sim-only` (regenerate `BENCH_sim.json` without rerunning the PS
+//! runtime/wire matrices — the fast path when only the simulator sweep,
+//! e.g. its open-loop rows, changed).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,7 +43,9 @@ use harmony_bench::{harmony_config, BenchReport, BenchRow};
 use harmony_metrics::TextTable;
 use harmony_ml::{synth, Lasso, Lda, Mlr, Nmf, PsAlgorithm};
 use harmony_ps::{JobBuilder, JobReport, PsCluster, PsConfig};
-use harmony_sim::{Driver, SimConfig};
+use harmony_sim::{
+    AdmissionPolicy, AdmitAll, Driver, SimConfig, UtilityThreshold, WorkloadGen, WorkloadGenConfig,
+};
 use harmony_trace::{workload_with, WorkloadParams};
 
 /// Builds the four-application job set and runs it on a fresh cluster.
@@ -300,9 +312,102 @@ fn time_sim_driver(jobs: usize, machines: u32, reps: usize, coalesced: bool) -> 
     point
 }
 
-/// Parses `--smoke` / `--out <path>` / `--ps-out <path>`.
-fn parse_args() -> (bool, PathBuf, PathBuf) {
+/// Fixed open-loop operating point: one seed so every regeneration
+/// replays the same arrival trace bit-for-bit, and a mean interarrival
+/// gap short enough to saturate the first ladder rung (40 jobs on 25
+/// machines arrive far faster than they drain, so admit-everything
+/// over-subscribes memory while utility-priced admission sheds load).
+const OPEN_LOOP_SEED: u64 = 4242;
+const OPEN_LOOP_MEAN_SECS: f64 = 60.0;
+const OPEN_LOOP_UTILITY_THRESHOLD: f64 = 0.02;
+const OPEN_LOOP_REJECT_AFTER: u32 = 8;
+
+/// The saturating rung where the admission gate is asserted.
+const OPEN_LOOP_SATURATING: (usize, u32) = (40, 25);
+
+/// Seeded Poisson arrival process over the standard synthetic
+/// templates, capped at exactly `jobs` offers (the horizon is generous
+/// so the cap, not the clock, ends the trace — pinning each bench row's
+/// `jobs` field).
+fn open_loop_gen(jobs: usize) -> WorkloadGen {
+    let per_pair = jobs.div_ceil(8).max(1) as u32;
+    let templates: Vec<_> = workload_with(WorkloadParams {
+        hyper_params: per_pair,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(jobs)
+    .collect();
+    WorkloadGen::new(
+        WorkloadGenConfig {
+            seed: OPEN_LOOP_SEED,
+            mean_interarrival_secs: OPEN_LOOP_MEAN_SECS,
+            horizon_secs: OPEN_LOOP_MEAN_SECS * jobs as f64 * 20.0,
+            max_jobs: jobs,
+        },
+        templates,
+    )
+    .expect("open-loop generator config is valid")
+}
+
+/// One timed open-loop sweep point plus the admission outcome the
+/// gate below compares across policies.
+struct OpenLoopPoint {
+    samples: Vec<f64>,
+    cpu_util: f64,
+    admitted: u64,
+    rejected: u64,
+}
+
+/// Times `Driver::run_open_loop` on the seeded arrival process over
+/// `machines` machines, `reps` times, under either `AdmitAll`
+/// (`utility: false`) or `UtilityThreshold` admission. The simulation
+/// is deterministic, so the admission books are identical across reps;
+/// only wall time varies.
+fn time_sim_open_loop(jobs: usize, machines: u32, reps: usize, utility: bool) -> OpenLoopPoint {
+    let mut point = OpenLoopPoint {
+        samples: Vec::with_capacity(reps),
+        cpu_util: 0.0,
+        admitted: 0,
+        rejected: 0,
+    };
+    for _ in 0..reps {
+        let policy: Box<dyn AdmissionPolicy> = if utility {
+            Box::new(UtilityThreshold {
+                threshold: OPEN_LOOP_UTILITY_THRESHOLD,
+                reject_after: Some(OPEN_LOOP_REJECT_AFTER),
+            })
+        } else {
+            Box::new(AdmitAll)
+        };
+        let gen = open_loop_gen(jobs);
+        let cfg = harmony_config(machines);
+        let t0 = Instant::now();
+        let report = Driver::run_open_loop(cfg, gen, policy).expect("open-loop run is valid");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report.jobs.len(),
+            jobs,
+            "generator must offer exactly `jobs`"
+        );
+        assert_eq!(
+            report.admission.decided(),
+            jobs as u64,
+            "every offer must be admitted or rejected by the end of the run"
+        );
+        assert!(report.completed() > 0, "open-loop run completed no jobs");
+        point.samples.push(dt);
+        point.cpu_util = report.avg_cpu_util(machines);
+        point.admitted = report.admission.admitted;
+        point.rejected = report.admission.rejected;
+    }
+    point
+}
+
+/// Parses `--smoke` / `--sim-only` / `--out <path>` / `--ps-out <path>`.
+fn parse_args() -> (bool, bool, PathBuf, PathBuf) {
     let mut smoke = false;
+    let mut sim_only = false;
     let mut out = PathBuf::from("BENCH_sim.json");
     let mut ps_out = PathBuf::from("BENCH_ps.json");
     let mut args = std::env::args().skip(1);
@@ -315,21 +420,23 @@ fn parse_args() -> (bool, PathBuf, PathBuf) {
         };
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--sim-only" => sim_only = true,
             "--out" => out = path_arg("--out"),
             "--ps-out" => ps_out = path_arg("--ps-out"),
             other => {
                 eprintln!(
-                    "unknown argument: {other} (expected --smoke / --out <path> / --ps-out <path>)"
+                    "unknown argument: {other} (expected --smoke / --sim-only / \
+                     --out <path> / --ps-out <path>)"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (smoke, out, ps_out)
+    (smoke, sim_only, out, ps_out)
 }
 
 fn main() {
-    let (smoke, out_path, ps_out_path) = parse_args();
+    let (smoke, sim_only, out_path, ps_out_path) = parse_args();
     let nodes = 4;
     let ps_iters = if smoke { 10 } else { 40 };
     let ps_reps = if smoke { 2 } else { 5 };
@@ -444,8 +551,84 @@ fn main() {
     println!("\nsimulator sweep (wall split: scheduler decisions vs event loop)\n");
     println!("{sim_table}");
 
+    // Open-loop arrival sweep: jobs arrive on a seeded Poisson process
+    // at a saturating rate instead of all at t = 0, under both
+    // admission arms. The ladder stays small — open-loop churn is about
+    // admission behavior, not event-loop scale (the closed-loop ladder
+    // above covers that).
+    let open_loop_scales: &[(usize, u32, usize)] = if smoke {
+        &[(40, 25, 2)]
+    } else {
+        &[(40, 25, 5), (80, 50, 5), (160, 100, 3)]
+    };
+    let mut ol_table = TextTable::new([
+        "policy",
+        "jobs",
+        "machines",
+        "median (ms)",
+        "cpu util",
+        "admitted",
+        "rejected",
+    ]);
+    let open_loop_arms = [
+        ("sim_driver_open_loop", "admit-all", false),
+        ("sim_driver_open_loop_utility", "utility-threshold", true),
+    ];
+    for (case, arm, utility) in open_loop_arms {
+        for &(jobs, machines, reps) in open_loop_scales {
+            let point = time_sim_open_loop(jobs, machines, reps, utility);
+            let row = BenchRow::new(case, jobs, machines, point.samples);
+            let (median, _, _) = row.stats();
+            ol_table.row([
+                arm.to_string(),
+                jobs.to_string(),
+                machines.to_string(),
+                format!("{median:.1}"),
+                format!("{:.4}", point.cpu_util),
+                point.admitted.to_string(),
+                point.rejected.to_string(),
+            ]);
+            report.push(row);
+        }
+    }
+    println!("\nopen-loop arrival sweep (seeded Poisson arrivals, admission arms)\n");
+    println!("{ol_table}");
+
+    // The admission gate: at the saturating rung, utility-priced
+    // admission must sustain long-run utilization at least as high as
+    // admit-everything (which over-subscribes memory and pays for it
+    // in GC stretch and a long low-parallelism drain tail). Runs in
+    // smoke mode too — the comparison is deterministic and ~10 ms.
+    let (sat_jobs, sat_machines) = OPEN_LOOP_SATURATING;
+    let admit_all = time_sim_open_loop(sat_jobs, sat_machines, 1, false);
+    let priced = time_sim_open_loop(sat_jobs, sat_machines, 1, true);
+    assert!(
+        priced.cpu_util >= admit_all.cpu_util,
+        "utility-priced admission must not lose utilization to admit-everything \
+         at the saturating rate: {:.4} vs {:.4}",
+        priced.cpu_util,
+        admit_all.cpu_util,
+    );
+    println!(
+        "admission gate held at {sat_jobs} jobs / {sat_machines} machines: \
+         utility-threshold cpu util {:.4} >= admit-all {:.4} \
+         ({} admitted / {} rejected vs {} / {})",
+        priced.cpu_util,
+        admit_all.cpu_util,
+        priced.admitted,
+        priced.rejected,
+        admit_all.admitted,
+        admit_all.rejected,
+    );
+
     report.write(&out_path).expect("write bench report");
     println!("wrote {}", out_path.display());
+
+    if sim_only {
+        println!("--sim-only: skipping the PS runtime and wire matrices");
+        assert!(last_reports.iter().all(|r| r.final_loss < r.initial_loss));
+        return;
+    }
 
     // PS runtime matrix: both arms at growing model scale. `jobs`
     // carries the model dimension, `machines` the worker count.

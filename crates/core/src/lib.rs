@@ -74,4 +74,4 @@ pub use group::{GroupId, Grouping, JobGroup};
 pub use job::{AppKind, JobId, JobSpec, JobState, SyncKind};
 pub use model::{cluster_utilization, group_iteration_time, group_utilization, Utilization};
 pub use profile::{JobProfile, ProfileStore};
-pub use schedule::{ScheduleOutcome, Scheduler, SchedulerConfig};
+pub use schedule::{CandidatePrice, ScheduleOutcome, Scheduler, SchedulerConfig};

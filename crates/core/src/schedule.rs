@@ -209,6 +209,27 @@ pub struct ScheduleOutcome {
     pub predicted_iteration: Vec<f64>,
 }
 
+/// The two Eq. 4 scores behind one admission-pricing query
+/// ([`Scheduler::price_candidate`]): predicted cluster utilization
+/// with and without the candidate job.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CandidatePrice {
+    /// Score of the population including the candidate.
+    pub score_with: f64,
+    /// Score of the population without it (`0.0` when the candidate
+    /// would be alone on the cluster).
+    pub score_without: f64,
+}
+
+impl CandidatePrice {
+    /// Marginal utility of admitting the candidate now. Positive means
+    /// the cluster's predicted Eq. 4 score improves; negative means
+    /// the candidate dilutes it.
+    pub fn marginal(&self) -> f64 {
+        self.score_with - self.score_without
+    }
+}
+
 /// Outcome of evaluating one job prefix: the best group count found
 /// for it and the score that drives the incremental-selection fold.
 #[derive(Debug, Clone, Copy)]
@@ -411,6 +432,62 @@ impl Scheduler {
         let cand = self.materialize(cache, scratch, ev, machines);
         let unscheduled = jobs[ev.nj..].iter().map(|p| p.job()).collect();
         self.finish(cand, jobs, unscheduled)
+    }
+
+    /// Prices a single candidate job against the live population
+    /// without running a full Algorithm 1 pass.
+    ///
+    /// The candidate must be the **last** entry of `jobs`; the rest is
+    /// the current schedulable set in the caller's priority order. The
+    /// admission layer (OASiS-style accept/delay/reject in
+    /// `harmony-sim`) calls this on every arrival it needs to price,
+    /// so the hook follows [`Self::schedule_release`]'s cheap recipe:
+    /// it rides the dirty-set cache pipeline and evaluates exactly
+    /// *one* grouping per point — the L6-seeded group count — at two
+    /// points, the population with and without the candidate. Nothing
+    /// is materialized and no grouping is returned; the two Eq. 4
+    /// scores are the whole answer. Not part of any bit-equivalence
+    /// gate — admission pricing only exists in open-loop runs.
+    pub fn price_candidate(
+        &self,
+        jobs: &[JobProfile],
+        machines: u32,
+        cache: &mut ProfileCache,
+        scratch: &mut ScheduleScratch,
+    ) -> CandidatePrice {
+        if jobs.is_empty() || machines == 0 {
+            return CandidatePrice::default();
+        }
+        cache.rebuild_dirty_charged(jobs, self.cfg.charge_sparse_comm);
+        let sparse_pop = cache.len() > SPARSE_POPULATION_MIN;
+        let nj_with = jobs.len();
+        let (_, _, l6_ng) = self.prepare_prefix(cache, scratch, nj_with, machines);
+        let util = self.eval_candidate(
+            scratch,
+            l6_ng,
+            machines,
+            sparse_pop && nj_with > DENSE_PREFIX_MAX,
+        );
+        let score_with = util.score(self.cfg.cpu_weight);
+        let score_without = if nj_with > 1 {
+            let nj = nj_with - 1;
+            let (_, _, l6_ng) = self.prepare_prefix(cache, scratch, nj, machines);
+            let util = self.eval_candidate(
+                scratch,
+                l6_ng,
+                machines,
+                sparse_pop && nj > DENSE_PREFIX_MAX,
+            );
+            util.score(self.cfg.cpu_weight)
+        } else {
+            // An empty cluster scores zero: admitting the first job is
+            // always (weakly) profitable.
+            0.0
+        };
+        CandidatePrice {
+            score_with,
+            score_without,
+        }
     }
 
     /// The candidate-prefix scan over an already-built cache.
@@ -1750,5 +1827,73 @@ mod tests {
         assert_eq!(format!("{}", cold.grouping), format!("{}", warm.grouping));
         assert_eq!(cold.utilization, warm.utilization);
         assert_eq!(cold.unscheduled, warm.unscheduled);
+    }
+
+    #[test]
+    fn price_candidate_handles_degenerate_inputs() {
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let p = s.price_candidate(&[], 10, &mut cache, &mut scratch);
+        assert_eq!(p, CandidatePrice::default());
+        assert_eq!(p.marginal(), 0.0);
+        let jobs = [prof(0, 1.0, 1.0)];
+        let p = s.price_candidate(&jobs, 0, &mut cache, &mut scratch);
+        assert_eq!(p, CandidatePrice::default());
+    }
+
+    #[test]
+    fn first_job_on_an_empty_cluster_prices_positive() {
+        // With nothing running, score_without is 0 and any valid job
+        // scores positive: the first arrival is always profitable.
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let jobs = [prof(7, 12.0, 3.0)];
+        let p = s.price_candidate(&jobs, 8, &mut cache, &mut scratch);
+        assert_eq!(p.score_without, 0.0);
+        assert!(p.score_with > 0.0);
+        assert!(p.marginal() > 0.0);
+    }
+
+    #[test]
+    fn complementary_candidate_prices_higher_than_clone() {
+        // A net-heavy candidate joining a CPU-heavy incumbent
+        // multiplexes cleanly, so its marginal utility must beat a
+        // clone of the incumbent competing for the same resource.
+        let s = Scheduler::default();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let complement = [prof(0, 16.0, 2.0), prof(1, 4.0, 8.0)];
+        let clone = [prof(0, 16.0, 2.0), prof(1, 16.0, 2.0)];
+        let pc = s.price_candidate(&complement, 2, &mut cache, &mut scratch);
+        let mut cache2 = ProfileCache::empty();
+        let mut scratch2 = ScheduleScratch::new();
+        let pd = s.price_candidate(&clone, 2, &mut cache2, &mut scratch2);
+        assert_eq!(pc.score_without.to_bits(), pd.score_without.to_bits());
+        assert!(
+            pc.marginal() > pd.marginal(),
+            "complement {:?} should out-price clone {:?}",
+            pc,
+            pd
+        );
+    }
+
+    #[test]
+    fn price_candidate_is_deterministic_and_reusable() {
+        // Same query through a warm cache/scratch pair must reproduce
+        // the cold answer bit-for-bit (the dirty-set pipeline's
+        // invariant), even with unrelated passes interleaved.
+        let s = Scheduler::default();
+        let jobs: Vec<JobProfile> = (0..9)
+            .map(|i| prof(i, 5.0 + (i % 4) as f64 * 3.0, 1.0 + (i % 3) as f64))
+            .collect();
+        let mut cache = ProfileCache::empty();
+        let mut scratch = ScheduleScratch::new();
+        let cold = s.price_candidate(&jobs, 6, &mut cache, &mut scratch);
+        let _ = s.schedule_reusing_incremental(&jobs[..4], 6, &mut cache, &mut scratch);
+        let warm = s.price_candidate(&jobs, 6, &mut cache, &mut scratch);
+        assert_eq!(cold.score_with.to_bits(), warm.score_with.to_bits());
+        assert_eq!(cold.score_without.to_bits(), warm.score_without.to_bits());
     }
 }

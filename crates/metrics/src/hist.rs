@@ -117,6 +117,18 @@ impl Hist {
             })
     }
 
+    /// Merges another histogram into this one: bucket counts add, and
+    /// the exact moments (count/sum/min/max) combine losslessly.
+    pub fn merge(&mut self, other: &Hist) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound of the smallest bucket whose cumulative count
     /// reaches a fraction `q` of the samples — a bucket-resolution
     /// quantile (exact to within one power of two).
@@ -195,6 +207,23 @@ mod tests {
         assert!((1.0..=2.0).contains(&p50));
         let p100 = h.quantile_bound(1.0).unwrap();
         assert!(p100 >= 1000.0);
+    }
+
+    #[test]
+    fn merge_combines_buckets_and_moments() {
+        let mut a = Hist::new();
+        a.observe(1.0);
+        a.observe(3.0);
+        let mut b = Hist::new();
+        b.observe(0.5);
+        b.observe(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 104.5);
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.max(), Some(100.0));
+        let total: u64 = a.buckets().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 4);
     }
 
     #[test]

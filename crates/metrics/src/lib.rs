@@ -20,6 +20,7 @@
 //! assert_eq!(iter_time.value(), Some(15.0));
 //! ```
 
+mod admission;
 mod cdf;
 mod comm;
 mod events;
@@ -31,6 +32,7 @@ mod phase;
 mod table;
 mod timeline;
 
+pub use admission::AdmissionStats;
 pub use cdf::Cdf;
 pub use comm::CommStats;
 pub use events::{EventLog, TimelineEvent};

@@ -1,0 +1,307 @@
+//! OASiS-style admission control for open-loop arrivals.
+//!
+//! Under sustained traffic the master need not accept every job the
+//! instant it arrives. "Online Job Scheduling in Distributed Machine
+//! Learning Clusters" (PAPERS.md) keeps long-run utilization high by
+//! pricing each arrival against the cluster's current state and
+//! admitting, delaying, or rejecting it. This module defines that
+//! decision surface for the simulator: an [`AdmissionPolicy`] consulted
+//! by `Driver::run_open_loop` at the top of every arrival event.
+//!
+//! Contract highlights (asserted by `tests/open_loop_acceptance.rs`):
+//!
+//! - **Books balance.** Every offered job ends admitted or rejected —
+//!   never lost. Deferral only re-queues the offer.
+//! - **Bounded starvation.** A deferred job is re-offered every
+//!   `SimConfig::admission_reoffer_secs`; after
+//!   `SimConfig::admission_max_deferrals` deferrals the *driver*
+//!   force-admits it, so no policy can starve a job beyond
+//!   `max_deferrals × reoffer_secs` of queue wait.
+//! - **Dead cluster.** Every built-in policy rejects outright when the
+//!   cluster has no machines left — there is nothing to wait for.
+
+use harmony_core::JobSpec;
+
+/// What the admission layer says about one offer of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Hand the job to the scheduler now.
+    Admit,
+    /// Keep the job queued; re-offer it after the configured interval.
+    Defer,
+    /// Turn the job away for good (terminal, never scheduled).
+    Reject,
+}
+
+/// Cluster state visible to an admission decision.
+///
+/// Plain data, so policies are unit-testable without a driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionContext<'a> {
+    /// Simulated time of the offer, seconds.
+    pub now: f64,
+    /// Machines currently alive in the cluster (survivors of any fault
+    /// plan). Zero means a dead cluster.
+    pub machines: u32,
+    /// Alive machines not currently allocated to any job group.
+    pub free_machines: u32,
+    /// Live jobs already admitted but not running (waiting, profiled
+    /// or paused) — the scheduler's backlog, excluding this candidate.
+    pub backlog: usize,
+    /// How many times this job has already been deferred.
+    pub deferrals: u32,
+    /// Marginal Eq. 2/Eq. 4 utility of admitting the candidate now
+    /// (`Scheduler::price_candidate`), present only when the policy
+    /// asked for pricing via [`AdmissionPolicy::needs_pricing`].
+    pub marginal_utility: Option<f64>,
+    /// The arriving job's specification.
+    pub spec: &'a JobSpec,
+}
+
+/// An online admission policy: accept, delay, or reject each offer.
+pub trait AdmissionPolicy {
+    /// Short name for report labels.
+    fn name(&self) -> &'static str;
+
+    /// Whether offers to this policy should carry
+    /// [`AdmissionContext::marginal_utility`]. Pricing costs a targeted
+    /// scheduler query per offer, so the driver only pays for it when
+    /// the policy will read it.
+    fn needs_pricing(&self) -> bool {
+        false
+    }
+
+    /// Decides one offer.
+    fn decide(&mut self, ctx: &AdmissionContext<'_>) -> AdmissionDecision;
+}
+
+/// Admit everything the cluster can physically host — the closed-loop
+/// behavior. `Driver::run_open_loop` with this policy is byte-identical
+/// to `Driver::run` on the captured trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &'static str {
+        "admit-all"
+    }
+
+    fn decide(&mut self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        if ctx.machines == 0 {
+            return AdmissionDecision::Reject;
+        }
+        AdmissionDecision::Admit
+    }
+}
+
+/// Defer arrivals while the scheduler's backlog is at or above a cap —
+/// a plain load-shedding queue with no pricing.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueCap {
+    /// Admit while `backlog < max_backlog`; defer otherwise.
+    pub max_backlog: usize,
+}
+
+impl QueueCap {
+    /// A cap of `max_backlog` queued-but-not-running jobs.
+    pub fn new(max_backlog: usize) -> Self {
+        Self { max_backlog }
+    }
+}
+
+impl AdmissionPolicy for QueueCap {
+    fn name(&self) -> &'static str {
+        "queue-cap"
+    }
+
+    fn decide(&mut self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        if ctx.machines == 0 {
+            return AdmissionDecision::Reject;
+        }
+        if ctx.backlog >= self.max_backlog {
+            AdmissionDecision::Defer
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+/// OASiS-style utility pricing: admit an arrival only while its
+/// marginal predicted-utilization gain clears a threshold; defer
+/// losers until the cluster state improves (or the driver's starvation
+/// guard force-admits them), optionally rejecting after a deferral
+/// budget.
+///
+/// A `threshold` of zero (or below) asks for no pricing at all and
+/// admits everything — exactly [`AdmitAll`], byte for byte.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilityThreshold {
+    /// Minimum marginal Eq. 4 score gain required to admit now.
+    pub threshold: f64,
+    /// Reject (instead of defer) once a job has been deferred this
+    /// many times. `None` defers until the driver force-admits.
+    pub reject_after: Option<u32>,
+}
+
+impl UtilityThreshold {
+    /// A pricing policy with the given marginal-utility threshold and
+    /// no rejection budget.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            reject_after: None,
+        }
+    }
+}
+
+impl AdmissionPolicy for UtilityThreshold {
+    fn name(&self) -> &'static str {
+        "utility-threshold"
+    }
+
+    fn needs_pricing(&self) -> bool {
+        self.threshold > 0.0
+    }
+
+    fn decide(&mut self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        if ctx.machines == 0 {
+            return AdmissionDecision::Reject;
+        }
+        if self.threshold <= 0.0 {
+            return AdmissionDecision::Admit;
+        }
+        let marginal = ctx
+            .marginal_utility
+            .expect("driver prices offers for a policy whose needs_pricing() is true");
+        if marginal >= self.threshold {
+            return AdmissionDecision::Admit;
+        }
+        match self.reject_after {
+            Some(budget) if ctx.deferrals >= budget => AdmissionDecision::Reject,
+            _ => AdmissionDecision::Defer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::{AppKind, SyncKind};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "mlr-test".into(),
+            app: AppKind::Mlr,
+            dataset: "synthetic".into(),
+            input_bytes: 1 << 30,
+            model_bytes: 1 << 20,
+            comp_cost: 8.0,
+            net_cost: 2.0,
+            sync: SyncKind::ParameterServer,
+            pull_fraction: 0.5,
+            iters_per_epoch: 5,
+            target_epochs: 4,
+        }
+    }
+
+    fn ctx(spec: &JobSpec) -> AdmissionContext<'_> {
+        AdmissionContext {
+            now: 100.0,
+            machines: 8,
+            free_machines: 4,
+            backlog: 0,
+            deferrals: 0,
+            marginal_utility: None,
+            spec,
+        }
+    }
+
+    #[test]
+    fn zero_machine_cluster_rejects_everything() {
+        // The dead-cluster edge case: every built-in policy turns the
+        // job away rather than queueing it forever.
+        let spec = spec();
+        let dead = AdmissionContext {
+            machines: 0,
+            free_machines: 0,
+            marginal_utility: Some(1.0),
+            ..ctx(&spec)
+        };
+        assert_eq!(AdmitAll.decide(&dead), AdmissionDecision::Reject);
+        assert_eq!(QueueCap::new(100).decide(&dead), AdmissionDecision::Reject);
+        assert_eq!(
+            UtilityThreshold::new(0.0).decide(&dead),
+            AdmissionDecision::Reject
+        );
+        assert_eq!(
+            UtilityThreshold::new(0.5).decide(&dead),
+            AdmissionDecision::Reject
+        );
+    }
+
+    #[test]
+    fn admit_all_admits_whenever_machines_exist() {
+        let spec = spec();
+        let mut c = ctx(&spec);
+        c.backlog = 10_000;
+        c.free_machines = 0;
+        assert_eq!(AdmitAll.decide(&c), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn queue_cap_defers_at_the_cap_and_admits_below() {
+        let spec = spec();
+        let mut c = ctx(&spec);
+        let mut p = QueueCap::new(3);
+        assert!(!p.needs_pricing());
+        c.backlog = 2;
+        assert_eq!(p.decide(&c), AdmissionDecision::Admit);
+        c.backlog = 3;
+        assert_eq!(p.decide(&c), AdmissionDecision::Defer);
+        c.backlog = 30;
+        assert_eq!(p.decide(&c), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn zero_threshold_is_admit_all_and_asks_no_pricing() {
+        let spec = spec();
+        let p = UtilityThreshold::new(0.0);
+        assert!(!p.needs_pricing());
+        let mut c = ctx(&spec);
+        c.backlog = 999;
+        c.marginal_utility = None; // driver sends none when unpriced
+        assert_eq!(
+            UtilityThreshold::new(0.0).decide(&c),
+            AdmissionDecision::Admit
+        );
+    }
+
+    #[test]
+    fn utility_threshold_gates_on_the_marginal_score() {
+        let spec = spec();
+        let mut p = UtilityThreshold::new(0.1);
+        assert!(p.needs_pricing());
+        let mut c = ctx(&spec);
+        c.marginal_utility = Some(0.2);
+        assert_eq!(p.decide(&c), AdmissionDecision::Admit);
+        c.marginal_utility = Some(0.05);
+        assert_eq!(p.decide(&c), AdmissionDecision::Defer);
+        c.marginal_utility = Some(-0.3);
+        assert_eq!(p.decide(&c), AdmissionDecision::Defer);
+    }
+
+    #[test]
+    fn reject_after_turns_persistent_losers_away() {
+        let spec = spec();
+        let mut p = UtilityThreshold {
+            threshold: 0.1,
+            reject_after: Some(2),
+        };
+        let mut c = ctx(&spec);
+        c.marginal_utility = Some(0.0);
+        c.deferrals = 1;
+        assert_eq!(p.decide(&c), AdmissionDecision::Defer);
+        c.deferrals = 2;
+        assert_eq!(p.decide(&c), AdmissionDecision::Reject);
+    }
+}

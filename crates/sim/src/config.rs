@@ -268,6 +268,15 @@ pub struct SimConfig {
     /// cluster state one deferred pass can reshuffle. Only consulted
     /// when `coalesced_passes` is on.
     pub coalesce_max_batch: usize,
+    /// Seconds between re-offers of a deferred arrival to the
+    /// admission policy (`Driver::run_open_loop`). Only consulted when
+    /// an [`crate::admission::AdmissionPolicy`] actually defers.
+    pub admission_reoffer_secs: f64,
+    /// Deferral budget per job: after this many deferrals the driver
+    /// force-admits the job, bounding queue wait by
+    /// `admission_max_deferrals × admission_reoffer_secs` — the
+    /// starvation guard `tests/open_loop_acceptance.rs` asserts.
+    pub admission_max_deferrals: u32,
 }
 
 impl Default for SimConfig {
@@ -311,6 +320,8 @@ impl Default for SimConfig {
             coalesced_passes: false,
             coalesce_window: 30.0,
             coalesce_max_batch: 32,
+            admission_reoffer_secs: 30.0,
+            admission_max_deferrals: 16,
         }
     }
 }
@@ -375,6 +386,15 @@ impl SimConfig {
             if self.coalesce_max_batch == 0 {
                 return Err("coalesce batch cap needs at least one finish".into());
             }
+        }
+        if !self.admission_reoffer_secs.is_finite() || self.admission_reoffer_secs <= 0.0 {
+            return Err(format!(
+                "admission re-offer interval must be a positive number of seconds, got {}",
+                self.admission_reoffer_secs
+            ));
+        }
+        if self.admission_max_deferrals == 0 {
+            return Err("admission deferral budget needs at least one deferral".into());
         }
         Ok(())
     }
@@ -468,6 +488,27 @@ mod tests {
             ..SimConfig::default()
         };
         assert_eq!(c.validate(), Ok(()));
+
+        // Admission knobs have always-valid defaults and are checked
+        // unconditionally (closed-loop runs never consult them, but a
+        // nonsensical value is still a config bug).
+        let c = SimConfig {
+            admission_reoffer_secs: 0.0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            admission_reoffer_secs: f64::INFINITY,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            admission_max_deferrals: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

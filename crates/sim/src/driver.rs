@@ -17,8 +17,9 @@ use harmony_core::profile::{JobProfile, ProfileStore};
 use harmony_core::regroup::{ClusterView, RegroupDecision, Regrouper};
 use harmony_core::schedule::{ScheduleOutcome, Scheduler};
 use harmony_mem::AlphaController;
-use harmony_metrics::{EventLog, Hist, MigrationStats, OnlineStats, Timeline};
+use harmony_metrics::{AdmissionStats, EventLog, Hist, MigrationStats, OnlineStats, Timeline};
 
+use crate::admission::{AdmissionContext, AdmissionDecision, AdmissionPolicy};
 use crate::config::{ReloadPolicy, SchedulerKind, SimConfig};
 use crate::events::LaneQueue;
 use crate::fault::FaultKind;
@@ -31,6 +32,7 @@ use crate::report::{
 use crate::runtime::{ExecPhase, GroupSim, JobSim, Phase, SimJobState};
 use crate::schedscratch::SimSchedScratch;
 use crate::spans::SubtaskSpan;
+use crate::workload::WorkloadGen;
 
 /// Member-count floor above which coalesced mode builds and tears down
 /// groups with one batched memory re-plan instead of one per member.
@@ -169,6 +171,11 @@ pub struct Driver {
     scratch_notes_bump: Vec<Notify>,
     /// Persistent reschedule buffers (ordering, profiles, core scratch).
     sched_scratch: SimSchedScratch,
+    /// Open-loop admission policy ([`Driver::run_open_loop`]); `None`
+    /// in closed-loop runs, where every arrival dispatches directly.
+    admission: Option<Box<dyn AdmissionPolicy>>,
+    /// Admission decision counters and queue-wait distribution.
+    admission_stats: AdmissionStats,
     /// Virtual time the open coalescing window started at; `None` when
     /// closed (always `None` with [`SimConfig::coalesced_passes`] off).
     coalesce_opened: Option<f64>,
@@ -264,6 +271,8 @@ impl Driver {
             scratch_notes: Vec::new(),
             scratch_notes_bump: Vec::new(),
             sched_scratch: SimSchedScratch::new(),
+            admission: None,
+            admission_stats: AdmissionStats::new(),
             coalesce_opened: None,
             coalesce_batch: 0,
             coalesce_gen: 0,
@@ -303,26 +312,121 @@ impl Driver {
     ///
     /// # Panics
     ///
-    /// Panics if `specs` and `arrivals` lengths differ.
+    /// Panics on any of the validation failures [`Self::try_run`]
+    /// reports as errors (mismatched lengths, invalid specs, bad
+    /// arrival times, out-of-range scripted shifts).
     pub fn run(
         cfg: SimConfig,
         specs: Vec<harmony_core::job::JobSpec>,
         arrivals: Vec<f64>,
     ) -> RunReport {
-        assert_eq!(specs.len(), arrivals.len(), "one arrival time per job");
+        match Self::try_run(cfg, specs, arrivals) {
+            Ok(r) => r,
+            Err(e) => panic!("invalid run request: {e}"),
+        }
+    }
+
+    /// [`Self::run`] with validation errors reported instead of
+    /// panicking: mismatched spec/arrival lengths, invalid job specs,
+    /// non-finite or negative arrival times, and scripted shifts
+    /// naming out-of-range jobs all come back as `Err`.
+    pub fn try_run(
+        cfg: SimConfig,
+        specs: Vec<harmony_core::job::JobSpec>,
+        arrivals: Vec<f64>,
+    ) -> Result<RunReport, String> {
+        Self::run_prepared(cfg, specs, arrivals, None)
+    }
+
+    /// The open-loop entry: drains `gen`'s arrival process into a
+    /// fixed trace and runs it with `policy` consulted at the top of
+    /// every arrival event. With [`crate::admission::AdmitAll`] the
+    /// report is byte-identical ([`RunReport::canonical_bytes`]) to
+    /// [`Self::run`] on the generated `(specs, arrivals)` — the
+    /// admission layer only diverges when a policy actually defers or
+    /// rejects.
+    pub fn run_open_loop(
+        cfg: SimConfig,
+        gen: WorkloadGen,
+        policy: Box<dyn AdmissionPolicy>,
+    ) -> Result<RunReport, String> {
+        let (specs, arrivals) = gen.generate();
+        Self::run_prepared(cfg, specs, arrivals, Some(policy))
+    }
+
+    /// [`Self::try_run`] with an admission policy consulted at every
+    /// arrival: the open-loop admission layer applied to a fixed,
+    /// caller-supplied trace. This is how burst workloads (many jobs
+    /// at `t = 0`, which an interarrival process never emits) and
+    /// captured replays exercise admission control.
+    pub fn run_admitted(
+        cfg: SimConfig,
+        specs: Vec<harmony_core::job::JobSpec>,
+        arrivals: Vec<f64>,
+        policy: Box<dyn AdmissionPolicy>,
+    ) -> Result<RunReport, String> {
+        Self::run_prepared(cfg, specs, arrivals, Some(policy))
+    }
+
+    /// Shared setup for the closed- and open-loop entries. Arrivals
+    /// and scripted shifts are pushed in the exact event-sequence
+    /// order the closed loop has always used, so the open loop's
+    /// tie-breaking is bit-compatible.
+    fn run_prepared(
+        cfg: SimConfig,
+        specs: Vec<harmony_core::job::JobSpec>,
+        arrivals: Vec<f64>,
+        admission: Option<Box<dyn AdmissionPolicy>>,
+    ) -> Result<RunReport, String> {
+        if let Err(e) = cfg.validate() {
+            return Err(format!("invalid simulation config: {e}"));
+        }
+        if specs.len() != arrivals.len() {
+            return Err(format!(
+                "one arrival time per job: {} specs but {} arrivals",
+                specs.len(),
+                arrivals.len()
+            ));
+        }
+        for (i, at) in arrivals.iter().enumerate() {
+            if !at.is_finite() || *at < 0.0 {
+                return Err(format!("job {i} arrival time {at} not finite and >= 0"));
+            }
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if let Err(e) = spec.validate() {
+                return Err(format!("job {i} spec invalid: {e}"));
+            }
+        }
+        for s in &cfg.comp_shifts {
+            if s.job >= specs.len() {
+                return Err(format!(
+                    "comp shift names job {} but only {} jobs exist",
+                    s.job,
+                    specs.len()
+                ));
+            }
+        }
+        for p in &cfg.push_densities {
+            if p.job >= specs.len() {
+                return Err(format!(
+                    "push density names job {} but only {} jobs exist",
+                    p.job,
+                    specs.len()
+                ));
+            }
+        }
         let mut d = Driver::new(cfg);
+        d.admission = admission;
         for (i, (spec, at)) in specs.into_iter().zip(arrivals).enumerate() {
-            assert!(spec.validate().is_ok(), "job {i} spec invalid");
             d.jobs.push(JobSim::new(i, spec, at));
             d.push_event(at, EventKind::Arrival(i));
         }
         for s in &d.cfg.comp_shifts {
-            assert!(s.job < d.jobs.len(), "comp shift names job {}", s.job);
             d.jobs[s.job].comp_shift = Some((s.at_iteration, s.factor));
         }
         let densities = d.cfg.push_densities.clone();
         for p in &densities {
-            assert!(p.job < d.jobs.len(), "push density names job {}", p.job);
             d.jobs[p.job].push_density = Some(p.density);
         }
         d.push_event(0.0, EventKind::Sample);
@@ -335,7 +439,7 @@ impl Driver {
             }
         }
         d.event_loop();
-        d.finalize()
+        Ok(d.finalize())
     }
 
     fn push_event(&mut self, at: f64, kind: EventKind) {
@@ -552,6 +656,14 @@ impl Driver {
     // ----------------------------------------------------------------
 
     fn on_arrival(&mut self, j: usize) {
+        // A deferred re-offer can trail a job the run already
+        // terminated (runaway cutoff, plan-driven abort): drop it.
+        if !self.jobs[j].is_live() {
+            return;
+        }
+        if self.admission.is_some() && !self.admission_decide(j) {
+            return; // deferred (re-offer queued) or rejected (terminal)
+        }
         match self.cfg.scheduler {
             SchedulerKind::Harmony | SchedulerKind::Oracle => self.place_for_profiling(j),
             SchedulerKind::Isolated => {
@@ -565,6 +677,123 @@ impl Driver {
                 }
             }
         }
+    }
+
+    /// Consults the admission policy about one offer of job `j`.
+    /// Returns `true` when the job should dispatch now; `false` when
+    /// the offer was deferred (a re-offer event is queued) or rejected
+    /// (the job is terminal `Failed` with its `rejected` flag set).
+    fn admission_decide(&mut self, j: usize) -> bool {
+        // The policy is boxed state owned by the driver; take it out so
+        // pricing and the decision can borrow `self` freely.
+        let mut policy = self.admission.take().expect("caller checked presence");
+        let marginal = if policy.needs_pricing() {
+            Some(self.price_arrival(j))
+        } else {
+            None
+        };
+        let deferrals = self.jobs[j].deferrals;
+        let ctx = AdmissionContext {
+            now: self.now,
+            machines: self.cfg.machines.saturating_sub(self.machines_lost),
+            free_machines: self.free_machines,
+            backlog: self.admission_backlog(j),
+            deferrals,
+            marginal_utility: marginal,
+            spec: &self.jobs[j].spec,
+        };
+        let decision = policy.decide(&ctx);
+        self.admission = Some(policy);
+        let wait = (self.now - self.jobs[j].arrival).max(0.0);
+        match decision {
+            AdmissionDecision::Admit => {
+                self.admission_stats.admit(wait);
+                true
+            }
+            AdmissionDecision::Defer if deferrals >= self.cfg.admission_max_deferrals => {
+                // Starvation guard: the driver overrides the policy
+                // once the deferral budget is spent, bounding queue
+                // wait at roughly `max_deferrals × reoffer_secs`.
+                self.admission_stats.admit_forced(wait);
+                true
+            }
+            AdmissionDecision::Defer => {
+                self.jobs[j].deferrals += 1;
+                self.admission_stats.defer();
+                self.push_event(
+                    self.now + self.cfg.admission_reoffer_secs,
+                    EventKind::Arrival(j),
+                );
+                false
+            }
+            AdmissionDecision::Reject => {
+                self.admission_stats.reject();
+                self.jobs[j].rejected = true;
+                self.set_terminal(j, SimJobState::Failed, self.now);
+                false
+            }
+        }
+    }
+
+    /// Live jobs already admitted but not running — the scheduler's
+    /// backlog as admission sees it, excluding the candidate itself
+    /// (which is still `Waiting` while its offer is decided). The
+    /// arrival-time filter matters: the driver pre-creates every job of
+    /// the trace in `Waiting`, but jobs whose arrival lies in the
+    /// future are not backlog.
+    fn admission_backlog(&self, cand: usize) -> usize {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|&(i, job)| {
+                i != cand
+                    && job.arrival <= self.now
+                    && matches!(
+                        job.state,
+                        SimJobState::Waiting | SimJobState::Profiled | SimJobState::Paused
+                    )
+            })
+            .count()
+    }
+
+    /// Prices admitting job `j` right now: the marginal Eq. 4 score of
+    /// the cluster with the candidate versus without it, over the warm
+    /// profiles of live jobs plus an a-priori profile built from the
+    /// candidate's spec ([`JobProfile::from_reference`] — the same
+    /// construction the isolated baseline uses before profiling).
+    /// Accounted as scheduler wall time but not as an invocation:
+    /// pricing never places anything, so the canonical decision count
+    /// stays comparable across admission arms.
+    fn price_arrival(&mut self, j: usize) -> f64 {
+        let machines = self.cfg.machines.saturating_sub(self.machines_lost);
+        if machines == 0 {
+            return 0.0;
+        }
+        let t0 = Instant::now();
+        let mut ss = std::mem::take(&mut self.sched_scratch);
+        ss.admission_profiles.clear();
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i == j || !job.is_live() || !job.profile.is_warm() {
+                continue;
+            }
+            ss.admission_profiles.push(job.profile.clone());
+        }
+        let spec = &self.jobs[j].spec;
+        let mut cand =
+            JobProfile::from_reference(JobId::new(j as u64), spec.comp_cost, spec.net_cost);
+        cand.set_memory_footprint(spec.input_bytes, spec.model_bytes);
+        // The candidate goes last: `price_candidate` scores the job
+        // sequence with and without its final profile.
+        ss.admission_profiles.push(cand);
+        let price = self.scheduler.price_candidate(
+            &ss.admission_profiles,
+            machines,
+            &mut ss.admission_cache,
+            &mut ss.admission_scratch,
+        );
+        self.sched_scratch = ss;
+        self.sched_wall += t0.elapsed();
+        price.marginal()
     }
 
     /// Places a new job for profiling (§IV-B1: "a job group with the
@@ -3053,6 +3282,7 @@ impl Driver {
                 iterations: j.iterations_done,
                 failed: j.state == SimJobState::Failed,
                 aborted: j.aborted,
+                rejected: j.rejected,
                 final_alpha: j.alpha,
             })
             .collect();
@@ -3093,6 +3323,7 @@ impl Driver {
             coalesced_finishes: self.coalesced_finishes,
             release_passes: self.release_passes,
             coalesce_staleness: self.coalesce_staleness,
+            admission: self.admission_stats,
         }
     }
 }
@@ -3102,7 +3333,7 @@ mod tests {
     use super::*;
     use harmony_core::job::{AppKind, JobSpec};
 
-    fn spec(name: &str, comp: f64, net: f64, input_gb: u64, model_gb: u64) -> JobSpec {
+    pub(super) fn spec(name: &str, comp: f64, net: f64, input_gb: u64, model_gb: u64) -> JobSpec {
         JobSpec {
             name: name.into(),
             app: AppKind::Mlr,
@@ -3118,7 +3349,7 @@ mod tests {
         }
     }
 
-    fn small_cfg(kind: SchedulerKind) -> SimConfig {
+    pub(super) fn small_cfg(kind: SchedulerKind) -> SimConfig {
         SimConfig {
             machines: 8,
             scheduler: kind,
@@ -3129,7 +3360,7 @@ mod tests {
         }
     }
 
-    fn two_complementary() -> Vec<JobSpec> {
+    pub(super) fn two_complementary() -> Vec<JobSpec> {
         vec![
             spec("cpu-heavy", 400.0, 10.0, 4, 1),
             spec("net-heavy", 40.0, 50.0, 2, 1),
@@ -3634,5 +3865,92 @@ mod coalesce_props {
                 prop_assert!(max <= window + 1e-9);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod try_run_validation {
+    //! Malformed run requests come back as errors, not panics
+    //! (regression for the old `assert_eq!` length check in `run`).
+
+    use super::tests::{small_cfg, spec, two_complementary};
+    use super::*;
+
+    #[test]
+    fn try_run_rejects_mismatched_arrival_lengths() {
+        let err = Driver::try_run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0], // two specs, one arrival
+        )
+        .expect_err("length mismatch must be an error, not a panic");
+        assert!(err.contains("arrival"), "unhelpful error: {err}");
+        assert!(
+            err.contains('2') && err.contains('1'),
+            "counts absent: {err}"
+        );
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_specs_and_arrival_times() {
+        let mut bad = spec("broken", 0.0, 10.0, 1, 1); // zero COMP cost
+        bad.comp_cost = 0.0;
+        let err = Driver::try_run(small_cfg(SchedulerKind::Harmony), vec![bad], vec![0.0])
+            .expect_err("invalid spec must be an error");
+        assert!(err.contains("job 0 spec invalid"), "{err}");
+
+        let err = Driver::try_run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, f64::NAN],
+        )
+        .expect_err("NaN arrival must be an error");
+        assert!(err.contains("job 1 arrival"), "{err}");
+
+        let err = Driver::try_run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, -5.0],
+        )
+        .expect_err("negative arrival must be an error");
+        assert!(err.contains("job 1 arrival"), "{err}");
+    }
+
+    #[test]
+    fn try_run_rejects_out_of_range_scripted_shifts() {
+        let mut cfg = small_cfg(SchedulerKind::Harmony);
+        cfg.comp_shifts = vec![crate::config::CompShift {
+            job: 7,
+            at_iteration: 1,
+            factor: 2.0,
+        }];
+        let err = Driver::try_run(cfg, two_complementary(), vec![0.0, 0.0])
+            .expect_err("out-of-range comp shift must be an error");
+        assert!(err.contains("comp shift names job 7"), "{err}");
+
+        let mut cfg = small_cfg(SchedulerKind::Harmony);
+        cfg.push_densities = vec![crate::config::PushDensity {
+            job: 9,
+            density: 0.5,
+        }];
+        let err = Driver::try_run(cfg, two_complementary(), vec![0.0, 0.0])
+            .expect_err("out-of-range push density must be an error");
+        assert!(err.contains("push density names job 9"), "{err}");
+    }
+
+    #[test]
+    fn try_run_matches_run_on_a_valid_request() {
+        let a = Driver::run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        );
+        let b = Driver::try_run(
+            small_cfg(SchedulerKind::Harmony),
+            two_complementary(),
+            vec![0.0, 0.0],
+        )
+        .expect("valid request");
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
     }
 }

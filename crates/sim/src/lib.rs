@@ -38,6 +38,7 @@
 //! [`report::RunReport`] with JCTs, makespan, utilization timelines,
 //! grouping snapshots, prediction-error samples and memory statistics.
 
+pub mod admission;
 pub mod config;
 pub mod driver;
 pub(crate) mod events;
@@ -49,9 +50,14 @@ pub mod report;
 pub mod runtime;
 pub(crate) mod schedscratch;
 pub mod spans;
+pub mod workload;
 
+pub use admission::{
+    AdmissionContext, AdmissionDecision, AdmissionPolicy, AdmitAll, QueueCap, UtilityThreshold,
+};
 pub use config::{CompShift, PushDensity, ReloadPolicy, SchedulerKind, SimConfig};
 pub use driver::Driver;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use report::{JobOutcome, PredictionSample, ReschedCounters, ReschedReason, RunReport};
 pub use spans::{ascii_gantt, to_chrome_trace, SubtaskSpan};
+pub use workload::{WorkloadGen, WorkloadGenConfig};

@@ -1,6 +1,6 @@
 //! Results of one simulated run.
 
-use harmony_metrics::{EventLog, Hist, MigrationStats, OnlineStats, Timeline};
+use harmony_metrics::{AdmissionStats, EventLog, Hist, MigrationStats, OnlineStats, Timeline};
 
 use crate::spans::SubtaskSpan;
 
@@ -22,6 +22,10 @@ pub struct JobOutcome {
     /// Whether the job was killed by an injected abort fault (a subset
     /// of `failed`).
     pub aborted: bool,
+    /// Whether the admission layer rejected the job outright (a subset
+    /// of `failed`; only open-loop runs with a rejecting policy set
+    /// this).
+    pub rejected: bool,
     /// Final disk ratio α.
     pub final_alpha: f64,
 }
@@ -240,6 +244,14 @@ pub struct RunReport {
     /// full pass subsumed it. Bounded above by
     /// `SimConfig::coalesce_window` by construction.
     pub coalesce_staleness: Hist,
+    /// Admission-control books for open-loop runs
+    /// (`Driver::run_open_loop`): admitted/deferred/rejected counts
+    /// plus the queue-wait distribution. All-zero in closed-loop runs.
+    /// Diagnostics: excluded from [`Self::canonical_bytes`], so
+    /// `run_open_loop` with `AdmitAll` stays byte-identical to
+    /// `Driver::run` on the captured trace (the per-job `rejected`
+    /// flags — the decisions themselves — *are* canonical).
+    pub admission: AdmissionStats,
 }
 
 impl RunReport {
@@ -341,6 +353,7 @@ impl RunReport {
             put_u64(&mut out, j.iterations);
             out.push(u8::from(j.failed));
             out.push(u8::from(j.aborted));
+            out.push(u8::from(j.rejected));
             put_f64(&mut out, j.final_alpha);
         }
         put_timeline(&mut out, &self.cpu_timeline);
@@ -409,6 +422,7 @@ mod tests {
             iterations: 1,
             failed: jct.is_none(),
             aborted: false,
+            rejected: false,
             final_alpha: 0.0,
         }
     }
@@ -445,6 +459,7 @@ mod tests {
             coalesced_finishes: 0,
             release_passes: 0,
             coalesce_staleness: Hist::new(),
+            admission: AdmissionStats::new(),
         }
     }
 
@@ -505,10 +520,21 @@ mod tests {
         b.coalesced_finishes = 5;
         b.release_passes = 2;
         b.coalesce_staleness.observe(1.5);
+        // Admission books are diagnostics too: an open-loop AdmitAll
+        // arm (which counts admissions) must serialize identically to
+        // the closed-loop arm (which counts nothing).
+        b.admission.admit(3.0);
+        b.admission.defer();
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
 
         b.jobs[0].iterations += 1;
         assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        b.jobs[0].iterations -= 1;
+        // ...but the per-job rejection *decision* is canonical.
+        b.jobs[0].rejected = true;
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        b.jobs[0].rejected = false;
+        b.jobs[0].iterations += 1;
 
         a.fault_log.record(5.0, "machine-crash", "group 0");
         let mut c = a.clone();

@@ -163,6 +163,15 @@ pub struct JobSim {
     /// one workload change. When the window expires the basis is
     /// re-pinned on the settled estimate.
     pub drift_holdoff: u64,
+    /// Times the admission layer has deferred this job
+    /// (`Driver::run_open_loop`); drives the starvation guard that
+    /// force-admits after `SimConfig::admission_max_deferrals`. Always
+    /// zero in closed-loop runs.
+    pub deferrals: u32,
+    /// Set when the admission layer rejected the job outright (the job
+    /// is terminal `Failed` without ever being scheduled). Always false
+    /// in closed-loop runs.
+    pub rejected: bool,
 }
 
 impl JobSim {
@@ -205,6 +214,8 @@ impl JobSim {
             comp_shift: None,
             push_density: None,
             drift_holdoff: 0,
+            deferrals: 0,
+            rejected: false,
         }
     }
 

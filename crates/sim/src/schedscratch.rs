@@ -32,6 +32,15 @@ pub(crate) struct SimSchedScratch {
     pub release_cache: ProfileCache,
     /// Candidate-scan scratch dedicated to the release pass.
     pub release_scratch: ScheduleScratch,
+    /// Profiles fed to admission pricing
+    /// ([`harmony_core::Scheduler::price_candidate`]); like the
+    /// release buffers, kept separate so pricing an arrival never
+    /// perturbs the full pass's dirty-set cache.
+    pub admission_profiles: Vec<JobProfile>,
+    /// Dirty-set cache dedicated to admission pricing.
+    pub admission_cache: ProfileCache,
+    /// Candidate-scan scratch dedicated to admission pricing.
+    pub admission_scratch: ScheduleScratch,
 }
 
 impl SimSchedScratch {
@@ -44,6 +53,9 @@ impl SimSchedScratch {
             release_profiles: Vec::new(),
             release_cache: ProfileCache::empty(),
             release_scratch: ScheduleScratch::new(),
+            admission_profiles: Vec::new(),
+            admission_cache: ProfileCache::empty(),
+            admission_scratch: ScheduleScratch::new(),
         }
     }
 }

@@ -1,0 +1,154 @@
+//! Property suite for the open-loop workload generator.
+//!
+//! The generator's contract is determinism under the per-stream RNG
+//! discipline: a fixed seed replays the exact trace bit-for-bit, gaps
+//! are exponential with the configured mean, and a captured trace fed
+//! to the closed-loop driver is indistinguishable from running the
+//! generator open-loop under `AdmitAll`.
+
+use harmony_sim::{AdmitAll, Driver, SchedulerKind, SimConfig, WorkloadGen, WorkloadGenConfig};
+use harmony_trace::{workload_with, WorkloadParams};
+use proptest::prelude::*;
+
+fn templates(take: usize) -> Vec<harmony_core::JobSpec> {
+    workload_with(WorkloadParams {
+        hyper_params: 2,
+        epoch_scale: 0.25,
+        ..WorkloadParams::default()
+    })
+    .into_iter()
+    .take(take)
+    .collect()
+}
+
+fn gen(seed: u64, mean: f64, horizon: f64, max_jobs: usize) -> WorkloadGen {
+    WorkloadGen::new(
+        WorkloadGenConfig {
+            seed,
+            mean_interarrival_secs: mean,
+            horizon_secs: horizon,
+            max_jobs,
+        },
+        templates(6),
+    )
+    .expect("valid generator")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed, same parameters → bit-identical trace: every spec
+    /// equal, every arrival equal to the bit.
+    #[test]
+    fn fixed_seed_replays_bit_identically(
+        seed in 0u64..u64::MAX,
+        mean in 1.0f64..500.0,
+        max_jobs in 1usize..64,
+    ) {
+        let (s1, a1) = gen(seed, mean, 50_000.0, max_jobs).generate();
+        let (s2, a2) = gen(seed, mean, 50_000.0, max_jobs).generate();
+        prop_assert_eq!(s1, s2);
+        let b1: Vec<u64> = a1.iter().map(|t| t.to_bits()).collect();
+        let b2: Vec<u64> = a2.iter().map(|t| t.to_bits()).collect();
+        prop_assert_eq!(b1, b2);
+    }
+
+    /// Every sampled arrival is finite, strictly positive,
+    /// non-decreasing and inside the horizon; every emitted spec is a
+    /// valid clone of some template with a unique name.
+    #[test]
+    fn samples_are_positive_finite_and_ordered(
+        seed in 0u64..u64::MAX,
+        mean in 0.5f64..1000.0,
+        horizon in 10.0f64..100_000.0,
+        max_jobs in 1usize..128,
+    ) {
+        let (specs, arrivals) = gen(seed, mean, horizon, max_jobs).generate();
+        prop_assert_eq!(specs.len(), arrivals.len());
+        prop_assert!(specs.len() <= max_jobs);
+        let mut prev = 0.0f64;
+        for &t in &arrivals {
+            prop_assert!(t.is_finite() && t > 0.0);
+            prop_assert!(t >= prev);
+            prop_assert!(t <= horizon);
+            prev = t;
+        }
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        prop_assert_eq!(names.len(), n, "generated names must be unique");
+        for s in &specs {
+            prop_assert!(s.validate().is_ok());
+        }
+    }
+
+    /// The closed-loop driver on a captured trace and the open-loop
+    /// driver draining the same generator under `AdmitAll` produce the
+    /// same report, byte for byte — on small random workloads.
+    #[test]
+    fn capture_equivalence_holds_on_random_traces(
+        seed in 0u64..u64::MAX,
+        mean in 20.0f64..400.0,
+        max_jobs in 1usize..8,
+    ) {
+        let g = gen(seed, mean, 20_000.0, max_jobs);
+        let (specs, arrivals) = g.clone().generate();
+        let cfg = SimConfig {
+            machines: 12,
+            scheduler: SchedulerKind::Harmony,
+            straggler_cv: 0.0,
+            ..SimConfig::default()
+        };
+        let closed = Driver::run(cfg.clone(), specs, arrivals);
+        let open = Driver::run_open_loop(cfg, g, Box::new(AdmitAll)).expect("valid run");
+        prop_assert_eq!(open.canonical_bytes(), closed.canonical_bytes());
+    }
+}
+
+/// With many samples the empirical mean interarrival gap converges on
+/// the configured mean (law of large numbers; 10% tolerance at n in
+/// the thousands).
+#[test]
+fn empirical_mean_converges_on_the_configured_mean() {
+    for (seed, mean) in [(1u64, 30.0f64), (2, 120.0), (3, 400.0)] {
+        let n = 4000usize;
+        // A horizon generous enough that the cap, not the horizon,
+        // ends the trace — otherwise truncation biases the mean.
+        let (_, arrivals) = gen(seed, mean, mean * (n as f64) * 10.0, n).generate();
+        assert_eq!(arrivals.len(), n);
+        let mut prev = 0.0;
+        let mut sum = 0.0;
+        for &t in &arrivals {
+            sum += t - prev;
+            prev = t;
+        }
+        let empirical = sum / n as f64;
+        let rel = (empirical - mean).abs() / mean;
+        assert!(
+            rel < 0.10,
+            "seed {seed}: empirical mean {empirical:.1}s vs configured {mean:.1}s ({:.1}%)",
+            rel * 100.0
+        );
+    }
+}
+
+/// The flagship capture-equivalence on a fixed, non-trivial trace: the
+/// canonical bytes of `Driver::run` on the captured vectors equal
+/// `run_open_loop` + `AdmitAll` on the same generator.
+#[test]
+fn capture_equivalence_on_a_fixed_trace() {
+    let g = gen(4242, 80.0, 40_000.0, 20);
+    let (specs, arrivals) = g.clone().generate();
+    assert!(specs.len() >= 10, "fixture should exercise a real trace");
+    let cfg = SimConfig {
+        machines: 16,
+        scheduler: SchedulerKind::Harmony,
+        straggler_cv: 0.0,
+        ..SimConfig::default()
+    };
+    let closed = Driver::run(cfg.clone(), specs, arrivals);
+    let open = Driver::run_open_loop(cfg, g, Box::new(AdmitAll)).expect("valid run");
+    assert_eq!(open.canonical_bytes(), closed.canonical_bytes());
+    assert_eq!(open.completed(), open.jobs.len());
+}

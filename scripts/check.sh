@@ -5,16 +5,18 @@
 #   --bench-smoke  additionally run the perf-baseline binaries at tiny
 #                  scale and validate their emitted JSON — plus the
 #                  committed BENCH_*.json files (the committed sim
-#                  sweep must carry both scheduling arms with reps >= 3:
-#                  the exact ladder up to 2560 jobs and the coalesced
-#                  ladder up to 5120 jobs, enforced via --full-sweep) —
-#                  against the perfjson schema (see
-#                  crates/bench/src/perfjson.rs), run the simulator
-#                  fast-event-path, incremental-resched, coalesced-pass
-#                  acceptance, PS fast-runtime, sparse-wire and
-#                  live-migration equivalence gates at tiny scale, and
-#                  run the PS steady-state allocation audit (counting
-#                  global allocator, `alloc-count` feature).
+#                  sweep must carry every scheduling arm with reps >= 3:
+#                  the exact ladder up to 2560 jobs, the coalesced
+#                  ladder up to 5120 jobs, and the open-loop admission
+#                  ladder up to 160 jobs on both admission policies,
+#                  enforced via --full-sweep) — against the perfjson
+#                  schema (see crates/bench/src/perfjson.rs), run the
+#                  simulator fast-event-path, incremental-resched,
+#                  coalesced-pass and open-loop-admission acceptance,
+#                  PS fast-runtime, sparse-wire and live-migration
+#                  equivalence gates at tiny scale, and run the PS
+#                  steady-state allocation audit (counting global
+#                  allocator, `alloc-count` feature).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +61,9 @@ if [ "$BENCH_SMOKE" = 1 ]; then
 
     echo "==> coalesced-pass acceptance gate (1% JCT/utilization bound + flag-off bit-identity)"
     cargo test --release -q -p harmony --test coalesce_acceptance
+
+    echo "==> open-loop admission acceptance gate (capture byte-identity + churn matrix + admission books)"
+    cargo test --release -q -p harmony --test open_loop_acceptance
 
     echo "==> PS runtime equivalence smoke (fast runtime == reference bytes)"
     cargo test --release -q -p harmony --test ps_equivalence \

@@ -204,6 +204,60 @@ fn coalesced_arm_stays_within_one_percent() {
     }
 }
 
+/// Open-loop churn cells: the 1% budget also holds when arrivals come
+/// from the seeded open-loop generator rather than a hand-written
+/// batch. `Driver::run_open_loop` with `AdmitAll` is byte-identical to
+/// replaying the generator's captured trace (held by
+/// `tests/open_loop_acceptance.rs`), so the shared harness runs both
+/// arms on the capture. Measured drift across these cells is
+/// documented in DESIGN.md §7.
+#[test]
+fn coalesced_arm_accepts_open_loop_churn() {
+    use harmony::sim::{WorkloadGen, WorkloadGenConfig};
+    // (label, scheduler, mean interarrival, max jobs, crash plan?).
+    let cells: &[(&str, SchedulerKind, f64, usize, bool)] = &[
+        ("harmony-open-fast", SchedulerKind::Harmony, 40.0, 16, false),
+        (
+            "harmony-open-slow",
+            SchedulerKind::Harmony,
+            200.0,
+            12,
+            false,
+        ),
+        (
+            "harmony-open-crash",
+            SchedulerKind::Harmony,
+            120.0,
+            12,
+            true,
+        ),
+        ("oracle-open-fast", SchedulerKind::Oracle, 40.0, 10, false),
+        ("oracle-open-slow", SchedulerKind::Oracle, 200.0, 8, false),
+    ];
+    for &(label, ref kind, mean, max_jobs, crash) in cells {
+        let (specs, arrivals) = WorkloadGen::new(
+            WorkloadGenConfig {
+                seed: 77,
+                mean_interarrival_secs: mean,
+                horizon_secs: 40_000.0,
+                max_jobs,
+            },
+            tiny_workload(2, 0.3, 6),
+        )
+        .expect("valid generator")
+        .generate();
+        assert!(!specs.is_empty(), "{label}: generator produced no jobs");
+        let cfg = SimConfig {
+            scheduler: kind.clone(),
+            fault_plan: crash.then(|| FaultPlan::single_crash(42, 900.0)),
+            reload: ReloadPolicy::Adaptive,
+            seed: 9,
+            ..coalesced_cfg(16)
+        };
+        assert_accepted(label, cfg, specs, arrivals);
+    }
+}
+
 /// Fault plans interleave crash-recovery passes with open windows —
 /// the subsumption path under the most state churn.
 #[test]
